@@ -1,0 +1,40 @@
+//! # plsim-analysis — the paper's measurement analysis pipeline
+//!
+//! Turns probe captures ([`plsim_capture::TraceRecord`]s) into exactly the
+//! quantities the paper's evaluation section plots:
+//!
+//! * §3.2 (Figures 2–6): [`returned_addresses`], [`returned_by_source`],
+//!   [`data_by_isp`] and the per-session locality percentage;
+//! * §3.3 (Figures 7–10, Table 1): [`peer_list_response_times`] and
+//!   [`data_response_times`] with per-ISP-group averages;
+//! * §3.4 (Figures 11–14): [`contribution_analysis`] — unique connected
+//!   peers per ISP, request rank distributions with Zipf and
+//!   stretched-exponential fits, contribution CDFs and top-10% shares;
+//! * §3.5 (Figures 15–18): min-response-time RTT estimation and the
+//!   log-log request/RTT correlation;
+//! * the overlay-structure claims of §1 ("triangle construction", ISP
+//!   clusters): [`overlay_stats`] builds the subgraph visible in gossip
+//!   replies and measures triangles, clustering and ISP assortativity.
+//!
+//! [`ProbeReport`] bundles all of it for one probe. ISP classification uses
+//! the [`plsim_net::AsnDirectory`] oracle exactly the way the authors used
+//! Team Cymru's IP→ASN service.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod contributions;
+mod locality;
+mod overlay;
+mod perisp;
+mod probe;
+mod response;
+
+pub use contributions::{contribution_analysis, ContributionAnalysis, PeerContribution};
+pub use locality::{
+    data_by_isp, returned_addresses, returned_by_source, DataByIsp, ListSource, ReturnedAddresses,
+};
+pub use overlay::{overlay_stats, OverlayStats};
+pub use perisp::{PerGroup, PerIsp};
+pub use probe::ProbeReport;
+pub use response::{data_response_times, peer_list_response_times, ResponseTimes, RtSample};

@@ -1,0 +1,272 @@
+//! ISP-level locality analysis: the paper's §3.2 (Figures 2–6).
+
+use crate::PerIsp;
+use plsim_capture::{Direction, RecordKind, RemoteKind, TraceRecord};
+use plsim_net::{AsnDirectory, Isp};
+use serde::{Deserialize, Serialize};
+
+/// Which kind of host returned a peer list — the paper's `_p` (normal peer)
+/// vs `_s` (tracker server) distinction in Figures 2(b)–5(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ListSource {
+    /// Returned by a regular peer in the given ISP ("TELE_p" etc.).
+    Peer(Isp),
+    /// Returned by a tracker server in the given ISP ("TELE_s" etc.).
+    Tracker(Isp),
+}
+
+impl ListSource {
+    /// The paper's label for the source, e.g. `TELE_p` or `CNC_s`.
+    /// OtherCN and Foreign peers are folded into `OTHER_p` like the figures
+    /// do (PPLive deploys no trackers outside the three big Chinese ISPs).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            ListSource::Peer(isp) if !matches!(isp, Isp::Tele | Isp::Cnc | Isp::Cer) => {
+                "OTHER_p".to_string()
+            }
+            ListSource::Peer(isp) => format!("{}_p", isp.label()),
+            ListSource::Tracker(isp) => format!("{}_s", isp.label()),
+        }
+    }
+}
+
+/// Counts of returned peer-list addresses (with duplicates, as in the
+/// figures) grouped by the advertised address's ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReturnedAddresses {
+    /// All addresses, regardless of who returned them (Figures 2a–5a).
+    pub total: PerIsp<u64>,
+}
+
+/// Figure 2(a)–5(a): counts every address on every peer list the probe
+/// received (tracker responses and gossip responses), with duplicates.
+#[must_use]
+pub fn returned_addresses(records: &[TraceRecord], dir: &AsnDirectory) -> ReturnedAddresses {
+    let mut out = ReturnedAddresses::default();
+    for r in records {
+        if r.direction != Direction::Inbound {
+            continue;
+        }
+        let ips = match &r.kind {
+            RecordKind::TrackerResponse { peer_ips }
+            | RecordKind::PeerListResponse { peer_ips, .. } => peer_ips,
+            _ => continue,
+        };
+        for ip in ips {
+            if let Some(isp) = dir.isp_of(*ip) {
+                out.total[isp] += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Figure 2(b)–5(b): the same counts, broken down by who returned the list
+/// (per replier ISP, peers vs trackers). Entries are sorted by label for
+/// stable output.
+#[must_use]
+pub fn returned_by_source(
+    records: &[TraceRecord],
+    dir: &AsnDirectory,
+) -> Vec<(ListSource, PerIsp<u64>)> {
+    let mut buckets: Vec<(ListSource, PerIsp<u64>)> = Vec::new();
+    let mut bump = |source: ListSource, isp: Isp| {
+        if let Some((_, counts)) = buckets.iter_mut().find(|(s, _)| *s == source) {
+            counts[isp] += 1;
+        } else {
+            let mut counts: PerIsp<u64> = PerIsp::default();
+            counts[isp] += 1;
+            buckets.push((source, counts));
+        }
+    };
+    for r in records {
+        if r.direction != Direction::Inbound {
+            continue;
+        }
+        let Some(replier_isp) = dir.isp_of(r.remote_ip) else {
+            continue;
+        };
+        let (ips, source) = match (&r.kind, r.remote_kind) {
+            (RecordKind::TrackerResponse { peer_ips }, RemoteKind::Tracker) => {
+                (peer_ips, ListSource::Tracker(replier_isp))
+            }
+            (RecordKind::PeerListResponse { peer_ips, .. }, _) => {
+                (peer_ips, ListSource::Peer(replier_isp))
+            }
+            _ => continue,
+        };
+        for ip in ips {
+            if let Some(isp) = dir.isp_of(*ip) {
+                bump(source, isp);
+            }
+        }
+    }
+    buckets.sort_by_key(|(s, _)| s.label());
+    buckets
+}
+
+/// Figure 2(c)–5(c): data transmissions (request/reply pairs) and received
+/// media bytes, grouped by the serving peer's ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DataByIsp {
+    /// Completed transmissions (a matched data request/reply pair).
+    pub transmissions: PerIsp<u64>,
+    /// Media bytes received.
+    pub bytes: PerIsp<u64>,
+}
+
+impl DataByIsp {
+    /// Traffic locality: the fraction of received bytes served by peers in
+    /// `home` — the paper's headline metric (Figure 6).
+    #[must_use]
+    pub fn locality(&self, home: Isp) -> f64 {
+        self.bytes.fraction(home)
+    }
+}
+
+/// Computes transmissions and bytes per serving ISP from inbound data
+/// replies (each reply closes exactly one request, as matched by sequence
+/// number in the captures).
+#[must_use]
+pub fn data_by_isp(records: &[TraceRecord], dir: &AsnDirectory) -> DataByIsp {
+    let mut out = DataByIsp::default();
+    for r in records {
+        if r.direction != Direction::Inbound {
+            continue;
+        }
+        if let RecordKind::DataReply { payload_bytes, .. } = r.kind {
+            if let Some(isp) = dir.isp_of(r.remote_ip) {
+                out.transmissions[isp] += 1;
+                out.bytes[isp] += u64::from(payload_bytes);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_des::{NodeId, SimTime};
+    use plsim_proto::ChunkId;
+    use std::net::Ipv4Addr;
+
+    fn tele_ip(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(58, 0, 0, n)
+    }
+    fn cnc_ip(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(60, 0, 0, n)
+    }
+
+    fn record(kind: RecordKind, remote_ip: Ipv4Addr, remote_kind: RemoteKind) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::ZERO,
+            probe: NodeId(0),
+            remote: NodeId(1),
+            remote_ip,
+            remote_kind,
+            direction: Direction::Inbound,
+            kind,
+            wire_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn returned_addresses_counts_duplicates() {
+        let dir = AsnDirectory::new();
+        let records = vec![
+            record(
+                RecordKind::PeerListResponse {
+                    req_id: 1,
+                    peer_ips: vec![tele_ip(1), tele_ip(1), cnc_ip(2)],
+                },
+                tele_ip(9),
+                RemoteKind::Peer,
+            ),
+            record(
+                RecordKind::TrackerResponse {
+                    peer_ips: vec![tele_ip(3)],
+                },
+                cnc_ip(9),
+                RemoteKind::Tracker,
+            ),
+        ];
+        let out = returned_addresses(&records, &dir);
+        assert_eq!(out.total[Isp::Tele], 3);
+        assert_eq!(out.total[Isp::Cnc], 1);
+        assert_eq!(out.total.total(), 4);
+    }
+
+    #[test]
+    fn source_breakdown_separates_peers_and_trackers() {
+        let dir = AsnDirectory::new();
+        let records = vec![
+            record(
+                RecordKind::PeerListResponse {
+                    req_id: 1,
+                    peer_ips: vec![tele_ip(1)],
+                },
+                tele_ip(9),
+                RemoteKind::Peer,
+            ),
+            record(
+                RecordKind::TrackerResponse {
+                    peer_ips: vec![tele_ip(2)],
+                },
+                tele_ip(10),
+                RemoteKind::Tracker,
+            ),
+        ];
+        let out = returned_by_source(&records, &dir);
+        assert_eq!(out.len(), 2);
+        let labels: Vec<String> = out.iter().map(|(s, _)| s.label()).collect();
+        assert!(labels.contains(&"TELE_p".to_string()));
+        assert!(labels.contains(&"TELE_s".to_string()));
+    }
+
+    #[test]
+    fn other_peers_fold_into_other_p() {
+        assert_eq!(ListSource::Peer(Isp::Foreign).label(), "OTHER_p");
+        assert_eq!(ListSource::Peer(Isp::OtherCn).label(), "OTHER_p");
+        assert_eq!(ListSource::Peer(Isp::Cer).label(), "CER_p");
+    }
+
+    #[test]
+    fn data_by_isp_accumulates_and_computes_locality() {
+        let dir = AsnDirectory::new();
+        let mk = |ip: Ipv4Addr, bytes: u32| {
+            record(
+                RecordKind::DataReply {
+                    seq: 0,
+                    chunk: ChunkId(0),
+                    payload_bytes: bytes,
+                },
+                ip,
+                RemoteKind::Peer,
+            )
+        };
+        let records = vec![mk(tele_ip(1), 3000), mk(tele_ip(2), 3000), mk(cnc_ip(1), 2000)];
+        let out = data_by_isp(&records, &dir);
+        assert_eq!(out.transmissions[Isp::Tele], 2);
+        assert_eq!(out.bytes.total(), 8000);
+        assert!((out.locality(Isp::Tele) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outbound_records_are_ignored() {
+        let dir = AsnDirectory::new();
+        let mut r = record(
+            RecordKind::DataReply {
+                seq: 0,
+                chunk: ChunkId(0),
+                payload_bytes: 500,
+            },
+            tele_ip(1),
+            RemoteKind::Peer,
+        );
+        r.direction = Direction::Outbound;
+        let out = data_by_isp(&[r], &dir);
+        assert_eq!(out.bytes.total(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! One-call per-probe analysis bundling every figure's data.
+
+use crate::{
+    contribution_analysis, data_by_isp, peer_list_response_times, returned_addresses,
+    returned_by_source, ContributionAnalysis, DataByIsp, ListSource, PerIsp, ResponseTimes,
+};
+use crate::overlay::{overlay_stats, OverlayStats};
+use crate::response::data_response_times;
+use plsim_capture::TraceRecord;
+use plsim_des::NodeId;
+use plsim_net::{AsnDirectory, Isp};
+use serde::{Deserialize, Serialize};
+
+/// The complete §3 analysis of one probe's capture: every quantity the
+/// paper plots, computed in one pass over the records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// The probe host.
+    pub probe: NodeId,
+    /// The probe's ISP.
+    pub home_isp: Isp,
+    /// Figures 2a–5a: returned addresses per ISP (with duplicates).
+    pub returned: PerIsp<u64>,
+    /// Figures 2b–5b: returned addresses broken down by source.
+    pub returned_by_source: Vec<(ListSource, PerIsp<u64>)>,
+    /// Figures 2c–5c: data transmissions and bytes per serving ISP.
+    pub data: DataByIsp,
+    /// Figures 7–10: peer-list response times.
+    pub peer_list_rt: ResponseTimes,
+    /// Table 1: data-request response times.
+    pub data_rt: ResponseTimes,
+    /// Figures 11–18: per-peer contributions, fits and RTT correlation.
+    pub contributions: ContributionAnalysis,
+    /// Overlay-structure metrics (§1's triangle-construction claim).
+    pub overlay: OverlayStats,
+}
+
+impl ProbeReport {
+    /// Analyzes the records of `probe` (other probes' records are ignored).
+    #[must_use]
+    pub fn new(
+        probe: NodeId,
+        home_isp: Isp,
+        records: &[TraceRecord],
+        dir: &AsnDirectory,
+    ) -> ProbeReport {
+        let mine: Vec<TraceRecord> = records
+            .iter()
+            .filter(|r| r.probe == probe)
+            .cloned()
+            .collect();
+        ProbeReport {
+            probe,
+            home_isp,
+            returned: returned_addresses(&mine, dir).total,
+            returned_by_source: returned_by_source(&mine, dir),
+            data: data_by_isp(&mine, dir),
+            peer_list_rt: peer_list_response_times(&mine, dir),
+            data_rt: data_response_times(&mine, dir),
+            contributions: contribution_analysis(&mine, dir),
+            overlay: overlay_stats(&mine, dir),
+        }
+    }
+
+    /// Traffic locality: fraction of received bytes served from the home
+    /// ISP (the paper's Figure 6 metric).
+    #[must_use]
+    pub fn locality(&self) -> f64 {
+        self.data.locality(self.home_isp)
+    }
+
+    /// Fraction of returned addresses in the home ISP ("potential
+    /// locality", Figures 2a–5a).
+    #[must_use]
+    pub fn returned_home_fraction(&self) -> f64 {
+        self.returned.fraction(self.home_isp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_capture::{Direction, RecordKind, RemoteKind};
+    use plsim_des::SimTime;
+    use plsim_proto::ChunkId;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn report_filters_by_probe() {
+        let dir = AsnDirectory::new();
+        let mk = |probe: u32| TraceRecord {
+            t: SimTime::ZERO,
+            probe: NodeId(probe),
+            remote: NodeId(99),
+            remote_ip: Ipv4Addr::new(58, 0, 0, 1),
+            remote_kind: RemoteKind::Peer,
+            direction: Direction::Inbound,
+            kind: RecordKind::DataReply {
+                seq: 1,
+                chunk: ChunkId(0),
+                payload_bytes: 1380,
+            },
+            wire_bytes: 1426,
+        };
+        let records = vec![mk(0), mk(1), mk(1)];
+        let report = ProbeReport::new(NodeId(1), Isp::Tele, &records, &dir);
+        assert_eq!(report.data.bytes.total(), 2760);
+        assert!((report.locality() - 1.0).abs() < 1e-12);
+    }
+}

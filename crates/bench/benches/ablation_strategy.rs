@@ -1,0 +1,28 @@
+//! Regenerates the design ablation (A1/A2): PPLive vs tracker-only and the
+//! intermediate variants, and times one baseline session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_bench::BENCH_SCALE;
+use plsim_node::PeerConfig;
+use pplive_locality::{ablation, render_ablation, Scenario};
+use plsim_workload::ChannelClass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Ablation reproduction (bench scale) ===\n");
+    println!("{}", render_ablation(&ablation(BENCH_SCALE, 42)));
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("tracker_only_session", |b| {
+        b.iter(|| {
+            let mut s = Scenario::new(ChannelClass::Popular, BENCH_SCALE, 42);
+            s.peer_config = PeerConfig::tracker_only_baseline();
+            black_box(s.run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

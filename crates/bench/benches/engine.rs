@@ -1,0 +1,82 @@
+//! Microbenchmarks of the substrate: DES event throughput, the underlay
+//! medium, and the statistics kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_des::{Actor, Context, FixedDelay, Medium, NodeId, SimTime, Simulation};
+use plsim_net::{BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
+use plsim_stats::{ecdf, pearson, stretched_exp_fit};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Relay {
+    next: NodeId,
+    remaining: u64,
+}
+
+impl Actor<u64> for Relay {
+    fn on_event(&mut self, ctx: &mut Context<'_, u64>, _from: Option<NodeId>, p: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.next, p, 64);
+        }
+    }
+}
+
+fn des_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("des_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1, FixedDelay(SimTime::from_micros(10)));
+            let ids: Vec<NodeId> = (0..8)
+                .map(|i| {
+                    sim.add_actor(Box::new(Relay {
+                        next: NodeId((i + 1) % 8),
+                        remaining: 100_000 / 8,
+                    }))
+                })
+                .collect();
+            sim.inject(SimTime::ZERO, ids[0], None, 1, 64);
+            black_box(sim.run_until(SimTime::MAX))
+        })
+    });
+
+    g.bench_function("underlay_transit", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut builder = TopologyBuilder::new();
+        let x = builder.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        let y = builder.add_host(Isp::Cnc, BandwidthClass::Adsl, &mut rng);
+        let mut underlay = Underlay::new(Arc::new(builder.build()), LinkModel::default());
+        b.iter(|| {
+            black_box(Medium::<()>::transit(
+                &mut underlay,
+                x,
+                y,
+                black_box(1426),
+                SimTime::from_secs(1),
+                &mut rng,
+            ))
+        })
+    });
+
+    let data: Vec<f64> = (1..=1000)
+        .map(|i| {
+            let yc: f64 = 50.0 - 7.0 * f64::from(i).log10();
+            yc.max(1e-9).powf(1.0 / 0.3)
+        })
+        .collect();
+    g.bench_function("stretched_exp_fit_1000", |b| {
+        b.iter(|| black_box(stretched_exp_fit(black_box(&data))))
+    });
+    g.bench_function("ecdf_1000", |b| {
+        b.iter(|| black_box(ecdf(black_box(&data))))
+    });
+    let xs: Vec<f64> = (0..1000).map(f64::from).collect();
+    g.bench_function("pearson_1000", |b| {
+        b.iter(|| black_box(pearson(black_box(&xs), black_box(&data))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, des_throughput);
+criterion_main!(benches);

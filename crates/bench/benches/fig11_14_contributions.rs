@@ -1,0 +1,39 @@
+//! Regenerates Figures 11–14 (connections, contributions, Zipf vs
+//! stretched-exponential fits) and times the contribution analysis and the
+//! model fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_analysis::contribution_analysis;
+use plsim_bench::bench_suite;
+use plsim_net::AsnDirectory;
+use plsim_stats::{stretched_exp_fit, zipf_fit};
+use pplive_locality::{figs_11_to_14, render_fig11_14};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    println!("\n=== Figures 11–14 reproduction (bench scale) ===\n");
+    println!("{}", render_fig11_14(&figs_11_to_14(suite)));
+
+    let dir = AsnDirectory::new();
+    let records = &suite.popular.output.records;
+    c.bench_function("fig11_14/contribution_analysis", |b| {
+        b.iter(|| black_box(contribution_analysis(black_box(records), &dir)))
+    });
+
+    let ranks: Vec<f64> = (1..=326)
+        .map(|i| {
+            let yc: f64 = 32.0 - 5.483 * f64::from(i).log10();
+            yc.max(1e-9).powf(1.0 / 0.35)
+        })
+        .collect();
+    c.bench_function("fig11_14/stretched_exp_fit", |b| {
+        b.iter(|| black_box(stretched_exp_fit(black_box(&ranks))))
+    });
+    c.bench_function("fig11_14/zipf_fit", |b| {
+        b.iter(|| black_box(zipf_fit(black_box(&ranks))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Figures 15–18 (request count vs RTT correlation) and times
+//! the correlation computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_bench::bench_suite;
+use plsim_stats::log_log_correlation;
+use pplive_locality::{figs_15_to_18, render_fig15_18};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    println!("\n=== Figures 15–18 reproduction (bench scale) ===\n");
+    println!("{}", render_fig15_18(&figs_15_to_18(suite)));
+
+    let contributions = &suite.popular.reports[0].1.contributions;
+    let requests: Vec<f64> = contributions.peers.iter().map(|p| p.requests as f64).collect();
+    let rtts: Vec<f64> = contributions
+        .peers
+        .iter()
+        .map(|p| p.rtt_est_secs.unwrap_or(f64::NAN))
+        .collect();
+    c.bench_function("fig15_18/log_log_correlation", |b| {
+        b.iter(|| black_box(log_log_correlation(black_box(&requests), black_box(&rtts))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

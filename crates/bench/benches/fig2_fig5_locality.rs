@@ -1,0 +1,30 @@
+//! Regenerates Figures 2–5 (ISP-level traffic locality) and times both the
+//! end-to-end simulation and the trace analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_bench::{bench_suite, BENCH_SCALE};
+use pplive_locality::{figs_2_to_5, Scenario};
+use plsim_workload::ChannelClass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    println!("\n=== Figures 2–5 reproduction (bench scale) ===\n");
+    for fig in figs_2_to_5(suite) {
+        println!("{}", fig.render());
+    }
+
+    c.bench_function("figs_2_to_5/analysis", |b| {
+        b.iter(|| black_box(figs_2_to_5(black_box(suite))))
+    });
+
+    let mut g = c.benchmark_group("figs_2_to_5/simulate");
+    g.sample_size(10);
+    g.bench_function("popular_session", |b| {
+        b.iter(|| black_box(Scenario::new(ChannelClass::Popular, BENCH_SCALE, 42).run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Figure 6 (the four-week locality series) and times one
+//! measurement day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_bench::BENCH_SCALE;
+use pplive_locality::{fig_6, FourWeeks};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 6 reproduction (7 days, bench scale) ===\n");
+    let weeks = fig_6(7, BENCH_SCALE, 42);
+    println!("{}", weeks.render());
+    println!(
+        "volatility: popular TELE {:.3}, popular Mason {:.3} (paper: Mason much more volatile)\n",
+        FourWeeks::volatility(&weeks.popular, |d| d.tele),
+        FourWeeks::volatility(&weeks.popular, |d| d.mason),
+    );
+
+    let mut g = c.benchmark_group("fig_6");
+    g.sample_size(10);
+    g.bench_function("one_day_both_channels", |b| {
+        b.iter(|| black_box(fig_6(1, BENCH_SCALE, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

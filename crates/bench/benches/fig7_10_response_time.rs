@@ -1,0 +1,24 @@
+//! Regenerates Figures 7–10 (peer-list response times per ISP group) and
+//! times the request/response matching pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_analysis::peer_list_response_times;
+use plsim_bench::bench_suite;
+use plsim_net::AsnDirectory;
+use pplive_locality::{render_fig7_10, response_times};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    println!("\n=== Figures 7–10 reproduction (bench scale) ===\n");
+    println!("{}", render_fig7_10(&response_times(suite)));
+
+    let dir = AsnDirectory::new();
+    let records = &suite.popular.output.records;
+    c.bench_function("fig7_10/match_peer_list_rt", |b| {
+        b.iter(|| black_box(peer_list_response_times(black_box(records), &dir)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

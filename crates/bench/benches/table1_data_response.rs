@@ -1,0 +1,24 @@
+//! Regenerates Table 1 (average response time to data requests) and times
+//! the sequence-number matching pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsim_analysis::data_response_times;
+use plsim_bench::bench_suite;
+use plsim_net::AsnDirectory;
+use pplive_locality::{render_table1, response_times};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    println!("\n=== Table 1 reproduction (bench scale) ===\n");
+    println!("{}", render_table1(&response_times(suite)));
+
+    let dir = AsnDirectory::new();
+    let records = &suite.popular.output.records;
+    c.bench_function("table1/match_data_rt", |b| {
+        b.iter(|| black_box(data_response_times(black_box(records), &dir)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

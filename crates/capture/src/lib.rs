@@ -1,0 +1,427 @@
+//! # plsim-capture — the Wireshark substitute
+//!
+//! The original study ran Wireshark on each probe host and parsed the UDP
+//! captures offline. Here, [`ProbeTap`] implements [`plsim_des::Monitor`] and
+//! records every message that enters or leaves a configured set of probe
+//! nodes as a typed [`TraceRecord`] — the same information the authors
+//! extracted from pcaps (peer lists with the advertised addresses, data
+//! request/reply sequence numbers, timestamps, byte counts), without the
+//! parsing step.
+//!
+//! The tap is a cheap cloneable handle around shared storage, so the harness
+//! keeps one handle and gives the simulation another.
+//!
+//! # Examples
+//!
+//! ```
+//! use plsim_capture::{ProbeTap, RemoteKind};
+//! use plsim_des::NodeId;
+//! # use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+//! # use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! # let mut rng = SmallRng::seed_from_u64(0);
+//! # let mut b = TopologyBuilder::new();
+//! # b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+//! # let topo = std::sync::Arc::new(b.build());
+//! let tap = ProbeTap::new([NodeId(0)], topo);
+//! tap.mark_remote(NodeId(9), RemoteKind::Tracker);
+//! assert!(tap.snapshot().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use parking_lot::Mutex;
+use plsim_des::{Monitor, NodeId, SimTime};
+use plsim_net::Topology;
+use plsim_proto::{ChunkId, Message};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Direction of a captured message relative to the probe host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Sent by the probe.
+    Outbound,
+    /// Received by the probe.
+    Inbound,
+}
+
+/// What kind of host the remote endpoint is. The paper separates peer
+/// sources ("CNC_p") from tracker sources ("CNC_s"); the stream source is
+/// marked distinctly so experiments can exclude infrastructure if desired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RemoteKind {
+    /// A regular viewer peer.
+    #[default]
+    Peer,
+    /// A PPLive tracker server.
+    Tracker,
+    /// The bootstrap / channel server.
+    Bootstrap,
+    /// The stream source (channel origin).
+    Source,
+}
+
+/// Payload summary of one captured message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// Bootstrap channel-list request/response or channel join exchange.
+    Bootstrap,
+    /// Peer-list query to a tracker.
+    TrackerQuery,
+    /// Tracker's peer list, with the advertised addresses.
+    TrackerResponse {
+        /// Addresses on the returned list.
+        peer_ips: Vec<Ipv4Addr>,
+    },
+    /// Gossip query to a neighbor (carries the sender's own list).
+    PeerListRequest {
+        /// Correlation id.
+        req_id: u64,
+    },
+    /// Neighbor's gossip reply, with the advertised addresses.
+    PeerListResponse {
+        /// Correlation id.
+        req_id: u64,
+        /// Addresses on the returned list.
+        peer_ips: Vec<Ipv4Addr>,
+    },
+    /// Connection handshake.
+    Handshake,
+    /// Handshake acknowledgment.
+    HandshakeAck {
+        /// Whether the connection was accepted.
+        accepted: bool,
+    },
+    /// Data request.
+    DataRequest {
+        /// Request sequence number (the matching key, as in §3.1).
+        seq: u64,
+        /// Requested chunk.
+        chunk: ChunkId,
+    },
+    /// Data delivery.
+    DataReply {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Delivered chunk.
+        chunk: ChunkId,
+        /// Media payload bytes carried.
+        payload_bytes: u32,
+    },
+    /// Negative data response.
+    DataReject {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Whether the refusal was overload rather than missing data.
+        busy: bool,
+    },
+    /// Tracker announce.
+    Announce,
+    /// Departure notice.
+    Goodbye,
+}
+
+impl RecordKind {
+    fn from_message(msg: &Message) -> Option<RecordKind> {
+        Some(match msg {
+            Message::BootstrapRequest
+            | Message::BootstrapResponse { .. }
+            | Message::JoinRequest { .. }
+            | Message::JoinResponse { .. } => RecordKind::Bootstrap,
+            Message::TrackerQuery { .. } => RecordKind::TrackerQuery,
+            Message::TrackerResponse { peers, .. } => RecordKind::TrackerResponse {
+                peer_ips: peers.iter().map(|e| e.ip).collect(),
+            },
+            Message::PeerListRequest { req_id, .. } => {
+                RecordKind::PeerListRequest { req_id: *req_id }
+            }
+            Message::PeerListResponse { peers, req_id, .. } => RecordKind::PeerListResponse {
+                req_id: *req_id,
+                peer_ips: peers.iter().map(|e| e.ip).collect(),
+            },
+            Message::Handshake { .. } => RecordKind::Handshake,
+            Message::HandshakeAck { accepted, .. } => RecordKind::HandshakeAck {
+                accepted: *accepted,
+            },
+            Message::DataRequest { seq, chunk, .. } => RecordKind::DataRequest {
+                seq: *seq,
+                chunk: *chunk,
+            },
+            Message::DataReply {
+                seq, chunk, count, ..
+            } => RecordKind::DataReply {
+                seq: *seq,
+                chunk: *chunk,
+                payload_bytes: u32::from(*count) * plsim_proto::SUB_PIECE_BYTES,
+            },
+            Message::DataReject { seq, busy, .. } => RecordKind::DataReject {
+                seq: *seq,
+                busy: *busy,
+            },
+            Message::Announce { .. } => RecordKind::Announce,
+            Message::Goodbye => RecordKind::Goodbye,
+            Message::Timer(_) => return None,
+        })
+    }
+}
+
+/// One captured message at a probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Capture timestamp.
+    pub t: SimTime,
+    /// The probe host that recorded the message.
+    pub probe: NodeId,
+    /// The remote endpoint.
+    pub remote: NodeId,
+    /// The remote endpoint's address, as read from the packet header.
+    pub remote_ip: Ipv4Addr,
+    /// Kind of the remote endpoint (peer / tracker / bootstrap / source).
+    pub remote_kind: RemoteKind,
+    /// Direction relative to the probe.
+    pub direction: Direction,
+    /// Payload summary.
+    pub kind: RecordKind,
+    /// Total bytes on the wire.
+    pub wire_bytes: u32,
+}
+
+#[derive(Debug, Default)]
+struct TapState {
+    records: Vec<TraceRecord>,
+    remote_kinds: HashMap<NodeId, RemoteKind>,
+}
+
+/// Capture tap over a set of probe hosts; cloneable handle to shared
+/// storage (install one clone as the simulation's monitor, keep the other).
+#[derive(Debug, Clone)]
+pub struct ProbeTap {
+    probes: Arc<HashSet<NodeId>>,
+    topology: Arc<Topology>,
+    state: Arc<Mutex<TapState>>,
+}
+
+impl ProbeTap {
+    /// Creates a tap observing the given probe hosts. The topology plays
+    /// the role of the packet IP header: it resolves remote addresses.
+    pub fn new<I: IntoIterator<Item = NodeId>>(probes: I, topology: Arc<Topology>) -> Self {
+        ProbeTap {
+            probes: Arc::new(probes.into_iter().collect()),
+            topology,
+            state: Arc::new(Mutex::new(TapState::default())),
+        }
+    }
+
+    /// Registers what kind of host a remote node is (default:
+    /// [`RemoteKind::Peer`]).
+    pub fn mark_remote(&self, node: NodeId, kind: RemoteKind) {
+        self.state.lock().remote_kinds.insert(node, kind);
+    }
+
+    /// The probes being observed.
+    #[must_use]
+    pub fn probes(&self) -> &HashSet<NodeId> {
+        &self.probes
+    }
+
+    /// Copies the records captured so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Takes the records, leaving the tap empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.state.lock().records)
+    }
+
+    /// Number of records captured so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Whether nothing has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(
+        &self,
+        now: SimTime,
+        probe: NodeId,
+        remote: NodeId,
+        direction: Direction,
+        payload: &Message,
+        size: u32,
+    ) {
+        let Some(kind) = RecordKind::from_message(payload) else {
+            return;
+        };
+        let remote_ip = self
+            .topology
+            .try_host(remote)
+            .map_or(Ipv4Addr::UNSPECIFIED, |h| h.ip);
+        let mut state = self.state.lock();
+        let remote_kind = state.remote_kinds.get(&remote).copied().unwrap_or_default();
+        state.records.push(TraceRecord {
+            t: now,
+            probe,
+            remote,
+            remote_ip,
+            remote_kind,
+            direction,
+            kind,
+            wire_bytes: size,
+        });
+    }
+}
+
+impl Monitor<Message> for ProbeTap {
+    fn on_send(&mut self, now: SimTime, from: NodeId, to: NodeId, payload: &Message, size: u32) {
+        if self.probes.contains(&from) {
+            self.record(now, from, to, Direction::Outbound, payload, size);
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: &Message,
+        size: u32,
+    ) {
+        if self.probes.contains(&to) {
+            self.record(now, to, from, Direction::Inbound, payload, size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+    use plsim_proto::{ChannelId, PeerEntry, PeerList};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn tap() -> ProbeTap {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::new();
+        for _ in 0..12 {
+            b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        }
+        ProbeTap::new([NodeId(0)], Arc::new(b.build()))
+    }
+
+    #[test]
+    fn only_probe_traffic_is_captured() {
+        let mut t = tap();
+        let msg = Message::TrackerQuery {
+            channel: ChannelId(1),
+        };
+        t.on_send(SimTime::ZERO, NodeId(0), NodeId(5), &msg, 46);
+        t.on_send(SimTime::ZERO, NodeId(3), NodeId(5), &msg, 46);
+        t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(0), &msg, 46);
+        t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(3), &msg, 46);
+        let records = t.snapshot();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.probe == NodeId(0)));
+        assert_eq!(records[0].direction, Direction::Outbound);
+        assert_eq!(records[1].direction, Direction::Inbound);
+    }
+
+    #[test]
+    fn peer_list_addresses_are_preserved() {
+        let mut t = tap();
+        let peers: PeerList = (1..=3)
+            .map(|n| PeerEntry::new(NodeId(n), Ipv4Addr::new(58, 0, 0, n as u8)))
+            .collect();
+        let msg = Message::PeerListResponse {
+            channel: ChannelId(1),
+            peers,
+            req_id: 7,
+        };
+        t.on_deliver(SimTime::from_secs(1), NodeId(9), NodeId(0), &msg, 100);
+        let records = t.snapshot();
+        match &records[0].kind {
+            RecordKind::PeerListResponse { req_id, peer_ips } => {
+                assert_eq!(*req_id, 7);
+                assert_eq!(peer_ips.len(), 3);
+                assert_eq!(peer_ips[0], Ipv4Addr::new(58, 0, 0, 1));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timers_are_never_captured() {
+        let mut t = tap();
+        t.on_send(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(0),
+            &Message::Timer(plsim_proto::TimerKind::GossipRound),
+            0,
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remote_kind_marking_is_applied() {
+        let mut t = tap();
+        t.mark_remote(NodeId(5), RemoteKind::Tracker);
+        let msg = Message::TrackerQuery {
+            channel: ChannelId(1),
+        };
+        t.on_send(SimTime::ZERO, NodeId(0), NodeId(5), &msg, 46);
+        t.on_send(SimTime::ZERO, NodeId(0), NodeId(6), &msg, 46);
+        let records = t.snapshot();
+        assert_eq!(records[0].remote_kind, RemoteKind::Tracker);
+        assert_eq!(records[1].remote_kind, RemoteKind::Peer);
+    }
+
+    #[test]
+    fn take_drains_the_store() {
+        let mut t = tap();
+        let msg = Message::Goodbye;
+        t.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &msg, 46);
+        assert_eq!(t.take().len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let t1 = tap();
+        let mut t2 = t1.clone();
+        t2.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &Message::Goodbye, 46);
+        assert_eq!(t1.len(), 1);
+    }
+
+    #[test]
+    fn data_reply_payload_bytes_computed() {
+        let mut t = tap();
+        let msg = Message::DataReply {
+            chunk: ChunkId(3),
+            offset: 0,
+            count: 7,
+            seq: 42,
+        };
+        t.on_deliver(SimTime::ZERO, NodeId(2), NodeId(0), &msg, msg.wire_size());
+        match &t.snapshot()[0].kind {
+            RecordKind::DataReply {
+                seq, payload_bytes, ..
+            } => {
+                assert_eq!(*seq, 42);
+                assert_eq!(*payload_bytes, 7 * plsim_proto::SUB_PIECE_BYTES);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

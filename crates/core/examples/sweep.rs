@@ -1,0 +1,32 @@
+//! Developer tool: seed sweep of locality per cell.
+use pplive_locality::{ProbeSite, Scale, Scenario};
+use plsim_workload::ChannelClass;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Scale::Paper,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Reduced,
+    };
+    for class in [ChannelClass::Popular, ChannelClass::Unpopular] {
+        println!("== {:?} ==", class);
+        let seeds: Vec<u64> = std::env::args()
+            .nth(2)
+            .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+            .unwrap_or_else(|| vec![1, 2, 3, 4, 5]);
+        for seed in seeds {
+            let run = Scenario::new(class, scale, seed).run();
+            let tele = run.report(ProbeSite::Tele);
+            let mason = run.report(ProbeSite::Mason);
+            let cnc = run.report(ProbeSite::Cnc);
+            println!(
+                "seed {seed}: TELE loc={:.3} (conn {}), CNC loc={:.3}, Mason loc={:.3}; TELE bytes={}",
+                tele.locality(),
+                tele.contributions.peers.len(),
+                cnc.locality(),
+                mason.locality(),
+                tele.data.bytes.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! `plsim` — command-line front end for the PPLive traffic-locality
+//! reproduction.
+//!
+//! ```text
+//! plsim run [popular|unpopular] [tiny|reduced|paper] [seed]
+//! plsim figures [tiny|reduced|paper] [seed]
+//! plsim fig6 [days] [tiny|reduced|paper] [seed]
+//! plsim ablation [tiny|reduced|paper] [seed]
+//! plsim workload [n] [c] [a] [noise]
+//! plsim export <dir> [tiny|reduced|paper] [seed]
+//! ```
+
+use pplive_locality::{
+    ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, pct,
+    render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
+    render_underlay_ablation, response_times, underlay_ablation, workload_round_trip,
+    ProbeSite, Scale, Scenario, Suite,
+};
+use plsim_workload::ChannelClass;
+
+fn parse_scale(s: Option<&str>) -> Scale {
+    match s {
+        Some("paper") => Scale::Paper,
+        Some("reduced") => Scale::Reduced,
+        _ => Scale::Tiny,
+    }
+}
+
+fn parse_seed(s: Option<&str>) -> u64 {
+    s.and_then(|x| x.parse().ok()).unwrap_or(42)
+}
+
+fn cmd_run(args: &[String]) {
+    let class = match args.first().map(String::as_str) {
+        Some("unpopular") => ChannelClass::Unpopular,
+        _ => ChannelClass::Popular,
+    };
+    let scale = parse_scale(args.get(1).map(String::as_str));
+    let seed = parse_seed(args.get(2).map(String::as_str));
+    println!("simulating {} channel at {scale:?} scale, seed {seed}...", class.label());
+    let run = Scenario::new(class, scale, seed).run();
+    println!(
+        "events: {}, messages: {} ({} dropped)\n",
+        run.output.sim.events_processed,
+        run.output.sim.messages_sent,
+        run.output.sim.messages_dropped
+    );
+    for site in ProbeSite::ALL {
+        let r = run.report(site);
+        println!(
+            "{:6} probe: locality {:>6}, {} transmissions, {} connected peers, overlay same-ISP edges {:>6}, assortativity {:+.3}",
+            site.label(),
+            pct(r.locality()),
+            r.data.transmissions.total(),
+            r.contributions.peers.len(),
+            pct(r.overlay.same_isp_edge_fraction),
+            r.overlay.isp_assortativity,
+        );
+    }
+}
+
+fn cmd_figures(args: &[String]) {
+    let scale = parse_scale(args.first().map(String::as_str));
+    let seed = parse_seed(args.get(1).map(String::as_str));
+    let suite = Suite::run(scale, seed);
+    for fig in figs_2_to_5(&suite) {
+        println!("{}", fig.render());
+    }
+    let cells = response_times(&suite);
+    println!("{}", render_fig7_10(&cells));
+    println!("{}", render_table1(&cells));
+    println!("{}", render_fig11_14(&figs_11_to_14(&suite)));
+    println!("{}", render_fig15_18(&figs_15_to_18(&suite)));
+}
+
+fn cmd_fig6(args: &[String]) {
+    let days: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let scale = parse_scale(args.get(1).map(String::as_str));
+    let seed = parse_seed(args.get(2).map(String::as_str));
+    println!("{}", fig_6(days, scale, seed).render());
+}
+
+fn cmd_ablation(args: &[String]) {
+    let scale = parse_scale(args.first().map(String::as_str));
+    let seed = parse_seed(args.get(1).map(String::as_str));
+    println!("{}", render_ablation(&ablation(scale, seed)));
+    println!("{}", render_underlay_ablation(&underlay_ablation(scale, seed)));
+}
+
+fn cmd_workload(args: &[String]) {
+    let noise: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let seed = 2008;
+    let rt = workload_round_trip(noise, seed);
+    println!(
+        "generated SE workload (c={:.2}, a={:.2}, n={}, noise={noise})",
+        rt.spec.c, rt.spec.a, rt.spec.n
+    );
+    println!(
+        "refit: c={:.2}, a={:.2}, R²={:.4}; zipf R²={:.4}; top-10% share {:.1}%",
+        rt.refit.0,
+        rt.refit.1,
+        rt.refit.2,
+        rt.zipf_r2,
+        100.0 * rt.top10
+    );
+}
+
+fn cmd_export(args: &[String]) {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: plsim export <dir> [scale] [seed]");
+        std::process::exit(2);
+    };
+    let scale = parse_scale(args.get(1).map(String::as_str));
+    let seed = parse_seed(args.get(2).map(String::as_str));
+    let suite = Suite::run(scale, seed);
+    match export_suite(&suite, std::path::Path::new(dir)) {
+        Ok(()) => println!("figure data written to {dir}/"),
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("fig6") => cmd_fig6(&args[1..]),
+        Some("ablation") => cmd_ablation(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: plsim <command>\n\
+                 commands:\n\
+                 \x20 run [popular|unpopular] [tiny|reduced|paper] [seed]   one session, probe summaries\n\
+                 \x20 figures [scale] [seed]                                Figures 2-5, 7-18 and Table 1\n\
+                 \x20 fig6 [days] [scale] [seed]                            the locality-over-days series\n\
+                 \x20 ablation [scale] [seed]                               protocol-variant comparison\n\
+                 \x20 workload [n] [c] [a] [noise]                          SE workload generator round trip\n\
+                 \x20 export <dir> [scale] [seed]                           dump figure data as CSV"
+            );
+            std::process::exit(2);
+        }
+    }
+}

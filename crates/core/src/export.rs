@@ -1,0 +1,201 @@
+//! CSV export of figure data, for replotting with external tools.
+//!
+//! Every reproduced figure can be dumped as a plain CSV whose columns match
+//! the axes of the corresponding paper figure, so gnuplot/matplotlib users
+//! can overlay the simulation on the paper's plots.
+
+use crate::{DayLocality, LocalityFigure, Suite, CELLS};
+use plsim_net::Isp;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escapes a CSV field (quotes it when it contains separators).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders rows into CSV text.
+#[must_use]
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| field(c)).collect();
+        let _ = writeln!(out, "{}", line.join(","));
+    }
+    out
+}
+
+/// CSV for Figures 2–5: one row per (cell, ISP) with returned addresses,
+/// transmissions and bytes.
+#[must_use]
+pub fn locality_csv(figs: &[LocalityFigure]) -> String {
+    let mut rows = vec![vec![
+        "cell".to_string(),
+        "probe".to_string(),
+        "isp".to_string(),
+        "returned".to_string(),
+        "transmissions".to_string(),
+        "bytes".to_string(),
+    ]];
+    for fig in figs {
+        for isp in Isp::ALL {
+            rows.push(vec![
+                fig.label.clone(),
+                fig.site.clone(),
+                isp.label().to_string(),
+                fig.returned[isp].to_string(),
+                fig.transmissions[isp].to_string(),
+                fig.bytes[isp].to_string(),
+            ]);
+        }
+    }
+    to_csv(&rows)
+}
+
+/// CSV for Figure 6: one row per day with all six series.
+#[must_use]
+pub fn fig6_csv(popular: &[DayLocality], unpopular: &[DayLocality]) -> String {
+    let mut rows = vec![vec![
+        "day".to_string(),
+        "pop_cnc".to_string(),
+        "pop_tele".to_string(),
+        "pop_mason".to_string(),
+        "unpop_cnc".to_string(),
+        "unpop_tele".to_string(),
+        "unpop_mason".to_string(),
+    ]];
+    for (p, u) in popular.iter().zip(unpopular) {
+        rows.push(vec![
+            p.day.to_string(),
+            format!("{:.4}", p.cnc),
+            format!("{:.4}", p.tele),
+            format!("{:.4}", p.mason),
+            format!("{:.4}", u.cnc),
+            format!("{:.4}", u.tele),
+            format!("{:.4}", u.mason),
+        ]);
+    }
+    to_csv(&rows)
+}
+
+/// CSV for Figures 7–10: every matched peer-list response-time sample of
+/// all four cells (`t_secs`, `rt_secs`, replier group).
+#[must_use]
+pub fn response_samples_csv(suite: &Suite) -> String {
+    let mut rows = vec![vec![
+        "cell".to_string(),
+        "t_secs".to_string(),
+        "rt_secs".to_string(),
+        "group".to_string(),
+    ]];
+    for &(site, class, label) in &CELLS {
+        let rep = match class {
+            plsim_workload::ChannelClass::Popular => suite.popular.report(site),
+            plsim_workload::ChannelClass::Unpopular => suite.unpopular.report(site),
+        };
+        for s in &rep.peer_list_rt.samples {
+            rows.push(vec![
+                label.to_string(),
+                s.sent_at.as_secs().to_string(),
+                format!("{:.4}", s.rt_secs),
+                s.group.label().to_string(),
+            ]);
+        }
+    }
+    to_csv(&rows)
+}
+
+/// CSV for Figures 11–18: per connected peer of each cell — rank, request
+/// count, bytes, RTT estimate, ISP (the raw material of the rank fits, the
+/// contribution CDFs and the RTT correlation).
+#[must_use]
+pub fn contributions_csv(suite: &Suite) -> String {
+    let mut rows = vec![vec![
+        "cell".to_string(),
+        "rank".to_string(),
+        "requests".to_string(),
+        "bytes".to_string(),
+        "rtt_secs".to_string(),
+        "isp".to_string(),
+    ]];
+    for &(site, class, label) in &CELLS {
+        let rep = match class {
+            plsim_workload::ChannelClass::Popular => suite.popular.report(site),
+            plsim_workload::ChannelClass::Unpopular => suite.unpopular.report(site),
+        };
+        for (i, p) in rep.contributions.peers.iter().enumerate() {
+            rows.push(vec![
+                label.to_string(),
+                (i + 1).to_string(),
+                p.requests.to_string(),
+                p.bytes.to_string(),
+                p.rtt_est_secs
+                    .map_or("-".to_string(), |r| format!("{r:.4}")),
+                p.isp.label().to_string(),
+            ]);
+        }
+    }
+    to_csv(&rows)
+}
+
+/// Writes the full figure-data bundle of a suite into `dir`
+/// (`figs_2_5.csv`, `response_samples.csv`, `contributions.csv`).
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered while creating the directory
+/// or writing the files.
+pub fn export_suite(suite: &Suite, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("figs_2_5.csv"),
+        locality_csv(&crate::figs_2_to_5(suite)),
+    )?;
+    std::fs::write(dir.join("response_samples.csv"), response_samples_csv(suite))?;
+    std::fs::write(dir.join("contributions.csv"), contributions_csv(suite))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn csv_escaping_handles_commas_and_quotes() {
+        let rows = vec![vec!["a,b".to_string(), "say \"hi\"".to_string()]];
+        let csv = to_csv(&rows);
+        assert_eq!(csv, "\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn fig6_csv_has_one_row_per_day_plus_header() {
+        let d = |day| DayLocality {
+            day,
+            cnc: 0.5,
+            tele: 0.6,
+            mason: 0.3,
+        };
+        let csv = fig6_csv(&[d(1), d(2)], &[d(1), d(2)]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("day,"));
+    }
+
+    #[test]
+    fn suite_export_writes_all_files() {
+        let suite = Suite::run(Scale::Tiny, 9);
+        let dir = std::env::temp_dir().join("plsim_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        export_suite(&suite, &dir).expect("export");
+        for f in ["figs_2_5.csv", "response_samples.csv", "contributions.csv"] {
+            let content = std::fs::read_to_string(dir.join(f)).expect(f);
+            assert!(content.lines().count() > 1, "{f} is empty");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

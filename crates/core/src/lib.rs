@@ -1,0 +1,49 @@
+//! # pplive-locality — reproduction harness for the ICDCS'09 PPLive
+//! traffic-locality study
+//!
+//! This crate ties the whole reproduction together:
+//!
+//! * [`Scenario`] / [`ScenarioRun`] — one measurement session (channel +
+//!   audience + probes) at a chosen [`Scale`], built on the `plsim-*`
+//!   substrate crates (DES kernel, underlay, protocol, nodes, capture,
+//!   analysis);
+//! * [`Suite`] — the popular + unpopular pair every figure draws from;
+//! * one function per paper artifact: [`figs_2_to_5`], [`fig_6`],
+//!   [`response_times`] (Figures 7–10 + Table 1), [`figs_11_to_14`],
+//!   [`figs_15_to_18`];
+//! * the design ablations ([`ablation`]) and the stretched-exponential
+//!   workload round trip ([`workload_round_trip`]);
+//! * plain-text rendering ([`render_table`] and per-figure `render`
+//!   helpers) used by the examples and the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pplive_locality::{figs_2_to_5, Scale, Suite};
+//!
+//! let suite = Suite::run(Scale::Reduced, 42);
+//! for fig in figs_2_to_5(&suite) {
+//!     println!("{}", fig.render());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod experiments;
+mod export;
+mod render;
+mod scenario;
+
+pub use experiments::{
+    ablation, ablation_variants, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5,
+    render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
+    render_underlay_ablation, response_times, underlay_ablation, workload_round_trip,
+    AblationResult, ContributionCell, DayLocality, FourWeeks, LocalityFigure, ResponseCell,
+    RttCell, Suite, UnderlayAblationResult, WorkloadRoundTrip, CELLS,
+};
+pub use export::{
+    contributions_csv, export_suite, fig6_csv, locality_csv, response_samples_csv, to_csv,
+};
+pub use render::{pct, render_table, secs};
+pub use scenario::{ProbeSite, Scale, Scenario, ScenarioRun};

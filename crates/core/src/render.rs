@@ -1,0 +1,89 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table. The first row is treated as the header.
+///
+/// # Examples
+///
+/// ```
+/// let t = pplive_locality::render_table(&[
+///     vec!["isp".into(), "bytes".into()],
+///     vec!["TELE".into(), "123".into()],
+/// ]);
+/// assert!(t.contains("TELE"));
+/// ```
+#[must_use]
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, width) in widths.iter().enumerate() {
+            let cell = row.get(i).map_or("", String::as_str);
+            out.push_str(cell);
+            for _ in cell.chars().count()..width + 2 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            for (i, width) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*width));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats an optional seconds value with three decimals.
+#[must_use]
+pub fn secs(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["xxxx".into(), "1".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("----"));
+        // Both data columns start at the same offset.
+        assert_eq!(lines[0].find("long-header"), lines[2].find('1'));
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.8517), "85.2%");
+        assert_eq!(secs(Some(1.23456)), "1.235");
+        assert_eq!(secs(None), "-");
+    }
+}

@@ -1,0 +1,263 @@
+//! Scenario presets mirroring the paper's measurement setup.
+
+use plsim_analysis::ProbeReport;
+use plsim_des::SimTime;
+use plsim_net::{AsnDirectory, Isp, LinkModel};
+use plsim_node::{run_world, PeerConfig, ProbeSpec, WorldConfig, WorldOutput};
+use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How big a reproduction run should be.
+///
+/// `Paper` matches the study's 2-hour sessions with full populations;
+/// `Reduced` keeps the same shape at roughly a quarter of the event count
+/// (used by the benchmark harness); `Tiny` is for unit/integration tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Full paper scale: 2 h, ~700 concurrent viewers on the popular
+    /// channel.
+    Paper,
+    /// Benchmark scale: 30 min, ~350 concurrent viewers.
+    Reduced,
+    /// Test scale: 5 min, ~60 concurrent viewers.
+    Tiny,
+}
+
+impl Scale {
+    /// Session length in seconds.
+    #[must_use]
+    pub fn duration_secs(self) -> f64 {
+        match self {
+            Scale::Paper => 7200.0,
+            Scale::Reduced => 1800.0,
+            Scale::Tiny => 360.0,
+        }
+    }
+
+    /// Steady-state viewer count for a channel class at this scale.
+    #[must_use]
+    pub fn viewers(self, class: ChannelClass) -> usize {
+        match (self, class) {
+            (Scale::Paper, ChannelClass::Popular) => 700,
+            (Scale::Paper, ChannelClass::Unpopular) => 110,
+            (Scale::Reduced, ChannelClass::Popular) => 350,
+            (Scale::Reduced, ChannelClass::Unpopular) => 90,
+            (Scale::Tiny, ChannelClass::Popular) => 70,
+            (Scale::Tiny, ChannelClass::Unpopular) => 30,
+        }
+    }
+}
+
+/// The standard probe deployment of the study: residential hosts in the two
+/// big Chinese ISPs plus a US campus host ("Mason").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeSite {
+    /// Residential ADSL host in ChinaTelecom.
+    Tele,
+    /// Residential ADSL host in ChinaNetcom.
+    Cnc,
+    /// Campus host at George Mason University (Foreign).
+    Mason,
+}
+
+impl ProbeSite {
+    /// All three standard sites.
+    pub const ALL: [ProbeSite; 3] = [ProbeSite::Tele, ProbeSite::Cnc, ProbeSite::Mason];
+
+    /// Display label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProbeSite::Tele => "TELE",
+            ProbeSite::Cnc => "CNC",
+            ProbeSite::Mason => "Mason",
+        }
+    }
+
+    /// The probe's home ISP.
+    #[must_use]
+    pub const fn isp(self) -> Isp {
+        match self {
+            ProbeSite::Tele => Isp::Tele,
+            ProbeSite::Cnc => Isp::Cnc,
+            ProbeSite::Mason => Isp::Foreign,
+        }
+    }
+
+    fn spec(self) -> ProbeSpec {
+        match self {
+            ProbeSite::Tele | ProbeSite::Cnc => ProbeSpec::residential(self.isp()),
+            ProbeSite::Mason => ProbeSpec::campus(Isp::Foreign),
+        }
+    }
+}
+
+/// One measurement session: a channel, its audience, the probes, and the
+/// protocol variant under test.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Master seed.
+    pub seed: u64,
+    /// Channel popularity tier.
+    pub class: ChannelClass,
+    /// Run size.
+    pub scale: Scale,
+    /// Probe deployment (defaults to all three standard sites).
+    pub probes: Vec<ProbeSite>,
+    /// Peer behaviour (defaults to the PPLive protocol).
+    pub peer_config: PeerConfig,
+    /// Link model (defaults to the calibrated 2008 underlay).
+    pub link: LinkModel,
+    /// Optional per-day population variation (Figure 6).
+    pub day: Option<DayFactor>,
+    /// Optional tracker outage time (failure injection).
+    pub tracker_outage_at: Option<SimTime>,
+    /// Fraction of viewers behind NATs (probes are always reachable).
+    pub nat_fraction: f64,
+}
+
+impl Scenario {
+    /// The paper's setup for one channel at the given scale.
+    #[must_use]
+    pub fn new(class: ChannelClass, scale: Scale, seed: u64) -> Self {
+        Scenario {
+            seed,
+            class,
+            scale,
+            probes: ProbeSite::ALL.to_vec(),
+            peer_config: PeerConfig::default(),
+            link: LinkModel::default(),
+            day: None,
+            tracker_outage_at: None,
+            nat_fraction: 0.0,
+        }
+    }
+
+    /// Runs the scenario: builds the population, simulates the session and
+    /// analyzes each probe's capture.
+    #[must_use]
+    pub fn run(&self) -> ScenarioRun {
+        let mut spec = PopulationSpec::paper_default(self.class);
+        spec.steady_viewers = self.scale.viewers(self.class);
+        if let Some(day) = self.day {
+            spec = spec.with_day(day);
+        }
+        let duration = self.scale.duration_secs();
+        let mut plan_rng = SmallRng::seed_from_u64(self.seed ^ 0xABCD_EF01);
+        let plan = SessionPlan::generate(&spec, duration, &mut plan_rng);
+
+        let mut cfg = WorldConfig::new(self.seed, plan, SimTime::from_secs_f64(duration));
+        cfg.peer_config = self.peer_config;
+        cfg.link = self.link;
+        cfg.tracker_outage_at = self.tracker_outage_at;
+        cfg.nat_fraction = self.nat_fraction;
+        cfg.probes = self.probes.iter().map(|p| p.spec()).collect();
+
+        let output = run_world(&cfg);
+        let dir = AsnDirectory::new();
+        let reports = self
+            .probes
+            .iter()
+            .zip(&output.probes)
+            .map(|(site, &node)| {
+                (
+                    *site,
+                    ProbeReport::new(node, site.isp(), &output.records, &dir),
+                )
+            })
+            .collect();
+        ScenarioRun {
+            class: self.class,
+            scale: self.scale,
+            output,
+            reports,
+        }
+    }
+}
+
+/// A finished scenario with per-probe analysis.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The channel tier that was simulated.
+    pub class: ChannelClass,
+    /// The run size.
+    pub scale: Scale,
+    /// Raw world output (records, stats, topology).
+    pub output: WorldOutput,
+    /// Per-probe analysis reports, in probe order.
+    pub reports: Vec<(ProbeSite, ProbeReport)>,
+}
+
+impl ScenarioRun {
+    /// The report of a given probe site (the first, if several probes share
+    /// the site — the paper deployed two hosts per ISP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site was not part of the scenario.
+    #[must_use]
+    pub fn report(&self, site: ProbeSite) -> &ProbeReport {
+        &self
+            .reports
+            .iter()
+            .find(|(s, _)| *s == site)
+            .unwrap_or_else(|| panic!("no probe at {site:?}"))
+            .1
+    }
+
+    /// All reports of a given probe site.
+    #[must_use]
+    pub fn reports_of(&self, site: ProbeSite) -> Vec<&ProbeReport> {
+        self.reports
+            .iter()
+            .filter(|(s, _)| *s == site)
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Mean traffic locality across all probes at `site` — the paper's
+    /// Figure 6 "average of two concurrent measuring results".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site was not part of the scenario.
+    #[must_use]
+    pub fn locality_avg(&self, site: ProbeSite) -> f64 {
+        let reports = self.reports_of(site);
+        assert!(!reports.is_empty(), "no probe at {site:?}");
+        reports.iter().map(|r| r.locality()).sum::<f64>() / reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scenario_produces_probe_reports() {
+        let run = Scenario::new(ChannelClass::Unpopular, Scale::Tiny, 3).run();
+        assert_eq!(run.reports.len(), 3);
+        let tele = run.report(ProbeSite::Tele);
+        assert!(tele.data.bytes.total() > 0, "probe downloaded nothing");
+        assert!(tele.returned.total() > 0, "no peer lists captured");
+    }
+
+    #[test]
+    fn scales_order_population_sizes() {
+        for class in [ChannelClass::Popular, ChannelClass::Unpopular] {
+            assert!(Scale::Paper.viewers(class) > Scale::Reduced.viewers(class));
+            assert!(Scale::Reduced.viewers(class) > Scale::Tiny.viewers(class));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no probe")]
+    fn missing_probe_panics() {
+        let mut s = Scenario::new(ChannelClass::Unpopular, Scale::Tiny, 3);
+        s.probes = vec![ProbeSite::Tele];
+        let run = s.run();
+        let _ = run.report(ProbeSite::Mason);
+    }
+}

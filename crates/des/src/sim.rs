@@ -1,0 +1,577 @@
+//! The event loop: actors, the network medium, monitors and the scheduler.
+
+use crate::SimTime;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifier of a node (actor) inside one simulation.
+///
+/// Node ids are dense indices handed out by [`Simulation::add_actor`] in
+/// insertion order; they are only meaningful within the simulation that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Outcome of handing a message to the [`Medium`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given one-way delay.
+    After(SimTime),
+    /// The packet is lost.
+    Drop,
+}
+
+/// The network model: decides how long a message takes between two nodes (or
+/// whether it is lost).
+///
+/// The kernel consults the medium once per [`Context::send`]; implementations
+/// typically combine propagation delay, serialization time and random jitter.
+pub trait Medium<P> {
+    /// Computes the one-way delivery outcome for `size_bytes` of payload sent
+    /// from `from` to `to` at time `now`.
+    fn transit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size_bytes: u32,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> Delivery;
+}
+
+/// A medium that delivers everything after a fixed delay. Useful in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay(pub SimTime);
+
+impl<P> Medium<P> for FixedDelay {
+    fn transit(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _size: u32,
+        _now: SimTime,
+        _rng: &mut SmallRng,
+    ) -> Delivery {
+        Delivery::After(self.0)
+    }
+}
+
+/// Observer of traffic crossing the medium. The capture layer implements this
+/// to play the role Wireshark played in the paper's methodology.
+pub trait Monitor<P> {
+    /// Called when a node hands a message to the network (at send time).
+    fn on_send(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
+    /// Called when the network delivers a message to its destination.
+    fn on_deliver(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {
+    }
+    /// Called when the medium drops a message.
+    fn on_drop(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
+}
+
+/// A monitor that observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl<P> Monitor<P> for NullMonitor {}
+
+/// A node behaviour. Implementations receive every event addressed to their
+/// node and react through the [`Context`].
+pub trait Actor<P> {
+    /// Handles one event. `from` is `Some(sender)` for network messages and
+    /// `None` for self-scheduled timers or events injected by the harness.
+    fn on_event(&mut self, ctx: &mut Context<'_, P>, from: Option<NodeId>, payload: P);
+}
+
+enum Effect<P> {
+    Send {
+        to: NodeId,
+        payload: P,
+        size: u32,
+        hold: SimTime,
+    },
+    Timer {
+        delay: SimTime,
+        payload: P,
+    },
+    Halt,
+}
+
+/// Handle through which an actor interacts with the simulation while
+/// processing an event.
+///
+/// All side effects (sends, timers) are buffered and applied by the kernel
+/// after the handler returns, which keeps event processing deterministic.
+#[allow(missing_debug_implementations)]
+pub struct Context<'a, P> {
+    now: SimTime,
+    self_id: NodeId,
+    rng: &'a mut SmallRng,
+    effects: Vec<Effect<P>>,
+}
+
+impl<'a, P> Context<'a, P> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node whose handler is running.
+    #[must_use]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deterministic random number generator shared by the simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `payload` of `size` bytes to `to` through the network medium.
+    pub fn send(&mut self, to: NodeId, payload: P, size: u32) {
+        self.send_after(to, payload, size, SimTime::ZERO);
+    }
+
+    /// Sends a message that leaves this node only after `hold` has elapsed
+    /// (e.g. sender-side upload queueing); the medium delay is added on top.
+    pub fn send_after(&mut self, to: NodeId, payload: P, size: u32, hold: SimTime) {
+        self.effects.push(Effect::Send {
+            to,
+            payload,
+            size,
+            hold,
+        });
+    }
+
+    /// Schedules `payload` to be delivered back to this node after `delay`,
+    /// bypassing the medium (a timer).
+    pub fn schedule(&mut self, delay: SimTime, payload: P) {
+        self.effects.push(Effect::Timer { delay, payload });
+    }
+
+    /// Requests that the whole simulation stop once the current event has
+    /// been processed.
+    pub fn halt(&mut self) {
+        self.effects.push(Effect::Halt);
+    }
+}
+
+struct QueuedEvent<P> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    from: Option<NodeId>,
+    payload: P,
+    size: u32,
+}
+
+impl<P> PartialEq for QueuedEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for QueuedEvent<P> {}
+impl<P> PartialOrd for QueuedEvent<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for QueuedEvent<P> {
+    // Reversed so that the std max-heap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Counters describing a finished (or paused) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Events popped and dispatched to actors.
+    pub events_processed: u64,
+    /// Messages handed to the medium.
+    pub messages_sent: u64,
+    /// Messages the medium dropped.
+    pub messages_dropped: u64,
+}
+
+/// A single-threaded deterministic discrete-event simulation.
+///
+/// The simulation owns a set of [`Actor`]s, a [`Medium`] that models the
+/// network between them, and an optional [`Monitor`] observing all traffic.
+/// Events with equal timestamps are processed in scheduling order, and all
+/// randomness flows from the seed given to [`Simulation::new`], so a run is a
+/// pure function of (actors, medium, seed).
+///
+/// # Examples
+///
+/// ```
+/// use plsim_des::{Actor, Context, FixedDelay, NodeId, SimTime, Simulation};
+///
+/// struct Echo;
+/// impl Actor<u32> for Echo {
+///     fn on_event(&mut self, ctx: &mut Context<'_, u32>, from: Option<NodeId>, n: u32) {
+///         if let Some(peer) = from {
+///             if n > 0 {
+///                 ctx.send(peer, n - 1, 8);
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42, FixedDelay(SimTime::from_millis(10)));
+/// let a = sim.add_actor(Box::new(Echo));
+/// let b = sim.add_actor(Box::new(Echo));
+/// sim.inject(SimTime::ZERO, b, Some(a), 3, 8);
+/// sim.run_until(SimTime::from_secs(1));
+/// assert_eq!(sim.stats().events_processed, 4);
+/// ```
+pub struct Simulation<P> {
+    now: SimTime,
+    queue: BinaryHeap<QueuedEvent<P>>,
+    actors: Vec<Option<Box<dyn Actor<P>>>>,
+    medium: Box<dyn Medium<P>>,
+    monitor: Box<dyn Monitor<P>>,
+    rng: SmallRng,
+    next_seq: u64,
+    stats: SimStats,
+    halted: bool,
+}
+
+impl<P> Simulation<P> {
+    /// Creates an empty simulation with the given RNG `seed` and network
+    /// `medium`, observed by no monitor.
+    pub fn new(seed: u64, medium: impl Medium<P> + 'static) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            medium: Box::new(medium),
+            monitor: Box::new(NullMonitor),
+            rng: SmallRng::seed_from_u64(seed),
+            next_seq: 0,
+            stats: SimStats::default(),
+            halted: false,
+        }
+    }
+
+    /// Installs a traffic monitor, replacing any previous one.
+    pub fn set_monitor(&mut self, monitor: impl Monitor<P> + 'static) {
+        self.monitor = Box::new(monitor);
+    }
+
+    /// Registers an actor and returns its node id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<P>>) -> NodeId {
+        let id = NodeId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Number of registered actors.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time (the timestamp of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run counters so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Whether an actor asked the simulation to halt.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Injects an event from the harness (e.g. a node's join signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past of the simulation clock.
+    pub fn inject(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
+        assert!(at >= self.now, "cannot inject an event into the past");
+        self.push(at, to, from, payload, size);
+    }
+
+    fn push(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            to,
+            from,
+            payload,
+            size,
+        });
+    }
+
+    /// Runs until the queue drains, an actor halts the simulation, or the
+    /// next event would be later than `end`. Returns the stats at exit.
+    pub fn run_until(&mut self, end: SimTime) -> SimStats {
+        while !self.halted {
+            let Some(head) = self.queue.peek() else { break };
+            if head.at > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.at;
+            self.stats.events_processed += 1;
+
+            if let Some(sender) = ev.from {
+                self.monitor
+                    .on_deliver(self.now, sender, ev.to, &ev.payload, ev.size);
+            }
+
+            let idx = ev.to.index();
+            let mut actor = match self.actors.get_mut(idx).and_then(Option::take) {
+                Some(a) => a,
+                // Actor slot missing: event addressed to an unknown node.
+                None => continue,
+            };
+            let mut ctx = Context {
+                now: self.now,
+                self_id: ev.to,
+                rng: &mut self.rng,
+                effects: Vec::new(),
+            };
+            actor.on_event(&mut ctx, ev.from, ev.payload);
+            let effects = ctx.effects;
+            self.actors[idx] = Some(actor);
+            self.apply_effects(ev.to, effects);
+        }
+        self.stats
+    }
+
+    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<P>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to,
+                    payload,
+                    size,
+                    hold,
+                } => {
+                    self.stats.messages_sent += 1;
+                    self.monitor.on_send(self.now, origin, to, &payload, size);
+                    let depart = self.now + hold;
+                    match self.medium.transit(origin, to, size, depart, &mut self.rng) {
+                        Delivery::After(delay) => {
+                            self.push(depart + delay, to, Some(origin), payload, size);
+                        }
+                        Delivery::Drop => {
+                            self.stats.messages_dropped += 1;
+                            self.monitor.on_drop(self.now, origin, to, &payload, size);
+                        }
+                    }
+                }
+                Effect::Timer { delay, payload } => {
+                    self.push(self.now + delay, origin, None, payload, 0);
+                }
+                Effect::Halt => self.halted = true,
+            }
+        }
+    }
+
+    /// Gives mutable access to a registered actor (e.g. to extract results
+    /// after the run).
+    ///
+    /// Returns `None` for unknown ids.
+    pub fn actor_mut(&mut self, id: NodeId) -> Option<&mut dyn Actor<P>> {
+        match self.actors.get_mut(id.index()) {
+            Some(Some(actor)) => Some(actor.as_mut()),
+            _ => None,
+        }
+    }
+}
+
+impl<P> fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    struct Recorder {
+        log: Arc<Mutex<Vec<(SimTime, u32)>>>,
+    }
+
+    impl Actor<u32> for Recorder {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, _from: Option<NodeId>, payload: u32) {
+            self.log.lock().unwrap().push((ctx.now(), payload));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        sim.inject(SimTime::from_secs(3), n, None, 3, 0);
+        sim.inject(SimTime::from_secs(1), n, None, 1, 0);
+        sim.inject(SimTime::from_secs(2), n, None, 2, 0);
+        sim.run_until(SimTime::MAX);
+        let got: Vec<u32> = log.lock().unwrap().iter().map(|&(_, p)| p).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        for p in 0..10 {
+            sim.inject(SimTime::from_secs(5), n, None, p, 0);
+        }
+        sim.run_until(SimTime::MAX);
+        let got: Vec<u32> = log.lock().unwrap().iter().map(|&(_, p)| p).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        sim.inject(SimTime::from_secs(1), n, None, 1, 0);
+        sim.inject(SimTime::from_secs(10), n, None, 2, 0);
+        let stats = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(stats.events_processed, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        // The later event is still queued and fires on the next call.
+        sim.run_until(SimTime::from_secs(20));
+        assert_eq!(sim.stats().events_processed, 2);
+    }
+
+    struct Pinger {
+        peer: Option<NodeId>,
+        remaining: u32,
+    }
+
+    impl Actor<u32> for Pinger {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, from: Option<NodeId>, _payload: u32) {
+            let target = from.or(self.peer);
+            if self.remaining > 0 {
+                if let Some(t) = target {
+                    ctx.send(t, self.remaining, 100);
+                    self.remaining -= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_accumulates_medium_delay() {
+        let mut sim = Simulation::new(7, FixedDelay(SimTime::from_millis(50)));
+        let a = sim.add_actor(Box::new(Pinger {
+            peer: None,
+            remaining: 2,
+        }));
+        let b = sim.add_actor(Box::new(Pinger {
+            peer: Some(a),
+            remaining: 2,
+        }));
+        sim.inject(SimTime::ZERO, b, None, 0, 0);
+        sim.run_until(SimTime::MAX);
+        // b sends at 0 (arrives 50ms), a replies (100ms), b (150ms), a (200ms).
+        assert_eq!(sim.now(), SimTime::from_millis(200));
+        assert_eq!(sim.stats().messages_sent, 4);
+    }
+
+    struct Halter;
+    impl Actor<u32> for Halter {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, _from: Option<NodeId>, _p: u32) {
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn halt_stops_processing() {
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Halter));
+        sim.inject(SimTime::from_secs(1), n, None, 0, 0);
+        sim.inject(SimTime::from_secs(2), n, None, 0, 0);
+        sim.run_until(SimTime::MAX);
+        assert!(sim.is_halted());
+        assert_eq!(sim.stats().events_processed, 1);
+    }
+
+    struct LossyMedium;
+    impl Medium<u32> for LossyMedium {
+        fn transit(
+            &mut self,
+            _from: NodeId,
+            _to: NodeId,
+            _size: u32,
+            _now: SimTime,
+            _rng: &mut SmallRng,
+        ) -> Delivery {
+            Delivery::Drop
+        }
+    }
+
+    struct Sender {
+        to: NodeId,
+    }
+    impl Actor<u32> for Sender {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, _from: Option<NodeId>, _p: u32) {
+            ctx.send(self.to, 1, 10);
+        }
+    }
+
+    #[test]
+    fn dropped_messages_are_counted_not_delivered() {
+        let mut sim = Simulation::new(1, LossyMedium);
+        let sink = sim.add_actor(Box::new(Halter));
+        let src = sim.add_actor(Box::new(Sender { to: sink }));
+        sim.inject(SimTime::ZERO, src, None, 0, 0);
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert!(!sim.is_halted(), "sink never received anything");
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn injecting_into_the_past_panics() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log }));
+        sim.inject(SimTime::from_secs(1), n, None, 1, 0);
+        sim.run_until(SimTime::MAX);
+        sim.inject(SimTime::ZERO, n, None, 2, 0);
+    }
+}

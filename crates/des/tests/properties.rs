@@ -1,0 +1,106 @@
+//! Property-based tests for the DES kernel invariants.
+
+use plsim_des::{Actor, Context, FixedDelay, NodeId, SimTime, Simulation};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Actor that records every (time, payload) pair it observes.
+struct Recorder {
+    log: Arc<Mutex<Vec<(SimTime, u64)>>>,
+}
+
+impl Actor<u64> for Recorder {
+    fn on_event(&mut self, ctx: &mut Context<'_, u64>, _from: Option<NodeId>, payload: u64) {
+        self.log.lock().unwrap().push((ctx.now(), payload));
+    }
+}
+
+/// Actor that forwards each payload to a random other node until the payload
+/// reaches zero, exercising medium scheduling under load.
+struct Forwarder {
+    nodes: Vec<NodeId>,
+}
+
+impl Actor<u64> for Forwarder {
+    fn on_event(&mut self, ctx: &mut Context<'_, u64>, _from: Option<NodeId>, payload: u64) {
+        if payload > 0 {
+            let idx = (payload as usize) % self.nodes.len();
+            let to = self.nodes[idx];
+            ctx.send(to, payload - 1, 64);
+        }
+    }
+}
+
+proptest! {
+    /// Events are always observed in non-decreasing time order, whatever the
+    /// injection order was.
+    #[test]
+    fn delivery_order_is_monotone(times in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(0, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        for (i, &t) in times.iter().enumerate() {
+            sim.inject(SimTime::from_micros(t), n, None, i as u64, 0);
+        }
+        sim.run_until(SimTime::MAX);
+        let log = log.lock().unwrap();
+        prop_assert_eq!(log.len(), times.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    /// Equal-time events fire in injection order (deterministic tie-break).
+    #[test]
+    fn equal_time_events_keep_fifo_order(n_events in 1usize..100) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(0, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        for i in 0..n_events {
+            sim.inject(SimTime::from_secs(1), n, None, i as u64, 0);
+        }
+        sim.run_until(SimTime::MAX);
+        let got: Vec<u64> = log.lock().unwrap().iter().map(|&(_, p)| p).collect();
+        prop_assert_eq!(got, (0..n_events as u64).collect::<Vec<_>>());
+    }
+
+    /// Two simulations with the same seed and inputs produce identical stats
+    /// and identical final clocks.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), hops in 1u64..500, n_nodes in 2usize..20) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed, FixedDelay(SimTime::from_micros(137)));
+            let ids: Vec<NodeId> = (0..n_nodes)
+                .map(|_| {
+                    // Forwarder targets are patched after all ids are known.
+                    sim.add_actor(Box::new(Forwarder { nodes: vec![NodeId(0)] }))
+                })
+                .collect();
+            // Rebuild actors with full routing tables.
+            let mut sim = Simulation::new(seed, FixedDelay(SimTime::from_micros(137)));
+            for _ in 0..n_nodes {
+                sim.add_actor(Box::new(Forwarder { nodes: ids.clone() }));
+            }
+            sim.inject(SimTime::ZERO, ids[0], None, hops, 64);
+            sim.run_until(SimTime::MAX);
+            (sim.stats(), sim.now())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Message count equals hop count in the forwarding chain and the clock
+    /// advances by exactly hops * delay.
+    #[test]
+    fn forwarding_chain_conserves_messages(hops in 1u64..300) {
+        let mut sim = Simulation::new(9, FixedDelay(SimTime::from_micros(1000)));
+        let ids: Vec<NodeId> = (0..4).map(|_| sim.add_actor(Box::new(Forwarder { nodes: Vec::new() }))).collect();
+        let mut sim = Simulation::new(9, FixedDelay(SimTime::from_micros(1000)));
+        for _ in 0..4 {
+            sim.add_actor(Box::new(Forwarder { nodes: ids.clone() }));
+        }
+        sim.inject(SimTime::ZERO, ids[0], None, hops, 64);
+        sim.run_until(SimTime::MAX);
+        prop_assert_eq!(sim.stats().messages_sent, hops);
+        prop_assert_eq!(sim.now(), SimTime::from_micros(1000 * hops));
+    }
+}

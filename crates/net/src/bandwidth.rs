@@ -1,0 +1,125 @@
+//! Host access-link bandwidth classes.
+
+use plsim_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Up/down access-link capacity of a host, in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bandwidth {
+    /// Upstream capacity in bits per second.
+    pub up_bps: u64,
+    /// Downstream capacity in bits per second.
+    pub down_bps: u64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth with explicit up/down rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero.
+    #[must_use]
+    pub fn new(up_bps: u64, down_bps: u64) -> Self {
+        assert!(up_bps > 0 && down_bps > 0, "bandwidth must be positive");
+        Bandwidth { up_bps, down_bps }
+    }
+
+    /// Time to push `bytes` through the upstream link.
+    #[must_use]
+    pub fn upload_time(&self, bytes: u32) -> SimTime {
+        transfer_time(bytes, self.up_bps)
+    }
+
+    /// Time to pull `bytes` through the downstream link.
+    #[must_use]
+    pub fn download_time(&self, bytes: u32) -> SimTime {
+        transfer_time(bytes, self.down_bps)
+    }
+}
+
+/// Serialization delay of `bytes` over a `bps` link.
+#[must_use]
+pub fn transfer_time(bytes: u32, bps: u64) -> SimTime {
+    // micros = bytes * 8 / bps * 1e6, computed without overflow for any u32.
+    SimTime::from_micros((u64::from(bytes) * 8 * 1_000_000) / bps)
+}
+
+/// Typical 2008-era access-link classes used when synthesizing populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandwidthClass {
+    /// Residential ADSL, the dominant class in China at the time.
+    Adsl,
+    /// Faster residential cable / FTTB.
+    Cable,
+    /// University campus access (CERNET, US campuses).
+    Campus,
+    /// Well-provisioned office connection.
+    Office,
+    /// Server-grade connectivity (trackers, bootstrap, stream source).
+    Backbone,
+}
+
+impl BandwidthClass {
+    /// The nominal capacity of the class.
+    #[must_use]
+    pub const fn bandwidth(self) -> Bandwidth {
+        match self {
+            BandwidthClass::Adsl => Bandwidth {
+                up_bps: 512_000,
+                down_bps: 2_000_000,
+            },
+            BandwidthClass::Cable => Bandwidth {
+                up_bps: 1_000_000,
+                down_bps: 4_000_000,
+            },
+            BandwidthClass::Campus => Bandwidth {
+                up_bps: 10_000_000,
+                down_bps: 10_000_000,
+            },
+            BandwidthClass::Office => Bandwidth {
+                up_bps: 2_000_000,
+                down_bps: 8_000_000,
+            },
+            BandwidthClass::Backbone => Bandwidth {
+                up_bps: 100_000_000,
+                down_bps: 100_000_000,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_exact_for_round_numbers() {
+        // 1250 bytes = 10_000 bits over 1 Mbps = 10 ms.
+        assert_eq!(transfer_time(1250, 1_000_000), SimTime::from_millis(10));
+        // Zero bytes take zero time.
+        assert_eq!(transfer_time(0, 512_000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn classes_are_ordered_sensibly() {
+        let adsl = BandwidthClass::Adsl.bandwidth();
+        let campus = BandwidthClass::Campus.bandwidth();
+        let backbone = BandwidthClass::Backbone.bandwidth();
+        assert!(adsl.up_bps < campus.up_bps);
+        assert!(campus.up_bps < backbone.up_bps);
+        // ADSL is asymmetric.
+        assert!(adsl.up_bps < adsl.down_bps);
+    }
+
+    #[test]
+    fn upload_slower_than_download_on_adsl() {
+        let bw = BandwidthClass::Adsl.bandwidth();
+        assert!(bw.upload_time(1380) > bw.download_time(1380));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::new(0, 1);
+    }
+}

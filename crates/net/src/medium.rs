@@ -1,0 +1,306 @@
+//! The network medium: propagation + jitter + serialization + loss.
+
+use crate::{congestion_extra_ms, transfer_time, Isp, Topology};
+use plsim_des::{Delivery, Medium, NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tunable link-quality parameters of the underlay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Mean of the exponential jitter, as a fraction of the base one-way
+    /// propagation delay. Captures path-load variation.
+    pub jitter_frac: f64,
+    /// Scale on the ISP-pair congestion delay
+    /// ([`crate::congestion_extra_ms`]); 1.0 = calibrated default, 0.0
+    /// disables interconnect congestion entirely.
+    pub congestion_scale: f64,
+    /// Capacity (Mbit/s) of the TELE↔CNC domestic interconnect, modelled
+    /// as a shared FIFO queue; other Chinese cross pairs get a fraction of
+    /// it and transoceanic paths are uncapped (the paper's Mason probe saw
+    /// *faster* replies from China than Chinese residential probes did —
+    /// international backbones were not the bottleneck, domestic peering
+    /// was). Cross-ISP packets wait behind all other cross traffic on the
+    /// same pair, so delay grows with load — the mechanism behind the
+    /// paper's popularity-dependent locality. `0.0` disables queueing.
+    pub interconnect_mbps: f64,
+    /// Ceiling on the interconnect queue wait (seconds). Past it the link
+    /// sheds load (the excess never occupies the queue), so congestion
+    /// penalizes latency without triggering retry storms.
+    pub interconnect_max_wait_s: f64,
+    /// Packet-loss probability on intra-ISP paths.
+    pub loss_intra: f64,
+    /// Packet-loss probability on cross-ISP paths within China.
+    pub loss_cross_cn: f64,
+    /// Packet-loss probability on transoceanic paths.
+    pub loss_transoceanic: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            jitter_frac: 0.3,
+            congestion_scale: 1.0,
+            interconnect_mbps: 120.0,
+            interconnect_max_wait_s: 1.2,
+            loss_intra: 0.002,
+            loss_cross_cn: 0.01,
+            loss_transoceanic: 0.02,
+        }
+    }
+}
+
+impl LinkModel {
+    /// A lossless, jitter-free model for deterministic unit tests.
+    #[must_use]
+    pub fn ideal() -> Self {
+        LinkModel {
+            jitter_frac: 0.0,
+            congestion_scale: 0.0,
+            interconnect_mbps: 0.0,
+            interconnect_max_wait_s: 1.2,
+            loss_intra: 0.0,
+            loss_cross_cn: 0.0,
+            loss_transoceanic: 0.0,
+        }
+    }
+
+    /// Loss probability between two ISPs under this model.
+    #[must_use]
+    pub fn loss_probability(&self, a: Isp, b: Isp) -> f64 {
+        if a == b {
+            self.loss_intra
+        } else if a.is_chinese() && b.is_chinese() {
+            self.loss_cross_cn
+        } else {
+            self.loss_transoceanic
+        }
+    }
+}
+
+/// The [`Medium`] implementation used by all scenarios: consults the
+/// [`Topology`] for host placement and applies the [`LinkModel`].
+///
+/// The one-way delay of a packet of `size` bytes from `a` to `b` is
+///
+/// ```text
+/// edge(a) + core(isp_a, isp_b) + edge(b)      (propagation)
+///   + Exp(jitter_frac * propagation)          (path-load jitter)
+///   + size * 8 / min(up_a, down_b)            (serialization)
+/// ```
+///
+/// and the packet is dropped with the ISP-pair loss probability. The medium
+/// never inspects payloads, so it implements `Medium<P>` for every `P`.
+#[derive(Debug, Clone)]
+pub struct Underlay {
+    topology: Arc<Topology>,
+    link: LinkModel,
+    /// Per unordered ISP pair: queued bits and the last accounting time.
+    /// The backlog drains at the pair's capacity; the current queue wait is
+    /// `backlog / capacity`.
+    xlink_backlog: [[(f64, SimTime); 5]; 5],
+}
+
+impl Underlay {
+    /// Creates the medium over a finished topology.
+    #[must_use]
+    pub fn new(topology: Arc<Topology>, link: LinkModel) -> Self {
+        Underlay {
+            topology,
+            link,
+            xlink_backlog: [[(0.0, SimTime::ZERO); 5]; 5],
+        }
+    }
+
+    fn isp_index(isp: Isp) -> usize {
+        Isp::ALL.iter().position(|&x| x == isp).expect("known isp")
+    }
+
+    /// Capacity of the (a, b) interconnect relative to the configured
+    /// TELE↔CNC capacity; `None` = uncapped.
+    fn pair_capacity_mbps(&self, a: Isp, b: Isp) -> Option<f64> {
+        use Isp::*;
+        if a == b || self.link.interconnect_mbps <= 0.0 {
+            return None;
+        }
+        match (a.min(b), a.max(b)) {
+            (Tele, Cnc) => Some(self.link.interconnect_mbps),
+            // Smaller domestic peerings.
+            (Tele, Cer) | (Cnc, Cer) | (Cer, OtherCn) => Some(self.link.interconnect_mbps * 0.6),
+            (Tele, OtherCn) | (Cnc, OtherCn) => Some(self.link.interconnect_mbps * 0.5),
+            // International backbone: effectively uncapped for P2P flows.
+            (_, Foreign) => None,
+            _ => None,
+        }
+    }
+
+    /// Queues `size_bytes` on the (a, b) interconnect at time `now` and
+    /// returns the queue wait, capped at `interconnect_max_wait_s` (beyond
+    /// the cap the link sheds load: the packet is delayed by the cap but
+    /// does not occupy the queue, so congestion penalizes latency without
+    /// triggering retry storms).
+    fn interconnect_wait(&mut self, a: Isp, b: Isp, size_bytes: u32, now: SimTime) -> SimTime {
+        let Some(capacity_mbps) = self.pair_capacity_mbps(a, b) else {
+            return SimTime::ZERO;
+        };
+        let capacity_bps = capacity_mbps * 1e6;
+        let (i, j) = (Self::isp_index(a.min(b)), Self::isp_index(a.max(b)));
+        let (backlog_bits, last) = &mut self.xlink_backlog[i][j];
+        // Drain at line rate since the last accounting instant. Departure
+        // times are not strictly monotone (sender-side holds), so guard
+        // with a saturating difference.
+        let elapsed = now.saturating_sub(*last).as_secs_f64();
+        *backlog_bits = (*backlog_bits - elapsed * capacity_bps).max(0.0);
+        if now > *last {
+            *last = now;
+        }
+        let wait_s = *backlog_bits / capacity_bps;
+        if wait_s > self.link.interconnect_max_wait_s {
+            return SimTime::from_secs_f64(self.link.interconnect_max_wait_s);
+        }
+        *backlog_bits += f64::from(size_bytes) * 8.0;
+        SimTime::from_secs_f64(wait_s)
+    }
+
+    /// The topology this medium routes over.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The link model in force.
+    #[must_use]
+    pub fn link_model(&self) -> LinkModel {
+        self.link
+    }
+}
+
+impl<P> Medium<P> for Underlay {
+    fn transit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size_bytes: u32,
+        _now: SimTime,
+        rng: &mut SmallRng,
+    ) -> Delivery {
+        let ha = *self.topology.host(from);
+        let hb = *self.topology.host(to);
+
+        let p_loss = self.link.loss_probability(ha.isp, hb.isp);
+        if p_loss > 0.0 && rng.random::<f64>() < p_loss {
+            return Delivery::Drop;
+        }
+
+        let propagation = self.topology.base_one_way(from, to);
+        let congestion_mean =
+            congestion_extra_ms(ha.isp, hb.isp) / 1e3 * self.link.congestion_scale;
+        let jitter_mean =
+            propagation.as_secs_f64() * self.link.jitter_frac + congestion_mean;
+        let jitter = if jitter_mean > 0.0 {
+            let u: f64 = rng.random::<f64>();
+            SimTime::from_secs_f64(-jitter_mean * (1.0 - u).ln())
+        } else {
+            SimTime::ZERO
+        };
+        let xwait = self.interconnect_wait(ha.isp, hb.isp, size_bytes, _now);
+        let bottleneck = ha.bandwidth.up_bps.min(hb.bandwidth.down_bps);
+        let serialization = transfer_time(size_bytes, bottleneck);
+
+        Delivery::After(propagation + jitter + xwait + serialization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BandwidthClass, TopologyBuilder};
+    use rand::SeedableRng;
+
+    fn two_host_underlay(link: LinkModel) -> (Underlay, NodeId, NodeId) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = TopologyBuilder::new();
+        let x = b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        let y = b.add_host(Isp::Foreign, BandwidthClass::Campus, &mut rng);
+        (Underlay::new(Arc::new(b.build()), link), x, y)
+    }
+
+    #[test]
+    fn ideal_link_gives_deterministic_delay() {
+        let (mut u, x, y) = two_host_underlay(LinkModel::ideal());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d1 = Medium::<()>::transit(&mut u, x, y, 0, SimTime::ZERO, &mut rng);
+        let d2 = Medium::<()>::transit(&mut u, x, y, 0, SimTime::ZERO, &mut rng);
+        assert_eq!(d1, d2);
+        let base = u.topology().base_one_way(x, y);
+        assert_eq!(d1, Delivery::After(base));
+    }
+
+    #[test]
+    fn serialization_adds_size_dependent_delay() {
+        let (mut u, x, y) = two_host_underlay(LinkModel::ideal());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let Delivery::After(small) = Medium::<()>::transit(&mut u, x, y, 100, SimTime::ZERO, &mut rng) else {
+            panic!("dropped")
+        };
+        let Delivery::After(large) = Medium::<()>::transit(&mut u, x, y, 100_000, SimTime::ZERO, &mut rng) else {
+            panic!("dropped")
+        };
+        assert!(large > small);
+    }
+
+    #[test]
+    fn loss_probability_orders_by_distance() {
+        let m = LinkModel::default();
+        assert!(m.loss_probability(Isp::Tele, Isp::Tele) < m.loss_probability(Isp::Tele, Isp::Cnc));
+        assert!(
+            m.loss_probability(Isp::Tele, Isp::Cnc) < m.loss_probability(Isp::Tele, Isp::Foreign)
+        );
+    }
+
+    #[test]
+    fn lossy_link_eventually_drops() {
+        let link = LinkModel {
+            loss_transoceanic: 0.5,
+            ..LinkModel::default()
+        };
+        let (mut u, x, y) = two_host_underlay(link);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let drops = (0..1000)
+            .filter(|_| {
+                matches!(
+                    Medium::<()>::transit(&mut u, x, y, 10, SimTime::ZERO, &mut rng),
+                    Delivery::Drop
+                )
+            })
+            .count();
+        // ~500 expected; be generous.
+        assert!((300..700).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_variable() {
+        let link = LinkModel {
+            jitter_frac: 0.5,
+            loss_intra: 0.0,
+            loss_cross_cn: 0.0,
+            loss_transoceanic: 0.0,
+            ..LinkModel::ideal()
+        };
+        let (mut u, x, y) = two_host_underlay(link);
+        let base = u.topology().base_one_way(x, y);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut delays = Vec::new();
+        for _ in 0..100 {
+            if let Delivery::After(d) = Medium::<()>::transit(&mut u, x, y, 0, SimTime::ZERO, &mut rng)
+            {
+                assert!(d >= base);
+                delays.push(d);
+            }
+        }
+        delays.dedup();
+        assert!(delays.len() > 50, "jitter should vary");
+    }
+}

@@ -1,0 +1,280 @@
+//! Host inventory and base latency structure of the simulated Internet.
+
+use crate::{Bandwidth, BandwidthClass, IpAllocator, Isp};
+use plsim_des::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Everything the underlay knows about one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// The host's public address (determines its ISP under the oracle).
+    pub ip: Ipv4Addr,
+    /// The ISP the host is attached to.
+    pub isp: Isp,
+    /// Access-link capacity.
+    pub bandwidth: Bandwidth,
+    /// One-way delay from the host to its ISP core (its "distance from the
+    /// backbone"); sampled once per host.
+    pub edge_delay: SimTime,
+}
+
+/// One-way core-to-core propagation delay between two ISPs, in milliseconds.
+///
+/// Calibrated to 2008-era measurements: the TELE↔CNC interconnect was
+/// notoriously congested (the paper's Figure 7 shows CNC replies to a TELE
+/// host taking ~0.4 s longer on average), CERNET peered domestically with
+/// both carriers, and anything crossing the Pacific paid transoceanic delay.
+#[must_use]
+pub fn core_one_way_ms(a: Isp, b: Isp) -> f64 {
+    use Isp::*;
+    if a == b {
+        return match a {
+            Tele | Cnc => 6.0,
+            Cer => 5.0,
+            OtherCn => 9.0,
+            // "Foreign" spans many countries; same-bucket pairs are still
+            // usually continent-local for a US probe.
+            Foreign => 28.0,
+        };
+    }
+    match (a.min(b), a.max(b)) {
+        // The congested Telecom/Netcom interconnect.
+        (Tele, Cnc) => 35.0,
+        (Tele, Cer) | (Cnc, Cer) => 18.0,
+        (Tele, OtherCn) | (Cnc, OtherCn) => 22.0,
+        (Cer, OtherCn) => 20.0,
+        // Transoceanic.
+        (_, Foreign) => 110.0,
+        _ => unreachable!("min/max ordering covers all pairs"),
+    }
+}
+
+/// Mean extra random queueing delay (milliseconds, one-way) on the path
+/// between two ISPs — the *baseline* (load-independent) component of
+/// 2008-era interconnect congestion. The load-*dependent* component is the
+/// finite-capacity interconnect queue in [`crate::LinkModel`]
+/// (`interconnect_mbps`): the more cross-ISP traffic a scenario generates,
+/// the longer cross-ISP packets wait, which is exactly the feedback that
+/// makes popular channels localize harder than unpopular ones in the paper.
+#[must_use]
+pub fn congestion_extra_ms(a: Isp, b: Isp) -> f64 {
+    use Isp::*;
+    if a == b {
+        return if matches!(a, Foreign) { 15.0 } else { 0.0 };
+    }
+    match (a.min(b), a.max(b)) {
+        (Tele, Cnc) => 60.0,
+        (Tele, Cer) | (Cnc, Cer) => 35.0,
+        (Tele, OtherCn) | (Cnc, OtherCn) => 40.0,
+        (Cer, OtherCn) => 35.0,
+        (_, Foreign) => 90.0,
+        _ => unreachable!("min/max ordering covers all pairs"),
+    }
+}
+
+/// Immutable host inventory; shared (via `Arc`) between the medium, the
+/// harness and the analysis ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    hosts: Vec<HostInfo>,
+}
+
+impl Topology {
+    /// Looks up a host by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never registered — every actor participating
+    /// in network traffic must have a host entry.
+    #[must_use]
+    pub fn host(&self, id: NodeId) -> &HostInfo {
+        &self.hosts[id.index()]
+    }
+
+    /// Looks up a host by node id, returning `None` when unregistered.
+    #[must_use]
+    pub fn try_host(&self, id: NodeId) -> Option<&HostInfo> {
+        self.hosts.get(id.index())
+    }
+
+    /// Number of registered hosts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the topology is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Iterates over `(NodeId, &HostInfo)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &HostInfo)> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (NodeId(i as u32), h))
+    }
+
+    /// Deterministic one-way propagation delay between two hosts (no jitter,
+    /// no serialization): `edge(a) + core(isp_a, isp_b) + edge(b)`.
+    #[must_use]
+    pub fn base_one_way(&self, a: NodeId, b: NodeId) -> SimTime {
+        let ha = self.host(a);
+        let hb = self.host(b);
+        let core = SimTime::from_secs_f64(core_one_way_ms(ha.isp, hb.isp) / 1e3);
+        ha.edge_delay + core + hb.edge_delay
+    }
+
+    /// Deterministic base round-trip time between two hosts.
+    #[must_use]
+    pub fn base_rtt(&self, a: NodeId, b: NodeId) -> SimTime {
+        let one_way = self.base_one_way(a, b);
+        one_way + one_way
+    }
+}
+
+/// Incrementally registers hosts, allocating addresses and sampling edge
+/// delays.
+///
+/// Host ids are handed out densely in registration order; the harness adds
+/// actors to the simulation in the same order so that `HostId == NodeId`.
+///
+/// # Examples
+///
+/// ```
+/// use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+/// let c = b.add_host(Isp::Cnc, BandwidthClass::Campus, &mut rng);
+/// let topo = b.build();
+/// assert_eq!(topo.host(a).isp, Isp::Tele);
+/// assert!(topo.base_rtt(a, c) > topo.base_rtt(a, a));
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    hosts: Vec<HostInfo>,
+    allocator: IpAllocator,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Registers a host on `isp` with the given access class; returns the
+    /// node id the corresponding actor must receive.
+    pub fn add_host(&mut self, isp: Isp, class: BandwidthClass, rng: &mut SmallRng) -> NodeId {
+        // Edge (last-mile + metro) one-way delay: 1–12 ms for end hosts,
+        // 0.5 ms for backbone-attached infrastructure. "Foreign" hosts are
+        // scattered worldwide, so their distance to the Foreign "core"
+        // (rooted near the US, where the paper's Mason probes sit) spreads
+        // much wider — a popular channel has some nearby foreign viewers, an
+        // unpopular one usually only far ones.
+        let edge_ms = if matches!(class, BandwidthClass::Backbone) {
+            0.5
+        } else if isp == Isp::Foreign {
+            rng.random_range(4.0..55.0)
+        } else {
+            rng.random_range(1.0..12.0)
+        };
+        let info = HostInfo {
+            ip: self.allocator.allocate(isp),
+            isp,
+            bandwidth: class.bandwidth(),
+            edge_delay: SimTime::from_secs_f64(edge_ms / 1e3),
+        };
+        let id = NodeId(u32::try_from(self.hosts.len()).expect("too many hosts"));
+        self.hosts.push(info);
+        id
+    }
+
+    /// Finalizes the inventory.
+    #[must_use]
+    pub fn build(self) -> Topology {
+        Topology { hosts: self.hosts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn core_matrix_is_symmetric() {
+        for a in Isp::ALL {
+            for b in Isp::ALL {
+                assert_eq!(core_one_way_ms(a, b), core_one_way_ms(b, a), "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_isp_is_faster_than_cross_isp_in_china() {
+        for a in [Isp::Tele, Isp::Cnc, Isp::Cer] {
+            for b in [Isp::Tele, Isp::Cnc, Isp::Cer] {
+                if a != b {
+                    assert!(core_one_way_ms(a, a) < core_one_way_ms(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transoceanic_is_slowest() {
+        for a in [Isp::Tele, Isp::Cnc, Isp::Cer, Isp::OtherCn] {
+            assert!(core_one_way_ms(a, Isp::Foreign) > core_one_way_ms(a, Isp::Cnc).max(core_one_way_ms(a, Isp::Tele)));
+        }
+    }
+
+    #[test]
+    fn base_rtt_is_symmetric_and_twice_one_way() {
+        let mut r = rng();
+        let mut b = TopologyBuilder::new();
+        let x = b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut r);
+        let y = b.add_host(Isp::Foreign, BandwidthClass::Campus, &mut r);
+        let t = b.build();
+        assert_eq!(t.base_rtt(x, y), t.base_rtt(y, x));
+        assert_eq!(t.base_rtt(x, y), t.base_one_way(x, y) + t.base_one_way(x, y));
+    }
+
+    #[test]
+    fn hosts_get_addresses_in_their_isp() {
+        let dir = crate::AsnDirectory::new();
+        let mut r = rng();
+        let mut b = TopologyBuilder::new();
+        for isp in Isp::ALL {
+            for _ in 0..50 {
+                let id = b.add_host(isp, BandwidthClass::Adsl, &mut r);
+                assert_eq!(id.index(), b.hosts.len() - 1);
+            }
+        }
+        let t = b.build();
+        for (_, h) in t.iter() {
+            assert_eq!(dir.isp_of(h.ip), Some(h.isp));
+        }
+    }
+
+    #[test]
+    fn backbone_hosts_sit_near_the_core() {
+        let mut r = rng();
+        let mut b = TopologyBuilder::new();
+        let s = b.add_host(Isp::Tele, BandwidthClass::Backbone, &mut r);
+        let t = b.build();
+        assert_eq!(t.host(s).edge_delay, SimTime::from_micros(500));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the underlay model.
+
+use plsim_des::{Delivery, Medium, NodeId, SimTime};
+use plsim_net::{
+    congestion_extra_ms, core_one_way_ms, AsnDirectory, BandwidthClass, Isp, LinkModel,
+    TopologyBuilder, Underlay,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn isp_strategy() -> impl Strategy<Value = Isp> {
+    prop_oneof![
+        Just(Isp::Tele),
+        Just(Isp::Cnc),
+        Just(Isp::Cer),
+        Just(Isp::OtherCn),
+        Just(Isp::Foreign),
+    ]
+}
+
+fn class_strategy() -> impl Strategy<Value = BandwidthClass> {
+    prop_oneof![
+        Just(BandwidthClass::Adsl),
+        Just(BandwidthClass::Cable),
+        Just(BandwidthClass::Campus),
+        Just(BandwidthClass::Office),
+        Just(BandwidthClass::Backbone),
+    ]
+}
+
+proptest! {
+    /// The latency matrices are symmetric and non-negative for all pairs.
+    #[test]
+    fn latency_matrices_are_symmetric(a in isp_strategy(), b in isp_strategy()) {
+        prop_assert_eq!(core_one_way_ms(a, b), core_one_way_ms(b, a));
+        prop_assert_eq!(congestion_extra_ms(a, b), congestion_extra_ms(b, a));
+        prop_assert!(core_one_way_ms(a, b) > 0.0);
+        prop_assert!(congestion_extra_ms(a, b) >= 0.0);
+    }
+
+    /// Every allocated host address maps back to its ISP through the
+    /// oracle, and base RTTs are symmetric and at least the core latency.
+    #[test]
+    fn topology_invariants(
+        specs in proptest::collection::vec((isp_strategy(), class_strategy()), 2..30),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut builder = TopologyBuilder::new();
+        let ids: Vec<NodeId> = specs
+            .iter()
+            .map(|&(isp, class)| builder.add_host(isp, class, &mut rng))
+            .collect();
+        let topo = builder.build();
+        let dir = AsnDirectory::new();
+        for (&id, &(isp, _)) in ids.iter().zip(&specs) {
+            prop_assert_eq!(dir.isp_of(topo.host(id).ip), Some(isp));
+        }
+        let (a, b) = (ids[0], ids[1]);
+        prop_assert_eq!(topo.base_rtt(a, b), topo.base_rtt(b, a));
+        let core = SimTime::from_secs_f64(
+            core_one_way_ms(topo.host(a).isp, topo.host(b).isp) / 1e3,
+        );
+        prop_assert!(topo.base_one_way(a, b) >= core);
+    }
+
+    /// Under an ideal link model, delivered delay is deterministic and at
+    /// least the propagation floor; larger messages never arrive faster.
+    #[test]
+    fn ideal_medium_is_monotone_in_size(
+        a in isp_strategy(),
+        b in isp_strategy(),
+        small in 0u32..1000,
+        extra in 1u32..100_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut builder = TopologyBuilder::new();
+        let x = builder.add_host(a, BandwidthClass::Adsl, &mut rng);
+        let y = builder.add_host(b, BandwidthClass::Adsl, &mut rng);
+        let topo = Arc::new(builder.build());
+        let mut medium = Underlay::new(Arc::clone(&topo), LinkModel::ideal());
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        let Delivery::After(d_small) =
+            Medium::<()>::transit(&mut medium, x, y, small, SimTime::ZERO, &mut rng2)
+        else {
+            return Err(TestCaseError::fail("ideal link dropped a packet"));
+        };
+        let Delivery::After(d_large) =
+            Medium::<()>::transit(&mut medium, x, y, small + extra, SimTime::ZERO, &mut rng2)
+        else {
+            return Err(TestCaseError::fail("ideal link dropped a packet"));
+        };
+        prop_assert!(d_large >= d_small);
+        prop_assert!(d_small >= topo.base_one_way(x, y));
+    }
+
+    /// The interconnect queue never delays beyond its configured cap plus
+    /// jitterless components, and intra-ISP traffic never pays it.
+    #[test]
+    fn interconnect_wait_is_capped(
+        n_msgs in 1usize..400,
+        size in 100u32..20_000,
+    ) {
+        let link = LinkModel {
+            jitter_frac: 0.0,
+            congestion_scale: 0.0,
+            interconnect_mbps: 1.0, // deliberately tiny
+            interconnect_max_wait_s: 0.5,
+            loss_intra: 0.0,
+            loss_cross_cn: 0.0,
+            loss_transoceanic: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut builder = TopologyBuilder::new();
+        let x = builder.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+        let y = builder.add_host(Isp::Cnc, BandwidthClass::Backbone, &mut rng);
+        let z = builder.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+        let topo = Arc::new(builder.build());
+        let base_cross = topo.base_one_way(x, y);
+        let base_intra = topo.base_one_way(x, z);
+        let mut medium = Underlay::new(topo, link);
+        let mut rng2 = SmallRng::seed_from_u64(6);
+        let cap = SimTime::from_secs_f64(0.5);
+        for _ in 0..n_msgs {
+            let Delivery::After(d) =
+                Medium::<()>::transit(&mut medium, x, y, size, SimTime::ZERO, &mut rng2)
+            else {
+                return Err(TestCaseError::fail("no drops expected"));
+            };
+            // delay = propagation + queue wait (≤ cap) + serialization.
+            prop_assert!(d.saturating_sub(base_cross).saturating_sub(cap).as_millis() < 100);
+        }
+        // Intra-ISP packets never touch the queue.
+        let Delivery::After(d) =
+            Medium::<()>::transit(&mut medium, x, z, size, SimTime::ZERO, &mut rng2)
+        else {
+            return Err(TestCaseError::fail("no drops expected"));
+        };
+        prop_assert!(d < base_intra + SimTime::from_millis(50));
+    }
+}

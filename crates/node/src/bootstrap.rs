@@ -1,0 +1,145 @@
+//! The bootstrap / channel server (steps 1–4 of the paper's Figure 1).
+
+use plsim_des::{Actor, Context, NodeId};
+use plsim_proto::{ChannelId, Message, PeerEntry};
+use std::collections::BTreeMap;
+
+/// Returns the active channel list on first contact and, per channel, the
+/// playlink's tracker set (one tracker per deployed group).
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapServer {
+    trackers: BTreeMap<ChannelId, Vec<PeerEntry>>,
+}
+
+impl BootstrapServer {
+    /// Creates an empty server; register channels with
+    /// [`BootstrapServer::add_channel`].
+    #[must_use]
+    pub fn new() -> Self {
+        BootstrapServer::default()
+    }
+
+    /// Registers a channel with its tracker set.
+    pub fn add_channel(&mut self, channel: ChannelId, trackers: Vec<PeerEntry>) {
+        self.trackers.insert(channel, trackers);
+    }
+
+    /// Channels currently on air.
+    #[must_use]
+    pub fn channels(&self) -> Vec<ChannelId> {
+        self.trackers.keys().copied().collect()
+    }
+}
+
+impl Actor<Message> for BootstrapServer {
+    fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+        let Some(client) = from else { return };
+        match msg {
+            Message::BootstrapRequest => {
+                let reply = Message::BootstrapResponse {
+                    channels: self.channels(),
+                };
+                let size = reply.wire_size();
+                ctx.send(client, reply, size);
+            }
+            Message::JoinRequest { channel } => {
+                let trackers = self.trackers.get(&channel).cloned().unwrap_or_default();
+                let reply = Message::JoinResponse { channel, trackers };
+                let size = reply.wire_size();
+                ctx.send(client, reply, size);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_des::{FixedDelay, SimTime, Simulation};
+    use std::net::Ipv4Addr;
+    use std::sync::{Arc, Mutex};
+
+    /// Test client that records what the bootstrap returns.
+    struct Probe {
+        server: NodeId,
+        log: Arc<Mutex<Vec<Message>>>,
+    }
+
+    impl Actor<Message> for Probe {
+        fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+            match (&msg, from) {
+                (Message::Timer(_), _) => {
+                    ctx.send(self.server, Message::BootstrapRequest, 46);
+                }
+                (Message::BootstrapResponse { channels }, _) => {
+                    let ch = channels[0];
+                    self.log.lock().unwrap().push(msg.clone());
+                    ctx.send(self.server, Message::JoinRequest { channel: ch }, 46);
+                }
+                (Message::JoinResponse { .. }, _) => {
+                    self.log.lock().unwrap().push(msg.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_flow_returns_channels_then_trackers() {
+        let mut server = BootstrapServer::new();
+        let tracker_entry = PeerEntry::new(NodeId(9), Ipv4Addr::new(58, 0, 0, 9));
+        server.add_channel(ChannelId(1), vec![tracker_entry]);
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::from_millis(5)));
+        let s = sim.add_actor(Box::new(server));
+        let c = sim.add_actor(Box::new(Probe {
+            server: s,
+            log: log.clone(),
+        }));
+        sim.inject(
+            SimTime::ZERO,
+            c,
+            None,
+            Message::Timer(plsim_proto::TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(1));
+
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 2);
+        match &log[1] {
+            Message::JoinResponse { channel, trackers } => {
+                assert_eq!(*channel, ChannelId(1));
+                assert_eq!(trackers, &vec![tracker_entry]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_channel_yields_empty_tracker_set() {
+        let mut server = BootstrapServer::new();
+        server.add_channel(ChannelId(1), vec![]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let s = sim.add_actor(Box::new(server));
+        let c = sim.add_actor(Box::new(Probe {
+            server: s,
+            log: log.clone(),
+        }));
+        sim.inject(
+            SimTime::ZERO,
+            c,
+            None,
+            Message::JoinResponse {
+                channel: ChannelId(5),
+                trackers: vec![],
+            },
+            0,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(log.lock().unwrap().len(), 1);
+    }
+}

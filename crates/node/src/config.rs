@@ -1,0 +1,221 @@
+//! Peer behaviour configuration.
+
+use plsim_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How a peer turns candidate lists into connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectPolicy {
+    /// PPLive behaviour: "it randomly selects a number of peers from the
+    /// list and connects to them immediately" — so whoever's list arrives
+    /// first wins the race for neighbor slots, which (lists being mostly
+    /// same-ISP and arriving fastest from nearby peers) is the engine of
+    /// emergent locality.
+    Immediate,
+    /// Ablation: collect candidates and connect to a random batch on a slow
+    /// fixed cadence, removing the latency race.
+    DelayedRandom,
+}
+
+/// How a peer picks the neighbor to ask for the next piece of data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataSelection {
+    /// Prefer neighbors with fast, reliable past responses (PPLive's
+    /// latency-based strategy).
+    LatencyWeighted,
+    /// Uniform random among eligible neighbors (baseline).
+    Uniform,
+}
+
+/// Media-stream shape: one chunk per second of video, split into
+/// 1380-byte sub-pieces, pulled in batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamParams {
+    /// Sub-pieces per chunk (35 × 1380 B ≈ 384 kbit/s video).
+    pub chunk_subpieces: u16,
+    /// Sub-pieces requested per data request.
+    pub batch_subpieces: u16,
+    /// Chunks the source keeps available behind the live edge.
+    pub live_window: u64,
+    /// How many chunks ahead of the playhead a viewer tries to buffer.
+    pub buffer_target: u64,
+    /// Minimum complete chunks needed before playback starts.
+    pub startup_chunks: u64,
+    /// Extra startup buffering sampled per peer in `0..=startup_jitter`
+    /// chunks. Viewers therefore play at different lags behind the live
+    /// edge and hold different stream windows — the content-availability
+    /// diversity that makes same-ISP supply scarce in small channels.
+    pub startup_jitter: u64,
+    /// Chunks a viewer keeps behind its playhead for serving others.
+    pub serve_window: u64,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        StreamParams {
+            chunk_subpieces: 30,
+            batch_subpieces: 7,
+            live_window: 240,
+            buffer_target: 12,
+            startup_chunks: 4,
+            startup_jitter: 26,
+            serve_window: 45,
+        }
+    }
+}
+
+impl StreamParams {
+    /// Bitmask with one bit per sub-piece of a full chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_subpieces` exceeds 64 (mask representation limit).
+    #[must_use]
+    pub fn full_mask(&self) -> u64 {
+        assert!(self.chunk_subpieces <= 64, "at most 64 sub-pieces per chunk");
+        if self.chunk_subpieces == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.chunk_subpieces) - 1
+        }
+    }
+}
+
+/// Full behaviour knob set of a peer.
+///
+/// Defaults reproduce the PPLive protocol constants reverse-engineered in
+/// §2 of the paper (20-second gossip, 5-minute tracker fallback, ≤60-entry
+/// lists, immediate connection on list receipt).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerConfig {
+    /// Neighbor slots the peer actively fills.
+    pub max_neighbors: usize,
+    /// Extra inbound connections accepted beyond `max_neighbors`.
+    pub accept_slack: usize,
+    /// Gossip round period ("once every 20 seconds").
+    pub gossip_interval: SimTime,
+    /// Neighbors asked per gossip round.
+    pub gossip_fanout: usize,
+    /// Tracker query period while playback is not yet satisfactory.
+    pub tracker_interval_hungry: SimTime,
+    /// Tracker query period once satisfied ("once every five minutes").
+    pub tracker_interval_satisfied: SimTime,
+    /// Chunk-scheduler tick.
+    pub scheduler_interval: SimTime,
+    /// Maintenance (timeout/eviction/stats-flush) tick.
+    pub maintenance_interval: SimTime,
+    /// Data / gossip request timeout.
+    pub request_timeout: SimTime,
+    /// Handshake timeout.
+    pub handshake_timeout: SimTime,
+    /// Maximum data requests in flight in total.
+    pub max_outstanding: usize,
+    /// Maximum data requests in flight per neighbor.
+    pub per_neighbor_outstanding: usize,
+    /// Candidates contacted per received peer list.
+    pub connect_burst: usize,
+    /// Upper bound on the remembered-candidate pool.
+    pub candidate_pool: usize,
+    /// Exponent applied to the response-time term of the scheduling weight
+    /// (`weight = reliability / resp^latency_bias`); larger values chase
+    /// fast neighbors harder. Ignored under [`DataSelection::Uniform`].
+    pub latency_bias: f64,
+    /// Whether the peer gossips with neighbors (true = PPLive referral;
+    /// false = tracker-only BitTorrent-style baseline).
+    pub referral: bool,
+    /// Connection policy (see [`ConnectPolicy`]).
+    pub connect_policy: ConnectPolicy,
+    /// Data-scheduling policy (see [`DataSelection`]).
+    pub data_selection: DataSelection,
+    /// Stream shape.
+    pub stream: StreamParams,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            max_neighbors: 18,
+            accept_slack: 14,
+            gossip_interval: SimTime::from_secs(20),
+            gossip_fanout: 10,
+            tracker_interval_hungry: SimTime::from_secs(40),
+            tracker_interval_satisfied: SimTime::from_secs(300),
+            scheduler_interval: SimTime::from_millis(250),
+            maintenance_interval: SimTime::from_secs(5),
+            request_timeout: SimTime::from_millis(2500),
+            handshake_timeout: SimTime::from_secs(4),
+            max_outstanding: 24,
+            per_neighbor_outstanding: 8,
+            connect_burst: 5,
+            candidate_pool: 300,
+            latency_bias: 1.0,
+            referral: true,
+            connect_policy: ConnectPolicy::Immediate,
+            data_selection: DataSelection::LatencyWeighted,
+            stream: StreamParams::default(),
+        }
+    }
+}
+
+impl PeerConfig {
+    /// The BitTorrent-style baseline of the paper's discussion: no neighbor
+    /// referral (tracker is the only peer source, polled on a fixed cadence)
+    /// and no latency bias anywhere.
+    #[must_use]
+    pub fn tracker_only_baseline() -> Self {
+        PeerConfig {
+            referral: false,
+            connect_policy: ConnectPolicy::DelayedRandom,
+            data_selection: DataSelection::Uniform,
+            tracker_interval_hungry: SimTime::from_secs(30),
+            tracker_interval_satisfied: SimTime::from_secs(60),
+            ..PeerConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let cfg = PeerConfig::default();
+        assert_eq!(cfg.gossip_interval, SimTime::from_secs(20));
+        assert_eq!(cfg.tracker_interval_satisfied, SimTime::from_secs(300));
+        assert!(cfg.referral);
+        assert_eq!(cfg.connect_policy, ConnectPolicy::Immediate);
+    }
+
+    #[test]
+    fn full_mask_has_one_bit_per_subpiece() {
+        let s = StreamParams {
+            chunk_subpieces: 35,
+            ..StreamParams::default()
+        };
+        assert_eq!(s.full_mask().count_ones(), 35);
+        let s64 = StreamParams {
+            chunk_subpieces: 64,
+            ..StreamParams::default()
+        };
+        assert_eq!(s64.full_mask(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "64")]
+    fn oversized_chunk_rejected() {
+        let s = StreamParams {
+            chunk_subpieces: 65,
+            ..StreamParams::default()
+        };
+        let _ = s.full_mask();
+    }
+
+    #[test]
+    fn baseline_disables_referral_and_bias() {
+        let cfg = PeerConfig::tracker_only_baseline();
+        assert!(!cfg.referral);
+        assert_eq!(cfg.data_selection, DataSelection::Uniform);
+        assert_eq!(cfg.connect_policy, ConnectPolicy::DelayedRandom);
+    }
+}

@@ -1,0 +1,1296 @@
+//! The PPLive peer: bootstrap, tracker queries, neighbor gossip, the
+//! latency-weighted chunk scheduler, playback, and (for the source role)
+//! chunk production.
+//!
+//! Nothing in this file ever looks at ISP or topology information to make a
+//! decision: peers only observe *when* replies arrive, exactly like real
+//! PPLive clients. The only use of the shared [`Topology`] is to resolve the
+//! source address of an incoming packet, which a real host reads from the
+//! IP header. Traffic locality must therefore *emerge* from the
+//! decentralized, latency-based, neighbor-referral design — the paper's
+//! central claim.
+
+use crate::config::{ConnectPolicy, DataSelection, PeerConfig};
+use crate::det::{DetHashMap, DetHashSet};
+use crate::stats::{PeerStats, StatsSink};
+use plsim_des::{Actor, Context, NodeId, SimTime};
+use plsim_net::Topology;
+use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerList, TimerKind};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Whether the node is an ordinary viewer or the channel origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A viewing client that pulls the stream.
+    Viewer,
+    /// The stream source: produces chunks, serves, never pulls.
+    Source,
+}
+
+/// Per-neighbor connection state.
+#[derive(Debug, Clone)]
+struct Neighbor {
+    entry: PeerEntry,
+    connected_at: SimTime,
+    /// EWMA of observed response times (gossip + data), in seconds.
+    ewma_resp: Option<f64>,
+    successes: u64,
+    failures: u64,
+    consecutive_failures: u32,
+    outstanding: u32,
+    /// No data requests to this neighbor until this time (after a reject).
+    cooldown_until: SimTime,
+    /// Last known stream edge of this neighbor: the newest chunk it was
+    /// observed to hold (from replies) or just not hold (from rejects),
+    /// with the observation time. Since the stream is live, the estimate
+    /// advances one chunk per second. This plays the role of PPLive's
+    /// buffer-map exchange.
+    edge_hint: Option<(u64, SimTime)>,
+}
+
+impl Neighbor {
+    fn new(entry: PeerEntry, now: SimTime) -> Self {
+        Neighbor {
+            entry,
+            connected_at: now,
+            ewma_resp: None,
+            successes: 0,
+            failures: 0,
+            consecutive_failures: 0,
+            outstanding: 0,
+            cooldown_until: SimTime::ZERO,
+            edge_hint: None,
+        }
+    }
+
+    /// Whether the neighbor plausibly holds `chunk` at time `now`.
+    fn may_hold(&self, chunk: u64, now: SimTime) -> bool {
+        match self.edge_hint {
+            None => true,
+            Some((edge, at)) => edge + now.saturating_sub(at).as_secs() >= chunk,
+        }
+    }
+
+    /// Records that the neighbor held `chunk` at `now`. Keeps whichever
+    /// observation projects the larger live edge (`chunk − t` tracks the
+    /// neighbor's lag, roughly constant for a live stream).
+    fn observe_has(&mut self, chunk: u64, now: SimTime) {
+        let projected_new = chunk as i128 - now.as_secs() as i128;
+        let projected_old = self
+            .edge_hint
+            .map(|(e, a)| e as i128 - a.as_secs() as i128);
+        if projected_old.is_none_or(|po| projected_new >= po) {
+            self.edge_hint = Some((chunk, now));
+        }
+    }
+
+    /// Records that the neighbor lacked `chunk` at `now`.
+    fn observe_lacks(&mut self, chunk: u64, now: SimTime) {
+        self.edge_hint = Some((chunk.saturating_sub(1), now));
+    }
+
+    fn observe_response(&mut self, sample_secs: f64) {
+        self.ewma_resp = Some(match self.ewma_resp {
+            Some(prev) => 0.7 * prev + 0.3 * sample_secs,
+            None => sample_secs,
+        });
+        self.successes += 1;
+        self.consecutive_failures = 0;
+    }
+
+    fn observe_failure(&mut self) {
+        self.failures += 1;
+        self.consecutive_failures += 1;
+    }
+
+    /// Folds a congestion signal (busy-reject, timeout) into the response
+    /// EWMA as if a reply had taken `penalty_secs`: the neighbor's weight
+    /// drops smoothly and the load spreads, instead of the whole mesh
+    /// herding onto the currently-fastest uploader.
+    fn observe_penalty(&mut self, penalty_secs: f64) {
+        self.ewma_resp = Some(match self.ewma_resp {
+            Some(prev) => 0.7 * prev + 0.3 * penalty_secs,
+            None => penalty_secs,
+        });
+    }
+
+    /// Scheduling weight: inverse expected response time with a
+    /// configurable latency-bias exponent. Failures are handled by edge
+    /// hints, cooldowns and eviction rather than the weight itself —
+    /// folding them in creates a rich-get-richer feedback that makes
+    /// outcomes depend on early luck instead of actual latency.
+    fn weight(&self, latency_bias: f64) -> f64 {
+        let resp = self.ewma_resp.unwrap_or(0.8).max(0.05);
+        let reliability =
+            (self.successes + 1) as f64 / (self.successes + self.failures + 2) as f64;
+        reliability * resp.powf(-latency_bias)
+    }
+}
+
+/// A data request in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingData {
+    to: NodeId,
+    chunk: u64,
+    mask: u64,
+    sent: SimTime,
+}
+
+/// A gossip request in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingGossip {
+    to: NodeId,
+    sent: SimTime,
+}
+
+/// Application-layer processing floor added to every served reply. PPLive
+/// serves from timer-driven application loops, so even idle peers answer
+/// with a few hundred milliseconds of latency — the paper's Table 1 shows
+/// ~0.5 s averages even for same-ISP data replies. A floor this size also
+/// compresses the intra/cross response-time ratio to the paper's observed
+/// 1.3–2×, which is what keeps traffic spread across a mixed neighbor
+/// table instead of collapsing onto the nearest clique.
+const PROCESSING_DELAY: SimTime = SimTime::from_millis(120);
+/// Span of the additional random serving jitter (application tick phase).
+const PROCESSING_JITTER_MS: u64 = 360;
+/// If the upload queue is this far behind, an incoming request is dropped
+/// (the paper observed a non-trivial number of unanswered peer-list
+/// requests; overload is the natural cause).
+const OVERLOAD_DROP: SimTime = SimTime::from_secs(3);
+/// Playback skips a chunk after stalling this many consecutive ticks on it
+/// (live players drop content rather than drift behind; PPLive's own
+/// player skipped after a short freeze).
+const SKIP_AFTER_STALLS: u32 = 5;
+/// A stalled viewer whose playback point falls this many chunks behind the
+/// live edge has dropped out of the mesh's serve window and must rebuffer
+/// (jump forward), like a real player re-syncing a live stream.
+const REBUFFER_LAG_CHUNKS: u64 = 40;
+
+/// The PPLive node behaviour (viewer or source), a [`plsim_des::Actor`].
+#[derive(Debug)]
+pub struct PeerNode {
+    cfg: PeerConfig,
+    role: Role,
+    channel: ChannelId,
+    me: PeerEntry,
+    up_bps: u64,
+    bootstrap: NodeId,
+    topology: Arc<Topology>,
+    sink: StatsSink,
+
+    active: bool,
+    started: bool,
+    /// Whether unsolicited inbound packets reach this peer. NATed viewers
+    /// (common in 2008 residential networks) can only be reached over
+    /// connections they initiated; handshakes sent *to* them vanish, which
+    /// is one natural source of the unanswered requests the paper observed.
+    inbound_reachable: bool,
+    trackers: Vec<PeerEntry>,
+
+    neighbors: DetHashMap<NodeId, Neighbor>,
+    pending_handshakes: DetHashMap<NodeId, SimTime>,
+    candidates: VecDeque<PeerEntry>,
+    candidate_set: DetHashSet<NodeId>,
+
+    /// chunk index → bitmask of held sub-pieces.
+    chunks: BTreeMap<u64, u64>,
+    /// chunk index → bitmask of sub-pieces currently requested.
+    inflight: BTreeMap<u64, u64>,
+    pending_data: DetHashMap<u64, PendingData>,
+    pending_gossip: DetHashMap<u64, PendingGossip>,
+
+    join_chunk: u64,
+    /// Personal startup buffer (chunks), sampled at join: sets this
+    /// viewer's playback lag behind the live edge.
+    startup_target: u64,
+    playhead: Option<u64>,
+    playing: bool,
+    stall_streak: u32,
+    /// Source only: next chunk to produce.
+    next_produced: u64,
+
+    busy_until: SimTime,
+    next_seq: u64,
+    next_req_id: u64,
+    maintenance_rounds: u64,
+    data_servers: DetHashSet<NodeId>,
+    stats: PeerStats,
+}
+
+impl PeerNode {
+    /// Creates a viewer for `channel`.
+    ///
+    /// `me` must be the entry matching this node's id and address in the
+    /// topology; `topology` is used only as the packet-source-address
+    /// oracle.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn viewer(
+        cfg: PeerConfig,
+        channel: ChannelId,
+        me: PeerEntry,
+        bootstrap: NodeId,
+        topology: Arc<Topology>,
+        sink: StatsSink,
+    ) -> Self {
+        Self::new(cfg, Role::Viewer, channel, me, bootstrap, topology, sink)
+    }
+
+    /// Creates the channel source. It skips bootstrap: `trackers` are
+    /// preset, and it announces itself to them.
+    #[must_use]
+    pub fn source(
+        cfg: PeerConfig,
+        channel: ChannelId,
+        me: PeerEntry,
+        trackers: Vec<PeerEntry>,
+        topology: Arc<Topology>,
+        sink: StatsSink,
+    ) -> Self {
+        let mut node = Self::new(
+            cfg,
+            Role::Source,
+            channel,
+            me,
+            // The source never bootstraps; point at itself.
+            me.node,
+            topology,
+            sink,
+        );
+        node.trackers = trackers;
+        node
+    }
+
+    fn new(
+        cfg: PeerConfig,
+        role: Role,
+        channel: ChannelId,
+        me: PeerEntry,
+        bootstrap: NodeId,
+        topology: Arc<Topology>,
+        sink: StatsSink,
+    ) -> Self {
+        let host = topology.host(me.node);
+        let isp = host.isp;
+        let up_bps = host.bandwidth.up_bps;
+        PeerNode {
+            cfg,
+            role,
+            channel,
+            me,
+            up_bps,
+            bootstrap,
+            topology,
+            sink,
+            active: false,
+            started: false,
+            inbound_reachable: true,
+            trackers: Vec::new(),
+            neighbors: DetHashMap::default(),
+            pending_handshakes: DetHashMap::default(),
+            candidates: VecDeque::new(),
+            candidate_set: DetHashSet::default(),
+            chunks: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            pending_data: DetHashMap::default(),
+            pending_gossip: DetHashMap::default(),
+            join_chunk: 0,
+            startup_target: 0,
+            playhead: None,
+            playing: false,
+            stall_streak: 0,
+            next_produced: 0,
+            busy_until: SimTime::ZERO,
+            next_seq: 0,
+            next_req_id: 0,
+            maintenance_rounds: 0,
+            data_servers: DetHashSet::default(),
+            stats: PeerStats::new(me.node, isp, SimTime::ZERO),
+        }
+    }
+
+    /// Marks the peer as sitting behind a NAT: unsolicited inbound traffic
+    /// (handshakes and requests from peers it never contacted) is silently
+    /// dropped, as a consumer NAT would do.
+    #[must_use]
+    pub fn behind_nat(mut self) -> Self {
+        self.inbound_reachable = false;
+        self
+    }
+
+    /// Current snapshot of this peer's counters.
+    #[must_use]
+    pub fn stats(&self) -> PeerStats {
+        self.stats
+    }
+
+    /// Connected neighbor count (tests and ablations).
+    #[must_use]
+    pub fn neighbor_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether playback has started.
+    #[must_use]
+    pub fn is_playing(&self) -> bool {
+        self.playing
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn upload_hold(&mut self, now: SimTime, size: u32) -> Option<SimTime> {
+        let service =
+            SimTime::from_micros((u64::from(size) * 8 * 1_000_000) / self.up_bps.max(1));
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let hold = start.saturating_sub(now);
+        if hold > OVERLOAD_DROP {
+            return None;
+        }
+        self.busy_until = start + service;
+        Some(hold + PROCESSING_DELAY)
+    }
+
+    fn my_peer_list(&self) -> PeerList {
+        // "A normal peer returns its recently connected peers."
+        let mut entries: Vec<(&NodeId, &Neighbor)> = self.neighbors.iter().collect();
+        entries.sort_by(|a, b| b.1.connected_at.cmp(&a.1.connected_at).then(a.0.cmp(b.0)));
+        PeerList::from_candidates(entries.into_iter().map(|(_, n)| n.entry))
+    }
+
+    fn add_candidates<'a, I: IntoIterator<Item = &'a PeerEntry>>(&mut self, entries: I) {
+        for e in entries {
+            if e.node == self.me.node
+                || self.neighbors.contains_key(&e.node)
+                || self.pending_handshakes.contains_key(&e.node)
+                || self.candidate_set.contains(&e.node)
+            {
+                continue;
+            }
+            if self.candidates.len() >= self.cfg.candidate_pool {
+                if let Some(old) = self.candidates.pop_front() {
+                    self.candidate_set.remove(&old.node);
+                }
+            }
+            self.candidate_set.insert(e.node);
+            self.candidates.push_back(*e);
+        }
+    }
+
+    /// Pops a candidate, biased toward the most recently learned entries:
+    /// PPLive "connects immediately" from the list it just received, so
+    /// referrals from fast (nearby) repliers get tried first — one of the
+    /// mechanisms behind emergent locality.
+    fn pop_random_candidate(&mut self, rng: &mut SmallRng) -> Option<PeerEntry> {
+        if self.candidates.is_empty() {
+            return None;
+        }
+        let window = self.candidates.len().min(40);
+        let idx = self.candidates.len() - 1 - rng.random_range(0..window);
+        let entry = self.candidates.swap_remove_back(idx)?;
+        self.candidate_set.remove(&entry.node);
+        Some(entry)
+    }
+
+    fn try_connect(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active || self.cfg.connect_policy == ConnectPolicy::DelayedRandom {
+            return;
+        }
+        self.connect_batch(ctx);
+    }
+
+    fn connect_batch(&mut self, ctx: &mut Context<'_, Message>) {
+        let want = self.cfg.max_neighbors.saturating_sub(self.neighbors.len());
+        if want == 0 {
+            return;
+        }
+        // Optimistic over-subscription: handshakes race, first acks win.
+        let budget = (want * 2).saturating_sub(self.pending_handshakes.len());
+        let burst = budget.min(self.cfg.connect_burst);
+        for _ in 0..burst {
+            let Some(entry) = self.pop_random_candidate(ctx.rng()) else {
+                break;
+            };
+            let msg = Message::Handshake {
+                channel: self.channel,
+            };
+            let size = msg.wire_size();
+            ctx.send(entry.node, msg, size);
+            self.pending_handshakes.insert(entry.node, ctx.now());
+        }
+    }
+
+    fn gossip_to(&mut self, ctx: &mut Context<'_, Message>, neighbor: NodeId) {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let msg = Message::PeerListRequest {
+            channel: self.channel,
+            my_peers: self.my_peer_list(),
+            req_id,
+        };
+        let size = msg.wire_size();
+        ctx.send(neighbor, msg, size);
+        self.pending_gossip.insert(
+            req_id,
+            PendingGossip {
+                to: neighbor,
+                sent: ctx.now(),
+            },
+        );
+        self.stats.gossip_requests_sent += 1;
+    }
+
+    fn query_tracker(&mut self, ctx: &mut Context<'_, Message>, all: bool) {
+        if self.trackers.is_empty() {
+            return;
+        }
+        let msg = Message::TrackerQuery {
+            channel: self.channel,
+        };
+        let size = msg.wire_size();
+        if all {
+            for t in self.trackers.clone() {
+                ctx.send(t.node, msg.clone(), size);
+            }
+        } else {
+            let idx = ctx.rng().random_range(0..self.trackers.len());
+            ctx.send(self.trackers[idx].node, msg, size);
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        if !self.playing {
+            return false;
+        }
+        let Some(playhead) = self.playhead else {
+            return false;
+        };
+        let full = self.cfg.stream.full_mask();
+        let buffered = (playhead..playhead + 6)
+            .filter(|c| self.chunks.get(c).copied() == Some(full))
+            .count();
+        buffered >= 4 && self.neighbors.len() >= self.cfg.max_neighbors / 2
+    }
+
+    fn live_edge_estimate(&self, now: SimTime) -> u64 {
+        now.as_secs().saturating_sub(3)
+    }
+
+    fn have_full(&self, chunk: u64) -> bool {
+        self.chunks.get(&chunk).copied() == Some(self.cfg.stream.full_mask())
+    }
+
+    fn pick_data_neighbor(&self, rng: &mut SmallRng, now: SimTime, chunk: u64) -> Option<NodeId> {
+        let mut eligible: Vec<(NodeId, f64)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, n)| {
+                n.outstanding < self.cfg.per_neighbor_outstanding as u32
+                    && n.cooldown_until <= now
+                    && n.may_hold(chunk, now)
+            })
+            .map(|(&id, n)| (id, n.weight(self.cfg.latency_bias)))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        eligible.sort_by_key(|(id, _)| *id);
+        match self.cfg.data_selection {
+            DataSelection::Uniform => {
+                let idx = rng.random_range(0..eligible.len());
+                Some(eligible[idx].0)
+            }
+            DataSelection::LatencyWeighted => {
+                let total: f64 = eligible.iter().map(|(_, w)| w).sum();
+                let mut x = rng.random::<f64>() * total;
+                for (id, w) in &eligible {
+                    if x < *w {
+                        return Some(*id);
+                    }
+                    x -= w;
+                }
+                Some(eligible[eligible.len() - 1].0)
+            }
+        }
+    }
+
+    /// Expires in-flight data requests past the timeout so their slots and
+    /// sub-piece ranges can be retried immediately.
+    fn expire_pending_data(&mut self, now: SimTime) {
+        if self.pending_data.is_empty() {
+            return;
+        }
+        let expired: Vec<u64> = self
+            .pending_data
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.sent) > self.cfg.request_timeout)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in expired {
+            if let Some(p) = self.pending_data.remove(&seq) {
+                if let Some(m) = self.inflight.get_mut(&p.chunk) {
+                    *m &= !p.mask;
+                }
+                if let Some(n) = self.neighbors.get_mut(&p.to) {
+                    n.outstanding = n.outstanding.saturating_sub(1);
+                    n.observe_failure();
+                    n.observe_penalty(self.cfg.request_timeout.as_secs_f64());
+                }
+            }
+        }
+    }
+
+    fn schedule_requests(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.started || !self.active || self.role == Role::Source {
+            return;
+        }
+        let now = ctx.now();
+        self.expire_pending_data(now);
+        let full = self.cfg.stream.full_mask();
+        let live = self.live_edge_estimate(now);
+        if !self.playing && self.join_chunk + self.startup_target + 30 < live {
+            // Startup starved past the mesh's serve window: restart the
+            // buffer from a recent, widely-held point.
+            self.join_chunk = live.saturating_sub(4);
+        }
+        let base = self.playhead.unwrap_or(self.join_chunk).max(self.join_chunk);
+        if base > live {
+            return;
+        }
+        // Before playback starts the window must cover the startup buffer,
+        // or a viewer with a large startup target would starve.
+        let ahead = if self.playing {
+            self.cfg.stream.buffer_target
+        } else {
+            self.cfg.stream.buffer_target.max(self.startup_target + 2)
+        };
+        let end = live.min(base + ahead);
+        let batch = u64::from(self.cfg.stream.batch_subpieces);
+
+        for chunk in base..=end {
+            if self.pending_data.len() >= self.cfg.max_outstanding {
+                return;
+            }
+            let have = self.chunks.get(&chunk).copied().unwrap_or(0);
+            let inflight = self.inflight.get(&chunk).copied().unwrap_or(0);
+            let mut need = full & !have & !inflight;
+            while need != 0 {
+                if self.pending_data.len() >= self.cfg.max_outstanding {
+                    return;
+                }
+                let offset = need.trailing_zeros() as u16;
+                // Take up to `batch` contiguous needed bits from `offset`.
+                let mut count = 0u16;
+                while count < batch as u16
+                    && usize::from(offset + count) < usize::from(self.cfg.stream.chunk_subpieces)
+                    && (need >> (offset + count)) & 1 == 1
+                {
+                    count += 1;
+                }
+                let mask = (((1u128 << count) - 1) as u64) << offset;
+                let Some(to) = self.pick_data_neighbor(ctx.rng(), now, chunk) else {
+                    // Nobody plausibly holds this chunk; try the next one.
+                    break;
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let msg = Message::DataRequest {
+                    channel: self.channel,
+                    chunk: ChunkId(chunk),
+                    offset,
+                    count,
+                    seq,
+                };
+                let size = msg.wire_size();
+                ctx.send(to, msg, size);
+                *self.inflight.entry(chunk).or_insert(0) |= mask;
+                self.pending_data.insert(
+                    seq,
+                    PendingData {
+                        to,
+                        chunk,
+                        mask,
+                        sent: now,
+                    },
+                );
+                if let Some(n) = self.neighbors.get_mut(&to) {
+                    n.outstanding += 1;
+                }
+                self.stats.data_requests_sent += 1;
+                need &= !mask;
+            }
+        }
+    }
+
+    fn start_schedulers(&mut self, ctx: &mut Context<'_, Message>) {
+        // Jitter the first ticks so peers don't beat in lockstep.
+        let j = |ctx: &mut Context<'_, Message>, base_ms: u64| {
+            SimTime::from_millis(ctx.rng().random_range(0..base_ms))
+        };
+        let g = self.cfg.gossip_interval + j(ctx, 2000);
+        ctx.schedule(g, Message::Timer(TimerKind::GossipRound));
+        let t = self.cfg.tracker_interval_hungry + j(ctx, 5000);
+        ctx.schedule(t, Message::Timer(TimerKind::TrackerRound));
+        let s = self.cfg.scheduler_interval + j(ctx, 250);
+        ctx.schedule(s, Message::Timer(TimerKind::Scheduler));
+        let p = SimTime::from_secs(1) + j(ctx, 500);
+        ctx.schedule(p, Message::Timer(TimerKind::Playback));
+        let m = self.cfg.maintenance_interval + j(ctx, 1000);
+        ctx.schedule(m, Message::Timer(TimerKind::Maintenance));
+    }
+
+    fn add_neighbor(&mut self, entry: PeerEntry, now: SimTime) {
+        self.candidate_set.remove(&entry.node);
+        self.neighbors
+            .entry(entry.node)
+            .or_insert_with(|| Neighbor::new(entry, now));
+    }
+
+    fn drop_neighbor(&mut self, node: NodeId) {
+        if self.neighbors.remove(&node).is_some() {
+            // Outstanding requests to it will time out via maintenance.
+        }
+    }
+
+    fn flush_stats(&mut self) {
+        self.stats.neighbors_now = self.neighbors.len() as u64;
+        self.stats.unique_data_peers = self.data_servers.len() as u64;
+        self.sink.publish(self.stats);
+    }
+
+    // ---- timer handlers ------------------------------------------------
+
+    fn on_join(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.stats.joined_at == SimTime::ZERO {
+            self.stats.joined_at = ctx.now();
+        }
+        self.active = true;
+        match self.role {
+            Role::Viewer => {
+                if self.started {
+                    return;
+                }
+                if self.startup_target == 0 {
+                    self.startup_target = self.cfg.stream.startup_chunks
+                        + ctx.rng().random_range(0..=self.cfg.stream.startup_jitter);
+                }
+                ctx.send(self.bootstrap, Message::BootstrapRequest, 46);
+                // Retry until the join completes (bootstrap packets can be
+                // lost like any other).
+                ctx.schedule(SimTime::from_secs(5), Message::Timer(TimerKind::Join));
+            }
+            Role::Source => {
+                if self.started {
+                    return;
+                }
+                self.started = true;
+                self.next_produced = ctx.now().as_secs();
+                ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::ProduceChunk));
+                // Announce immediately so early tracker queries find us.
+                for t in self.trackers.clone() {
+                    let msg = Message::Announce {
+                        channel: self.channel,
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(t.node, msg, size);
+                }
+                ctx.schedule(
+                    SimTime::from_secs(120),
+                    Message::Timer(TimerKind::AnnounceRound),
+                );
+                ctx.schedule(
+                    self.cfg.maintenance_interval,
+                    Message::Timer(TimerKind::Maintenance),
+                );
+            }
+        }
+    }
+
+    fn on_leave(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        self.stats.departed = true;
+        let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for n in neighbor_ids {
+            ctx.send(n, Message::Goodbye, Message::Goodbye.wire_size());
+        }
+        for t in self.trackers.clone() {
+            ctx.send(t.node, Message::Goodbye, Message::Goodbye.wire_size());
+        }
+        self.neighbors.clear();
+        self.flush_stats();
+    }
+
+    fn on_gossip_round(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        if self.cfg.referral {
+            // Unmeasured neighbors are probed first; the rest of the fanout
+            // is spent on random measured ones.
+            let mut unmeasured: Vec<NodeId> = self
+                .neighbors
+                .iter()
+                .filter(|(_, n)| n.ewma_resp.is_none())
+                .map(|(&id, _)| id)
+                .collect();
+            unmeasured.sort_unstable();
+            let mut ids: Vec<NodeId> = self
+                .neighbors
+                .iter()
+                .filter(|(_, n)| n.ewma_resp.is_some())
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            let fanout = self.cfg.gossip_fanout;
+            let rest = fanout.saturating_sub(unmeasured.len()).min(ids.len());
+            for i in 0..rest {
+                let jdx = ctx.rng().random_range(i..ids.len());
+                ids.swap(i, jdx);
+            }
+            let targets: Vec<NodeId> = unmeasured
+                .into_iter()
+                .take(fanout)
+                .chain(ids.into_iter().take(rest))
+                .collect();
+            for n in targets {
+                self.gossip_to(ctx, n);
+            }
+            ctx.schedule(self.cfg.gossip_interval, Message::Timer(TimerKind::GossipRound));
+        }
+    }
+
+    fn on_tracker_round(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        self.query_tracker(ctx, false);
+        let interval = if self.satisfied() {
+            self.cfg.tracker_interval_satisfied
+        } else {
+            self.cfg.tracker_interval_hungry
+        };
+        ctx.schedule(interval, Message::Timer(TimerKind::TrackerRound));
+    }
+
+    fn on_playback(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        let full = self.cfg.stream.full_mask();
+        if !self.playing {
+            // Find the first complete chunk at or after the join point and
+            // check the startup buffer is filled from there.
+            let first = self
+                .chunks
+                .range(self.join_chunk..)
+                .find(|(_, &m)| m == full)
+                .map(|(&c, _)| c);
+            if let Some(start) = first {
+                // A viewer cannot buffer chunks that do not exist yet: the
+                // effective target is capped by the distance to the live
+                // edge (otherwise large-lag startups would never complete).
+                let live = self.live_edge_estimate(ctx.now());
+                let to_live = live.saturating_sub(start).saturating_sub(2);
+                let target = self
+                    .startup_target
+                    .min(to_live)
+                    .max(self.cfg.stream.startup_chunks);
+                let run = (start..start + target)
+                    .take_while(|c| self.chunks.get(c).copied() == Some(full))
+                    .count() as u64;
+                if run >= target {
+                    self.playing = true;
+                    self.playhead = Some(start);
+                    self.stats.playback_started = Some(ctx.now());
+                }
+            }
+        } else if let Some(playhead) = self.playhead {
+            if self.have_full(playhead) {
+                self.stats.chunks_played += 1;
+                self.playhead = Some(playhead + 1);
+                self.stall_streak = 0;
+            } else {
+                self.stats.stalls += 1;
+                self.stall_streak += 1;
+                let live = self.live_edge_estimate(ctx.now());
+                if live.saturating_sub(playhead) > REBUFFER_LAG_CHUNKS {
+                    // Fell out of the mesh's serve window: re-sync forward.
+                    self.playhead = Some(live.saturating_sub(REBUFFER_LAG_CHUNKS / 2));
+                    self.stall_streak = 0;
+                } else if self.stall_streak >= SKIP_AFTER_STALLS {
+                    // Live playback drops the frozen chunk and moves on,
+                    // keeping the viewer near the live edge (which is also
+                    // what keeps fresh-chunk demand — and therefore supply —
+                    // dense across the mesh).
+                    self.playhead = Some(playhead + 1);
+                    self.stall_streak = 0;
+                }
+            }
+        }
+        ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::Playback));
+    }
+
+    fn on_maintenance(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        let now = ctx.now();
+        self.maintenance_rounds += 1;
+
+        // Time out data requests.
+        self.expire_pending_data(now);
+        // Time out gossip requests.
+        self.pending_gossip
+            .retain(|_, p| now.saturating_sub(p.sent) <= self.cfg.request_timeout);
+        // Time out handshakes.
+        self.pending_handshakes
+            .retain(|_, &mut sent| now.saturating_sub(sent) <= self.cfg.handshake_timeout);
+
+        // Evict neighbors that keep failing.
+        let dead: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, n)| n.consecutive_failures >= 6)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            self.drop_neighbor(id);
+        }
+
+        // Every ~30 s, when the table is full, retire a clear outlier: a
+        // neighbor responding more than twice as slowly as the table median.
+        // This frees a slot for the referral race without converging the
+        // table to all-same-ISP (the paper's probes kept a mixed table; the
+        // unpopular probe's connected set was only ~50% same-ISP).
+        if self.role == Role::Viewer
+            && self.maintenance_rounds.is_multiple_of(6)
+            && self.neighbors.len() >= self.cfg.max_neighbors
+        {
+            let mut resps: Vec<f64> = self
+                .neighbors
+                .values()
+                .filter_map(|n| n.ewma_resp)
+                .collect();
+            if resps.len() >= 4 {
+                resps.sort_by(|a, b| a.partial_cmp(b).expect("finite ewma"));
+                let median = resps[resps.len() / 2];
+                let worst = self
+                    .neighbors
+                    .iter()
+                    .filter(|(_, n)| n.outstanding == 0)
+                    .filter_map(|(&id, n)| n.ewma_resp.map(|r| (id, r)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ewma").then(a.0.cmp(&b.0)))
+                    .filter(|&(_, r)| r > 2.0 * median)
+                    .map(|(id, _)| id);
+                if let Some(id) = worst {
+                    ctx.send(id, Message::Goodbye, Message::Goodbye.wire_size());
+                    self.drop_neighbor(id);
+                }
+            }
+        }
+
+        // Delayed-random connect policy does its batching here.
+        if self.cfg.connect_policy == ConnectPolicy::DelayedRandom && self.started {
+            self.connect_batch(ctx);
+        }
+
+        // Drop chunks far behind the playhead (keep a serve window).
+        if self.role == Role::Viewer {
+            if let Some(playhead) = self.playhead {
+                let cut = playhead.saturating_sub(self.cfg.stream.serve_window);
+                self.chunks = self.chunks.split_off(&cut);
+                self.inflight = self.inflight.split_off(&cut);
+            }
+        }
+
+        self.flush_stats();
+        ctx.schedule(
+            self.cfg.maintenance_interval,
+            Message::Timer(TimerKind::Maintenance),
+        );
+    }
+
+    fn on_produce_chunk(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        let full = self.cfg.stream.full_mask();
+        self.chunks.insert(self.next_produced, full);
+        self.next_produced += 1;
+        let cut = self.next_produced.saturating_sub(self.cfg.stream.live_window);
+        self.chunks = self.chunks.split_off(&cut);
+        ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::ProduceChunk));
+    }
+
+    fn on_announce_round(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.active {
+            return;
+        }
+        for t in self.trackers.clone() {
+            let msg = Message::Announce {
+                channel: self.channel,
+            };
+            let size = msg.wire_size();
+            ctx.send(t.node, msg, size);
+        }
+        ctx.schedule(
+            SimTime::from_secs(120),
+            Message::Timer(TimerKind::AnnounceRound),
+        );
+    }
+
+    // ---- message handlers ----------------------------------------------
+
+    fn on_join_response(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        channel: ChannelId,
+        trackers: Vec<PeerEntry>,
+    ) {
+        if self.started || channel != self.channel {
+            return;
+        }
+        self.started = true;
+        self.trackers = trackers;
+        // Start buffering a little behind the live edge so the startup
+        // buffer consists of chunks that already exist.
+        self.join_chunk = ctx.now().as_secs().saturating_sub(4);
+        // Initially query one tracker per group (all of them).
+        self.query_tracker(ctx, true);
+        self.start_schedulers(ctx);
+    }
+
+    fn on_handshake(&mut self, ctx: &mut Context<'_, Message>, from: NodeId) {
+        let accept = self.active
+            && self.neighbors.len() < self.cfg.max_neighbors + self.cfg.accept_slack;
+        if accept {
+            let entry = PeerEntry::new(from, self.topology.host(from).ip);
+            self.add_neighbor(entry, ctx.now());
+        }
+        let reply = Message::HandshakeAck {
+            channel: self.channel,
+            accepted: accept,
+        };
+        let size = reply.wire_size();
+        ctx.send(from, reply, size);
+        if accept && self.cfg.referral && self.started {
+            // Probe the newcomer right away so its latency is measured and
+            // slot competition stays informed.
+            self.gossip_to(ctx, from);
+        }
+    }
+
+    fn on_handshake_ack(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, accepted: bool) {
+        let Some(sent) = self.pending_handshakes.remove(&from) else {
+            return;
+        };
+        if !self.active {
+            return;
+        }
+        if accepted && self.neighbors.len() < self.cfg.max_neighbors {
+            let entry = PeerEntry::new(from, self.topology.host(from).ip);
+            self.add_neighbor(entry, ctx.now());
+            if let Some(n) = self.neighbors.get_mut(&from) {
+                n.observe_response(ctx.now().saturating_sub(sent).as_secs_f64());
+            }
+            // "Upon the establishment of a new connection, the client will
+            // first ask the newly connected peer for its peer list."
+            if self.cfg.referral {
+                self.gossip_to(ctx, from);
+            }
+        } else if accepted {
+            // Lost the race: slots filled while the ack was in flight.
+            ctx.send(from, Message::Goodbye, Message::Goodbye.wire_size());
+        }
+    }
+
+    fn on_peer_list_request(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        my_peers: &PeerList,
+        req_id: u64,
+    ) {
+        if !self.active {
+            return; // Unanswered request, as the paper observed.
+        }
+        // The enclosed list is itself referral information.
+        self.add_candidates(my_peers.iter());
+        let reply = Message::PeerListResponse {
+            channel: self.channel,
+            peers: self.my_peer_list(),
+            req_id,
+        };
+        let size = reply.wire_size();
+        // Replies share the uplink with data: load shows up as latency.
+        let Some(hold) = self.upload_hold(ctx.now(), size) else {
+            return; // Overloaded: request goes unanswered.
+        };
+        let jitter = SimTime::from_millis(ctx.rng().random_range(0..PROCESSING_JITTER_MS));
+        ctx.send_after(from, reply, size, hold + jitter);
+        self.try_connect(ctx);
+    }
+
+    fn on_peer_list_response(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        peers: &PeerList,
+        req_id: u64,
+    ) {
+        if !self.active {
+            return;
+        }
+        if let Some(p) = self.pending_gossip.remove(&req_id) {
+            if p.to == from {
+                let sample = ctx.now().saturating_sub(p.sent).as_secs_f64();
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.observe_response(sample);
+                }
+            }
+        }
+        self.stats.gossip_responses_received += 1;
+        self.add_candidates(peers.iter());
+        // "Once the client receives a peer list, it randomly selects a
+        // number of peers from the list and connects to them immediately."
+        self.try_connect(ctx);
+    }
+
+    fn on_data_request(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        chunk: ChunkId,
+        offset: u16,
+        count: u16,
+        seq: u64,
+    ) {
+        if !self.active {
+            return;
+        }
+        let have = self.chunks.get(&chunk.0).copied().unwrap_or(0);
+        let mask = (((1u128 << count) - 1) as u64) << offset;
+        if have & mask == mask {
+            let reply = Message::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            };
+            let size = reply.wire_size();
+            let Some(hold) = self.upload_hold(ctx.now(), size) else {
+                // Overloaded: refuse cheaply so the requester redirects at
+                // once instead of burning an outstanding slot on a timeout.
+                let reply = Message::DataReject {
+                    chunk,
+                    seq,
+                    busy: true,
+                };
+                let size = reply.wire_size();
+                ctx.send_after(from, reply, size, PROCESSING_DELAY);
+                return;
+            };
+            let jitter = SimTime::from_millis(ctx.rng().random_range(0..PROCESSING_JITTER_MS));
+            self.stats.bytes_up += u64::from(reply.payload_bytes());
+            ctx.send_after(from, reply, size, hold + jitter);
+        } else {
+            let reply = Message::DataReject {
+                chunk,
+                seq,
+                busy: false,
+            };
+            let size = reply.wire_size();
+            ctx.send_after(from, reply, size, PROCESSING_DELAY);
+        }
+    }
+
+    fn on_data_reply(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        chunk: ChunkId,
+        offset: u16,
+        count: u16,
+        seq: u64,
+    ) {
+        let Some(p) = self.pending_data.remove(&seq) else {
+            return; // Late reply after timeout; data still usable below.
+        };
+        let mask = (((1u128 << count) - 1) as u64) << offset;
+        if let Some(m) = self.inflight.get_mut(&p.chunk) {
+            *m &= !p.mask;
+        }
+        *self.chunks.entry(chunk.0).or_insert(0) |= mask;
+        self.stats.bytes_down += u64::from(count) * u64::from(plsim_proto::SUB_PIECE_BYTES);
+        self.stats.data_replies_received += 1;
+        self.data_servers.insert(from);
+        if let Some(n) = self.neighbors.get_mut(&from) {
+            n.outstanding = n.outstanding.saturating_sub(1);
+            n.observe_response(ctx.now().saturating_sub(p.sent).as_secs_f64());
+            n.observe_has(chunk.0, ctx.now());
+        }
+        // Keep the pipeline full without waiting for the next tick.
+        self.schedule_requests(ctx);
+    }
+
+    fn on_data_reject(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, seq: u64, busy: bool) {
+        let Some(p) = self.pending_data.remove(&seq) else {
+            return;
+        };
+        if let Some(m) = self.inflight.get_mut(&p.chunk) {
+            *m &= !p.mask;
+        }
+        self.stats.data_rejects_received += 1;
+        if let Some(n) = self.neighbors.get_mut(&from) {
+            n.outstanding = n.outstanding.saturating_sub(1);
+            if busy {
+                // The neighbor has the data but its uplink is saturated:
+                // back off without poisoning its content hint, and remember
+                // it as slow.
+                n.observe_penalty(1.5);
+                n.cooldown_until = ctx.now() + SimTime::from_millis(1200);
+            } else {
+                n.observe_failure();
+                n.observe_lacks(p.chunk, ctx.now());
+                // Brief breather so one reject doesn't trigger a burst of
+                // immediate re-asks before the hint takes effect.
+                n.cooldown_until = ctx.now() + SimTime::from_millis(300);
+            }
+        }
+    }
+}
+
+impl Actor<Message> for PeerNode {
+    fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+        // NAT: unsolicited packets from unknown hosts never arrive.
+        if !self.inbound_reachable {
+            if let Some(sender) = from {
+                let unsolicited = !self.neighbors.contains_key(&sender)
+                    && !self.pending_handshakes.contains_key(&sender)
+                    && !self.trackers.iter().any(|t| t.node == sender)
+                    && sender != self.bootstrap;
+                if unsolicited
+                    && matches!(
+                        msg,
+                        Message::Handshake { .. }
+                            | Message::PeerListRequest { .. }
+                            | Message::DataRequest { .. }
+                    )
+                {
+                    return;
+                }
+            }
+        }
+        match msg {
+            Message::Timer(kind) => match kind {
+                TimerKind::Join => self.on_join(ctx),
+                TimerKind::Leave => self.on_leave(ctx),
+                TimerKind::GossipRound => self.on_gossip_round(ctx),
+                TimerKind::TrackerRound => self.on_tracker_round(ctx),
+                TimerKind::Scheduler => {
+                    if self.active {
+                        self.schedule_requests(ctx);
+                        ctx.schedule(
+                            self.cfg.scheduler_interval,
+                            Message::Timer(TimerKind::Scheduler),
+                        );
+                    }
+                }
+                TimerKind::Playback => self.on_playback(ctx),
+                TimerKind::Maintenance => self.on_maintenance(ctx),
+                TimerKind::ProduceChunk => self.on_produce_chunk(ctx),
+                TimerKind::AnnounceRound => self.on_announce_round(ctx),
+            },
+            Message::BootstrapResponse { channels } => {
+                if self.active && !self.started && channels.contains(&self.channel) {
+                    let msg = Message::JoinRequest {
+                        channel: self.channel,
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(self.bootstrap, msg, size);
+                }
+            }
+            Message::JoinResponse { channel, trackers } => {
+                if self.active {
+                    self.on_join_response(ctx, channel, trackers);
+                }
+            }
+            Message::TrackerResponse { channel, peers } => {
+                if self.active && channel == self.channel {
+                    self.add_candidates(peers.iter());
+                    self.try_connect(ctx);
+                }
+            }
+            Message::Handshake { channel } => {
+                if channel == self.channel {
+                    if let Some(from) = from {
+                        self.on_handshake(ctx, from);
+                    }
+                }
+            }
+            Message::HandshakeAck { accepted, .. } => {
+                if let Some(from) = from {
+                    self.on_handshake_ack(ctx, from, accepted);
+                }
+            }
+            Message::PeerListRequest {
+                my_peers, req_id, ..
+            } => {
+                if let Some(from) = from {
+                    self.on_peer_list_request(ctx, from, &my_peers, req_id);
+                }
+            }
+            Message::PeerListResponse { peers, req_id, .. } => {
+                if let Some(from) = from {
+                    self.on_peer_list_response(ctx, from, &peers, req_id);
+                }
+            }
+            Message::DataRequest {
+                chunk,
+                offset,
+                count,
+                seq,
+                ..
+            } => {
+                if let Some(from) = from {
+                    self.on_data_request(ctx, from, chunk, offset, count, seq);
+                }
+            }
+            Message::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            } => {
+                if let Some(from) = from {
+                    self.on_data_reply(ctx, from, chunk, offset, count, seq);
+                }
+            }
+            Message::DataReject { seq, busy, .. } => {
+                if let Some(from) = from {
+                    self.on_data_reject(ctx, from, seq, busy);
+                }
+            }
+            Message::Goodbye => {
+                if let Some(from) = from {
+                    self.drop_neighbor(from);
+                }
+            }
+            // Server-side messages a peer never handles.
+            Message::BootstrapRequest
+            | Message::JoinRequest { .. }
+            | Message::TrackerQuery { .. }
+            | Message::Announce { .. } => {}
+        }
+    }
+}

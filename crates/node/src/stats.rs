@@ -1,0 +1,153 @@
+//! Per-peer quality-of-experience and traffic counters.
+
+use crate::det::DetHashMap;
+use parking_lot::Mutex;
+use plsim_des::{NodeId, SimTime};
+use plsim_net::Isp;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Counters one peer exports: playback quality and traffic volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerStats {
+    /// The peer.
+    pub node: NodeId,
+    /// Its ISP.
+    pub isp: Isp,
+    /// When it joined.
+    pub joined_at: SimTime,
+    /// When playback started, if it did.
+    pub playback_started: Option<SimTime>,
+    /// Chunks played out.
+    pub chunks_played: u64,
+    /// Playback ticks with the due chunk missing.
+    pub stalls: u64,
+    /// Media bytes downloaded.
+    pub bytes_down: u64,
+    /// Media bytes uploaded to other peers.
+    pub bytes_up: u64,
+    /// Data requests issued.
+    pub data_requests_sent: u64,
+    /// Data replies received.
+    pub data_replies_received: u64,
+    /// Data rejects received.
+    pub data_rejects_received: u64,
+    /// Gossip (peer-list) requests issued.
+    pub gossip_requests_sent: u64,
+    /// Gossip responses received.
+    pub gossip_responses_received: u64,
+    /// Distinct peers that ever served this peer data.
+    pub unique_data_peers: u64,
+    /// Neighbors connected at the last flush.
+    pub neighbors_now: u64,
+    /// Whether the peer has left.
+    pub departed: bool,
+}
+
+impl PeerStats {
+    /// Creates zeroed counters for a peer.
+    #[must_use]
+    pub fn new(node: NodeId, isp: Isp, joined_at: SimTime) -> Self {
+        PeerStats {
+            node,
+            isp,
+            joined_at,
+            playback_started: None,
+            chunks_played: 0,
+            stalls: 0,
+            bytes_down: 0,
+            bytes_up: 0,
+            data_requests_sent: 0,
+            data_replies_received: 0,
+            data_rejects_received: 0,
+            gossip_requests_sent: 0,
+            gossip_responses_received: 0,
+            unique_data_peers: 0,
+            neighbors_now: 0,
+            departed: false,
+        }
+    }
+
+    /// Fraction of playback ticks that stalled (0 when playback never ran).
+    #[must_use]
+    pub fn stall_ratio(&self) -> f64 {
+        let total = self.chunks_played + self.stalls;
+        if total == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / total as f64
+        }
+    }
+}
+
+/// Shared sink peers flush their stats into; the harness keeps a handle.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSink {
+    inner: Arc<Mutex<DetHashMap<NodeId, PeerStats>>>,
+}
+
+impl StatsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsSink::default()
+    }
+
+    /// Inserts or replaces a peer's stats snapshot.
+    pub fn publish(&self, stats: PeerStats) {
+        self.inner.lock().insert(stats.node, stats);
+    }
+
+    /// Copies out all stats, sorted by node id.
+    #[must_use]
+    pub fn collect(&self) -> Vec<PeerStats> {
+        let mut all: Vec<PeerStats> = self.inner.lock().values().copied().collect();
+        all.sort_by_key(|s| s.node);
+        all
+    }
+
+    /// Stats of one peer, if it ever flushed.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Option<PeerStats> {
+        self.inner.lock().get(&node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_collect_round_trip() {
+        let sink = StatsSink::new();
+        let mut s = PeerStats::new(NodeId(3), Isp::Tele, SimTime::ZERO);
+        s.chunks_played = 10;
+        sink.publish(s);
+        s.chunks_played = 20;
+        sink.publish(s);
+        let all = sink.collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].chunks_played, 20);
+        assert_eq!(sink.get(NodeId(3)).unwrap().chunks_played, 20);
+        assert_eq!(sink.get(NodeId(4)), None);
+    }
+
+    #[test]
+    fn stall_ratio_is_safe_and_correct() {
+        let mut s = PeerStats::new(NodeId(0), Isp::Cnc, SimTime::ZERO);
+        assert_eq!(s.stall_ratio(), 0.0);
+        s.chunks_played = 90;
+        s.stalls = 10;
+        assert!((s.stall_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_is_sorted_by_node() {
+        let sink = StatsSink::new();
+        for id in [5u32, 1, 9, 3] {
+            sink.publish(PeerStats::new(NodeId(id), Isp::Tele, SimTime::ZERO));
+        }
+        let ids: Vec<u32> = sink.collect().iter().map(|s| s.node.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+}

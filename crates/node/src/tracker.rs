@@ -1,0 +1,293 @@
+//! Tracker servers: per-channel membership databases.
+//!
+//! The paper's key observation (§3.2) is that PPLive trackers act as
+//! "databases of active peers rather than for locality" — they return a
+//! *random* sample of active members, and peers stop relying on them once
+//! gossip supplies enough neighbors. This implementation does exactly that:
+//! register on query/announce, lazily expire, sample uniformly.
+
+use crate::det::DetHashMap;
+use plsim_des::{Actor, Context, NodeId, SimTime};
+use plsim_net::Topology;
+use plsim_proto::{ChannelId, Message, PeerEntry, PeerList, TimerKind};
+use rand::Rng;
+use std::sync::Arc;
+
+/// How long a member stays listed without being heard from.
+const MEMBER_EXPIRY: SimTime = SimTime::from_secs(600);
+
+/// One tracker server (the paper found five groups deployed across Chinese
+/// ISPs; the world builder instantiates one server per group).
+#[derive(Debug)]
+pub struct TrackerServer {
+    topology: Arc<Topology>,
+    members: DetHashMap<ChannelId, DetHashMap<NodeId, (PeerEntry, SimTime)>>,
+    /// Set false to simulate a tracker outage (failure injection); the
+    /// server then silently ignores queries, as a dead host would.
+    online: bool,
+    queries_served: u64,
+}
+
+impl TrackerServer {
+    /// Creates a tracker. The topology is used only to resolve the source
+    /// address of incoming packets, as a real server reads the IP header.
+    #[must_use]
+    pub fn new(topology: Arc<Topology>) -> Self {
+        TrackerServer {
+            topology,
+            members: DetHashMap::default(),
+            online: true,
+            queries_served: 0,
+        }
+    }
+
+    /// Number of peer-list queries served (for tests and ablations).
+    #[must_use]
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    fn register(&mut self, channel: ChannelId, node: NodeId, now: SimTime) {
+        let entry = PeerEntry::new(node, self.topology.host(node).ip);
+        self.members
+            .entry(channel)
+            .or_default()
+            .insert(node, (entry, now));
+    }
+
+    fn sample(
+        &mut self,
+        channel: ChannelId,
+        exclude: NodeId,
+        now: SimTime,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> PeerList {
+        let Some(members) = self.members.get_mut(&channel) else {
+            return PeerList::new();
+        };
+        members.retain(|_, (_, seen)| now.saturating_sub(*seen) < MEMBER_EXPIRY);
+        let mut pool: Vec<PeerEntry> = members
+            .values()
+            .filter(|(e, _)| e.node != exclude)
+            .map(|(e, _)| *e)
+            .collect();
+        // Deterministic base order, then a partial Fisher–Yates shuffle for
+        // the first MAX_LEN slots.
+        pool.sort_by_key(|e| e.node);
+        let take = pool.len().min(PeerList::MAX_LEN);
+        for i in 0..take {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        PeerList::from_candidates(pool.into_iter().take(take))
+    }
+}
+
+impl Actor<Message> for TrackerServer {
+    fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+        // A `Leave` timer is the failure-injection switch: the tracker dies.
+        if let Message::Timer(TimerKind::Leave) = msg {
+            self.online = false;
+            return;
+        }
+        let Some(client) = from else { return };
+        if !self.online {
+            return;
+        }
+        let now = ctx.now();
+        match msg {
+            Message::TrackerQuery { channel } => {
+                // A query doubles as an announce: the requester is watching.
+                self.register(channel, client, now);
+                self.queries_served += 1;
+                let peers = self.sample(channel, client, now, ctx.rng());
+                let reply = Message::TrackerResponse { channel, peers };
+                let size = reply.wire_size();
+                ctx.send(client, reply, size);
+            }
+            Message::Announce { channel } => {
+                self.register(channel, client, now);
+            }
+            Message::Goodbye => {
+                for members in self.members.values_mut() {
+                    members.remove(&client);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_des::{FixedDelay, Simulation};
+    use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::{Arc, Mutex};
+
+    fn topology(n: usize) -> Arc<Topology> {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut b = TopologyBuilder::new();
+        for _ in 0..n {
+            b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        }
+        Arc::new(b.build())
+    }
+
+    struct Client {
+        tracker: NodeId,
+        channel: ChannelId,
+        responses: Arc<Mutex<Vec<PeerList>>>,
+    }
+
+    impl Actor<Message> for Client {
+        fn on_event(&mut self, ctx: &mut Context<'_, Message>, _from: Option<NodeId>, msg: Message) {
+            match msg {
+                Message::Timer(TimerKind::Join) => {
+                    let q = Message::TrackerQuery {
+                        channel: self.channel,
+                    };
+                    let size = q.wire_size();
+                    ctx.send(self.tracker, q, size);
+                }
+                Message::TrackerResponse { peers, .. } => {
+                    self.responses.lock().unwrap().push(peers);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn querying_registers_and_samples_other_members() {
+        let topo = topology(12);
+        let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
+        let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
+        let ch = ChannelId(1);
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let clients: Vec<NodeId> = (0..10)
+            .map(|_| {
+                sim.add_actor(Box::new(Client {
+                    tracker,
+                    channel: ch,
+                    responses: responses.clone(),
+                }))
+            })
+            .collect();
+        for (i, &c) in clients.iter().enumerate() {
+            sim.inject(
+                SimTime::from_secs(i as u64),
+                c,
+                None,
+                Message::Timer(TimerKind::Join),
+                0,
+            );
+        }
+        sim.run_until(SimTime::from_secs(60));
+        let responses = responses.lock().unwrap();
+        assert_eq!(responses.len(), 10);
+        // First client sees nobody; the last sees everyone else.
+        assert!(responses[0].is_empty());
+        assert_eq!(responses[9].len(), 9);
+        // Never includes the requester.
+        for (i, list) in responses.iter().enumerate() {
+            assert!(!list.contains(clients[i]));
+        }
+    }
+
+    #[test]
+    fn goodbye_removes_member() {
+        let topo = topology(4);
+        let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
+        let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
+        let ch = ChannelId(1);
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        let b = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
+        sim.run_until(SimTime::from_secs(1));
+        // a leaves.
+        sim.inject(SimTime::from_secs(2), tracker, Some(a), Message::Goodbye, 46);
+        sim.inject(
+            SimTime::from_secs(3),
+            b,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let responses = responses.lock().unwrap();
+        assert!(responses[1].is_empty(), "departed peer must not be listed");
+    }
+
+    #[test]
+    fn offline_tracker_ignores_queries() {
+        let topo = topology(4);
+        let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
+        let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ChannelId(1),
+            responses: responses.clone(),
+        }));
+        // Kill the tracker, then query.
+        sim.inject(
+            SimTime::ZERO,
+            tracker,
+            None,
+            Message::Timer(TimerKind::Leave),
+            0,
+        );
+        sim.inject(
+            SimTime::from_secs(1),
+            a,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(10));
+        assert!(responses.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_members_expire() {
+        let topo = topology(4);
+        let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
+        let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
+        let ch = ChannelId(1);
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        let b = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
+        // b queries 11 minutes later: a has expired.
+        sim.inject(
+            SimTime::from_secs(660),
+            b,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(700));
+        let responses = responses.lock().unwrap();
+        assert!(responses[1].is_empty(), "stale member should be expired");
+    }
+}

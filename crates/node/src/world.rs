@@ -1,0 +1,319 @@
+//! Assembles a complete scenario: topology, infrastructure, viewer
+//! population, probe hosts and capture — then runs it.
+//!
+//! Mirrors the paper's measurement setup: a PPLive-style network with a
+//! bootstrap server, five tracker groups deployed in Chinese ISPs, one
+//! stream source, a churning viewer population, and a handful of probe
+//! clients whose traffic is captured in full.
+
+use crate::{BootstrapServer, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer};
+use plsim_capture::{ProbeTap, RemoteKind, TraceRecord};
+use plsim_des::{NodeId, SimStats, SimTime, Simulation};
+use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
+use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
+use plsim_workload::SessionPlan;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A measurement host: an ordinary client whose traffic is captured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSpec {
+    /// The probe's ISP (the paper deployed probes in TELE, CNC, CER and a
+    /// US campus).
+    pub isp: Isp,
+    /// The probe's access link.
+    pub bandwidth: BandwidthClass,
+    /// Join time in seconds (probes stay until the end of the run).
+    pub join_s: f64,
+}
+
+impl ProbeSpec {
+    /// A residential ADSL probe in `isp` joining at t = 120 s, like the
+    /// paper's China hosts.
+    #[must_use]
+    pub fn residential(isp: Isp) -> Self {
+        ProbeSpec {
+            isp,
+            bandwidth: BandwidthClass::Adsl,
+            join_s: 120.0,
+        }
+    }
+
+    /// A campus probe (the paper's George Mason hosts → `Isp::Foreign`).
+    #[must_use]
+    pub fn campus(isp: Isp) -> Self {
+        ProbeSpec {
+            isp,
+            bandwidth: BandwidthClass::Campus,
+            join_s: 120.0,
+        }
+    }
+}
+
+/// Everything needed to build and run one scenario.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; identical configs + seeds give identical runs.
+    pub seed: u64,
+    /// The channel everyone watches.
+    pub channel: ChannelId,
+    /// Run length.
+    pub duration: SimTime,
+    /// The viewer population and churn schedule.
+    pub plan: SessionPlan,
+    /// Probe hosts to instrument.
+    pub probes: Vec<ProbeSpec>,
+    /// Link-quality model.
+    pub link: LinkModel,
+    /// Behaviour of every viewer (probes included — they are ordinary
+    /// clients).
+    pub peer_config: PeerConfig,
+    /// If set, all trackers die at this time (failure injection); peers
+    /// must keep going on gossip referrals alone.
+    pub tracker_outage_at: Option<SimTime>,
+    /// Fraction of viewers behind a NAT (unreachable for unsolicited
+    /// inbound traffic). Probes are never NATed, matching the study's
+    /// directly-connected measurement hosts.
+    pub nat_fraction: f64,
+}
+
+impl WorldConfig {
+    /// A minimal config over the given plan with paper-default behaviour.
+    #[must_use]
+    pub fn new(seed: u64, plan: SessionPlan, duration: SimTime) -> Self {
+        WorldConfig {
+            seed,
+            channel: ChannelId(1),
+            duration,
+            plan,
+            probes: Vec::new(),
+            link: LinkModel::default(),
+            peer_config: PeerConfig::default(),
+            tracker_outage_at: None,
+            nat_fraction: 0.0,
+        }
+    }
+}
+
+/// The tracker deployment the paper found: five groups, all inside China.
+const TRACKER_SITES: [Isp; 5] = [Isp::Tele, Isp::Tele, Isp::Cnc, Isp::Cnc, Isp::Cer];
+
+/// Results of a finished run.
+#[derive(Debug)]
+pub struct WorldOutput {
+    /// Everything captured at the probes.
+    pub records: Vec<TraceRecord>,
+    /// Final stats of every peer that ever flushed.
+    pub peer_stats: Vec<PeerStats>,
+    /// The topology (ISP ground truth for analysis).
+    pub topology: Arc<Topology>,
+    /// Probe node ids, in `WorldConfig::probes` order.
+    pub probes: Vec<NodeId>,
+    /// The stream source.
+    pub source: NodeId,
+    /// Tracker server ids.
+    pub trackers: Vec<NodeId>,
+    /// The bootstrap server id.
+    pub bootstrap: NodeId,
+    /// Kernel counters.
+    pub sim: SimStats,
+}
+
+/// A fully assembled, not-yet-run scenario.
+#[derive(Debug)]
+pub struct World {
+    sim: Simulation<Message>,
+    tap: ProbeTap,
+    sink: StatsSink,
+    topology: Arc<Topology>,
+    probes: Vec<NodeId>,
+    source: NodeId,
+    trackers: Vec<NodeId>,
+    bootstrap: NodeId,
+    duration: SimTime,
+}
+
+impl World {
+    /// Builds the scenario: allocates the topology, instantiates all
+    /// actors, wires up capture, and schedules every join/leave.
+    #[must_use]
+    pub fn build(cfg: &WorldConfig) -> World {
+        let mut build_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut topo = TopologyBuilder::new();
+
+        // Ids are handed out in registration order; actors are added to the
+        // simulation in exactly the same order below.
+        let bootstrap_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
+        let tracker_ids: Vec<NodeId> = TRACKER_SITES
+            .iter()
+            .map(|&isp| topo.add_host(isp, BandwidthClass::Backbone, &mut build_rng))
+            .collect();
+        let source_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
+        let probe_ids: Vec<NodeId> = cfg
+            .probes
+            .iter()
+            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
+            .collect();
+        let peer_ids: Vec<NodeId> = cfg
+            .plan
+            .peers
+            .iter()
+            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
+            .collect();
+
+        let topology = Arc::new(topo.build());
+        let tap = ProbeTap::new(probe_ids.iter().copied(), Arc::clone(&topology));
+        let sink = StatsSink::new();
+
+        let mut sim: Simulation<Message> = Simulation::new(
+            cfg.seed,
+            Underlay::new(Arc::clone(&topology), cfg.link),
+        );
+        sim.set_monitor(tap.clone());
+
+        let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
+        let tracker_entries: Vec<PeerEntry> = tracker_ids.iter().map(|&t| entry(t)).collect();
+
+        // Bootstrap server.
+        let mut bootstrap = BootstrapServer::new();
+        bootstrap.add_channel(cfg.channel, tracker_entries.clone());
+        let id = sim.add_actor(Box::new(bootstrap));
+        debug_assert_eq!(id, bootstrap_id);
+        tap.mark_remote(bootstrap_id, RemoteKind::Bootstrap);
+
+        // Trackers.
+        for &tid in &tracker_ids {
+            let id = sim.add_actor(Box::new(TrackerServer::new(Arc::clone(&topology))));
+            debug_assert_eq!(id, tid);
+            tap.mark_remote(tid, RemoteKind::Tracker);
+        }
+
+        // Source: bigger neighbor budget, same protocol.
+        let source_cfg = PeerConfig {
+            max_neighbors: cfg.peer_config.max_neighbors * 3,
+            accept_slack: cfg.peer_config.accept_slack * 3,
+            ..cfg.peer_config
+        };
+        let src = PeerNode::source(
+            source_cfg,
+            cfg.channel,
+            entry(source_id),
+            tracker_entries,
+            Arc::clone(&topology),
+            sink.clone(),
+        );
+        let id = sim.add_actor(Box::new(src));
+        debug_assert_eq!(id, source_id);
+        tap.mark_remote(source_id, RemoteKind::Source);
+        sim.inject(
+            SimTime::ZERO,
+            source_id,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+
+        // Probes (ordinary viewers, captured).
+        for (spec, &pid) in cfg.probes.iter().zip(&probe_ids) {
+            let peer = PeerNode::viewer(
+                cfg.peer_config,
+                cfg.channel,
+                entry(pid),
+                bootstrap_id,
+                Arc::clone(&topology),
+                sink.clone(),
+            );
+            let id = sim.add_actor(Box::new(peer));
+            debug_assert_eq!(id, pid);
+            sim.inject(
+                SimTime::from_secs_f64(spec.join_s),
+                pid,
+                None,
+                Message::Timer(TimerKind::Join),
+                0,
+            );
+        }
+
+        // Population.
+        for (plan, &pid) in cfg.plan.peers.iter().zip(&peer_ids) {
+            let mut peer = PeerNode::viewer(
+                cfg.peer_config,
+                cfg.channel,
+                entry(pid),
+                bootstrap_id,
+                Arc::clone(&topology),
+                sink.clone(),
+            );
+            if cfg.nat_fraction > 0.0 && build_rng.random::<f64>() < cfg.nat_fraction {
+                peer = peer.behind_nat();
+            }
+            let id = sim.add_actor(Box::new(peer));
+            debug_assert_eq!(id, pid);
+            sim.inject(
+                SimTime::from_secs_f64(plan.join_s),
+                pid,
+                None,
+                Message::Timer(TimerKind::Join),
+                0,
+            );
+            if plan.leave_s < cfg.duration.as_secs_f64() {
+                sim.inject(
+                    SimTime::from_secs_f64(plan.leave_s),
+                    pid,
+                    None,
+                    Message::Timer(TimerKind::Leave),
+                    0,
+                );
+            }
+        }
+
+        // Failure injection: tracker outage.
+        if let Some(at) = cfg.tracker_outage_at {
+            for &tid in &tracker_ids {
+                sim.inject(at, tid, None, Message::Timer(TimerKind::Leave), 0);
+            }
+        }
+
+        World {
+            sim,
+            tap,
+            sink,
+            topology,
+            probes: probe_ids,
+            source: source_id,
+            trackers: tracker_ids,
+            bootstrap: bootstrap_id,
+            duration: cfg.duration,
+        }
+    }
+
+    /// Probe node ids in config order.
+    #[must_use]
+    pub fn probes(&self) -> &[NodeId] {
+        &self.probes
+    }
+
+    /// Runs to the configured horizon and returns everything measured.
+    #[must_use]
+    pub fn run(mut self) -> WorldOutput {
+        let sim_stats = self.sim.run_until(self.duration);
+        WorldOutput {
+            records: self.tap.take(),
+            peer_stats: self.sink.collect(),
+            topology: self.topology,
+            probes: self.probes,
+            source: self.source,
+            trackers: self.trackers,
+            bootstrap: self.bootstrap,
+            sim: sim_stats,
+        }
+    }
+}
+
+/// Builds and runs in one call.
+#[must_use]
+pub fn run_world(cfg: &WorldConfig) -> WorldOutput {
+    World::build(cfg).run()
+}

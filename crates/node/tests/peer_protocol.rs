@@ -1,0 +1,275 @@
+//! Protocol-conformance tests for `PeerNode`, driven by injected messages
+//! and a message-collecting counterpart actor.
+
+use plsim_des::{Actor, Context, NodeId, SimTime, Simulation};
+use plsim_net::{BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
+use plsim_node::{PeerConfig, PeerNode, StatsSink};
+use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerList, TimerKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+/// Records every message delivered to it.
+struct Collector {
+    log: Arc<Mutex<Vec<(NodeId, Message)>>>,
+}
+
+impl Actor<Message> for Collector {
+    fn on_event(&mut self, _ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+        if let Some(from) = from {
+            self.log.lock().unwrap().push((from, msg));
+        }
+    }
+}
+
+struct TestWorld {
+    sim: Simulation<Message>,
+    source: NodeId,
+    collector: NodeId,
+    log: Arc<Mutex<Vec<(NodeId, Message)>>>,
+}
+
+/// Builds: a source (node 0) that produces chunks, and a collector
+/// (node 1) we can impersonate/inspect.
+fn world() -> TestWorld {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut topo = TopologyBuilder::new();
+    let source_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+    let collector_id = topo.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+    let topology = Arc::new(topo.build());
+
+    let mut sim: Simulation<Message> =
+        Simulation::new(7, Underlay::new(Arc::clone(&topology), LinkModel::ideal()));
+
+    let sink = StatsSink::new();
+    let source = PeerNode::source(
+        PeerConfig::default(),
+        ChannelId(1),
+        PeerEntry::new(source_id, topology.host(source_id).ip),
+        Vec::new(),
+        Arc::clone(&topology),
+        sink,
+    );
+    let id = sim.add_actor(Box::new(source));
+    assert_eq!(id, source_id);
+
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let id = sim.add_actor(Box::new(Collector { log: log.clone() }));
+    assert_eq!(id, collector_id);
+
+    sim.inject(
+        SimTime::ZERO,
+        source_id,
+        None,
+        Message::Timer(TimerKind::Join),
+        0,
+    );
+    TestWorld {
+        sim,
+        source: source_id,
+        collector: collector_id,
+        log,
+    }
+}
+
+fn replies_of(w: &TestWorld) -> Vec<Message> {
+    w.log
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(from, _)| *from == w.source)
+        .map(|(_, m)| m.clone())
+        .collect()
+}
+
+#[test]
+fn source_accepts_handshake_and_answers_gossip() {
+    let mut w = world();
+    w.sim.run_until(SimTime::from_secs(10));
+    let hs = Message::Handshake {
+        channel: ChannelId(1),
+    };
+    let sz = hs.wire_size();
+    w.sim
+        .inject(SimTime::from_secs(10), w.source, Some(w.collector), hs, sz);
+    let req = Message::PeerListRequest {
+        channel: ChannelId(1),
+        my_peers: PeerList::new(),
+        req_id: 9,
+    };
+    let sz = req.wire_size();
+    w.sim
+        .inject(SimTime::from_secs(11), w.source, Some(w.collector), req, sz);
+    w.sim.run_until(SimTime::from_secs(20));
+
+    let replies = replies_of(&w);
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, Message::HandshakeAck { accepted: true, .. })),
+        "handshake should be accepted: {replies:?}"
+    );
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, Message::PeerListResponse { req_id: 9, .. })),
+        "gossip must be answered with the matching req_id"
+    );
+}
+
+#[test]
+fn source_serves_chunks_it_produced_and_rejects_future_ones() {
+    let mut w = world();
+    // Let the source produce ~30 chunks.
+    w.sim.run_until(SimTime::from_secs(31));
+    let ask = |w: &mut TestWorld, at: u64, chunk: u64, seq: u64| {
+        let msg = Message::DataRequest {
+            channel: ChannelId(1),
+            chunk: ChunkId(chunk),
+            offset: 0,
+            count: 5,
+            seq,
+        };
+        let sz = msg.wire_size();
+        w.sim
+            .inject(SimTime::from_secs(at), w.source, Some(w.collector), msg, sz);
+    };
+    ask(&mut w, 31, 10, 1); // exists
+    ask(&mut w, 31, 500_000, 2); // far future: cannot exist
+    w.sim.run_until(SimTime::from_secs(40));
+
+    let replies = replies_of(&w);
+    assert!(
+        replies.iter().any(|m| matches!(
+            m,
+            Message::DataReply {
+                seq: 1,
+                count: 5,
+                ..
+            }
+        )),
+        "produced chunk must be served"
+    );
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, Message::DataReject { seq: 2, busy: false, .. })),
+        "unknown chunk must be rejected (not busy)"
+    );
+}
+
+#[test]
+fn source_evicts_chunks_behind_the_live_window() {
+    let mut w = world();
+    let live_window = PeerConfig::default().stream.live_window;
+    // Run long enough that chunk 5 has fallen out of the live window.
+    let horizon = live_window + 60;
+    w.sim.run_until(SimTime::from_secs(horizon));
+    let msg = Message::DataRequest {
+        channel: ChannelId(1),
+        chunk: ChunkId(5),
+        offset: 0,
+        count: 1,
+        seq: 3,
+    };
+    let sz = msg.wire_size();
+    w.sim
+        .inject(SimTime::from_secs(horizon), w.source, Some(w.collector), msg, sz);
+    w.sim.run_until(SimTime::from_secs(horizon + 10));
+    let replies = replies_of(&w);
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, Message::DataReject { seq: 3, .. })),
+        "evicted chunk must be rejected: {replies:?}"
+    );
+}
+
+#[test]
+fn nat_peer_ignores_unsolicited_handshake() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut topo = TopologyBuilder::new();
+    let nat_id = topo.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+    let other_id = topo.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+    let bootstrap_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+    let topology = Arc::new(topo.build());
+    let mut sim: Simulation<Message> =
+        Simulation::new(3, Underlay::new(Arc::clone(&topology), LinkModel::ideal()));
+
+    let nat_peer = PeerNode::viewer(
+        PeerConfig::default(),
+        ChannelId(1),
+        PeerEntry::new(nat_id, topology.host(nat_id).ip),
+        // A dedicated (never-answering) bootstrap node, distinct from the
+        // sender below: traffic from the configured bootstrap is exempt
+        // from the NAT gate.
+        bootstrap_id,
+        Arc::clone(&topology),
+        StatsSink::new(),
+    )
+    .behind_nat();
+    let id = sim.add_actor(Box::new(nat_peer));
+    assert_eq!(id, nat_id);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let id = sim.add_actor(Box::new(Collector { log: log.clone() }));
+    assert_eq!(id, other_id);
+    let id = sim.add_actor(Box::new(Collector {
+        log: Arc::new(Mutex::new(Vec::new())),
+    }));
+    assert_eq!(id, bootstrap_id);
+
+    sim.inject(SimTime::ZERO, nat_id, None, Message::Timer(TimerKind::Join), 0);
+    let hs = Message::Handshake {
+        channel: ChannelId(1),
+    };
+    let sz = hs.wire_size();
+    sim.inject(SimTime::from_secs(1), nat_id, Some(other_id), hs, sz);
+    sim.run_until(SimTime::from_secs(10));
+
+    let acks = log
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(from, m)| *from == nat_id && matches!(m, Message::HandshakeAck { .. }))
+        .count();
+    assert_eq!(acks, 0, "NATed peer must not ack unsolicited handshakes");
+}
+
+#[test]
+fn goodbye_removes_the_neighbor() {
+    let mut w = world();
+    w.sim.run_until(SimTime::from_secs(5));
+    let hs = Message::Handshake {
+        channel: ChannelId(1),
+    };
+    let sz = hs.wire_size();
+    w.sim
+        .inject(SimTime::from_secs(5), w.source, Some(w.collector), hs, sz);
+    w.sim.run_until(SimTime::from_secs(6));
+    w.sim.inject(
+        SimTime::from_secs(6),
+        w.source,
+        Some(w.collector),
+        Message::Goodbye,
+        46,
+    );
+    w.sim.run_until(SimTime::from_secs(20));
+    // After goodbye, a gossip request still gets answered (liberal server),
+    // but the returned list must not contain the departed peer.
+    let req = Message::PeerListRequest {
+        channel: ChannelId(1),
+        my_peers: PeerList::new(),
+        req_id: 77,
+    };
+    let sz = req.wire_size();
+    w.sim
+        .inject(SimTime::from_secs(20), w.source, Some(w.collector), req, sz);
+    w.sim.run_until(SimTime::from_secs(30));
+    let replies = replies_of(&w);
+    let list = replies.iter().find_map(|m| match m {
+        Message::PeerListResponse { req_id: 77, peers, .. } => Some(peers.clone()),
+        _ => None,
+    });
+    let list = list.expect("gossip answered");
+    assert!(!list.contains(w.collector), "departed peer still listed");
+}

@@ -1,0 +1,53 @@
+//! Property tests for peer-list invariants.
+
+use plsim_des::NodeId;
+use plsim_proto::{PeerEntry, PeerList};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+fn entry(n: u32) -> PeerEntry {
+    PeerEntry::new(
+        NodeId(n),
+        Ipv4Addr::new(58, (n >> 16) as u8, (n >> 8) as u8, n as u8),
+    )
+}
+
+proptest! {
+    /// Whatever is pushed, a peer list never exceeds MAX_LEN and never holds
+    /// the same node twice.
+    #[test]
+    fn list_invariants_hold(ids in proptest::collection::vec(0u32..500, 0..300)) {
+        let list: PeerList = ids.iter().map(|&n| entry(n)).collect();
+        prop_assert!(list.len() <= PeerList::MAX_LEN);
+        let mut seen = HashSet::new();
+        for e in &list {
+            prop_assert!(seen.insert(e.node), "duplicate {:?}", e.node);
+        }
+    }
+
+    /// Everything that fits and is unique is kept, in first-seen order.
+    #[test]
+    fn list_preserves_first_seen_order(ids in proptest::collection::vec(0u32..100, 0..80)) {
+        let list: PeerList = ids.iter().map(|&n| entry(n)).collect();
+        let mut expected = Vec::new();
+        for &n in &ids {
+            if expected.len() >= PeerList::MAX_LEN {
+                break;
+            }
+            if !expected.contains(&n) {
+                expected.push(n);
+            }
+        }
+        let got: Vec<u32> = list.iter().map(|e| e.node.0).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `contains` agrees with iteration.
+    #[test]
+    fn contains_is_consistent(ids in proptest::collection::vec(0u32..50, 0..50), probe in 0u32..60) {
+        let list: PeerList = ids.iter().map(|&n| entry(n)).collect();
+        let by_iter = list.iter().any(|e| e.node == NodeId(probe));
+        prop_assert_eq!(list.contains(NodeId(probe)), by_iter);
+    }
+}

@@ -1,0 +1,108 @@
+//! Random variates for workload synthesis: Weibull (the CCDF family of the
+//! stretched exponential), lognormal session lengths, and exponential
+//! inter-arrivals.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Samples a Weibull(shape, scale) variate by inverse transform.
+///
+/// The stretched-exponential rank distribution of the paper corresponds to a
+/// Weibull-shaped CCDF, so Weibull draws generate synthetic per-peer
+/// contributions that refit to an SE model (experiment W1).
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not positive.
+#[must_use]
+pub fn weibull(rng: &mut SmallRng, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "weibull params must be positive");
+    let u: f64 = rng.random();
+    scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+}
+
+/// Samples an Exp(mean) variate (inter-arrival times).
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive.
+#[must_use]
+pub fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a lognormal variate with the given parameters of the underlying
+/// normal (session durations: most short, a long tail of marathon viewers).
+#[must_use]
+pub fn lognormal(rng: &mut SmallRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Standard normal via Box–Muller.
+#[must_use]
+pub fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn weibull_mean_matches_theory() {
+        // shape=1 degenerates to Exp(scale): mean = scale.
+        let mut r = rng();
+        let n = 20_000;
+        let m: f64 = (0..n).map(|_| weibull(&mut r, 1.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((m - 2.0).abs() < 0.1, "mean = {m}");
+    }
+
+    #[test]
+    fn weibull_small_shape_is_heavier_tailed() {
+        let mut r = rng();
+        let n = 20_000;
+        let max_small = (0..n).map(|_| weibull(&mut r, 0.4, 1.0)).fold(0.0, f64::max);
+        let max_one = (0..n).map(|_| weibull(&mut r, 1.0, 1.0)).fold(0.0, f64::max);
+        assert!(max_small > max_one);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng();
+        let n = 20_000;
+        let m: f64 = (0..n).map(|_| exponential(&mut r, 5.0)).sum::<f64>() / n as f64;
+        assert!((m - 5.0).abs() < 0.2, "mean = {m}");
+    }
+
+    #[test]
+    fn standard_normal_is_centered() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!(m.abs() < 0.05, "mean = {m}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = rng();
+        assert!((0..1000).all(|_| lognormal(&mut r, 0.0, 1.0) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weibull_rejects_bad_params() {
+        let _ = weibull(&mut rng(), 0.0, 1.0);
+    }
+}

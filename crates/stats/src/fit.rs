@@ -1,0 +1,283 @@
+//! Least-squares fitting: linear regression, Zipf and stretched-exponential
+//! rank-distribution models, and correlation.
+//!
+//! The paper fits the number of data requests per ranked neighbor with both
+//! a Zipf model (straight line in log-log scale) and a stretched-exponential
+//! model (straight line in "SE scale": `y^c` against `log10 rank`), and shows
+//! the SE model wins decisively. These routines implement exactly those fits.
+
+use serde::{Deserialize, Serialize};
+
+/// Ordinary least-squares line `y = slope * x + intercept` with its R².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in the fitted space.
+    pub r2: f64,
+}
+
+/// Fits `y = slope * x + intercept` by least squares.
+///
+/// Returns `None` if fewer than two points are given or all `x` are equal.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "mismatched fit inputs");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if fewer than two points or either sample is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "mismatched correlation inputs");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// A Zipf (power-law) fit `y_i ∝ i^(−alpha)` to a descending rank
+/// distribution, evaluated in log-log space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfFit {
+    /// The power-law exponent (positive for decaying distributions).
+    pub alpha: f64,
+    /// R² of the straight-line fit in log-log space.
+    pub r2: f64,
+}
+
+/// Fits a Zipf model to a **descending** rank distribution of positive
+/// values. Returns `None` with fewer than three positive values.
+#[must_use]
+pub fn zipf_fit(ranked: &[f64]) -> Option<ZipfFit> {
+    let pts: Vec<(f64, f64)> = ranked
+        .iter()
+        .enumerate()
+        .filter(|(_, &y)| y > 0.0)
+        .map(|(i, &y)| (((i + 1) as f64).log10(), y.log10()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let fit = linear_fit(&xs, &ys)?;
+    Some(ZipfFit {
+        alpha: -fit.slope,
+        r2: fit.r2,
+    })
+}
+
+/// A stretched-exponential fit `y_i^c = −a·log10(i) + b` to a descending
+/// rank distribution (the paper's Eq. 1; its CCDF is a Weibull).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StretchedExpFit {
+    /// The stretch exponent `c` (0 < c ≤ 1 in media workloads).
+    pub c: f64,
+    /// Slope magnitude `a` (`a = x₀^c` in the paper's parametrization).
+    pub a: f64,
+    /// Intercept `b` (`b = y₁^c`).
+    pub b: f64,
+    /// R² of the straight-line fit in SE scale (`y^c` vs `log10 i`).
+    pub r2: f64,
+}
+
+impl StretchedExpFit {
+    /// The model's predicted value at 1-based rank `i`, clamped at zero.
+    #[must_use]
+    pub fn predict(&self, rank: usize) -> f64 {
+        let yc = self.b - self.a * (rank as f64).log10();
+        if yc <= 0.0 {
+            0.0
+        } else {
+            yc.powf(1.0 / self.c)
+        }
+    }
+}
+
+/// Fits the stretched-exponential rank model by grid search over `c`
+/// (0.05..=1.00 in 0.05 steps, the granularity the paper reports) with least
+/// squares for `a`, `b` at each candidate; keeps the `c` with the best R².
+///
+/// Returns `None` with fewer than three positive values.
+#[must_use]
+pub fn stretched_exp_fit(ranked: &[f64]) -> Option<StretchedExpFit> {
+    let positive: Vec<f64> = ranked.iter().copied().filter(|&y| y > 0.0).collect();
+    if positive.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = (1..=positive.len()).map(|i| (i as f64).log10()).collect();
+    let mut best: Option<StretchedExpFit> = None;
+    for step in 1..=20 {
+        let c = step as f64 * 0.05;
+        let ys: Vec<f64> = positive.iter().map(|y| y.powf(c)).collect();
+        if let Some(fit) = linear_fit(&xs, &ys) {
+            let candidate = StretchedExpFit {
+                c,
+                a: -fit.slope,
+                b: fit.intercept,
+                r2: fit.r2,
+            };
+            if best.is_none_or(|b| candidate.r2 > b.r2) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// Correlation between the logarithm of a rank distribution's values and the
+/// logarithm of a covariate (the paper's Figures 15–18: log #requests vs
+/// log RTT). Pairs with non-positive components are skipped.
+#[must_use]
+pub fn log_log_correlation(values: &[f64], covariate: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = values
+        .iter()
+        .zip(covariate)
+        .filter(|(&v, &c)| v > 0.0 && c > 0.0)
+        .map(|(&v, &c)| (v.ln(), c.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_anti_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn zipf_fit_recovers_exponent_on_pure_power_law() {
+        let ranked: Vec<f64> = (1..=500).map(|i| 1e6 * (i as f64).powf(-1.3)).collect();
+        let fit = zipf_fit(&ranked).unwrap();
+        assert!((fit.alpha - 1.3).abs() < 1e-9, "alpha = {}", fit.alpha);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn se_fit_recovers_parameters_on_pure_se_data() {
+        // Generate y_i = (b - a log10 i)^(1/c) with known parameters.
+        let (c, a, b) = (0.35, 5.0, 30.0);
+        let n = 200;
+        let ranked: Vec<f64> = (1..=n)
+            .map(|i| {
+                let yc = b - a * (i as f64).log10();
+                yc.max(1e-9).powf(1.0 / c)
+            })
+            .collect();
+        let fit = stretched_exp_fit(&ranked).unwrap();
+        assert!((fit.c - c).abs() < 0.051, "c = {}", fit.c);
+        assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);
+        // Prediction round-trips roughly.
+        assert!((fit.predict(1) - ranked[0]).abs() / ranked[0] < 0.2);
+    }
+
+    #[test]
+    fn se_beats_zipf_on_se_data_and_vice_versa() {
+        let se_data: Vec<f64> = (1..=300)
+            .map(|i| {
+                let yc: f64 = 40.0 - 7.0 * (i as f64).log10();
+                yc.max(1e-9).powf(1.0 / 0.4)
+            })
+            .collect();
+        let se = stretched_exp_fit(&se_data).unwrap();
+        let zipf = zipf_fit(&se_data).unwrap();
+        assert!(se.r2 > zipf.r2, "se {} vs zipf {}", se.r2, zipf.r2);
+
+        let zipf_data: Vec<f64> = (1..=300).map(|i| 1e5 * (i as f64).powf(-1.0)).collect();
+        let z2 = zipf_fit(&zipf_data).unwrap();
+        assert!(z2.r2 > 0.9999);
+    }
+
+    #[test]
+    fn log_log_correlation_is_negative_for_inverse_relation() {
+        let requests: Vec<f64> = (1..=100).map(|i| 1000.0 / i as f64).collect();
+        let rtt: Vec<f64> = (1..=100).map(|i| 0.01 * i as f64).collect();
+        let r = log_log_correlation(&requests, &rtt).unwrap();
+        assert!(r < -0.99, "r = {r}");
+    }
+
+    #[test]
+    fn log_log_correlation_skips_nonpositive_pairs() {
+        let values = [0.0, 10.0, 5.0, 2.0];
+        let cov = [1.0, 2.0, -1.0, 8.0];
+        // Only (10,2) and (2,8) survive.
+        assert!(log_log_correlation(&values, &cov).is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! # plsim-workload — viewer populations and churn
+//!
+//! Synthesizes who watches a channel, from which ISP, on what access link,
+//! and when they arrive and depart. The paper attributes the *level* of
+//! traffic locality directly to the availability of same-ISP viewers
+//! (popular channels → many TELE viewers → ~85% local traffic; unpopular →
+//! fewer → ~55%), so population synthesis is the experimental knob that
+//! drives every figure.
+//!
+//! The crate also contains a standalone stretched-exponential workload
+//! generator ([`se_workload`]): the paper notes its characterization
+//! "provides a basis to generate practical P2P streaming workloads for
+//! simulation based studies", and experiment W1 round-trips that claim.
+//!
+//! # Examples
+//!
+//! ```
+//! use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let spec = PopulationSpec::paper_default(ChannelClass::Popular);
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let plan = SessionPlan::generate(&spec, 7200.0, &mut rng);
+//! assert!(!plan.peers.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod population;
+mod se;
+
+pub use population::{ChannelClass, DayFactor, PeerPlan, PopulationSpec, SessionPlan};
+pub use se::{se_workload, SeWorkloadSpec};

@@ -1,0 +1,329 @@
+//! Channel viewer populations: ISP mix, access links, arrivals, departures.
+
+use plsim_net::{BandwidthClass, Isp};
+use plsim_stats::{exponential, lognormal};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Channel popularity tier, the paper's main experimental contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelClass {
+    /// A top-rated program: thousands of concurrent viewers, heavily
+    /// dominated by Chinese residential users (mostly TELE).
+    Popular,
+    /// A niche program: one to two orders of magnitude fewer viewers, with
+    /// a flatter ISP mix (the paper's Fig. 3 shows TELE ≈ CNC).
+    Unpopular,
+}
+
+impl ChannelClass {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ChannelClass::Popular => "popular",
+            ChannelClass::Unpopular => "unpopular",
+        }
+    }
+}
+
+/// Per-day random variation applied to a base spec (drives Figure 6's
+/// 28-day series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayFactor {
+    /// Multiplier on the steady-state viewer count.
+    pub viewer_scale: f64,
+    /// Multiplier on the Foreign mix weight. Foreign viewership of Chinese
+    /// programming is far more volatile than domestic viewership, which is
+    /// why the paper's Mason locality series swings while CNC/TELE are flat.
+    pub foreign_scale: f64,
+}
+
+impl DayFactor {
+    /// Samples the variation for one day.
+    #[must_use]
+    pub fn sample(rng: &mut SmallRng) -> Self {
+        DayFactor {
+            viewer_scale: lognormal(rng, 0.0, 0.18).clamp(0.5, 2.0),
+            foreign_scale: lognormal(rng, 0.0, 0.7).clamp(0.1, 6.0),
+        }
+    }
+}
+
+/// Parameters of a channel's viewer population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Popularity tier (records intent; the numbers below do the work).
+    pub class: ChannelClass,
+    /// Steady-state concurrent viewer target.
+    pub steady_viewers: usize,
+    /// Relative ISP weights, in [`Isp::ALL`] order (TELE, CNC, CER,
+    /// OtherCN, Foreign). Need not be normalized.
+    pub isp_weights: [f64; 5],
+    /// Mean session duration in seconds (lognormal with this mean).
+    pub mean_session_secs: f64,
+}
+
+impl PopulationSpec {
+    /// The population shapes used to reproduce the paper's figures.
+    ///
+    /// Popular: China-peak audience dominated by TELE (the paper's probe saw
+    /// ~70% TELE on returned lists). Unpopular: much smaller with TELE ≈ CNC
+    /// and CNC slightly ahead (Fig. 3a).
+    #[must_use]
+    pub fn paper_default(class: ChannelClass) -> Self {
+        match class {
+            ChannelClass::Popular => PopulationSpec {
+                class,
+                steady_viewers: 700,
+                isp_weights: [0.56, 0.26, 0.02, 0.08, 0.08],
+                mean_session_secs: 2400.0,
+            },
+            ChannelClass::Unpopular => PopulationSpec {
+                class,
+                steady_viewers: 110,
+                isp_weights: [0.34, 0.40, 0.02, 0.12, 0.12],
+                mean_session_secs: 1800.0,
+            },
+        }
+    }
+
+    /// A miniature population for fast unit/integration tests.
+    #[must_use]
+    pub fn tiny(class: ChannelClass) -> Self {
+        let mut spec = PopulationSpec::paper_default(class);
+        spec.steady_viewers = match class {
+            ChannelClass::Popular => 60,
+            ChannelClass::Unpopular => 24,
+        };
+        spec
+    }
+
+    /// Applies a day's variation, returning the perturbed spec.
+    #[must_use]
+    pub fn with_day(&self, day: DayFactor) -> PopulationSpec {
+        let mut spec = self.clone();
+        spec.steady_viewers =
+            ((spec.steady_viewers as f64) * day.viewer_scale).round().max(4.0) as usize;
+        spec.isp_weights[4] *= day.foreign_scale;
+        spec
+    }
+
+    /// Samples an ISP according to the weights.
+    pub fn sample_isp(&self, rng: &mut SmallRng) -> Isp {
+        let total: f64 = self.isp_weights.iter().sum();
+        let mut x = rng.random::<f64>() * total;
+        for (isp, w) in Isp::ALL.iter().zip(self.isp_weights) {
+            if x < w {
+                return *isp;
+            }
+            x -= w;
+        }
+        Isp::Foreign
+    }
+}
+
+/// Samples the access-link class for a viewer on `isp` (2008-era mix:
+/// Chinese residential users overwhelmingly on ADSL, CERNET and US campus
+/// users on fast links).
+#[must_use]
+pub fn sample_bandwidth_class(isp: Isp, rng: &mut SmallRng) -> BandwidthClass {
+    let x: f64 = rng.random();
+    match isp {
+        Isp::Cer => BandwidthClass::Campus,
+        Isp::Foreign => {
+            if x < 0.45 {
+                BandwidthClass::Campus
+            } else if x < 0.80 {
+                BandwidthClass::Cable
+            } else {
+                BandwidthClass::Office
+            }
+        }
+        _ => {
+            if x < 0.75 {
+                BandwidthClass::Adsl
+            } else if x < 0.95 {
+                BandwidthClass::Cable
+            } else {
+                BandwidthClass::Office
+            }
+        }
+    }
+}
+
+/// One planned viewer: who they are and when they are online.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerPlan {
+    /// The viewer's ISP.
+    pub isp: Isp,
+    /// The viewer's access link.
+    pub bandwidth: BandwidthClass,
+    /// Join time in seconds from scenario start.
+    pub join_s: f64,
+    /// Leave time in seconds from scenario start (clamped to the horizon;
+    /// a viewer staying to the end has `leave_s == horizon`).
+    pub leave_s: f64,
+}
+
+/// The full churn schedule of one channel for one session.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SessionPlan {
+    /// All planned viewers in join order.
+    pub peers: Vec<PeerPlan>,
+}
+
+impl SessionPlan {
+    /// Generates the schedule for `horizon_secs` of simulated time.
+    ///
+    /// An initial cohort of `steady_viewers` joins during the first 90
+    /// seconds (they represent the audience already present when the probes
+    /// start), then Poisson arrivals at rate `steady/mean_session` keep the
+    /// population near its target; session lengths are lognormal.
+    #[must_use]
+    pub fn generate(spec: &PopulationSpec, horizon_secs: f64, rng: &mut SmallRng) -> SessionPlan {
+        let mut peers = Vec::new();
+        let mean = spec.mean_session_secs;
+        // Lognormal with the requested mean: mean = exp(mu + sigma^2/2).
+        let sigma: f64 = 0.9;
+        let mu = mean.ln() - sigma * sigma / 2.0;
+
+        let mut push = |join: f64, rng: &mut SmallRng| {
+            let isp = spec.sample_isp(rng);
+            let duration = lognormal(rng, mu, sigma).clamp(90.0, horizon_secs * 2.0);
+            peers.push(PeerPlan {
+                isp,
+                bandwidth: sample_bandwidth_class(isp, rng),
+                join_s: join,
+                leave_s: (join + duration).min(horizon_secs),
+            });
+        };
+
+        for _ in 0..spec.steady_viewers {
+            let join = rng.random::<f64>() * 90.0;
+            push(join, rng);
+        }
+        let rate = spec.steady_viewers as f64 / mean;
+        let mut t = 90.0;
+        loop {
+            t += exponential(rng, 1.0 / rate);
+            if t >= horizon_secs {
+                break;
+            }
+            push(t, rng);
+        }
+        peers.sort_by(|a, b| a.join_s.partial_cmp(&b.join_s).expect("finite times"));
+        SessionPlan { peers }
+    }
+
+    /// Number of planned viewers online at time `t`.
+    #[must_use]
+    pub fn online_at(&self, t: f64) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.join_s <= t && p.leave_s > t)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn popular_plan_is_larger_and_tele_dominated() {
+        let mut r = rng();
+        let pop = SessionPlan::generate(
+            &PopulationSpec::paper_default(ChannelClass::Popular),
+            7200.0,
+            &mut r,
+        );
+        let unpop = SessionPlan::generate(
+            &PopulationSpec::paper_default(ChannelClass::Unpopular),
+            7200.0,
+            &mut r,
+        );
+        assert!(pop.peers.len() > 3 * unpop.peers.len());
+        let tele = pop.peers.iter().filter(|p| p.isp == Isp::Tele).count();
+        assert!(
+            tele as f64 > 0.45 * pop.peers.len() as f64,
+            "tele fraction {}",
+            tele as f64 / pop.peers.len() as f64
+        );
+    }
+
+    #[test]
+    fn population_stays_near_steady_state() {
+        let mut r = rng();
+        let spec = PopulationSpec::paper_default(ChannelClass::Popular);
+        let plan = SessionPlan::generate(&spec, 7200.0, &mut r);
+        for t in [600.0, 3600.0, 7000.0] {
+            let online = plan.online_at(t);
+            let target = spec.steady_viewers as f64;
+            assert!(
+                (online as f64) > 0.5 * target && (online as f64) < 1.8 * target,
+                "online {online} at t={t}, target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn joins_are_sorted_and_leave_after_join() {
+        let mut r = rng();
+        let plan = SessionPlan::generate(
+            &PopulationSpec::tiny(ChannelClass::Unpopular),
+            1800.0,
+            &mut r,
+        );
+        for w in plan.peers.windows(2) {
+            assert!(w[0].join_s <= w[1].join_s);
+        }
+        for p in &plan.peers {
+            assert!(p.leave_s > p.join_s);
+            assert!(p.leave_s <= 1800.0);
+        }
+    }
+
+    #[test]
+    fn cer_viewers_are_campus_attached() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(
+                sample_bandwidth_class(Isp::Cer, &mut r),
+                BandwidthClass::Campus
+            );
+        }
+    }
+
+    #[test]
+    fn day_factor_perturbs_foreign_share() {
+        let mut r = rng();
+        let base = PopulationSpec::paper_default(ChannelClass::Popular);
+        let mut scales = Vec::new();
+        for _ in 0..50 {
+            let day = DayFactor::sample(&mut r);
+            let spec = base.with_day(day);
+            scales.push(spec.isp_weights[4] / base.isp_weights[4]);
+            assert!(spec.steady_viewers >= 4);
+        }
+        let spread = scales.iter().cloned().fold(0.0f64, f64::max)
+            / scales.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 2.0, "foreign share should vary day to day");
+    }
+
+    #[test]
+    fn sample_isp_respects_zero_weight() {
+        let mut r = rng();
+        let mut spec = PopulationSpec::paper_default(ChannelClass::Popular);
+        spec.isp_weights = [1.0, 0.0, 0.0, 0.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(spec.sample_isp(&mut r), Isp::Tele);
+        }
+    }
+}

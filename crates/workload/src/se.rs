@@ -1,0 +1,130 @@
+//! Stretched-exponential workload generation (experiment W1).
+//!
+//! The paper closes §1 noting that its workload characterization "provides a
+//! basis to generate practical P2P streaming workloads for simulation based
+//! studies". This module is that generator: given SE parameters it produces
+//! per-neighbor contribution vectors whose rank distribution refits to the
+//! same model.
+
+use plsim_stats::lognormal;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a stretched-exponential rank distribution
+/// `y_i^c = −a·log10(i) + b`, with `b` derived from the paper's
+/// normalization `y_n = 1` (Eq. 2: `b = 1 + a·log10 n`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeWorkloadSpec {
+    /// Stretch exponent (the paper fits c ∈ [0.2, 0.4] for PPLive traces).
+    pub c: f64,
+    /// Slope magnitude in SE scale.
+    pub a: f64,
+    /// Number of ranked contributors (e.g. connected peers).
+    pub n: usize,
+    /// Multiplicative lognormal noise sigma (0 = exact model values).
+    pub noise_sigma: f64,
+}
+
+impl SeWorkloadSpec {
+    /// The paper's Figure 11(b) fit (TELE probe, popular program):
+    /// c = 0.35, a = 5.483, n = 326.
+    #[must_use]
+    pub fn fig11() -> Self {
+        SeWorkloadSpec {
+            c: 0.35,
+            a: 5.483,
+            n: 326,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// The derived intercept `b = 1 + a·log10 n`.
+    #[must_use]
+    pub fn b(&self) -> f64 {
+        1.0 + self.a * (self.n as f64).log10()
+    }
+}
+
+/// Generates a descending contribution vector following the spec.
+///
+/// With `noise_sigma > 0`, each value is multiplied by lognormal noise and
+/// the vector re-sorted, modelling measurement scatter.
+///
+/// # Panics
+///
+/// Panics if `c`, `a` are not positive or `n` is zero.
+#[must_use]
+pub fn se_workload(spec: &SeWorkloadSpec, rng: &mut SmallRng) -> Vec<f64> {
+    assert!(spec.c > 0.0 && spec.a > 0.0, "SE parameters must be positive");
+    assert!(spec.n > 0, "need at least one contributor");
+    let b = spec.b();
+    let mut values: Vec<f64> = (1..=spec.n)
+        .map(|i| {
+            let yc = b - spec.a * (i as f64).log10();
+            let y = yc.max(1e-9).powf(1.0 / spec.c);
+            if spec.noise_sigma > 0.0 {
+                y * lognormal(rng, 0.0, spec.noise_sigma)
+            } else {
+                y
+            }
+        })
+        .collect();
+    values.sort_by(|x, y| y.partial_cmp(x).expect("finite workload values"));
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_stats::{stretched_exp_fit, zipf_fit};
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_workload_refits_to_its_parameters() {
+        let spec = SeWorkloadSpec::fig11();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let w = se_workload(&spec, &mut rng);
+        assert_eq!(w.len(), spec.n);
+        let fit = stretched_exp_fit(&w).expect("fit");
+        assert!((fit.c - spec.c).abs() < 0.051, "c = {}", fit.c);
+        assert!((fit.a - spec.a).abs() / spec.a < 0.25, "a = {}", fit.a);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn noisy_workload_still_prefers_se_over_zipf() {
+        let spec = SeWorkloadSpec {
+            noise_sigma: 0.3,
+            ..SeWorkloadSpec::fig11()
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        let w = se_workload(&spec, &mut rng);
+        let se = stretched_exp_fit(&w).expect("se fit");
+        let zipf = zipf_fit(&w).expect("zipf fit");
+        assert!(se.r2 > zipf.r2, "se {} vs zipf {}", se.r2, zipf.r2);
+        assert!(se.r2 > 0.9);
+    }
+
+    #[test]
+    fn workload_is_descending_and_positive() {
+        let spec = SeWorkloadSpec {
+            c: 0.4,
+            a: 10.0,
+            n: 200,
+            noise_sigma: 0.2,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let w = se_workload(&spec, &mut rng);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!(w.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn tail_value_honours_normalization() {
+        let spec = SeWorkloadSpec::fig11();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let w = se_workload(&spec, &mut rng);
+        // y_n = 1 by Eq. 2.
+        assert!((w.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+}

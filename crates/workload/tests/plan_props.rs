@@ -1,0 +1,68 @@
+//! Property tests for population synthesis.
+
+use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Plans are sorted, bounded by the horizon, and leave strictly after
+    /// join, for every seed/horizon/size combination.
+    #[test]
+    fn plan_invariants(
+        seed in any::<u64>(),
+        horizon in 300.0f64..7200.0,
+        viewers in 5usize..200,
+    ) {
+        let mut spec = PopulationSpec::paper_default(ChannelClass::Popular);
+        spec.steady_viewers = viewers;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = SessionPlan::generate(&spec, horizon, &mut rng);
+        prop_assert!(!plan.peers.is_empty());
+        for w in plan.peers.windows(2) {
+            prop_assert!(w[0].join_s <= w[1].join_s);
+        }
+        for p in &plan.peers {
+            prop_assert!(p.join_s >= 0.0);
+            prop_assert!(p.leave_s > p.join_s);
+            prop_assert!(p.leave_s <= horizon);
+        }
+    }
+
+    /// The same seed always generates the identical plan.
+    #[test]
+    fn plan_is_deterministic(seed in any::<u64>()) {
+        let spec = PopulationSpec::tiny(ChannelClass::Unpopular);
+        let gen = |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            SessionPlan::generate(&spec, 900.0, &mut rng)
+        };
+        prop_assert_eq!(gen(seed), gen(seed));
+    }
+
+    /// Day factors keep the population positive and within their clamps.
+    #[test]
+    fn day_factors_are_clamped(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let day = DayFactor::sample(&mut rng);
+        prop_assert!((0.5..=2.0).contains(&day.viewer_scale));
+        prop_assert!((0.1..=6.0).contains(&day.foreign_scale));
+        let spec = PopulationSpec::paper_default(ChannelClass::Popular).with_day(day);
+        prop_assert!(spec.steady_viewers >= 4);
+        prop_assert!(spec.isp_weights.iter().all(|w| *w >= 0.0));
+    }
+
+    /// ISP sampling follows the configured weights within tolerance.
+    #[test]
+    fn isp_sampling_tracks_weights(seed in any::<u64>(), tele_w in 0.1f64..0.9) {
+        let mut spec = PopulationSpec::paper_default(ChannelClass::Popular);
+        spec.isp_weights = [tele_w, 1.0 - tele_w, 0.0, 0.0, 0.0];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 3000;
+        let tele = (0..n)
+            .filter(|_| spec.sample_isp(&mut rng) == plsim_net::Isp::Tele)
+            .count();
+        let frac = tele as f64 / f64::from(n);
+        prop_assert!((frac - tele_w).abs() < 0.06, "frac {frac} vs weight {tele_w}");
+    }
+}

@@ -1,0 +1,3 @@
+//! Root library: re-exports the reproduction harness for integration tests and examples.
+#![forbid(unsafe_code)]
+pub use pplive_locality as harness;

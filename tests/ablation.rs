@@ -1,0 +1,44 @@
+//! Integration test: the referral design produces more ISP-level locality
+//! than the tracker-only baseline (the paper's §1/§4 discussion).
+
+use pplive_locality::{ProbeSite, Scale, Scenario};
+use plsim_node::PeerConfig;
+use plsim_workload::ChannelClass;
+
+/// Average TELE-probe locality over a few seeds under a peer config.
+fn mean_locality(cfg: PeerConfig, seeds: &[u64]) -> f64 {
+    let mut total = 0.0;
+    for &seed in seeds {
+        let mut scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, seed);
+        scenario.peer_config = cfg;
+        let run = scenario.run();
+        total += run.report(ProbeSite::Tele).locality();
+    }
+    total / seeds.len() as f64
+}
+
+#[test]
+fn referral_beats_tracker_only_on_locality() {
+    let seeds = [1, 2, 3];
+    let pplive = mean_locality(PeerConfig::default(), &seeds);
+    let baseline = mean_locality(PeerConfig::tracker_only_baseline(), &seeds);
+    assert!(
+        pplive > baseline,
+        "PPLive locality {pplive:.3} should beat tracker-only {baseline:.3}"
+    );
+    // And it should beat it by a meaningful margin, not noise.
+    assert!(
+        pplive - baseline > 0.1,
+        "margin too small: {pplive:.3} vs {baseline:.3}"
+    );
+}
+
+#[test]
+fn baseline_still_streams() {
+    // The baseline is worse for the network, not broken for the user.
+    let mut scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, 5);
+    scenario.peer_config = PeerConfig::tracker_only_baseline();
+    let run = scenario.run();
+    let report = run.report(ProbeSite::Tele);
+    assert!(report.data.bytes.total() > 1_000_000);
+}

@@ -1,0 +1,94 @@
+//! Integration tests: failure injection.
+//!
+//! The paper's key structural finding is that PPLive trackers are mere
+//! entry points: "once achieving satisfactory playback performance through
+//! its neighbors in the network, a peer significantly reduces the frequency
+//! of querying tracker servers". A corollary worth testing: killing all
+//! trackers mid-session must not stop the streaming mesh.
+
+use plsim_des::SimTime;
+use pplive_locality::{ProbeSite, Scale, Scenario};
+use plsim_workload::ChannelClass;
+
+#[test]
+fn streaming_survives_total_tracker_outage() {
+    let mut scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, 21);
+    // Kill every tracker two minutes in (probes join at 120 s).
+    scenario.tracker_outage_at = Some(SimTime::from_secs(150));
+    let run = scenario.run();
+    let report = run.report(ProbeSite::Tele);
+
+    // The probe must keep receiving data well after the outage.
+    let last_reply = run
+        .output
+        .records
+        .iter()
+        .filter(|r| r.probe == report.probe)
+        .filter(|r| {
+            matches!(
+                r.kind,
+                plsim_capture::RecordKind::DataReply { .. }
+            ) && r.direction == plsim_capture::Direction::Inbound
+        })
+        .map(|r| r.t)
+        .max()
+        .expect("probe received data");
+    assert!(
+        last_reply > SimTime::from_secs(300),
+        "data flow died with the trackers (last reply at {last_reply})"
+    );
+
+    let stats = run
+        .output
+        .peer_stats
+        .iter()
+        .find(|s| s.node == report.probe)
+        .expect("probe stats");
+    assert!(stats.playback_started.is_some());
+    assert!(
+        stats.stall_ratio() < 0.5,
+        "stall ratio too high after outage: {}",
+        stats.stall_ratio()
+    );
+}
+
+#[test]
+fn tracker_only_baseline_collapses_without_trackers() {
+    use plsim_node::PeerConfig;
+    // In the BitTorrent-style baseline, peers never learn about each other
+    // except through trackers. If trackers die immediately, late joiners
+    // cannot find anyone.
+    let mut scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, 21);
+    scenario.peer_config = PeerConfig::tracker_only_baseline();
+    scenario.tracker_outage_at = Some(SimTime::from_secs(30));
+    let run = scenario.run();
+    let report = run.report(ProbeSite::Tele);
+    // The probe joins at 120 s, after the outage: with no referral channel
+    // it can discover no peers and downloads (almost) nothing.
+    assert!(
+        report.data.bytes.total() < 1_000_000,
+        "tracker-only peer should starve without trackers, got {} bytes",
+        report.data.bytes.total()
+    );
+}
+
+#[test]
+fn lossy_network_still_streams() {
+    use plsim_net::LinkModel;
+    let mut scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, 33);
+    scenario.link = LinkModel {
+        loss_intra: 0.03,
+        loss_cross_cn: 0.08,
+        loss_transoceanic: 0.12,
+        ..LinkModel::default()
+    };
+    let run = scenario.run();
+    let report = run.report(ProbeSite::Tele);
+    assert!(
+        report.data.bytes.total() > 1_000_000,
+        "streaming should survive heavy loss, got {} bytes",
+        report.data.bytes.total()
+    );
+    // Loss shows up as unanswered requests, which the analysis must count.
+    assert!(run.output.sim.messages_dropped > 0);
+}
