@@ -279,7 +279,7 @@ mod tests {
         for remote in 1..=20u32 {
             for k in 0..remote {
                 seq += 1;
-                records.extend(exchange(seq, u64::from(seq) * 10, remote, 40 + u64::from(k)));
+                records.extend(exchange(seq, seq * 10, remote, 40 + u64::from(k)));
             }
         }
         let out = contribution_analysis(&records, &dir);

@@ -1,13 +1,18 @@
 //! Microbenchmarks of the substrate: DES event throughput, the underlay
-//! medium, and the statistics kernels.
+//! medium, the statistics kernels, and the parallel experiment engine —
+//! plus the machine-readable `BENCH_engine.json` summary (see
+//! [`plsim_bench::EngineReport`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use plsim_des::{Actor, Context, FixedDelay, Medium, NodeId, SimTime, Simulation};
+use criterion::{criterion_group, Criterion};
+use plsim_bench::{write_engine_report, EngineReport};
+use plsim_des::{Actor, Context, FixedDelay, Medium, NodeId, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
 use plsim_stats::{ecdf, pearson, stretched_exp_fit};
+use pplive_locality::{JobPool, Scale, Suite};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Relay {
     next: NodeId,
@@ -78,5 +83,96 @@ fn des_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, des_throughput);
-criterion_main!(benches);
+/// One 100k-event relay-ring run; returns the kernel counters.
+fn relay_ring_100k() -> SimStats {
+    let mut sim = Simulation::new(1, FixedDelay(SimTime::from_micros(10)));
+    let ids: Vec<NodeId> = (0..8)
+        .map(|i| {
+            sim.add_actor(Box::new(Relay {
+                next: NodeId((i + 1) % 8),
+                remaining: 100_000 / 8,
+            }))
+        })
+        .collect();
+    sim.inject(SimTime::ZERO, ids[0], None, 1, 64);
+    sim.run_until(SimTime::MAX)
+}
+
+fn parallel_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // The JobPool's dispatch overhead in isolation: tiny jobs, so the
+    // queue + result-slot machinery dominates the measurement.
+    g.bench_function("job_pool_dispatch_64", |b| {
+        let pool = JobPool::from_env();
+        b.iter(|| {
+            black_box(pool.map((0u64..64).collect(), |x| {
+                (0..200u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+            }))
+        })
+    });
+    g.finish();
+}
+
+/// Measures kernel throughput and parallel-suite speedup, then writes
+/// `BENCH_engine.json` at the workspace root.
+///
+/// Smoke mode (`--test`) compares the suites at `Tiny` scale so CI stays
+/// fast; the real run uses `Reduced`, the scale the figure benches and
+/// EXPERIMENTS.md quote.
+fn engine_report(test_mode: bool) {
+    // Single-threaded DES throughput (events/sec) + queue high-water mark.
+    let start = Instant::now();
+    let stats = relay_ring_100k();
+    let kernel_wall = start.elapsed().as_secs_f64();
+
+    let (scale, label) = if test_mode {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Reduced, "reduced")
+    };
+    let pool = JobPool::from_env();
+
+    let start = Instant::now();
+    let seq = Suite::run_on(&JobPool::sequential(), scale, 42);
+    let seq_wall = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let par = Suite::run_on(&pool, scale, 42);
+    let par_wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        seq.popular.output.sim, par.popular.output.sim,
+        "parallel suite diverged from sequential"
+    );
+
+    let report = EngineReport {
+        events_processed: stats.events_processed,
+        events_per_sec: stats.events_processed as f64 / kernel_wall,
+        peak_queue_depth: stats.peak_queue_depth,
+        threads: pool.threads(),
+        suite_scale: label.to_string(),
+        seq_wall_s: seq_wall,
+        par_wall_s: par_wall,
+        speedup: seq_wall / par_wall,
+    };
+    match write_engine_report(&report) {
+        Ok(path) => println!(
+            "engine report: {:.0} events/sec, {}x threads, speedup {:.2} -> {}",
+            report.events_per_sec,
+            report.threads,
+            report.speedup,
+            path.display()
+        ),
+        Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),
+    }
+}
+
+criterion_group!(benches, des_throughput, parallel_engine);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    engine_report(c.is_test_mode());
+}

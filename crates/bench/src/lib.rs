@@ -4,8 +4,14 @@
 //! (printing the rows the paper reports, at `Scale::Tiny` so `cargo bench`
 //! stays fast) and then times the regeneration. The canonical full-scale
 //! regeneration is `cargo run --release --example locality_study paper`.
+//!
+//! The `engine` bench additionally emits a machine-readable
+//! `BENCH_engine.json` at the workspace root (see [`EngineReport`]) so CI
+//! and perf-tracking scripts can diff kernel throughput and parallel-engine
+//! speedup across commits without parsing human-oriented bench output.
 
 use pplive_locality::{Scale, Suite};
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// The shared (popular, unpopular) session pair used by all figure benches;
@@ -18,3 +24,96 @@ pub fn bench_suite() -> &'static Suite {
 /// Scale used when a bench needs to run fresh simulations in the timing
 /// loop.
 pub const BENCH_SCALE: Scale = Scale::Tiny;
+
+/// Machine-readable results of the `engine` bench, serialized to
+/// `BENCH_engine.json` at the workspace root.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// DES kernel events dispatched in the throughput measurement.
+    pub events_processed: u64,
+    /// Single-threaded kernel throughput (events per wall-clock second).
+    pub events_per_sec: f64,
+    /// High-water mark of the event queue during the throughput run.
+    pub peak_queue_depth: u64,
+    /// Worker threads the parallel suite run used.
+    pub threads: usize,
+    /// Scale label of the sequential-vs-parallel suite comparison.
+    pub suite_scale: String,
+    /// Wall-clock seconds of the sequential suite run.
+    pub seq_wall_s: f64,
+    /// Wall-clock seconds of the parallel suite run.
+    pub par_wall_s: f64,
+    /// `seq_wall_s / par_wall_s`; ~1.0 on a single-core host.
+    pub speedup: f64,
+}
+
+impl EngineReport {
+    /// Renders the report as a JSON object (hand-rolled: every field is a
+    /// number or a plain label, so no serializer dependency is needed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"events_processed\": {},\n",
+                "  \"events_per_sec\": {:.1},\n",
+                "  \"peak_queue_depth\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"suite_scale\": \"{}\",\n",
+                "  \"seq_wall_s\": {:.4},\n",
+                "  \"par_wall_s\": {:.4},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            self.events_processed,
+            self.events_per_sec,
+            self.peak_queue_depth,
+            self.threads,
+            self.suite_scale,
+            self.seq_wall_s,
+            self.par_wall_s,
+            self.speedup,
+        )
+    }
+}
+
+/// Where `BENCH_engine.json` lives: the workspace root.
+#[must_use]
+pub fn engine_report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// Writes the report to [`engine_report_path`] and returns the path.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_engine_report(report: &EngineReport) -> std::io::Result<PathBuf> {
+    let path = engine_report_path();
+    std::fs::write(&path, report.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let r = EngineReport {
+            events_processed: 100_000,
+            events_per_sec: 1.25e6,
+            peak_queue_depth: 9,
+            threads: 4,
+            suite_scale: "reduced".to_string(),
+            seq_wall_s: 10.0,
+            par_wall_s: 2.5,
+            speedup: 4.0,
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"events_per_sec\": 1250000.0"));
+        assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"suite_scale\": \"reduced\""));
+    }
+}

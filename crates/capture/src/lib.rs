@@ -9,7 +9,11 @@
 //! parsing step.
 //!
 //! The tap is a cheap cloneable handle around shared storage, so the harness
-//! keeps one handle and gives the simulation another.
+//! keeps one handle and gives the simulation another. A simulation is
+//! single-threaded, so the storage is an `Rc<RefCell<_>>` rather than a
+//! mutex — recording a packet costs no atomic operations. Cross-thread
+//! handoff happens only through the owned `Vec<TraceRecord>` returned by
+//! [`ProbeTap::drain`] (which is `Send`), never through the tap itself.
 //!
 //! # Examples
 //!
@@ -25,19 +29,21 @@
 //! # let topo = std::sync::Arc::new(b.build());
 //! let tap = ProbeTap::new([NodeId(0)], topo);
 //! tap.mark_remote(NodeId(9), RemoteKind::Tracker);
-//! assert!(tap.snapshot().is_empty());
+//! assert!(tap.is_empty());
+//! tap.records(|rs| assert_eq!(rs.len(), 0));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-use parking_lot::Mutex;
 use plsim_des::{Monitor, NodeId, SimTime};
 use plsim_net::Topology;
 use plsim_proto::{ChunkId, Message};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Direction of a captured message relative to the probe host.
@@ -198,11 +204,17 @@ struct TapState {
 
 /// Capture tap over a set of probe hosts; cloneable handle to shared
 /// storage (install one clone as the simulation's monitor, keep the other).
+///
+/// Deliberately not `Send`: it lives and dies with one single-threaded
+/// simulation. Move captured traffic across threads by [`drain`]ing into an
+/// owned `Vec<TraceRecord>`.
+///
+/// [`drain`]: ProbeTap::drain
 #[derive(Debug, Clone)]
 pub struct ProbeTap {
     probes: Arc<HashSet<NodeId>>,
     topology: Arc<Topology>,
-    state: Arc<Mutex<TapState>>,
+    state: Rc<RefCell<TapState>>,
 }
 
 impl ProbeTap {
@@ -212,14 +224,14 @@ impl ProbeTap {
         ProbeTap {
             probes: Arc::new(probes.into_iter().collect()),
             topology,
-            state: Arc::new(Mutex::new(TapState::default())),
+            state: Rc::new(RefCell::new(TapState::default())),
         }
     }
 
     /// Registers what kind of host a remote node is (default:
     /// [`RemoteKind::Peer`]).
     pub fn mark_remote(&self, node: NodeId, kind: RemoteKind) {
-        self.state.lock().remote_kinds.insert(node, kind);
+        self.state.borrow_mut().remote_kinds.insert(node, kind);
     }
 
     /// The probes being observed.
@@ -228,22 +240,36 @@ impl ProbeTap {
         &self.probes
     }
 
-    /// Copies the records captured so far.
-    #[must_use]
-    pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.state.lock().records.clone()
+    /// Pre-reserves storage for at least `additional` more records, so a
+    /// harness that can estimate its trace volume avoids growth
+    /// reallocations on the capture path.
+    pub fn reserve(&self, additional: usize) {
+        self.state.borrow_mut().records.reserve(additional);
     }
 
-    /// Takes the records, leaving the tap empty.
+    /// Runs `f` over the records captured so far, without copying them.
+    pub fn records<R>(&self, f: impl FnOnce(&[TraceRecord]) -> R) -> R {
+        f(&self.state.borrow().records)
+    }
+
+    /// Copies the records captured so far. Prefer [`ProbeTap::records`]
+    /// (borrow) or [`ProbeTap::drain`] (move) — this clones the full trace.
     #[must_use]
-    pub fn take(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut self.state.lock().records)
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.state.borrow().records.clone()
+    }
+
+    /// Moves the records out, leaving the tap empty. The returned vector is
+    /// `Send`, making it the thread handoff point for parallel harnesses.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.state.borrow_mut().records)
     }
 
     /// Number of records captured so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().records.len()
+        self.state.borrow().records.len()
     }
 
     /// Whether nothing has been captured.
@@ -268,7 +294,7 @@ impl ProbeTap {
             .topology
             .try_host(remote)
             .map_or(Ipv4Addr::UNSPECIFIED, |h| h.ip);
-        let mut state = self.state.lock();
+        let mut state = self.state.borrow_mut();
         let remote_kind = state.remote_kinds.get(&remote).copied().unwrap_or_default();
         state.records.push(TraceRecord {
             t: now,
@@ -330,11 +356,12 @@ mod tests {
         t.on_send(SimTime::ZERO, NodeId(3), NodeId(5), &msg, 46);
         t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(0), &msg, 46);
         t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(3), &msg, 46);
-        let records = t.snapshot();
-        assert_eq!(records.len(), 2);
-        assert!(records.iter().all(|r| r.probe == NodeId(0)));
-        assert_eq!(records[0].direction, Direction::Outbound);
-        assert_eq!(records[1].direction, Direction::Inbound);
+        t.records(|records| {
+            assert_eq!(records.len(), 2);
+            assert!(records.iter().all(|r| r.probe == NodeId(0)));
+            assert_eq!(records[0].direction, Direction::Outbound);
+            assert_eq!(records[1].direction, Direction::Inbound);
+        });
     }
 
     #[test]
@@ -349,15 +376,14 @@ mod tests {
             req_id: 7,
         };
         t.on_deliver(SimTime::from_secs(1), NodeId(9), NodeId(0), &msg, 100);
-        let records = t.snapshot();
-        match &records[0].kind {
+        t.records(|records| match &records[0].kind {
             RecordKind::PeerListResponse { req_id, peer_ips } => {
                 assert_eq!(*req_id, 7);
                 assert_eq!(peer_ips.len(), 3);
                 assert_eq!(peer_ips[0], Ipv4Addr::new(58, 0, 0, 1));
             }
             other => panic!("wrong kind: {other:?}"),
-        }
+        });
     }
 
     #[test]
@@ -382,17 +408,33 @@ mod tests {
         };
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(5), &msg, 46);
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(6), &msg, 46);
-        let records = t.snapshot();
-        assert_eq!(records[0].remote_kind, RemoteKind::Tracker);
-        assert_eq!(records[1].remote_kind, RemoteKind::Peer);
+        t.records(|records| {
+            assert_eq!(records[0].remote_kind, RemoteKind::Tracker);
+            assert_eq!(records[1].remote_kind, RemoteKind::Peer);
+        });
     }
 
     #[test]
-    fn take_drains_the_store() {
+    fn drain_empties_the_store() {
         let mut t = tap();
         let msg = Message::Goodbye;
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &msg, 46);
-        assert_eq!(t.take().len(), 1);
+        assert_eq!(t.drain().len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn snapshot_copies_without_draining() {
+        let mut t = tap();
+        t.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &Message::Goodbye, 46);
+        assert_eq!(t.snapshot().len(), 1);
+        assert_eq!(t.len(), 1, "snapshot must leave the store intact");
+    }
+
+    #[test]
+    fn reserve_grows_capacity_without_recording() {
+        let t = tap();
+        t.reserve(1024);
         assert!(t.is_empty());
     }
 
@@ -414,7 +456,7 @@ mod tests {
             seq: 42,
         };
         t.on_deliver(SimTime::ZERO, NodeId(2), NodeId(0), &msg, msg.wire_size());
-        match &t.snapshot()[0].kind {
+        t.records(|records| match &records[0].kind {
             RecordKind::DataReply {
                 seq, payload_bytes, ..
             } => {
@@ -422,6 +464,6 @@ mod tests {
                 assert_eq!(*payload_bytes, 7 * plsim_proto::SUB_PIECE_BYTES);
             }
             other => panic!("wrong kind: {other:?}"),
-        }
+        });
     }
 }

@@ -1,5 +1,6 @@
-//! Developer tool: seed sweep of locality per cell.
-use pplive_locality::{ProbeSite, Scale, Scenario};
+//! Developer tool: seed sweep of locality per cell, fanned out through the
+//! parallel experiment engine (`PLSIM_THREADS` controls the pool size).
+use pplive_locality::{JobPool, ProbeSite, Scale, Scenario};
 use plsim_workload::ChannelClass;
 
 fn main() {
@@ -8,14 +9,17 @@ fn main() {
         Some("tiny") => Scale::Tiny,
         _ => Scale::Reduced,
     };
+    let seeds: Vec<u64> = std::env::args()
+        .nth(2)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or_else(|| vec![1, 2, 3, 4, 5]);
+    let pool = JobPool::from_env();
     for class in [ChannelClass::Popular, ChannelClass::Unpopular] {
         println!("== {:?} ==", class);
-        let seeds: Vec<u64> = std::env::args()
-            .nth(2)
-            .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
-            .unwrap_or_else(|| vec![1, 2, 3, 4, 5]);
-        for seed in seeds {
-            let run = Scenario::new(class, scale, seed).run();
+        let runs = pool.map(seeds.clone(), |seed| {
+            (seed, Scenario::new(class, scale, seed).run())
+        });
+        for (seed, run) in &runs {
             let tele = run.report(ProbeSite::Tele);
             let mason = run.report(ProbeSite::Mason);
             let cnc = run.report(ProbeSite::Cnc);

@@ -1,5 +1,11 @@
 //! One reproduction per table and figure of the paper's evaluation.
+//!
+//! All multi-run artifacts (the popular/unpopular suite, the ablations,
+//! the Figure 6 day series, seed sweeps) fan out through the shared
+//! [`JobPool`], so they use every available core while producing output
+//! bit-identical to a sequential run at the same seed.
 
+use crate::engine::JobPool;
 use crate::render::{pct, render_table, secs};
 use crate::scenario::{ProbeSite, Scale, Scenario, ScenarioRun};
 use plsim_analysis::{PerIsp, ProbeReport};
@@ -22,13 +28,60 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Simulates both channels at the given scale.
+    /// Simulates both channels at the given scale, in parallel on the
+    /// default [`JobPool`].
     #[must_use]
     pub fn run(scale: Scale, seed: u64) -> Suite {
+        Suite::run_on(&JobPool::from_env(), scale, seed)
+    }
+
+    /// Simulates both channels on an explicit pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session simulation panics.
+    #[must_use]
+    pub fn run_on(pool: &JobPool, scale: Scale, seed: u64) -> Suite {
+        let mut runs = pool
+            .map(Suite::session_scenarios(scale, seed), |s| s.run())
+            .into_iter();
         Suite {
-            popular: Scenario::new(ChannelClass::Popular, scale, seed).run(),
-            unpopular: Scenario::new(ChannelClass::Unpopular, scale, seed ^ 0x5151).run(),
+            popular: runs.next().expect("popular session missing"),
+            unpopular: runs.next().expect("unpopular session missing"),
         }
+    }
+
+    /// Multi-seed replication: one [`Suite`] per seed, all individual
+    /// channel sessions flattened through one pool for maximum overlap.
+    /// Use the per-seed suites to compute variance bands across replicas.
+    #[must_use]
+    pub fn run_seeds(scale: Scale, seeds: &[u64]) -> Vec<Suite> {
+        Suite::run_seeds_on(&JobPool::from_env(), scale, seeds)
+    }
+
+    /// [`Suite::run_seeds`] on an explicit pool.
+    #[must_use]
+    pub fn run_seeds_on(pool: &JobPool, scale: Scale, seeds: &[u64]) -> Vec<Suite> {
+        let scenarios: Vec<Scenario> = seeds
+            .iter()
+            .flat_map(|&seed| Suite::session_scenarios(scale, seed))
+            .collect();
+        let mut runs = pool.map(scenarios, |s| s.run()).into_iter();
+        seeds
+            .iter()
+            .map(|_| Suite {
+                popular: runs.next().expect("popular session missing"),
+                unpopular: runs.next().expect("unpopular session missing"),
+            })
+            .collect()
+    }
+
+    /// The two independent sessions a suite consists of, in merge order.
+    fn session_scenarios(scale: Scale, seed: u64) -> Vec<Scenario> {
+        vec![
+            Scenario::new(ChannelClass::Popular, scale, seed),
+            Scenario::new(ChannelClass::Unpopular, scale, seed ^ 0x5151),
+        ]
     }
 
     fn session(&self, class: ChannelClass) -> &ScenarioRun {
@@ -172,10 +225,21 @@ pub struct FourWeeks {
 }
 
 /// Runs `days` daily sessions per channel with day-to-day population
-/// variation, in parallel across available cores.
+/// variation, in parallel on the default [`JobPool`].
 #[must_use]
 pub fn fig_6(days: u32, scale: Scale, seed: u64) -> FourWeeks {
-    let run_day = |class: ChannelClass, day: u32| -> DayLocality {
+    fig_6_on(&JobPool::from_env(), days, scale, seed)
+}
+
+/// [`fig_6`] on an explicit pool.
+///
+/// All `2 × days` sessions go through one work queue, so at most
+/// `pool.threads()` day simulations (each holding its full trace) are
+/// resident at a time — the same memory bound the old chunked
+/// `crossbeam` scopes enforced, without their end-of-batch barrier.
+#[must_use]
+pub fn fig_6_on(pool: &JobPool, days: u32, scale: Scale, seed: u64) -> FourWeeks {
+    let run_day = |(class, day): (ChannelClass, u32)| -> DayLocality {
         let mut day_rng = SmallRng::seed_from_u64(seed ^ (u64::from(day) << 16));
         let factor = DayFactor::sample(&mut day_rng);
         let mut scenario = Scenario::new(class, scale, seed.wrapping_add(u64::from(day) * 7919));
@@ -199,35 +263,14 @@ pub fn fig_6(days: u32, scale: Scale, seed: u64) -> FourWeeks {
         }
     };
 
-    let parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .max(1);
-    let run_series = |class: ChannelClass| -> Vec<DayLocality> {
-        let mut out: Vec<DayLocality> = Vec::with_capacity(days as usize);
-        // Bounded parallelism: paper-scale day simulations hold hundreds of
-        // megabytes of trace each, so run at most one batch per core.
-        let all_days: Vec<u32> = (1..=days).collect();
-        for batch in all_days.chunks(parallelism) {
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&day| s.spawn(move |_| run_day(class, day)))
-                    .collect();
-                for h in handles {
-                    out.push(h.join().expect("day simulation panicked"));
-                }
-            })
-            .expect("thread scope");
-        }
-        out.sort_by_key(|d| d.day);
-        out
-    };
-
-    FourWeeks {
-        popular: run_series(ChannelClass::Popular),
-        unpopular: run_series(ChannelClass::Unpopular),
-    }
+    let jobs: Vec<(ChannelClass, u32)> = [ChannelClass::Popular, ChannelClass::Unpopular]
+        .into_iter()
+        .flat_map(|class| (1..=days).map(move |day| (class, day)))
+        .collect();
+    let mut results = pool.map(jobs, run_day).into_iter();
+    let popular: Vec<DayLocality> = results.by_ref().take(days as usize).collect();
+    let unpopular: Vec<DayLocality> = results.collect();
+    FourWeeks { popular, unpopular }
 }
 
 impl FourWeeks {
@@ -511,23 +554,27 @@ pub fn ablation_variants() -> Vec<(String, PeerConfig)> {
     ]
 }
 
-/// Runs the ablation at the given scale (popular channel).
+/// Runs the ablation at the given scale (popular channel), one variant
+/// per pool worker.
 #[must_use]
 pub fn ablation(scale: Scale, seed: u64) -> Vec<AblationResult> {
-    ablation_variants()
-        .into_iter()
-        .map(|(variant, cfg)| {
-            let mut scenario = Scenario::new(ChannelClass::Popular, scale, seed);
-            scenario.peer_config = cfg;
-            let run = scenario.run();
-            let rep = run.report(ProbeSite::Tele);
-            AblationResult {
-                variant,
-                tele_locality: rep.locality(),
-                tele_bytes: rep.data.bytes.total(),
-            }
-        })
-        .collect()
+    ablation_on(&JobPool::from_env(), scale, seed)
+}
+
+/// [`ablation`] on an explicit pool.
+#[must_use]
+pub fn ablation_on(pool: &JobPool, scale: Scale, seed: u64) -> Vec<AblationResult> {
+    pool.map(ablation_variants(), move |(variant, cfg)| {
+        let mut scenario = Scenario::new(ChannelClass::Popular, scale, seed);
+        scenario.peer_config = cfg;
+        let run = scenario.run();
+        let rep = run.report(ProbeSite::Tele);
+        AblationResult {
+            variant,
+            tele_locality: rep.locality(),
+            tele_bytes: rep.data.bytes.total(),
+        }
+    })
 }
 
 /// Renders the ablation table.
@@ -567,6 +614,12 @@ pub struct UnderlayAblationResult {
 /// isolates the latency structure that produced it.
 #[must_use]
 pub fn underlay_ablation(scale: Scale, seed: u64) -> Vec<UnderlayAblationResult> {
+    underlay_ablation_on(&JobPool::from_env(), scale, seed)
+}
+
+/// [`underlay_ablation`] on an explicit pool.
+#[must_use]
+pub fn underlay_ablation_on(pool: &JobPool, scale: Scale, seed: u64) -> Vec<UnderlayAblationResult> {
     use plsim_net::LinkModel;
     let variants: Vec<(&str, LinkModel)> = vec![
         ("calibrated 2008 underlay", LinkModel::default()),
@@ -593,19 +646,16 @@ pub fn underlay_ablation(scale: Scale, seed: u64) -> Vec<UnderlayAblationResult>
             },
         ),
     ];
-    variants
-        .into_iter()
-        .map(|(label, link)| {
-            let mut scenario = Scenario::new(ChannelClass::Popular, scale, seed);
-            scenario.link = link;
-            let run = scenario.run();
-            UnderlayAblationResult {
-                variant: label.to_string(),
-                tele_locality: run.report(ProbeSite::Tele).locality(),
-                mason_locality: run.report(ProbeSite::Mason).locality(),
-            }
-        })
-        .collect()
+    pool.map(variants, move |(label, link)| {
+        let mut scenario = Scenario::new(ChannelClass::Popular, scale, seed);
+        scenario.link = link;
+        let run = scenario.run();
+        UnderlayAblationResult {
+            variant: label.to_string(),
+            tele_locality: run.report(ProbeSite::Tele).locality(),
+            mason_locality: run.report(ProbeSite::Mason).locality(),
+        }
+    })
 }
 
 /// Renders the underlay ablation table.
@@ -677,7 +727,7 @@ mod tests {
     fn ablation_variants_are_distinct() {
         let variants = ablation_variants();
         assert_eq!(variants.len(), 4);
-        assert!(variants[3].1.referral == false);
+        assert!(!variants[3].1.referral);
         assert!(variants[0].1.referral);
     }
 

@@ -13,6 +13,10 @@
 //!   [`figs_15_to_18`];
 //! * the design ablations ([`ablation`]) and the stretched-exponential
 //!   workload round trip ([`workload_round_trip`]);
+//! * [`JobPool`] — the deterministic parallel experiment engine every
+//!   multi-run artifact fans out through (thread count via the
+//!   `PLSIM_THREADS` environment variable), with job-order merging so
+//!   parallel output is bit-identical to sequential output;
 //! * plain-text rendering ([`render_table`] and per-figure `render`
 //!   helpers) used by the examples and the benchmark harness.
 //!
@@ -30,17 +34,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod engine;
 mod experiments;
 mod export;
 mod render;
 mod scenario;
 
+pub use engine::{Job, JobPool, THREADS_ENV};
 pub use experiments::{
-    ablation, ablation_variants, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5,
-    render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
-    render_underlay_ablation, response_times, underlay_ablation, workload_round_trip,
-    AblationResult, ContributionCell, DayLocality, FourWeeks, LocalityFigure, ResponseCell,
-    RttCell, Suite, UnderlayAblationResult, WorkloadRoundTrip, CELLS,
+    ablation, ablation_on, ablation_variants, fig_6, fig_6_on, figs_11_to_14, figs_15_to_18,
+    figs_2_to_5, render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
+    render_underlay_ablation, response_times, underlay_ablation, underlay_ablation_on,
+    workload_round_trip, AblationResult, ContributionCell, DayLocality, FourWeeks, LocalityFigure,
+    ResponseCell, RttCell, Suite, UnderlayAblationResult, WorkloadRoundTrip, CELLS,
 };
 pub use export::{
     contributions_csv, export_suite, fig6_csv, locality_csv, response_samples_csv, to_csv,

@@ -124,7 +124,9 @@ pub struct Context<'a, P> {
     now: SimTime,
     self_id: NodeId,
     rng: &'a mut SmallRng,
-    effects: Vec<Effect<P>>,
+    // Borrowed from the simulation's scratch buffer so the hot event loop
+    // allocates nothing per event; drained by `apply_effects`.
+    effects: &'a mut Vec<Effect<P>>,
 }
 
 impl<'a, P> Context<'a, P> {
@@ -210,6 +212,8 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages the medium dropped.
     pub messages_dropped: u64,
+    /// Largest number of events resident in the queue at any point.
+    pub peak_queue_depth: u64,
 }
 
 /// A single-threaded deterministic discrete-event simulation.
@@ -253,6 +257,8 @@ pub struct Simulation<P> {
     next_seq: u64,
     stats: SimStats,
     halted: bool,
+    // Reusable effect buffer; empty between events, capacity persists.
+    scratch: Vec<Effect<P>>,
 }
 
 impl<P> Simulation<P> {
@@ -269,6 +275,7 @@ impl<P> Simulation<P> {
             next_seq: 0,
             stats: SimStats::default(),
             halted: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -318,6 +325,15 @@ impl<P> Simulation<P> {
         self.push(at, to, from, payload, size);
     }
 
+    /// Pre-reserves queue capacity for at least `additional` more events.
+    ///
+    /// Harnesses call this after registering actors (each live node keeps a
+    /// handful of timers and in-flight messages queued) so the event heap
+    /// reaches steady-state capacity without growth reallocations.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     fn push(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -329,6 +345,10 @@ impl<P> Simulation<P> {
             payload,
             size,
         });
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
     }
 
     /// Runs until the queue drains, an actor halts the simulation, or the
@@ -354,22 +374,23 @@ impl<P> Simulation<P> {
                 // Actor slot missing: event addressed to an unknown node.
                 None => continue,
             };
+            let mut effects = std::mem::take(&mut self.scratch);
             let mut ctx = Context {
                 now: self.now,
                 self_id: ev.to,
                 rng: &mut self.rng,
-                effects: Vec::new(),
+                effects: &mut effects,
             };
             actor.on_event(&mut ctx, ev.from, ev.payload);
-            let effects = ctx.effects;
             self.actors[idx] = Some(actor);
-            self.apply_effects(ev.to, effects);
+            self.apply_effects(ev.to, &mut effects);
+            self.scratch = effects;
         }
         self.stats
     }
 
-    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<P>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, origin: NodeId, effects: &mut Vec<Effect<P>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
                     to,
@@ -562,6 +583,21 @@ mod tests {
         sim.run_until(SimTime::MAX);
         assert_eq!(sim.stats().messages_dropped, 1);
         assert!(!sim.is_halted(), "sink never received anything");
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_high_water_mark() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log }));
+        sim.reserve_events(8);
+        for p in 0..5 {
+            sim.inject(SimTime::from_secs(u64::from(p) + 1), n, None, p, 0);
+        }
+        assert_eq!(sim.stats().peak_queue_depth, 5);
+        sim.run_until(SimTime::MAX);
+        // Draining the queue never raises the high-water mark.
+        assert_eq!(sim.stats().peak_queue_depth, 5);
     }
 
     #[test]

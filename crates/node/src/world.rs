@@ -165,6 +165,11 @@ impl World {
 
         let topology = Arc::new(topo.build());
         let tap = ProbeTap::new(probe_ids.iter().copied(), Arc::clone(&topology));
+        // Each probe produces a steady stream of data requests/replies and
+        // gossip; seeding capacity from run length avoids repeated growth
+        // reallocations on the capture path.
+        let expected_records = probe_ids.len() * (cfg.duration.as_secs_f64() as usize) * 8;
+        tap.reserve(expected_records);
         let sink = StatsSink::new();
 
         let mut sim: Simulation<Message> = Simulation::new(
@@ -276,6 +281,11 @@ impl World {
             }
         }
 
+        // Every live node keeps a handful of timers and in-flight messages
+        // queued; reserving up front takes the event heap to steady-state
+        // capacity before the first event fires.
+        sim.reserve_events(sim.actor_count() * 4);
+
         World {
             sim,
             tap,
@@ -300,7 +310,7 @@ impl World {
     pub fn run(mut self) -> WorldOutput {
         let sim_stats = self.sim.run_until(self.duration);
         WorldOutput {
-            records: self.tap.take(),
+            records: self.tap.drain(),
             peer_stats: self.sink.collect(),
             topology: self.topology,
             probes: self.probes,

@@ -1,0 +1,61 @@
+//! Integration tests: the parallel experiment engine is a pure
+//! reordering of work — its output is byte-identical to a sequential
+//! run of the same artifacts at the same seed.
+
+use pplive_locality::{
+    ablation_on, fig_6_on, underlay_ablation_on, JobPool, Scale, Suite,
+};
+
+const SEED: u64 = 42;
+
+fn seq() -> JobPool {
+    JobPool::sequential()
+}
+
+fn par() -> JobPool {
+    JobPool::new(4)
+}
+
+#[test]
+fn suite_parallel_is_bit_identical_to_sequential() {
+    let a = Suite::run_on(&seq(), Scale::Tiny, SEED);
+    let b = Suite::run_on(&par(), Scale::Tiny, SEED);
+    for (s, p) in [(&a.popular, &b.popular), (&a.unpopular, &b.unpopular)] {
+        assert_eq!(s.output.sim, p.output.sim, "kernel counters diverged");
+        assert_eq!(s.output.records, p.output.records, "traces diverged");
+        assert_eq!(s.output.peer_stats, p.output.peer_stats);
+    }
+}
+
+#[test]
+fn multi_seed_sweep_is_order_stable() {
+    let seeds = [1u64, 2, 3];
+    let a = Suite::run_seeds_on(&seq(), Scale::Tiny, &seeds);
+    let b = Suite::run_seeds_on(&par(), Scale::Tiny, &seeds);
+    assert_eq!(a.len(), b.len());
+    for (s, p) in a.iter().zip(&b) {
+        assert_eq!(s.popular.output.records, p.popular.output.records);
+        assert_eq!(s.unpopular.output.records, p.unpopular.output.records);
+    }
+}
+
+#[test]
+fn ablation_parallel_matches_sequential() {
+    let a = ablation_on(&seq(), Scale::Tiny, SEED);
+    let b = ablation_on(&par(), Scale::Tiny, SEED);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn underlay_ablation_parallel_matches_sequential() {
+    let a = underlay_ablation_on(&seq(), Scale::Tiny, SEED);
+    let b = underlay_ablation_on(&par(), Scale::Tiny, SEED);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn fig_6_parallel_matches_sequential() {
+    let a = fig_6_on(&seq(), 2, Scale::Tiny, SEED);
+    let b = fig_6_on(&par(), 2, Scale::Tiny, SEED);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

@@ -1,0 +1,192 @@
+//! Offline vendored mini benchmark harness exposing the slice of the
+//! `criterion` API this workspace uses: `Criterion`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing model: each benchmark is warmed up once, then run for
+//! `sample_size` samples; the mean, best and worst per-iteration times are
+//! printed.  Passing `--test` (as `cargo bench -- --test` does in CI) runs
+//! every benchmark exactly once and skips measurement, which keeps the
+//! smoke run fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects and runs benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments (`--test` enables
+    /// one-iteration smoke mode; other harness flags are ignored).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_samples: 20,
+        }
+    }
+
+    /// Whether `--test` smoke mode is active.
+    #[must_use]
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.default_samples;
+        let test_mode = self.test_mode;
+        run_one(id, samples, test_mode, &mut f);
+        self
+    }
+
+    /// Prints the closing summary (no-op; kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        run_one(&full, samples, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { samples as u64 },
+        times: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {id}: ok (smoke)");
+        return;
+    }
+    if b.times.is_empty() {
+        println!("bench {id}: no measurements");
+        return;
+    }
+    let total: Duration = b.times.iter().sum();
+    let mean = total / b.times.len() as u32;
+    let best = b.times.iter().min().copied().unwrap_or_default();
+    let worst = b.times.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench {id}: mean {mean:?} (best {best:?}, worst {worst:?}, {} samples)",
+        b.times.len()
+    );
+}
+
+/// Runs the measured closure and records per-iteration wall-clock times.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed());
+            drop(black_box(out));
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_samples: 3,
+        };
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_samples: 20,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_function("t", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result types so a
+//! future exporter can serialize them, but no code path in the repository
+//! performs actual serialization (CSV export is hand-rolled).  This shim
+//! keeps those derives and trait bounds compiling without crates.io access:
+//! the traits are markers with blanket implementations, and the derive
+//! macros expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The vendored `serde` blanket-implements its marker traits for every
+//! type, so the derives have nothing to generate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the blanket impl in the vendored `serde` already
+/// covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the blanket impl in the vendored `serde` already
+/// covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
