@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-use plsim_des::{Monitor, NodeId, SimTime};
+use plsim_des::{FaultEvent, Monitor, NodeId, SimTime};
 use plsim_net::Topology;
 use plsim_proto::{ChunkId, Message};
 use serde::{Deserialize, Serialize};
@@ -196,9 +196,22 @@ pub struct TraceRecord {
     pub wire_bytes: u32,
 }
 
+/// A fault boundary observed during capture: lets analysis segment a trace
+/// into before / during / after windows without re-deriving the schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMark {
+    /// When the boundary fired.
+    pub t: SimTime,
+    /// The fault's label (e.g. `"partition:Tele-Cnc"`).
+    pub label: String,
+    /// `true` at the start of the fault, `false` at recovery.
+    pub begins: bool,
+}
+
 #[derive(Debug, Default)]
 struct TapState {
     records: Vec<TraceRecord>,
+    faults: Vec<FaultMark>,
     remote_kinds: HashMap<NodeId, RemoteKind>,
 }
 
@@ -266,6 +279,19 @@ impl ProbeTap {
         std::mem::take(&mut self.state.borrow_mut().records)
     }
 
+    /// Copies out the fault boundaries observed so far, in firing order.
+    #[must_use]
+    pub fn fault_markers(&self) -> Vec<FaultMark> {
+        self.state.borrow().faults.clone()
+    }
+
+    /// Moves the fault boundaries out, leaving the tap's marker log empty
+    /// (the [`ProbeTap::drain`] counterpart for markers).
+    #[must_use]
+    pub fn drain_faults(&self) -> Vec<FaultMark> {
+        std::mem::take(&mut self.state.borrow_mut().faults)
+    }
+
     /// Number of records captured so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -327,6 +353,14 @@ impl Monitor<Message> for ProbeTap {
         if self.probes.contains(&to) {
             self.record(now, to, from, Direction::Inbound, payload, size);
         }
+    }
+
+    fn on_fault(&mut self, now: SimTime, fault: &FaultEvent) {
+        self.state.borrow_mut().faults.push(FaultMark {
+            t: now,
+            label: fault.label.clone(),
+            begins: fault.begins,
+        });
     }
 }
 
@@ -444,6 +478,23 @@ mod tests {
         let mut t2 = t1.clone();
         t2.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &Message::Goodbye, 46);
         assert_eq!(t1.len(), 1);
+    }
+
+    #[test]
+    fn fault_markers_are_recorded_and_drained() {
+        let mut t = tap();
+        t.on_fault(SimTime::from_secs(100), &FaultEvent::begin("tracker-outage"));
+        t.on_fault(SimTime::from_secs(200), &FaultEvent::end("tracker-outage"));
+        let marks = t.fault_markers();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].label, "tracker-outage");
+        assert!(marks[0].begins);
+        assert!(!marks[1].begins);
+        assert_eq!(marks[1].t, SimTime::from_secs(200));
+        // Markers live apart from packet records.
+        assert!(t.is_empty());
+        assert_eq!(t.drain_faults().len(), 2);
+        assert!(t.fault_markers().is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::{DayLocality, LocalityFigure, Suite, CELLS};
 use plsim_net::Isp;
+use plsim_node::{Fault, FaultPlan};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -143,6 +144,87 @@ pub fn contributions_csv(suite: &Suite) -> String {
     to_csv(&rows)
 }
 
+/// Escapes a JSON string body (quotes and backslashes; labels contain no
+/// control characters).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn json_secs(t: plsim_des::SimTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
+/// Renders a [`FaultPlan`] as a JSON document: the scheduled faults plus
+/// the flattened boundary timeline, for external tooling and run archives.
+/// (Serde is vendored without a JSON backend, so this is hand-rolled.)
+#[must_use]
+pub fn fault_plan_json(plan: &FaultPlan) -> String {
+    let mut faults = Vec::new();
+    for f in plan.faults() {
+        let body = match f {
+            Fault::TrackerOutage { at, restore } | Fault::BootstrapOutage { at, restore } => {
+                let kind = if matches!(f, Fault::TrackerOutage { .. }) {
+                    "tracker-outage"
+                } else {
+                    "bootstrap-outage"
+                };
+                format!(
+                    "{{\"kind\":{},\"at\":{},\"restore\":{}}}",
+                    json_str(kind),
+                    json_secs(*at),
+                    restore.map_or("null".to_string(), json_secs),
+                )
+            }
+            Fault::ChurnStorm {
+                at,
+                leave_fraction,
+                rejoin_after,
+            } => format!(
+                "{{\"kind\":\"churn-storm\",\"at\":{},\"leave_fraction\":{:.3},\"rejoin_after\":{}}}",
+                json_secs(*at),
+                leave_fraction,
+                rejoin_after.map_or("null".to_string(), json_secs),
+            ),
+            Fault::Link(lf) => {
+                let partition = lf.partition.map_or("null".to_string(), |(a, b)| {
+                    format!("[{},{}]", json_str(a.label()), json_str(b.label()))
+                });
+                format!(
+                    "{{\"kind\":\"link\",\"label\":{},\"from\":{},\"until\":{},\"ramp\":{},\
+                     \"loss_add\":{:.4},\"latency_factor\":{:.3},\"capacity_factor\":{:.3},\
+                     \"partition\":{}}}",
+                    json_str(&lf.label()),
+                    json_secs(lf.from),
+                    json_secs(lf.until),
+                    json_secs(lf.ramp),
+                    lf.loss_add,
+                    lf.latency_factor,
+                    lf.capacity_factor,
+                    partition,
+                )
+            }
+        };
+        faults.push(body);
+    }
+    let timeline: Vec<String> = plan
+        .timeline()
+        .into_iter()
+        .map(|(t, label, begins)| {
+            format!(
+                "{{\"t\":{},\"label\":{},\"begins\":{}}}",
+                json_secs(t),
+                json_str(&label),
+                begins
+            )
+        })
+        .collect();
+    format!(
+        "{{\"faults\":[{}],\"timeline\":[{}]}}",
+        faults.join(","),
+        timeline.join(",")
+    )
+}
+
 /// Writes the full figure-data bundle of a suite into `dir`
 /// (`figs_2_5.csv`, `response_samples.csv`, `contributions.csv`).
 ///
@@ -184,6 +266,43 @@ mod tests {
         let csv = fig6_csv(&[d(1), d(2)], &[d(1), d(2)]);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("day,"));
+    }
+
+    #[test]
+    fn fault_plan_json_covers_every_fault_kind() {
+        use plsim_des::SimTime;
+        use plsim_net::{Isp, LinkFault};
+        let plan = FaultPlan::new()
+            .tracker_blackout(SimTime::from_secs(150), SimTime::from_secs(250))
+            .bootstrap_outage(SimTime::from_secs(10), None)
+            .churn_storm(SimTime::from_secs(240), 0.3, Some(SimTime::from_secs(30)))
+            .link(LinkFault::partition(
+                Isp::Tele,
+                Isp::Cnc,
+                SimTime::from_secs(200),
+                SimTime::from_secs(300),
+            ));
+        let json = fault_plan_json(&plan);
+        for needle in [
+            "\"kind\":\"tracker-outage\"",
+            "\"restore\":250.000",
+            "\"kind\":\"bootstrap-outage\"",
+            "\"restore\":null",
+            "\"kind\":\"churn-storm\"",
+            "\"leave_fraction\":0.300",
+            "\"kind\":\"link\"",
+            "\"partition\":[\"TELE\",\"CNC\"]",
+            "\"timeline\":[",
+            "\"begins\":true",
+            "\"begins\":false",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Empty plan renders to an empty-but-valid document.
+        assert_eq!(
+            fault_plan_json(&FaultPlan::new()),
+            "{\"faults\":[],\"timeline\":[]}"
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Named fault presets for the chaos suite.
+//!
+//! Each preset is a [`FaultPlan`] whose event times are fractions of the
+//! scenario horizon, so the same qualitative schedule works at every
+//! [`Scale`]. The expected qualitative outcomes are documented per preset
+//! and in `EXPERIMENTS.md`; the chaos matrix in `tests/failure_injection.rs`
+//! asserts them at `Scale::Tiny`.
+
+use crate::Scale;
+use plsim_des::SimTime;
+use plsim_net::{Isp, LinkFault};
+use plsim_node::FaultPlan;
+
+fn at(scale: Scale, fraction: f64) -> SimTime {
+    SimTime::from_secs_f64(scale.duration_secs() * fraction)
+}
+
+/// Trackers die at 40% of the run and restart (empty) at 65%.
+///
+/// Expected outcome: the mesh keeps streaming on gossip referrals alone
+/// (the paper's §3.2 "trackers are mere entry points"), and late joiners
+/// re-populate the restarted trackers.
+#[must_use]
+pub fn tracker_blackout(scale: Scale) -> FaultPlan {
+    FaultPlan::new().tracker_blackout(at(scale, 0.40), at(scale, 0.65))
+}
+
+/// Trackers die at 8% of the run and never recover.
+///
+/// Expected outcome: peers that joined before the outage keep streaming;
+/// peers joining after it can still enter via bootstrap + gossip, but
+/// entry slows down. With `ConnectPolicy` stripped of referrals the mesh
+/// would collapse — the chaos matrix asserts the contrast.
+#[must_use]
+pub fn tracker_outage_early(scale: Scale) -> FaultPlan {
+    FaultPlan::new().tracker_outage(at(scale, 0.08))
+}
+
+/// A churn storm at two-thirds of the run: 30% of the online viewers
+/// leave at once and rejoin 10% of the horizon later.
+///
+/// Expected outcome: a transient stall/loss spike and a dip in neighbor
+/// counts, then full recovery — Silverston & Fourmaux's "churn dominates
+/// live-streaming meshes" stress, survived.
+#[must_use]
+pub fn churn_storm(scale: Scale) -> FaultPlan {
+    FaultPlan::new().churn_storm(at(scale, 0.66), 0.30, Some(at(scale, 0.10)))
+}
+
+/// Full TELE↔CNC partition from 55% of the run to 85%.
+///
+/// Expected outcome: cross-ISP traffic between the two big ISPs stops
+/// (enforced by the invariant checker); each side keeps streaming from
+/// same-ISP peers, so measured locality at the TELE and CNC probes rises.
+#[must_use]
+pub fn tele_cnc_partition(scale: Scale) -> FaultPlan {
+    FaultPlan::new().link(LinkFault::partition(
+        Isp::Tele,
+        Isp::Cnc,
+        at(scale, 0.55),
+        at(scale, 0.85),
+    ))
+}
+
+/// TELE↔CNC interconnect capacity drops to 25% between 40% and 80% of the
+/// run.
+///
+/// Expected outcome: cross-ISP response times grow, biasing the
+/// latency-weighted scheduler toward same-ISP peers — the paper's
+/// popularity-dependent locality mechanism, induced on demand.
+#[must_use]
+pub fn interconnect_degradation(scale: Scale) -> FaultPlan {
+    FaultPlan::new().link(LinkFault::degraded_interconnect(
+        at(scale, 0.40),
+        at(scale, 0.80),
+        0.25,
+    ))
+}
+
+/// Packet loss ramps up by +8% on every path over the middle of the run
+/// (linear ramp-in over 10% of the horizon).
+///
+/// Expected outcome: drops and retries rise smoothly rather than stepping;
+/// streaming survives with a higher stall ratio.
+#[must_use]
+pub fn loss_surge(scale: Scale) -> FaultPlan {
+    FaultPlan::new().link(LinkFault::loss_ramp(
+        at(scale, 0.40),
+        at(scale, 0.80),
+        at(scale, 0.10),
+        0.08,
+    ))
+}
+
+/// The combined stress: tracker blackout + churn storm + interconnect
+/// degradation overlapping.
+///
+/// Expected outcome: the union of the individual effects, still passing
+/// every runtime invariant — the "as many scenarios as you can imagine"
+/// robustness bar.
+#[must_use]
+pub fn combined_chaos(scale: Scale) -> FaultPlan {
+    FaultPlan::new()
+        .tracker_blackout(at(scale, 0.40), at(scale, 0.65))
+        .churn_storm(at(scale, 0.66), 0.30, Some(at(scale, 0.10)))
+        .link(LinkFault::degraded_interconnect(
+            at(scale, 0.40),
+            at(scale, 0.80),
+            0.25,
+        ))
+}
+
+/// Every named preset with its label, for suite drivers and exports.
+#[must_use]
+pub fn all_presets(scale: Scale) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("tracker-blackout", tracker_blackout(scale)),
+        ("tracker-outage-early", tracker_outage_early(scale)),
+        ("churn-storm", churn_storm(scale)),
+        ("tele-cnc-partition", tele_cnc_partition(scale)),
+        ("interconnect-degradation", interconnect_degradation(scale)),
+        ("loss-surge", loss_surge(scale)),
+        ("combined-chaos", combined_chaos(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_with_the_horizon() {
+        for (name, plan) in all_presets(Scale::Tiny) {
+            assert!(!plan.is_empty(), "{name} is empty");
+            let horizon = Scale::Tiny.duration_secs();
+            for (t, _, _) in plan.timeline() {
+                assert!(
+                    t.as_secs_f64() <= horizon,
+                    "{name} schedules a boundary past the horizon"
+                );
+            }
+        }
+        // The same preset stretches with the scale.
+        let tiny = tracker_blackout(Scale::Tiny).timeline();
+        let paper = tracker_blackout(Scale::Paper).timeline();
+        assert!(paper[0].0 > tiny[0].0);
+    }
+
+    #[test]
+    fn combined_chaos_composes_the_parts() {
+        let plan = combined_chaos(Scale::Tiny);
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(plan.link_faults().len(), 1);
+        assert!(plan.partitions().is_empty());
+    }
+}

@@ -37,10 +37,19 @@
 mod engine;
 mod experiments;
 mod export;
+mod faults;
 mod render;
 mod scenario;
 
 pub use engine::{Job, JobPool, THREADS_ENV};
+pub use faults::{
+    all_presets, churn_storm, combined_chaos, interconnect_degradation, loss_surge,
+    tele_cnc_partition, tracker_blackout, tracker_outage_early,
+};
+pub use plsim_net::LinkFault;
+pub use plsim_node::{
+    check_world, Fault, FaultPlan, InvariantReport, InvariantViolation, PlaybackSummary,
+};
 pub use experiments::{
     ablation, ablation_on, ablation_variants, fig_6, fig_6_on, figs_11_to_14, figs_15_to_18,
     figs_2_to_5, render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
@@ -49,7 +58,8 @@ pub use experiments::{
     ResponseCell, RttCell, Suite, UnderlayAblationResult, WorkloadRoundTrip, CELLS,
 };
 pub use export::{
-    contributions_csv, export_suite, fig6_csv, locality_csv, response_samples_csv, to_csv,
+    contributions_csv, export_suite, fault_plan_json, fig6_csv, locality_csv,
+    response_samples_csv, to_csv,
 };
 pub use render::{pct, render_table, secs};
 pub use scenario::{ProbeSite, Scale, Scenario, ScenarioRun};

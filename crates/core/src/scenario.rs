@@ -3,7 +3,10 @@
 use plsim_analysis::ProbeReport;
 use plsim_des::SimTime;
 use plsim_net::{AsnDirectory, Isp, LinkModel};
-use plsim_node::{run_world, PeerConfig, ProbeSpec, WorldConfig, WorldOutput};
+use plsim_node::{
+    check_world, run_world, FaultPlan, InvariantReport, PeerConfig, ProbeSpec, WorldConfig,
+    WorldOutput,
+};
 use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -112,8 +115,8 @@ pub struct Scenario {
     pub link: LinkModel,
     /// Optional per-day population variation (Figure 6).
     pub day: Option<DayFactor>,
-    /// Optional tracker outage time (failure injection).
-    pub tracker_outage_at: Option<SimTime>,
+    /// Deterministic fault schedule (empty = fault-free baseline).
+    pub faults: FaultPlan,
     /// Fraction of viewers behind NATs (probes are always reachable).
     pub nat_fraction: f64,
 }
@@ -130,9 +133,16 @@ impl Scenario {
             peer_config: PeerConfig::default(),
             link: LinkModel::default(),
             day: None,
-            tracker_outage_at: None,
+            faults: FaultPlan::new(),
             nat_fraction: 0.0,
         }
+    }
+
+    /// Builder form: attaches a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the scenario: builds the population, simulates the session and
@@ -151,7 +161,7 @@ impl Scenario {
         let mut cfg = WorldConfig::new(self.seed, plan, SimTime::from_secs_f64(duration));
         cfg.peer_config = self.peer_config;
         cfg.link = self.link;
-        cfg.tracker_outage_at = self.tracker_outage_at;
+        cfg.faults = self.faults.clone();
         cfg.nat_fraction = self.nat_fraction;
         cfg.probes = self.probes.iter().map(|p| p.spec()).collect();
 
@@ -171,6 +181,7 @@ impl Scenario {
         ScenarioRun {
             class: self.class,
             scale: self.scale,
+            faults: self.faults.clone(),
             output,
             reports,
         }
@@ -184,6 +195,8 @@ pub struct ScenarioRun {
     pub class: ChannelClass,
     /// The run size.
     pub scale: Scale,
+    /// The fault schedule the run executed under.
+    pub faults: FaultPlan,
     /// Raw world output (records, stats, topology).
     pub output: WorldOutput,
     /// Per-probe analysis reports, in probe order.
@@ -191,6 +204,17 @@ pub struct ScenarioRun {
 }
 
 impl ScenarioRun {
+    /// Runs the invariant checker over this run (monotone trace,
+    /// request/reply conservation, partition isolation, stall accounting).
+    #[must_use]
+    pub fn check_invariants(&self) -> InvariantReport {
+        check_world(
+            &self.output,
+            &self.faults,
+            SimTime::from_secs_f64(self.scale.duration_secs()),
+        )
+    }
+
     /// The report of a given probe site (the first, if several probes share
     /// the site — the paper deployed two hosts per ISP).
     ///
@@ -242,6 +266,8 @@ mod tests {
         let tele = run.report(ProbeSite::Tele);
         assert!(tele.data.bytes.total() > 0, "probe downloaded nothing");
         assert!(tele.returned.total() > 0, "no peer lists captured");
+        // The fault-free baseline must satisfy every runtime invariant.
+        run.check_invariants().assert_clean();
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod sim;
 mod time;
 
 pub use sim::{
-    Actor, Context, Delivery, FixedDelay, Medium, Monitor, NodeId, NullMonitor, SimStats,
-    Simulation,
+    Actor, Context, Delivery, FaultEvent, FixedDelay, Medium, Monitor, NodeId, NullMonitor,
+    SimStats, Simulation,
 };
 pub use time::SimTime;

@@ -39,6 +39,43 @@ pub enum Delivery {
     Drop,
 }
 
+/// A first-class fault event in the simulation queue.
+///
+/// Fault events are scheduled by the harness ([`Simulation::inject_fault`])
+/// and popped in timestamp order like any other event. When one fires, the
+/// kernel notifies the [`Medium`] (so time-varying link state activates on
+/// the simulation clock, not on wall-clock polling) and the [`Monitor`] (so
+/// captures carry fault markers that analysis can segment on). Fault events
+/// are never dispatched to actors — node-level faults (outages, churn) are
+/// expressed as ordinary injected messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Human-readable fault label, e.g. `"tracker-outage"`.
+    pub label: String,
+    /// Whether this instant begins (`true`) or ends (`false`) the fault.
+    pub begins: bool,
+}
+
+impl FaultEvent {
+    /// A fault-window start marker.
+    #[must_use]
+    pub fn begin(label: impl Into<String>) -> Self {
+        FaultEvent {
+            label: label.into(),
+            begins: true,
+        }
+    }
+
+    /// A fault-window end marker.
+    #[must_use]
+    pub fn end(label: impl Into<String>) -> Self {
+        FaultEvent {
+            label: label.into(),
+            begins: false,
+        }
+    }
+}
+
 /// The network model: decides how long a message takes between two nodes (or
 /// whether it is lost).
 ///
@@ -55,6 +92,11 @@ pub trait Medium<P> {
         now: SimTime,
         rng: &mut SmallRng,
     ) -> Delivery;
+
+    /// Called when a scheduled [`FaultEvent`] fires, before the monitor sees
+    /// it. Media with time-varying behaviour (loss ramps, partitions) use
+    /// this as their clock-driven activation edge; the default ignores it.
+    fn on_fault(&mut self, _now: SimTime, _fault: &FaultEvent) {}
 }
 
 /// A medium that delivers everything after a fixed delay. Useful in tests.
@@ -84,6 +126,10 @@ pub trait Monitor<P> {
     }
     /// Called when the medium drops a message.
     fn on_drop(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
+    /// Called when a scheduled [`FaultEvent`] fires (after the medium has
+    /// been notified), so captures can interleave fault markers with
+    /// traffic in timestamp order.
+    fn on_fault(&mut self, _now: SimTime, _fault: &FaultEvent) {}
 }
 
 /// A monitor that observes nothing.
@@ -176,12 +222,19 @@ impl<'a, P> Context<'a, P> {
     }
 }
 
+enum EventPayload<P> {
+    /// A message or timer addressed to an actor.
+    Msg(P),
+    /// A scheduled fault activation (never dispatched to an actor).
+    Fault(FaultEvent),
+}
+
 struct QueuedEvent<P> {
     at: SimTime,
     seq: u64,
     to: NodeId,
     from: Option<NodeId>,
-    payload: P,
+    payload: EventPayload<P>,
     size: u32,
 }
 
@@ -214,6 +267,8 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Largest number of events resident in the queue at any point.
     pub peak_queue_depth: u64,
+    /// Scheduled [`FaultEvent`]s that fired.
+    pub faults_activated: u64,
 }
 
 /// A single-threaded deterministic discrete-event simulation.
@@ -322,7 +377,18 @@ impl<P> Simulation<P> {
     /// Panics if `at` lies in the past of the simulation clock.
     pub fn inject(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
         assert!(at >= self.now, "cannot inject an event into the past");
-        self.push(at, to, from, payload, size);
+        self.push(at, to, from, EventPayload::Msg(payload), size);
+    }
+
+    /// Schedules a [`FaultEvent`] to fire at `at`. When it does, the medium
+    /// and monitor are notified in that order; no actor sees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past of the simulation clock.
+    pub fn inject_fault(&mut self, at: SimTime, fault: FaultEvent) {
+        assert!(at >= self.now, "cannot inject a fault into the past");
+        self.push(at, NodeId(0), None, EventPayload::Fault(fault), 0);
     }
 
     /// Pre-reserves queue capacity for at least `additional` more events.
@@ -334,7 +400,14 @@ impl<P> Simulation<P> {
         self.queue.reserve(additional);
     }
 
-    fn push(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
+    fn push(
+        &mut self,
+        at: SimTime,
+        to: NodeId,
+        from: Option<NodeId>,
+        payload: EventPayload<P>,
+        size: u32,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(QueuedEvent {
@@ -363,9 +436,19 @@ impl<P> Simulation<P> {
             self.now = ev.at;
             self.stats.events_processed += 1;
 
+            let payload = match ev.payload {
+                EventPayload::Fault(fault) => {
+                    self.stats.faults_activated += 1;
+                    self.medium.on_fault(self.now, &fault);
+                    self.monitor.on_fault(self.now, &fault);
+                    continue;
+                }
+                EventPayload::Msg(payload) => payload,
+            };
+
             if let Some(sender) = ev.from {
                 self.monitor
-                    .on_deliver(self.now, sender, ev.to, &ev.payload, ev.size);
+                    .on_deliver(self.now, sender, ev.to, &payload, ev.size);
             }
 
             let idx = ev.to.index();
@@ -381,7 +464,7 @@ impl<P> Simulation<P> {
                 rng: &mut self.rng,
                 effects: &mut effects,
             };
-            actor.on_event(&mut ctx, ev.from, ev.payload);
+            actor.on_event(&mut ctx, ev.from, payload);
             self.actors[idx] = Some(actor);
             self.apply_effects(ev.to, &mut effects);
             self.scratch = effects;
@@ -403,7 +486,13 @@ impl<P> Simulation<P> {
                     let depart = self.now + hold;
                     match self.medium.transit(origin, to, size, depart, &mut self.rng) {
                         Delivery::After(delay) => {
-                            self.push(depart + delay, to, Some(origin), payload, size);
+                            self.push(
+                                depart + delay,
+                                to,
+                                Some(origin),
+                                EventPayload::Msg(payload),
+                                size,
+                            );
                         }
                         Delivery::Drop => {
                             self.stats.messages_dropped += 1;
@@ -412,7 +501,7 @@ impl<P> Simulation<P> {
                     }
                 }
                 Effect::Timer { delay, payload } => {
-                    self.push(self.now + delay, origin, None, payload, 0);
+                    self.push(self.now + delay, origin, None, EventPayload::Msg(payload), 0);
                 }
                 Effect::Halt => self.halted = true,
             }
@@ -598,6 +687,94 @@ mod tests {
         sim.run_until(SimTime::MAX);
         // Draining the queue never raises the high-water mark.
         assert_eq!(sim.stats().peak_queue_depth, 5);
+    }
+
+    #[derive(Default)]
+    struct FaultLog {
+        medium_seen: Vec<(SimTime, String, bool)>,
+    }
+
+    struct FaultAwareMedium {
+        log: Arc<Mutex<FaultLog>>,
+    }
+    impl Medium<u32> for FaultAwareMedium {
+        fn transit(
+            &mut self,
+            _from: NodeId,
+            _to: NodeId,
+            _size: u32,
+            _now: SimTime,
+            _rng: &mut SmallRng,
+        ) -> Delivery {
+            Delivery::After(SimTime::ZERO)
+        }
+        fn on_fault(&mut self, now: SimTime, fault: &FaultEvent) {
+            self.log
+                .lock()
+                .unwrap()
+                .medium_seen
+                .push((now, fault.label.clone(), fault.begins));
+        }
+    }
+
+    struct FaultMonitor {
+        seen: Arc<Mutex<Vec<(SimTime, String)>>>,
+    }
+    impl Monitor<u32> for FaultMonitor {
+        fn on_fault(&mut self, now: SimTime, fault: &FaultEvent) {
+            self.seen.lock().unwrap().push((now, fault.label.clone()));
+        }
+    }
+
+    #[test]
+    fn fault_events_activate_medium_and_monitor_on_the_clock() {
+        let log = Arc::new(Mutex::new(FaultLog::default()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FaultAwareMedium { log: log.clone() });
+        sim.set_monitor(FaultMonitor { seen: seen.clone() });
+        let recorder = Arc::new(Mutex::new(Vec::new()));
+        let n = sim.add_actor(Box::new(Recorder {
+            log: recorder.clone(),
+        }));
+        sim.inject_fault(SimTime::from_secs(5), FaultEvent::begin("partition"));
+        sim.inject_fault(SimTime::from_secs(9), FaultEvent::end("partition"));
+        sim.inject(SimTime::from_secs(7), n, None, 42, 0);
+        let stats = sim.run_until(SimTime::MAX);
+
+        assert_eq!(stats.faults_activated, 2);
+        let medium = &log.lock().unwrap().medium_seen;
+        assert_eq!(
+            *medium,
+            vec![
+                (SimTime::from_secs(5), "partition".to_string(), true),
+                (SimTime::from_secs(9), "partition".to_string(), false),
+            ]
+        );
+        assert_eq!(seen.lock().unwrap().len(), 2);
+        // The actor event interleaved between the two fault edges fired too.
+        assert_eq!(recorder.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fault_events_are_not_dispatched_to_actors() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let _n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        sim.inject_fault(SimTime::from_secs(1), FaultEvent::begin("outage"));
+        sim.run_until(SimTime::MAX);
+        assert!(log.lock().unwrap().is_empty());
+        assert_eq!(sim.stats().faults_activated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn injecting_a_fault_into_the_past_panics() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log }));
+        sim.inject(SimTime::from_secs(2), n, None, 1, 0);
+        sim.run_until(SimTime::MAX);
+        sim.inject_fault(SimTime::from_secs(1), FaultEvent::begin("late"));
     }
 
     #[test]

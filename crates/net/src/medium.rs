@@ -1,7 +1,9 @@
-//! The network medium: propagation + jitter + serialization + loss.
+//! The network medium: propagation + jitter + serialization + loss, plus
+//! scheduled time-varying disturbances (loss/latency ramps, interconnect
+//! degradation, full ISP partitions).
 
 use crate::{congestion_extra_ms, transfer_time, Isp, Topology};
-use plsim_des::{Delivery, Medium, NodeId, SimTime};
+use plsim_des::{Delivery, FaultEvent, Medium, NodeId, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -80,6 +82,146 @@ impl LinkModel {
     }
 }
 
+/// One scheduled disturbance window on the underlay: between [`from`] and
+/// [`until`] the link model is perturbed, optionally ramping in linearly
+/// over the leading [`ramp`] interval (so loss/latency can grow gradually,
+/// like a saturating interconnect, instead of stepping).
+///
+/// Windows compose: every active window contributes its loss/latency/
+/// capacity perturbation; a partition window cuts its ISP pair entirely.
+/// Activation is clock-driven — the harness schedules a
+/// [`plsim_des::FaultEvent`] at each boundary (see [`Underlay::with_faults`]).
+///
+/// [`from`]: LinkFault::from
+/// [`until`]: LinkFault::until
+/// [`ramp`]: LinkFault::ramp
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Linear ramp-in duration from `from`; zero = step change.
+    pub ramp: SimTime,
+    /// Added packet-loss probability on every path at full intensity.
+    pub loss_add: f64,
+    /// Multiplier (≥ 1) on propagation, jitter and congestion delay at
+    /// full intensity; 1.0 = unchanged.
+    pub latency_factor: f64,
+    /// Multiplier (≤ 1) on interconnect capacity at full intensity;
+    /// 1.0 = unchanged.
+    pub capacity_factor: f64,
+    /// If set, all traffic between this (unordered) ISP pair is cut for
+    /// the whole window (no ramp: a peering de-configuration is binary).
+    pub partition: Option<(Isp, Isp)>,
+}
+
+impl LinkFault {
+    /// A no-op window over `[from, until)`; combine with the setters below.
+    #[must_use]
+    pub fn window(from: SimTime, until: SimTime) -> Self {
+        LinkFault {
+            from,
+            until,
+            ramp: SimTime::ZERO,
+            loss_add: 0.0,
+            latency_factor: 1.0,
+            capacity_factor: 1.0,
+            partition: None,
+        }
+    }
+
+    /// A packet-loss ramp: loss grows linearly to `loss_add` over `ramp`,
+    /// holds until the window closes.
+    #[must_use]
+    pub fn loss_ramp(from: SimTime, until: SimTime, ramp: SimTime, loss_add: f64) -> Self {
+        LinkFault {
+            ramp,
+            loss_add,
+            ..Self::window(from, until)
+        }
+    }
+
+    /// A latency ramp: one-way delays scale up to `latency_factor`.
+    #[must_use]
+    pub fn latency_ramp(from: SimTime, until: SimTime, ramp: SimTime, latency_factor: f64) -> Self {
+        LinkFault {
+            ramp,
+            latency_factor,
+            ..Self::window(from, until)
+        }
+    }
+
+    /// Interconnect degradation: cross-ISP queue capacity drops to
+    /// `capacity_factor` of nominal (delays grow under the same load).
+    #[must_use]
+    pub fn degraded_interconnect(from: SimTime, until: SimTime, capacity_factor: f64) -> Self {
+        LinkFault {
+            capacity_factor,
+            ..Self::window(from, until)
+        }
+    }
+
+    /// A full partition of the `a`↔`b` interconnect: every packet between
+    /// the two ISPs is dropped for the whole window.
+    #[must_use]
+    pub fn partition(a: Isp, b: Isp, from: SimTime, until: SimTime) -> Self {
+        LinkFault {
+            partition: Some((a, b)),
+            ..Self::window(from, until)
+        }
+    }
+
+    /// Whether the window covers time `t`.
+    #[must_use]
+    pub fn is_active(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Ramp intensity in `[0, 1]` at time `t` (0 outside the window).
+    #[must_use]
+    pub fn intensity(&self, t: SimTime) -> f64 {
+        if !self.is_active(t) {
+            return 0.0;
+        }
+        let ramp = self.ramp.as_secs_f64();
+        if ramp <= 0.0 {
+            return 1.0;
+        }
+        (t.saturating_sub(self.from).as_secs_f64() / ramp).min(1.0)
+    }
+
+    /// Whether the window cuts traffic between `a` and `b` at time `t`.
+    #[must_use]
+    pub fn cuts(&self, a: Isp, b: Isp, t: SimTime) -> bool {
+        self.is_active(t)
+            && self
+                .partition
+                .is_some_and(|(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+
+    /// A short label for markers and traces, e.g. `"partition:TELE-CNC"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if let Some((a, b)) = self.partition {
+            format!("partition:{a:?}-{b:?}")
+        } else if self.capacity_factor < 1.0 {
+            format!("interconnect-degradation:x{:.2}", self.capacity_factor)
+        } else if self.loss_add > 0.0 && self.latency_factor > 1.0 {
+            format!(
+                "link-degradation:loss+{:.3},lat x{:.2}",
+                self.loss_add, self.latency_factor
+            )
+        } else if self.loss_add > 0.0 {
+            format!("loss-ramp:+{:.3}", self.loss_add)
+        } else if self.latency_factor > 1.0 {
+            format!("latency-ramp:x{:.2}", self.latency_factor)
+        } else {
+            "link-fault".to_string()
+        }
+    }
+}
+
 /// The [`Medium`] implementation used by all scenarios: consults the
 /// [`Topology`] for host placement and applies the [`LinkModel`].
 ///
@@ -101,6 +243,11 @@ pub struct Underlay {
     /// The backlog drains at the pair's capacity; the current queue wait is
     /// `backlog / capacity`.
     xlink_backlog: [[(f64, SimTime); 5]; 5],
+    /// The scheduled disturbance windows, in harness order.
+    faults: Vec<LinkFault>,
+    /// Indices into `faults` of the currently-active windows; maintained by
+    /// [`Medium::on_fault`] boundary events (clock-driven activation).
+    active_faults: Vec<usize>,
 }
 
 impl Underlay {
@@ -111,7 +258,74 @@ impl Underlay {
             topology,
             link,
             xlink_backlog: [[(0.0, SimTime::ZERO); 5]; 5],
+            faults: Vec::new(),
+            active_faults: Vec::new(),
         }
+    }
+
+    /// Installs scheduled disturbance windows.
+    ///
+    /// Activation is clock-driven: the harness must schedule a
+    /// [`plsim_des::FaultEvent`] at every boundary in
+    /// [`Underlay::fault_boundaries`] (any label). Each event makes the
+    /// medium recompute its active window set at that instant, so state
+    /// flips exactly on the simulation clock; windows already active at
+    /// t = 0 are live immediately.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<LinkFault>) -> Self {
+        self.faults = faults;
+        self.refresh_active(SimTime::ZERO);
+        self
+    }
+
+    /// The installed disturbance windows.
+    #[must_use]
+    pub fn faults(&self) -> &[LinkFault] {
+        &self.faults
+    }
+
+    /// Every instant at which a window opens or closes, sorted and deduped
+    /// — the times the harness must schedule fault events at.
+    #[must_use]
+    pub fn fault_boundaries(&self) -> Vec<SimTime> {
+        let mut ts: Vec<SimTime> = self
+            .faults
+            .iter()
+            .flat_map(|f| [f.from, f.until])
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    fn refresh_active(&mut self, now: SimTime) {
+        self.active_faults.clear();
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.is_active(now) {
+                self.active_faults.push(i);
+            }
+        }
+    }
+
+    /// Combined perturbation of the active windows at time `t`:
+    /// `(loss_add, latency_factor, capacity_factor, partitioned)`.
+    fn disturbance(&self, a: Isp, b: Isp, t: SimTime) -> (f64, f64, f64, bool) {
+        let mut loss_add = 0.0;
+        let mut latency_factor = 1.0;
+        let mut capacity_factor = 1.0;
+        let mut partitioned = false;
+        for &i in &self.active_faults {
+            let f = &self.faults[i];
+            let k = f.intensity(t);
+            if k <= 0.0 {
+                continue;
+            }
+            loss_add += f.loss_add * k;
+            latency_factor *= 1.0 + (f.latency_factor - 1.0) * k;
+            capacity_factor *= 1.0 + (f.capacity_factor - 1.0) * k;
+            partitioned |= f.cuts(a, b, t);
+        }
+        (loss_add, latency_factor, capacity_factor.max(0.0), partitioned)
     }
 
     fn isp_index(isp: Isp) -> usize {
@@ -141,11 +355,18 @@ impl Underlay {
     /// the cap the link sheds load: the packet is delayed by the cap but
     /// does not occupy the queue, so congestion penalizes latency without
     /// triggering retry storms).
-    fn interconnect_wait(&mut self, a: Isp, b: Isp, size_bytes: u32, now: SimTime) -> SimTime {
+    fn interconnect_wait(
+        &mut self,
+        a: Isp,
+        b: Isp,
+        size_bytes: u32,
+        now: SimTime,
+        capacity_scale: f64,
+    ) -> SimTime {
         let Some(capacity_mbps) = self.pair_capacity_mbps(a, b) else {
             return SimTime::ZERO;
         };
-        let capacity_bps = capacity_mbps * 1e6;
+        let capacity_bps = (capacity_mbps * capacity_scale).max(1e-6) * 1e6;
         let (i, j) = (Self::isp_index(a.min(b)), Self::isp_index(a.max(b)));
         let (backlog_bits, last) = &mut self.xlink_backlog[i][j];
         // Drain at line rate since the last accounting instant. Departure
@@ -189,7 +410,16 @@ impl<P> Medium<P> for Underlay {
         let ha = *self.topology.host(from);
         let hb = *self.topology.host(to);
 
-        let p_loss = self.link.loss_probability(ha.isp, hb.isp);
+        let (loss_add, latency_factor, capacity_scale, partitioned) = if self.active_faults.is_empty() {
+            (0.0, 1.0, 1.0, false)
+        } else {
+            self.disturbance(ha.isp, hb.isp, _now)
+        };
+        if partitioned {
+            return Delivery::Drop;
+        }
+
+        let p_loss = (self.link.loss_probability(ha.isp, hb.isp) + loss_add).min(1.0);
         if p_loss > 0.0 && rng.random::<f64>() < p_loss {
             return Delivery::Drop;
         }
@@ -198,18 +428,28 @@ impl<P> Medium<P> for Underlay {
         let congestion_mean =
             congestion_extra_ms(ha.isp, hb.isp) / 1e3 * self.link.congestion_scale;
         let jitter_mean =
-            propagation.as_secs_f64() * self.link.jitter_frac + congestion_mean;
+            (propagation.as_secs_f64() * self.link.jitter_frac + congestion_mean) * latency_factor;
         let jitter = if jitter_mean > 0.0 {
             let u: f64 = rng.random::<f64>();
             SimTime::from_secs_f64(-jitter_mean * (1.0 - u).ln())
         } else {
             SimTime::ZERO
         };
-        let xwait = self.interconnect_wait(ha.isp, hb.isp, size_bytes, _now);
+        // Avoid a float round-trip on the common undisturbed path.
+        let propagation = if latency_factor > 1.0 {
+            SimTime::from_secs_f64(propagation.as_secs_f64() * latency_factor)
+        } else {
+            propagation
+        };
+        let xwait = self.interconnect_wait(ha.isp, hb.isp, size_bytes, _now, capacity_scale);
         let bottleneck = ha.bandwidth.up_bps.min(hb.bandwidth.down_bps);
         let serialization = transfer_time(size_bytes, bottleneck);
 
         Delivery::After(propagation + jitter + xwait + serialization)
+    }
+
+    fn on_fault(&mut self, now: SimTime, _fault: &FaultEvent) {
+        self.refresh_active(now);
     }
 }
 
@@ -227,6 +467,31 @@ mod tests {
         (Underlay::new(Arc::new(b.build()), link), x, y)
     }
 
+    /// Transits one packet and returns its delay, or a descriptive `Err`
+    /// when the medium drops it — so tests propagate failures with `?`
+    /// instead of `panic!`.
+    fn transit_delay(
+        u: &mut Underlay,
+        from: NodeId,
+        to: NodeId,
+        size: u32,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> Result<SimTime, String> {
+        match Medium::<()>::transit(u, from, to, size, now, rng) {
+            Delivery::After(d) => Ok(d),
+            Delivery::Drop => Err(format!(
+                "packet {from}->{to} ({size} B) unexpectedly dropped at {now}"
+            )),
+        }
+    }
+
+    /// Advances the medium's clock-driven fault state to `now`, as the DES
+    /// kernel does when a scheduled boundary event fires.
+    fn fire_boundary(u: &mut Underlay, now: SimTime) {
+        Medium::<()>::on_fault(u, now, &FaultEvent::begin("boundary"));
+    }
+
     #[test]
     fn ideal_link_gives_deterministic_delay() {
         let (mut u, x, y) = two_host_underlay(LinkModel::ideal());
@@ -239,16 +504,13 @@ mod tests {
     }
 
     #[test]
-    fn serialization_adds_size_dependent_delay() {
+    fn serialization_adds_size_dependent_delay() -> Result<(), String> {
         let (mut u, x, y) = two_host_underlay(LinkModel::ideal());
         let mut rng = SmallRng::seed_from_u64(0);
-        let Delivery::After(small) = Medium::<()>::transit(&mut u, x, y, 100, SimTime::ZERO, &mut rng) else {
-            panic!("dropped")
-        };
-        let Delivery::After(large) = Medium::<()>::transit(&mut u, x, y, 100_000, SimTime::ZERO, &mut rng) else {
-            panic!("dropped")
-        };
+        let small = transit_delay(&mut u, x, y, 100, SimTime::ZERO, &mut rng)?;
+        let large = transit_delay(&mut u, x, y, 100_000, SimTime::ZERO, &mut rng)?;
         assert!(large > small);
+        Ok(())
     }
 
     #[test]
@@ -302,5 +564,172 @@ mod tests {
         }
         delays.dedup();
         assert!(delays.len() > 50, "jitter should vary");
+    }
+
+    #[test]
+    fn partition_window_cuts_pair_then_restores() -> Result<(), String> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut b = TopologyBuilder::new();
+        let tele_a = b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        let tele_b = b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        let cnc = b.add_host(Isp::Cnc, BandwidthClass::Adsl, &mut rng);
+        let mut u = Underlay::new(Arc::new(b.build()), LinkModel::ideal()).with_faults(vec![
+            LinkFault::partition(
+                Isp::Tele,
+                Isp::Cnc,
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+            ),
+        ]);
+        let mut rng = SmallRng::seed_from_u64(0);
+
+        transit_delay(&mut u, tele_a, cnc, 10, SimTime::from_secs(5), &mut rng)?;
+
+        fire_boundary(&mut u, SimTime::from_secs(10));
+        for _ in 0..20 {
+            let d = Medium::<()>::transit(&mut u, tele_a, cnc, 10, SimTime::from_secs(12), &mut rng);
+            assert_eq!(d, Delivery::Drop, "partitioned pair must drop");
+            let r = Medium::<()>::transit(&mut u, cnc, tele_a, 10, SimTime::from_secs(12), &mut rng);
+            assert_eq!(r, Delivery::Drop, "partition is symmetric");
+        }
+        // Intra-ISP traffic is untouched by the partition.
+        transit_delay(&mut u, tele_a, tele_b, 10, SimTime::from_secs(12), &mut rng)?;
+
+        fire_boundary(&mut u, SimTime::from_secs(20));
+        transit_delay(&mut u, tele_a, cnc, 10, SimTime::from_secs(25), &mut rng)?;
+        Ok(())
+    }
+
+    #[test]
+    fn loss_ramp_scales_drop_probability_over_time() -> Result<(), String> {
+        let (u, x, y) = two_host_underlay(LinkModel::ideal());
+        let mut u = u.with_faults(vec![LinkFault::loss_ramp(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            SimTime::from_secs(50),
+            1.0,
+        )]);
+        let mut rng = SmallRng::seed_from_u64(5);
+
+        // At the window start the ramp contributes nothing.
+        transit_delay(&mut u, x, y, 10, SimTime::ZERO, &mut rng)?;
+
+        // Mid-ramp intensity is 0.5 — drop rate ~50%.
+        let drops = (0..400)
+            .filter(|_| {
+                matches!(
+                    Medium::<()>::transit(&mut u, x, y, 10, SimTime::from_secs(25), &mut rng),
+                    Delivery::Drop
+                )
+            })
+            .count();
+        assert!((120..280).contains(&drops), "mid-ramp drops = {drops}");
+
+        // Past the ramp the added loss saturates at 1.0: everything drops.
+        for _ in 0..20 {
+            let d = Medium::<()>::transit(&mut u, x, y, 10, SimTime::from_secs(60), &mut rng);
+            assert_eq!(d, Delivery::Drop);
+        }
+
+        // After the window closes, delivery resumes.
+        fire_boundary(&mut u, SimTime::from_secs(100));
+        transit_delay(&mut u, x, y, 10, SimTime::from_secs(101), &mut rng)?;
+        Ok(())
+    }
+
+    #[test]
+    fn latency_ramp_multiplies_one_way_delay() -> Result<(), String> {
+        let (u, x, y) = two_host_underlay(LinkModel::ideal());
+        let mut u = u.with_faults(vec![LinkFault::latency_ramp(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            3.0,
+        )]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let base = u.topology().base_one_way(x, y);
+        let d = transit_delay(&mut u, x, y, 0, SimTime::from_secs(1), &mut rng)?;
+        assert_eq!(d, SimTime::from_secs_f64(base.as_secs_f64() * 3.0));
+
+        // Outside the window the delay is back to the undisturbed base.
+        fire_boundary(&mut u, SimTime::from_secs(100));
+        let after = transit_delay(&mut u, x, y, 0, SimTime::from_secs(101), &mut rng)?;
+        assert_eq!(after, base);
+        Ok(())
+    }
+
+    #[test]
+    fn degraded_interconnect_grows_queue_wait() -> Result<(), String> {
+        let link = LinkModel {
+            interconnect_mbps: 1.0,
+            interconnect_max_wait_s: 1e9,
+            ..LinkModel::ideal()
+        };
+        let build = || {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut b = TopologyBuilder::new();
+            let t = b.add_host(Isp::Tele, BandwidthClass::Campus, &mut rng);
+            let c = b.add_host(Isp::Cnc, BandwidthClass::Campus, &mut rng);
+            (Underlay::new(Arc::new(b.build()), link), t, c)
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let size = 125_000; // 1 Mbit: a 1-second backlog at nominal capacity.
+
+        let (mut nominal, t, c) = build();
+        transit_delay(&mut nominal, t, c, size, SimTime::ZERO, &mut rng)?;
+        let queued_nominal = transit_delay(&mut nominal, t, c, size, SimTime::ZERO, &mut rng)?;
+
+        let (degraded, t, c) = build();
+        let mut degraded = degraded.with_faults(vec![LinkFault::degraded_interconnect(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            0.1,
+        )]);
+        transit_delay(&mut degraded, t, c, size, SimTime::ZERO, &mut rng)?;
+        let queued_degraded = transit_delay(&mut degraded, t, c, size, SimTime::ZERO, &mut rng)?;
+
+        assert!(
+            queued_degraded > queued_nominal,
+            "degraded wait {queued_degraded} should exceed nominal {queued_nominal}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn fault_boundaries_are_sorted_and_deduped() {
+        let (u, _, _) = two_host_underlay(LinkModel::ideal());
+        let u = u.with_faults(vec![
+            LinkFault::window(SimTime::from_secs(30), SimTime::from_secs(60)),
+            LinkFault::window(SimTime::from_secs(10), SimTime::from_secs(30)),
+        ]);
+        assert_eq!(
+            u.fault_boundaries(),
+            vec![
+                SimTime::from_secs(10),
+                SimTime::from_secs(30),
+                SimTime::from_secs(60)
+            ]
+        );
+    }
+
+    #[test]
+    fn intensity_ramps_linearly_and_labels_describe_faults() {
+        let f = LinkFault::loss_ramp(
+            SimTime::from_secs(10),
+            SimTime::from_secs(110),
+            SimTime::from_secs(40),
+            0.08,
+        );
+        assert_eq!(f.intensity(SimTime::from_secs(5)), 0.0);
+        assert_eq!(f.intensity(SimTime::from_secs(10)), 0.0);
+        assert!((f.intensity(SimTime::from_secs(30)) - 0.5).abs() < 1e-9);
+        assert_eq!(f.intensity(SimTime::from_secs(60)), 1.0);
+        assert_eq!(f.intensity(SimTime::from_secs(110)), 0.0);
+        assert_eq!(f.label(), "loss-ramp:+0.080");
+
+        let p = LinkFault::partition(Isp::Tele, Isp::Cnc, SimTime::ZERO, SimTime::from_secs(1));
+        assert!(p.cuts(Isp::Cnc, Isp::Tele, SimTime::ZERO), "unordered pair");
+        assert!(!p.cuts(Isp::Tele, Isp::Cer, SimTime::ZERO));
+        assert_eq!(p.label(), "partition:Tele-Cnc");
     }
 }

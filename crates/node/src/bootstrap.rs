@@ -1,14 +1,28 @@
 //! The bootstrap / channel server (steps 1–4 of the paper's Figure 1).
 
 use plsim_des::{Actor, Context, NodeId};
-use plsim_proto::{ChannelId, Message, PeerEntry};
+use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
 use std::collections::BTreeMap;
 
 /// Returns the active channel list on first contact and, per channel, the
 /// playlink's tracker set (one tracker per deployed group).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BootstrapServer {
     trackers: BTreeMap<ChannelId, Vec<PeerEntry>>,
+    /// Fault-injection switch: while `false` the server silently drops
+    /// every request, as a dead host would. Channel registrations survive
+    /// an outage (they live in the CDN-backed channel catalogue, not in
+    /// volatile per-process state).
+    online: bool,
+}
+
+impl Default for BootstrapServer {
+    fn default() -> Self {
+        BootstrapServer {
+            trackers: BTreeMap::new(),
+            online: true,
+        }
+    }
 }
 
 impl BootstrapServer {
@@ -33,7 +47,23 @@ impl BootstrapServer {
 
 impl Actor<Message> for BootstrapServer {
     fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
+        // Fault-injection switches arrive as timers (no sender), so they
+        // must be handled before the client check.
+        match msg {
+            Message::Timer(TimerKind::Leave) => {
+                self.online = false;
+                return;
+            }
+            Message::Timer(TimerKind::Join) => {
+                self.online = true;
+                return;
+            }
+            _ => {}
+        }
         let Some(client) = from else { return };
+        if !self.online {
+            return;
+        }
         match msg {
             Message::BootstrapRequest => {
                 let reply = Message::BootstrapResponse {
@@ -141,5 +171,57 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(log.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn offline_bootstrap_ignores_requests_until_restored() {
+        let mut server = BootstrapServer::new();
+        server.add_channel(ChannelId(1), vec![]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::from_millis(5)));
+        let s = sim.add_actor(Box::new(server));
+        let c = sim.add_actor(Box::new(Probe {
+            server: s,
+            log: log.clone(),
+        }));
+        // Kill the server, let the client ask into the void, restore, ask
+        // again.
+        sim.inject(
+            SimTime::ZERO,
+            s,
+            None,
+            Message::Timer(plsim_proto::TimerKind::Leave),
+            0,
+        );
+        sim.inject(
+            SimTime::from_secs(1),
+            c,
+            None,
+            Message::Timer(plsim_proto::TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert!(log.lock().unwrap().is_empty(), "dead server must not reply");
+
+        sim.inject(
+            SimTime::from_secs(3),
+            s,
+            None,
+            Message::Timer(plsim_proto::TimerKind::Join),
+            0,
+        );
+        sim.inject(
+            SimTime::from_secs(4),
+            c,
+            None,
+            Message::Timer(plsim_proto::TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            log.lock().unwrap().len(),
+            2,
+            "restored server answers the full bootstrap flow"
+        );
     }
 }

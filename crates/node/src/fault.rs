@@ -1,0 +1,267 @@
+//! Deterministic fault schedules ([`FaultPlan`]).
+//!
+//! A fault plan is a seed-stable list of scheduled disturbances — server
+//! outages, churn storms and link-level degradations — that the world
+//! builder turns into first-class DES events. The same plan at the same
+//! seed always produces the same run, so chaos experiments stay exactly as
+//! reproducible as fault-free ones.
+
+use plsim_des::SimTime;
+use plsim_net::LinkFault;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Every tracker dies at `at`; if `restore` is set they all come back
+    /// then, with empty membership databases (a process restart).
+    TrackerOutage {
+        /// Outage start.
+        at: SimTime,
+        /// Recovery time, if any.
+        restore: Option<SimTime>,
+    },
+    /// The bootstrap / channel server stops answering at `at`; if
+    /// `restore` is set it comes back then. Peers that have not yet
+    /// completed their join are stuck retrying until recovery.
+    BootstrapOutage {
+        /// Outage start.
+        at: SimTime,
+        /// Recovery time, if any.
+        restore: Option<SimTime>,
+    },
+    /// A mass-departure wave: at `at`, each viewer online at that moment
+    /// leaves with probability `leave_fraction` (sampled from a dedicated
+    /// fault RNG, so the rest of the run is untouched). If `rejoin_after`
+    /// is set, every victim rejoins that long after the storm — a flash
+    /// crowd in reverse and back.
+    ChurnStorm {
+        /// Storm instant.
+        at: SimTime,
+        /// Probability each online viewer is hit, clamped to `[0, 1]`.
+        leave_fraction: f64,
+        /// Delay until the victims rejoin, if they do.
+        rejoin_after: Option<SimTime>,
+    },
+    /// A time-varying link disturbance (loss/latency ramp, interconnect
+    /// degradation or full ISP partition), applied by the medium.
+    Link(LinkFault),
+}
+
+impl Fault {
+    /// A short, stable label for trace markers and exports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Fault::TrackerOutage { .. } => "tracker-outage".to_string(),
+            Fault::BootstrapOutage { .. } => "bootstrap-outage".to_string(),
+            Fault::ChurnStorm { leave_fraction, .. } => {
+                format!("churn-storm:{:.2}", leave_fraction.clamp(0.0, 1.0))
+            }
+            Fault::Link(f) => f.label(),
+        }
+    }
+
+    /// The fault's `(begin, end)` window; `end` is `None` for faults with
+    /// no scheduled recovery.
+    #[must_use]
+    pub fn window(&self) -> (SimTime, Option<SimTime>) {
+        match self {
+            Fault::TrackerOutage { at, restore } | Fault::BootstrapOutage { at, restore } => {
+                (*at, *restore)
+            }
+            Fault::ChurnStorm {
+                at, rejoin_after, ..
+            } => (*at, rejoin_after.map(|gap| *at + gap)),
+            Fault::Link(f) => (f.from, Some(f.until)),
+        }
+    }
+}
+
+/// One timeline entry: when a fault boundary fires, its label, and whether
+/// it is the start (`true`) or the recovery (`false`).
+pub type FaultBoundary = (SimTime, String, bool);
+
+/// A deterministic schedule of [`Fault`]s, attached to a scenario.
+///
+/// Plans compose: any number of faults can overlap. The world builder
+/// injects each boundary as a [`plsim_des::FaultEvent`], which both drives
+/// the medium's link-fault activation and lands in the capture trace as a
+/// marker.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the fault-free baseline).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Appends a fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Builder form of [`FaultPlan::push`].
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.push(fault);
+        self
+    }
+
+    /// All trackers die at `at` and never recover.
+    #[must_use]
+    pub fn tracker_outage(self, at: SimTime) -> Self {
+        self.with(Fault::TrackerOutage { at, restore: None })
+    }
+
+    /// All trackers die at `at` and restart (empty) at `restore`.
+    #[must_use]
+    pub fn tracker_blackout(self, at: SimTime, restore: SimTime) -> Self {
+        self.with(Fault::TrackerOutage {
+            at,
+            restore: Some(restore),
+        })
+    }
+
+    /// The bootstrap server is down over `[at, restore)` (or forever when
+    /// `restore` is `None`).
+    #[must_use]
+    pub fn bootstrap_outage(self, at: SimTime, restore: Option<SimTime>) -> Self {
+        self.with(Fault::BootstrapOutage { at, restore })
+    }
+
+    /// A churn storm at `at` hitting each online viewer with probability
+    /// `leave_fraction`; victims rejoin `rejoin_after` later if set.
+    #[must_use]
+    pub fn churn_storm(
+        self,
+        at: SimTime,
+        leave_fraction: f64,
+        rejoin_after: Option<SimTime>,
+    ) -> Self {
+        self.with(Fault::ChurnStorm {
+            at,
+            leave_fraction,
+            rejoin_after,
+        })
+    }
+
+    /// A link-level disturbance window.
+    #[must_use]
+    pub fn link(self, fault: LinkFault) -> Self {
+        self.with(Fault::Link(fault))
+    }
+
+    /// The scheduled faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Just the link-level faults, for the medium.
+    #[must_use]
+    pub fn link_faults(&self) -> Vec<LinkFault> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Link(lf) => Some(*lf),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every fault boundary (begin and, where scheduled, recovery), sorted
+    /// by time with ties kept in plan order — the events the world builder
+    /// injects.
+    #[must_use]
+    pub fn timeline(&self) -> Vec<FaultBoundary> {
+        let mut out: Vec<FaultBoundary> = Vec::new();
+        for f in &self.faults {
+            let (begin, end) = f.window();
+            out.push((begin, f.label(), true));
+            if let Some(end) = end {
+                out.push((end, f.label(), false));
+            }
+        }
+        out.sort_by_key(|&(t, _, _)| t);
+        out
+    }
+
+    /// The partition windows in the plan, as `(LinkFault)` refs — used by
+    /// the invariant checker to know which traffic must not exist.
+    #[must_use]
+    pub fn partitions(&self) -> Vec<LinkFault> {
+        self.link_faults()
+            .into_iter()
+            .filter(|f| f.partition.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_net::Isp;
+
+    #[test]
+    fn timeline_is_sorted_and_pairs_begin_end() {
+        let plan = FaultPlan::new()
+            .tracker_blackout(SimTime::from_secs(150), SimTime::from_secs(250))
+            .churn_storm(SimTime::from_secs(100), 0.5, Some(SimTime::from_secs(30)))
+            .link(LinkFault::partition(
+                Isp::Tele,
+                Isp::Cnc,
+                SimTime::from_secs(200),
+                SimTime::from_secs(300),
+            ));
+        let tl = plan.timeline();
+        assert_eq!(tl.len(), 6);
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by time");
+        let begins = tl.iter().filter(|(_, _, b)| *b).count();
+        assert_eq!(begins, 3);
+        assert_eq!(tl[0], (SimTime::from_secs(100), "churn-storm:0.50".to_string(), true));
+    }
+
+    #[test]
+    fn link_faults_and_partitions_filter_correctly() {
+        let plan = FaultPlan::new()
+            .tracker_outage(SimTime::from_secs(10))
+            .link(LinkFault::loss_ramp(
+                SimTime::ZERO,
+                SimTime::from_secs(50),
+                SimTime::from_secs(10),
+                0.1,
+            ))
+            .link(LinkFault::partition(
+                Isp::Tele,
+                Isp::Cnc,
+                SimTime::from_secs(20),
+                SimTime::from_secs(40),
+            ));
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(plan.link_faults().len(), 2);
+        assert_eq!(plan.partitions().len(), 1);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn unrecovered_faults_have_open_windows() {
+        let f = Fault::TrackerOutage {
+            at: SimTime::from_secs(5),
+            restore: None,
+        };
+        assert_eq!(f.window(), (SimTime::from_secs(5), None));
+        assert_eq!(FaultPlan::new().tracker_outage(SimTime::from_secs(5)).timeline().len(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Runtime invariant checker for finished runs.
+//!
+//! Chaos experiments are only trustworthy if a faulted run that *silently*
+//! corrupts the simulation is caught rather than plotted. [`check_world`]
+//! validates structural invariants that must hold in every run, faulted or
+//! not:
+//!
+//! * trace timestamps are monotone (capture happens in event order);
+//! * request/reply conservation: every data or gossip reply a probe
+//!   receives matches a request it actually sent;
+//! * no traffic crosses a partitioned interconnect while the partition is
+//!   in force (after a grace period for packets already in flight);
+//! * stall accounting is consistent: no plays or stalls before playback
+//!   starts, totals bounded by the playback clock, ratios finite.
+
+use crate::{FaultPlan, PeerStats, WorldOutput};
+use plsim_capture::{Direction, RecordKind, TraceRecord};
+use plsim_des::{NodeId, SimTime};
+use plsim_net::{LinkFault, Topology};
+use std::collections::HashSet;
+
+/// Grace period after a partition begins during which cross-partition
+/// deliveries are still legal: packets already in flight (including those
+/// stuck in sender-side upload queues and interconnect backlogs) drain for
+/// a while.
+const PARTITION_GRACE: SimTime = SimTime::from_secs(10);
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// Record `index` has a timestamp earlier than its predecessor.
+    NonMonotoneTrace {
+        /// Index of the offending record.
+        index: usize,
+        /// Timestamp of the preceding record.
+        prev: SimTime,
+        /// The offending (earlier) timestamp.
+        next: SimTime,
+    },
+    /// A probe received a reply whose sequence/correlation id matches no
+    /// request it sent.
+    OrphanReply {
+        /// The probe that received the reply.
+        probe: NodeId,
+        /// The sender of the orphan reply.
+        remote: NodeId,
+        /// The unmatched sequence or correlation id.
+        seq: u64,
+        /// When it arrived.
+        t: SimTime,
+    },
+    /// A packet was delivered across an interconnect that was partitioned
+    /// at the time (outside the in-flight grace period).
+    CrossPartitionDelivery {
+        /// The receiving probe.
+        probe: NodeId,
+        /// The sender on the far side of the partition.
+        remote: NodeId,
+        /// Delivery time.
+        t: SimTime,
+        /// The violated partition's label.
+        fault: String,
+    },
+    /// A peer's playback counters are inconsistent.
+    StallAccounting {
+        /// The peer.
+        node: NodeId,
+        /// What is wrong.
+        detail: String,
+    },
+}
+
+/// The checker's verdict: every violation found, in detection order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InvariantReport {
+    /// All violations, in detection order.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl InvariantReport {
+    /// Whether no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the full violation list unless the run was clean —
+    /// the chaos matrix's loud-failure hook.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "invariant violations:\n{}",
+            self.violations
+                .iter()
+                .map(|v| format!("  - {v:?}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Checks that capture timestamps never go backwards.
+#[must_use]
+pub fn check_monotone_trace(records: &[TraceRecord]) -> Vec<InvariantViolation> {
+    records
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[1].t < w[0].t)
+        .map(|(i, w)| InvariantViolation::NonMonotoneTrace {
+            index: i + 1,
+            prev: w[0].t,
+            next: w[1].t,
+        })
+        .collect()
+}
+
+/// Checks request/reply conservation per probe: an inbound data reply,
+/// data reject or gossip response must echo a sequence/correlation id the
+/// probe actually issued (outbound) earlier in the trace.
+#[must_use]
+pub fn check_reply_conservation(records: &[TraceRecord]) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    // (probe, seq) for data; (probe, req_id) for gossip. Ids are drawn from
+    // independent per-peer counters, so the two spaces must stay separate.
+    let mut data_sent: HashSet<(NodeId, u64)> = HashSet::new();
+    let mut gossip_sent: HashSet<(NodeId, u64)> = HashSet::new();
+    for r in records {
+        match (&r.direction, &r.kind) {
+            (Direction::Outbound, RecordKind::DataRequest { seq, .. }) => {
+                data_sent.insert((r.probe, *seq));
+            }
+            (Direction::Outbound, RecordKind::PeerListRequest { req_id }) => {
+                gossip_sent.insert((r.probe, *req_id));
+            }
+            (
+                Direction::Inbound,
+                RecordKind::DataReply { seq, .. } | RecordKind::DataReject { seq, .. },
+            ) if !data_sent.contains(&(r.probe, *seq)) => {
+                out.push(InvariantViolation::OrphanReply {
+                    probe: r.probe,
+                    remote: r.remote,
+                    seq: *seq,
+                    t: r.t,
+                });
+            }
+            (Direction::Inbound, RecordKind::PeerListResponse { req_id, .. })
+                if !gossip_sent.contains(&(r.probe, *req_id)) =>
+            {
+                out.push(InvariantViolation::OrphanReply {
+                    probe: r.probe,
+                    remote: r.remote,
+                    seq: *req_id,
+                    t: r.t,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Checks that no packet was *delivered* across a partitioned interconnect
+/// while the partition was in force (after [`PARTITION_GRACE`]). Outbound
+/// records are legal: a sender-side capture sees packets that the network
+/// then eats.
+#[must_use]
+pub fn check_no_cross_partition_traffic(
+    records: &[TraceRecord],
+    partitions: &[LinkFault],
+    topology: &Topology,
+) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for p in partitions {
+        let Some((a, b)) = p.partition else { continue };
+        let closed_from = p.from + PARTITION_GRACE;
+        for r in records {
+            if r.direction != Direction::Inbound || r.t < closed_from || r.t >= p.until {
+                continue;
+            }
+            let probe_isp = topology.host(r.probe).isp;
+            let Some(remote) = topology.try_host(r.remote) else {
+                continue;
+            };
+            let pair = (probe_isp, remote.isp);
+            if pair == (a, b) || pair == (b, a) {
+                out.push(InvariantViolation::CrossPartitionDelivery {
+                    probe: r.probe,
+                    remote: r.remote,
+                    t: r.t,
+                    fault: p.label(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks playback counter consistency for every peer.
+#[must_use]
+pub fn check_stall_accounting(stats: &[PeerStats], duration: SimTime) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for s in stats {
+        let total = s.chunks_played.saturating_add(s.stalls);
+        match s.playback_started {
+            None => {
+                if total != 0 {
+                    out.push(InvariantViolation::StallAccounting {
+                        node: s.node,
+                        detail: format!(
+                            "{} plays + {} stalls before playback ever started",
+                            s.chunks_played, s.stalls
+                        ),
+                    });
+                }
+            }
+            Some(started) => {
+                if started < s.joined_at {
+                    out.push(InvariantViolation::StallAccounting {
+                        node: s.node,
+                        detail: format!(
+                            "playback started at {started} before join at {}",
+                            s.joined_at
+                        ),
+                    });
+                }
+                // Playback ticks once per second, so plays + stalls cannot
+                // beat the wall clock. Churn rejoins can briefly double a
+                // peer's playback timer, hence the generous slack.
+                let ticks = duration.saturating_sub(started).as_secs_f64();
+                let bound = ticks.mul_add(1.25, 32.0);
+                if total as f64 > bound {
+                    out.push(InvariantViolation::StallAccounting {
+                        node: s.node,
+                        detail: format!(
+                            "{total} playback ticks in a {ticks:.0}s playback window"
+                        ),
+                    });
+                }
+            }
+        }
+        let ratio = s.stall_ratio();
+        if !ratio.is_finite() || !(0.0..=1.0).contains(&ratio) {
+            out.push(InvariantViolation::StallAccounting {
+                node: s.node,
+                detail: format!("stall ratio {ratio} outside [0, 1]"),
+            });
+        }
+    }
+    out
+}
+
+/// Runs every invariant over a finished run. `duration` is the scenario
+/// horizon the run was executed to.
+#[must_use]
+pub fn check_world(output: &WorldOutput, faults: &FaultPlan, duration: SimTime) -> InvariantReport {
+    let mut violations = check_monotone_trace(&output.records);
+    violations.extend(check_reply_conservation(&output.records));
+    violations.extend(check_no_cross_partition_traffic(
+        &output.records,
+        &faults.partitions(),
+        &output.topology,
+    ));
+    violations.extend(check_stall_accounting(&output.peer_stats, duration));
+    InvariantReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_capture::RemoteKind;
+    use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+    use plsim_proto::ChunkId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    /// A tiny topology: node 0 in TELE, node 1 in CNC, node 2 in TELE.
+    fn topo() -> Topology {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::new();
+        b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        b.add_host(Isp::Cnc, BandwidthClass::Adsl, &mut rng);
+        b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        b.build()
+    }
+
+    fn record(t: u64, probe: u32, remote: u32, direction: Direction, kind: RecordKind) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_secs(t),
+            probe: NodeId(probe),
+            remote: NodeId(remote),
+            remote_ip: Ipv4Addr::UNSPECIFIED,
+            remote_kind: RemoteKind::Peer,
+            direction,
+            kind,
+            wire_bytes: 64,
+        }
+    }
+
+    fn data_request(seq: u64) -> RecordKind {
+        RecordKind::DataRequest {
+            seq,
+            chunk: ChunkId(1),
+        }
+    }
+
+    fn data_reply(seq: u64) -> RecordKind {
+        RecordKind::DataReply {
+            seq,
+            chunk: ChunkId(1),
+            payload_bytes: 1380,
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_trip_monotonicity() {
+        let records = vec![
+            record(10, 0, 1, Direction::Outbound, data_request(1)),
+            record(9, 0, 1, Direction::Inbound, data_reply(1)),
+        ];
+        let v = check_monotone_trace(&records);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            InvariantViolation::NonMonotoneTrace { index: 1, .. }
+        ));
+        // And only that invariant: the reply itself is matched.
+        assert!(check_reply_conservation(&records).is_empty());
+    }
+
+    #[test]
+    fn orphan_reply_trips_conservation() {
+        let records = vec![
+            record(1, 0, 1, Direction::Outbound, data_request(7)),
+            record(2, 0, 1, Direction::Inbound, data_reply(7)),
+            // seq 8 was never requested.
+            record(3, 0, 1, Direction::Inbound, data_reply(8)),
+            // gossip response with an unknown correlation id.
+            record(
+                4,
+                0,
+                1,
+                Direction::Inbound,
+                RecordKind::PeerListResponse {
+                    req_id: 99,
+                    peer_ips: vec![],
+                },
+            ),
+        ];
+        let v = check_reply_conservation(&records);
+        assert_eq!(v.len(), 2);
+        assert!(matches!(v[0], InvariantViolation::OrphanReply { seq: 8, .. }));
+        assert!(matches!(v[1], InvariantViolation::OrphanReply { seq: 99, .. }));
+        assert!(check_monotone_trace(&records).is_empty());
+    }
+
+    #[test]
+    fn same_seq_from_different_probes_is_not_conflated() {
+        // Probe 0 requested seq 5; probe 2 receiving a reply with seq 5 is
+        // still an orphan — ids are per-peer counters.
+        let records = vec![
+            record(1, 0, 1, Direction::Outbound, data_request(5)),
+            record(2, 2, 1, Direction::Inbound, data_reply(5)),
+        ];
+        let v = check_reply_conservation(&records);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn cross_partition_delivery_trips_partition_invariant() {
+        let topo = topo();
+        let partition = LinkFault::partition(
+            Isp::Tele,
+            Isp::Cnc,
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        );
+        let records = vec![
+            // Before the partition: fine.
+            record(50, 0, 1, Direction::Inbound, data_reply(1)),
+            // Within the grace period: still fine (in-flight drain).
+            record(105, 0, 1, Direction::Inbound, data_reply(2)),
+            // Deep inside the window: violation.
+            record(150, 0, 1, Direction::Inbound, data_reply(3)),
+            // Outbound into the void is legal (sender-side capture).
+            record(160, 0, 1, Direction::Outbound, data_request(4)),
+            // Intra-TELE delivery during the partition: fine.
+            record(170, 0, 2, Direction::Inbound, data_reply(5)),
+            // After recovery: fine.
+            record(250, 0, 1, Direction::Inbound, data_reply(6)),
+        ];
+        let v = check_no_cross_partition_traffic(&records, &[partition], &topo);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            InvariantViolation::CrossPartitionDelivery { t, .. } if *t == SimTime::from_secs(150)
+        ));
+    }
+
+    #[test]
+    fn stall_accounting_catches_phantom_ticks_and_bad_ratios() {
+        let duration = SimTime::from_secs(300);
+
+        // Plays before playback ever started.
+        let mut ghost = PeerStats::new(NodeId(0), Isp::Tele, SimTime::ZERO);
+        ghost.chunks_played = 5;
+        let v = check_stall_accounting(&[ghost], duration);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], InvariantViolation::StallAccounting { .. }));
+
+        // More ticks than the playback window allows.
+        let mut fast = PeerStats::new(NodeId(1), Isp::Tele, SimTime::ZERO);
+        fast.playback_started = Some(SimTime::from_secs(100));
+        fast.chunks_played = 10_000;
+        let v = check_stall_accounting(&[fast], duration);
+        assert_eq!(v.len(), 1);
+
+        // Playback allegedly started before join.
+        let mut warped = PeerStats::new(NodeId(2), Isp::Tele, SimTime::from_secs(50));
+        warped.playback_started = Some(SimTime::from_secs(10));
+        let v = check_stall_accounting(&[warped], duration);
+        assert_eq!(v.len(), 1);
+
+        // A healthy record passes.
+        let mut ok = PeerStats::new(NodeId(3), Isp::Tele, SimTime::from_secs(10));
+        ok.playback_started = Some(SimTime::from_secs(40));
+        ok.chunks_played = 200;
+        ok.stalls = 20;
+        assert!(check_stall_accounting(&[ok], duration).is_empty());
+    }
+
+    #[test]
+    fn assert_clean_panics_with_violation_list() {
+        let report = InvariantReport {
+            violations: vec![InvariantViolation::StallAccounting {
+                node: NodeId(1),
+                detail: "test".to_string(),
+            }],
+        };
+        let err = std::panic::catch_unwind(|| report.assert_clean()).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("StallAccounting"));
+        assert!(InvariantReport::default().is_clean());
+    }
+}

@@ -44,6 +44,8 @@
 mod bootstrap;
 mod config;
 mod det;
+mod fault;
+mod invariants;
 mod peer;
 mod stats;
 mod tracker;
@@ -52,7 +54,9 @@ mod world;
 pub use bootstrap::BootstrapServer;
 pub use config::{ConnectPolicy, DataSelection, PeerConfig, StreamParams};
 pub use det::{DetHashMap, DetHashSet, Fnv1a};
+pub use fault::{Fault, FaultBoundary, FaultPlan};
+pub use invariants::{check_world, InvariantReport, InvariantViolation};
 pub use peer::{PeerNode, Role};
-pub use stats::{PeerStats, StatsSink};
+pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
 pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput};

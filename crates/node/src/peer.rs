@@ -671,10 +671,17 @@ impl PeerNode {
         if self.stats.joined_at == SimTime::ZERO {
             self.stats.joined_at = ctx.now();
         }
+        let was_active = self.active;
         self.active = true;
         match self.role {
             Role::Viewer => {
                 if self.started {
+                    if !was_active {
+                        // A churned-out viewer coming back: its recurring
+                        // timers died with `active`, so restart the mesh
+                        // machinery from scratch.
+                        self.resume(ctx);
+                    }
                     return;
                 }
                 if self.startup_target == 0 {
@@ -683,8 +690,9 @@ impl PeerNode {
                 }
                 ctx.send(self.bootstrap, Message::BootstrapRequest, 46);
                 // Retry until the join completes (bootstrap packets can be
-                // lost like any other).
-                ctx.schedule(SimTime::from_secs(5), Message::Timer(TimerKind::Join));
+                // lost like any other). A dedicated retry kind keeps the
+                // pending retry from reviving a peer that has since left.
+                ctx.schedule(SimTime::from_secs(5), Message::Timer(TimerKind::JoinRetry));
             }
             Role::Source => {
                 if self.started {
@@ -711,6 +719,27 @@ impl PeerNode {
                 );
             }
         }
+    }
+
+    /// Re-enters the mesh after a churn-out: stale buffer, in-flight and
+    /// candidate state is dropped (a restarted client starts cold) and the
+    /// bootstrap-skipping rejoin path runs — the tracker set is already
+    /// known, so the peer re-queries all trackers and restarts its timers.
+    fn resume(&mut self, ctx: &mut Context<'_, Message>) {
+        self.playing = false;
+        self.playhead = None;
+        self.stall_streak = 0;
+        self.chunks.clear();
+        self.inflight.clear();
+        self.pending_data.clear();
+        self.pending_gossip.clear();
+        self.pending_handshakes.clear();
+        self.candidates.clear();
+        self.candidate_set.clear();
+        self.stats.departed = false;
+        self.join_chunk = ctx.now().as_secs().saturating_sub(4);
+        self.query_tracker(ctx, true);
+        self.start_schedulers(ctx);
     }
 
     fn on_leave(&mut self, ctx: &mut Context<'_, Message>) {
@@ -811,7 +840,10 @@ impl PeerNode {
                 if run >= target {
                     self.playing = true;
                     self.playhead = Some(start);
-                    self.stats.playback_started = Some(ctx.now());
+                    // First start only: a churn rejoin resumes the same
+                    // viewing session, so startup delay and the stall
+                    // window keep counting from the original start.
+                    self.stats.playback_started.get_or_insert(ctx.now());
                 }
             }
         } else if let Some(playhead) = self.playhead {
@@ -1194,6 +1226,15 @@ impl Actor<Message> for PeerNode {
         match msg {
             Message::Timer(kind) => match kind {
                 TimerKind::Join => self.on_join(ctx),
+                TimerKind::JoinRetry => {
+                    if self.active && !self.started {
+                        ctx.send(self.bootstrap, Message::BootstrapRequest, 46);
+                        ctx.schedule(
+                            SimTime::from_secs(5),
+                            Message::Timer(TimerKind::JoinRetry),
+                        );
+                    }
+                }
                 TimerKind::Leave => self.on_leave(ctx),
                 TimerKind::GossipRound => self.on_gossip_round(ctx),
                 TimerKind::TrackerRound => self.on_tracker_round(ctx),

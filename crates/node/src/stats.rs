@@ -69,13 +69,76 @@ impl PeerStats {
     }
 
     /// Fraction of playback ticks that stalled (0 when playback never ran).
+    ///
+    /// Always finite and in `[0, 1]`, including for probes whose playback
+    /// never starts under heavy faults.
     #[must_use]
     pub fn stall_ratio(&self) -> f64 {
-        let total = self.chunks_played + self.stalls;
+        let total = self.chunks_played.saturating_add(self.stalls);
         if total == 0 {
             0.0
         } else {
             self.stalls as f64 / total as f64
+        }
+    }
+
+    /// Time from join to first played chunk, or `None` if playback never
+    /// started (e.g. the peer joined during an outage and starved).
+    #[must_use]
+    pub fn startup_delay(&self) -> Option<SimTime> {
+        self.playback_started
+            .map(|t| t.saturating_sub(self.joined_at))
+    }
+}
+
+/// Fault-tolerant aggregate of a set of [`PeerStats`]: every field is well
+/// defined (no NaN, no panic) even when some or all peers never started
+/// playback — the normal situation under heavy fault plans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackSummary {
+    /// Peers aggregated.
+    pub peers: usize,
+    /// Peers whose playback started.
+    pub started: usize,
+    /// Mean stall ratio over peers that started (`None` if none did).
+    pub mean_stall_ratio: Option<f64>,
+    /// Mean startup delay over peers that started (`None` if none did).
+    pub mean_startup_delay: Option<SimTime>,
+    /// Total chunks played across all peers.
+    pub chunks_played: u64,
+    /// Total stalled ticks across all peers.
+    pub stalls: u64,
+}
+
+impl PlaybackSummary {
+    /// Aggregates `stats`; safe on an empty slice and on peers that never
+    /// started playback.
+    #[must_use]
+    pub fn summarize(stats: &[PeerStats]) -> Self {
+        let started: Vec<&PeerStats> =
+            stats.iter().filter(|s| s.playback_started.is_some()).collect();
+        let mean_stall_ratio = if started.is_empty() {
+            None
+        } else {
+            Some(started.iter().map(|s| s.stall_ratio()).sum::<f64>() / started.len() as f64)
+        };
+        let mean_startup_delay = if started.is_empty() {
+            None
+        } else {
+            let total: f64 = started
+                .iter()
+                .filter_map(|s| s.startup_delay())
+                .map(|d| d.as_secs_f64())
+                .sum();
+            Some(SimTime::from_secs_f64(total / started.len() as f64))
+        };
+        PlaybackSummary {
+            peers: stats.len(),
+            started: started.len(),
+            mean_stall_ratio,
+            mean_startup_delay,
+            chunks_played: stats.iter().fold(0, |a, s| a.saturating_add(s.chunks_played)),
+            stalls: stats.iter().fold(0, |a, s| a.saturating_add(s.stalls)),
         }
     }
 }
@@ -139,6 +202,72 @@ mod tests {
         s.chunks_played = 90;
         s.stalls = 10;
         assert!((s.stall_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_ratio_survives_counter_extremes() {
+        // Saturating totals: ratio stays finite and within [0, 1] even for
+        // absurd counter values (regression for a debug-mode overflow).
+        let mut s = PeerStats::new(NodeId(0), Isp::Cnc, SimTime::ZERO);
+        s.chunks_played = u64::MAX;
+        s.stalls = u64::MAX;
+        let r = s.stall_ratio();
+        assert!(r.is_finite());
+        assert!((0.0..=1.0).contains(&r));
+
+        // All stalls, no plays: exactly 1.
+        let mut s = PeerStats::new(NodeId(1), Isp::Cnc, SimTime::ZERO);
+        s.stalls = 40;
+        assert_eq!(s.stall_ratio(), 1.0);
+    }
+
+    #[test]
+    fn startup_delay_is_none_until_playback_starts() {
+        let mut s = PeerStats::new(NodeId(0), Isp::Tele, SimTime::from_secs(30));
+        assert_eq!(s.startup_delay(), None);
+        s.playback_started = Some(SimTime::from_secs(42));
+        assert_eq!(s.startup_delay(), Some(SimTime::from_secs(12)));
+        // A playback_started stamp before join (clock quirks under rejoin)
+        // saturates to zero instead of wrapping.
+        s.playback_started = Some(SimTime::from_secs(10));
+        assert_eq!(s.startup_delay(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn summary_is_safe_when_no_peer_ever_plays() {
+        // Empty input.
+        let empty = PlaybackSummary::summarize(&[]);
+        assert_eq!(empty.peers, 0);
+        assert_eq!(empty.started, 0);
+        assert_eq!(empty.mean_stall_ratio, None);
+        assert_eq!(empty.mean_startup_delay, None);
+
+        // Peers that joined but never started playback (heavy faults).
+        let starved: Vec<PeerStats> = (0..3)
+            .map(|i| PeerStats::new(NodeId(i), Isp::Tele, SimTime::from_secs(5)))
+            .collect();
+        let sum = PlaybackSummary::summarize(&starved);
+        assert_eq!(sum.peers, 3);
+        assert_eq!(sum.started, 0);
+        assert_eq!(sum.mean_stall_ratio, None);
+        assert_eq!(sum.mean_startup_delay, None);
+        assert_eq!(sum.chunks_played, 0);
+    }
+
+    #[test]
+    fn summary_averages_only_started_peers() {
+        let mut a = PeerStats::new(NodeId(0), Isp::Tele, SimTime::from_secs(10));
+        a.playback_started = Some(SimTime::from_secs(20));
+        a.chunks_played = 90;
+        a.stalls = 10;
+        let b = PeerStats::new(NodeId(1), Isp::Cnc, SimTime::from_secs(10)); // never started
+        let sum = PlaybackSummary::summarize(&[a, b]);
+        assert_eq!(sum.peers, 2);
+        assert_eq!(sum.started, 1);
+        assert!((sum.mean_stall_ratio.unwrap() - 0.1).abs() < 1e-12);
+        assert_eq!(sum.mean_startup_delay, Some(SimTime::from_secs(10)));
+        assert_eq!(sum.chunks_played, 90);
+        assert_eq!(sum.stalls, 10);
     }
 
     #[test]

@@ -85,10 +85,20 @@ impl TrackerServer {
 
 impl Actor<Message> for TrackerServer {
     fn on_event(&mut self, ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
-        // A `Leave` timer is the failure-injection switch: the tracker dies.
-        if let Message::Timer(TimerKind::Leave) = msg {
-            self.online = false;
-            return;
+        // `Leave`/`Join` timers are the fault-injection switches: the
+        // tracker dies (losing its in-memory membership database, like a
+        // real process restart) and later comes back empty.
+        match msg {
+            Message::Timer(TimerKind::Leave) => {
+                self.online = false;
+                self.members.clear();
+                return;
+            }
+            Message::Timer(TimerKind::Join) => {
+                self.online = true;
+                return;
+            }
+            _ => {}
         }
         let Some(client) = from else { return };
         if !self.online {
@@ -258,6 +268,57 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(10));
         assert!(responses.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn restored_tracker_serves_again_with_fresh_membership() {
+        let topo = topology(4);
+        let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
+        let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
+        let ch = ChannelId(1);
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        let b = sim.add_actor(Box::new(Client {
+            tracker,
+            channel: ch,
+            responses: responses.clone(),
+        }));
+        // a registers, the tracker dies, then recovers; b queries after.
+        sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
+        sim.inject(
+            SimTime::from_secs(5),
+            tracker,
+            None,
+            Message::Timer(TimerKind::Leave),
+            0,
+        );
+        sim.inject(
+            SimTime::from_secs(10),
+            tracker,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+        sim.inject(
+            SimTime::from_secs(15),
+            b,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let responses = responses.lock().unwrap();
+        // The post-recovery query is answered, but the pre-outage member
+        // is gone: a restart wipes the in-memory database.
+        assert_eq!(responses.len(), 2);
+        assert!(
+            responses[1].is_empty(),
+            "membership must not survive a restart"
+        );
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! stream source, a churning viewer population, and a handful of probe
 //! clients whose traffic is captured in full.
 
-use crate::{BootstrapServer, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer};
-use plsim_capture::{ProbeTap, RemoteKind, TraceRecord};
-use plsim_des::{NodeId, SimStats, SimTime, Simulation};
+use crate::{
+    BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer,
+};
+use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceRecord};
+use plsim_des::{FaultEvent, NodeId, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
 use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
 use plsim_workload::SessionPlan;
@@ -70,9 +72,8 @@ pub struct WorldConfig {
     /// Behaviour of every viewer (probes included — they are ordinary
     /// clients).
     pub peer_config: PeerConfig,
-    /// If set, all trackers die at this time (failure injection); peers
-    /// must keep going on gossip referrals alone.
-    pub tracker_outage_at: Option<SimTime>,
+    /// The deterministic fault schedule (empty = fault-free baseline).
+    pub faults: FaultPlan,
     /// Fraction of viewers behind a NAT (unreachable for unsolicited
     /// inbound traffic). Probes are never NATed, matching the study's
     /// directly-connected measurement hosts.
@@ -91,7 +92,7 @@ impl WorldConfig {
             probes: Vec::new(),
             link: LinkModel::default(),
             peer_config: PeerConfig::default(),
-            tracker_outage_at: None,
+            faults: FaultPlan::new(),
             nat_fraction: 0.0,
         }
     }
@@ -117,6 +118,8 @@ pub struct WorldOutput {
     pub trackers: Vec<NodeId>,
     /// The bootstrap server id.
     pub bootstrap: NodeId,
+    /// Fault boundaries observed during the run, in firing order.
+    pub fault_marks: Vec<FaultMark>,
     /// Kernel counters.
     pub sim: SimStats,
 }
@@ -174,7 +177,8 @@ impl World {
 
         let mut sim: Simulation<Message> = Simulation::new(
             cfg.seed,
-            Underlay::new(Arc::clone(&topology), cfg.link),
+            Underlay::new(Arc::clone(&topology), cfg.link)
+                .with_faults(cfg.faults.link_faults()),
         );
         sim.set_monitor(tap.clone());
 
@@ -274,11 +278,68 @@ impl World {
             }
         }
 
-        // Failure injection: tracker outage.
-        if let Some(at) = cfg.tracker_outage_at {
-            for &tid in &tracker_ids {
-                sim.inject(at, tid, None, Message::Timer(TimerKind::Leave), 0);
+        // Fault plan: node-level faults become ordinary timer injections;
+        // every boundary is also injected as a FaultEvent, which (a) drives
+        // the medium's link-fault activation on the clock and (b) lands in
+        // the capture trace as a marker for before/during/after analysis.
+        //
+        // Churn-storm victims are sampled from a dedicated RNG so adding a
+        // storm never perturbs topology or NAT sampling for the same seed.
+        let mut fault_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC4A0_5F17_3B2D_9E61);
+        for fault in cfg.faults.faults() {
+            match fault {
+                Fault::TrackerOutage { at, restore } => {
+                    for &tid in &tracker_ids {
+                        sim.inject(*at, tid, None, Message::Timer(TimerKind::Leave), 0);
+                        if let Some(r) = restore {
+                            sim.inject(*r, tid, None, Message::Timer(TimerKind::Join), 0);
+                        }
+                    }
+                }
+                Fault::BootstrapOutage { at, restore } => {
+                    sim.inject(*at, bootstrap_id, None, Message::Timer(TimerKind::Leave), 0);
+                    if let Some(r) = restore {
+                        sim.inject(*r, bootstrap_id, None, Message::Timer(TimerKind::Join), 0);
+                    }
+                }
+                Fault::ChurnStorm {
+                    at,
+                    leave_fraction,
+                    rejoin_after,
+                } => {
+                    let p = leave_fraction.clamp(0.0, 1.0);
+                    let at_s = at.as_secs_f64();
+                    for (plan, &pid) in cfg.plan.peers.iter().zip(&peer_ids) {
+                        // Only viewers whose session covers the storm are
+                        // candidates; probes (the measurement hosts) are
+                        // deliberately spared.
+                        if plan.join_s <= at_s && plan.leave_s > at_s
+                            && fault_rng.random::<f64>() < p
+                        {
+                            sim.inject(*at, pid, None, Message::Timer(TimerKind::Leave), 0);
+                            if let Some(gap) = rejoin_after {
+                                sim.inject(
+                                    *at + *gap,
+                                    pid,
+                                    None,
+                                    Message::Timer(TimerKind::Join),
+                                    0,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Applied by the medium via `with_faults` above.
+                Fault::Link(_) => {}
             }
+        }
+        for (t, label, begins) in cfg.faults.timeline() {
+            let ev = if begins {
+                FaultEvent::begin(label)
+            } else {
+                FaultEvent::end(label)
+            };
+            sim.inject_fault(t, ev);
         }
 
         // Every live node keeps a handful of timers and in-flight messages
@@ -311,6 +372,7 @@ impl World {
         let sim_stats = self.sim.run_until(self.duration);
         WorldOutput {
             records: self.tap.drain(),
+            fault_marks: self.tap.drain_faults(),
             peer_stats: self.sink.collect(),
             topology: self.topology,
             probes: self.probes,

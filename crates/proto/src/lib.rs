@@ -200,6 +200,9 @@ impl FromIterator<PeerEntry> for PeerList {
 pub enum TimerKind {
     /// The node comes online and starts its bootstrap sequence.
     Join,
+    /// Retry of an unanswered bootstrap request (e.g. the bootstrap server
+    /// was down); only acted on while the node is online but not started.
+    JoinRetry,
     /// The node departs (churn).
     Leave,
     /// 20-second neighbor peer-list gossip round.

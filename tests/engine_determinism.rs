@@ -1,10 +1,16 @@
 //! Integration tests: the parallel experiment engine is a pure
 //! reordering of work — its output is byte-identical to a sequential
-//! run of the same artifacts at the same seed.
+//! run of the same artifacts at the same seed, with or without a fault
+//! schedule attached.
 
+use plsim_des::SimTime;
+use plsim_net::{BandwidthClass, Isp, LinkFault};
+use plsim_node::{run_world, FaultPlan, ProbeSpec, WorldConfig, WorldOutput};
+use plsim_workload::{PeerPlan, SessionPlan};
 use pplive_locality::{
     ablation_on, fig_6_on, underlay_ablation_on, JobPool, Scale, Suite,
 };
+use proptest::prelude::*;
 
 const SEED: u64 = 42;
 
@@ -58,4 +64,77 @@ fn fig_6_parallel_matches_sequential() {
     let a = fig_6_on(&seq(), 2, Scale::Tiny, SEED);
     let b = fig_6_on(&par(), 2, Scale::Tiny, SEED);
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+// ---- FaultPlan determinism property ------------------------------------
+
+/// A 150 s micro world — a dozen viewers split across TELE and CNC plus
+/// one captured probe — small enough to run hundreds of times inside a
+/// property test while still exercising trackers, gossip and playback.
+fn micro_world(seed: u64, faults: FaultPlan) -> WorldConfig {
+    let peers = (0..12u64)
+        .map(|i| PeerPlan {
+            isp: if i % 3 == 0 { Isp::Cnc } else { Isp::Tele },
+            bandwidth: BandwidthClass::Adsl,
+            join_s: (i * 5) as f64,
+            leave_s: 150.0,
+        })
+        .collect();
+    let mut cfg = WorldConfig::new(seed, SessionPlan { peers }, SimTime::from_secs(150));
+    cfg.probes = vec![ProbeSpec {
+        isp: Isp::Tele,
+        bandwidth: BandwidthClass::Adsl,
+        join_s: 30.0,
+    }];
+    cfg.faults = faults;
+    cfg
+}
+
+fn assert_same_output(a: &WorldOutput, b: &WorldOutput, what: &str) {
+    assert_eq!(a.sim, b.sim, "{what}: kernel counters diverged");
+    assert_eq!(a.records, b.records, "{what}: traces diverged");
+    assert_eq!(a.peer_stats, b.peer_stats, "{what}: peer stats diverged");
+    assert_eq!(a.fault_marks, b.fault_marks, "{what}: fault marks diverged");
+}
+
+proptest! {
+    /// Any generated fault schedule — outages, storms, partitions, ramps,
+    /// in any combination — leaves the engine deterministic: two
+    /// sequential runs at the same seed are bit-identical, and so are runs
+    /// fanned out through a [`JobPool`].
+    #[test]
+    fn any_fault_plan_is_seed_stable_and_pool_invariant(
+        seed in 0u64..1_000_000,
+        events in collection::vec((0u32..7, 5u64..110, 10u64..60, 0.05f64..0.6), 0..4),
+    ) {
+        let mut plan = FaultPlan::new();
+        for &(kind, at_s, gap_s, frac) in &events {
+            let at = SimTime::from_secs(at_s);
+            let until = SimTime::from_secs(at_s + gap_s);
+            plan = match kind {
+                0 => plan.tracker_blackout(at, until),
+                1 => plan.tracker_outage(at),
+                2 => plan.bootstrap_outage(at, Some(until)),
+                3 => plan.churn_storm(at, frac, Some(SimTime::from_secs(gap_s))),
+                4 => plan.link(LinkFault::partition(Isp::Tele, Isp::Cnc, at, until)),
+                5 => plan.link(LinkFault::loss_ramp(
+                    at,
+                    until,
+                    SimTime::from_secs(gap_s / 2),
+                    frac * 0.3,
+                )),
+                _ => plan.link(LinkFault::degraded_interconnect(at, until, frac)),
+            };
+        }
+        let cfg = micro_world(seed, plan);
+
+        let a = run_world(&cfg);
+        let b = run_world(&cfg);
+        assert_same_output(&a, &b, "sequential rerun");
+
+        let pooled = JobPool::new(2).map(vec![cfg.clone(), cfg], |c| run_world(&c));
+        for out in &pooled {
+            assert_same_output(&a, out, "pooled run");
+        }
+    }
 }
