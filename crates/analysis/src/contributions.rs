@@ -2,7 +2,7 @@
 //! (Figures 11–18).
 
 use crate::PerIsp;
-use plsim_capture::{Direction, RecordKind, TraceRecord};
+use plsim_capture::{Direction, KindRef, RecordRef};
 use plsim_des::{NodeId, SimTime};
 use plsim_net::{AsnDirectory, Isp};
 use plsim_stats::{
@@ -95,7 +95,10 @@ impl ContributionAnalysis {
 /// request/reply pair) completed with it, mirroring the paper's "unique
 /// peers that have been connected for data transferring".
 #[must_use]
-pub fn contribution_analysis(records: &[TraceRecord], dir: &AsnDirectory) -> ContributionAnalysis {
+pub fn contribution_analysis<'a, I>(records: I, dir: &AsnDirectory) -> ContributionAnalysis
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     struct Acc {
         ip: Ipv4Addr,
         requests: u64,
@@ -108,12 +111,12 @@ pub fn contribution_analysis(records: &[TraceRecord], dir: &AsnDirectory) -> Con
     let mut listed: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
 
     for r in records {
-        match (&r.kind, r.direction) {
-            (RecordKind::TrackerResponse { peer_ips }, Direction::Inbound)
-            | (RecordKind::PeerListResponse { peer_ips, .. }, Direction::Inbound) => {
+        match (r.kind, r.direction) {
+            (KindRef::TrackerResponse { peer_ips }, Direction::Inbound)
+            | (KindRef::PeerListResponse { peer_ips, .. }, Direction::Inbound) => {
                 listed.extend(peer_ips.iter().copied());
             }
-            (RecordKind::DataRequest { seq, .. }, Direction::Outbound) => {
+            (KindRef::DataRequest { seq, .. }, Direction::Outbound) => {
                 let e = acc.entry(r.remote).or_insert(Acc {
                     ip: r.remote_ip,
                     requests: 0,
@@ -122,20 +125,20 @@ pub fn contribution_analysis(records: &[TraceRecord], dir: &AsnDirectory) -> Con
                     min_rt: None,
                 });
                 e.requests += 1;
-                pending.insert(*seq, (r.remote, r.t));
+                pending.insert(seq, (r.remote, r.t));
             }
             (
-                RecordKind::DataReply {
+                KindRef::DataReply {
                     seq, payload_bytes, ..
                 },
                 Direction::Inbound,
             ) => {
-                if let Some((node, sent)) = pending.remove(seq) {
+                if let Some((node, sent)) = pending.remove(&seq) {
                     if node == r.remote {
                         let rt = r.t.saturating_sub(sent).as_secs_f64();
                         if let Some(e) = acc.get_mut(&node) {
                             e.replies += 1;
-                            e.bytes += u64::from(*payload_bytes);
+                            e.bytes += u64::from(payload_bytes);
                             e.min_rt = Some(e.min_rt.map_or(rt, |m: f64| m.min(rt)));
                         }
                     }
@@ -190,8 +193,12 @@ pub fn contribution_analysis(records: &[TraceRecord], dir: &AsnDirectory) -> Con
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plsim_capture::RemoteKind;
+    use plsim_capture::{RecordKind, RemoteKind, TraceRecord};
     use plsim_proto::ChunkId;
+
+    fn rows(records: &[TraceRecord]) -> impl Iterator<Item = RecordRef<'_>> {
+        records.iter().map(TraceRecord::as_ref)
+    }
 
     fn tele_ip(n: u8) -> Ipv4Addr {
         Ipv4Addr::new(58, 0, 1, n)
@@ -244,7 +251,7 @@ mod tests {
         records.extend(exchange(1, 0, 1, 100));
         records.extend(exchange(2, 1000, 1, 300));
         records.extend(exchange(3, 2000, 2, 50));
-        let out = contribution_analysis(&records, &dir);
+        let out = contribution_analysis(rows(&records), &dir);
         assert_eq!(out.peers.len(), 2);
         // Peer 1 has more requests → rank 1.
         assert_eq!(out.peers[0].remote, NodeId(1));
@@ -267,7 +274,7 @@ mod tests {
                 chunk: ChunkId(0),
             },
         )];
-        let out = contribution_analysis(&records, &dir);
+        let out = contribution_analysis(rows(&records), &dir);
         assert!(out.peers.is_empty());
     }
 
@@ -282,7 +289,7 @@ mod tests {
                 records.extend(exchange(seq, seq * 10, remote, 40 + u64::from(k)));
             }
         }
-        let out = contribution_analysis(&records, &dir);
+        let out = contribution_analysis(rows(&records), &dir);
         let cdf = out.contribution_cdf();
         assert_eq!(cdf.len(), 20);
         assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
@@ -315,7 +322,7 @@ mod tests {
                 },
             ),
         ];
-        let out = contribution_analysis(&records, &dir);
+        let out = contribution_analysis(rows(&records), &dir);
         assert_eq!(out.unique_listed_peers, 3);
     }
 }

@@ -1,7 +1,11 @@
 //! # plsim-analysis — the paper's measurement analysis pipeline
 //!
-//! Turns probe captures ([`plsim_capture::TraceRecord`]s) into exactly the
-//! quantities the paper's evaluation section plots:
+//! Turns probe captures into exactly the quantities the paper's evaluation
+//! section plots. Every analysis streams borrowed
+//! [`plsim_capture::RecordRef`] rows, so a columnar
+//! [`plsim_capture::TraceStore`] can be analyzed in place — pass the store
+//! itself (it iterates its rows) or any row cursor such as
+//! [`plsim_capture::TraceStore::rows_for`]:
 //!
 //! * §3.2 (Figures 2–6): [`returned_addresses`], [`returned_by_source`],
 //!   [`data_by_isp`] and the per-session locality percentage;

@@ -1,7 +1,7 @@
 //! ISP-level locality analysis: the paper's §3.2 (Figures 2–6).
 
 use crate::PerIsp;
-use plsim_capture::{Direction, RecordKind, RemoteKind, TraceRecord};
+use plsim_capture::{Direction, KindRef, RecordRef, RemoteKind};
 use plsim_net::{AsnDirectory, Isp};
 use serde::{Deserialize, Serialize};
 
@@ -41,20 +41,25 @@ pub struct ReturnedAddresses {
 
 /// Figure 2(a)–5(a): counts every address on every peer list the probe
 /// received (tracker responses and gossip responses), with duplicates.
+/// Streams borrowed rows, so a columnar [`plsim_capture::TraceStore`] can
+/// be passed directly without materializing owned records.
 #[must_use]
-pub fn returned_addresses(records: &[TraceRecord], dir: &AsnDirectory) -> ReturnedAddresses {
+pub fn returned_addresses<'a, I>(records: I, dir: &AsnDirectory) -> ReturnedAddresses
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut out = ReturnedAddresses::default();
     for r in records {
         if r.direction != Direction::Inbound {
             continue;
         }
-        let ips = match &r.kind {
-            RecordKind::TrackerResponse { peer_ips }
-            | RecordKind::PeerListResponse { peer_ips, .. } => peer_ips,
+        let ips = match r.kind {
+            KindRef::TrackerResponse { peer_ips }
+            | KindRef::PeerListResponse { peer_ips, .. } => peer_ips,
             _ => continue,
         };
-        for ip in ips {
-            if let Some(isp) = dir.isp_of(*ip) {
+        for &ip in ips {
+            if let Some(isp) = dir.isp_of(ip) {
                 out.total[isp] += 1;
             }
         }
@@ -66,10 +71,10 @@ pub fn returned_addresses(records: &[TraceRecord], dir: &AsnDirectory) -> Return
 /// (per replier ISP, peers vs trackers). Entries are sorted by label for
 /// stable output.
 #[must_use]
-pub fn returned_by_source(
-    records: &[TraceRecord],
-    dir: &AsnDirectory,
-) -> Vec<(ListSource, PerIsp<u64>)> {
+pub fn returned_by_source<'a, I>(records: I, dir: &AsnDirectory) -> Vec<(ListSource, PerIsp<u64>)>
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut buckets: Vec<(ListSource, PerIsp<u64>)> = Vec::new();
     let mut bump = |source: ListSource, isp: Isp| {
         if let Some((_, counts)) = buckets.iter_mut().find(|(s, _)| *s == source) {
@@ -87,17 +92,17 @@ pub fn returned_by_source(
         let Some(replier_isp) = dir.isp_of(r.remote_ip) else {
             continue;
         };
-        let (ips, source) = match (&r.kind, r.remote_kind) {
-            (RecordKind::TrackerResponse { peer_ips }, RemoteKind::Tracker) => {
+        let (ips, source) = match (r.kind, r.remote_kind) {
+            (KindRef::TrackerResponse { peer_ips }, RemoteKind::Tracker) => {
                 (peer_ips, ListSource::Tracker(replier_isp))
             }
-            (RecordKind::PeerListResponse { peer_ips, .. }, _) => {
+            (KindRef::PeerListResponse { peer_ips, .. }, _) => {
                 (peer_ips, ListSource::Peer(replier_isp))
             }
             _ => continue,
         };
-        for ip in ips {
-            if let Some(isp) = dir.isp_of(*ip) {
+        for &ip in ips {
+            if let Some(isp) = dir.isp_of(ip) {
                 bump(source, isp);
             }
         }
@@ -129,13 +134,16 @@ impl DataByIsp {
 /// replies (each reply closes exactly one request, as matched by sequence
 /// number in the captures).
 #[must_use]
-pub fn data_by_isp(records: &[TraceRecord], dir: &AsnDirectory) -> DataByIsp {
+pub fn data_by_isp<'a, I>(records: I, dir: &AsnDirectory) -> DataByIsp
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut out = DataByIsp::default();
     for r in records {
         if r.direction != Direction::Inbound {
             continue;
         }
-        if let RecordKind::DataReply { payload_bytes, .. } = r.kind {
+        if let KindRef::DataReply { payload_bytes, .. } = r.kind {
             if let Some(isp) = dir.isp_of(r.remote_ip) {
                 out.transmissions[isp] += 1;
                 out.bytes[isp] += u64::from(payload_bytes);
@@ -148,9 +156,14 @@ pub fn data_by_isp(records: &[TraceRecord], dir: &AsnDirectory) -> DataByIsp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plsim_capture::{RecordKind, TraceRecord};
     use plsim_des::{NodeId, SimTime};
     use plsim_proto::ChunkId;
     use std::net::Ipv4Addr;
+
+    fn rows(records: &[TraceRecord]) -> impl Iterator<Item = RecordRef<'_>> {
+        records.iter().map(TraceRecord::as_ref)
+    }
 
     fn tele_ip(n: u8) -> Ipv4Addr {
         Ipv4Addr::new(58, 0, 0, n)
@@ -192,7 +205,7 @@ mod tests {
                 RemoteKind::Tracker,
             ),
         ];
-        let out = returned_addresses(&records, &dir);
+        let out = returned_addresses(rows(&records), &dir);
         assert_eq!(out.total[Isp::Tele], 3);
         assert_eq!(out.total[Isp::Cnc], 1);
         assert_eq!(out.total.total(), 4);
@@ -218,7 +231,7 @@ mod tests {
                 RemoteKind::Tracker,
             ),
         ];
-        let out = returned_by_source(&records, &dir);
+        let out = returned_by_source(rows(&records), &dir);
         assert_eq!(out.len(), 2);
         let labels: Vec<String> = out.iter().map(|(s, _)| s.label()).collect();
         assert!(labels.contains(&"TELE_p".to_string()));
@@ -247,7 +260,7 @@ mod tests {
             )
         };
         let records = vec![mk(tele_ip(1), 3000), mk(tele_ip(2), 3000), mk(cnc_ip(1), 2000)];
-        let out = data_by_isp(&records, &dir);
+        let out = data_by_isp(rows(&records), &dir);
         assert_eq!(out.transmissions[Isp::Tele], 2);
         assert_eq!(out.bytes.total(), 8000);
         assert!((out.locality(Isp::Tele) - 0.75).abs() < 1e-12);
@@ -266,7 +279,7 @@ mod tests {
             RemoteKind::Peer,
         );
         r.direction = Direction::Outbound;
-        let out = data_by_isp(&[r], &dir);
+        let out = data_by_isp([r.as_ref()], &dir);
         assert_eq!(out.bytes.total(), 0);
     }
 }

@@ -11,7 +11,7 @@
 //! overlay around the probe, on which clustering and ISP-assortativity are
 //! measurable.
 
-use plsim_capture::{Direction, RecordKind, TraceRecord};
+use plsim_capture::{Direction, KindRef, RecordRef};
 use plsim_net::{AsnDirectory, Isp};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -39,13 +39,16 @@ pub struct OverlayStats {
 /// its structure metrics. Tracker responses are excluded: a tracker's list
 /// is a random membership sample, not an adjacency list.
 #[must_use]
-pub fn overlay_stats(records: &[TraceRecord], dir: &AsnDirectory) -> OverlayStats {
+pub fn overlay_stats<'a, I>(records: I, dir: &AsnDirectory) -> OverlayStats
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut adjacency: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> = BTreeMap::new();
     for r in records {
         if r.direction != Direction::Inbound {
             continue;
         }
-        let RecordKind::PeerListResponse { peer_ips, .. } = &r.kind else {
+        let KindRef::PeerListResponse { peer_ips, .. } = r.kind else {
             continue;
         };
         for &ip in peer_ips {
@@ -138,8 +141,12 @@ pub fn overlay_stats(records: &[TraceRecord], dir: &AsnDirectory) -> OverlayStat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plsim_capture::RemoteKind;
+    use plsim_capture::{RecordKind, RemoteKind, TraceRecord};
     use plsim_des::{NodeId, SimTime};
+
+    fn rows(records: &[TraceRecord]) -> impl Iterator<Item = RecordRef<'_>> {
+        records.iter().map(TraceRecord::as_ref)
+    }
 
     fn list_reply(from_ip: Ipv4Addr, ips: Vec<Ipv4Addr>) -> TraceRecord {
         TraceRecord {
@@ -172,7 +179,7 @@ mod tests {
             list_reply(tele(1), vec![tele(2), tele(3)]),
             list_reply(tele(2), vec![tele(3)]),
         ];
-        let stats = overlay_stats(&records, &dir);
+        let stats = overlay_stats(rows(&records), &dir);
         assert_eq!(stats.nodes, 3);
         assert_eq!(stats.edges, 3);
         assert_eq!(stats.triangles, 1);
@@ -189,7 +196,7 @@ mod tests {
             list_reply(cnc(1), vec![cnc(2), cnc(3)]),
             list_reply(cnc(2), vec![cnc(3)]),
         ];
-        let stats = overlay_stats(&records, &dir);
+        let stats = overlay_stats(rows(&records), &dir);
         assert_eq!(stats.same_isp_edge_fraction, 1.0);
         assert!((stats.isp_assortativity - 1.0).abs() < 1e-9);
     }
@@ -202,7 +209,7 @@ mod tests {
             list_reply(tele(1), vec![cnc(1), cnc(2)]),
             list_reply(tele(2), vec![cnc(1), cnc(2)]),
         ];
-        let stats = overlay_stats(&records, &dir);
+        let stats = overlay_stats(rows(&records), &dir);
         assert_eq!(stats.same_isp_edge_fraction, 0.0);
         assert!(stats.isp_assortativity < 0.0);
         assert_eq!(stats.triangles, 0);
@@ -215,7 +222,7 @@ mod tests {
             list_reply(tele(1), vec![tele(1), tele(2), tele(2)]),
             list_reply(tele(1), vec![tele(2)]),
         ];
-        let stats = overlay_stats(&records, &dir);
+        let stats = overlay_stats(rows(&records), &dir);
         assert_eq!(stats.nodes, 2);
         assert_eq!(stats.edges, 1);
     }
@@ -223,7 +230,7 @@ mod tests {
     #[test]
     fn empty_records_yield_zeroes() {
         let dir = AsnDirectory::new();
-        let stats = overlay_stats(&[], &dir);
+        let stats = overlay_stats(std::iter::empty::<RecordRef>(), &dir);
         assert_eq!(stats.nodes, 0);
         assert_eq!(stats.edges, 0);
         assert_eq!(stats.clustering_coefficient, 0.0);

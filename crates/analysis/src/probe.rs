@@ -6,7 +6,7 @@ use crate::{
 };
 use crate::overlay::{overlay_stats, OverlayStats};
 use crate::response::data_response_times;
-use plsim_capture::TraceRecord;
+use plsim_capture::TraceStore;
 use plsim_des::NodeId;
 use plsim_net::{AsnDirectory, Isp};
 use serde::{Deserialize, Serialize};
@@ -37,28 +37,33 @@ pub struct ProbeReport {
 
 impl ProbeReport {
     /// Analyzes the records of `probe` (other probes' records are ignored).
+    ///
+    /// The probe's rows are decoded off the columnar pages once, as a flat
+    /// list of borrowed [`RecordRef`] views (`Copy` handles into the store
+    /// — peer-list payloads stay in the shared arena), and each quantity
+    /// then iterates that one list. A multi-probe capture is analyzed
+    /// without ever deep-cloning a per-probe row copy.
+    ///
+    /// [`RecordRef`]: plsim_capture::RecordRef
     #[must_use]
     pub fn new(
         probe: NodeId,
         home_isp: Isp,
-        records: &[TraceRecord],
+        records: &TraceStore,
         dir: &AsnDirectory,
     ) -> ProbeReport {
-        let mine: Vec<TraceRecord> = records
-            .iter()
-            .filter(|r| r.probe == probe)
-            .cloned()
-            .collect();
+        let mine: Vec<_> = records.rows_for(probe).collect();
+        let view = || mine.iter().copied();
         ProbeReport {
             probe,
             home_isp,
-            returned: returned_addresses(&mine, dir).total,
-            returned_by_source: returned_by_source(&mine, dir),
-            data: data_by_isp(&mine, dir),
-            peer_list_rt: peer_list_response_times(&mine, dir),
-            data_rt: data_response_times(&mine, dir),
-            contributions: contribution_analysis(&mine, dir),
-            overlay: overlay_stats(&mine, dir),
+            returned: returned_addresses(view(), dir).total,
+            returned_by_source: returned_by_source(view(), dir),
+            data: data_by_isp(view(), dir),
+            peer_list_rt: peer_list_response_times(view(), dir),
+            data_rt: data_response_times(view(), dir),
+            contributions: contribution_analysis(view(), dir),
+            overlay: overlay_stats(view(), dir),
         }
     }
 
@@ -80,7 +85,7 @@ impl ProbeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plsim_capture::{Direction, RecordKind, RemoteKind};
+    use plsim_capture::{Direction, RecordKind, RemoteKind, TraceRecord};
     use plsim_des::SimTime;
     use plsim_proto::ChunkId;
     use std::net::Ipv4Addr;
@@ -102,7 +107,7 @@ mod tests {
             },
             wire_bytes: 1426,
         };
-        let records = vec![mk(0), mk(1), mk(1)];
+        let records = TraceStore::from_records(&[mk(0), mk(1), mk(1)]);
         let report = ProbeReport::new(NodeId(1), Isp::Tele, &records, &dir);
         assert_eq!(report.data.bytes.total(), 2760);
         assert!((report.locality() - 1.0).abs() < 1e-12);

@@ -7,7 +7,7 @@
 //! explicit id, which is the same matching made exact).
 
 use crate::PerGroup;
-use plsim_capture::{Direction, RecordKind, RemoteKind, TraceRecord};
+use plsim_capture::{Direction, KindRef, RecordRef, RemoteKind};
 use plsim_net::{AsnDirectory, IspGroup};
 use plsim_des::SimTime;
 use serde::{Deserialize, Serialize};
@@ -94,17 +94,20 @@ impl ResponseTimes {
 /// Only regular peers and the source count as repliers; tracker responses
 /// are a different mechanism and are excluded, as in the figures.
 #[must_use]
-pub fn peer_list_response_times(records: &[TraceRecord], dir: &AsnDirectory) -> ResponseTimes {
+pub fn peer_list_response_times<'a, I>(records: I, dir: &AsnDirectory) -> ResponseTimes
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut pending: HashMap<u64, SimTime> = HashMap::new();
     let mut out = ResponseTimes::default();
     for r in records {
-        match (&r.kind, r.direction) {
-            (RecordKind::PeerListRequest { req_id }, Direction::Outbound) => {
-                pending.insert(*req_id, r.t);
+        match (r.kind, r.direction) {
+            (KindRef::PeerListRequest { req_id }, Direction::Outbound) => {
+                pending.insert(req_id, r.t);
             }
-            (RecordKind::PeerListResponse { req_id, .. }, Direction::Inbound) => {
+            (KindRef::PeerListResponse { req_id, .. }, Direction::Inbound) => {
                 if matches!(r.remote_kind, RemoteKind::Peer | RemoteKind::Source) {
-                    if let Some(sent) = pending.remove(req_id) {
+                    if let Some(sent) = pending.remove(&req_id) {
                         if let Some(isp) = dir.isp_of(r.remote_ip) {
                             out.samples.push(RtSample {
                                 sent_at: sent,
@@ -126,16 +129,19 @@ pub fn peer_list_response_times(records: &[TraceRecord], dir: &AsnDirectory) -> 
 /// Matches outbound data requests to inbound data replies by sequence
 /// number (Table 1). Rejects do not count as answers.
 #[must_use]
-pub fn data_response_times(records: &[TraceRecord], dir: &AsnDirectory) -> ResponseTimes {
+pub fn data_response_times<'a, I>(records: I, dir: &AsnDirectory) -> ResponseTimes
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
     let mut pending: HashMap<u64, SimTime> = HashMap::new();
     let mut out = ResponseTimes::default();
     for r in records {
-        match (&r.kind, r.direction) {
-            (RecordKind::DataRequest { seq, .. }, Direction::Outbound) => {
-                pending.insert(*seq, r.t);
+        match (r.kind, r.direction) {
+            (KindRef::DataRequest { seq, .. }, Direction::Outbound) => {
+                pending.insert(seq, r.t);
             }
-            (RecordKind::DataReply { seq, .. }, Direction::Inbound) => {
-                if let Some(sent) = pending.remove(seq) {
+            (KindRef::DataReply { seq, .. }, Direction::Inbound) => {
+                if let Some(sent) = pending.remove(&seq) {
                     if let Some(isp) = dir.isp_of(r.remote_ip) {
                         out.samples.push(RtSample {
                             sent_at: sent,
@@ -145,8 +151,8 @@ pub fn data_response_times(records: &[TraceRecord], dir: &AsnDirectory) -> Respo
                     }
                 }
             }
-            (RecordKind::DataReject { seq, .. }, Direction::Inbound) => {
-                pending.remove(seq);
+            (KindRef::DataReject { seq, .. }, Direction::Inbound) => {
+                pending.remove(&seq);
             }
             _ => {}
         }
@@ -159,10 +165,15 @@ pub fn data_response_times(records: &[TraceRecord], dir: &AsnDirectory) -> Respo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plsim_capture::{RecordKind, TraceRecord};
     use plsim_des::NodeId;
     use plsim_net::Isp;
     use plsim_proto::ChunkId;
     use std::net::Ipv4Addr;
+
+    fn rows(records: &[TraceRecord]) -> impl Iterator<Item = RecordRef<'_>> {
+        records.iter().map(TraceRecord::as_ref)
+    }
 
     fn rec(
         t_ms: u64,
@@ -213,7 +224,7 @@ mod tests {
                 RemoteKind::Peer,
             ),
         ];
-        let out = peer_list_response_times(&records, &dir);
+        let out = peer_list_response_times(rows(&records), &dir);
         assert_eq!(out.samples.len(), 1);
         assert!((out.samples[0].rt_secs - 0.5).abs() < 1e-9);
         assert_eq!(out.samples[0].group, Isp::Tele.group());
@@ -242,7 +253,7 @@ mod tests {
                 RemoteKind::Tracker,
             ),
         ];
-        let out = peer_list_response_times(&records, &dir);
+        let out = peer_list_response_times(rows(&records), &dir);
         assert!(out.samples.is_empty());
     }
 
@@ -290,7 +301,7 @@ mod tests {
                 RemoteKind::Peer,
             ),
         ];
-        let out = data_response_times(&records, &dir);
+        let out = data_response_times(rows(&records), &dir);
         assert_eq!(out.samples.len(), 1);
         assert_eq!(out.unanswered, 0);
         let avgs = out.averages();

@@ -4,9 +4,14 @@
 //! [`plsim_bench::EngineReport`]).
 
 use criterion::{criterion_group, Criterion};
+use plsim_analysis::{
+    contribution_analysis, data_by_isp, data_response_times, overlay_stats,
+    peer_list_response_times, returned_addresses, returned_by_source, ProbeReport,
+};
 use plsim_bench::{write_engine_report, EngineReport};
+use plsim_capture::{RecordKind, TraceRecord, TraceStore};
 use plsim_des::{Actor, Context, FixedDelay, Medium, NodeId, SimStats, SimTime, Simulation};
-use plsim_net::{BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
+use plsim_net::{AsnDirectory, BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
 use plsim_stats::{ecdf, pearson, stretched_exp_fit};
 use pplive_locality::{JobPool, Scale, Suite};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -146,6 +151,9 @@ fn engine_report(test_mode: bool) {
         "parallel suite diverged from sequential"
     );
 
+    let (row_bytes, columnar_bytes, row_analysis_s, columnar_analysis_s) =
+        columnar_vs_row(&seq);
+
     let report = EngineReport {
         events_processed: stats.events_processed,
         events_per_sec: stats.events_processed as f64 / kernel_wall,
@@ -155,17 +163,96 @@ fn engine_report(test_mode: bool) {
         seq_wall_s: seq_wall,
         par_wall_s: par_wall,
         speedup: seq_wall / par_wall,
+        row_bytes,
+        columnar_bytes,
+        row_analysis_s,
+        columnar_analysis_s,
     };
     match write_engine_report(&report) {
         Ok(path) => println!(
-            "engine report: {:.0} events/sec, {}x threads, speedup {:.2} -> {}",
+            "engine report: {:.0} events/sec, {}x threads, speedup {:.2}, \
+             capture {} -> {} bytes, analysis {:.4}s -> {:.4}s -> {}",
             report.events_per_sec,
             report.threads,
             report.speedup,
+            report.row_bytes,
+            report.columnar_bytes,
+            report.row_analysis_s,
+            report.columnar_analysis_s,
             path.display()
         ),
         Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),
     }
+}
+
+/// Compares the popular session's capture in the old row layout against
+/// the columnar store: heap bytes of each, then wall-clock to analyze all
+/// probes via the old per-probe clone-filter path vs streaming the store's
+/// cursors in place. Returns `(row_bytes, columnar_bytes, row_s, col_s)`.
+fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64) {
+    let store = &suite.popular.output.records;
+    let dir = AsnDirectory::new();
+    let probes: Vec<(NodeId, Isp)> = suite
+        .popular
+        .reports
+        .iter()
+        .map(|(_, r)| (r.probe, r.home_isp))
+        .collect();
+
+    // Best of three for each path: single-shot wall clocks on a shared
+    // box are noisy, and the minimum is the least-contaminated sample.
+    let mut columnar_s = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for &(p, isp) in &probes {
+            black_box(ProbeReport::new(p, isp, store, &dir));
+        }
+        columnar_s = columnar_s.min(start.elapsed().as_secs_f64());
+    }
+
+    let rows: Vec<TraceRecord> = store.to_records();
+    let row_bytes = rows.capacity() * std::mem::size_of::<TraceRecord>()
+        + rows
+            .iter()
+            .map(|r| match &r.kind {
+                RecordKind::TrackerResponse { peer_ips }
+                | RecordKind::PeerListResponse { peer_ips, .. } => {
+                    peer_ips.capacity() * std::mem::size_of::<std::net::Ipv4Addr>()
+                }
+                _ => 0,
+            })
+            .sum::<usize>();
+
+    let mut row_s = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for &(p, _) in &probes {
+            // The pre-columnar pipeline: clone the probe's records out of
+            // the shared capture, then run the seven per-figure passes
+            // over the copy.
+            let mine: Vec<TraceRecord> =
+                rows.iter().filter(|r| r.probe == p).cloned().collect();
+            let view = || mine.iter().map(TraceRecord::as_ref);
+            black_box(returned_addresses(view(), &dir));
+            black_box(returned_by_source(view(), &dir));
+            black_box(data_by_isp(view(), &dir));
+            black_box(peer_list_response_times(view(), &dir));
+            black_box(data_response_times(view(), &dir));
+            black_box(contribution_analysis(view(), &dir));
+            black_box(overlay_stats(view(), &dir));
+        }
+        row_s = row_s.min(start.elapsed().as_secs_f64());
+    }
+
+    // Sanity: both layouts hold the same capture.
+    assert_eq!(TraceStore::from_records(&rows), *store);
+
+    (
+        row_bytes as u64,
+        store.approx_heap_bytes() as u64,
+        row_s,
+        columnar_s,
+    )
 }
 
 criterion_group!(benches, des_throughput, parallel_engine);

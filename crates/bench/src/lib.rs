@@ -45,6 +45,17 @@ pub struct EngineReport {
     pub par_wall_s: f64,
     /// `seq_wall_s / par_wall_s`; ~1.0 on a single-core host.
     pub speedup: f64,
+    /// Heap bytes of the measured capture in the old row layout
+    /// (`Vec<TraceRecord>` plus per-record peer-list spill).
+    pub row_bytes: u64,
+    /// Heap bytes of the same capture in the columnar `TraceStore`.
+    pub columnar_bytes: u64,
+    /// Wall-clock seconds to analyze every probe via the old row path
+    /// (per-probe clone-filter, then the seven per-figure passes).
+    pub row_analysis_s: f64,
+    /// Wall-clock seconds for the same analysis streaming the columnar
+    /// store's row cursors in place.
+    pub columnar_analysis_s: f64,
 }
 
 impl EngineReport {
@@ -62,7 +73,11 @@ impl EngineReport {
                 "  \"suite_scale\": \"{}\",\n",
                 "  \"seq_wall_s\": {:.4},\n",
                 "  \"par_wall_s\": {:.4},\n",
-                "  \"speedup\": {:.3}\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"row_bytes\": {},\n",
+                "  \"columnar_bytes\": {},\n",
+                "  \"row_analysis_s\": {:.4},\n",
+                "  \"columnar_analysis_s\": {:.4}\n",
                 "}}\n"
             ),
             self.events_processed,
@@ -73,6 +88,10 @@ impl EngineReport {
             self.seq_wall_s,
             self.par_wall_s,
             self.speedup,
+            self.row_bytes,
+            self.columnar_bytes,
+            self.row_analysis_s,
+            self.columnar_analysis_s,
         )
     }
 }
@@ -109,11 +128,18 @@ mod tests {
             seq_wall_s: 10.0,
             par_wall_s: 2.5,
             speedup: 4.0,
+            row_bytes: 2_000_000,
+            columnar_bytes: 1_200_000,
+            row_analysis_s: 0.5,
+            columnar_analysis_s: 0.2,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"events_per_sec\": 1250000.0"));
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.contains("\"suite_scale\": \"reduced\""));
+        assert!(json.contains("\"row_bytes\": 2000000"));
+        assert!(json.contains("\"columnar_bytes\": 1200000"));
+        assert!(json.contains("\"columnar_analysis_s\": 0.2000"));
     }
 }

@@ -3,16 +3,22 @@
 //! The original study ran Wireshark on each probe host and parsed the UDP
 //! captures offline. Here, [`ProbeTap`] implements [`plsim_des::Monitor`] and
 //! records every message that enters or leaves a configured set of probe
-//! nodes as a typed [`TraceRecord`] — the same information the authors
-//! extracted from pcaps (peer lists with the advertised addresses, data
-//! request/reply sequence numbers, timestamps, byte counts), without the
-//! parsing step.
+//! nodes — the same information the authors extracted from pcaps (peer
+//! lists with the advertised addresses, data request/reply sequence
+//! numbers, timestamps, byte counts), without the parsing step.
+//!
+//! Captured traffic lives in a columnar [`TraceStore`]: one append-only
+//! paged column per field plus a shared arena for peer-list addresses,
+//! written directly from the wire messages (no intermediate row allocation
+//! on the capture path). Analysis streams borrowed [`RecordRef`] cursors;
+//! the owned [`TraceRecord`] row remains the interchange type for tests
+//! and conversion.
 //!
 //! The tap is a cheap cloneable handle around shared storage, so the harness
 //! keeps one handle and gives the simulation another. A simulation is
 //! single-threaded, so the storage is an `Rc<RefCell<_>>` rather than a
 //! mutex — recording a packet costs no atomic operations. Cross-thread
-//! handoff happens only through the owned `Vec<TraceRecord>` returned by
+//! handoff happens only through the owned [`TraceStore`] returned by
 //! [`ProbeTap::drain`] (which is `Send`), never through the tap itself.
 //!
 //! # Examples
@@ -36,6 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod store;
+
+pub use store::{KindRef, RecordRef, Rows, TraceStore};
+
 use plsim_des::{FaultEvent, Monitor, NodeId, SimTime};
 use plsim_net::Topology;
 use plsim_proto::{ChunkId, Message};
@@ -45,6 +55,8 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
+
+use store::{KindTag, RowHead};
 
 /// Direction of a captured message relative to the probe host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -71,7 +83,8 @@ pub enum RemoteKind {
     Source,
 }
 
-/// Payload summary of one captured message.
+/// Payload summary of one captured message (owned interchange row; the
+/// store's cursors yield the borrowing [`KindRef`] instead).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RecordKind {
     /// Bootstrap channel-list request/response or channel join exchange.
@@ -131,51 +144,7 @@ pub enum RecordKind {
     Goodbye,
 }
 
-impl RecordKind {
-    fn from_message(msg: &Message) -> Option<RecordKind> {
-        Some(match msg {
-            Message::BootstrapRequest
-            | Message::BootstrapResponse { .. }
-            | Message::JoinRequest { .. }
-            | Message::JoinResponse { .. } => RecordKind::Bootstrap,
-            Message::TrackerQuery { .. } => RecordKind::TrackerQuery,
-            Message::TrackerResponse { peers, .. } => RecordKind::TrackerResponse {
-                peer_ips: peers.iter().map(|e| e.ip).collect(),
-            },
-            Message::PeerListRequest { req_id, .. } => {
-                RecordKind::PeerListRequest { req_id: *req_id }
-            }
-            Message::PeerListResponse { peers, req_id, .. } => RecordKind::PeerListResponse {
-                req_id: *req_id,
-                peer_ips: peers.iter().map(|e| e.ip).collect(),
-            },
-            Message::Handshake { .. } => RecordKind::Handshake,
-            Message::HandshakeAck { accepted, .. } => RecordKind::HandshakeAck {
-                accepted: *accepted,
-            },
-            Message::DataRequest { seq, chunk, .. } => RecordKind::DataRequest {
-                seq: *seq,
-                chunk: *chunk,
-            },
-            Message::DataReply {
-                seq, chunk, count, ..
-            } => RecordKind::DataReply {
-                seq: *seq,
-                chunk: *chunk,
-                payload_bytes: u32::from(*count) * plsim_proto::SUB_PIECE_BYTES,
-            },
-            Message::DataReject { seq, busy, .. } => RecordKind::DataReject {
-                seq: *seq,
-                busy: *busy,
-            },
-            Message::Announce { .. } => RecordKind::Announce,
-            Message::Goodbye => RecordKind::Goodbye,
-            Message::Timer(_) => return None,
-        })
-    }
-}
-
-/// One captured message at a probe.
+/// One captured message at a probe (owned interchange row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// Capture timestamp.
@@ -210,7 +179,7 @@ pub struct FaultMark {
 
 #[derive(Debug, Default)]
 struct TapState {
-    records: Vec<TraceRecord>,
+    records: TraceStore,
     faults: Vec<FaultMark>,
     remote_kinds: HashMap<NodeId, RemoteKind>,
 }
@@ -220,7 +189,7 @@ struct TapState {
 ///
 /// Deliberately not `Send`: it lives and dies with one single-threaded
 /// simulation. Move captured traffic across threads by [`drain`]ing into an
-/// owned `Vec<TraceRecord>`.
+/// owned [`TraceStore`].
 ///
 /// [`drain`]: ProbeTap::drain
 #[derive(Debug, Clone)]
@@ -253,29 +222,31 @@ impl ProbeTap {
         &self.probes
     }
 
-    /// Pre-reserves storage for at least `additional` more records, so a
-    /// harness that can estimate its trace volume avoids growth
-    /// reallocations on the capture path.
+    /// Pre-reserves capture storage for roughly `additional` more records.
+    /// The paged columns never reallocate, so only the shared address
+    /// arena benefits; harmless to skip.
     pub fn reserve(&self, additional: usize) {
-        self.state.borrow_mut().records.reserve(additional);
+        self.state.borrow_mut().records.reserve_ips(additional);
     }
 
-    /// Runs `f` over the records captured so far, without copying them.
-    pub fn records<R>(&self, f: impl FnOnce(&[TraceRecord]) -> R) -> R {
+    /// Runs `f` over the store of records captured so far, without
+    /// copying anything.
+    pub fn records<R>(&self, f: impl FnOnce(&TraceStore) -> R) -> R {
         f(&self.state.borrow().records)
     }
 
-    /// Copies the records captured so far. Prefer [`ProbeTap::records`]
-    /// (borrow) or [`ProbeTap::drain`] (move) — this clones the full trace.
+    /// Materializes the records captured so far as owned rows. Prefer
+    /// [`ProbeTap::records`] (borrow) or [`ProbeTap::drain`] (move) —
+    /// this clones the full trace into row form.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.state.borrow().records.clone()
+        self.state.borrow().records.to_records()
     }
 
-    /// Moves the records out, leaving the tap empty. The returned vector is
+    /// Moves the store out, leaving the tap empty. The returned store is
     /// `Send`, making it the thread handoff point for parallel harnesses.
     #[must_use]
-    pub fn drain(&self) -> Vec<TraceRecord> {
+    pub fn drain(&self) -> TraceStore {
         std::mem::take(&mut self.state.borrow_mut().records)
     }
 
@@ -304,6 +275,8 @@ impl ProbeTap {
         self.len() == 0
     }
 
+    /// Encodes one captured message straight into the columnar store — no
+    /// intermediate row, no per-list `Vec` allocation.
     fn record(
         &self,
         now: SimTime,
@@ -313,25 +286,72 @@ impl ProbeTap {
         payload: &Message,
         size: u32,
     ) {
-        let Some(kind) = RecordKind::from_message(payload) else {
+        if matches!(payload, Message::Timer(_)) {
             return;
-        };
+        }
         let remote_ip = self
             .topology
             .try_host(remote)
             .map_or(Ipv4Addr::UNSPECIFIED, |h| h.ip);
         let mut state = self.state.borrow_mut();
         let remote_kind = state.remote_kinds.get(&remote).copied().unwrap_or_default();
-        state.records.push(TraceRecord {
+        let head = RowHead {
             t: now,
             probe,
             remote,
             remote_ip,
             remote_kind,
             direction,
-            kind,
             wire_bytes: size,
-        });
+        };
+        let store = &mut state.records;
+        match payload {
+            Message::BootstrapRequest
+            | Message::BootstrapResponse { .. }
+            | Message::JoinRequest { .. }
+            | Message::JoinResponse { .. } => {
+                store.push_encoded(head, KindTag::Bootstrap, 0, 0, 0);
+            }
+            Message::TrackerQuery { .. } => {
+                store.push_encoded(head, KindTag::TrackerQuery, 0, 0, 0);
+            }
+            Message::TrackerResponse { peers, .. } => {
+                let span = store.intern_ips(peers.iter().map(|e| e.ip));
+                store.push_encoded(head, KindTag::TrackerResponse, 0, span, 0);
+            }
+            Message::PeerListRequest { req_id, .. } => {
+                store.push_encoded(head, KindTag::PeerListRequest, *req_id, 0, 0);
+            }
+            Message::PeerListResponse { peers, req_id, .. } => {
+                let span = store.intern_ips(peers.iter().map(|e| e.ip));
+                store.push_encoded(head, KindTag::PeerListResponse, *req_id, span, 0);
+            }
+            Message::Handshake { .. } => {
+                store.push_encoded(head, KindTag::Handshake, 0, 0, 0);
+            }
+            Message::HandshakeAck { accepted, .. } => {
+                store.push_encoded(head, KindTag::HandshakeAck, 0, u64::from(*accepted), 0);
+            }
+            Message::DataRequest { seq, chunk, .. } => {
+                store.push_encoded(head, KindTag::DataRequest, *seq, chunk.0, 0);
+            }
+            Message::DataReply {
+                seq, chunk, count, ..
+            } => {
+                let payload_bytes = u32::from(*count) * plsim_proto::SUB_PIECE_BYTES;
+                store.push_encoded(head, KindTag::DataReply, *seq, chunk.0, payload_bytes);
+            }
+            Message::DataReject { seq, busy, .. } => {
+                store.push_encoded(head, KindTag::DataReject, *seq, u64::from(*busy), 0);
+            }
+            Message::Announce { .. } => {
+                store.push_encoded(head, KindTag::Announce, 0, 0, 0);
+            }
+            Message::Goodbye => {
+                store.push_encoded(head, KindTag::Goodbye, 0, 0, 0);
+            }
+            Message::Timer(_) => unreachable!("timers filtered above"),
+        }
     }
 }
 
@@ -390,11 +410,11 @@ mod tests {
         t.on_send(SimTime::ZERO, NodeId(3), NodeId(5), &msg, 46);
         t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(0), &msg, 46);
         t.on_deliver(SimTime::ZERO, NodeId(5), NodeId(3), &msg, 46);
-        t.records(|records| {
-            assert_eq!(records.len(), 2);
-            assert!(records.iter().all(|r| r.probe == NodeId(0)));
-            assert_eq!(records[0].direction, Direction::Outbound);
-            assert_eq!(records[1].direction, Direction::Inbound);
+        t.records(|store| {
+            assert_eq!(store.len(), 2);
+            assert!(store.rows().all(|r| r.probe == NodeId(0)));
+            assert_eq!(store.get(0).unwrap().direction, Direction::Outbound);
+            assert_eq!(store.get(1).unwrap().direction, Direction::Inbound);
         });
     }
 
@@ -410,9 +430,9 @@ mod tests {
             req_id: 7,
         };
         t.on_deliver(SimTime::from_secs(1), NodeId(9), NodeId(0), &msg, 100);
-        t.records(|records| match &records[0].kind {
-            RecordKind::PeerListResponse { req_id, peer_ips } => {
-                assert_eq!(*req_id, 7);
+        t.records(|store| match store.get(0).unwrap().kind {
+            KindRef::PeerListResponse { req_id, peer_ips } => {
+                assert_eq!(req_id, 7);
                 assert_eq!(peer_ips.len(), 3);
                 assert_eq!(peer_ips[0], Ipv4Addr::new(58, 0, 0, 1));
             }
@@ -442,9 +462,9 @@ mod tests {
         };
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(5), &msg, 46);
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(6), &msg, 46);
-        t.records(|records| {
-            assert_eq!(records[0].remote_kind, RemoteKind::Tracker);
-            assert_eq!(records[1].remote_kind, RemoteKind::Peer);
+        t.records(|store| {
+            assert_eq!(store.get(0).unwrap().remote_kind, RemoteKind::Tracker);
+            assert_eq!(store.get(1).unwrap().remote_kind, RemoteKind::Peer);
         });
     }
 
@@ -507,14 +527,48 @@ mod tests {
             seq: 42,
         };
         t.on_deliver(SimTime::ZERO, NodeId(2), NodeId(0), &msg, msg.wire_size());
-        t.records(|records| match &records[0].kind {
-            RecordKind::DataReply {
+        t.records(|store| match store.get(0).unwrap().kind {
+            KindRef::DataReply {
                 seq, payload_bytes, ..
             } => {
-                assert_eq!(*seq, 42);
-                assert_eq!(*payload_bytes, 7 * plsim_proto::SUB_PIECE_BYTES);
+                assert_eq!(seq, 42);
+                assert_eq!(payload_bytes, 7 * plsim_proto::SUB_PIECE_BYTES);
             }
             other => panic!("wrong kind: {other:?}"),
         });
+    }
+
+    #[test]
+    fn capture_matches_row_conversion_roundtrip() {
+        // The direct message→columns encoding must agree with the
+        // row-based conversion path for every captured message.
+        let mut t = tap();
+        let peers: PeerList = (1..=2)
+            .map(|n| PeerEntry::new(NodeId(n), Ipv4Addr::new(58, 0, 0, n as u8)))
+            .collect();
+        let msgs = [
+            Message::TrackerQuery {
+                channel: ChannelId(1),
+            },
+            Message::PeerListResponse {
+                channel: ChannelId(1),
+                peers,
+                req_id: 3,
+            },
+            Message::DataRequest {
+                channel: ChannelId(1),
+                seq: 5,
+                chunk: ChunkId(9),
+                offset: 0,
+                count: 1,
+            },
+            Message::Goodbye,
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            t.on_deliver(SimTime::from_secs(i as u64), NodeId(4), NodeId(0), m, 64);
+        }
+        let rows = t.snapshot();
+        let rebuilt = TraceStore::from_records(&rows);
+        t.records(|store| assert_eq!(*store, rebuilt));
     }
 }

@@ -1,0 +1,782 @@
+//! The columnar trace store: struct-of-arrays packet-trace storage.
+//!
+//! A four-week paper-scale capture holds millions of [`TraceRecord`]s; as
+//! a `Vec<TraceRecord>` every record pays the row struct's padding plus a
+//! private `Vec<Ipv4Addr>` allocation for each peer-list payload. The
+//! [`TraceStore`] instead keeps one append-only paged column per field
+//! ([`plsim_telemetry::PagedVec`]) and a single shared address arena for
+//! peer-list payloads, so
+//!
+//! * appends never reallocate-and-copy (no transient 2× growth spike),
+//! * per-record memory drops (no padding, no per-list `Vec` headers or
+//!   allocator overhead), and
+//! * analysis streams typed [`RecordRef`] cursors ([`TraceStore::rows`],
+//!   [`TraceStore::rows_for`]) instead of cloning row subsets.
+//!
+//! [`TraceRecord`] remains the owned interchange row: tests build rows
+//! directly and [`TraceStore::from_records`] / [`TraceStore::to_records`]
+//! convert losslessly.
+
+use crate::{Direction, RecordKind, RemoteKind, TraceRecord};
+use plsim_des::{NodeId, SimTime};
+use plsim_proto::ChunkId;
+use plsim_telemetry::PagedVec;
+use std::net::Ipv4Addr;
+
+/// Discriminant column value: which [`RecordKind`] variant a row holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KindTag {
+    Bootstrap,
+    TrackerQuery,
+    TrackerResponse,
+    PeerListRequest,
+    PeerListResponse,
+    Handshake,
+    HandshakeAck,
+    DataRequest,
+    DataReply,
+    DataReject,
+    Announce,
+    Goodbye,
+}
+
+/// The fixed per-row scalars shared by every record variant.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowHead {
+    pub t: SimTime,
+    pub probe: NodeId,
+    pub remote: NodeId,
+    pub remote_ip: Ipv4Addr,
+    pub remote_kind: RemoteKind,
+    pub direction: Direction,
+    pub wire_bytes: u32,
+}
+
+/// Borrowed view of a record's payload summary: [`RecordKind`] with the
+/// peer-list payload borrowed from the store's address arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KindRef<'a> {
+    /// Bootstrap channel-list request/response or channel join exchange.
+    Bootstrap,
+    /// Peer-list query to a tracker.
+    TrackerQuery,
+    /// Tracker's peer list, with the advertised addresses.
+    TrackerResponse {
+        /// Addresses on the returned list.
+        peer_ips: &'a [Ipv4Addr],
+    },
+    /// Gossip query to a neighbor.
+    PeerListRequest {
+        /// Correlation id.
+        req_id: u64,
+    },
+    /// Neighbor's gossip reply, with the advertised addresses.
+    PeerListResponse {
+        /// Correlation id.
+        req_id: u64,
+        /// Addresses on the returned list.
+        peer_ips: &'a [Ipv4Addr],
+    },
+    /// Connection handshake.
+    Handshake,
+    /// Handshake acknowledgment.
+    HandshakeAck {
+        /// Whether the connection was accepted.
+        accepted: bool,
+    },
+    /// Data request.
+    DataRequest {
+        /// Request sequence number.
+        seq: u64,
+        /// Requested chunk.
+        chunk: ChunkId,
+    },
+    /// Data delivery.
+    DataReply {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Delivered chunk.
+        chunk: ChunkId,
+        /// Media payload bytes carried.
+        payload_bytes: u32,
+    },
+    /// Negative data response.
+    DataReject {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Whether the refusal was overload rather than missing data.
+        busy: bool,
+    },
+    /// Tracker announce.
+    Announce,
+    /// Departure notice.
+    Goodbye,
+}
+
+impl KindRef<'_> {
+    /// Clones into an owned [`RecordKind`].
+    #[must_use]
+    pub fn to_owned(&self) -> RecordKind {
+        match *self {
+            KindRef::Bootstrap => RecordKind::Bootstrap,
+            KindRef::TrackerQuery => RecordKind::TrackerQuery,
+            KindRef::TrackerResponse { peer_ips } => RecordKind::TrackerResponse {
+                peer_ips: peer_ips.to_vec(),
+            },
+            KindRef::PeerListRequest { req_id } => RecordKind::PeerListRequest { req_id },
+            KindRef::PeerListResponse { req_id, peer_ips } => RecordKind::PeerListResponse {
+                req_id,
+                peer_ips: peer_ips.to_vec(),
+            },
+            KindRef::Handshake => RecordKind::Handshake,
+            KindRef::HandshakeAck { accepted } => RecordKind::HandshakeAck { accepted },
+            KindRef::DataRequest { seq, chunk } => RecordKind::DataRequest { seq, chunk },
+            KindRef::DataReply {
+                seq,
+                chunk,
+                payload_bytes,
+            } => RecordKind::DataReply {
+                seq,
+                chunk,
+                payload_bytes,
+            },
+            KindRef::DataReject { seq, busy } => RecordKind::DataReject { seq, busy },
+            KindRef::Announce => RecordKind::Announce,
+            KindRef::Goodbye => RecordKind::Goodbye,
+        }
+    }
+}
+
+impl RecordKind {
+    /// Borrowed view of this payload summary.
+    #[must_use]
+    pub fn as_ref(&self) -> KindRef<'_> {
+        match self {
+            RecordKind::Bootstrap => KindRef::Bootstrap,
+            RecordKind::TrackerQuery => KindRef::TrackerQuery,
+            RecordKind::TrackerResponse { peer_ips } => {
+                KindRef::TrackerResponse { peer_ips }
+            }
+            RecordKind::PeerListRequest { req_id } => {
+                KindRef::PeerListRequest { req_id: *req_id }
+            }
+            RecordKind::PeerListResponse { req_id, peer_ips } => KindRef::PeerListResponse {
+                req_id: *req_id,
+                peer_ips,
+            },
+            RecordKind::Handshake => KindRef::Handshake,
+            RecordKind::HandshakeAck { accepted } => KindRef::HandshakeAck {
+                accepted: *accepted,
+            },
+            RecordKind::DataRequest { seq, chunk } => KindRef::DataRequest {
+                seq: *seq,
+                chunk: *chunk,
+            },
+            RecordKind::DataReply {
+                seq,
+                chunk,
+                payload_bytes,
+            } => KindRef::DataReply {
+                seq: *seq,
+                chunk: *chunk,
+                payload_bytes: *payload_bytes,
+            },
+            RecordKind::DataReject { seq, busy } => KindRef::DataReject {
+                seq: *seq,
+                busy: *busy,
+            },
+            RecordKind::Announce => KindRef::Announce,
+            RecordKind::Goodbye => KindRef::Goodbye,
+        }
+    }
+}
+
+/// Borrowed view of one captured record: copied scalars plus a payload
+/// view borrowing the store's address arena. What the streaming cursors
+/// yield.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordRef<'a> {
+    /// Capture timestamp.
+    pub t: SimTime,
+    /// The probe host that recorded the message.
+    pub probe: NodeId,
+    /// The remote endpoint.
+    pub remote: NodeId,
+    /// The remote endpoint's address.
+    pub remote_ip: Ipv4Addr,
+    /// Kind of the remote endpoint.
+    pub remote_kind: RemoteKind,
+    /// Direction relative to the probe.
+    pub direction: Direction,
+    /// Payload summary.
+    pub kind: KindRef<'a>,
+    /// Total bytes on the wire.
+    pub wire_bytes: u32,
+}
+
+impl RecordRef<'_> {
+    /// Clones into an owned [`TraceRecord`].
+    #[must_use]
+    pub fn to_owned(&self) -> TraceRecord {
+        TraceRecord {
+            t: self.t,
+            probe: self.probe,
+            remote: self.remote,
+            remote_ip: self.remote_ip,
+            remote_kind: self.remote_kind,
+            direction: self.direction,
+            kind: self.kind.to_owned(),
+            wire_bytes: self.wire_bytes,
+        }
+    }
+}
+
+impl TraceRecord {
+    /// Borrowed view of this record, as the store's cursors yield.
+    #[must_use]
+    pub fn as_ref(&self) -> RecordRef<'_> {
+        RecordRef {
+            t: self.t,
+            probe: self.probe,
+            remote: self.remote,
+            remote_ip: self.remote_ip,
+            remote_kind: self.remote_kind,
+            direction: self.direction,
+            kind: self.kind.as_ref(),
+            wire_bytes: self.wire_bytes,
+        }
+    }
+}
+
+/// Columnar, append-only packet-trace storage (see the module docs).
+#[derive(Clone, Default, PartialEq)]
+pub struct TraceStore {
+    t: PagedVec<SimTime>,
+    probe: PagedVec<NodeId>,
+    remote: PagedVec<NodeId>,
+    remote_ip: PagedVec<Ipv4Addr>,
+    remote_kind: PagedVec<RemoteKind>,
+    direction: PagedVec<Direction>,
+    wire_bytes: PagedVec<u32>,
+    tag: PagedVec<KindTag>,
+    /// Sequence / correlation id column (`0` for variants without one).
+    seq: PagedVec<u64>,
+    /// Variant-dependent payload word: chunk id, `(offset << 32) | len`
+    /// span into `ips`, or a boolean flag.
+    aux: PagedVec<u64>,
+    /// Media payload bytes (data replies; `0` otherwise).
+    payload: PagedVec<u32>,
+    /// Shared arena for peer-list addresses, spanned by `aux`.
+    ips: Vec<Ipv4Addr>,
+    len: usize,
+}
+
+impl TraceStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no record has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-reserves the address arena (the only part of the store that
+    /// grows by reallocation; the paged columns never move).
+    pub fn reserve_ips(&mut self, additional: usize) {
+        self.ips.reserve(additional);
+    }
+
+    pub(crate) fn intern_ips(&mut self, ips: impl Iterator<Item = Ipv4Addr>) -> u64 {
+        let offset = self.ips.len() as u64;
+        self.ips.extend(ips);
+        let len = self.ips.len() as u64 - offset;
+        (offset << 32) | len
+    }
+
+    pub(crate) fn push_encoded(
+        &mut self,
+        head: RowHead,
+        tag: KindTag,
+        seq: u64,
+        aux: u64,
+        payload: u32,
+    ) {
+        self.t.push(head.t);
+        self.probe.push(head.probe);
+        self.remote.push(head.remote);
+        self.remote_ip.push(head.remote_ip);
+        self.remote_kind.push(head.remote_kind);
+        self.direction.push(head.direction);
+        self.wire_bytes.push(head.wire_bytes);
+        self.tag.push(tag);
+        self.seq.push(seq);
+        self.aux.push(aux);
+        self.payload.push(payload);
+        self.len += 1;
+    }
+
+    /// Appends a record (by borrowed view; list payloads are copied into
+    /// the shared arena).
+    pub fn push_ref(&mut self, r: RecordRef<'_>) {
+        let head = RowHead {
+            t: r.t,
+            probe: r.probe,
+            remote: r.remote,
+            remote_ip: r.remote_ip,
+            remote_kind: r.remote_kind,
+            direction: r.direction,
+            wire_bytes: r.wire_bytes,
+        };
+        let (tag, seq, aux, payload) = match r.kind {
+            KindRef::Bootstrap => (KindTag::Bootstrap, 0, 0, 0),
+            KindRef::TrackerQuery => (KindTag::TrackerQuery, 0, 0, 0),
+            KindRef::TrackerResponse { peer_ips } => {
+                let span = self.intern_ips(peer_ips.iter().copied());
+                (KindTag::TrackerResponse, 0, span, 0)
+            }
+            KindRef::PeerListRequest { req_id } => (KindTag::PeerListRequest, req_id, 0, 0),
+            KindRef::PeerListResponse { req_id, peer_ips } => {
+                let span = self.intern_ips(peer_ips.iter().copied());
+                (KindTag::PeerListResponse, req_id, span, 0)
+            }
+            KindRef::Handshake => (KindTag::Handshake, 0, 0, 0),
+            KindRef::HandshakeAck { accepted } => {
+                (KindTag::HandshakeAck, 0, u64::from(accepted), 0)
+            }
+            KindRef::DataRequest { seq, chunk } => (KindTag::DataRequest, seq, chunk.0, 0),
+            KindRef::DataReply {
+                seq,
+                chunk,
+                payload_bytes,
+            } => (KindTag::DataReply, seq, chunk.0, payload_bytes),
+            KindRef::DataReject { seq, busy } => (KindTag::DataReject, seq, u64::from(busy), 0),
+            KindRef::Announce => (KindTag::Announce, 0, 0, 0),
+            KindRef::Goodbye => (KindTag::Goodbye, 0, 0, 0),
+        };
+        self.push_encoded(head, tag, seq, aux, payload);
+    }
+
+    /// Appends an owned record.
+    pub fn push(&mut self, record: &TraceRecord) {
+        self.push_ref(record.as_ref());
+    }
+
+    fn span(&self, aux: u64) -> &[Ipv4Addr] {
+        let offset = (aux >> 32) as usize;
+        let len = (aux & 0xFFFF_FFFF) as usize;
+        &self.ips[offset..offset + len]
+    }
+
+    /// The record at `index`, if in bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<RecordRef<'_>> {
+        if index >= self.len {
+            return None;
+        }
+        let seq = *self.seq.get(index).expect("seq column in sync");
+        let aux = *self.aux.get(index).expect("aux column in sync");
+        let kind = match self.tag.get(index).expect("tag column in sync") {
+            KindTag::Bootstrap => KindRef::Bootstrap,
+            KindTag::TrackerQuery => KindRef::TrackerQuery,
+            KindTag::TrackerResponse => KindRef::TrackerResponse {
+                peer_ips: self.span(aux),
+            },
+            KindTag::PeerListRequest => KindRef::PeerListRequest { req_id: seq },
+            KindTag::PeerListResponse => KindRef::PeerListResponse {
+                req_id: seq,
+                peer_ips: self.span(aux),
+            },
+            KindTag::Handshake => KindRef::Handshake,
+            KindTag::HandshakeAck => KindRef::HandshakeAck { accepted: aux != 0 },
+            KindTag::DataRequest => KindRef::DataRequest {
+                seq,
+                chunk: ChunkId(aux),
+            },
+            KindTag::DataReply => KindRef::DataReply {
+                seq,
+                chunk: ChunkId(aux),
+                payload_bytes: *self.payload.get(index).expect("payload column in sync"),
+            },
+            KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
+            KindTag::Announce => KindRef::Announce,
+            KindTag::Goodbye => KindRef::Goodbye,
+        };
+        Some(RecordRef {
+            t: *self.t.get(index).expect("t column in sync"),
+            probe: *self.probe.get(index).expect("probe column in sync"),
+            remote: *self.remote.get(index).expect("remote column in sync"),
+            remote_ip: *self.remote_ip.get(index).expect("remote_ip column in sync"),
+            remote_kind: *self
+                .remote_kind
+                .get(index)
+                .expect("remote_kind column in sync"),
+            direction: *self.direction.get(index).expect("direction column in sync"),
+            kind,
+            wire_bytes: *self.wire_bytes.get(index).expect("wire_bytes column in sync"),
+        })
+    }
+
+    /// Streaming cursor over every record in capture order.
+    #[must_use]
+    pub fn rows(&self) -> Rows<'_> {
+        Rows::at_start(self)
+    }
+
+    /// Streaming cursor over the records captured at one probe — what the
+    /// per-probe analysis passes use instead of cloning a row subset.
+    pub fn rows_for(&self, probe: NodeId) -> impl Iterator<Item = RecordRef<'_>> + '_ {
+        self.rows().filter(move |r| r.probe == probe)
+    }
+
+    /// Builds a store from owned rows.
+    #[must_use]
+    pub fn from_records(records: &[TraceRecord]) -> TraceStore {
+        let mut out = TraceStore::new();
+        for r in records {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Materializes owned rows (allocates one `Vec` per list payload;
+    /// compatibility path, not for hot loops).
+    #[must_use]
+    pub fn to_records(&self) -> Vec<TraceRecord> {
+        self.rows().map(|r| r.to_owned()).collect()
+    }
+
+    /// Bytes of heap held by the columns and the address arena.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.t.heap_bytes()
+            + self.probe.heap_bytes()
+            + self.remote.heap_bytes()
+            + self.remote_ip.heap_bytes()
+            + self.remote_kind.heap_bytes()
+            + self.direction.heap_bytes()
+            + self.wire_bytes.heap_bytes()
+            + self.tag.heap_bytes()
+            + self.seq.heap_bytes()
+            + self.aux.heap_bytes()
+            + self.payload.heap_bytes()
+            + self.ips.capacity() * std::mem::size_of::<Ipv4Addr>()
+    }
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("len", &self.len)
+            .field("arena_ips", &self.ips.len())
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceStore {
+    type Item = RecordRef<'a>;
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Rows<'a> {
+        self.rows()
+    }
+}
+
+impl FromIterator<TraceRecord> for TraceStore {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        let mut out = TraceStore::new();
+        for r in iter {
+            out.push(&r);
+        }
+        out
+    }
+}
+
+/// Cursor over a [`TraceStore`] in capture order.
+///
+/// Decodes a page at a time: the current page of every column is held as
+/// a plain slice, so stepping a row is eleven slice reads rather than
+/// eleven paged lookups.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    store: &'a TraceStore,
+    /// Global index of the next row.
+    index: usize,
+    /// Offset of the next row within the cached page slices.
+    off: usize,
+    t: &'a [SimTime],
+    probe: &'a [NodeId],
+    remote: &'a [NodeId],
+    remote_ip: &'a [Ipv4Addr],
+    remote_kind: &'a [RemoteKind],
+    direction: &'a [Direction],
+    wire_bytes: &'a [u32],
+    tag: &'a [KindTag],
+    seq: &'a [u64],
+    aux: &'a [u64],
+    payload: &'a [u32],
+}
+
+impl<'a> Rows<'a> {
+    fn at_start(store: &'a TraceStore) -> Rows<'a> {
+        Rows {
+            store,
+            index: 0,
+            off: 0,
+            t: &[],
+            probe: &[],
+            remote: &[],
+            remote_ip: &[],
+            remote_kind: &[],
+            direction: &[],
+            wire_bytes: &[],
+            tag: &[],
+            seq: &[],
+            aux: &[],
+            payload: &[],
+        }
+    }
+
+    fn load_page(&mut self) {
+        let page = self.index / plsim_telemetry::PAGE_ROWS;
+        self.off = self.index % plsim_telemetry::PAGE_ROWS;
+        self.t = self.store.t.page(page);
+        self.probe = self.store.probe.page(page);
+        self.remote = self.store.remote.page(page);
+        self.remote_ip = self.store.remote_ip.page(page);
+        self.remote_kind = self.store.remote_kind.page(page);
+        self.direction = self.store.direction.page(page);
+        self.wire_bytes = self.store.wire_bytes.page(page);
+        self.tag = self.store.tag.page(page);
+        self.seq = self.store.seq.page(page);
+        self.aux = self.store.aux.page(page);
+        self.payload = self.store.payload.page(page);
+    }
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = RecordRef<'a>;
+
+    fn next(&mut self) -> Option<RecordRef<'a>> {
+        if self.index >= self.store.len {
+            return None;
+        }
+        if self.off >= self.t.len() {
+            self.load_page();
+        }
+        let i = self.off;
+        let seq = self.seq[i];
+        let aux = self.aux[i];
+        let kind = match self.tag[i] {
+            KindTag::Bootstrap => KindRef::Bootstrap,
+            KindTag::TrackerQuery => KindRef::TrackerQuery,
+            KindTag::TrackerResponse => KindRef::TrackerResponse {
+                peer_ips: self.store.span(aux),
+            },
+            KindTag::PeerListRequest => KindRef::PeerListRequest { req_id: seq },
+            KindTag::PeerListResponse => KindRef::PeerListResponse {
+                req_id: seq,
+                peer_ips: self.store.span(aux),
+            },
+            KindTag::Handshake => KindRef::Handshake,
+            KindTag::HandshakeAck => KindRef::HandshakeAck { accepted: aux != 0 },
+            KindTag::DataRequest => KindRef::DataRequest {
+                seq,
+                chunk: ChunkId(aux),
+            },
+            KindTag::DataReply => KindRef::DataReply {
+                seq,
+                chunk: ChunkId(aux),
+                payload_bytes: self.payload[i],
+            },
+            KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
+            KindTag::Announce => KindRef::Announce,
+            KindTag::Goodbye => KindRef::Goodbye,
+        };
+        let r = RecordRef {
+            t: self.t[i],
+            probe: self.probe[i],
+            remote: self.remote[i],
+            remote_ip: self.remote_ip[i],
+            remote_kind: self.remote_kind[i],
+            direction: self.direction[i],
+            kind,
+            wire_bytes: self.wire_bytes[i],
+        };
+        self.off += 1;
+        self.index += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.store.len - self.index.min(self.store.len);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_telemetry::PAGE_ROWS;
+
+    fn record(i: u64, kind: RecordKind) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_millis(i),
+            probe: NodeId(i as u32 % 3),
+            remote: NodeId(100 + i as u32),
+            remote_ip: Ipv4Addr::new(58, 0, 0, (i % 250) as u8),
+            remote_kind: RemoteKind::Peer,
+            direction: if i.is_multiple_of(2) {
+                Direction::Outbound
+            } else {
+                Direction::Inbound
+            },
+            kind,
+            wire_bytes: 64 + i as u32,
+        }
+    }
+
+    fn every_kind() -> Vec<TraceRecord> {
+        let ips = vec![Ipv4Addr::new(58, 0, 0, 1), Ipv4Addr::new(60, 0, 0, 2)];
+        [
+            RecordKind::Bootstrap,
+            RecordKind::TrackerQuery,
+            RecordKind::TrackerResponse {
+                peer_ips: ips.clone(),
+            },
+            RecordKind::PeerListRequest { req_id: 7 },
+            RecordKind::PeerListResponse {
+                req_id: 8,
+                peer_ips: ips,
+            },
+            RecordKind::Handshake,
+            RecordKind::HandshakeAck { accepted: true },
+            RecordKind::DataRequest {
+                seq: 9,
+                chunk: ChunkId(4),
+            },
+            RecordKind::DataReply {
+                seq: 9,
+                chunk: ChunkId(4),
+                payload_bytes: 1380,
+            },
+            RecordKind::DataReject { seq: 10, busy: false },
+            RecordKind::Announce,
+            RecordKind::Goodbye,
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| record(i as u64, k))
+        .collect()
+    }
+
+    #[test]
+    fn every_variant_roundtrips_losslessly() {
+        let records = every_kind();
+        let store = TraceStore::from_records(&records);
+        assert_eq!(store.len(), records.len());
+        assert_eq!(store.to_records(), records);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(store.get(i).unwrap(), r.as_ref());
+        }
+        assert_eq!(store.get(records.len()), None);
+    }
+
+    #[test]
+    fn rows_for_streams_one_probe() {
+        let records = every_kind();
+        let store = TraceStore::from_records(&records);
+        let mine: Vec<_> = store.rows_for(NodeId(0)).collect();
+        let expected: Vec<_> = records
+            .iter()
+            .filter(|r| r.probe == NodeId(0))
+            .map(TraceRecord::as_ref)
+            .collect();
+        assert_eq!(mine, expected);
+        assert!(!mine.is_empty());
+    }
+
+    #[test]
+    fn equality_tracks_content() {
+        let records = every_kind();
+        let a = TraceStore::from_records(&records);
+        let b: TraceStore = records.clone().into_iter().collect();
+        assert_eq!(a, b);
+        let mut c = TraceStore::from_records(&records);
+        c.push(&records[0]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn columnar_layout_is_smaller_than_rows() {
+        // A realistic mix: mostly data traffic, some gossip lists.
+        let mut records = Vec::new();
+        for i in 0..(PAGE_ROWS as u64 + 100) {
+            let kind = if i % 10 == 0 {
+                RecordKind::PeerListResponse {
+                    req_id: i,
+                    peer_ips: (0..20).map(|k| Ipv4Addr::new(58, 0, 1, k)).collect(),
+                }
+            } else {
+                RecordKind::DataReply {
+                    seq: i,
+                    chunk: ChunkId(i / 4),
+                    payload_bytes: 1380,
+                }
+            };
+            records.push(record(i, kind));
+        }
+        let store = TraceStore::from_records(&records);
+        let row_bytes = records.capacity() * std::mem::size_of::<TraceRecord>()
+            + records
+                .iter()
+                .map(|r| match &r.kind {
+                    RecordKind::PeerListResponse { peer_ips, .. }
+                    | RecordKind::TrackerResponse { peer_ips } => {
+                        peer_ips.capacity() * std::mem::size_of::<Ipv4Addr>()
+                    }
+                    _ => 0,
+                })
+                .sum::<usize>();
+        assert!(
+            store.approx_heap_bytes() < row_bytes,
+            "columnar ({}) should undercut rows ({})",
+            store.approx_heap_bytes(),
+            row_bytes
+        );
+    }
+
+    #[test]
+    fn cursor_is_exact_size_and_into_iter_works() {
+        let records = every_kind();
+        let store = TraceStore::from_records(&records);
+        let rows = store.rows();
+        assert_eq!(rows.len(), records.len());
+        let mut n = 0;
+        for r in &store {
+            assert_eq!(r, records[n].as_ref());
+            n += 1;
+        }
+        assert_eq!(n, records.len());
+    }
+
+    #[test]
+    fn empty_store_basics() {
+        let store = TraceStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.rows().count(), 0);
+        assert_eq!(store.to_records(), Vec::new());
+        assert!(format!("{store:?}").contains("len"));
+    }
+}

@@ -9,12 +9,16 @@
 //! plsim workload [n] [c] [a] [noise]
 //! plsim export <dir> [tiny|reduced|paper] [seed]
 //! ```
+//!
+//! The global `--metrics-json <path>` flag additionally dumps the
+//! end-of-run metrics-registry snapshot (with invariant tallies) for the
+//! commands that simulate sessions (`run`, `figures`, `export`).
 
 use pplive_locality::{
     ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, pct,
     render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
-    render_underlay_ablation, response_times, underlay_ablation, workload_round_trip,
-    ProbeSite, Scale, Scenario, Suite,
+    render_underlay_ablation, response_times, suite_metrics_json, underlay_ablation,
+    workload_round_trip, ProbeSite, Scale, Scenario, Suite,
 };
 use plsim_workload::ChannelClass;
 
@@ -30,7 +34,30 @@ fn parse_seed(s: Option<&str>) -> u64 {
     s.and_then(|x| x.parse().ok()).unwrap_or(42)
 }
 
-fn cmd_run(args: &[String]) {
+/// Removes `--metrics-json <path>` from `args`, returning the path.
+/// Exits with usage when the flag is present but the path is missing.
+fn take_metrics_json(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--metrics-json")?;
+    if i + 1 >= args.len() {
+        eprintln!("--metrics-json requires a path argument");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+fn write_metrics(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!("metrics snapshot written to {path}"),
+        Err(e) => {
+            eprintln!("writing metrics snapshot to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_run(args: &[String], metrics_json: Option<&str>) {
     let class = match args.first().map(String::as_str) {
         Some("unpopular") => ChannelClass::Unpopular,
         _ => ChannelClass::Popular,
@@ -57,12 +84,18 @@ fn cmd_run(args: &[String]) {
             r.overlay.isp_assortativity,
         );
     }
+    if let Some(path) = metrics_json {
+        write_metrics(path, &run.metrics_with_invariants().to_json());
+    }
 }
 
-fn cmd_figures(args: &[String]) {
+fn cmd_figures(args: &[String], metrics_json: Option<&str>) {
     let scale = parse_scale(args.first().map(String::as_str));
     let seed = parse_seed(args.get(1).map(String::as_str));
     let suite = Suite::run(scale, seed);
+    if let Some(path) = metrics_json {
+        write_metrics(path, &suite_metrics_json(&suite));
+    }
     for fig in figs_2_to_5(&suite) {
         println!("{}", fig.render());
     }
@@ -105,7 +138,7 @@ fn cmd_workload(args: &[String]) {
     );
 }
 
-fn cmd_export(args: &[String]) {
+fn cmd_export(args: &[String], metrics_json: Option<&str>) {
     let Some(dir) = args.first() else {
         eprintln!("usage: plsim export <dir> [scale] [seed]");
         std::process::exit(2);
@@ -113,6 +146,9 @@ fn cmd_export(args: &[String]) {
     let scale = parse_scale(args.get(1).map(String::as_str));
     let seed = parse_seed(args.get(2).map(String::as_str));
     let suite = Suite::run(scale, seed);
+    if let Some(path) = metrics_json {
+        write_metrics(path, &suite_metrics_json(&suite));
+    }
     match export_suite(&suite, std::path::Path::new(dir)) {
         Ok(()) => println!("figure data written to {dir}/"),
         Err(e) => {
@@ -123,24 +159,28 @@ fn cmd_export(args: &[String]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = take_metrics_json(&mut args);
+    let metrics_json = metrics_json.as_deref();
     match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("figures") => cmd_figures(&args[1..]),
+        Some("run") => cmd_run(&args[1..], metrics_json),
+        Some("figures") => cmd_figures(&args[1..], metrics_json),
         Some("fig6") => cmd_fig6(&args[1..]),
         Some("ablation") => cmd_ablation(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
-        Some("export") => cmd_export(&args[1..]),
+        Some("export") => cmd_export(&args[1..], metrics_json),
         _ => {
             eprintln!(
-                "usage: plsim <command>\n\
+                "usage: plsim [--metrics-json <path>] <command>\n\
                  commands:\n\
                  \x20 run [popular|unpopular] [tiny|reduced|paper] [seed]   one session, probe summaries\n\
                  \x20 figures [scale] [seed]                                Figures 2-5, 7-18 and Table 1\n\
                  \x20 fig6 [days] [scale] [seed]                            the locality-over-days series\n\
                  \x20 ablation [scale] [seed]                               protocol-variant comparison\n\
                  \x20 workload [n] [c] [a] [noise]                          SE workload generator round trip\n\
-                 \x20 export <dir> [scale] [seed]                           dump figure data as CSV"
+                 \x20 export <dir> [scale] [seed]                           dump figure data as CSV\n\
+                 flags:\n\
+                 \x20 --metrics-json <path>   dump the end-of-run metrics snapshot (run/figures/export)"
             );
             std::process::exit(2);
         }

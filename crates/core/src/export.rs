@@ -225,8 +225,20 @@ pub fn fault_plan_json(plan: &FaultPlan) -> String {
     )
 }
 
+/// Renders both sessions' end-of-run telemetry (with invariant tallies
+/// folded in) as one JSON document keyed by channel class.
+#[must_use]
+pub fn suite_metrics_json(suite: &Suite) -> String {
+    format!(
+        "{{\"popular\":{},\"unpopular\":{}}}",
+        suite.popular.metrics_with_invariants().to_json(),
+        suite.unpopular.metrics_with_invariants().to_json(),
+    )
+}
+
 /// Writes the full figure-data bundle of a suite into `dir`
-/// (`figs_2_5.csv`, `response_samples.csv`, `contributions.csv`).
+/// (`figs_2_5.csv`, `response_samples.csv`, `contributions.csv`,
+/// `metrics.json`).
 ///
 /// # Errors
 ///
@@ -240,6 +252,7 @@ pub fn export_suite(suite: &Suite, dir: &Path) -> io::Result<()> {
     )?;
     std::fs::write(dir.join("response_samples.csv"), response_samples_csv(suite))?;
     std::fs::write(dir.join("contributions.csv"), contributions_csv(suite))?;
+    std::fs::write(dir.join("metrics.json"), suite_metrics_json(suite))?;
     Ok(())
 }
 
@@ -314,6 +327,15 @@ mod tests {
         for f in ["figs_2_5.csv", "response_samples.csv", "contributions.csv"] {
             let content = std::fs::read_to_string(dir.join(f)).expect(f);
             assert!(content.lines().count() > 1, "{f} is empty");
+        }
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics.json");
+        for needle in [
+            "\"popular\":",
+            "\"unpopular\":",
+            "des.events_processed",
+            "invariants.checked",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle}");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -59,7 +59,8 @@ pub use experiments::{
 };
 pub use export::{
     contributions_csv, export_suite, fault_plan_json, fig6_csv, locality_csv,
-    response_samples_csv, to_csv,
+    response_samples_csv, suite_metrics_json, to_csv,
 };
+pub use plsim_telemetry::{GaugeValue, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use render::{pct, render_table, secs};
 pub use scenario::{ProbeSite, Scale, Scenario, ScenarioRun};

@@ -7,6 +7,7 @@ use plsim_node::{
     check_world, run_world, FaultPlan, InvariantReport, PeerConfig, ProbeSpec, WorldConfig,
     WorldOutput,
 };
+use plsim_telemetry::MetricsSnapshot;
 use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -215,6 +216,23 @@ impl ScenarioRun {
         )
     }
 
+    /// The run's end-of-run metrics snapshot: kernel counters (`des.*`),
+    /// interconnect telemetry (`net.*`) and population playback/traffic
+    /// aggregates (`node.*`), all from the one registry the world shares.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.output.metrics
+    }
+
+    /// The metrics snapshot with the invariant checker's tallies folded in
+    /// as `invariants.*` counters — the full cross-layer export document.
+    #[must_use]
+    pub fn metrics_with_invariants(&self) -> MetricsSnapshot {
+        let mut snap = self.output.metrics.clone();
+        self.check_invariants().fold_into(&mut snap);
+        snap
+    }
+
     /// The report of a given probe site (the first, if several probes share
     /// the site — the paper deployed two hosts per ISP).
     ///
@@ -268,6 +286,27 @@ mod tests {
         assert!(tele.returned.total() > 0, "no peer lists captured");
         // The fault-free baseline must satisfy every runtime invariant.
         run.check_invariants().assert_clean();
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_layers() {
+        let run = Scenario::new(ChannelClass::Unpopular, Scale::Tiny, 3).run();
+        let m = run.metrics();
+        // Kernel counters agree with the SimStats view of the same registry.
+        assert_eq!(
+            m.counter("des.events_processed"),
+            Some(run.output.sim.events_processed)
+        );
+        assert!(m.counter("node.chunks_played").unwrap_or(0) > 0);
+        assert!(m.counter("node.bytes_down").unwrap_or(0) > 0);
+        // Folding invariants adds the checker tallies without touching the
+        // run counters.
+        let full = run.metrics_with_invariants();
+        assert_eq!(full.counter("invariants.checked"), Some(1));
+        assert_eq!(
+            full.counter("des.events_processed"),
+            m.counter("des.events_processed")
+        );
     }
 
     #[test]

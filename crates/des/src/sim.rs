@@ -1,6 +1,7 @@
 //! The event loop: actors, the network medium, monitors and the scheduler.
 
 use crate::SimTime;
+use plsim_telemetry::{Counter, Gauge, MetricsRegistry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -257,6 +258,12 @@ impl<P> Ord for QueuedEvent<P> {
 }
 
 /// Counters describing a finished (or paused) run.
+///
+/// Since the telemetry refactor this is a *view*: the kernel's counters
+/// live in a [`MetricsRegistry`] (names `des.events_processed`,
+/// `des.messages_sent`, `des.messages_dropped`, `des.faults_activated`
+/// and the `des.queue_depth` gauge), and [`Simulation::stats`]
+/// reconstructs this struct from the registered handles.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Events popped and dispatched to actors.
@@ -310,7 +317,13 @@ pub struct Simulation<P> {
     monitor: Box<dyn Monitor<P>>,
     rng: SmallRng,
     next_seq: u64,
-    stats: SimStats,
+    registry: MetricsRegistry,
+    // Hot-path handles interned once from `registry` (no lookup per event).
+    events_processed: Counter,
+    messages_sent: Counter,
+    messages_dropped: Counter,
+    faults_activated: Counter,
+    queue_depth: Gauge,
     halted: bool,
     // Reusable effect buffer; empty between events, capacity persists.
     scratch: Vec<Effect<P>>,
@@ -318,8 +331,21 @@ pub struct Simulation<P> {
 
 impl<P> Simulation<P> {
     /// Creates an empty simulation with the given RNG `seed` and network
-    /// `medium`, observed by no monitor.
+    /// `medium`, observed by no monitor. Kernel counters go to a private
+    /// [`MetricsRegistry`]; use [`Simulation::with_registry`] to share one
+    /// across layers.
     pub fn new(seed: u64, medium: impl Medium<P> + 'static) -> Self {
+        Self::with_registry(seed, medium, MetricsRegistry::new())
+    }
+
+    /// Like [`Simulation::new`], but interns the kernel counters into the
+    /// caller's `registry` so node, network and capture metrics share one
+    /// snapshot/export path.
+    pub fn with_registry(
+        seed: u64,
+        medium: impl Medium<P> + 'static,
+        registry: MetricsRegistry,
+    ) -> Self {
         Simulation {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
@@ -328,10 +354,21 @@ impl<P> Simulation<P> {
             monitor: Box::new(NullMonitor),
             rng: SmallRng::seed_from_u64(seed),
             next_seq: 0,
-            stats: SimStats::default(),
+            events_processed: registry.counter("des.events_processed"),
+            messages_sent: registry.counter("des.messages_sent"),
+            messages_dropped: registry.counter("des.messages_dropped"),
+            faults_activated: registry.counter("des.faults_activated"),
+            queue_depth: registry.gauge("des.queue_depth"),
+            registry,
             halted: false,
             scratch: Vec::new(),
         }
+    }
+
+    /// The metrics registry the kernel counters are interned in.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Installs a traffic monitor, replacing any previous one.
@@ -358,10 +395,16 @@ impl<P> Simulation<P> {
         self.now
     }
 
-    /// Run counters so far.
+    /// Run counters so far, reconstructed from the registry handles.
     #[must_use]
     pub fn stats(&self) -> SimStats {
-        self.stats
+        SimStats {
+            events_processed: self.events_processed.get(),
+            messages_sent: self.messages_sent.get(),
+            messages_dropped: self.messages_dropped.get(),
+            peak_queue_depth: self.queue_depth.peak(),
+            faults_activated: self.faults_activated.get(),
+        }
     }
 
     /// Whether an actor asked the simulation to halt.
@@ -418,10 +461,9 @@ impl<P> Simulation<P> {
             payload,
             size,
         });
-        let depth = self.queue.len() as u64;
-        if depth > self.stats.peak_queue_depth {
-            self.stats.peak_queue_depth = depth;
-        }
+        // The queue only reaches a new high-water mark right after a push,
+        // so updating the gauge here (not on pop) preserves the peak.
+        self.queue_depth.set(self.queue.len() as u64);
     }
 
     /// Runs until the queue drains, an actor halts the simulation, or the
@@ -434,11 +476,11 @@ impl<P> Simulation<P> {
             }
             let ev = self.queue.pop().expect("peeked event vanished");
             self.now = ev.at;
-            self.stats.events_processed += 1;
+            self.events_processed.inc();
 
             let payload = match ev.payload {
                 EventPayload::Fault(fault) => {
-                    self.stats.faults_activated += 1;
+                    self.faults_activated.inc();
                     self.medium.on_fault(self.now, &fault);
                     self.monitor.on_fault(self.now, &fault);
                     continue;
@@ -469,7 +511,7 @@ impl<P> Simulation<P> {
             self.apply_effects(ev.to, &mut effects);
             self.scratch = effects;
         }
-        self.stats
+        self.stats()
     }
 
     fn apply_effects(&mut self, origin: NodeId, effects: &mut Vec<Effect<P>>) {
@@ -481,7 +523,7 @@ impl<P> Simulation<P> {
                     size,
                     hold,
                 } => {
-                    self.stats.messages_sent += 1;
+                    self.messages_sent.inc();
                     self.monitor.on_send(self.now, origin, to, &payload, size);
                     let depart = self.now + hold;
                     match self.medium.transit(origin, to, size, depart, &mut self.rng) {
@@ -495,7 +537,7 @@ impl<P> Simulation<P> {
                             );
                         }
                         Delivery::Drop => {
-                            self.stats.messages_dropped += 1;
+                            self.messages_dropped.inc();
                             self.monitor.on_drop(self.now, origin, to, &payload, size);
                         }
                     }
@@ -526,7 +568,7 @@ impl<P> fmt::Debug for Simulation<P> {
             .field("now", &self.now)
             .field("actors", &self.actors.len())
             .field("queued", &self.queue.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -775,6 +817,41 @@ mod tests {
         sim.inject(SimTime::from_secs(2), n, None, 1, 0);
         sim.run_until(SimTime::MAX);
         sim.inject_fault(SimTime::from_secs(1), FaultEvent::begin("late"));
+    }
+
+    #[test]
+    fn kernel_counters_flow_through_registry() {
+        let registry = MetricsRegistry::new();
+        let mut sim = Simulation::new_with_shared(registry.clone());
+        let a = sim.add_actor(Box::new(Pinger {
+            peer: None,
+            remaining: 2,
+        }));
+        let b = sim.add_actor(Box::new(Pinger {
+            peer: Some(a),
+            remaining: 2,
+        }));
+        sim.inject(SimTime::ZERO, b, None, 0, 0);
+        sim.inject_fault(SimTime::from_secs(1), FaultEvent::begin("blip"));
+        sim.run_until(SimTime::MAX);
+
+        let stats = sim.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("des.events_processed"), Some(stats.events_processed));
+        assert_eq!(snap.counter("des.messages_sent"), Some(stats.messages_sent));
+        assert_eq!(snap.counter("des.faults_activated"), Some(1));
+        assert_eq!(
+            snap.gauge("des.queue_depth").unwrap().peak,
+            stats.peak_queue_depth
+        );
+        assert!(stats.peak_queue_depth >= 1);
+    }
+
+    impl Simulation<u32> {
+        // Test helper: a shared-registry sim with a fixed tiny delay.
+        fn new_with_shared(registry: MetricsRegistry) -> Self {
+            Simulation::with_registry(7, FixedDelay(SimTime::from_millis(50)), registry)
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::{congestion_extra_ms, transfer_time, Isp, Topology};
 use plsim_des::{Delivery, FaultEvent, Medium, NodeId, SimTime};
+use plsim_telemetry::{Gauge, Histogram, MetricsRegistry};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -248,7 +249,18 @@ pub struct Underlay {
     /// Indices into `faults` of the currently-active windows; maintained by
     /// [`Medium::on_fault`] boundary events (clock-driven activation).
     active_faults: Vec<usize>,
+    /// Queued bits on the interconnect pair most recently touched; its peak
+    /// is the run-wide interconnect high-water mark. Detached until
+    /// [`Underlay::attach_metrics`] binds it to a registry.
+    xlink_backlog_bits: Gauge,
+    /// Distribution of applied interconnect queue waits (seconds).
+    xlink_wait_s: Histogram,
 }
+
+/// Bucket bounds (seconds) of the `net.interconnect_wait_s` histogram; the
+/// last bound equals the default wait cap so the overflow bucket counts
+/// load-shedding events.
+const XLINK_WAIT_BOUNDS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.8, 1.2];
 
 impl Underlay {
     /// Creates the medium over a finished topology.
@@ -260,7 +272,18 @@ impl Underlay {
             xlink_backlog: [[(0.0, SimTime::ZERO); 5]; 5],
             faults: Vec::new(),
             active_faults: Vec::new(),
+            xlink_backlog_bits: Gauge::detached(),
+            xlink_wait_s: Histogram::detached(&XLINK_WAIT_BOUNDS),
         }
+    }
+
+    /// Interns the interconnect instruments (`net.interconnect_backlog_bits`
+    /// gauge, `net.interconnect_wait_s` histogram) into `registry`, replacing
+    /// the detached defaults, so queue depth flows into the run's shared
+    /// snapshot. Call once after construction, before the simulation starts.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.xlink_backlog_bits = registry.gauge("net.interconnect_backlog_bits");
+        self.xlink_wait_s = registry.histogram("net.interconnect_wait_s", &XLINK_WAIT_BOUNDS);
     }
 
     /// Installs scheduled disturbance windows.
@@ -379,9 +402,14 @@ impl Underlay {
         }
         let wait_s = *backlog_bits / capacity_bps;
         if wait_s > self.link.interconnect_max_wait_s {
+            // Load shed: the packet takes the capped wait but never joins
+            // the queue. Lands in the histogram's overflow bucket.
+            self.xlink_wait_s.observe(wait_s);
             return SimTime::from_secs_f64(self.link.interconnect_max_wait_s);
         }
         *backlog_bits += f64::from(size_bytes) * 8.0;
+        self.xlink_backlog_bits.set(*backlog_bits as u64);
+        self.xlink_wait_s.observe(wait_s);
         SimTime::from_secs_f64(wait_s)
     }
 
@@ -692,6 +720,34 @@ mod tests {
             queued_degraded > queued_nominal,
             "degraded wait {queued_degraded} should exceed nominal {queued_nominal}"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn attached_metrics_record_queue_depth_and_waits() -> Result<(), String> {
+        let link = LinkModel {
+            interconnect_mbps: 1.0,
+            ..LinkModel::ideal()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut b = TopologyBuilder::new();
+        let t = b.add_host(Isp::Tele, BandwidthClass::Campus, &mut rng);
+        let c = b.add_host(Isp::Cnc, BandwidthClass::Campus, &mut rng);
+        let mut u = Underlay::new(Arc::new(b.build()), link);
+        let registry = MetricsRegistry::new();
+        u.attach_metrics(&registry);
+
+        let mut rng = SmallRng::seed_from_u64(0);
+        let size = 125_000; // 1 Mbit: a 1-second backlog per packet at 1 Mbit/s.
+        transit_delay(&mut u, t, c, size, SimTime::ZERO, &mut rng)?;
+        transit_delay(&mut u, t, c, size, SimTime::ZERO, &mut rng)?;
+
+        let snap = registry.snapshot();
+        let gauge = snap.gauge("net.interconnect_backlog_bits").unwrap();
+        assert!(gauge.peak >= 1_000_000, "peak backlog {} bits", gauge.peak);
+        let hist = snap.histogram("net.interconnect_wait_s").unwrap();
+        assert_eq!(hist.count, 2);
+        assert!(hist.sum > 0.0, "second packet waited behind the first");
         Ok(())
     }
 

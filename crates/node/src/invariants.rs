@@ -14,9 +14,10 @@
 //!   starts, totals bounded by the playback clock, ratios finite.
 
 use crate::{FaultPlan, PeerStats, WorldOutput};
-use plsim_capture::{Direction, RecordKind, TraceRecord};
+use plsim_capture::{Direction, KindRef, TraceStore};
 use plsim_des::{NodeId, SimTime};
 use plsim_net::{LinkFault, Topology};
+use plsim_telemetry::MetricsSnapshot;
 use std::collections::HashSet;
 
 /// Grace period after a partition begins during which cross-partition
@@ -84,6 +85,26 @@ impl InvariantReport {
         self.violations.is_empty()
     }
 
+    /// Folds the checker's tallies into a run's metrics snapshot as
+    /// `invariants.*` counters (one per violation kind, plus a
+    /// `invariants.checked` marker), so post-hoc validation shares the
+    /// same export path as the live instruments without the checkers
+    /// themselves needing a registry.
+    pub fn fold_into(&self, snapshot: &mut MetricsSnapshot) {
+        snapshot.bump_counter("invariants.checked", 1);
+        for v in &self.violations {
+            let name = match v {
+                InvariantViolation::NonMonotoneTrace { .. } => "invariants.non_monotone_trace",
+                InvariantViolation::OrphanReply { .. } => "invariants.orphan_reply",
+                InvariantViolation::CrossPartitionDelivery { .. } => {
+                    "invariants.cross_partition_delivery"
+                }
+                InvariantViolation::StallAccounting { .. } => "invariants.stall_accounting",
+            };
+            snapshot.bump_counter(name, 1);
+        }
+    }
+
     /// Panics with the full violation list unless the run was clean —
     /// the chaos matrix's loud-failure hook.
     pub fn assert_clean(&self) {
@@ -101,55 +122,60 @@ impl InvariantReport {
 
 /// Checks that capture timestamps never go backwards.
 #[must_use]
-pub fn check_monotone_trace(records: &[TraceRecord]) -> Vec<InvariantViolation> {
-    records
-        .windows(2)
-        .enumerate()
-        .filter(|(_, w)| w[1].t < w[0].t)
-        .map(|(i, w)| InvariantViolation::NonMonotoneTrace {
-            index: i + 1,
-            prev: w[0].t,
-            next: w[1].t,
-        })
-        .collect()
+pub fn check_monotone_trace(records: &TraceStore) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let mut prev: Option<SimTime> = None;
+    for (i, r) in records.rows().enumerate() {
+        if let Some(p) = prev {
+            if r.t < p {
+                out.push(InvariantViolation::NonMonotoneTrace {
+                    index: i,
+                    prev: p,
+                    next: r.t,
+                });
+            }
+        }
+        prev = Some(r.t);
+    }
+    out
 }
 
 /// Checks request/reply conservation per probe: an inbound data reply,
 /// data reject or gossip response must echo a sequence/correlation id the
 /// probe actually issued (outbound) earlier in the trace.
 #[must_use]
-pub fn check_reply_conservation(records: &[TraceRecord]) -> Vec<InvariantViolation> {
+pub fn check_reply_conservation(records: &TraceStore) -> Vec<InvariantViolation> {
     let mut out = Vec::new();
     // (probe, seq) for data; (probe, req_id) for gossip. Ids are drawn from
     // independent per-peer counters, so the two spaces must stay separate.
     let mut data_sent: HashSet<(NodeId, u64)> = HashSet::new();
     let mut gossip_sent: HashSet<(NodeId, u64)> = HashSet::new();
-    for r in records {
-        match (&r.direction, &r.kind) {
-            (Direction::Outbound, RecordKind::DataRequest { seq, .. }) => {
-                data_sent.insert((r.probe, *seq));
+    for r in records.rows() {
+        match (r.direction, r.kind) {
+            (Direction::Outbound, KindRef::DataRequest { seq, .. }) => {
+                data_sent.insert((r.probe, seq));
             }
-            (Direction::Outbound, RecordKind::PeerListRequest { req_id }) => {
-                gossip_sent.insert((r.probe, *req_id));
+            (Direction::Outbound, KindRef::PeerListRequest { req_id }) => {
+                gossip_sent.insert((r.probe, req_id));
             }
             (
                 Direction::Inbound,
-                RecordKind::DataReply { seq, .. } | RecordKind::DataReject { seq, .. },
-            ) if !data_sent.contains(&(r.probe, *seq)) => {
+                KindRef::DataReply { seq, .. } | KindRef::DataReject { seq, .. },
+            ) if !data_sent.contains(&(r.probe, seq)) => {
                 out.push(InvariantViolation::OrphanReply {
                     probe: r.probe,
                     remote: r.remote,
-                    seq: *seq,
+                    seq,
                     t: r.t,
                 });
             }
-            (Direction::Inbound, RecordKind::PeerListResponse { req_id, .. })
-                if !gossip_sent.contains(&(r.probe, *req_id)) =>
+            (Direction::Inbound, KindRef::PeerListResponse { req_id, .. })
+                if !gossip_sent.contains(&(r.probe, req_id)) =>
             {
                 out.push(InvariantViolation::OrphanReply {
                     probe: r.probe,
                     remote: r.remote,
-                    seq: *req_id,
+                    seq: req_id,
                     t: r.t,
                 });
             }
@@ -165,7 +191,7 @@ pub fn check_reply_conservation(records: &[TraceRecord]) -> Vec<InvariantViolati
 /// then eats.
 #[must_use]
 pub fn check_no_cross_partition_traffic(
-    records: &[TraceRecord],
+    records: &TraceStore,
     partitions: &[LinkFault],
     topology: &Topology,
 ) -> Vec<InvariantViolation> {
@@ -173,7 +199,7 @@ pub fn check_no_cross_partition_traffic(
     for p in partitions {
         let Some((a, b)) = p.partition else { continue };
         let closed_from = p.from + PARTITION_GRACE;
-        for r in records {
+        for r in records.rows() {
             if r.direction != Direction::Inbound || r.t < closed_from || r.t >= p.until {
                 continue;
             }
@@ -267,7 +293,7 @@ pub fn check_world(output: &WorldOutput, faults: &FaultPlan, duration: SimTime) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plsim_capture::RemoteKind;
+    use plsim_capture::{RecordKind, RemoteKind, TraceRecord};
     use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
     use plsim_proto::ChunkId;
     use rand::rngs::SmallRng;
@@ -314,10 +340,10 @@ mod tests {
 
     #[test]
     fn out_of_order_timestamps_trip_monotonicity() {
-        let records = vec![
+        let records = TraceStore::from_records(&[
             record(10, 0, 1, Direction::Outbound, data_request(1)),
             record(9, 0, 1, Direction::Inbound, data_reply(1)),
-        ];
+        ]);
         let v = check_monotone_trace(&records);
         assert_eq!(v.len(), 1);
         assert!(matches!(
@@ -330,7 +356,7 @@ mod tests {
 
     #[test]
     fn orphan_reply_trips_conservation() {
-        let records = vec![
+        let records = TraceStore::from_records(&[
             record(1, 0, 1, Direction::Outbound, data_request(7)),
             record(2, 0, 1, Direction::Inbound, data_reply(7)),
             // seq 8 was never requested.
@@ -346,7 +372,7 @@ mod tests {
                     peer_ips: vec![],
                 },
             ),
-        ];
+        ]);
         let v = check_reply_conservation(&records);
         assert_eq!(v.len(), 2);
         assert!(matches!(v[0], InvariantViolation::OrphanReply { seq: 8, .. }));
@@ -358,10 +384,10 @@ mod tests {
     fn same_seq_from_different_probes_is_not_conflated() {
         // Probe 0 requested seq 5; probe 2 receiving a reply with seq 5 is
         // still an orphan — ids are per-peer counters.
-        let records = vec![
+        let records = TraceStore::from_records(&[
             record(1, 0, 1, Direction::Outbound, data_request(5)),
             record(2, 2, 1, Direction::Inbound, data_reply(5)),
-        ];
+        ]);
         let v = check_reply_conservation(&records);
         assert_eq!(v.len(), 1);
     }
@@ -375,7 +401,7 @@ mod tests {
             SimTime::from_secs(100),
             SimTime::from_secs(200),
         );
-        let records = vec![
+        let records = TraceStore::from_records(&[
             // Before the partition: fine.
             record(50, 0, 1, Direction::Inbound, data_reply(1)),
             // Within the grace period: still fine (in-flight drain).
@@ -388,7 +414,7 @@ mod tests {
             record(170, 0, 2, Direction::Inbound, data_reply(5)),
             // After recovery: fine.
             record(250, 0, 1, Direction::Inbound, data_reply(6)),
-        ];
+        ]);
         let v = check_no_cross_partition_traffic(&records, &[partition], &topo);
         assert_eq!(v.len(), 1);
         assert!(matches!(
@@ -427,6 +453,33 @@ mod tests {
         ok.chunks_played = 200;
         ok.stalls = 20;
         assert!(check_stall_accounting(&[ok], duration).is_empty());
+    }
+
+    #[test]
+    fn fold_into_tallies_by_violation_kind() {
+        let report = InvariantReport {
+            violations: vec![
+                InvariantViolation::StallAccounting {
+                    node: NodeId(1),
+                    detail: "x".to_string(),
+                },
+                InvariantViolation::NonMonotoneTrace {
+                    index: 1,
+                    prev: SimTime::from_secs(2),
+                    next: SimTime::from_secs(1),
+                },
+                InvariantViolation::StallAccounting {
+                    node: NodeId(2),
+                    detail: "y".to_string(),
+                },
+            ],
+        };
+        let mut snap = MetricsSnapshot::default();
+        report.fold_into(&mut snap);
+        assert_eq!(snap.counter("invariants.checked"), Some(1));
+        assert_eq!(snap.counter("invariants.stall_accounting"), Some(2));
+        assert_eq!(snap.counter("invariants.non_monotone_trace"), Some(1));
+        assert_eq!(snap.counter("invariants.orphan_reply"), None);
     }
 
     #[test]

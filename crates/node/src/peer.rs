@@ -12,8 +12,9 @@
 
 use crate::config::{ConnectPolicy, DataSelection, PeerConfig};
 use crate::det::{DetHashMap, DetHashSet};
-use crate::stats::{PeerStats, StatsSink};
+use crate::stats::{NodeMetrics, PeerStats, StatsSink};
 use plsim_des::{Actor, Context, NodeId, SimTime};
+use plsim_telemetry::MetricsRegistry;
 use plsim_net::Topology;
 use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerList, TimerKind};
 use rand::rngs::SmallRng;
@@ -219,6 +220,7 @@ pub struct PeerNode {
     maintenance_rounds: u64,
     data_servers: DetHashSet<NodeId>,
     stats: PeerStats,
+    metrics: NodeMetrics,
 }
 
 impl PeerNode {
@@ -310,7 +312,16 @@ impl PeerNode {
             maintenance_rounds: 0,
             data_servers: DetHashSet::default(),
             stats: PeerStats::new(me.node, isp, SimTime::ZERO),
+            metrics: NodeMetrics::default(),
         }
+    }
+
+    /// Binds this peer's population-wide counters (`node.*`) to `registry`,
+    /// replacing the detached defaults. The per-node [`PeerStats`] ledger
+    /// is unaffected; the registry carries cross-layer aggregates over the
+    /// whole population.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = NodeMetrics::attached(registry);
     }
 
     /// Marks the peer as sitting behind a NAT: unsolicited inbound traffic
@@ -445,6 +456,7 @@ impl PeerNode {
             },
         );
         self.stats.gossip_requests_sent += 1;
+        self.metrics.gossip_requests_sent.inc();
     }
 
     fn query_tracker(&mut self, ctx: &mut Context<'_, Message>, all: bool) {
@@ -624,6 +636,7 @@ impl PeerNode {
                     n.outstanding += 1;
                 }
                 self.stats.data_requests_sent += 1;
+                self.metrics.data_requests_sent.inc();
                 need &= !mask;
             }
         }
@@ -748,6 +761,7 @@ impl PeerNode {
         }
         self.active = false;
         self.stats.departed = true;
+        self.metrics.departures.inc();
         let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
         for n in neighbor_ids {
             ctx.send(n, Message::Goodbye, Message::Goodbye.wire_size());
@@ -843,16 +857,21 @@ impl PeerNode {
                     // First start only: a churn rejoin resumes the same
                     // viewing session, so startup delay and the stall
                     // window keep counting from the original start.
-                    self.stats.playback_started.get_or_insert(ctx.now());
+                    if self.stats.playback_started.is_none() {
+                        self.stats.playback_started = Some(ctx.now());
+                        self.metrics.playback_starts.inc();
+                    }
                 }
             }
         } else if let Some(playhead) = self.playhead {
             if self.have_full(playhead) {
                 self.stats.chunks_played += 1;
+                self.metrics.chunks_played.inc();
                 self.playhead = Some(playhead + 1);
                 self.stall_streak = 0;
             } else {
                 self.stats.stalls += 1;
+                self.metrics.stalls.inc();
                 self.stall_streak += 1;
                 let live = self.live_edge_estimate(ctx.now());
                 if live.saturating_sub(playhead) > REBUFFER_LAG_CHUNKS {
@@ -1092,6 +1111,7 @@ impl PeerNode {
             }
         }
         self.stats.gossip_responses_received += 1;
+        self.metrics.gossip_responses_received.inc();
         self.add_candidates(peers.iter());
         // "Once the client receives a peer list, it randomly selects a
         // number of peers from the list and connects to them immediately."
@@ -1133,7 +1153,9 @@ impl PeerNode {
                 return;
             };
             let jitter = SimTime::from_millis(ctx.rng().random_range(0..PROCESSING_JITTER_MS));
-            self.stats.bytes_up += u64::from(reply.payload_bytes());
+            let payload = u64::from(reply.payload_bytes());
+            self.stats.bytes_up += payload;
+            self.metrics.bytes_up.add(payload);
             ctx.send_after(from, reply, size, hold + jitter);
         } else {
             let reply = Message::DataReject {
@@ -1163,8 +1185,11 @@ impl PeerNode {
             *m &= !p.mask;
         }
         *self.chunks.entry(chunk.0).or_insert(0) |= mask;
-        self.stats.bytes_down += u64::from(count) * u64::from(plsim_proto::SUB_PIECE_BYTES);
+        let payload = u64::from(count) * u64::from(plsim_proto::SUB_PIECE_BYTES);
+        self.stats.bytes_down += payload;
+        self.metrics.bytes_down.add(payload);
         self.stats.data_replies_received += 1;
+        self.metrics.data_replies_received.inc();
         self.data_servers.insert(from);
         if let Some(n) = self.neighbors.get_mut(&from) {
             n.outstanding = n.outstanding.saturating_sub(1);
@@ -1183,6 +1208,7 @@ impl PeerNode {
             *m &= !p.mask;
         }
         self.stats.data_rejects_received += 1;
+        self.metrics.data_rejects_received.inc();
         if let Some(n) = self.neighbors.get_mut(&from) {
             n.outstanding = n.outstanding.saturating_sub(1);
             if busy {

@@ -4,6 +4,7 @@ use crate::det::DetHashMap;
 use parking_lot::Mutex;
 use plsim_des::{NodeId, SimTime};
 use plsim_net::Isp;
+use plsim_telemetry::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -139,6 +140,48 @@ impl PlaybackSummary {
             mean_startup_delay,
             chunks_played: stats.iter().fold(0, |a, s| a.saturating_add(s.chunks_played)),
             stalls: stats.iter().fold(0, |a, s| a.saturating_add(s.stalls)),
+        }
+    }
+}
+
+/// Population-wide counter handles a peer bumps alongside its private
+/// [`PeerStats`] ledger.
+///
+/// The two deliberately coexist: `PeerStats` stays the per-node record
+/// analysis slices by peer and ISP, while these handles aggregate the
+/// same events across *every* node of a run into the shared
+/// [`MetricsRegistry`], giving the one-snapshot export path its
+/// population totals without a post-hoc fold over the sink.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeMetrics {
+    pub chunks_played: Counter,
+    pub stalls: Counter,
+    pub playback_starts: Counter,
+    pub bytes_up: Counter,
+    pub bytes_down: Counter,
+    pub data_requests_sent: Counter,
+    pub data_replies_received: Counter,
+    pub data_rejects_received: Counter,
+    pub gossip_requests_sent: Counter,
+    pub gossip_responses_received: Counter,
+    pub departures: Counter,
+}
+
+impl NodeMetrics {
+    /// Handles interned in `registry` under the `node.*` namespace.
+    pub fn attached(registry: &MetricsRegistry) -> Self {
+        NodeMetrics {
+            chunks_played: registry.counter("node.chunks_played"),
+            stalls: registry.counter("node.stalls"),
+            playback_starts: registry.counter("node.playback_starts"),
+            bytes_up: registry.counter("node.bytes_up"),
+            bytes_down: registry.counter("node.bytes_down"),
+            data_requests_sent: registry.counter("node.data_requests_sent"),
+            data_replies_received: registry.counter("node.data_replies_received"),
+            data_rejects_received: registry.counter("node.data_rejects_received"),
+            gossip_requests_sent: registry.counter("node.gossip_requests_sent"),
+            gossip_responses_received: registry.counter("node.gossip_responses_received"),
+            departures: registry.counter("node.departures"),
         }
     }
 }

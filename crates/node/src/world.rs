@@ -9,9 +9,10 @@
 use crate::{
     BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer,
 };
-use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceRecord};
+use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceStore};
 use plsim_des::{FaultEvent, NodeId, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
+use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
 use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
 use plsim_workload::SessionPlan;
 use rand::rngs::SmallRng;
@@ -104,8 +105,8 @@ const TRACKER_SITES: [Isp; 5] = [Isp::Tele, Isp::Tele, Isp::Cnc, Isp::Cnc, Isp::
 /// Results of a finished run.
 #[derive(Debug)]
 pub struct WorldOutput {
-    /// Everything captured at the probes.
-    pub records: Vec<TraceRecord>,
+    /// Everything captured at the probes, in columnar form.
+    pub records: TraceStore,
     /// Final stats of every peer that ever flushed.
     pub peer_stats: Vec<PeerStats>,
     /// The topology (ISP ground truth for analysis).
@@ -122,12 +123,16 @@ pub struct WorldOutput {
     pub fault_marks: Vec<FaultMark>,
     /// Kernel counters.
     pub sim: SimStats,
+    /// End-of-run values of every instrument in the run's shared registry
+    /// (kernel, interconnect and node counters in one export).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A fully assembled, not-yet-run scenario.
 #[derive(Debug)]
 pub struct World {
     sim: Simulation<Message>,
+    registry: MetricsRegistry,
     tap: ProbeTap,
     sink: StatsSink,
     topology: Arc<Topology>,
@@ -175,11 +180,15 @@ impl World {
         tap.reserve(expected_records);
         let sink = StatsSink::new();
 
-        let mut sim: Simulation<Message> = Simulation::new(
-            cfg.seed,
-            Underlay::new(Arc::clone(&topology), cfg.link)
-                .with_faults(cfg.faults.link_faults()),
-        );
+        // One registry for the whole run: the kernel, the interconnect
+        // queue and every peer intern their instruments here, and one
+        // snapshot at the end of `run` is the single export path.
+        let registry = MetricsRegistry::new();
+        let mut underlay = Underlay::new(Arc::clone(&topology), cfg.link)
+            .with_faults(cfg.faults.link_faults());
+        underlay.attach_metrics(&registry);
+        let mut sim: Simulation<Message> =
+            Simulation::with_registry(cfg.seed, underlay, registry.clone());
         sim.set_monitor(tap.clone());
 
         let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
@@ -205,7 +214,7 @@ impl World {
             accept_slack: cfg.peer_config.accept_slack * 3,
             ..cfg.peer_config
         };
-        let src = PeerNode::source(
+        let mut src = PeerNode::source(
             source_cfg,
             cfg.channel,
             entry(source_id),
@@ -213,6 +222,7 @@ impl World {
             Arc::clone(&topology),
             sink.clone(),
         );
+        src.attach_metrics(&registry);
         let id = sim.add_actor(Box::new(src));
         debug_assert_eq!(id, source_id);
         tap.mark_remote(source_id, RemoteKind::Source);
@@ -226,7 +236,7 @@ impl World {
 
         // Probes (ordinary viewers, captured).
         for (spec, &pid) in cfg.probes.iter().zip(&probe_ids) {
-            let peer = PeerNode::viewer(
+            let mut peer = PeerNode::viewer(
                 cfg.peer_config,
                 cfg.channel,
                 entry(pid),
@@ -234,6 +244,7 @@ impl World {
                 Arc::clone(&topology),
                 sink.clone(),
             );
+            peer.attach_metrics(&registry);
             let id = sim.add_actor(Box::new(peer));
             debug_assert_eq!(id, pid);
             sim.inject(
@@ -255,6 +266,7 @@ impl World {
                 Arc::clone(&topology),
                 sink.clone(),
             );
+            peer.attach_metrics(&registry);
             if cfg.nat_fraction > 0.0 && build_rng.random::<f64>() < cfg.nat_fraction {
                 peer = peer.behind_nat();
             }
@@ -349,6 +361,7 @@ impl World {
 
         World {
             sim,
+            registry,
             tap,
             sink,
             topology,
@@ -380,6 +393,7 @@ impl World {
             trackers: self.trackers,
             bootstrap: self.bootstrap,
             sim: sim_stats,
+            metrics: self.registry.snapshot(),
         }
     }
 }

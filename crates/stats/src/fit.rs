@@ -280,4 +280,62 @@ mod tests {
         // Only (10,2) and (2,8) survive.
         assert!(log_log_correlation(&values, &cov).is_some());
     }
+
+    #[test]
+    fn rank_fits_reject_empty_input() {
+        assert_eq!(zipf_fit(&[]), None);
+        assert_eq!(stretched_exp_fit(&[]), None);
+        assert_eq!(linear_fit(&[], &[]), None);
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(log_log_correlation(&[], &[]), None);
+    }
+
+    #[test]
+    fn rank_fits_reject_single_rank() {
+        // One positive rank is far below the three-point minimum, and it
+        // must not matter whether the rest of the distribution is zero
+        // padding or absent entirely.
+        assert_eq!(zipf_fit(&[42.0]), None);
+        assert_eq!(stretched_exp_fit(&[42.0]), None);
+        assert_eq!(zipf_fit(&[42.0, 0.0, 0.0, 0.0]), None);
+        assert_eq!(stretched_exp_fit(&[42.0, 0.0, 0.0, 0.0]), None);
+        // Two positive ranks are still one short.
+        assert_eq!(zipf_fit(&[42.0, 17.0]), None);
+        assert_eq!(stretched_exp_fit(&[42.0, 17.0]), None);
+    }
+
+    #[test]
+    fn rank_fits_handle_all_equal_counts() {
+        // A flat distribution (every neighbor served the same number of
+        // requests) is a horizontal line in both fitted spaces: slope 0,
+        // and ss_tot == 0 makes R² degenerate to the 1.0 convention.
+        let flat = [7.0; 25];
+        let zipf = zipf_fit(&flat).expect("flat data still has >= 3 positive ranks");
+        assert!(zipf.alpha.abs() < 1e-12, "alpha = {}", zipf.alpha);
+        assert!((zipf.r2 - 1.0).abs() < 1e-12);
+
+        let se = stretched_exp_fit(&flat).expect("flat data fits trivially");
+        assert!(se.a.abs() < 1e-9, "a = {}", se.a);
+        assert!((se.r2 - 1.0).abs() < 1e-9);
+        // The model reproduces the constant at any rank.
+        assert!((se.predict(1) - 7.0).abs() < 1e-6);
+        assert!((se.predict(25) - 7.0).abs() < 1e-6);
+
+        // Constant values leave no signal to correlate with: either the
+        // variance check trips (None) or roundoff in the mean leaves a
+        // correlation indistinguishable from zero — never a spurious ±1.
+        let covariate: Vec<f64> = (1..=25).map(f64::from).collect();
+        let r = log_log_correlation(&flat, &covariate);
+        assert!(r.is_none_or(|r| r.abs() < 1e-9), "r = {r:?}");
+    }
+
+    #[test]
+    fn zero_and_negative_values_are_dropped_before_fitting() {
+        // Ranks with zero counts are excluded from log-log space (log10(0)
+        // is undefined); the fit must use only the positive head.
+        let mut ranked: Vec<f64> = (1..=50).map(|i| 1e4 * (i as f64).powf(-1.1)).collect();
+        ranked.resize(100, 0.0);
+        let fit = zipf_fit(&ranked).expect("positive head is fittable");
+        assert!((fit.alpha - 1.1).abs() < 1e-9, "alpha = {}", fit.alpha);
+    }
 }

@@ -1,0 +1,166 @@
+//! Append-only paged vectors: the struct-of-arrays building block.
+//!
+//! A columnar trace store keeps one `PagedVec` per column (timestamps,
+//! node ids, byte counts, …). Pages have a fixed power-of-two capacity, so
+//!
+//! * an append never moves existing data — no `Vec`-style double-and-copy,
+//!   hence no transient 2× peak-memory spike while a multi-gigarecord
+//!   trace grows, and
+//! * indexing is a shift and a mask, cheap enough for streaming cursors.
+
+/// Rows per page. Power of two so index math is shift/mask.
+pub const PAGE_ROWS: usize = 8192;
+
+const SHIFT: u32 = PAGE_ROWS.trailing_zeros();
+const MASK: usize = PAGE_ROWS - 1;
+
+/// An append-only vector laid out as fixed-size pages.
+///
+/// Unlike `Vec<T>`, pushing never reallocates existing elements; full
+/// pages are frozen and a fresh page is allocated. Equality is
+/// element-wise.
+#[derive(Clone)]
+pub struct PagedVec<T> {
+    pages: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T> Default for PagedVec<T> {
+    fn default() -> Self {
+        PagedVec {
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> PagedVec<T> {
+    /// An empty paged vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no element has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.len >> SHIFT == self.pages.len() {
+            self.pages.push(Vec::with_capacity(PAGE_ROWS));
+        }
+        self.pages[self.len >> SHIFT].push(value);
+        self.len += 1;
+    }
+
+    /// The element at `index`, if in bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index < self.len {
+            Some(&self.pages[index >> SHIFT][index & MASK])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.pages.iter().flat_map(|p| p.iter())
+    }
+
+    /// The backing slice of page `page` (empty past the end). Cursors use
+    /// this to decode a page at a time through plain slices instead of
+    /// per-index page lookups.
+    #[must_use]
+    pub fn page(&self, page: usize) -> &[T] {
+        self.pages.get(page).map_or(&[], Vec::as_slice)
+    }
+
+    /// Bytes of heap backing this column (page payloads only; the page
+    /// index is negligible).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.capacity() * std::mem::size_of::<T>())
+            .sum()
+    }
+}
+
+impl<T: PartialEq> PartialEq for PagedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T> std::fmt::Debug for PagedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedVec")
+            .field("len", &self.len)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl<T> FromIterator<T> for PagedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = PagedVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_roundtrip_across_pages() {
+        let n = PAGE_ROWS * 2 + 17;
+        let v: PagedVec<usize> = (0..n).collect();
+        assert_eq!(v.len(), n);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.get(PAGE_ROWS), Some(&PAGE_ROWS));
+        assert_eq!(v.get(n - 1), Some(&(n - 1)));
+        assert_eq!(v.get(n), None);
+        assert!(v.iter().copied().eq(0..n));
+    }
+
+    #[test]
+    fn equality_is_element_wise() {
+        let a: PagedVec<u32> = (0..10).collect();
+        let b: PagedVec<u32> = (0..10).collect();
+        let c: PagedVec<u32> = (0..11).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pages_never_exceed_capacity() {
+        let v: PagedVec<u8> = std::iter::repeat_n(7u8, PAGE_ROWS + 1).collect();
+        assert_eq!(v.pages.len(), 2);
+        assert_eq!(v.pages[0].len(), PAGE_ROWS);
+        assert_eq!(v.pages[0].capacity(), PAGE_ROWS, "full page never regrows");
+        assert!(v.heap_bytes() > PAGE_ROWS);
+    }
+
+    #[test]
+    fn empty_debug_and_default() {
+        let v: PagedVec<u64> = PagedVec::default();
+        assert!(v.is_empty());
+        assert_eq!(v.heap_bytes(), 0);
+        assert!(format!("{v:?}").contains("len"));
+    }
+}

@@ -1,0 +1,484 @@
+//! Cross-layer metrics registry: named counters, gauges and fixed-bucket
+//! histograms with allocation-free hot-path handles.
+//!
+//! A handle ([`Counter`], [`Gauge`], [`Histogram`]) is interned once by
+//! name and then bumped through a shared `Cell` — no hash lookup, no
+//! `RefCell` borrow, no allocation per increment, which is what lets the
+//! DES kernel route its per-event counters through the registry without
+//! losing throughput. Registries are single-threaded (`Rc`), like the
+//! simulations they observe; the cross-thread artifact is the plain-data
+//! [`MetricsSnapshot`], which is `Send`.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (for tests and default
+    /// wiring before [`MetricsRegistry`] handles are attached).
+    #[must_use]
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.set(self.cell.get() + 1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.set(self.cell.get() + n);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge handle: a current value plus its high-water mark.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    current: Rc<Cell<u64>>,
+    peak: Rc<Cell<u64>>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    #[must_use]
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current value, updating the peak.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.current.set(v);
+        if v > self.peak.get() {
+            self.peak.set(v);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.current.get()
+    }
+
+    /// High-water mark over the gauge's lifetime.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.get()
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({}, peak {})", self.get(), self.peak())
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of the buckets; values above the last bound land in
+    /// the overflow bucket, so `counts.len() == bounds.len() + 1`.
+    bounds: Vec<f64>,
+    counts: Vec<Cell<u64>>,
+    count: Cell<u64>,
+    sum: Cell<f64>,
+}
+
+/// A fixed-bucket histogram handle. Buckets are set at interning time and
+/// never reallocate, so observations are hot-path safe.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Rc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    #[must_use]
+    pub fn detached(bounds: &[f64]) -> Histogram {
+        Histogram {
+            inner: Rc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: vec![Cell::new(0); bounds.len() + 1],
+                count: Cell::new(0),
+                sum: Cell::new(0.0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let h = &*self.inner;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.counts[idx].set(h.counts[idx].get() + 1);
+        h.count.set(h.count.get() + 1);
+        h.sum.set(h.sum.get() + v);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.get()
+    }
+
+    fn snap(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self.inner.counts.iter().map(Cell::get).collect(),
+            count: self.inner.count.get(),
+            sum: self.inner.sum.get(),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({} obs)", self.count())
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// The cross-layer metrics registry. Cheap to clone (a shared handle);
+/// every layer of one simulation interns its instruments into the same
+/// registry, and one [`snapshot`](MetricsRegistry::snapshot) at the end
+/// of the run is the single export path.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Interns (or retrieves) the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Interns (or retrieves) the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Interns (or retrieves) the histogram `name`. The bucket bounds of
+    /// the first interning win; later callers share the existing buckets.
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::detached(bounds);
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Reads every instrument into a plain-data, `Send` snapshot, sorted
+    /// by name for deterministic output.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        let mut out = MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| {
+                    (
+                        n.clone(),
+                        GaugeValue {
+                            current: g.get(),
+                            peak: g.peak(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snap()))
+                .collect(),
+        };
+        out.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// A gauge's exported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeValue {
+    /// Value at snapshot time.
+    pub current: u64,
+    /// High-water mark over the run.
+    pub peak: u64,
+}
+
+/// A histogram's exported value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the final bucket is overflow).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, if any observation was made.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// End-of-run values of every instrument, sorted by name. Plain data:
+/// `Send`, comparable, mergeable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, GaugeValue)>,
+    /// Histogram values by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of gauge `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<GaugeValue> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Adds `delta` to counter `name`, creating it (sorted into place) if
+    /// absent — the hook by which post-hoc passes such as the invariant
+    /// checker fold their tallies into an existing run snapshot.
+    pub fn bump_counter(&mut self, name: &str, delta: u64) {
+        match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.counters[i].1 += delta,
+            Err(i) => self.counters.insert(i, (name.to_string(), delta)),
+        }
+    }
+
+    /// Renders the snapshot as a self-contained JSON object (the
+    /// workspace's vendored serde has no JSON backend, so this is written
+    /// out by hand like the other exporters).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{n}\": {v}"));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{n}\": {{\"current\": {}, \"peak\": {}}}",
+                g.current, g.peak
+            ));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let bounds = h
+                .bounds
+                .iter()
+                .map(|b| format!("{b}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let counts = h
+                .counts
+                .iter()
+                .map(|c| format!("{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "\n    \"{n}\": {{\"bounds\": [{bounds}], \"counts\": [{counts}], \"count\": {}, \"sum\": {}}}",
+                h.count, h.sum
+            ));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x"), Some(3));
+        assert_eq!(r.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::detached();
+        g.set(5);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::detached(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let s = h.snap();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 11.0).abs() < 1e-12);
+        assert!((s.mean().unwrap() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_interning_keeps_first_bounds() {
+        let r = MetricsRegistry::new();
+        let a = r.histogram("h", &[1.0]);
+        let b = r.histogram("h", &[5.0, 6.0]);
+        a.observe(0.5);
+        b.observe(0.6);
+        assert_eq!(a.count(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("h").unwrap().bounds, vec![1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_mergeable() {
+        let r = MetricsRegistry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        let mut snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        snap.bump_counter("a", 4);
+        snap.bump_counter("ab", 7);
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("ab"), Some(7));
+        assert!(snap.counters.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(3);
+        r.histogram("h", &[1.0]).observe(0.5);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"c\": 7"));
+        assert!(json.contains("\"current\": 3, \"peak\": 3"));
+        assert!(json.contains("\"bounds\": [1]"));
+        assert!(json.contains("\"counts\": [1, 0]"));
+    }
+
+    #[test]
+    fn send_snapshot() {
+        fn assert_send<T: Send>(_: &T) {}
+        let snap = MetricsRegistry::new().snapshot();
+        assert_send(&snap);
+    }
+}

@@ -30,6 +30,7 @@ fn suite_parallel_is_bit_identical_to_sequential() {
         assert_eq!(s.output.sim, p.output.sim, "kernel counters diverged");
         assert_eq!(s.output.records, p.output.records, "traces diverged");
         assert_eq!(s.output.peer_stats, p.output.peer_stats);
+        assert_eq!(s.output.metrics, p.output.metrics, "metrics diverged");
     }
 }
 
@@ -95,6 +96,7 @@ fn assert_same_output(a: &WorldOutput, b: &WorldOutput, what: &str) {
     assert_eq!(a.records, b.records, "{what}: traces diverged");
     assert_eq!(a.peer_stats, b.peer_stats, "{what}: peer stats diverged");
     assert_eq!(a.fault_marks, b.fault_marks, "{what}: fault marks diverged");
+    assert_eq!(a.metrics, b.metrics, "{what}: metrics snapshots diverged");
 }
 
 proptest! {

@@ -7,7 +7,7 @@
 //! faulted run that silently corrupts the simulation fails loudly instead
 //! of producing quietly-wrong figures.
 
-use plsim_capture::{Direction, RecordKind};
+use plsim_capture::{Direction, KindRef};
 use plsim_des::SimTime;
 use plsim_net::{Isp, LinkFault};
 use pplive_locality::{FaultPlan, ProbeSite, Scale, Scenario, ScenarioRun};
@@ -17,9 +17,9 @@ use plsim_workload::ChannelClass;
 fn last_data_reply(run: &ScenarioRun, probe: plsim_des::NodeId) -> Option<SimTime> {
     run.output
         .records
-        .iter()
+        .rows()
         .filter(|r| r.probe == probe && r.direction == Direction::Inbound)
-        .filter(|r| matches!(r.kind, RecordKind::DataReply { .. }))
+        .filter(|r| matches!(r.kind, KindRef::DataReply { .. }))
         .map(|r| r.t)
         .max()
 }
@@ -157,7 +157,7 @@ fn tele_cnc_partition_cuts_cross_isp_traffic_and_streaming_survives() {
     let late_cross = run
         .output
         .records
-        .iter()
+        .rows()
         .filter(|r| r.probe == report.probe && r.direction == Direction::Inbound)
         .filter(|r| r.t >= partition_start + SimTime::from_secs(10))
         .filter(|r| run.output.topology.host(r.remote).isp == Isp::Cnc)

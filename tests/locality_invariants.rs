@@ -2,7 +2,7 @@
 //! small end-to-end simulation, and the measurement pipeline must be
 //! internally consistent.
 
-use plsim_capture::{Direction, RecordKind};
+use plsim_capture::{Direction, KindRef};
 use plsim_net::Isp;
 use plsim_proto::PeerList;
 use pplive_locality::{ProbeSite, Scale, Scenario};
@@ -46,8 +46,8 @@ fn probes_stream_successfully() {
 fn peer_lists_in_captures_respect_protocol_limit() {
     let run = tiny_popular();
     for record in &run.output.records {
-        if let RecordKind::PeerListResponse { peer_ips, .. }
-        | RecordKind::TrackerResponse { peer_ips } = &record.kind
+        if let KindRef::PeerListResponse { peer_ips, .. }
+        | KindRef::TrackerResponse { peer_ips } = record.kind
         {
             assert!(
                 peer_ips.len() <= PeerList::MAX_LEN,
@@ -90,10 +90,10 @@ fn byte_accounting_is_consistent() {
     let replies_bytes: u64 = run
         .output
         .records
-        .iter()
+        .rows()
         .filter(|r| r.probe == report.probe && r.direction == Direction::Inbound)
         .filter_map(|r| match r.kind {
-            RecordKind::DataReply { payload_bytes, .. } => Some(u64::from(payload_bytes)),
+            KindRef::DataReply { payload_bytes, .. } => Some(u64::from(payload_bytes)),
             _ => None,
         })
         .sum();
