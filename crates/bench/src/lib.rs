@@ -29,14 +29,39 @@ pub const BENCH_SCALE: Scale = Scale::Tiny;
 /// `BENCH_engine.json` at the workspace root.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
-    /// DES kernel events dispatched in the throughput measurement.
+    /// DES kernel events dispatched in the deep-queue throughput run.
     pub events_processed: u64,
-    /// Single-threaded kernel throughput (events per wall-clock second).
+    /// Deep-queue kernel throughput under the default (calendar)
+    /// scheduler, events per wall-clock second.
     pub events_per_sec: f64,
+    /// Same workload under the reference binary-heap scheduler.
+    pub events_per_sec_heap: f64,
+    /// Same workload under the calendar-queue scheduler (equals
+    /// `events_per_sec`; spelled out so gates can key on it exactly).
+    pub events_per_sec_calendar: f64,
+    /// `events_per_sec_calendar / events_per_sec_heap`.
+    pub calendar_speedup: f64,
     /// High-water mark of the event queue during the throughput run.
     pub peak_queue_depth: u64,
-    /// Worker threads the parallel suite run used.
+    /// Heap allocations observed in the deep-queue run's sustained-churn
+    /// window (simulated 5–30 ms, after the event pool is populated and
+    /// the calendar width learned, before the end-of-run drain) — the hot
+    /// loop's steady-state allocation count.
+    pub steady_state_allocs: u64,
+    /// Pool size the parallel suite run was configured with
+    /// (`PLSIM_THREADS` or available parallelism).
+    pub threads_configured: usize,
+    /// Workers the parallel suite run could actually occupy:
+    /// `min(threads_configured, jobs)`, 1 when the pool is sequential.
     pub threads: usize,
+    /// Set when the thread count collapsed to 1 (single-core host or
+    /// `PLSIM_THREADS=1`): the seq and par walls then time identical code
+    /// paths and `speedup` is pure noise, so gates must not compare it
+    /// against a multi-threaded baseline.
+    pub threads_warning: Option<String>,
+    /// Whether the parallel suite run dispatched inline (work-size-aware
+    /// fallback or a sequential pool) instead of fanning out.
+    pub inline_fallback: bool,
     /// Scale label of the sequential-vs-parallel suite comparison.
     pub suite_scale: String,
     /// Wall-clock seconds of the sequential suite run.
@@ -63,13 +88,24 @@ impl EngineReport {
     /// number or a plain label, so no serializer dependency is needed).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let threads_warning = self.threads_warning.as_ref().map_or_else(
+            || "null".to_string(),
+            |w| format!("\"{}\"", w.replace('"', "'")),
+        );
         format!(
             concat!(
                 "{{\n",
                 "  \"events_processed\": {},\n",
                 "  \"events_per_sec\": {:.1},\n",
+                "  \"events_per_sec_heap\": {:.1},\n",
+                "  \"events_per_sec_calendar\": {:.1},\n",
+                "  \"calendar_speedup\": {:.3},\n",
                 "  \"peak_queue_depth\": {},\n",
+                "  \"steady_state_allocs\": {},\n",
+                "  \"threads_configured\": {},\n",
                 "  \"threads\": {},\n",
+                "  \"threads_warning\": {},\n",
+                "  \"inline_fallback\": {},\n",
                 "  \"suite_scale\": \"{}\",\n",
                 "  \"seq_wall_s\": {:.4},\n",
                 "  \"par_wall_s\": {:.4},\n",
@@ -82,8 +118,15 @@ impl EngineReport {
             ),
             self.events_processed,
             self.events_per_sec,
+            self.events_per_sec_heap,
+            self.events_per_sec_calendar,
+            self.calendar_speedup,
             self.peak_queue_depth,
+            self.steady_state_allocs,
+            self.threads_configured,
             self.threads,
+            threads_warning,
+            self.inline_fallback,
             self.suite_scale,
             self.seq_wall_s,
             self.par_wall_s,
@@ -122,8 +165,15 @@ mod tests {
         let r = EngineReport {
             events_processed: 100_000,
             events_per_sec: 1.25e6,
-            peak_queue_depth: 9,
-            threads: 4,
+            events_per_sec_heap: 0.8e6,
+            events_per_sec_calendar: 1.25e6,
+            calendar_speedup: 1.75,
+            peak_queue_depth: 4096,
+            steady_state_allocs: 0,
+            threads_configured: 4,
+            threads: 2,
+            threads_warning: None,
+            inline_fallback: false,
             suite_scale: "reduced".to_string(),
             seq_wall_s: 10.0,
             par_wall_s: 2.5,
@@ -136,10 +186,44 @@ mod tests {
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"events_per_sec\": 1250000.0"));
+        assert!(json.contains("\"events_per_sec_calendar\": 1250000.0"));
+        assert!(json.contains("\"calendar_speedup\": 1.750"));
+        assert!(json.contains("\"steady_state_allocs\": 0"));
+        assert!(json.contains("\"threads_warning\": null"));
+        assert!(json.contains("\"inline_fallback\": false"));
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.contains("\"suite_scale\": \"reduced\""));
         assert!(json.contains("\"row_bytes\": 2000000"));
         assert!(json.contains("\"columnar_bytes\": 1200000"));
         assert!(json.contains("\"columnar_analysis_s\": 0.2000"));
+    }
+
+    #[test]
+    fn report_json_quotes_thread_warning() {
+        let mut r = EngineReport {
+            events_processed: 1,
+            events_per_sec: 1.0,
+            events_per_sec_heap: 1.0,
+            events_per_sec_calendar: 1.0,
+            calendar_speedup: 1.0,
+            peak_queue_depth: 1,
+            steady_state_allocs: 0,
+            threads_configured: 1,
+            threads: 1,
+            threads_warning: None,
+            inline_fallback: true,
+            suite_scale: "tiny".to_string(),
+            seq_wall_s: 1.0,
+            par_wall_s: 1.0,
+            speedup: 1.0,
+            row_bytes: 0,
+            columnar_bytes: 0,
+            row_analysis_s: 0.0,
+            columnar_analysis_s: 0.0,
+        };
+        r.threads_warning = Some("thread pool collapsed to 1".to_string());
+        let json = r.to_json();
+        assert!(json.contains("\"threads_warning\": \"thread pool collapsed to 1\""));
+        assert!(json.contains("\"inline_fallback\": true"));
     }
 }

@@ -3,22 +3,67 @@
 //! Every headline artifact of the reproduction is a set of *independent*
 //! deterministic simulations (two channel sessions per figure suite, one
 //! run per ablation variant, 2 × N day-sessions for Figure 6, seed
-//! sweeps).  [`JobPool`] executes such jobs concurrently on scoped threads
-//! and merges the results **in job order**, so the output of a parallel
-//! run is bit-identical to a sequential one: each job owns its seeded RNG
-//! and shares no mutable state, and the merge ignores completion order.
+//! sweeps).  [`JobPool`] executes such jobs concurrently and merges the
+//! results **in job order**, so the output of a parallel run is
+//! bit-identical to a sequential one: each job owns its seeded RNG and
+//! shares no mutable state, and the merge ignores completion order.
+//!
+//! Dispatch is work-size-aware. Parallelism only pays when jobs outweigh
+//! the thread machinery, so [`JobPool::map`] probes the first job of a
+//! large batch inline and, when it finishes under the inline floor
+//! (`PLSIM_INLINE_FLOOR_US`, default 200 µs), runs the whole batch on the
+//! calling thread — micro-job batches used to get *slower* when
+//! parallelised. Larger jobs fan out over scoped worker threads with the
+//! caller draining the queue alongside them, and [`JobPool::run`] reuses a
+//! process-wide set of persistent workers across calls instead of
+//! respawning threads. Every decision is recorded in
+//! [`JobPool::dispatch_stats`], which the bench harness uses to report
+//! honestly whether a "parallel" run actually fanned out.
 //!
 //! Thread count comes from the `PLSIM_THREADS` environment variable when
 //! set (a value of `1` forces fully sequential in-thread execution),
 //! otherwise from [`std::thread::available_parallelism`].
 
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// A unit of work: an independent, seeded computation.
 pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
 
 /// Environment variable controlling the pool size.
 pub const THREADS_ENV: &str = "PLSIM_THREADS";
+
+/// Environment variable controlling the inline-dispatch floor in
+/// microseconds: probe jobs finishing faster than this keep their whole
+/// batch on the calling thread.
+pub const INLINE_FLOOR_ENV: &str = "PLSIM_INLINE_FLOOR_US";
+
+/// Default inline floor when [`INLINE_FLOOR_ENV`] is unset: roughly the
+/// cost of spawning and joining a couple of worker threads.
+const DEFAULT_INLINE_FLOOR: Duration = Duration::from_micros(200);
+
+/// A batch is probed (first job timed inline) only when it has at least
+/// this many jobs per worker — probing serialises one job, which is only
+/// cheap relative to a batch that is long compared to the worker count.
+const PROBE_MIN_JOBS_PER_WORKER: usize = 4;
+
+/// How dispatches resolved so far, from [`JobPool::dispatch_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchStats {
+    /// Batches that ran entirely on the calling thread (single worker,
+    /// single job, or probe under the inline floor).
+    pub inline_runs: u64,
+    /// Batches that fanned out over worker threads.
+    pub threaded_runs: u64,
+}
+
+#[derive(Debug, Default)]
+struct DispatchCounters {
+    inline: AtomicU64,
+    threaded: AtomicU64,
+}
 
 /// A fixed-size pool executing independent jobs with deterministic,
 /// job-order output.
@@ -35,6 +80,10 @@ pub const THREADS_ENV: &str = "PLSIM_THREADS";
 #[derive(Debug, Clone)]
 pub struct JobPool {
     threads: usize,
+    inline_floor: Duration,
+    // Shared across clones so a harness can hand pools around and still
+    // read one dispatch history.
+    stats: Arc<DispatchCounters>,
 }
 
 impl Default for JobPool {
@@ -49,13 +98,15 @@ impl JobPool {
     pub fn new(threads: usize) -> JobPool {
         JobPool {
             threads: threads.max(1),
+            inline_floor: inline_floor_from_env(),
+            stats: Arc::new(DispatchCounters::default()),
         }
     }
 
     /// A pool that runs every job inline on the calling thread, in order.
     #[must_use]
     pub fn sequential() -> JobPool {
-        JobPool { threads: 1 }
+        JobPool::new(1)
     }
 
     /// Pool sized from `PLSIM_THREADS`, falling back to the machine's
@@ -80,19 +131,60 @@ impl JobPool {
         self.threads
     }
 
+    /// Workers a batch of `jobs` jobs would actually occupy: `1` when the
+    /// pool is sequential or the batch degenerate, else `min(threads,
+    /// jobs)`. Bench reports quote this instead of the configured size so
+    /// speedup comparisons are like-with-like.
+    #[must_use]
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        if self.threads == 1 || jobs <= 1 {
+            1
+        } else {
+            self.threads.min(jobs)
+        }
+    }
+
+    /// How this pool's dispatches resolved so far (shared across clones).
+    #[must_use]
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            inline_runs: self.stats.inline.load(Ordering::Relaxed),
+            threaded_runs: self.stats.threaded.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs all `jobs` and returns their outputs in job order.
     ///
-    /// With one worker (or one job) everything runs inline on the calling
-    /// thread; otherwise workers pull jobs from a shared queue, so at most
-    /// `threads` simulations are resident at once — the memory bound that
-    /// used to be enforced by chunked `crossbeam` scopes, without their
-    /// end-of-batch barrier.
+    /// Jobs are executed by a process-wide set of persistent worker
+    /// threads that is reused across `run` calls (growing to the largest
+    /// pool size seen), so repeated batch dispatch pays no per-call thread
+    /// spawns. At most `threads` jobs are in flight at once — the memory
+    /// bound that keeps at most N simulations resident.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (by job index) panic after the batch drains.
     #[must_use]
-    pub fn run<T: Send>(&self, jobs: Vec<Job<T>>) -> Vec<T> {
-        self.map(jobs, |job| job())
+    pub fn run<T: Send + 'static>(&self, jobs: Vec<Job<T>>) -> Vec<T> {
+        let n = jobs.len();
+        if self.threads == 1 || n <= 1 {
+            self.stats.inline.fetch_add(1, Ordering::Relaxed);
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        self.stats.threaded.fetch_add(1, Ordering::Relaxed);
+        let workers = self.threads.min(n);
+        run_on_hub(jobs, workers)
     }
 
     /// Applies `f` to every item and returns the outputs in item order.
+    ///
+    /// Large batches are probed: the first job runs (timed) on the calling
+    /// thread, and when it finishes under the inline floor the rest stay
+    /// inline too — the work-size-aware fallback that keeps micro-job
+    /// batches off the thread machinery. Batches too small to probe
+    /// without hurting parallelism (fewer than 4 jobs per worker) fan out
+    /// directly; the caller always drains the queue alongside the spawned
+    /// workers.
     ///
     /// # Panics
     ///
@@ -105,29 +197,58 @@ impl JobPool {
         F: Fn(I) -> T + Sync,
     {
         if self.threads == 1 || items.len() <= 1 {
+            self.stats.inline.fetch_add(1, Ordering::Relaxed);
             return items.into_iter().map(f).collect();
         }
 
         let n = items.len();
+        let mut items = items.into_iter();
+        let mut done: Vec<T> = Vec::with_capacity(n);
+        if n >= self.threads * PROBE_MIN_JOBS_PER_WORKER {
+            // Probe: time one job inline. Micro jobs => inline everything.
+            let first = items.next().expect("non-empty batch");
+            let start = Instant::now();
+            done.push(f(first));
+            if start.elapsed() < self.inline_floor {
+                self.stats.inline.fetch_add(1, Ordering::Relaxed);
+                done.extend(items.map(f));
+                return done;
+            }
+        }
+        self.stats.threaded.fetch_add(1, Ordering::Relaxed);
+        done.extend(self.map_threaded(items.collect(), &f));
+        done
+    }
+
+    /// Scoped fan-out of `items` over `min(threads, len)` workers, the
+    /// caller included, pulling from a shared queue.
+    fn map_threaded<I, T, F>(&self, items: Vec<I>, f: &F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let queue = Mutex::new(items.into_iter().enumerate());
         let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let workers = self.threads.min(n);
-        let f = &f;
+        // The calling thread participates, so spawn one fewer.
+        let spawned = self.threads.min(n) - 1;
         let queue = &queue;
         let slots = &results;
+        let drain = move || loop {
+            // Hold the queue lock only to pull the next item.
+            let next = queue.lock().expect("job queue poisoned").next();
+            let Some((idx, item)) = next else { break };
+            let out = f(item);
+            *slots[idx].lock().expect("result slot poisoned") = Some(out);
+        };
 
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || loop {
-                        // Hold the queue lock only to pull the next item.
-                        let next = queue.lock().expect("job queue poisoned").next();
-                        let Some((idx, item)) = next else { break };
-                        let out = f(item);
-                        *slots[idx].lock().expect("result slot poisoned") = Some(out);
-                    })
-                })
-                .collect();
+            let handles: Vec<_> = (0..spawned).map(|_| scope.spawn(drain)).collect();
+            drain();
             for h in handles {
                 if let Err(panic) = h.join() {
                     std::panic::resume_unwind(panic);
@@ -145,6 +266,135 @@ impl JobPool {
             })
             .collect()
     }
+}
+
+fn inline_floor_from_env() -> Duration {
+    std::env::var(INLINE_FLOOR_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(DEFAULT_INLINE_FLOOR, Duration::from_micros)
+}
+
+// --------------------------------------------------------------- worker hub
+
+/// A task handed to a persistent worker: drains one `run` batch.
+type HubTask = Box<dyn FnOnce() + Send>;
+
+/// The process-wide persistent worker set behind [`JobPool::run`].
+struct Hub {
+    queue: Mutex<VecDeque<HubTask>>,
+    task_ready: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn hub() -> &'static Hub {
+    static HUB: OnceLock<Hub> = OnceLock::new();
+    HUB.get_or_init(|| Hub {
+        queue: Mutex::new(VecDeque::new()),
+        task_ready: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Hub {
+    /// Grows the worker set to at least `want` threads.
+    fn ensure_workers(&'static self, want: usize) {
+        let mut spawned = self.spawned.lock().expect("hub spawn count poisoned");
+        while *spawned < want {
+            *spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("plsim-worker-{}", *spawned))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut queue = self.queue.lock().expect("hub queue poisoned");
+                loop {
+                    if let Some(task) = queue.pop_front() {
+                        break task;
+                    }
+                    queue = self
+                        .task_ready
+                        .wait(queue)
+                        .expect("hub queue poisoned while waiting");
+                }
+            };
+            task();
+        }
+    }
+
+    fn submit(&self, task: HubTask) {
+        self.queue.lock().expect("hub queue poisoned").push_back(task);
+        self.task_ready.notify_one();
+    }
+}
+
+/// A finished job: its value, or the payload it panicked with.
+type JobResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
+
+/// Per-`run` shared state: the pending jobs, their results, and a
+/// countdown the caller blocks on.
+struct RunState<T> {
+    pending: Mutex<VecDeque<(usize, Job<T>)>>,
+    results: Mutex<Vec<Option<JobResult<T>>>>,
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+fn run_on_hub<T: Send + 'static>(jobs: Vec<Job<T>>, workers: usize) -> Vec<T> {
+    let n = jobs.len();
+    let hub = hub();
+    hub.ensure_workers(workers);
+
+    let state = Arc::new(RunState {
+        pending: Mutex::new(jobs.into_iter().enumerate().collect()),
+        results: Mutex::new((0..n).map(|_| None).collect()),
+        remaining: Mutex::new(n),
+        all_done: Condvar::new(),
+    });
+
+    // `workers` drain tasks share the batch; each pulls jobs until the
+    // pending queue is empty, so at most `workers` jobs run concurrently
+    // however many hub threads exist.
+    for _ in 0..workers {
+        let state = Arc::clone(&state);
+        hub.submit(Box::new(move || loop {
+            let next = state.pending.lock().expect("pending poisoned").pop_front();
+            let Some((idx, job)) = next else { break };
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            state.results.lock().expect("results poisoned")[idx] = Some(out);
+            let mut remaining = state.remaining.lock().expect("remaining poisoned");
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.all_done.notify_all();
+            }
+        }));
+    }
+
+    let mut remaining = state.remaining.lock().expect("remaining poisoned");
+    while *remaining > 0 {
+        remaining = state
+            .all_done
+            .wait(remaining)
+            .expect("remaining poisoned while waiting");
+    }
+    drop(remaining);
+
+    let results = std::mem::take(&mut *state.results.lock().expect("results poisoned"));
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            match slot.unwrap_or_else(|| panic!("job {idx} produced no result")) {
+                Ok(out) => out,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -179,6 +429,21 @@ mod tests {
     }
 
     #[test]
+    fn run_reuses_hub_workers_across_calls() {
+        let pool = JobPool::new(2);
+        for round in 0..5u64 {
+            let jobs: Vec<Job<u64>> = (0..8u64)
+                .map(|i| Box::new(move || round * 100 + i) as Job<u64>)
+                .collect();
+            let out = pool.run(jobs);
+            assert_eq!(out, (0..8u64).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+        // The hub never shrinks and never spawns more than the largest
+        // pool that used it needs.
+        assert!(*hub().spawned.lock().unwrap() >= 2);
+    }
+
+    #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(JobPool::new(0).threads(), 1);
     }
@@ -191,6 +456,48 @@ mod tests {
     }
 
     #[test]
+    fn micro_jobs_fall_back_to_inline_dispatch() {
+        let pool = JobPool::new(4);
+        let before = pool.dispatch_stats();
+        // 64 near-free jobs: the probe must finish far under the floor.
+        let out = pool.map((0u64..64).collect(), |x| x + 1);
+        assert_eq!(out.len(), 64);
+        let after = pool.dispatch_stats();
+        assert_eq!(after.inline_runs, before.inline_runs + 1);
+        assert_eq!(after.threaded_runs, before.threaded_runs);
+    }
+
+    #[test]
+    fn heavy_jobs_fan_out() {
+        let pool = JobPool::new(2);
+        let before = pool.dispatch_stats();
+        // Two jobs: too few to probe, so the batch goes straight to the
+        // scoped workers.
+        let out = pool.map(vec![1u64, 2], |x| {
+            (0..200_000u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        });
+        assert_eq!(out.len(), 2);
+        let after = pool.dispatch_stats();
+        assert_eq!(after.threaded_runs, before.threaded_runs + 1);
+    }
+
+    #[test]
+    fn effective_workers_is_honest() {
+        assert_eq!(JobPool::new(8).effective_workers(2), 2);
+        assert_eq!(JobPool::new(2).effective_workers(64), 2);
+        assert_eq!(JobPool::new(1).effective_workers(64), 1);
+        assert_eq!(JobPool::new(8).effective_workers(1), 1);
+    }
+
+    #[test]
+    fn dispatch_stats_shared_across_clones() {
+        let pool = JobPool::new(4);
+        let clone = pool.clone();
+        let _ = clone.map(vec![1u64], |x| x);
+        assert!(pool.dispatch_stats().inline_runs >= 1);
+    }
+
+    #[test]
     #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let pool = JobPool::new(2);
@@ -198,5 +505,20 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "hub boom")]
+    fn hub_job_panics_propagate_and_workers_survive() {
+        let pool = JobPool::new(2);
+        let jobs: Vec<Job<u64>> = (0..4u64)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 3, "hub boom");
+                    i
+                }) as Job<u64>
+            })
+            .collect();
+        let _ = pool.run(jobs);
     }
 }

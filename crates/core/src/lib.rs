@@ -41,7 +41,7 @@ mod faults;
 mod render;
 mod scenario;
 
-pub use engine::{Job, JobPool, THREADS_ENV};
+pub use engine::{DispatchStats, Job, JobPool, INLINE_FLOOR_ENV, THREADS_ENV};
 pub use faults::{
     all_presets, churn_storm, combined_chaos, interconnect_degradation, loss_surge,
     tele_cnc_partition, tracker_blackout, tracker_outage_early,

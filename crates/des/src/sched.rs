@@ -1,0 +1,623 @@
+//! Pluggable event schedulers: the reference binary heap and an O(1)
+//! hierarchical calendar queue.
+//!
+//! The kernel separates *ordering* from *storage*: event bodies (payload,
+//! addressing, size) live in a slot pool inside [`crate::Simulation`], and a
+//! [`Scheduler`] only orders lightweight [`EventKey`]s — a `(time, seq,
+//! slot)` triple that is `Copy` and 24 bytes. Both implementations realise
+//! exactly the same total order, `(time, seq)` ascending with `seq` the
+//! kernel's monotone push counter, so a simulation's pop sequence — and
+//! therefore every figure the reproduction emits — is bit-identical
+//! whichever scheduler is plugged in. The property test in
+//! `tests/scheduler_equivalence.rs` enforces this for arbitrary interleaved
+//! push/pop workloads.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Ordering key of one queued event.
+///
+/// `slot` indexes the event body in the kernel's pool; it plays no part in
+/// ordering (`seq` is unique, so `(at, seq)` already totally orders keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKey {
+    /// Firing time.
+    pub at: SimTime,
+    /// Monotone push sequence number — the deterministic tie-break for
+    /// equal timestamps.
+    pub seq: u64,
+    /// Index of the pooled event body.
+    pub slot: u32,
+}
+
+impl EventKey {
+    #[inline]
+    fn order(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.order().cmp(&other.order())
+    }
+}
+
+/// A pending-event set ordered by `(time, seq)`.
+///
+/// The contract every implementation must honour:
+///
+/// * [`Scheduler::pop_next_before`] removes and returns the minimum key iff
+///   its time is `<= bound`; otherwise the set is left untouched.
+/// * Keys are only pushed at or after the time of the last popped key
+///   (the kernel's no-scheduling-into-the-past invariant) — calendar-style
+///   schedulers rely on this to keep their cursor monotone.
+pub trait Scheduler {
+    /// Inserts a key.
+    fn push(&mut self, key: EventKey);
+    /// Removes and returns the earliest key if it fires at or before
+    /// `bound`; returns `None` (without modifying the set) otherwise.
+    fn pop_next_before(&mut self, bound: SimTime) -> Option<EventKey>;
+    /// Number of queued keys.
+    fn len(&self) -> usize;
+    /// Whether no keys are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Pre-sizes internal storage for at least `additional` more keys.
+    fn reserve(&mut self, additional: usize);
+}
+
+/// Which scheduler a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The reference `BinaryHeap` scheduler: O(log n) push/pop.
+    Heap,
+    /// The calendar queue: amortised O(1) push/pop at steady event rates.
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Environment variable overriding the scheduler choice
+    /// (`heap` or `calendar`).
+    pub const ENV: &'static str = "PLSIM_SCHED";
+
+    /// Reads [`SchedulerKind::ENV`], defaulting to `Calendar` when unset
+    /// or unrecognised.
+    #[must_use]
+    pub fn from_env() -> SchedulerKind {
+        match std::env::var(Self::ENV).as_deref() {
+            Ok("heap") => SchedulerKind::Heap,
+            _ => SchedulerKind::Calendar,
+        }
+    }
+
+    /// Display label (`"heap"` / `"calendar"`).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// The reference scheduler: `std::collections::BinaryHeap` in min order.
+#[derive(Debug, Default)]
+pub struct HeapScheduler {
+    heap: BinaryHeap<Reverse<EventKey>>,
+}
+
+impl HeapScheduler {
+    /// An empty heap scheduler.
+    #[must_use]
+    pub fn new() -> HeapScheduler {
+        HeapScheduler::default()
+    }
+}
+
+impl Scheduler for HeapScheduler {
+    fn push(&mut self, key: EventKey) {
+        self.heap.push(Reverse(key));
+    }
+
+    fn pop_next_before(&mut self, bound: SimTime) -> Option<EventKey> {
+        let Reverse(head) = self.heap.peek()?;
+        if head.at > bound {
+            return None;
+        }
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+}
+
+/// Fewest buckets a calendar keeps (power of two).
+const MIN_BUCKETS: usize = 16;
+/// Bucket occupancy that triggers a width re-estimate: once a single
+/// bucket holds this many keys, mid-bucket insertion cost dominates and
+/// the width learned at the last rebuild no longer matches the live
+/// event-time distribution.
+const HOT_BUCKET: usize = 32;
+/// Widest bucket allowed: 2^40 µs ≈ 13 simulated days. Bounds the shift so
+/// window arithmetic stays far from `u64` overflow in practice.
+const MAX_SHIFT: u32 = 40;
+
+/// A self-resizing calendar queue (Brown 1988), specialised to the kernel's
+/// push-never-behind-the-clock discipline.
+///
+/// Events hash into `buckets.len()` (a power of two) circular buckets by
+/// `(at >> shift) & mask`, i.e. bucket widths are powers of two so the
+/// index math is a shift and a mask. Each bucket is a deque kept sorted
+/// descending by `(time, seq)`: the minimum pops from the back in O(1),
+/// and a key that is its bucket's new *maximum* — the dominant case both
+/// for monotone arrival and for same-timestamp FIFO bursts, where `seq`
+/// only ever grows — pushes at the front in O(1) instead of memmoving the
+/// bucket the way a sorted `Vec` would. A cursor
+/// walks the buckets window-by-window in time order; the first key found
+/// inside its bucket's active window is the global minimum. When a full
+/// sweep finds nothing "direct" (the queue is sparse or the next event is
+/// far ahead), a direct O(buckets) min-search jumps the cursor there — the
+/// classic fallback that keeps worst-case pops linear instead of unbounded.
+///
+/// The queue resizes itself on load: it doubles the bucket count when
+/// occupancy exceeds two keys per bucket and halves it when occupancy
+/// drops below one key per eight buckets, re-estimating the bucket width
+/// from the live keys' time span on every rebuild (see
+/// [`CalendarScheduler::rebuild`]). Resizing only redistributes keys — the
+/// pop order is fixed by the `(time, seq)` comparator alone, so sizing
+/// policy affects speed, never order.
+#[derive(Debug)]
+pub struct CalendarScheduler {
+    /// Each bucket sorted descending by `(at, seq)`: maximum at the front
+    /// (O(1) insertion of new maxima), minimum at the back (O(1) pops).
+    buckets: Vec<VecDeque<EventKey>>,
+    /// Bucket width is `1 << shift` microseconds.
+    shift: u32,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Queued key count.
+    len: usize,
+    /// Cursor: index of the bucket whose window the clock is in.
+    cur: usize,
+    /// Exclusive upper tick of `cur`'s active window.
+    window_end: u64,
+    /// Lower bound for all queued and future keys (last popped tick).
+    floor: u64,
+    /// Upper bound for all queued keys' ticks (exact after a rebuild, a
+    /// monotone overestimate between rebuilds — pops never raise it).
+    max_tick: u64,
+    /// Drain buffer reused across rebuilds, so redistributions recycle
+    /// both this and the buckets' own storage instead of reallocating.
+    scratch: Vec<EventKey>,
+}
+
+impl Default for CalendarScheduler {
+    fn default() -> Self {
+        CalendarScheduler::new()
+    }
+}
+
+impl CalendarScheduler {
+    /// An empty calendar with the minimum bucket count and a ~1 ms width.
+    #[must_use]
+    pub fn new() -> CalendarScheduler {
+        let shift = 10; // 1024 µs buckets until the first resize learns better.
+        CalendarScheduler {
+            buckets: vec![VecDeque::new(); MIN_BUCKETS],
+            shift,
+            mask: MIN_BUCKETS - 1,
+            len: 0,
+            cur: 0,
+            window_end: 1u64 << shift,
+            floor: 0,
+            max_tick: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current bucket count (diagnostic).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in microseconds (diagnostic).
+    #[must_use]
+    pub fn bucket_width_micros(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    #[inline]
+    fn bucket_of(&self, ticks: u64) -> usize {
+        ((ticks >> self.shift) as usize) & self.mask
+    }
+
+    /// Points the cursor at the bucket window containing `ticks`.
+    #[inline]
+    fn seek(&mut self, ticks: u64) {
+        self.cur = self.bucket_of(ticks);
+        self.window_end = (ticks >> self.shift)
+            .saturating_add(1)
+            .saturating_mul(1u64 << self.shift);
+        // saturating_mul keeps the bound meaningful near u64::MAX; keys out
+        // there are still found through the direct-search fallback.
+    }
+
+    /// Redistributes all keys over `new_buckets` buckets, re-estimating the
+    /// width so one sweep of the calendar covers the live keys' time span.
+    fn rebuild(&mut self, new_buckets: usize) {
+        let mut keys = std::mem::take(&mut self.scratch);
+        keys.clear();
+        keys.reserve(self.len);
+        for b in &mut self.buckets {
+            keys.extend(b.drain(..));
+        }
+        debug_assert_eq!(keys.len(), self.len);
+
+        // Width estimate: the average inter-event gap, rounded up to a
+        // power of two, times two — about one key per window on average.
+        // A degenerate span (all keys simultaneous) clamps to the same
+        // formula so the hot-bucket trigger below cannot fire repeatedly
+        // without the width actually changing.
+        if keys.len() >= 2 {
+            let min = keys.iter().map(|k| k.at.as_micros()).min().unwrap_or(0);
+            let max = keys.iter().map(|k| k.at.as_micros()).max().unwrap_or(0);
+            let span = (max - min).max(1);
+            let avg_gap = (span / keys.len() as u64).max(1);
+            let width = (avg_gap * 2).next_power_of_two();
+            self.shift = width.trailing_zeros().min(MAX_SHIFT);
+            self.max_tick = max;
+        }
+
+        // Drained buckets keep their capacity, so a same-size or shrinking
+        // redistribution is allocation-free at steady state.
+        let new_buckets = new_buckets.next_power_of_two().max(MIN_BUCKETS);
+        self.buckets.resize_with(new_buckets, VecDeque::new);
+        self.mask = new_buckets - 1;
+
+        // Descending insertion order leaves every bucket sorted descending.
+        keys.sort_unstable();
+        for key in keys.drain(..).rev() {
+            let idx = self.bucket_of(key.at.as_micros());
+            self.buckets[idx].push_back(key);
+        }
+        self.scratch = keys;
+        self.seek(self.floor);
+    }
+
+    /// Cheap width estimate from the tracked `[floor, max_tick]` bounds —
+    /// an overestimate of what [`CalendarScheduler::rebuild`] would pick,
+    /// so `estimated_width() < current` guarantees a rebuild narrows.
+    #[inline]
+    fn estimated_width(&self) -> u64 {
+        let span = self.max_tick.saturating_sub(self.floor).max(1);
+        ((span / self.len.max(1) as u64).max(1) * 2).next_power_of_two()
+    }
+}
+
+impl Scheduler for CalendarScheduler {
+    fn push(&mut self, key: EventKey) {
+        debug_assert!(
+            key.at.as_micros() >= self.floor,
+            "calendar push behind the clock"
+        );
+        self.max_tick = self.max_tick.max(key.at.as_micros());
+        let idx = self.bucket_of(key.at.as_micros());
+        let bucket = &mut self.buckets[idx];
+        // Descending order, maximum at the front. A key at or past the
+        // bucket's current maximum — monotone arrival, and every
+        // same-timestamp burst since `seq` only grows — is O(1); anything
+        // else binary-searches and pays the deque's min(front, back) shift.
+        // First touch of a bucket skips the smallest capacity doublings:
+        // as the cursor advances, every newly entered window grows a deque
+        // from scratch, and 1→2→4→… reallocations there are the dominant
+        // steady-state allocation source of the whole kernel.
+        if bucket.capacity() < 16 {
+            bucket.reserve(16);
+        }
+        match bucket.front() {
+            Some(front) if key.order() < front.order() => {
+                let pos = bucket.partition_point(|k| k.order() > key.order());
+                bucket.insert(pos, key);
+            }
+            _ => bucket.push_front(key),
+        }
+        let hot = bucket.len() > HOT_BUCKET;
+        self.len += 1;
+
+        if self.len > self.buckets.len() * 2 {
+            self.rebuild(self.buckets.len() * 2);
+        } else if hot && self.estimated_width() < (1u64 << self.shift) {
+            // A bucket overfilled and the live distribution supports
+            // narrower windows than the last rebuild chose (e.g. the width
+            // was learned from a sparse warm-up and the queue has since
+            // densified): redistribute at the same size. The narrower-only
+            // guard makes this convergent rather than a thrash loop.
+            self.rebuild(self.buckets.len());
+        }
+    }
+
+    fn pop_next_before(&mut self, bound: SimTime) -> Option<EventKey> {
+        if self.len == 0 {
+            return None;
+        }
+        // Walk windows in time order on scratch cursors; commit only when a
+        // key is actually popped, so a bounded miss leaves the cursor (and
+        // hence the not-behind-the-cursor push invariant) untouched.
+        let width = 1u64 << self.shift;
+        let mut cur = self.cur;
+        let mut window_end = self.window_end;
+        for _ in 0..self.buckets.len() {
+            if let Some(&key) = self.buckets[cur].back() {
+                if key.at.as_micros() < window_end {
+                    // First in-window key of the sweep = global minimum.
+                    if key.at > bound {
+                        return None;
+                    }
+                    self.cur = cur;
+                    self.window_end = window_end;
+                    return Some(self.take(cur));
+                }
+            }
+            cur = (cur + 1) & self.mask;
+            window_end = window_end.saturating_add(width);
+        }
+
+        // Sparse queue or a long event-free gap: find the minimum directly
+        // and jump the calendar to it.
+        let (idx, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.back().map(|&k| (i, k)))
+            .min_by_key(|&(_, k)| k.order())
+            .expect("len > 0 but all buckets empty");
+        let key = *self.buckets[idx].back().expect("checked non-empty");
+        if key.at > bound {
+            return None;
+        }
+        self.seek(key.at.as_micros());
+        Some(self.take(idx))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        let target = (self.len + additional).next_power_of_two();
+        if target > self.buckets.len() {
+            self.rebuild(target);
+        }
+    }
+}
+
+impl CalendarScheduler {
+    /// Pops the back (minimum) of bucket `idx`, maintaining counters.
+    #[inline]
+    fn take(&mut self, idx: usize) -> EventKey {
+        let key = self.buckets[idx].pop_back().expect("bucket empty in take");
+        self.len -= 1;
+        self.floor = key.at.as_micros();
+        if self.len < self.buckets.len() / 8 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        key
+    }
+}
+
+/// Enum-dispatched scheduler used by the kernel (avoids a virtual call per
+/// push/pop on the hottest path in the workspace).
+#[derive(Debug)]
+pub(crate) enum SchedulerImpl {
+    Heap(HeapScheduler),
+    Calendar(CalendarScheduler),
+}
+
+impl SchedulerImpl {
+    pub(crate) fn new(kind: SchedulerKind) -> SchedulerImpl {
+        match kind {
+            SchedulerKind::Heap => SchedulerImpl::Heap(HeapScheduler::new()),
+            SchedulerKind::Calendar => SchedulerImpl::Calendar(CalendarScheduler::new()),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> SchedulerKind {
+        match self {
+            SchedulerImpl::Heap(_) => SchedulerKind::Heap,
+            SchedulerImpl::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, key: EventKey) {
+        match self {
+            SchedulerImpl::Heap(s) => s.push(key),
+            SchedulerImpl::Calendar(s) => s.push(key),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop_next_before(&mut self, bound: SimTime) -> Option<EventKey> {
+        match self {
+            SchedulerImpl::Heap(s) => s.pop_next_before(bound),
+            SchedulerImpl::Calendar(s) => s.pop_next_before(bound),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SchedulerImpl::Heap(s) => s.len(),
+            SchedulerImpl::Calendar(s) => s.len(),
+        }
+    }
+
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        match self {
+            SchedulerImpl::Heap(s) => s.reserve(additional),
+            SchedulerImpl::Calendar(s) => s.reserve(additional),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at_us: u64, seq: u64) -> EventKey {
+        EventKey {
+            at: SimTime::from_micros(at_us),
+            seq,
+            slot: seq as u32,
+        }
+    }
+
+    fn drain(s: &mut impl Scheduler) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(k) = s.pop_next_before(SimTime::MAX) {
+            out.push((k.at.as_micros(), k.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn heap_orders_by_time_then_seq() {
+        let mut s = HeapScheduler::new();
+        s.push(key(50, 2));
+        s.push(key(10, 1));
+        s.push(key(50, 0));
+        assert_eq!(drain(&mut s), vec![(10, 1), (50, 0), (50, 2)]);
+    }
+
+    #[test]
+    fn calendar_orders_by_time_then_seq() {
+        let mut s = CalendarScheduler::new();
+        s.push(key(50, 2));
+        s.push(key(10, 1));
+        s.push(key(50, 0));
+        assert_eq!(drain(&mut s), vec![(10, 1), (50, 0), (50, 2)]);
+    }
+
+    #[test]
+    fn bounded_pop_leaves_future_events_queued() {
+        for sched in [
+            &mut SchedulerImpl::new(SchedulerKind::Heap),
+            &mut SchedulerImpl::new(SchedulerKind::Calendar),
+        ] {
+            sched.push(key(1_000, 0));
+            sched.push(key(9_000_000, 1));
+            assert_eq!(
+                sched.pop_next_before(SimTime::from_micros(5_000)),
+                Some(key(1_000, 0))
+            );
+            assert_eq!(sched.pop_next_before(SimTime::from_micros(5_000)), None);
+            assert_eq!(sched.len(), 1);
+            assert_eq!(
+                sched.pop_next_before(SimTime::MAX),
+                Some(key(9_000_000, 1))
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_resizes_under_load_and_preserves_order() {
+        let mut s = CalendarScheduler::new();
+        // A big same-timestamp burst plus a long sparse tail: exercises
+        // growth, the direct-search fallback, and shrink on drain.
+        let mut expect = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..500u64 {
+            s.push(key(7_777, seq));
+            expect.push((7_777, seq));
+            seq += 1;
+            s.push(key(i * 1_000_003, seq));
+            expect.push((i * 1_000_003, seq));
+            seq += 1;
+        }
+        assert!(s.bucket_count() > MIN_BUCKETS);
+        let mut got = drain(&mut s);
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(s.bucket_count(), MIN_BUCKETS);
+    }
+
+    #[test]
+    fn calendar_drains_in_global_order() {
+        let mut s = CalendarScheduler::new();
+        let times = [
+            0u64,
+            1,
+            1,
+            1_000_000,
+            1_000_000,
+            999,
+            1_024,
+            1_025,
+            u64::from(u32::MAX),
+            50,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            s.push(key(t, i as u64));
+        }
+        let got = drain(&mut s);
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut s = CalendarScheduler::new();
+        s.push(key(100, 0));
+        s.push(key(200, 1));
+        assert_eq!(s.pop_next_before(SimTime::MAX), Some(key(100, 0)));
+        // Pushes at the popped time (zero-delay timers) must order after
+        // nothing and before the later event.
+        s.push(key(100, 2));
+        s.push(key(150, 3));
+        assert_eq!(s.pop_next_before(SimTime::MAX), Some(key(100, 2)));
+        assert_eq!(s.pop_next_before(SimTime::MAX), Some(key(150, 3)));
+        assert_eq!(s.pop_next_before(SimTime::MAX), Some(key(200, 1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reserve_pre_grows_the_calendar() {
+        let mut s = CalendarScheduler::new();
+        s.reserve(10_000);
+        assert!(s.bucket_count() >= 10_000 / 2);
+        let before = s.bucket_count();
+        for i in 0..5_000u64 {
+            s.push(key(i * 17, i));
+        }
+        assert_eq!(s.bucket_count(), before, "no growth rebuild after reserve");
+    }
+
+    #[test]
+    fn kind_from_env_labels() {
+        assert_eq!(SchedulerKind::Heap.label(), "heap");
+        assert_eq!(SchedulerKind::Calendar.label(), "calendar");
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
+    }
+}

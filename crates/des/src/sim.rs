@@ -1,12 +1,11 @@
 //! The event loop: actors, the network medium, monitors and the scheduler.
 
-use crate::SimTime;
+use crate::sched::{EventKey, SchedulerImpl};
+use crate::{SchedulerKind, SimTime};
 use plsim_telemetry::{Counter, Gauge, MetricsRegistry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Identifier of a node (actor) inside one simulation.
@@ -230,30 +229,59 @@ enum EventPayload<P> {
     Fault(FaultEvent),
 }
 
-struct QueuedEvent<P> {
-    at: SimTime,
-    seq: u64,
+/// Body of a queued event; ordering lives in the scheduler's [`EventKey`].
+struct EventBody<P> {
     to: NodeId,
     from: Option<NodeId>,
     payload: EventPayload<P>,
     size: u32,
 }
 
-impl<P> PartialEq for QueuedEvent<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Free-list slot pool for event bodies.
+///
+/// Every queued event owns one slot, addressed by the `slot` field of its
+/// scheduler key. Slots are recycled on pop, so once the pool has grown to
+/// the queue's high-water mark the steady-state event loop performs no
+/// allocations: push writes into a recycled slot, the scheduler moves a
+/// 24-byte `Copy` key, and pop moves the body back out.
+struct EventPool<P> {
+    slots: Vec<Option<EventBody<P>>>,
+    free: Vec<u32>,
 }
-impl<P> Eq for QueuedEvent<P> {}
-impl<P> PartialOrd for QueuedEvent<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<P> EventPool<P> {
+    fn new() -> EventPool<P> {
+        EventPool {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
     }
-}
-impl<P> Ord for QueuedEvent<P> {
-    // Reversed so that the std max-heap pops the earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    /// Stores `body`, returning its slot index.
+    fn insert(&mut self, body: EventBody<P>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(body);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("event pool exhausted u32 slots");
+            self.slots.push(Some(body));
+            idx
+        }
+    }
+
+    /// Moves the body out of `slot` and recycles the slot.
+    fn take(&mut self, slot: u32) -> EventBody<P> {
+        let body = self.slots[slot as usize]
+            .take()
+            .expect("scheduler key points at an empty pool slot");
+        self.free.push(slot);
+        body
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.free.reserve(additional);
     }
 }
 
@@ -311,7 +339,8 @@ pub struct SimStats {
 /// ```
 pub struct Simulation<P> {
     now: SimTime,
-    queue: BinaryHeap<QueuedEvent<P>>,
+    sched: SchedulerImpl,
+    pool: EventPool<P>,
     actors: Vec<Option<Box<dyn Actor<P>>>>,
     medium: Box<dyn Medium<P>>,
     monitor: Box<dyn Monitor<P>>,
@@ -333,7 +362,9 @@ impl<P> Simulation<P> {
     /// Creates an empty simulation with the given RNG `seed` and network
     /// `medium`, observed by no monitor. Kernel counters go to a private
     /// [`MetricsRegistry`]; use [`Simulation::with_registry`] to share one
-    /// across layers.
+    /// across layers. Events are ordered by the default scheduler
+    /// ([`SchedulerKind::Calendar`]); use [`Simulation::with_scheduler`]
+    /// to pick the reference heap instead.
     pub fn new(seed: u64, medium: impl Medium<P> + 'static) -> Self {
         Self::with_registry(seed, medium, MetricsRegistry::new())
     }
@@ -346,9 +377,22 @@ impl<P> Simulation<P> {
         medium: impl Medium<P> + 'static,
         registry: MetricsRegistry,
     ) -> Self {
+        Self::with_scheduler(seed, medium, registry, SchedulerKind::default())
+    }
+
+    /// Full-control constructor: shared `registry` plus an explicit event
+    /// scheduler. Both schedulers realise the same `(time, seq)` pop order,
+    /// so the choice affects speed, never results.
+    pub fn with_scheduler(
+        seed: u64,
+        medium: impl Medium<P> + 'static,
+        registry: MetricsRegistry,
+        scheduler: SchedulerKind,
+    ) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            sched: SchedulerImpl::new(scheduler),
+            pool: EventPool::new(),
             actors: Vec::new(),
             medium: Box::new(medium),
             monitor: Box::new(NullMonitor),
@@ -369,6 +413,12 @@ impl<P> Simulation<P> {
     #[must_use]
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// Which scheduler this simulation orders events with.
+    #[must_use]
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.sched.kind()
     }
 
     /// Installs a traffic monitor, replacing any previous one.
@@ -437,10 +487,11 @@ impl<P> Simulation<P> {
     /// Pre-reserves queue capacity for at least `additional` more events.
     ///
     /// Harnesses call this after registering actors (each live node keeps a
-    /// handful of timers and in-flight messages queued) so the event heap
-    /// reaches steady-state capacity without growth reallocations.
+    /// handful of timers and in-flight messages queued) so the scheduler and
+    /// event pool reach steady-state capacity without growth reallocations.
     pub fn reserve_events(&mut self, additional: usize) {
-        self.queue.reserve(additional);
+        self.sched.reserve(additional);
+        self.pool.reserve(additional);
     }
 
     fn push(
@@ -453,29 +504,27 @@ impl<P> Simulation<P> {
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(QueuedEvent {
-            at,
-            seq,
+        let slot = self.pool.insert(EventBody {
             to,
             from,
             payload,
             size,
         });
+        self.sched.push(EventKey { at, seq, slot });
         // The queue only reaches a new high-water mark right after a push,
         // so updating the gauge here (not on pop) preserves the peak.
-        self.queue_depth.set(self.queue.len() as u64);
+        self.queue_depth.set(self.sched.len() as u64);
     }
 
     /// Runs until the queue drains, an actor halts the simulation, or the
     /// next event would be later than `end`. Returns the stats at exit.
     pub fn run_until(&mut self, end: SimTime) -> SimStats {
         while !self.halted {
-            let Some(head) = self.queue.peek() else { break };
-            if head.at > end {
+            let Some(key) = self.sched.pop_next_before(end) else {
                 break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
-            self.now = ev.at;
+            };
+            let ev = self.pool.take(key.slot);
+            self.now = key.at;
             self.events_processed.inc();
 
             let payload = match ev.payload {
@@ -566,8 +615,9 @@ impl<P> fmt::Debug for Simulation<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
+            .field("scheduler", &self.sched.kind().label())
             .field("actors", &self.actors.len())
-            .field("queued", &self.queue.len())
+            .field("queued", &self.sched.len())
             .field("stats", &self.stats())
             .finish()
     }

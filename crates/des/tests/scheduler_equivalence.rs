@@ -1,0 +1,198 @@
+//! Property tests proving the heap and calendar schedulers are
+//! observationally identical: same `(time, seq, to)` pop sequences for
+//! arbitrary interleaved push/pop workloads (including same-timestamp
+//! bursts), and bit-identical full-simulation outcomes with faults.
+
+use plsim_des::{
+    Actor, CalendarScheduler, Context, EventKey, FaultEvent, FixedDelay, HeapScheduler, Monitor,
+    NodeId, Scheduler, SchedulerKind, SimTime, Simulation,
+};
+use plsim_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// One step of a raw scheduler workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event at the given microsecond offset past the clock floor.
+    Push(u64),
+    /// Pop with a bound the given microseconds past the clock floor.
+    PopBefore(u64),
+    /// Pop unbounded.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Zero/tiny offsets exercise same-timestamp bursts and the
+    // zero-delay-timer path; large offsets exercise sparse sweeps and the
+    // direct-search fallback. Push arms outnumber pops so queues deepen.
+    prop_oneof![
+        Just(Op::Push(0)),
+        (1u64..100).prop_map(Op::Push),
+        (100u64..1_000_000).prop_map(Op::Push),
+        (1_000_000u64..10_000_000_000).prop_map(Op::Push),
+        (0u64..2_000_000).prop_map(Op::PopBefore),
+        Just(Op::Pop),
+    ]
+}
+
+/// Drives one scheduler through the ops, enforcing the kernel's discipline
+/// (pushes never behind the last popped time), and returns the pop trace.
+fn drive(sched: &mut impl Scheduler, ops: &[Op]) -> Vec<Option<(u64, u64, u32)>> {
+    let mut floor = 0u64;
+    let mut seq = 0u64;
+    let mut trace = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            Op::Push(offset) => {
+                sched.push(EventKey {
+                    at: SimTime::from_micros(floor + offset),
+                    seq,
+                    slot: seq as u32,
+                });
+                seq += 1;
+            }
+            Op::PopBefore(margin) => {
+                let got = sched.pop_next_before(SimTime::from_micros(floor + margin));
+                if let Some(k) = got {
+                    floor = k.at.as_micros();
+                }
+                trace.push(got.map(|k| (k.at.as_micros(), k.seq, k.slot)));
+            }
+            Op::Pop => {
+                let got = sched.pop_next_before(SimTime::MAX);
+                if let Some(k) = got {
+                    floor = k.at.as_micros();
+                }
+                trace.push(got.map(|k| (k.at.as_micros(), k.seq, k.slot)));
+            }
+        }
+    }
+    // Drain what is left so every pushed key is accounted for.
+    while let Some(k) = sched.pop_next_before(SimTime::MAX) {
+        trace.push(Some((k.at.as_micros(), k.seq, k.slot)));
+    }
+    trace
+}
+
+/// One observed delivery: arrival time, sender, payload.
+type Delivery = (SimTime, Option<NodeId>, u64);
+
+/// Records every delivery a node observes, with timestamps.
+struct Recorder {
+    log: Arc<Mutex<Vec<Delivery>>>,
+    /// Forward even payloads to the next node with a payload-derived delay,
+    /// so the two simulations exercise sends, timers and bursts.
+    next: NodeId,
+}
+
+impl Actor<u64> for Recorder {
+    fn on_event(&mut self, ctx: &mut Context<'_, u64>, from: Option<NodeId>, payload: u64) {
+        self.log.lock().unwrap().push((ctx.now(), from, payload));
+        if payload > 0 {
+            if payload.is_multiple_of(2) {
+                ctx.send(self.next, payload - 1, 64);
+            } else {
+                ctx.schedule(SimTime::from_micros(payload % 977), payload - 1);
+            }
+        }
+    }
+}
+
+/// Captures the interleaving of traffic and fault markers.
+#[derive(Clone, Default)]
+struct FaultTap {
+    seen: Arc<Mutex<Vec<(SimTime, String, bool)>>>,
+}
+
+impl Monitor<u64> for FaultTap {
+    fn on_fault(&mut self, now: SimTime, fault: &FaultEvent) {
+        self.seen
+            .lock()
+            .unwrap()
+            .push((now, fault.label.clone(), fault.begins));
+    }
+}
+
+type SimTrace = (
+    Vec<Delivery>,
+    Vec<(SimTime, String, bool)>,
+    plsim_des::SimStats,
+    SimTime,
+);
+
+/// Runs the same injected workload (messages + faults) under one scheduler.
+fn run_sim(kind: SchedulerKind, events: &[(u64, u64)], faults: &[(u64, bool)]) -> SimTrace {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let tap = FaultTap::default();
+    let mut sim: Simulation<u64> = Simulation::with_scheduler(
+        7,
+        FixedDelay(SimTime::from_micros(137)),
+        MetricsRegistry::new(),
+        kind,
+    );
+    assert_eq!(sim.scheduler_kind(), kind);
+    let a = sim.add_actor(Box::new(Recorder {
+        log: log.clone(),
+        next: NodeId(1),
+    }));
+    let b = sim.add_actor(Box::new(Recorder {
+        log: log.clone(),
+        next: NodeId(0),
+    }));
+    sim.set_monitor(tap.clone());
+    for (i, &(at, payload)) in events.iter().enumerate() {
+        let to = if i % 2 == 0 { a } else { b };
+        sim.inject(SimTime::from_micros(at), to, None, payload, 0);
+    }
+    for &(at, begins) in faults {
+        let ev = if begins {
+            FaultEvent::begin("blip")
+        } else {
+            FaultEvent::end("blip")
+        };
+        sim.inject_fault(SimTime::from_micros(at), ev);
+    }
+    let stats = sim.run_until(SimTime::from_secs(3_600));
+    let now = sim.now();
+    drop(sim);
+    let log = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+    let seen = tap.seen.lock().unwrap().clone();
+    (log, seen, stats, now)
+}
+
+proptest! {
+    /// Raw schedulers: identical pop traces for arbitrary interleaved
+    /// push/pop workloads, including same-timestamp bursts and bounded
+    /// pops that leave the queue untouched.
+    #[test]
+    fn heap_and_calendar_pop_identically(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let heap_trace = drive(&mut HeapScheduler::new(), &ops);
+        let cal_trace = drive(&mut CalendarScheduler::new(), &ops);
+        prop_assert_eq!(heap_trace, cal_trace);
+    }
+
+    /// Same-timestamp bursts pop in seq order under both schedulers.
+    #[test]
+    fn equal_time_bursts_preserve_seq_order(n in 1usize..300, at in 0u64..5_000_000) {
+        let ops: Vec<Op> = std::iter::repeat_with(|| Op::Push(at)).take(n).collect();
+        let heap_trace = drive(&mut HeapScheduler::new(), &ops);
+        let cal_trace = drive(&mut CalendarScheduler::new(), &ops);
+        prop_assert_eq!(&heap_trace, &cal_trace);
+        let seqs: Vec<u64> = heap_trace.iter().flatten().map(|&(_, s, _)| s).collect();
+        prop_assert_eq!(seqs, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Full simulations — sends, timers, and `inject_fault` events — are
+    /// bit-identical under both schedulers: same delivery log, same fault
+    /// interleaving, same kernel counters, same final clock.
+    #[test]
+    fn simulations_are_bit_identical_across_schedulers(
+        events in proptest::collection::vec((0u64..60_000_000, 0u64..40), 1..60),
+        faults in proptest::collection::vec((0u64..60_000_000, any::<bool>()), 0..10),
+    ) {
+        let heap = run_sim(SchedulerKind::Heap, &events, &faults);
+        let calendar = run_sim(SchedulerKind::Calendar, &events, &faults);
+        prop_assert_eq!(heap, calendar);
+    }
+}

@@ -10,7 +10,7 @@ use crate::{
     BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer,
 };
 use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceStore};
-use plsim_des::{FaultEvent, NodeId, SimStats, SimTime, Simulation};
+use plsim_des::{FaultEvent, NodeId, SchedulerKind, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
 use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
 use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
@@ -79,6 +79,10 @@ pub struct WorldConfig {
     /// inbound traffic). Probes are never NATed, matching the study's
     /// directly-connected measurement hosts.
     pub nat_fraction: f64,
+    /// Which kernel event scheduler the run uses. Defaults to the
+    /// `PLSIM_SCHED` environment variable (i.e. the calendar queue unless
+    /// `PLSIM_SCHED=heap`); either choice produces bit-identical output.
+    pub scheduler: SchedulerKind,
 }
 
 impl WorldConfig {
@@ -95,6 +99,7 @@ impl WorldConfig {
             peer_config: PeerConfig::default(),
             faults: FaultPlan::new(),
             nat_fraction: 0.0,
+            scheduler: SchedulerKind::from_env(),
         }
     }
 }
@@ -188,7 +193,7 @@ impl World {
             .with_faults(cfg.faults.link_faults());
         underlay.attach_metrics(&registry);
         let mut sim: Simulation<Message> =
-            Simulation::with_registry(cfg.seed, underlay, registry.clone());
+            Simulation::with_scheduler(cfg.seed, underlay, registry.clone(), cfg.scheduler);
         sim.set_monitor(tap.clone());
 
         let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
