@@ -1,8 +1,9 @@
 //! Microbenchmarks of the substrate: DES event throughput (shallow ring
-//! and deep queue, heap vs calendar scheduler), the underlay medium, the
-//! statistics kernels, and the parallel experiment engine — plus the
-//! machine-readable `BENCH_engine.json` summary (see
-//! [`plsim_bench::EngineReport`]).
+//! and deep queue, heap vs calendar scheduler), the node-layer message
+//! path (owned vs arena-interned peer lists, plus a small live gossip
+//! world), the underlay medium, the statistics kernels, and the parallel
+//! experiment engine — plus the machine-readable `BENCH_engine.json`
+//! summary (see [`plsim_bench::EngineReport`]).
 //!
 //! This binary installs a counting global allocator so the report can
 //! state how many heap allocations the kernel's steady-state hot loop
@@ -20,12 +21,15 @@ use plsim_des::{
     Actor, Context, FixedDelay, Medium, NodeId, SchedulerKind, SimStats, SimTime, Simulation,
 };
 use plsim_net::{AsnDirectory, BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
+use plsim_node::{BootstrapServer, PeerConfig, PeerNode, StatsSink, TrackerServer};
+use plsim_proto::{ChannelId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind};
 use plsim_stats::{ecdf, pearson, stretched_exp_fit};
 use plsim_telemetry::MetricsRegistry;
 use pplive_locality::{JobPool, Scale, Suite};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,6 +149,219 @@ fn deep_queue_run(kind: SchedulerKind) -> (SimStats, f64) {
     (stats, start.elapsed().as_secs_f64())
 }
 
+/// Actors in the node-layer peer-list ring.
+const LIST_ACTORS: u32 = 32;
+/// Peer-list messages each ring variant forwards through the kernel.
+const LIST_MSGS: u64 = 262_144;
+/// Messages kept in flight around the ring.
+const LIST_TOKENS: u32 = 64;
+
+/// How a [`ListRelay`] builds the peer list it encloses in each reply.
+enum ListPayload {
+    /// The pre-arena gossip reply path: collect the neighbor set into a
+    /// fresh `Vec`, sort it into protocol order, and move the owned list
+    /// into the message — two heap allocations plus an `O(n log n)` sort
+    /// per reply, all of which the message path used to pay.
+    Owned(Vec<PeerEntry>),
+    /// The zero-copy path: the list was interned once at connect time and
+    /// every reply clones the arena handle (a refcount bump).
+    Arena(SharedPeerList),
+}
+
+impl ListPayload {
+    fn to_message_list(&self) -> SharedPeerList {
+        match self {
+            ListPayload::Owned(entries) => {
+                let mut sorted = entries.clone();
+                sorted.sort_by_key(|e| e.node);
+                sorted.into_iter().collect()
+            }
+            ListPayload::Arena(list) => list.clone(),
+        }
+    }
+}
+
+/// Node-layer workload actor: answers every peer-list reply with another
+/// full-sized reply to the next ring member, exactly the request/response
+/// shape the gossip hot loop keeps the kernel in.
+struct ListRelay {
+    next: NodeId,
+    remaining: u64,
+    payload: ListPayload,
+}
+
+impl Actor<Message> for ListRelay {
+    fn on_event(&mut self, ctx: &mut Context<'_, Message>, _from: Option<NodeId>, msg: Message) {
+        if let Message::PeerListResponse { channel, req_id, .. } = msg {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let reply = Message::PeerListResponse {
+                    channel,
+                    peers: self.payload.to_message_list(),
+                    req_id: req_id.wrapping_add(1),
+                };
+                let size = reply.wire_size();
+                ctx.send(self.next, reply, size);
+            }
+        }
+    }
+}
+
+/// The 60-entry (maximum-length) list every ring actor replies with.
+fn full_list_entries() -> Vec<PeerEntry> {
+    (0..plsim_proto::PeerList::MAX_LEN as u32)
+        .map(|i| PeerEntry::new(NodeId(i), Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1)))
+        .collect()
+}
+
+/// Builds the peer-list ring with all tokens injected. `arena` selects the
+/// zero-copy variant; `None` replays the owned (pre-arena) reply path.
+fn list_ring_sim(arena: Option<&PeerListArena>) -> Simulation<Message> {
+    let entries = full_list_entries();
+    let mut sim: Simulation<Message> = Simulation::new(1, FixedDelay(SimTime::from_micros(10)));
+    let ids: Vec<NodeId> = (0..LIST_ACTORS)
+        .map(|i| {
+            let payload = match arena {
+                Some(a) => ListPayload::Arena(a.intern(entries.iter().copied())),
+                None => ListPayload::Owned(entries.clone()),
+            };
+            sim.add_actor(Box::new(ListRelay {
+                next: NodeId((i + 1) % LIST_ACTORS),
+                remaining: LIST_MSGS / u64::from(LIST_ACTORS),
+                payload,
+            }))
+        })
+        .collect();
+    sim.reserve_events(LIST_TOKENS as usize + 16);
+    for t in 0..LIST_TOKENS {
+        let peers: SharedPeerList = match arena {
+            Some(a) => a.intern(entries.iter().copied()),
+            None => entries.iter().copied().collect(),
+        };
+        let msg = Message::PeerListResponse {
+            channel: ChannelId(1),
+            peers,
+            req_id: u64::from(t),
+        };
+        let size = msg.wire_size();
+        sim.inject(
+            SimTime::from_micros(u64::from(t)),
+            ids[(t % LIST_ACTORS) as usize],
+            None,
+            msg,
+            size,
+        );
+    }
+    sim
+}
+
+/// One peer-list ring run; returns the kernel counters (identical across
+/// variants) and the run-phase wall clock.
+fn list_ring_run(zero_copy: bool) -> (SimStats, f64) {
+    let arena = PeerListArena::new();
+    let mut sim = list_ring_sim(zero_copy.then_some(&arena));
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::MAX);
+    (stats, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`n` wall clock for one peer-list ring variant.
+fn best_list_wall(zero_copy: bool, n: usize) -> (SimStats, f64) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..n {
+        let (s, wall) = list_ring_run(zero_copy);
+        if let Some(prev) = &stats {
+            assert_eq!(prev, &s, "peer-list ring diverged across repeats");
+        }
+        stats = Some(s);
+        best = best.min(wall);
+    }
+    (stats.expect("at least one run"), best)
+}
+
+/// Runs a small but complete gossip world — one source, one tracker, a
+/// bootstrap server, and 32 joining viewers on a real underlay — for five
+/// simulated minutes, and returns the number of gossip peer-list requests
+/// the population issued plus the wall clock of the run.
+fn gossip_world_run() -> (u64, f64) {
+    const VIEWERS: u32 = 32;
+    let channel = ChannelId(1);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut topo = TopologyBuilder::new();
+    let source_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+    let bootstrap_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+    let tracker_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut rng);
+    let viewer_ids: Vec<NodeId> = (0..VIEWERS)
+        .map(|_| topo.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng))
+        .collect();
+    let topology = Arc::new(topo.build());
+    let entry = |n: NodeId| PeerEntry::new(n, topology.host(n).ip);
+
+    let mut sim: Simulation<Message> =
+        Simulation::new(42, Underlay::new(Arc::clone(&topology), LinkModel::default()));
+    let registry = MetricsRegistry::new();
+    let arena = PeerListArena::new();
+    let tracker_entries = vec![entry(tracker_id)];
+
+    let mut source = PeerNode::source(
+        PeerConfig::default(),
+        channel,
+        entry(source_id),
+        tracker_entries.clone(),
+        Arc::clone(&topology),
+        StatsSink::new(),
+    );
+    source.attach_metrics(&registry);
+    source.attach_arena(&arena);
+    assert_eq!(sim.add_actor(Box::new(source)), source_id);
+
+    let mut bootstrap = BootstrapServer::new();
+    bootstrap.add_channel(channel, tracker_entries);
+    assert_eq!(sim.add_actor(Box::new(bootstrap)), bootstrap_id);
+
+    let mut tracker = TrackerServer::new(Arc::clone(&topology));
+    tracker.attach_arena(&arena);
+    assert_eq!(sim.add_actor(Box::new(tracker)), tracker_id);
+
+    for (i, &v) in viewer_ids.iter().enumerate() {
+        let mut peer = PeerNode::viewer(
+            PeerConfig::default(),
+            channel,
+            entry(v),
+            bootstrap_id,
+            Arc::clone(&topology),
+            StatsSink::new(),
+        );
+        peer.attach_metrics(&registry);
+        peer.attach_arena(&arena);
+        assert_eq!(sim.add_actor(Box::new(peer)), v);
+        sim.inject(
+            SimTime::from_millis(250 * i as u64),
+            v,
+            None,
+            Message::Timer(TimerKind::Join),
+            0,
+        );
+    }
+    sim.inject(
+        SimTime::ZERO,
+        source_id,
+        None,
+        Message::Timer(TimerKind::Join),
+        0,
+    );
+
+    let start = Instant::now();
+    let _ = sim.run_until(SimTime::from_secs(300));
+    let wall = start.elapsed().as_secs_f64();
+    let ticks = registry
+        .snapshot()
+        .counter("node.gossip_requests_sent")
+        .unwrap_or(0);
+    (ticks, wall)
+}
+
 fn des_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.bench_function("des_100k_events", |b| {
@@ -206,6 +423,21 @@ fn des_throughput(c: &mut Criterion) {
     let xs: Vec<f64> = (0..1000).map(f64::from).collect();
     g.bench_function("pearson_1000", |b| {
         b.iter(|| black_box(pearson(black_box(&xs), black_box(&data))))
+    });
+    g.finish();
+}
+
+fn node_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_layer");
+    g.sample_size(10);
+    g.bench_function("peer_list_ring_arena", |b| {
+        b.iter(|| black_box(list_ring_run(true)))
+    });
+    g.bench_function("peer_list_ring_owned", |b| {
+        b.iter(|| black_box(list_ring_run(false)))
+    });
+    g.bench_function("gossip_world_300s", |b| {
+        b.iter(|| black_box(gossip_world_run()))
     });
     g.finish();
 }
@@ -317,6 +549,33 @@ fn engine_report(test_mode: bool) {
 
     let (row_bytes, columnar_bytes, row_analysis_s, columnar_analysis_s) = columnar_vs_row(&seq);
 
+    // Node-layer message path: the same full-sized peer-list reply ring
+    // under the owned (pre-arena) and zero-copy list representations. Both
+    // variants must drive the kernel through the identical event sequence.
+    let (owned_stats, owned_wall) = best_list_wall(false, repeats);
+    let (arena_stats, arena_wall) = best_list_wall(true, repeats);
+    assert_eq!(
+        owned_stats, arena_stats,
+        "owned and zero-copy peer-list rings disagreed on the workload"
+    );
+    let node_msgs_per_sec = arena_stats.events_processed as f64 / arena_wall;
+    let node_msgs_per_sec_owned = owned_stats.events_processed as f64 / owned_wall;
+
+    // Steady-state allocations of the zero-copy ring, measured over the
+    // sustained mid-run window (the first 5 simulated ms warm the event
+    // pool and the ring's scratch capacities).
+    let arena = PeerListArena::new();
+    let mut sim = list_ring_sim(Some(&arena));
+    let _ = sim.run_until(SimTime::from_micros(5_000));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let _ = sim.run_until(SimTime::from_micros(30_000));
+    let node_steady_state_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let _ = sim.run_until(SimTime::MAX);
+    drop(sim);
+
+    let (gossip_ticks, gossip_wall) = gossip_world_run();
+    let node_gossip_ticks_per_sec = gossip_ticks as f64 / gossip_wall;
+
     let report = EngineReport {
         events_processed: cal_stats.events_processed,
         events_per_sec: events_per_sec_calendar,
@@ -337,12 +596,19 @@ fn engine_report(test_mode: bool) {
         columnar_bytes,
         row_analysis_s,
         columnar_analysis_s,
+        node_msgs_per_sec,
+        node_msgs_per_sec_owned,
+        node_list_speedup: node_msgs_per_sec / node_msgs_per_sec_owned,
+        node_gossip_ticks_per_sec,
+        node_steady_state_allocs,
     };
     match write_engine_report(&report) {
         Ok(path) => println!(
             "engine report: {:.0} events/sec calendar vs {:.0} heap ({:.2}x), \
              depth {}, {} run-phase allocs, {} threads (inline_fallback {}), \
-             speedup {:.2}, capture {} -> {} bytes, analysis {:.4}s -> {:.4}s -> {}",
+             speedup {:.2}, capture {} -> {} bytes, analysis {:.4}s -> {:.4}s, \
+             node ring {:.0} vs {:.0} msgs/sec ({:.2}x, {} allocs), \
+             gossip {:.0} ticks/sec -> {}",
             report.events_per_sec_calendar,
             report.events_per_sec_heap,
             report.calendar_speedup,
@@ -355,6 +621,11 @@ fn engine_report(test_mode: bool) {
             report.columnar_bytes,
             report.row_analysis_s,
             report.columnar_analysis_s,
+            report.node_msgs_per_sec,
+            report.node_msgs_per_sec_owned,
+            report.node_list_speedup,
+            report.node_steady_state_allocs,
+            report.node_gossip_ticks_per_sec,
             path.display()
         ),
         Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),
@@ -430,7 +701,7 @@ fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64) {
     )
 }
 
-criterion_group!(benches, des_throughput, parallel_engine);
+criterion_group!(benches, des_throughput, node_layer, parallel_engine);
 
 fn main() {
     let mut c = Criterion::from_args();

@@ -81,6 +81,22 @@ pub struct EngineReport {
     /// Wall-clock seconds for the same analysis streaming the columnar
     /// store's row cursors in place.
     pub columnar_analysis_s: f64,
+    /// Node-layer peer-list ring throughput with arena-interned
+    /// (zero-copy) lists, messages per wall-clock second.
+    pub node_msgs_per_sec: f64,
+    /// Same ring with the pre-arena owned path: each reply rebuilds,
+    /// sorts, and moves a fresh owned list into the message.
+    pub node_msgs_per_sec_owned: f64,
+    /// `node_msgs_per_sec / node_msgs_per_sec_owned`.
+    pub node_list_speedup: f64,
+    /// Gossip peer-list requests issued per wall-clock second by a small
+    /// live world (source, tracker, bootstrap, 32 viewers) simulated for
+    /// five minutes.
+    pub node_gossip_ticks_per_sec: f64,
+    /// Heap allocations in the zero-copy ring's sustained mid-run window
+    /// (simulated 5–30 ms) — the node message path's steady-state
+    /// allocation count.
+    pub node_steady_state_allocs: u64,
 }
 
 impl EngineReport {
@@ -113,7 +129,12 @@ impl EngineReport {
                 "  \"row_bytes\": {},\n",
                 "  \"columnar_bytes\": {},\n",
                 "  \"row_analysis_s\": {:.4},\n",
-                "  \"columnar_analysis_s\": {:.4}\n",
+                "  \"columnar_analysis_s\": {:.4},\n",
+                "  \"node_msgs_per_sec\": {:.1},\n",
+                "  \"node_msgs_per_sec_owned\": {:.1},\n",
+                "  \"node_list_speedup\": {:.3},\n",
+                "  \"node_gossip_ticks_per_sec\": {:.1},\n",
+                "  \"node_steady_state_allocs\": {}\n",
                 "}}\n"
             ),
             self.events_processed,
@@ -135,6 +156,11 @@ impl EngineReport {
             self.columnar_bytes,
             self.row_analysis_s,
             self.columnar_analysis_s,
+            self.node_msgs_per_sec,
+            self.node_msgs_per_sec_owned,
+            self.node_list_speedup,
+            self.node_gossip_ticks_per_sec,
+            self.node_steady_state_allocs,
         )
     }
 }
@@ -182,6 +208,11 @@ mod tests {
             columnar_bytes: 1_200_000,
             row_analysis_s: 0.5,
             columnar_analysis_s: 0.2,
+            node_msgs_per_sec: 3.0e6,
+            node_msgs_per_sec_owned: 1.5e6,
+            node_list_speedup: 2.0,
+            node_gossip_ticks_per_sec: 12_345.6,
+            node_steady_state_allocs: 0,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
@@ -196,6 +227,11 @@ mod tests {
         assert!(json.contains("\"row_bytes\": 2000000"));
         assert!(json.contains("\"columnar_bytes\": 1200000"));
         assert!(json.contains("\"columnar_analysis_s\": 0.2000"));
+        assert!(json.contains("\"node_msgs_per_sec\": 3000000.0"));
+        assert!(json.contains("\"node_msgs_per_sec_owned\": 1500000.0"));
+        assert!(json.contains("\"node_list_speedup\": 2.000"));
+        assert!(json.contains("\"node_gossip_ticks_per_sec\": 12345.6"));
+        assert!(json.contains("\"node_steady_state_allocs\": 0\n"));
     }
 
     #[test]
@@ -220,6 +256,11 @@ mod tests {
             columnar_bytes: 0,
             row_analysis_s: 0.0,
             columnar_analysis_s: 0.0,
+            node_msgs_per_sec: 1.0,
+            node_msgs_per_sec_owned: 1.0,
+            node_list_speedup: 1.0,
+            node_gossip_ticks_per_sec: 0.0,
+            node_steady_state_allocs: 0,
         };
         r.threads_warning = Some("thread pool collapsed to 1".to_string());
         let json = r.to_json();

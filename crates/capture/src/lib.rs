@@ -44,7 +44,7 @@
 
 mod store;
 
-pub use store::{KindRef, RecordRef, Rows, TraceStore};
+pub use store::{KindRef, RecordRef, Rows, RowsFor, TraceStore};
 
 use plsim_des::{FaultEvent, Monitor, NodeId, SimTime};
 use plsim_net::Topology;
@@ -316,14 +316,14 @@ impl ProbeTap {
                 store.push_encoded(head, KindTag::TrackerQuery, 0, 0, 0);
             }
             Message::TrackerResponse { peers, .. } => {
-                let span = store.intern_ips(peers.iter().map(|e| e.ip));
+                let span = peers.with(|entries| store.intern_ips(entries.iter().map(|e| e.ip)));
                 store.push_encoded(head, KindTag::TrackerResponse, 0, span, 0);
             }
             Message::PeerListRequest { req_id, .. } => {
                 store.push_encoded(head, KindTag::PeerListRequest, *req_id, 0, 0);
             }
             Message::PeerListResponse { peers, req_id, .. } => {
-                let span = store.intern_ips(peers.iter().map(|e| e.ip));
+                let span = peers.with(|entries| store.intern_ips(entries.iter().map(|e| e.ip)));
                 store.push_encoded(head, KindTag::PeerListResponse, *req_id, span, 0);
             }
             Message::Handshake { .. } => {
@@ -388,7 +388,7 @@ impl Monitor<Message> for ProbeTap {
 mod tests {
     use super::*;
     use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
-    use plsim_proto::{ChannelId, PeerEntry, PeerList};
+    use plsim_proto::{ChannelId, PeerEntry, SharedPeerList};
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn tap() -> ProbeTap {
@@ -421,7 +421,7 @@ mod tests {
     #[test]
     fn peer_list_addresses_are_preserved() {
         let mut t = tap();
-        let peers: PeerList = (1..=3)
+        let peers: SharedPeerList = (1..=3)
             .map(|n| PeerEntry::new(NodeId(n), Ipv4Addr::new(58, 0, 0, n as u8)))
             .collect();
         let msg = Message::PeerListResponse {
@@ -543,7 +543,7 @@ mod tests {
         // The direct message→columns encoding must agree with the
         // row-based conversion path for every captured message.
         let mut t = tap();
-        let peers: PeerList = (1..=2)
+        let peers: SharedPeerList = (1..=2)
             .map(|n| PeerEntry::new(NodeId(n), Ipv4Addr::new(58, 0, 0, n as u8)))
             .collect();
         let msgs = [

@@ -1,0 +1,99 @@
+//! Property tests pinning the zero-copy message path to the owned one:
+//! arena-interned peer lists must carry exactly the entries an owned
+//! [`PeerList`] built from the same candidates would, and a probe capture
+//! fed interned lists must be byte-identical to one fed inline lists.
+
+use plsim_capture::ProbeTap;
+use plsim_des::{Monitor, NodeId, SimTime};
+use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
+use plsim_proto::{ChannelId, Message, PeerEntry, PeerList, PeerListArena, SharedPeerList};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn entry(n: u32) -> PeerEntry {
+    PeerEntry::new(
+        NodeId(n),
+        Ipv4Addr::new(58, (n >> 16) as u8, (n >> 8) as u8, n as u8),
+    )
+}
+
+fn tap() -> ProbeTap {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut b = TopologyBuilder::new();
+    for _ in 0..4 {
+        b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+    }
+    ProbeTap::new([NodeId(0)], Arc::new(b.build()))
+}
+
+/// Replays `lists` through a fresh tap as a tracker response, a gossip
+/// request, and a gossip response per list, and returns the capture rows.
+fn capture(lists: Vec<SharedPeerList>) -> Vec<plsim_capture::TraceRecord> {
+    let mut t = tap();
+    for (i, peers) in lists.into_iter().enumerate() {
+        let at = SimTime::from_millis(i as u64);
+        let tracker = Message::TrackerResponse {
+            channel: ChannelId(1),
+            peers: peers.clone(),
+        };
+        let size = tracker.wire_size();
+        t.on_deliver(at, NodeId(2), NodeId(0), &tracker, size);
+        let req = Message::PeerListRequest {
+            channel: ChannelId(1),
+            my_peers: peers.clone(),
+            req_id: i as u64,
+        };
+        let size = req.wire_size();
+        t.on_send(at, NodeId(0), NodeId(3), &req, size);
+        let resp = Message::PeerListResponse {
+            channel: ChannelId(1),
+            peers,
+            req_id: i as u64,
+        };
+        let size = resp.wire_size();
+        t.on_deliver(at, NodeId(3), NodeId(0), &resp, size);
+    }
+    t.snapshot()
+}
+
+proptest! {
+    /// Interning arbitrary candidates (duplicates included) yields exactly
+    /// the entries, in exactly the order, of the owned `PeerList` path.
+    #[test]
+    fn interned_list_matches_owned_path(ids in proptest::collection::vec(0u32..500, 0..300)) {
+        let arena = PeerListArena::new();
+        let interned = arena.intern(ids.iter().map(|&n| entry(n)));
+        let owned: PeerList = ids.iter().map(|&n| entry(n)).collect();
+        let resolved = interned.with(<[PeerEntry]>::to_vec);
+        let expected: Vec<PeerEntry> = owned.iter().copied().collect();
+        prop_assert_eq!(resolved, expected);
+        prop_assert_eq!(interned.len(), owned.len());
+        // Equality is representation-independent.
+        let inline: SharedPeerList = owned.into();
+        prop_assert_eq!(interned, inline);
+    }
+
+    /// A capture fed arena-interned lists is identical to one fed the same
+    /// lists inline: the referral order and every recorded byte survive
+    /// the representation change.
+    #[test]
+    fn capture_is_identical_across_representations(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..200, 0..100),
+            0..8,
+        ),
+    ) {
+        let arena = PeerListArena::new();
+        let interned: Vec<SharedPeerList> = batches
+            .iter()
+            .map(|ids| arena.intern(ids.iter().map(|&n| entry(n))))
+            .collect();
+        let inline: Vec<SharedPeerList> = batches
+            .iter()
+            .map(|ids| ids.iter().map(|&n| entry(n)).collect())
+            .collect();
+        prop_assert_eq!(capture(interned), capture(inline));
+    }
+}

@@ -88,12 +88,13 @@ mod tests {
     use super::*;
     use plsim_des::{FixedDelay, SimTime, Simulation};
     use std::net::Ipv4Addr;
-    use std::sync::{Arc, Mutex};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     /// Test client that records what the bootstrap returns.
     struct Probe {
         server: NodeId,
-        log: Arc<Mutex<Vec<Message>>>,
+        log: Rc<RefCell<Vec<Message>>>,
     }
 
     impl Actor<Message> for Probe {
@@ -104,11 +105,11 @@ mod tests {
                 }
                 (Message::BootstrapResponse { channels }, _) => {
                     let ch = channels[0];
-                    self.log.lock().unwrap().push(msg.clone());
+                    self.log.borrow_mut().push(msg.clone());
                     ctx.send(self.server, Message::JoinRequest { channel: ch }, 46);
                 }
                 (Message::JoinResponse { .. }, _) => {
-                    self.log.lock().unwrap().push(msg.clone());
+                    self.log.borrow_mut().push(msg.clone());
                 }
                 _ => {}
             }
@@ -121,7 +122,7 @@ mod tests {
         let tracker_entry = PeerEntry::new(NodeId(9), Ipv4Addr::new(58, 0, 0, 9));
         server.add_channel(ChannelId(1), vec![tracker_entry]);
 
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(1, FixedDelay(SimTime::from_millis(5)));
         let s = sim.add_actor(Box::new(server));
         let c = sim.add_actor(Box::new(Probe {
@@ -137,7 +138,7 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(1));
 
-        let log = log.lock().unwrap();
+        let log = log.borrow();
         assert_eq!(log.len(), 2);
         match &log[1] {
             Message::JoinResponse { channel, trackers } => {
@@ -152,7 +153,7 @@ mod tests {
     fn unknown_channel_yields_empty_tracker_set() {
         let mut server = BootstrapServer::new();
         server.add_channel(ChannelId(1), vec![]);
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
         let s = sim.add_actor(Box::new(server));
         let c = sim.add_actor(Box::new(Probe {
@@ -170,14 +171,14 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(log.lock().unwrap().len(), 1);
+        assert_eq!(log.borrow().len(), 1);
     }
 
     #[test]
     fn offline_bootstrap_ignores_requests_until_restored() {
         let mut server = BootstrapServer::new();
         server.add_channel(ChannelId(1), vec![]);
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(1, FixedDelay(SimTime::from_millis(5)));
         let s = sim.add_actor(Box::new(server));
         let c = sim.add_actor(Box::new(Probe {
@@ -201,7 +202,7 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(2));
-        assert!(log.lock().unwrap().is_empty(), "dead server must not reply");
+        assert!(log.borrow().is_empty(), "dead server must not reply");
 
         sim.inject(
             SimTime::from_secs(3),
@@ -219,7 +220,7 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(
-            log.lock().unwrap().len(),
+            log.borrow().len(),
             2,
             "restored server answers the full bootstrap flow"
         );

@@ -16,7 +16,7 @@ use crate::stats::{NodeMetrics, PeerStats, StatsSink};
 use plsim_des::{Actor, Context, NodeId, SimTime};
 use plsim_telemetry::MetricsRegistry;
 use plsim_net::Topology;
-use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerList, TimerKind};
+use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -132,6 +132,129 @@ impl Neighbor {
     }
 }
 
+/// The neighbor table: a slot map keyed by [`NodeId`] that keeps itself
+/// sorted in the two orders the hot paths need, so no per-message or
+/// per-tick collect-and-sort remains.
+///
+/// * `by_node` is the authoritative map. It sees exactly the same
+///   insert/remove/clear sequence the old `DetHashMap<NodeId, Neighbor>`
+///   did, so its iteration order — which the maintenance sweep and
+///   departure Goodbyes depend on — is bit-identical to the old table's.
+/// * `epoch` holds slot indices in (connected_at desc, NodeId asc) order:
+///   the referral order `my_peer_list` serves. Simulation time is
+///   monotone, so a newcomer belongs in the equal-time prefix and
+///   insertion is a short front walk instead of a full sort per message.
+/// * `by_id` holds slot indices in NodeId-ascending order: the
+///   deterministic base order RNG-driven selection (data scheduling,
+///   gossip fanout) shuffles from.
+#[derive(Debug, Default)]
+struct NeighborTable {
+    by_node: DetHashMap<NodeId, u32>,
+    slots: Vec<Neighbor>,
+    free: Vec<u32>,
+    epoch: Vec<u32>,
+    by_id: Vec<u32>,
+}
+
+impl NeighborTable {
+    fn len(&self) -> usize {
+        self.by_node.len()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.by_node.contains_key(&node)
+    }
+
+    fn get_mut(&mut self, node: NodeId) -> Option<&mut Neighbor> {
+        let slot = *self.by_node.get(&node)?;
+        Some(&mut self.slots[slot as usize])
+    }
+
+    /// Inserts a new neighbor unless the node is already present (the
+    /// old table's `entry().or_insert_with` semantics).
+    fn insert_new(&mut self, entry: PeerEntry, now: SimTime) {
+        if self.by_node.contains_key(&entry.node) {
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Neighbor::new(entry, now);
+                i
+            }
+            None => {
+                self.slots.push(Neighbor::new(entry, now));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_node.insert(entry.node, slot);
+        // Monotone time: every entry as recent as `now` forms a prefix of
+        // `epoch`; place the newcomer within it by ascending NodeId.
+        let mut pos = 0;
+        while pos < self.epoch.len() {
+            let n = &self.slots[self.epoch[pos] as usize];
+            debug_assert!(n.connected_at <= now, "sim time must be monotone");
+            if n.connected_at == now && n.entry.node < entry.node {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.epoch.insert(pos, slot);
+        let idpos = self
+            .by_id
+            .partition_point(|&s| self.slots[s as usize].entry.node < entry.node);
+        self.by_id.insert(idpos, slot);
+    }
+
+    fn remove(&mut self, node: NodeId) -> bool {
+        let Some(slot) = self.by_node.remove(&node) else {
+            return false;
+        };
+        let pos = self
+            .epoch
+            .iter()
+            .position(|&s| s == slot)
+            .expect("epoch order in sync");
+        self.epoch.remove(pos);
+        let idpos = self
+            .by_id
+            .iter()
+            .position(|&s| s == slot)
+            .expect("id order in sync");
+        self.by_id.remove(idpos);
+        self.free.push(slot);
+        true
+    }
+
+    fn clear(&mut self) {
+        self.by_node.clear();
+        self.free.append(&mut self.epoch);
+        self.by_id.clear();
+    }
+
+    /// Map-order walk — the order the old `DetHashMap<NodeId, Neighbor>`
+    /// iterated in; anything whose side effects depend on walk order
+    /// (maintenance eviction, departure Goodbyes) must use this.
+    fn iter_by_node(&self) -> impl Iterator<Item = (NodeId, &Neighbor)> + '_ {
+        self.by_node
+            .iter()
+            .map(|(&id, &s)| (id, &self.slots[s as usize]))
+    }
+
+    /// (connected_at desc, NodeId asc) walk — the referral order.
+    fn iter_epoch(&self) -> impl Iterator<Item = &Neighbor> + '_ {
+        self.epoch.iter().map(|&s| &self.slots[s as usize])
+    }
+
+    /// NodeId-ascending walk — the base order for RNG-driven selection.
+    fn iter_by_id(&self) -> impl Iterator<Item = (NodeId, &Neighbor)> + '_ {
+        self.by_id.iter().map(|&s| {
+            let n = &self.slots[s as usize];
+            (n.entry.node, n)
+        })
+    }
+}
+
 /// A data request in flight.
 #[derive(Debug, Clone, Copy)]
 struct PendingData {
@@ -192,7 +315,7 @@ pub struct PeerNode {
     inbound_reachable: bool,
     trackers: Vec<PeerEntry>,
 
-    neighbors: DetHashMap<NodeId, Neighbor>,
+    neighbors: NeighborTable,
     pending_handshakes: DetHashMap<NodeId, SimTime>,
     candidates: VecDeque<PeerEntry>,
     candidate_set: DetHashSet<NodeId>,
@@ -221,6 +344,15 @@ pub struct PeerNode {
     data_servers: DetHashSet<NodeId>,
     stats: PeerStats,
     metrics: NodeMetrics,
+    /// Shared peer-list arena all outgoing lists intern into; the world
+    /// builder swaps in the world-wide arena via [`PeerNode::attach_arena`].
+    arena: PeerListArena,
+    // Reusable scratch buffers so the steady-state loops allocate nothing.
+    scratch_eligible: Vec<(NodeId, f64)>,
+    scratch_seqs: Vec<u64>,
+    scratch_ids: Vec<NodeId>,
+    scratch_ids2: Vec<NodeId>,
+    scratch_resps: Vec<f64>,
 }
 
 impl PeerNode {
@@ -292,7 +424,7 @@ impl PeerNode {
             started: false,
             inbound_reachable: true,
             trackers: Vec::new(),
-            neighbors: DetHashMap::default(),
+            neighbors: NeighborTable::default(),
             pending_handshakes: DetHashMap::default(),
             candidates: VecDeque::new(),
             candidate_set: DetHashSet::default(),
@@ -313,6 +445,12 @@ impl PeerNode {
             data_servers: DetHashSet::default(),
             stats: PeerStats::new(me.node, isp, SimTime::ZERO),
             metrics: NodeMetrics::default(),
+            arena: PeerListArena::new(),
+            scratch_eligible: Vec::new(),
+            scratch_seqs: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_ids2: Vec::new(),
+            scratch_resps: Vec::new(),
         }
     }
 
@@ -322,6 +460,12 @@ impl PeerNode {
     /// whole population.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.metrics = NodeMetrics::attached(registry);
+    }
+
+    /// Replaces this peer's private peer-list arena with the world-shared
+    /// one, so every outgoing list interns into the same block pool.
+    pub fn attach_arena(&mut self, arena: &PeerListArena) {
+        self.arena = arena.clone();
     }
 
     /// Marks the peer as sitting behind a NAT: unsolicited inbound traffic
@@ -369,17 +513,17 @@ impl PeerNode {
         Some(hold + PROCESSING_DELAY)
     }
 
-    fn my_peer_list(&self) -> PeerList {
-        // "A normal peer returns its recently connected peers."
-        let mut entries: Vec<(&NodeId, &Neighbor)> = self.neighbors.iter().collect();
-        entries.sort_by(|a, b| b.1.connected_at.cmp(&a.1.connected_at).then(a.0.cmp(b.0)));
-        PeerList::from_candidates(entries.into_iter().map(|(_, n)| n.entry))
+    fn my_peer_list(&self) -> SharedPeerList {
+        // "A normal peer returns its recently connected peers." The epoch
+        // walk is already in referral order, so this is one arena intern —
+        // no collect, no sort, no allocation once the arena has warmed up.
+        self.arena.intern(self.neighbors.iter_epoch().map(|n| n.entry))
     }
 
     fn add_candidates<'a, I: IntoIterator<Item = &'a PeerEntry>>(&mut self, entries: I) {
         for e in entries {
             if e.node == self.me.node
-                || self.neighbors.contains_key(&e.node)
+                || self.neighbors.contains(e.node)
                 || self.pending_handshakes.contains_key(&e.node)
                 || self.candidate_set.contains(&e.node)
             {
@@ -468,7 +612,7 @@ impl PeerNode {
         };
         let size = msg.wire_size();
         if all {
-            for t in self.trackers.clone() {
+            for t in &self.trackers {
                 ctx.send(t.node, msg.clone(), size);
             }
         } else {
@@ -499,38 +643,51 @@ impl PeerNode {
         self.chunks.get(&chunk).copied() == Some(self.cfg.stream.full_mask())
     }
 
-    fn pick_data_neighbor(&self, rng: &mut SmallRng, now: SimTime, chunk: u64) -> Option<NodeId> {
-        let mut eligible: Vec<(NodeId, f64)> = self
-            .neighbors
-            .iter()
-            .filter(|(_, n)| {
-                n.outstanding < self.cfg.per_neighbor_outstanding as u32
-                    && n.cooldown_until <= now
-                    && n.may_hold(chunk, now)
-            })
-            .map(|(&id, n)| (id, n.weight(self.cfg.latency_bias)))
-            .collect();
-        if eligible.is_empty() {
-            return None;
-        }
-        eligible.sort_by_key(|(id, _)| *id);
-        match self.cfg.data_selection {
-            DataSelection::Uniform => {
-                let idx = rng.random_range(0..eligible.len());
-                Some(eligible[idx].0)
-            }
-            DataSelection::LatencyWeighted => {
-                let total: f64 = eligible.iter().map(|(_, w)| w).sum();
-                let mut x = rng.random::<f64>() * total;
-                for (id, w) in &eligible {
-                    if x < *w {
-                        return Some(*id);
-                    }
-                    x -= w;
+    fn pick_data_neighbor(
+        &mut self,
+        rng: &mut SmallRng,
+        now: SimTime,
+        chunk: u64,
+    ) -> Option<NodeId> {
+        let mut eligible = std::mem::take(&mut self.scratch_eligible);
+        eligible.clear();
+        // The id-ordered walk replaces the old collect-and-sort: same
+        // element order, so the RNG draws below land on the same peers.
+        let max_out = self.cfg.per_neighbor_outstanding as u32;
+        let bias = self.cfg.latency_bias;
+        eligible.extend(
+            self.neighbors
+                .iter_by_id()
+                .filter(|(_, n)| {
+                    n.outstanding < max_out && n.cooldown_until <= now && n.may_hold(chunk, now)
+                })
+                .map(|(id, n)| (id, n.weight(bias))),
+        );
+        let picked = if eligible.is_empty() {
+            None
+        } else {
+            match self.cfg.data_selection {
+                DataSelection::Uniform => {
+                    let idx = rng.random_range(0..eligible.len());
+                    Some(eligible[idx].0)
                 }
-                Some(eligible[eligible.len() - 1].0)
+                DataSelection::LatencyWeighted => {
+                    let total: f64 = eligible.iter().map(|(_, w)| w).sum();
+                    let mut x = rng.random::<f64>() * total;
+                    let mut pick = eligible[eligible.len() - 1].0;
+                    for (id, w) in &eligible {
+                        if x < *w {
+                            pick = *id;
+                            break;
+                        }
+                        x -= w;
+                    }
+                    Some(pick)
+                }
             }
-        }
+        };
+        self.scratch_eligible = eligible;
+        picked
     }
 
     /// Expires in-flight data requests past the timeout so their slots and
@@ -539,24 +696,27 @@ impl PeerNode {
         if self.pending_data.is_empty() {
             return;
         }
-        let expired: Vec<u64> = self
-            .pending_data
-            .iter()
-            .filter(|(_, p)| now.saturating_sub(p.sent) > self.cfg.request_timeout)
-            .map(|(&seq, _)| seq)
-            .collect();
-        for seq in expired {
+        let mut expired = std::mem::take(&mut self.scratch_seqs);
+        expired.clear();
+        expired.extend(
+            self.pending_data
+                .iter()
+                .filter(|(_, p)| now.saturating_sub(p.sent) > self.cfg.request_timeout)
+                .map(|(&seq, _)| seq),
+        );
+        for &seq in &expired {
             if let Some(p) = self.pending_data.remove(&seq) {
                 if let Some(m) = self.inflight.get_mut(&p.chunk) {
                     *m &= !p.mask;
                 }
-                if let Some(n) = self.neighbors.get_mut(&p.to) {
+                if let Some(n) = self.neighbors.get_mut(p.to) {
                     n.outstanding = n.outstanding.saturating_sub(1);
                     n.observe_failure();
                     n.observe_penalty(self.cfg.request_timeout.as_secs_f64());
                 }
             }
         }
+        self.scratch_seqs = expired;
     }
 
     fn schedule_requests(&mut self, ctx: &mut Context<'_, Message>) {
@@ -632,7 +792,7 @@ impl PeerNode {
                         sent: now,
                     },
                 );
-                if let Some(n) = self.neighbors.get_mut(&to) {
+                if let Some(n) = self.neighbors.get_mut(to) {
                     n.outstanding += 1;
                 }
                 self.stats.data_requests_sent += 1;
@@ -661,15 +821,13 @@ impl PeerNode {
 
     fn add_neighbor(&mut self, entry: PeerEntry, now: SimTime) {
         self.candidate_set.remove(&entry.node);
-        self.neighbors
-            .entry(entry.node)
-            .or_insert_with(|| Neighbor::new(entry, now));
+        self.neighbors.insert_new(entry, now);
     }
 
     fn drop_neighbor(&mut self, node: NodeId) {
-        if self.neighbors.remove(&node).is_some() {
-            // Outstanding requests to it will time out via maintenance.
-        }
+        // Outstanding requests to a removed neighbor time out via
+        // maintenance.
+        self.neighbors.remove(node);
     }
 
     fn flush_stats(&mut self) {
@@ -715,7 +873,7 @@ impl PeerNode {
                 self.next_produced = ctx.now().as_secs();
                 ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::ProduceChunk));
                 // Announce immediately so early tracker queries find us.
-                for t in self.trackers.clone() {
+                for t in &self.trackers {
                     let msg = Message::Announce {
                         channel: self.channel,
                     };
@@ -762,12 +920,13 @@ impl PeerNode {
         self.active = false;
         self.stats.departed = true;
         self.metrics.departures.inc();
-        let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
-        for n in neighbor_ids {
-            ctx.send(n, Message::Goodbye, Message::Goodbye.wire_size());
+        let goodbye_size = Message::Goodbye.wire_size();
+        // Map-order walk: the same Goodbye send order as the old table.
+        for (n, _) in self.neighbors.iter_by_node() {
+            ctx.send(n, Message::Goodbye, goodbye_size);
         }
-        for t in self.trackers.clone() {
-            ctx.send(t.node, Message::Goodbye, Message::Goodbye.wire_size());
+        for t in &self.trackers {
+            ctx.send(t.node, Message::Goodbye, goodbye_size);
         }
         self.neighbors.clear();
         self.flush_stats();
@@ -779,35 +938,42 @@ impl PeerNode {
         }
         if self.cfg.referral {
             // Unmeasured neighbors are probed first; the rest of the fanout
-            // is spent on random measured ones.
-            let mut unmeasured: Vec<NodeId> = self
-                .neighbors
-                .iter()
-                .filter(|(_, n)| n.ewma_resp.is_none())
-                .map(|(&id, _)| id)
-                .collect();
-            unmeasured.sort_unstable();
-            let mut ids: Vec<NodeId> = self
-                .neighbors
-                .iter()
-                .filter(|(_, n)| n.ewma_resp.is_some())
-                .map(|(&id, _)| id)
-                .collect();
-            ids.sort_unstable();
+            // is spent on random measured ones. The id-ordered walk gives
+            // the same ascending base order the old per-round sorts did.
+            let mut unmeasured = std::mem::take(&mut self.scratch_ids);
+            unmeasured.clear();
+            unmeasured.extend(
+                self.neighbors
+                    .iter_by_id()
+                    .filter(|(_, n)| n.ewma_resp.is_none())
+                    .map(|(id, _)| id),
+            );
+            let mut ids = std::mem::take(&mut self.scratch_ids2);
+            ids.clear();
+            ids.extend(
+                self.neighbors
+                    .iter_by_id()
+                    .filter(|(_, n)| n.ewma_resp.is_some())
+                    .map(|(id, _)| id),
+            );
             let fanout = self.cfg.gossip_fanout;
             let rest = fanout.saturating_sub(unmeasured.len()).min(ids.len());
             for i in 0..rest {
                 let jdx = ctx.rng().random_range(i..ids.len());
                 ids.swap(i, jdx);
             }
-            let targets: Vec<NodeId> = unmeasured
-                .into_iter()
-                .take(fanout)
-                .chain(ids.into_iter().take(rest))
-                .collect();
-            for n in targets {
+            unmeasured.truncate(fanout);
+            ids.truncate(rest);
+            for i in 0..unmeasured.len() + ids.len() {
+                let n = if i < unmeasured.len() {
+                    unmeasured[i]
+                } else {
+                    ids[i - unmeasured.len()]
+                };
                 self.gossip_to(ctx, n);
             }
+            self.scratch_ids = unmeasured;
+            self.scratch_ids2 = ids;
             ctx.schedule(self.cfg.gossip_interval, Message::Timer(TimerKind::GossipRound));
         }
     }
@@ -907,16 +1073,20 @@ impl PeerNode {
         self.pending_handshakes
             .retain(|_, &mut sent| now.saturating_sub(sent) <= self.cfg.handshake_timeout);
 
-        // Evict neighbors that keep failing.
-        let dead: Vec<NodeId> = self
-            .neighbors
-            .iter()
-            .filter(|(_, n)| n.consecutive_failures >= 6)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in dead {
+        // Evict neighbors that keep failing. Collected in map order so the
+        // removal sequence matches the old table's exactly.
+        let mut dead = std::mem::take(&mut self.scratch_ids);
+        dead.clear();
+        dead.extend(
+            self.neighbors
+                .iter_by_node()
+                .filter(|(_, n)| n.consecutive_failures >= 6)
+                .map(|(id, _)| id),
+        );
+        for &id in &dead {
             self.drop_neighbor(id);
         }
+        self.scratch_ids = dead;
 
         // Every ~30 s, when the table is full, retire a clear outlier: a
         // neighbor responding more than twice as slowly as the table median.
@@ -927,19 +1097,17 @@ impl PeerNode {
             && self.maintenance_rounds.is_multiple_of(6)
             && self.neighbors.len() >= self.cfg.max_neighbors
         {
-            let mut resps: Vec<f64> = self
-                .neighbors
-                .values()
-                .filter_map(|n| n.ewma_resp)
-                .collect();
+            let mut resps = std::mem::take(&mut self.scratch_resps);
+            resps.clear();
+            resps.extend(self.neighbors.iter_by_node().filter_map(|(_, n)| n.ewma_resp));
             if resps.len() >= 4 {
                 resps.sort_by(|a, b| a.partial_cmp(b).expect("finite ewma"));
                 let median = resps[resps.len() / 2];
                 let worst = self
                     .neighbors
-                    .iter()
+                    .iter_by_node()
                     .filter(|(_, n)| n.outstanding == 0)
-                    .filter_map(|(&id, n)| n.ewma_resp.map(|r| (id, r)))
+                    .filter_map(|(id, n)| n.ewma_resp.map(|r| (id, r)))
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ewma").then(a.0.cmp(&b.0)))
                     .filter(|&(_, r)| r > 2.0 * median)
                     .map(|(id, _)| id);
@@ -948,6 +1116,7 @@ impl PeerNode {
                     self.drop_neighbor(id);
                 }
             }
+            self.scratch_resps = resps;
         }
 
         // Delayed-random connect policy does its batching here.
@@ -987,7 +1156,7 @@ impl PeerNode {
         if !self.active {
             return;
         }
-        for t in self.trackers.clone() {
+        for t in &self.trackers {
             let msg = Message::Announce {
                 channel: self.channel,
             };
@@ -1051,7 +1220,7 @@ impl PeerNode {
         if accepted && self.neighbors.len() < self.cfg.max_neighbors {
             let entry = PeerEntry::new(from, self.topology.host(from).ip);
             self.add_neighbor(entry, ctx.now());
-            if let Some(n) = self.neighbors.get_mut(&from) {
+            if let Some(n) = self.neighbors.get_mut(from) {
                 n.observe_response(ctx.now().saturating_sub(sent).as_secs_f64());
             }
             // "Upon the establishment of a new connection, the client will
@@ -1069,14 +1238,14 @@ impl PeerNode {
         &mut self,
         ctx: &mut Context<'_, Message>,
         from: NodeId,
-        my_peers: &PeerList,
+        my_peers: &SharedPeerList,
         req_id: u64,
     ) {
         if !self.active {
             return; // Unanswered request, as the paper observed.
         }
         // The enclosed list is itself referral information.
-        self.add_candidates(my_peers.iter());
+        my_peers.with(|entries| self.add_candidates(entries));
         let reply = Message::PeerListResponse {
             channel: self.channel,
             peers: self.my_peer_list(),
@@ -1096,7 +1265,7 @@ impl PeerNode {
         &mut self,
         ctx: &mut Context<'_, Message>,
         from: NodeId,
-        peers: &PeerList,
+        peers: &SharedPeerList,
         req_id: u64,
     ) {
         if !self.active {
@@ -1105,14 +1274,14 @@ impl PeerNode {
         if let Some(p) = self.pending_gossip.remove(&req_id) {
             if p.to == from {
                 let sample = ctx.now().saturating_sub(p.sent).as_secs_f64();
-                if let Some(n) = self.neighbors.get_mut(&from) {
+                if let Some(n) = self.neighbors.get_mut(from) {
                     n.observe_response(sample);
                 }
             }
         }
         self.stats.gossip_responses_received += 1;
         self.metrics.gossip_responses_received.inc();
-        self.add_candidates(peers.iter());
+        peers.with(|entries| self.add_candidates(entries));
         // "Once the client receives a peer list, it randomly selects a
         // number of peers from the list and connects to them immediately."
         self.try_connect(ctx);
@@ -1191,7 +1360,7 @@ impl PeerNode {
         self.stats.data_replies_received += 1;
         self.metrics.data_replies_received.inc();
         self.data_servers.insert(from);
-        if let Some(n) = self.neighbors.get_mut(&from) {
+        if let Some(n) = self.neighbors.get_mut(from) {
             n.outstanding = n.outstanding.saturating_sub(1);
             n.observe_response(ctx.now().saturating_sub(p.sent).as_secs_f64());
             n.observe_has(chunk.0, ctx.now());
@@ -1209,7 +1378,7 @@ impl PeerNode {
         }
         self.stats.data_rejects_received += 1;
         self.metrics.data_rejects_received.inc();
-        if let Some(n) = self.neighbors.get_mut(&from) {
+        if let Some(n) = self.neighbors.get_mut(from) {
             n.outstanding = n.outstanding.saturating_sub(1);
             if busy {
                 // The neighbor has the data but its uplink is saturated:
@@ -1233,7 +1402,7 @@ impl Actor<Message> for PeerNode {
         // NAT: unsolicited packets from unknown hosts never arrive.
         if !self.inbound_reachable {
             if let Some(sender) = from {
-                let unsolicited = !self.neighbors.contains_key(&sender)
+                let unsolicited = !self.neighbors.contains(sender)
                     && !self.pending_handshakes.contains_key(&sender)
                     && !self.trackers.iter().any(|t| t.node == sender)
                     && sender != self.bootstrap;
@@ -1294,7 +1463,7 @@ impl Actor<Message> for PeerNode {
             }
             Message::TrackerResponse { channel, peers } => {
                 if self.active && channel == self.channel {
-                    self.add_candidates(peers.iter());
+                    peers.with(|entries| self.add_candidates(entries));
                     self.try_connect(ctx);
                 }
             }

@@ -9,8 +9,9 @@
 use crate::det::DetHashMap;
 use plsim_des::{Actor, Context, NodeId, SimTime};
 use plsim_net::Topology;
-use plsim_proto::{ChannelId, Message, PeerEntry, PeerList, TimerKind};
+use plsim_proto::{ChannelId, Message, PeerEntry, PeerList, PeerListArena, SharedPeerList, TimerKind};
 use rand::Rng;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How long a member stays listed without being heard from.
@@ -21,11 +22,15 @@ const MEMBER_EXPIRY: SimTime = SimTime::from_secs(600);
 #[derive(Debug)]
 pub struct TrackerServer {
     topology: Arc<Topology>,
-    members: DetHashMap<ChannelId, DetHashMap<NodeId, (PeerEntry, SimTime)>>,
+    /// Per-channel membership, keyed by node so `values()` is already in
+    /// NodeId order — the deterministic base order the sampler shuffles.
+    members: DetHashMap<ChannelId, BTreeMap<NodeId, (PeerEntry, SimTime)>>,
     /// Set false to simulate a tracker outage (failure injection); the
     /// server then silently ignores queries, as a dead host would.
     online: bool,
     queries_served: u64,
+    arena: PeerListArena,
+    scratch_pool: Vec<PeerEntry>,
 }
 
 impl TrackerServer {
@@ -38,7 +43,16 @@ impl TrackerServer {
             members: DetHashMap::default(),
             online: true,
             queries_served: 0,
+            arena: PeerListArena::new(),
+            scratch_pool: Vec::new(),
         }
+    }
+
+    /// Replaces the tracker's private peer-list arena with the
+    /// world-shared one, so responses intern into the same block pool as
+    /// every other actor.
+    pub fn attach_arena(&mut self, arena: &PeerListArena) {
+        self.arena = arena.clone();
     }
 
     /// Number of peer-list queries served (for tests and ablations).
@@ -61,25 +75,31 @@ impl TrackerServer {
         exclude: NodeId,
         now: SimTime,
         rng: &mut rand::rngs::SmallRng,
-    ) -> PeerList {
+    ) -> SharedPeerList {
+        let mut pool = std::mem::take(&mut self.scratch_pool);
+        pool.clear();
         let Some(members) = self.members.get_mut(&channel) else {
-            return PeerList::new();
+            self.scratch_pool = pool;
+            return SharedPeerList::default();
         };
         members.retain(|_, (_, seen)| now.saturating_sub(*seen) < MEMBER_EXPIRY);
-        let mut pool: Vec<PeerEntry> = members
-            .values()
-            .filter(|(e, _)| e.node != exclude)
-            .map(|(e, _)| *e)
-            .collect();
-        // Deterministic base order, then a partial Fisher–Yates shuffle for
-        // the first MAX_LEN slots.
-        pool.sort_by_key(|e| e.node);
+        // The BTreeMap walk yields NodeId order — the deterministic base
+        // order — so no per-query sort; then a partial Fisher–Yates
+        // shuffle for the first MAX_LEN slots.
+        pool.extend(
+            members
+                .values()
+                .filter(|(e, _)| e.node != exclude)
+                .map(|(e, _)| *e),
+        );
         let take = pool.len().min(PeerList::MAX_LEN);
         for i in 0..take {
             let j = rng.random_range(i..pool.len());
             pool.swap(i, j);
         }
-        PeerList::from_candidates(pool.into_iter().take(take))
+        let list = self.arena.intern(pool.iter().take(take).copied());
+        self.scratch_pool = pool;
+        list
     }
 }
 
@@ -135,7 +155,8 @@ mod tests {
     use plsim_net::{BandwidthClass, Isp, TopologyBuilder};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use std::sync::{Arc, Mutex};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn topology(n: usize) -> Arc<Topology> {
         let mut rng = SmallRng::seed_from_u64(1);
@@ -146,10 +167,44 @@ mod tests {
         Arc::new(b.build())
     }
 
+    /// One shared log of tracker responses: every test client holds the
+    /// same `Rc` handle (the kernel is single-threaded, so no mutex), and
+    /// [`ResponseLog::client`] is the only place the handle is cloned.
+    #[derive(Default)]
+    struct ResponseLog(Rc<RefCell<Vec<SharedPeerList>>>);
+
+    impl ResponseLog {
+        fn new() -> Self {
+            ResponseLog::default()
+        }
+
+        /// A client actor that queries `tracker` on its Join timer and
+        /// appends every response to this log.
+        fn client(&self, tracker: NodeId, channel: ChannelId) -> Box<Client> {
+            Box::new(Client {
+                tracker,
+                channel,
+                responses: Rc::clone(&self.0),
+            })
+        }
+
+        fn len(&self) -> usize {
+            self.0.borrow().len()
+        }
+
+        fn is_empty(&self) -> bool {
+            self.0.borrow().is_empty()
+        }
+
+        fn get(&self, i: usize) -> SharedPeerList {
+            self.0.borrow()[i].clone()
+        }
+    }
+
     struct Client {
         tracker: NodeId,
         channel: ChannelId,
-        responses: Arc<Mutex<Vec<PeerList>>>,
+        responses: Rc<RefCell<Vec<SharedPeerList>>>,
     }
 
     impl Actor<Message> for Client {
@@ -163,7 +218,7 @@ mod tests {
                     ctx.send(self.tracker, q, size);
                 }
                 Message::TrackerResponse { peers, .. } => {
-                    self.responses.lock().unwrap().push(peers);
+                    self.responses.borrow_mut().push(peers);
                 }
                 _ => {}
             }
@@ -176,15 +231,9 @@ mod tests {
         let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
         let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
         let ch = ChannelId(1);
-        let responses = Arc::new(Mutex::new(Vec::new()));
+        let log = ResponseLog::new();
         let clients: Vec<NodeId> = (0..10)
-            .map(|_| {
-                sim.add_actor(Box::new(Client {
-                    tracker,
-                    channel: ch,
-                    responses: responses.clone(),
-                }))
-            })
+            .map(|_| sim.add_actor(log.client(tracker, ch)))
             .collect();
         for (i, &c) in clients.iter().enumerate() {
             sim.inject(
@@ -196,14 +245,13 @@ mod tests {
             );
         }
         sim.run_until(SimTime::from_secs(60));
-        let responses = responses.lock().unwrap();
-        assert_eq!(responses.len(), 10);
+        assert_eq!(log.len(), 10);
         // First client sees nobody; the last sees everyone else.
-        assert!(responses[0].is_empty());
-        assert_eq!(responses[9].len(), 9);
+        assert!(log.get(0).is_empty());
+        assert_eq!(log.get(9).len(), 9);
         // Never includes the requester.
-        for (i, list) in responses.iter().enumerate() {
-            assert!(!list.contains(clients[i]));
+        for (i, &c) in clients.iter().enumerate() {
+            assert!(!log.get(i).contains(c));
         }
     }
 
@@ -213,17 +261,9 @@ mod tests {
         let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
         let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
         let ch = ChannelId(1);
-        let responses = Arc::new(Mutex::new(Vec::new()));
-        let a = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
-        let b = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
+        let log = ResponseLog::new();
+        let a = sim.add_actor(log.client(tracker, ch));
+        let b = sim.add_actor(log.client(tracker, ch));
         sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
         sim.run_until(SimTime::from_secs(1));
         // a leaves.
@@ -236,8 +276,7 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(10));
-        let responses = responses.lock().unwrap();
-        assert!(responses[1].is_empty(), "departed peer must not be listed");
+        assert!(log.get(1).is_empty(), "departed peer must not be listed");
     }
 
     #[test]
@@ -245,12 +284,8 @@ mod tests {
         let topo = topology(4);
         let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
         let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
-        let responses = Arc::new(Mutex::new(Vec::new()));
-        let a = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ChannelId(1),
-            responses: responses.clone(),
-        }));
+        let log = ResponseLog::new();
+        let a = sim.add_actor(log.client(tracker, ChannelId(1)));
         // Kill the tracker, then query.
         sim.inject(
             SimTime::ZERO,
@@ -267,7 +302,7 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(10));
-        assert!(responses.lock().unwrap().is_empty());
+        assert!(log.is_empty());
     }
 
     #[test]
@@ -276,17 +311,9 @@ mod tests {
         let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
         let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
         let ch = ChannelId(1);
-        let responses = Arc::new(Mutex::new(Vec::new()));
-        let a = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
-        let b = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
+        let log = ResponseLog::new();
+        let a = sim.add_actor(log.client(tracker, ch));
+        let b = sim.add_actor(log.client(tracker, ch));
         // a registers, the tracker dies, then recovers; b queries after.
         sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
         sim.inject(
@@ -311,12 +338,11 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(30));
-        let responses = responses.lock().unwrap();
         // The post-recovery query is answered, but the pre-outage member
         // is gone: a restart wipes the in-memory database.
-        assert_eq!(responses.len(), 2);
+        assert_eq!(log.len(), 2);
         assert!(
-            responses[1].is_empty(),
+            log.get(1).is_empty(),
             "membership must not survive a restart"
         );
     }
@@ -327,17 +353,9 @@ mod tests {
         let mut sim = Simulation::new(3, FixedDelay(SimTime::from_millis(1)));
         let tracker = sim.add_actor(Box::new(TrackerServer::new(topo)));
         let ch = ChannelId(1);
-        let responses = Arc::new(Mutex::new(Vec::new()));
-        let a = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
-        let b = sim.add_actor(Box::new(Client {
-            tracker,
-            channel: ch,
-            responses: responses.clone(),
-        }));
+        let log = ResponseLog::new();
+        let a = sim.add_actor(log.client(tracker, ch));
+        let b = sim.add_actor(log.client(tracker, ch));
         sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
         // b queries 11 minutes later: a has expired.
         sim.inject(
@@ -348,7 +366,6 @@ mod tests {
             0,
         );
         sim.run_until(SimTime::from_secs(700));
-        let responses = responses.lock().unwrap();
-        assert!(responses[1].is_empty(), "stale member should be expired");
+        assert!(log.get(1).is_empty(), "stale member should be expired");
     }
 }

@@ -13,7 +13,7 @@ use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceStore};
 use plsim_des::{FaultEvent, NodeId, SchedulerKind, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
 use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
-use plsim_proto::{ChannelId, Message, PeerEntry, TimerKind};
+use plsim_proto::{ChannelId, Message, PeerEntry, PeerListArena, TimerKind};
 use plsim_workload::SessionPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -189,6 +189,10 @@ impl World {
         // queue and every peer intern their instruments here, and one
         // snapshot at the end of `run` is the single export path.
         let registry = MetricsRegistry::new();
+        // One peer-list arena for the whole run: every tracker response and
+        // gossip payload interns into the same recycled block pool, so the
+        // steady-state message loop never allocates a peer list.
+        let arena = PeerListArena::new();
         let mut underlay = Underlay::new(Arc::clone(&topology), cfg.link)
             .with_faults(cfg.faults.link_faults());
         underlay.attach_metrics(&registry);
@@ -208,7 +212,9 @@ impl World {
 
         // Trackers.
         for &tid in &tracker_ids {
-            let id = sim.add_actor(Box::new(TrackerServer::new(Arc::clone(&topology))));
+            let mut tracker = TrackerServer::new(Arc::clone(&topology));
+            tracker.attach_arena(&arena);
+            let id = sim.add_actor(Box::new(tracker));
             debug_assert_eq!(id, tid);
             tap.mark_remote(tid, RemoteKind::Tracker);
         }
@@ -228,6 +234,7 @@ impl World {
             sink.clone(),
         );
         src.attach_metrics(&registry);
+        src.attach_arena(&arena);
         let id = sim.add_actor(Box::new(src));
         debug_assert_eq!(id, source_id);
         tap.mark_remote(source_id, RemoteKind::Source);
@@ -250,6 +257,7 @@ impl World {
                 sink.clone(),
             );
             peer.attach_metrics(&registry);
+            peer.attach_arena(&arena);
             let id = sim.add_actor(Box::new(peer));
             debug_assert_eq!(id, pid);
             sim.inject(
@@ -272,6 +280,7 @@ impl World {
                 sink.clone(),
             );
             peer.attach_metrics(&registry);
+            peer.attach_arena(&arena);
             if cfg.nat_fraction > 0.0 && build_rng.random::<f64>() < cfg.nat_fraction {
                 peer = peer.behind_nat();
             }

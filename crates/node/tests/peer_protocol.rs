@@ -4,20 +4,23 @@
 use plsim_des::{Actor, Context, NodeId, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
 use plsim_node::{PeerConfig, PeerNode, StatsSink};
-use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerList, TimerKind};
+use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, SharedPeerList, TimerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::{Arc, Mutex};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
-/// Records every message delivered to it.
+/// Records every message delivered to it (the kernel is
+/// single-threaded, so a shared `Rc` cell suffices).
 struct Collector {
-    log: Arc<Mutex<Vec<(NodeId, Message)>>>,
+    log: Rc<RefCell<Vec<(NodeId, Message)>>>,
 }
 
 impl Actor<Message> for Collector {
     fn on_event(&mut self, _ctx: &mut Context<'_, Message>, from: Option<NodeId>, msg: Message) {
         if let Some(from) = from {
-            self.log.lock().unwrap().push((from, msg));
+            self.log.borrow_mut().push((from, msg));
         }
     }
 }
@@ -26,7 +29,7 @@ struct TestWorld {
     sim: Simulation<Message>,
     source: NodeId,
     collector: NodeId,
-    log: Arc<Mutex<Vec<(NodeId, Message)>>>,
+    log: Rc<RefCell<Vec<(NodeId, Message)>>>,
 }
 
 /// Builds: a source (node 0) that produces chunks, and a collector
@@ -53,7 +56,7 @@ fn world() -> TestWorld {
     let id = sim.add_actor(Box::new(source));
     assert_eq!(id, source_id);
 
-    let log = Arc::new(Mutex::new(Vec::new()));
+    let log = Rc::new(RefCell::new(Vec::new()));
     let id = sim.add_actor(Box::new(Collector { log: log.clone() }));
     assert_eq!(id, collector_id);
 
@@ -74,8 +77,7 @@ fn world() -> TestWorld {
 
 fn replies_of(w: &TestWorld) -> Vec<Message> {
     w.log
-        .lock()
-        .unwrap()
+        .borrow()
         .iter()
         .filter(|(from, _)| *from == w.source)
         .map(|(_, m)| m.clone())
@@ -94,7 +96,7 @@ fn source_accepts_handshake_and_answers_gossip() {
         .inject(SimTime::from_secs(10), w.source, Some(w.collector), hs, sz);
     let req = Message::PeerListRequest {
         channel: ChannelId(1),
-        my_peers: PeerList::new(),
+        my_peers: SharedPeerList::default(),
         req_id: 9,
     };
     let sz = req.wire_size();
@@ -210,11 +212,11 @@ fn nat_peer_ignores_unsolicited_handshake() {
     .behind_nat();
     let id = sim.add_actor(Box::new(nat_peer));
     assert_eq!(id, nat_id);
-    let log = Arc::new(Mutex::new(Vec::new()));
+    let log = Rc::new(RefCell::new(Vec::new()));
     let id = sim.add_actor(Box::new(Collector { log: log.clone() }));
     assert_eq!(id, other_id);
     let id = sim.add_actor(Box::new(Collector {
-        log: Arc::new(Mutex::new(Vec::new())),
+        log: Rc::new(RefCell::new(Vec::new())),
     }));
     assert_eq!(id, bootstrap_id);
 
@@ -227,8 +229,7 @@ fn nat_peer_ignores_unsolicited_handshake() {
     sim.run_until(SimTime::from_secs(10));
 
     let acks = log
-        .lock()
-        .unwrap()
+        .borrow()
         .iter()
         .filter(|(from, m)| *from == nat_id && matches!(m, Message::HandshakeAck { .. }))
         .count();
@@ -258,7 +259,7 @@ fn goodbye_removes_the_neighbor() {
     // but the returned list must not contain the departed peer.
     let req = Message::PeerListRequest {
         channel: ChannelId(1),
-        my_peers: PeerList::new(),
+        my_peers: SharedPeerList::default(),
         req_id: 77,
     };
     let sz = req.wire_size();

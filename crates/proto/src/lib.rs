@@ -35,6 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod shared;
+
+pub use shared::{PeerListArena, SharedPeerList};
+
 use plsim_des::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -222,7 +226,13 @@ pub enum TimerKind {
 }
 
 /// Every payload the simulation can carry: protocol messages plus timers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Peer-list payloads are [`SharedPeerList`]s, so cloning a message on the
+/// hot path bumps an arena refcount instead of deep-copying a
+/// `Vec<PeerEntry>`; the DES kernel's event pool recycles the slots that
+/// carry these payloads, making the steady-state send/receive loop
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// Client → bootstrap: request the active channel list.
     BootstrapRequest,
@@ -254,7 +264,7 @@ pub enum Message {
         /// Channel of interest.
         channel: ChannelId,
         /// Up to 60 active peers.
-        peers: PeerList,
+        peers: SharedPeerList,
     },
     /// Client → tracker: periodic membership announce.
     Announce {
@@ -279,7 +289,7 @@ pub enum Message {
         /// Channel in question.
         channel: ChannelId,
         /// The requester's own current peer list, enclosed per protocol.
-        my_peers: PeerList,
+        my_peers: SharedPeerList,
         /// Correlates the eventual response.
         req_id: u64,
     },
@@ -288,7 +298,7 @@ pub enum Message {
         /// Channel in question.
         channel: ChannelId,
         /// The neighbor's peer list (≤ 60 entries).
-        peers: PeerList,
+        peers: SharedPeerList,
         /// Echo of the request id.
         req_id: u64,
     },
@@ -428,7 +438,7 @@ mod tests {
 
     #[test]
     fn gossip_request_carries_own_list_size() {
-        let my_peers: PeerList = (0..10).map(entry).collect();
+        let my_peers: SharedPeerList = (0..10).map(entry).collect();
         let msg = Message::PeerListRequest {
             channel: ChannelId(1),
             my_peers,

@@ -40,9 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod arena;
 mod columnar;
 mod metrics;
 
+pub use arena::BlockArena;
 pub use columnar::{PagedVec, PAGE_ROWS};
 pub use metrics::{
     Counter, Gauge, GaugeValue, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
