@@ -21,10 +21,11 @@ use plsim_des::{
     Actor, Context, FixedDelay, Medium, NodeId, SchedulerKind, SimStats, SimTime, Simulation,
 };
 use plsim_net::{AsnDirectory, BandwidthClass, Isp, LinkModel, TopologyBuilder, Underlay};
-use plsim_node::{BootstrapServer, PeerConfig, PeerNode, StatsSink, TrackerServer};
+use plsim_node::{run_world, BootstrapServer, PeerConfig, PeerNode, StatsSink, TrackerServer, WorldConfig};
 use plsim_proto::{ChannelId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind};
 use plsim_stats::{ecdf, pearson, stretched_exp_fit};
 use plsim_telemetry::MetricsRegistry;
+use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
 use pplive_locality::{JobPool, Scale, Suite};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -442,6 +443,62 @@ fn node_layer(c: &mut Criterion) {
     g.finish();
 }
 
+/// Simulated seconds of the sharded-world sustained-churn workload.
+const SHARD_WORLD_SECS: u64 = 360;
+
+/// The sustained-churn world the sharded benches run: a tiny popular
+/// channel whose population joins and leaves throughout the session, on
+/// the full calibrated underlay, capture off — the workload is the kernel
+/// plus the whole node layer, space-partitioned across `shards`
+/// schedulers synchronized by conservative lookahead windows.
+fn sharded_world_cfg(shards: usize) -> WorldConfig {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let plan = SessionPlan::generate(
+        &PopulationSpec::tiny(ChannelClass::Popular),
+        SHARD_WORLD_SECS as f64,
+        &mut rng,
+    );
+    let mut cfg = WorldConfig::new(42, plan, SimTime::from_secs(SHARD_WORLD_SECS));
+    cfg.shards = shards;
+    cfg.shard_threads = shards;
+    cfg
+}
+
+/// One sharded-world run; returns the kernel counters (identical across
+/// shard counts) and the wall clock.
+fn sharded_world_run(shards: usize) -> (SimStats, f64) {
+    let cfg = sharded_world_cfg(shards);
+    let start = Instant::now();
+    let out = run_world(&cfg);
+    (out.sim, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`n` wall clock for one shard count.
+fn best_sharded_wall(shards: usize, n: usize) -> (SimStats, f64) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..n {
+        let (s, wall) = sharded_world_run(shards);
+        if let Some(prev) = &stats {
+            assert_eq!(prev, &s, "sharded world diverged across repeats");
+        }
+        stats = Some(s);
+        best = best.min(wall);
+    }
+    (stats.expect("at least one run"), best)
+}
+
+fn sharded_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_world");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        g.bench_function(&format!("world_shards_{shards}"), |b| {
+            b.iter(|| black_box(sharded_world_run(shards)))
+        });
+    }
+    g.finish();
+}
+
 fn parallel_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(10);
@@ -576,6 +633,28 @@ fn engine_report(test_mode: bool) {
     let (gossip_ticks, gossip_wall) = gossip_world_run();
     let node_gossip_ticks_per_sec = gossip_ticks as f64 / gossip_wall;
 
+    // Sharded-world speedup: the same sustained-churn world partitioned
+    // across one and four shard schedulers. The output is bit-identical
+    // by construction, so the shard count may only change the wall clock.
+    let (one_stats, one_wall) = best_sharded_wall(1, repeats);
+    let (four_stats, four_wall) = best_sharded_wall(4, repeats);
+    assert_eq!(
+        one_stats, four_stats,
+        "4-shard world diverged from the single-shard run"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let shard_threads = cores.min(4);
+    let shard_warning = (shard_threads < 4).then(|| {
+        format!(
+            "{cores} core(s) back 4 shards: sharded_speedup_4x measures \
+             windowing overhead, not parallelism"
+        )
+    });
+    let sharded_events_per_sec = four_stats.events_processed as f64 / four_wall;
+    let sharded_speedup_4x = one_wall / four_wall;
+
     let report = EngineReport {
         events_processed: cal_stats.events_processed,
         events_per_sec: events_per_sec_calendar,
@@ -601,6 +680,10 @@ fn engine_report(test_mode: bool) {
         node_list_speedup: node_msgs_per_sec / node_msgs_per_sec_owned,
         node_gossip_ticks_per_sec,
         node_steady_state_allocs,
+        sharded_events_per_sec,
+        sharded_speedup_4x,
+        shard_threads,
+        shard_warning,
     };
     match write_engine_report(&report) {
         Ok(path) => println!(
@@ -608,7 +691,8 @@ fn engine_report(test_mode: bool) {
              depth {}, {} run-phase allocs, {} threads (inline_fallback {}), \
              speedup {:.2}, capture {} -> {} bytes, analysis {:.4}s -> {:.4}s, \
              node ring {:.0} vs {:.0} msgs/sec ({:.2}x, {} allocs), \
-             gossip {:.0} ticks/sec -> {}",
+             gossip {:.0} ticks/sec, \
+             sharded {:.0} events/sec ({:.2}x over 1 shard, {} threads) -> {}",
             report.events_per_sec_calendar,
             report.events_per_sec_heap,
             report.calendar_speedup,
@@ -626,6 +710,9 @@ fn engine_report(test_mode: bool) {
             report.node_list_speedup,
             report.node_steady_state_allocs,
             report.node_gossip_ticks_per_sec,
+            report.sharded_events_per_sec,
+            report.sharded_speedup_4x,
+            report.shard_threads,
             path.display()
         ),
         Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),
@@ -701,7 +788,7 @@ fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64) {
     )
 }
 
-criterion_group!(benches, des_throughput, node_layer, parallel_engine);
+criterion_group!(benches, des_throughput, node_layer, sharded_world, parallel_engine);
 
 fn main() {
     let mut c = Criterion::from_args();

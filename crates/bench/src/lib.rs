@@ -97,6 +97,20 @@ pub struct EngineReport {
     /// (simulated 5–30 ms) — the node message path's steady-state
     /// allocation count.
     pub node_steady_state_allocs: u64,
+    /// Kernel events per wall-clock second of the sustained-churn world
+    /// run with four shards.
+    pub sharded_events_per_sec: f64,
+    /// Wall-clock ratio of the 1-shard run over the 4-shard run of the
+    /// same world (both produce bit-identical output).
+    pub sharded_speedup_4x: f64,
+    /// Threads that actually drove the 4-shard run:
+    /// `min(available parallelism, 4)`.
+    pub shard_threads: usize,
+    /// Set when fewer than four cores backed the 4-shard run: the shards
+    /// then time-slice the same cores and `sharded_speedup_4x` measures
+    /// windowing overhead, not parallelism — gates must not compare it
+    /// against a multi-core baseline.
+    pub shard_warning: Option<String>,
 }
 
 impl EngineReport {
@@ -104,10 +118,14 @@ impl EngineReport {
     /// number or a plain label, so no serializer dependency is needed).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let threads_warning = self.threads_warning.as_ref().map_or_else(
-            || "null".to_string(),
-            |w| format!("\"{}\"", w.replace('"', "'")),
-        );
+        let quote_opt = |w: &Option<String>| {
+            w.as_ref().map_or_else(
+                || "null".to_string(),
+                |w| format!("\"{}\"", w.replace('"', "'")),
+            )
+        };
+        let threads_warning = quote_opt(&self.threads_warning);
+        let shard_warning = quote_opt(&self.shard_warning);
         format!(
             concat!(
                 "{{\n",
@@ -134,7 +152,11 @@ impl EngineReport {
                 "  \"node_msgs_per_sec_owned\": {:.1},\n",
                 "  \"node_list_speedup\": {:.3},\n",
                 "  \"node_gossip_ticks_per_sec\": {:.1},\n",
-                "  \"node_steady_state_allocs\": {}\n",
+                "  \"node_steady_state_allocs\": {},\n",
+                "  \"sharded_events_per_sec\": {:.1},\n",
+                "  \"sharded_speedup_4x\": {:.3},\n",
+                "  \"shard_threads\": {},\n",
+                "  \"shard_warning\": {}\n",
                 "}}\n"
             ),
             self.events_processed,
@@ -161,6 +183,10 @@ impl EngineReport {
             self.node_list_speedup,
             self.node_gossip_ticks_per_sec,
             self.node_steady_state_allocs,
+            self.sharded_events_per_sec,
+            self.sharded_speedup_4x,
+            self.shard_threads,
+            shard_warning,
         )
     }
 }
@@ -213,6 +239,10 @@ mod tests {
             node_list_speedup: 2.0,
             node_gossip_ticks_per_sec: 12_345.6,
             node_steady_state_allocs: 0,
+            sharded_events_per_sec: 2.5e6,
+            sharded_speedup_4x: 3.1,
+            shard_threads: 4,
+            shard_warning: None,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
@@ -231,7 +261,11 @@ mod tests {
         assert!(json.contains("\"node_msgs_per_sec_owned\": 1500000.0"));
         assert!(json.contains("\"node_list_speedup\": 2.000"));
         assert!(json.contains("\"node_gossip_ticks_per_sec\": 12345.6"));
-        assert!(json.contains("\"node_steady_state_allocs\": 0\n"));
+        assert!(json.contains("\"node_steady_state_allocs\": 0,"));
+        assert!(json.contains("\"sharded_events_per_sec\": 2500000.0"));
+        assert!(json.contains("\"sharded_speedup_4x\": 3.100"));
+        assert!(json.contains("\"shard_threads\": 4"));
+        assert!(json.contains("\"shard_warning\": null\n"));
     }
 
     #[test]
@@ -261,10 +295,16 @@ mod tests {
             node_list_speedup: 1.0,
             node_gossip_ticks_per_sec: 0.0,
             node_steady_state_allocs: 0,
+            sharded_events_per_sec: 1.0,
+            sharded_speedup_4x: 1.0,
+            shard_threads: 1,
+            shard_warning: None,
         };
         r.threads_warning = Some("thread pool collapsed to 1".to_string());
+        r.shard_warning = Some("1 core backs 4 shards".to_string());
         let json = r.to_json();
         assert!(json.contains("\"threads_warning\": \"thread pool collapsed to 1\""));
         assert!(json.contains("\"inline_fallback\": true"));
+        assert!(json.contains("\"shard_warning\": \"1 core backs 4 shards\""));
     }
 }

@@ -46,7 +46,7 @@ mod store;
 
 pub use store::{KindRef, RecordRef, Rows, RowsFor, TraceStore};
 
-use plsim_des::{FaultEvent, Monitor, NodeId, SimTime};
+use plsim_des::{EventStamp, FaultEvent, Monitor, NodeId, SimTime};
 use plsim_net::Topology;
 use plsim_proto::{ChunkId, Message};
 use serde::{Deserialize, Serialize};
@@ -182,6 +182,49 @@ struct TapState {
     records: TraceStore,
     faults: Vec<FaultMark>,
     remote_kinds: HashMap<NodeId, RemoteKind>,
+    /// When stamping is enabled (sharded worlds), one `(pop stamp, index
+    /// within the pop)` sort key per captured record, parallel to
+    /// `records`. Merging shard captures on this key reconstructs the
+    /// global record order.
+    stamps: Option<Vec<(EventStamp, u32)>>,
+    /// The stamp of the pop currently being processed.
+    current_pop: EventStamp,
+    /// Records captured so far within the current pop.
+    idx_in_pop: u32,
+}
+
+/// One shard's captured traffic in thread-handoff form: the drained store
+/// plus the per-record sort keys. Produced by [`ProbeTap::drain_stamped`],
+/// consumed by [`merge_stamped`].
+#[derive(Debug)]
+pub struct StampedTrace {
+    /// The shard's captured records, in shard-local capture order.
+    pub store: TraceStore,
+    /// `(pop stamp, index within pop)` per record, parallel to `store`.
+    pub stamps: Vec<(EventStamp, u32)>,
+}
+
+/// Merges per-shard stamped captures into the global trace: every record of
+/// one event pop is captured by exactly one shard (delivery and the
+/// resulting sends all happen where the popped actor lives), so ordering
+/// records by `(pop stamp, index within pop)` reproduces the exact record
+/// sequence of the single-shard run, and rebuilding the store from that
+/// sequence reproduces it bit for bit.
+#[must_use]
+pub fn merge_stamped(parts: impl IntoIterator<Item = StampedTrace>) -> TraceStore {
+    let mut rows: Vec<((EventStamp, u32), TraceRecord)> = Vec::new();
+    for part in parts {
+        let records = part.store.to_records();
+        assert_eq!(
+            records.len(),
+            part.stamps.len(),
+            "stamped trace lost sync between records and sort keys"
+        );
+        rows.extend(part.stamps.into_iter().zip(records));
+    }
+    rows.sort_by_key(|&(key, _)| key);
+    let ordered: Vec<TraceRecord> = rows.into_iter().map(|(_, r)| r).collect();
+    TraceStore::from_records(&ordered)
 }
 
 /// Capture tap over a set of probe hosts; cloneable handle to shared
@@ -250,6 +293,37 @@ impl ProbeTap {
         std::mem::take(&mut self.state.borrow_mut().records)
     }
 
+    /// Turns on record stamping: every subsequent record also logs its
+    /// `(pop stamp, index within pop)` sort key, so shard captures can be
+    /// merged into the global order with [`merge_stamped`]. Sharded worlds
+    /// enable this on each shard's tap before the run starts.
+    pub fn enable_stamps(&self) {
+        let mut state = self.state.borrow_mut();
+        if state.stamps.is_none() {
+            state.stamps = Some(Vec::new());
+        }
+    }
+
+    /// Moves out the captured records together with their sort keys
+    /// (requires [`ProbeTap::enable_stamps`]), leaving the tap empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stamping was never enabled.
+    #[must_use]
+    pub fn drain_stamped(&self) -> StampedTrace {
+        let mut state = self.state.borrow_mut();
+        let stamps = state
+            .stamps
+            .take()
+            .expect("drain_stamped requires enable_stamps");
+        state.stamps = Some(Vec::new());
+        StampedTrace {
+            store: std::mem::take(&mut state.records),
+            stamps,
+        }
+    }
+
     /// Copies out the fault boundaries observed so far, in firing order.
     #[must_use]
     pub fn fault_markers(&self) -> Vec<FaultMark> {
@@ -294,6 +368,11 @@ impl ProbeTap {
             .try_host(remote)
             .map_or(Ipv4Addr::UNSPECIFIED, |h| h.ip);
         let mut state = self.state.borrow_mut();
+        if state.stamps.is_some() {
+            let key = (state.current_pop, state.idx_in_pop);
+            state.idx_in_pop += 1;
+            state.stamps.as_mut().expect("checked above").push(key);
+        }
         let remote_kind = state.remote_kinds.get(&remote).copied().unwrap_or_default();
         let head = RowHead {
             t: now,
@@ -381,6 +460,12 @@ impl Monitor<Message> for ProbeTap {
             label: fault.label.clone(),
             begins: fault.begins,
         });
+    }
+
+    fn on_pop(&mut self, stamp: EventStamp) {
+        let mut state = self.state.borrow_mut();
+        state.current_pop = stamp;
+        state.idx_in_pop = 0;
     }
 }
 
@@ -536,6 +621,76 @@ mod tests {
             }
             other => panic!("wrong kind: {other:?}"),
         });
+    }
+
+    #[test]
+    fn stamped_shard_captures_merge_into_the_reference_order() {
+        use plsim_des::EventStamp;
+        let stamp = |at: u64, origin: u32, seq: u64| EventStamp {
+            at: SimTime::from_secs(at),
+            origin,
+            seq,
+        };
+        let msg = |req_id| Message::PeerListRequest {
+            channel: ChannelId(1),
+            my_peers: SharedPeerList::default(),
+            req_id,
+        };
+        // Reference: one tap sees four pops in global order; pop 2 yields
+        // two records (a delivery then a forwarded send).
+        let pops = [
+            (stamp(1, 3, 0), vec![(NodeId(6), Direction::Inbound, 0u64)]),
+            (
+                stamp(2, 1, 0),
+                vec![
+                    (NodeId(7), Direction::Inbound, 1),
+                    (NodeId(8), Direction::Outbound, 2),
+                ],
+            ),
+            (stamp(2, 1, 1), vec![(NodeId(9), Direction::Outbound, 3)]),
+            (stamp(2, 2, 0), vec![(NodeId(6), Direction::Inbound, 4)]),
+        ];
+        let mut reference = tap();
+        for (stamp, records) in &pops {
+            reference.on_pop(*stamp);
+            for &(remote, dir, req_id) in records {
+                match dir {
+                    Direction::Inbound => {
+                        reference.on_deliver(stamp.at, remote, NodeId(0), &msg(req_id), 46);
+                    }
+                    Direction::Outbound => {
+                        reference.on_send(stamp.at, NodeId(0), remote, &msg(req_id), 46);
+                    }
+                }
+            }
+        }
+        let want = reference.drain();
+
+        // Sharded: odd-indexed pops land on one tap, even on the other, in
+        // arbitrary relative order; the stamps put them back.
+        let (shard_a, shard_b) = (tap(), tap());
+        shard_a.enable_stamps();
+        shard_b.enable_stamps();
+        for (i, (stamp, records)) in pops.iter().enumerate().rev() {
+            let mut t = if i % 2 == 0 {
+                shard_a.clone()
+            } else {
+                shard_b.clone()
+            };
+            t.on_pop(*stamp);
+            for &(remote, dir, req_id) in records {
+                match dir {
+                    Direction::Inbound => {
+                        t.on_deliver(stamp.at, remote, NodeId(0), &msg(req_id), 46);
+                    }
+                    Direction::Outbound => {
+                        t.on_send(stamp.at, NodeId(0), remote, &msg(req_id), 46);
+                    }
+                }
+            }
+        }
+        let merged = merge_stamped([shard_a.drain_stamped(), shard_b.drain_stamped()]);
+        assert_eq!(merged, TraceStore::from_records(&want.to_records()));
     }
 
     #[test]

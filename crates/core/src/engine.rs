@@ -144,6 +144,16 @@ impl JobPool {
         }
     }
 
+    /// Threads each of a batch of `jobs` concurrent jobs may itself use
+    /// for nested parallelism (e.g. driving the shards of its world)
+    /// without oversubscribing the machine: the pool's threads divided by
+    /// the workers the batch actually occupies, never below one. A
+    /// sequential pool hands the whole budget to its single resident job.
+    #[must_use]
+    pub fn threads_per_job(&self, jobs: usize) -> usize {
+        (self.threads / self.effective_workers(jobs)).max(1)
+    }
+
     /// How this pool's dispatches resolved so far (shared across clones).
     #[must_use]
     pub fn dispatch_stats(&self) -> DispatchStats {
@@ -487,6 +497,21 @@ mod tests {
         assert_eq!(JobPool::new(2).effective_workers(64), 2);
         assert_eq!(JobPool::new(1).effective_workers(64), 1);
         assert_eq!(JobPool::new(8).effective_workers(1), 1);
+    }
+
+    #[test]
+    fn threads_per_job_splits_the_budget() {
+        // 8 threads over 2 resident jobs: 4 threads each.
+        assert_eq!(JobPool::new(8).threads_per_job(2), 4);
+        // Saturated pool: every job runs sequentially inside.
+        assert_eq!(JobPool::new(2).threads_per_job(8), 1);
+        // Sequential pool: the lone resident job gets the whole machine
+        // budget the pool was configured with.
+        assert_eq!(JobPool::new(1).threads_per_job(5), 1);
+        // A single job owns the full pool.
+        assert_eq!(JobPool::new(8).threads_per_job(1), 8);
+        // Uneven split rounds down but never to zero.
+        assert_eq!(JobPool::new(3).threads_per_job(2), 1);
     }
 
     #[test]

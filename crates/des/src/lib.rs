@@ -19,9 +19,13 @@
 //!
 //! Event ordering is pluggable ([`Scheduler`]): the reference
 //! [`HeapScheduler`] and the default [`CalendarScheduler`] (an O(1)
-//! self-resizing calendar queue) realise the identical `(time, seq)` total
-//! order, so scheduler choice affects speed, never results — a property
-//! test drives both against arbitrary workloads to prove it.
+//! self-resizing calendar queue) realise the identical `(time, origin, seq)`
+//! total order, so scheduler choice affects speed, never results — a
+//! property test drives both against arbitrary workloads to prove it. The
+//! same origin-keyed order (plus per-actor random streams) makes the order
+//! invariant under space partitioning: [`Simulation::enable_sharding`]
+//! turns a simulation into one shard of a multi-core world that reproduces
+//! the single-shard run bit for bit.
 //!
 //! # Examples
 //!
@@ -54,7 +58,7 @@ mod time;
 
 pub use sched::{CalendarScheduler, EventKey, HeapScheduler, Scheduler, SchedulerKind};
 pub use sim::{
-    Actor, Context, Delivery, FaultEvent, FixedDelay, Medium, Monitor, NodeId, NullMonitor,
-    SimStats, Simulation,
+    Actor, Context, Delivery, EventStamp, FaultEvent, FixedDelay, Medium, Monitor, NodeId,
+    NullMonitor, PopRecord, RemoteEvent, SimStats, Simulation,
 };
 pub use time::SimTime;

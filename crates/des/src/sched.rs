@@ -3,14 +3,18 @@
 //!
 //! The kernel separates *ordering* from *storage*: event bodies (payload,
 //! addressing, size) live in a slot pool inside [`crate::Simulation`], and a
-//! [`Scheduler`] only orders lightweight [`EventKey`]s — a `(time, seq,
-//! slot)` triple that is `Copy` and 24 bytes. Both implementations realise
-//! exactly the same total order, `(time, seq)` ascending with `seq` the
-//! kernel's monotone push counter, so a simulation's pop sequence — and
+//! [`Scheduler`] only orders lightweight `Copy` [`EventKey`]s. Both
+//! implementations realise exactly the same total order, `(time, origin,
+//! seq)` ascending with `origin` the scheduling actor and `seq` that
+//! origin's monotone push counter, so a simulation's pop sequence — and
 //! therefore every figure the reproduction emits — is bit-identical
-//! whichever scheduler is plugged in. The property test in
-//! `tests/scheduler_equivalence.rs` enforces this for arbitrary interleaved
-//! push/pop workloads.
+//! whichever scheduler is plugged in. Because the tie-break depends only
+//! on *who* scheduled the event and their private counter (never on a
+//! global interleaving), the order is also invariant under space
+//! partitioning: a sharded world pops the same keys in the same relative
+//! order as the single-shard run. The property test in
+//! `tests/scheduler_equivalence.rs` enforces heap/calendar agreement for
+//! arbitrary interleaved push/pop workloads.
 
 use crate::SimTime;
 use std::cmp::Reverse;
@@ -19,22 +23,29 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Ordering key of one queued event.
 ///
 /// `slot` indexes the event body in the kernel's pool; it plays no part in
-/// ordering (`seq` is unique, so `(at, seq)` already totally orders keys).
+/// ordering (`(origin, seq)` is unique, so `(at, origin, seq)` already
+/// totally orders keys).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventKey {
     /// Firing time.
     pub at: SimTime,
-    /// Monotone push sequence number — the deterministic tie-break for
-    /// equal timestamps.
+    /// Per-origin monotone sequence number — together with `origin`, the
+    /// deterministic tie-break for equal timestamps.
     pub seq: u64,
+    /// The scheduling origin: 0 for harness injections, `actor id + 1`
+    /// for events scheduled by an actor. Keying the tie-break on the
+    /// origin (rather than a global push counter) makes the total order
+    /// independent of how actor executions interleave, which is what lets
+    /// a sharded run reproduce the single-shard pop order bit-for-bit.
+    pub origin: u32,
     /// Index of the pooled event body.
     pub slot: u32,
 }
 
 impl EventKey {
     #[inline]
-    fn order(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
+    fn order(&self) -> (SimTime, u32, u64) {
+        (self.at, self.origin, self.seq)
     }
 }
 
@@ -50,7 +61,7 @@ impl Ord for EventKey {
     }
 }
 
-/// A pending-event set ordered by `(time, seq)`.
+/// A pending-event set ordered by `(time, origin, seq)`.
 ///
 /// The contract every implementation must honour:
 ///
@@ -163,10 +174,11 @@ const MAX_SHIFT: u32 = 40;
 /// Events hash into `buckets.len()` (a power of two) circular buckets by
 /// `(at >> shift) & mask`, i.e. bucket widths are powers of two so the
 /// index math is a shift and a mask. Each bucket is a deque kept sorted
-/// descending by `(time, seq)`: the minimum pops from the back in O(1),
-/// and a key that is its bucket's new *maximum* — the dominant case both
-/// for monotone arrival and for same-timestamp FIFO bursts, where `seq`
-/// only ever grows — pushes at the front in O(1) instead of memmoving the
+/// descending by `(time, origin, seq)`: the minimum pops from the back in
+/// O(1), and a key that is its bucket's new *maximum* — the dominant case
+/// both for monotone arrival and for same-origin same-timestamp FIFO
+/// bursts, where `seq` only ever grows — pushes at the front in O(1)
+/// instead of memmoving the
 /// bucket the way a sorted `Vec` would. A cursor
 /// walks the buckets window-by-window in time order; the first key found
 /// inside its bucket's active window is the global minimum. When a full
@@ -179,8 +191,8 @@ const MAX_SHIFT: u32 = 40;
 /// drops below one key per eight buckets, re-estimating the bucket width
 /// from the live keys' time span on every rebuild (see
 /// [`CalendarScheduler::rebuild`]). Resizing only redistributes keys — the
-/// pop order is fixed by the `(time, seq)` comparator alone, so sizing
-/// policy affects speed, never order.
+/// pop order is fixed by the `(time, origin, seq)` comparator alone, so
+/// sizing policy affects speed, never order.
 #[derive(Debug)]
 pub struct CalendarScheduler {
     /// Each bucket sorted descending by `(at, seq)`: maximum at the front
@@ -484,6 +496,7 @@ mod tests {
         EventKey {
             at: SimTime::from_micros(at_us),
             seq,
+            origin: 0,
             slot: seq as u32,
         }
     }

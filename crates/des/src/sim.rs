@@ -97,6 +97,12 @@ pub trait Medium<P> {
     /// it. Media with time-varying behaviour (loss ramps, partitions) use
     /// this as their clock-driven activation edge; the default ignores it.
     fn on_fault(&mut self, _now: SimTime, _fault: &FaultEvent) {}
+
+    /// Called once by [`Simulation::finish`] when the run reaches its
+    /// horizon, so media with internal queues can settle them to a
+    /// deterministic end-of-run state (e.g. drain backlog gauges to the
+    /// horizon). The default ignores it.
+    fn on_run_end(&mut self, _horizon: SimTime) {}
 }
 
 /// A medium that delivers everything after a fixed delay. Useful in tests.
@@ -116,6 +122,21 @@ impl<P> Medium<P> for FixedDelay {
     }
 }
 
+/// The scheduling identity of one popped event: its firing time plus the
+/// `(origin, seq)` pair that tie-breaks equal timestamps. Stamps from
+/// different shards of the same world interleave into the global pop order
+/// by simple comparison, which is what lets per-shard captures and queue
+/// depths be merged bit-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventStamp {
+    /// Firing time.
+    pub at: SimTime,
+    /// Scheduling origin (0 = harness, actor id + 1 otherwise).
+    pub origin: u32,
+    /// The origin's monotone sequence number.
+    pub seq: u64,
+}
+
 /// Observer of traffic crossing the medium. The capture layer implements this
 /// to play the role Wireshark played in the paper's methodology.
 pub trait Monitor<P> {
@@ -130,6 +151,11 @@ pub trait Monitor<P> {
     /// been notified), so captures can interleave fault markers with
     /// traffic in timestamp order.
     fn on_fault(&mut self, _now: SimTime, _fault: &FaultEvent) {}
+    /// Called at the start of every pop with the event's scheduling
+    /// identity, before any other callback for that event. Sharded
+    /// captures use the stamp to merge per-shard records back into the
+    /// global pop order; the default ignores it.
+    fn on_pop(&mut self, _stamp: EventStamp) {}
 }
 
 /// A monitor that observes nothing.
@@ -188,7 +214,11 @@ impl<'a, P> Context<'a, P> {
         self.self_id
     }
 
-    /// Deterministic random number generator shared by the simulation.
+    /// This node's private deterministic random stream. Every actor draws
+    /// from its own generator (seeded from the master seed and the node
+    /// id), so one node's randomness is independent of how other nodes'
+    /// executions interleave — the property that lets a sharded run
+    /// reproduce the single-shard run bit-for-bit.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
@@ -216,7 +246,8 @@ impl<'a, P> Context<'a, P> {
     }
 
     /// Requests that the whole simulation stop once the current event has
-    /// been processed.
+    /// been processed. Not supported in sharded worlds (a halt is local to
+    /// the shard that requested it).
     pub fn halt(&mut self) {
         self.effects.push(Effect::Halt);
     }
@@ -243,7 +274,7 @@ struct EventBody<P> {
 /// scheduler key. Slots are recycled on pop, so once the pool has grown to
 /// the queue's high-water mark the steady-state event loop performs no
 /// allocations: push writes into a recycled slot, the scheduler moves a
-/// 24-byte `Copy` key, and pop moves the body back out.
+/// `Copy` key, and pop moves the body back out.
 struct EventPool<P> {
     slots: Vec<Option<EventBody<P>>>,
     free: Vec<u32>,
@@ -306,13 +337,70 @@ pub struct SimStats {
     pub faults_activated: u64,
 }
 
+/// One cross-shard message leaving a sharded simulation: the scheduled
+/// arrival (`at`), the sender-assigned scheduling identity (`origin`,
+/// `seq`) — already final, so the receiving shard enqueues it into exactly
+/// the position the single-shard run would have — and the event body.
+#[derive(Debug)]
+pub struct RemoteEvent<P> {
+    /// Arrival time at the destination (medium delay already applied).
+    pub at: SimTime,
+    /// Scheduling origin (sender's actor id + 1).
+    pub origin: u32,
+    /// The origin's sequence number for this event.
+    pub seq: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node (owned by another shard).
+    pub to: NodeId,
+    /// Message payload.
+    pub payload: P,
+    /// Bytes on the wire.
+    pub size: u32,
+}
+
+/// One entry of a shard's pop log: the popped event's scheduling identity
+/// plus how many events its processing scheduled (local pushes and
+/// cross-shard emissions alike). Merging the logs of all shards in stamp
+/// order and replaying pops as `-1` / pushes as `+1` reconstructs the
+/// single-shard run's queue-depth trajectory — and therefore its exact
+/// `peak_queue_depth` — without any shard ever seeing the global queue.
+#[derive(Debug, Clone, Copy)]
+pub struct PopRecord {
+    /// The popped event's stamp.
+    pub stamp: EventStamp,
+    /// Events scheduled while processing it.
+    pub pushes: u32,
+}
+
+/// Sharding state of one space-partitioned simulation (see
+/// [`Simulation::enable_sharding`]).
+struct ShardState<P> {
+    /// `local[i]` — whether node `i` is owned by this shard.
+    local: Vec<bool>,
+    /// Cross-shard sends awaiting pickup by the shard driver.
+    outbox: Vec<RemoteEvent<P>>,
+    /// Pop log for the global queue-depth replay.
+    pop_log: Vec<PopRecord>,
+    /// Fault boundaries owned by shard 0, mirrored here so this shard's
+    /// medium activates them at the same points of the global pop order:
+    /// `(at, seq)` with origin 0, sorted ascending.
+    shadow_faults: Vec<(SimTime, u64, FaultEvent)>,
+    /// First unapplied shadow fault.
+    shadow_next: usize,
+}
+
 /// A single-threaded deterministic discrete-event simulation.
 ///
 /// The simulation owns a set of [`Actor`]s, a [`Medium`] that models the
 /// network between them, and an optional [`Monitor`] observing all traffic.
-/// Events with equal timestamps are processed in scheduling order, and all
-/// randomness flows from the seed given to [`Simulation::new`], so a run is a
-/// pure function of (actors, medium, seed).
+/// Events are processed in `(time, origin, seq)` order — equal timestamps
+/// resolve by the scheduling actor and its private monotone counter — and
+/// every actor draws randomness from its own seed-derived stream, so a run
+/// is a pure function of (actors, medium, seed) and, crucially, of nothing
+/// about how the world is partitioned: a sharded world (see
+/// [`Simulation::enable_sharding`]) pops the same events in the same order
+/// as the single-shard run.
 ///
 /// # Examples
 ///
@@ -344,8 +432,13 @@ pub struct Simulation<P> {
     actors: Vec<Option<Box<dyn Actor<P>>>>,
     medium: Box<dyn Medium<P>>,
     monitor: Box<dyn Monitor<P>>,
-    rng: SmallRng,
-    next_seq: u64,
+    /// Master seed; every actor stream derives from it.
+    seed: u64,
+    /// One private random stream per actor slot, indexed by node id.
+    actor_rngs: Vec<SmallRng>,
+    /// Per-origin monotone sequence counters: index 0 is the harness,
+    /// index `i + 1` is actor `i`.
+    next_seq: Vec<u64>,
     registry: MetricsRegistry,
     // Hot-path handles interned once from `registry` (no lookup per event).
     events_processed: Counter,
@@ -356,6 +449,22 @@ pub struct Simulation<P> {
     halted: bool,
     // Reusable effect buffer; empty between events, capacity persists.
     scratch: Vec<Effect<P>>,
+    /// Pushes performed while processing the current pop (pop-log entry).
+    pop_pushes: u32,
+    /// Present iff this simulation is one shard of a partitioned world.
+    shard: Option<ShardState<P>>,
+}
+
+/// Derives the private stream seed of `origin` from the master seed
+/// (splitmix64 finalizer over a golden-ratio mix — same stream whichever
+/// shard materialises the actor).
+fn stream_seed(master: u64, origin: u32) -> u64 {
+    let mut z = master ^ u64::from(origin)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<P> Simulation<P> {
@@ -381,8 +490,8 @@ impl<P> Simulation<P> {
     }
 
     /// Full-control constructor: shared `registry` plus an explicit event
-    /// scheduler. Both schedulers realise the same `(time, seq)` pop order,
-    /// so the choice affects speed, never results.
+    /// scheduler. Both schedulers realise the same `(time, origin, seq)`
+    /// pop order, so the choice affects speed, never results.
     pub fn with_scheduler(
         seed: u64,
         medium: impl Medium<P> + 'static,
@@ -396,8 +505,9 @@ impl<P> Simulation<P> {
             actors: Vec::new(),
             medium: Box::new(medium),
             monitor: Box::new(NullMonitor),
-            rng: SmallRng::seed_from_u64(seed),
-            next_seq: 0,
+            seed,
+            actor_rngs: Vec::new(),
+            next_seq: vec![0],
             events_processed: registry.counter("des.events_processed"),
             messages_sent: registry.counter("des.messages_sent"),
             messages_dropped: registry.counter("des.messages_dropped"),
@@ -406,6 +516,8 @@ impl<P> Simulation<P> {
             registry,
             halted: false,
             scratch: Vec::new(),
+            pop_pushes: 0,
+            shard: None,
         }
     }
 
@@ -430,10 +542,26 @@ impl<P> Simulation<P> {
     pub fn add_actor(&mut self, actor: Box<dyn Actor<P>>) -> NodeId {
         let id = NodeId(u32::try_from(self.actors.len()).expect("too many actors"));
         self.actors.push(Some(actor));
+        self.actor_rngs
+            .push(SmallRng::seed_from_u64(stream_seed(self.seed, id.0)));
+        self.next_seq.push(0);
         id
     }
 
-    /// Number of registered actors.
+    /// Registers a *remote* actor slot: the node id exists (so the global
+    /// id space stays dense and messages can be addressed to it), but the
+    /// behaviour lives in another shard. Events are never dispatched
+    /// locally to a remote slot — sends to it leave through the outbox.
+    pub fn add_remote_actor(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(None);
+        self.actor_rngs
+            .push(SmallRng::seed_from_u64(stream_seed(self.seed, id.0)));
+        self.next_seq.push(0);
+        id
+    }
+
+    /// Number of registered actors (local and remote slots).
     #[must_use]
     pub fn actor_count(&self) -> usize {
         self.actors.len()
@@ -470,7 +598,28 @@ impl<P> Simulation<P> {
     /// Panics if `at` lies in the past of the simulation clock.
     pub fn inject(&mut self, at: SimTime, to: NodeId, from: Option<NodeId>, payload: P, size: u32) {
         assert!(at >= self.now, "cannot inject an event into the past");
-        self.push(at, to, from, EventPayload::Msg(payload), size);
+        let seq = self.next_seq[0];
+        self.next_seq[0] = seq + 1;
+        self.push(at, 0, seq, to, from, EventPayload::Msg(payload), size);
+    }
+
+    /// [`Simulation::inject`] with an explicit harness sequence number —
+    /// the shard-materialisation hook. A shard injects only the events
+    /// addressed to its own actors, but with the sequence numbers the
+    /// single-shard build would have assigned, so injected events keep
+    /// their global position among same-timestamp peers.
+    pub fn inject_with_seq(
+        &mut self,
+        at: SimTime,
+        to: NodeId,
+        from: Option<NodeId>,
+        payload: P,
+        size: u32,
+        seq: u64,
+    ) {
+        assert!(at >= self.now, "cannot inject an event into the past");
+        self.next_seq[0] = self.next_seq[0].max(seq + 1);
+        self.push(at, 0, seq, to, from, EventPayload::Msg(payload), size);
     }
 
     /// Schedules a [`FaultEvent`] to fire at `at`. When it does, the medium
@@ -481,7 +630,17 @@ impl<P> Simulation<P> {
     /// Panics if `at` lies in the past of the simulation clock.
     pub fn inject_fault(&mut self, at: SimTime, fault: FaultEvent) {
         assert!(at >= self.now, "cannot inject a fault into the past");
-        self.push(at, NodeId(0), None, EventPayload::Fault(fault), 0);
+        let seq = self.next_seq[0];
+        self.next_seq[0] = seq + 1;
+        self.push(at, 0, seq, NodeId(0), None, EventPayload::Fault(fault), 0);
+    }
+
+    /// [`Simulation::inject_fault`] with an explicit harness sequence
+    /// number (see [`Simulation::inject_with_seq`]).
+    pub fn inject_fault_with_seq(&mut self, at: SimTime, fault: FaultEvent, seq: u64) {
+        assert!(at >= self.now, "cannot inject a fault into the past");
+        self.next_seq[0] = self.next_seq[0].max(seq + 1);
+        self.push(at, 0, seq, NodeId(0), None, EventPayload::Fault(fault), 0);
     }
 
     /// Pre-reserves queue capacity for at least `additional` more events.
@@ -494,44 +653,182 @@ impl<P> Simulation<P> {
         self.pool.reserve(additional);
     }
 
+    /// Marks this simulation as one shard of a partitioned world.
+    ///
+    /// `local[i]` says whether node `i` lives here. Sends to non-local
+    /// nodes are routed to the outbox (with their final `(origin, seq)`
+    /// identity) instead of the local scheduler; every pop is logged for
+    /// the global queue-depth replay. `shadow_faults` mirrors the fault
+    /// timeline owned by shard 0 — `(at, harness seq, event)` sorted
+    /// ascending — and is applied to this shard's medium lazily, exactly
+    /// before the first local pop that the single-shard run would have
+    /// processed after the fault.
+    pub fn enable_sharding(
+        &mut self,
+        local: Vec<bool>,
+        shadow_faults: Vec<(SimTime, u64, FaultEvent)>,
+    ) {
+        debug_assert!(
+            shadow_faults.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            "shadow faults must be sorted by (time, seq)"
+        );
+        self.shard = Some(ShardState {
+            local,
+            outbox: Vec::new(),
+            pop_log: Vec::new(),
+            shadow_faults,
+            shadow_next: 0,
+        });
+    }
+
+    /// Moves this shard's pending cross-shard sends into `into`
+    /// (appending), leaving the outbox empty with its capacity intact.
+    pub fn drain_outbox(&mut self, into: &mut Vec<RemoteEvent<P>>) {
+        if let Some(shard) = &mut self.shard {
+            into.append(&mut shard.outbox);
+        }
+    }
+
+    /// Moves this shard's pop log into `into` (appending), leaving the log
+    /// empty with its capacity intact. Entries are in pop (= stamp) order.
+    pub fn drain_pop_log(&mut self, into: &mut Vec<PopRecord>) {
+        if let Some(shard) = &mut self.shard {
+            into.append(&mut shard.pop_log);
+        }
+    }
+
+    /// Enqueues a cross-shard event delivered by the shard driver. The
+    /// event keeps the scheduling identity its sender assigned, so it
+    /// lands in exactly the position of the single-shard pop order;
+    /// arrival order across `ingest_remote` calls is irrelevant.
+    pub fn ingest_remote(&mut self, ev: RemoteEvent<P>) {
+        debug_assert!(
+            self.shard
+                .as_ref()
+                .is_none_or(|s| s.local[ev.to.index()]),
+            "remote event routed to the wrong shard"
+        );
+        let slot = self.pool.insert(EventBody {
+            to: ev.to,
+            from: Some(ev.from),
+            payload: EventPayload::Msg(ev.payload),
+            size: ev.size,
+        });
+        self.sched.push(EventKey {
+            at: ev.at,
+            seq: ev.seq,
+            origin: ev.origin,
+            slot,
+        });
+        // Not counted as a push in the pop log: the sender's emission
+        // already was (it is the same push, seen from the other side).
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn push(
         &mut self,
         at: SimTime,
+        origin: u32,
+        seq: u64,
         to: NodeId,
         from: Option<NodeId>,
         payload: EventPayload<P>,
         size: u32,
     ) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
         let slot = self.pool.insert(EventBody {
             to,
             from,
             payload,
             size,
         });
-        self.sched.push(EventKey { at, seq, slot });
+        self.sched.push(EventKey {
+            at,
+            seq,
+            origin,
+            slot,
+        });
+        self.pop_pushes += 1;
         // The queue only reaches a new high-water mark right after a push,
-        // so updating the gauge here (not on pop) preserves the peak.
+        // so updating the gauge here (not on pop) preserves the peak. In a
+        // sharded run the per-shard gauge is only an input to the merged
+        // replay, which reconstructs the global trajectory from pop logs.
         self.queue_depth.set(self.sched.len() as u64);
     }
 
     /// Runs until the queue drains, an actor halts the simulation, or the
-    /// next event would be later than `end`. Returns the stats at exit.
+    /// next event would be later than `end` (inclusive). Returns the stats
+    /// at exit.
     pub fn run_until(&mut self, end: SimTime) -> SimStats {
+        self.run_bounded(end);
+        self.stats()
+    }
+
+    /// Runs one conservative lookahead window: processes every queued
+    /// event with `at < end` (strictly — `end` is the start of the next
+    /// window, whose events may still be in flight from other shards).
+    pub fn run_window(&mut self, end: SimTime) {
+        debug_assert!(end > SimTime::ZERO, "empty lookahead window");
+        self.run_bounded(SimTime::from_micros(end.as_micros() - 1));
+    }
+
+    /// Declares the run finished at `horizon`: applies any shadow faults
+    /// not yet reached and lets the medium settle its end-of-run state.
+    /// The single-shard and sharded paths both call this exactly once.
+    pub fn finish(&mut self, horizon: SimTime) {
+        if let Some(mut shard) = self.shard.take() {
+            while shard.shadow_next < shard.shadow_faults.len() {
+                let (at, _, fault) = &shard.shadow_faults[shard.shadow_next];
+                if *at > horizon {
+                    break;
+                }
+                self.medium.on_fault(*at, fault);
+                shard.shadow_next += 1;
+            }
+            self.shard = Some(shard);
+        }
+        self.medium.on_run_end(horizon);
+        // The gauge's last `set` happened at the final push, not at the end
+        // of the run; settle it to the actual resident count so a sharded
+        // replay (which reconstructs exactly this number) agrees with it.
+        self.queue_depth.finalize(self.sched.len() as u64);
+    }
+
+    fn run_bounded(&mut self, bound: SimTime) {
         while !self.halted {
-            let Some(key) = self.sched.pop_next_before(end) else {
+            let Some(key) = self.sched.pop_next_before(bound) else {
                 break;
             };
+            let stamp = EventStamp {
+                at: key.at,
+                origin: key.origin,
+                seq: key.seq,
+            };
+            // Mirror shard 0's fault boundaries into this shard's medium at
+            // their exact global pop position: every shadow fault that the
+            // single-shard run would have popped before this event applies
+            // now, before the event's sends consult the medium.
+            if let Some(shard) = &mut self.shard {
+                while shard.shadow_next < shard.shadow_faults.len() {
+                    let (at, seq, fault) = &shard.shadow_faults[shard.shadow_next];
+                    if (*at, 0u32, *seq) >= (stamp.at, stamp.origin, stamp.seq) {
+                        break;
+                    }
+                    self.medium.on_fault(*at, fault);
+                    shard.shadow_next += 1;
+                }
+            }
             let ev = self.pool.take(key.slot);
             self.now = key.at;
             self.events_processed.inc();
+            self.pop_pushes = 0;
+            self.monitor.on_pop(stamp);
 
             let payload = match ev.payload {
                 EventPayload::Fault(fault) => {
                     self.faults_activated.inc();
                     self.medium.on_fault(self.now, &fault);
                     self.monitor.on_fault(self.now, &fault);
+                    self.log_pop(stamp);
                     continue;
                 }
                 EventPayload::Msg(payload) => payload,
@@ -546,24 +843,38 @@ impl<P> Simulation<P> {
             let mut actor = match self.actors.get_mut(idx).and_then(Option::take) {
                 Some(a) => a,
                 // Actor slot missing: event addressed to an unknown node.
-                None => continue,
+                None => {
+                    self.log_pop(stamp);
+                    continue;
+                }
             };
             let mut effects = std::mem::take(&mut self.scratch);
             let mut ctx = Context {
                 now: self.now,
                 self_id: ev.to,
-                rng: &mut self.rng,
+                rng: &mut self.actor_rngs[idx],
                 effects: &mut effects,
             };
             actor.on_event(&mut ctx, ev.from, payload);
             self.actors[idx] = Some(actor);
             self.apply_effects(ev.to, &mut effects);
             self.scratch = effects;
+            self.log_pop(stamp);
         }
-        self.stats()
+    }
+
+    #[inline]
+    fn log_pop(&mut self, stamp: EventStamp) {
+        if let Some(shard) = &mut self.shard {
+            shard.pop_log.push(PopRecord {
+                stamp,
+                pushes: self.pop_pushes,
+            });
+        }
     }
 
     fn apply_effects(&mut self, origin: NodeId, effects: &mut Vec<Effect<P>>) {
+        let origin_key = origin.0 + 1;
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
@@ -575,15 +886,48 @@ impl<P> Simulation<P> {
                     self.messages_sent.inc();
                     self.monitor.on_send(self.now, origin, to, &payload, size);
                     let depart = self.now + hold;
-                    match self.medium.transit(origin, to, size, depart, &mut self.rng) {
+                    match self.medium.transit(
+                        origin,
+                        to,
+                        size,
+                        depart,
+                        &mut self.actor_rngs[origin.index()],
+                    ) {
                         Delivery::After(delay) => {
-                            self.push(
-                                depart + delay,
-                                to,
-                                Some(origin),
-                                EventPayload::Msg(payload),
-                                size,
-                            );
+                            let seq = self.next_seq[origin_key as usize];
+                            self.next_seq[origin_key as usize] = seq + 1;
+                            let at = depart + delay;
+                            let local = self
+                                .shard
+                                .as_ref()
+                                .is_none_or(|s| s.local[to.index()]);
+                            if local {
+                                self.push(
+                                    at,
+                                    origin_key,
+                                    seq,
+                                    to,
+                                    Some(origin),
+                                    EventPayload::Msg(payload),
+                                    size,
+                                );
+                            } else {
+                                // Cross-shard: same scheduling identity, but
+                                // the push lands in the receiver's queue.
+                                // It still counts as a push of *this* pop in
+                                // the global depth replay.
+                                let shard = self.shard.as_mut().expect("checked above");
+                                shard.outbox.push(RemoteEvent {
+                                    at,
+                                    origin: origin_key,
+                                    seq,
+                                    from: origin,
+                                    to,
+                                    payload,
+                                    size,
+                                });
+                                self.pop_pushes += 1;
+                            }
                         }
                         Delivery::Drop => {
                             self.messages_dropped.inc();
@@ -592,7 +936,17 @@ impl<P> Simulation<P> {
                     }
                 }
                 Effect::Timer { delay, payload } => {
-                    self.push(self.now + delay, origin, None, EventPayload::Msg(payload), 0);
+                    let seq = self.next_seq[origin_key as usize];
+                    self.next_seq[origin_key as usize] = seq + 1;
+                    self.push(
+                        self.now + delay,
+                        origin_key,
+                        seq,
+                        origin,
+                        None,
+                        EventPayload::Msg(payload),
+                        0,
+                    );
                 }
                 Effect::Halt => self.halted = true,
             }
@@ -618,6 +972,7 @@ impl<P> fmt::Debug for Simulation<P> {
             .field("scheduler", &self.sched.kind().label())
             .field("actors", &self.actors.len())
             .field("queued", &self.sched.len())
+            .field("sharded", &self.shard.is_some())
             .field("stats", &self.stats())
             .finish()
     }
@@ -676,6 +1031,23 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(1));
         // The later event is still queued and fires on the next call.
         sim.run_until(SimTime::from_secs(20));
+        assert_eq!(sim.stats().events_processed, 2);
+    }
+
+    #[test]
+    fn run_window_excludes_the_window_end() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(1, FixedDelay(SimTime::ZERO));
+        let n = sim.add_actor(Box::new(Recorder { log: log.clone() }));
+        sim.inject(SimTime::from_secs(1), n, None, 1, 0);
+        sim.inject(SimTime::from_secs(5), n, None, 2, 0);
+        sim.run_window(SimTime::from_secs(5));
+        assert_eq!(
+            sim.stats().events_processed,
+            1,
+            "an event at exactly the window end belongs to the next window"
+        );
+        sim.run_until(SimTime::from_secs(5));
         assert_eq!(sim.stats().events_processed, 2);
     }
 
@@ -913,5 +1285,104 @@ mod tests {
         sim.inject(SimTime::from_secs(1), n, None, 1, 0);
         sim.run_until(SimTime::MAX);
         sim.inject(SimTime::ZERO, n, None, 2, 0);
+    }
+
+    /// Bounces a payload back and forth `payload` more times.
+    struct Bouncer;
+    impl Actor<u32> for Bouncer {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, from: Option<NodeId>, n: u32) {
+            if let Some(peer) = from {
+                if n > 0 {
+                    ctx.send(peer, n - 1, 64);
+                }
+            }
+        }
+    }
+
+    /// Manually drives a two-shard split of a two-actor ping-pong world
+    /// through lookahead windows and checks it reproduces the single-shard
+    /// run: same delivery times, same counters, and a pop-log replay that
+    /// reconstructs the reference peak queue depth.
+    #[test]
+    fn sharded_windows_reproduce_the_single_sim_run() {
+        const HOPS: u32 = 9;
+        let delay = SimTime::from_millis(50);
+        let horizon = SimTime::from_secs(2);
+
+        // Reference: both actors in one simulation.
+        let mut reference = Simulation::new(11, FixedDelay(delay));
+        let a = reference.add_actor(Box::new(Bouncer));
+        let b = reference.add_actor(Box::new(Bouncer));
+        reference.inject(SimTime::ZERO, b, Some(a), HOPS, 64);
+        let ref_stats = reference.run_until(horizon);
+        reference.finish(horizon);
+
+        // Sharded: one actor per shard, window = the 50 ms link delay.
+        let mut shard0 = Simulation::new(11, FixedDelay(delay));
+        let a0 = shard0.add_actor(Box::new(Bouncer));
+        let b0 = shard0.add_remote_actor();
+        assert_eq!((a0, b0), (a, b));
+        shard0.enable_sharding(vec![true, false], Vec::new());
+
+        let mut shard1 = Simulation::new(11, FixedDelay(delay));
+        let _ = shard1.add_remote_actor();
+        let b1 = shard1.add_actor(Box::new(Bouncer));
+        shard1.enable_sharding(vec![false, true], Vec::new());
+        shard1.inject_with_seq(SimTime::ZERO, b1, Some(a), HOPS, 64, 0);
+
+        let window = delay;
+        let mut t = SimTime::ZERO;
+        let mut wire: Vec<RemoteEvent<u32>> = Vec::new();
+        let mut log = Vec::new();
+        while t < horizon {
+            let end = (t + window).min(horizon);
+            if end == horizon {
+                shard0.run_until(end);
+                shard1.run_until(end);
+            } else {
+                shard0.run_window(end);
+                shard1.run_window(end);
+            }
+            shard0.drain_outbox(&mut wire);
+            shard1.drain_outbox(&mut wire);
+            for ev in wire.drain(..) {
+                if ev.to == a {
+                    shard0.ingest_remote(ev);
+                } else {
+                    shard1.ingest_remote(ev);
+                }
+            }
+            t = end;
+        }
+        shard0.finish(horizon);
+        shard1.finish(horizon);
+        shard0.drain_pop_log(&mut log);
+        shard1.drain_pop_log(&mut log);
+        log.sort_by_key(|r| r.stamp);
+
+        let s0 = shard0.stats();
+        let s1 = shard1.stats();
+        assert_eq!(
+            s0.events_processed + s1.events_processed,
+            ref_stats.events_processed
+        );
+        assert_eq!(s0.messages_sent + s1.messages_sent, ref_stats.messages_sent);
+        assert_eq!(sim_clock_max(&shard0, &shard1), reference.now());
+
+        // Depth replay: initial depth = injected events before the run.
+        let mut depth: u64 = 1;
+        let mut peak: u64 = 1;
+        for rec in &log {
+            depth -= 1;
+            for _ in 0..rec.pushes {
+                depth += 1;
+                peak = peak.max(depth);
+            }
+        }
+        assert_eq!(peak, ref_stats.peak_queue_depth);
+    }
+
+    fn sim_clock_max(a: &Simulation<u32>, b: &Simulation<u32>) -> SimTime {
+        a.now().max(b.now())
     }
 }

@@ -48,6 +48,7 @@ fn drive(sched: &mut impl Scheduler, ops: &[Op]) -> Vec<Option<(u64, u64, u32)>>
                 sched.push(EventKey {
                     at: SimTime::from_micros(floor + offset),
                     seq,
+                    origin: 0,
                     slot: seq as u32,
                 });
                 seq += 1;

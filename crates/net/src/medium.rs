@@ -2,7 +2,7 @@
 //! scheduled time-varying disturbances (loss/latency ramps, interconnect
 //! degradation, full ISP partitions).
 
-use crate::{congestion_extra_ms, transfer_time, Isp, Topology};
+use crate::{congestion_extra_ms, core_one_way_ms, transfer_time, Isp, Topology};
 use plsim_des::{Delivery, FaultEvent, Medium, NodeId, SimTime};
 use plsim_telemetry::{Gauge, Histogram, MetricsRegistry};
 use rand::rngs::SmallRng;
@@ -20,14 +20,16 @@ pub struct LinkModel {
     /// ([`crate::congestion_extra_ms`]); 1.0 = calibrated default, 0.0
     /// disables interconnect congestion entirely.
     pub congestion_scale: f64,
-    /// Capacity (Mbit/s) of the TELE↔CNC domestic interconnect, modelled
-    /// as a shared FIFO queue; other Chinese cross pairs get a fraction of
+    /// Capacity (Mbit/s) of each direction of the TELE↔CNC domestic
+    /// interconnect, modelled as a full-duplex FIFO queue (one queue per
+    /// *directed* ISP pair); other Chinese cross pairs get a fraction of
     /// it and transoceanic paths are uncapped (the paper's Mason probe saw
     /// *faster* replies from China than Chinese residential probes did —
     /// international backbones were not the bottleneck, domestic peering
-    /// was). Cross-ISP packets wait behind all other cross traffic on the
-    /// same pair, so delay grows with load — the mechanism behind the
-    /// paper's popularity-dependent locality. `0.0` disables queueing.
+    /// was). Cross-ISP packets wait behind all other cross traffic headed
+    /// the same way on the same pair, so delay grows with load — the
+    /// mechanism behind the paper's popularity-dependent locality. `0.0`
+    /// disables queueing.
     pub interconnect_mbps: f64,
     /// Ceiling on the interconnect queue wait (seconds). Past it the link
     /// sheds load (the excess never occupies the queue), so congestion
@@ -240,9 +242,12 @@ impl LinkFault {
 pub struct Underlay {
     topology: Arc<Topology>,
     link: LinkModel,
-    /// Per unordered ISP pair: queued bits and the last accounting time.
-    /// The backlog drains at the pair's capacity; the current queue wait is
-    /// `backlog / capacity`.
+    /// Per *directed* ISP pair `[src][dst]`: queued bits and the last
+    /// accounting time. Interconnects are full-duplex — each direction
+    /// drains at the pair's nominal capacity independently — so a directed
+    /// queue is touched only by traffic originating in `src`, which is what
+    /// lets a sharded world (one shard per source-ISP group) keep every
+    /// queue shard-local. The current queue wait is `backlog / capacity`.
     xlink_backlog: [[(f64, SimTime); 5]; 5],
     /// The scheduled disturbance windows, in harness order.
     faults: Vec<LinkFault>,
@@ -373,11 +378,11 @@ impl Underlay {
         }
     }
 
-    /// Queues `size_bytes` on the (a, b) interconnect at time `now` and
-    /// returns the queue wait, capped at `interconnect_max_wait_s` (beyond
-    /// the cap the link sheds load: the packet is delayed by the cap but
-    /// does not occupy the queue, so congestion penalizes latency without
-    /// triggering retry storms).
+    /// Queues `size_bytes` on the `a → b` direction of the interconnect at
+    /// time `now` and returns the queue wait, capped at
+    /// `interconnect_max_wait_s` (beyond the cap the link sheds load: the
+    /// packet is delayed by the cap but does not occupy the queue, so
+    /// congestion penalizes latency without triggering retry storms).
     fn interconnect_wait(
         &mut self,
         a: Isp,
@@ -390,7 +395,7 @@ impl Underlay {
             return SimTime::ZERO;
         };
         let capacity_bps = (capacity_mbps * capacity_scale).max(1e-6) * 1e6;
-        let (i, j) = (Self::isp_index(a.min(b)), Self::isp_index(a.max(b)));
+        let (i, j) = (Self::isp_index(a), Self::isp_index(b));
         let (backlog_bits, last) = &mut self.xlink_backlog[i][j];
         // Drain at line rate since the last accounting instant. Departure
         // times are not strictly monotone (sender-side holds), so guard
@@ -411,6 +416,51 @@ impl Underlay {
         self.xlink_backlog_bits.set(*backlog_bits as u64);
         self.xlink_wait_s.observe(wait_s);
         SimTime::from_secs_f64(wait_s)
+    }
+
+    /// Conservative cross-shard lookahead for a space-partitioned world:
+    /// the minimum base one-way propagation delay between any two hosts
+    /// that live in different shards (`shard_of` maps node index →
+    /// shard). Every delay component this medium adds on top of base
+    /// propagation — jitter, interconnect wait, serialization — is
+    /// non-negative, and latency disturbances never *shrink* propagation,
+    /// so a message sent at `t` to another shard can never arrive before
+    /// `t + lookahead`. Returns `None` when no host pair crosses shards
+    /// (single-shard worlds have unbounded lookahead).
+    ///
+    /// Computed from per-`(shard, ISP)` minimum edge delays rather than
+    /// all host pairs, so it is O(hosts + shards² · ISPs²).
+    #[must_use]
+    pub fn conservative_lookahead(&self, shard_of: &[usize], shards: usize) -> Option<SimTime> {
+        let n_isp = Isp::ALL.len();
+        let mut edge_min = vec![vec![SimTime::MAX; n_isp]; shards];
+        for (id, host) in self.topology.iter() {
+            let s = shard_of[id.index()];
+            let i = Self::isp_index(host.isp);
+            edge_min[s][i] = edge_min[s][i].min(host.edge_delay);
+        }
+        let mut best: Option<SimTime> = None;
+        for s in 0..shards {
+            for t in 0..shards {
+                if s == t {
+                    continue;
+                }
+                for (ia, &a) in Isp::ALL.iter().enumerate() {
+                    if edge_min[s][ia] == SimTime::MAX {
+                        continue;
+                    }
+                    for (ib, &b) in Isp::ALL.iter().enumerate() {
+                        if edge_min[t][ib] == SimTime::MAX {
+                            continue;
+                        }
+                        let core = SimTime::from_secs_f64(core_one_way_ms(a, b) / 1e3);
+                        let d = edge_min[s][ia] + core + edge_min[t][ib];
+                        best = Some(best.map_or(d, |x| x.min(d)));
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// The topology this medium routes over.
@@ -478,6 +528,32 @@ impl<P> Medium<P> for Underlay {
 
     fn on_fault(&mut self, now: SimTime, _fault: &FaultEvent) {
         self.refresh_active(now);
+    }
+
+    fn on_run_end(&mut self, horizon: SimTime) {
+        // Settle every directed interconnect queue to the horizon at
+        // nominal capacity and publish the total residual backlog as the
+        // gauge's final value. Draining at *nominal* (not disturbed)
+        // capacity keeps this independent of fault state, so the
+        // single-shard run and every shard of a partitioned run settle
+        // their disjoint queue sets identically and the merged gauge
+        // (sum of currents, max of peaks) reproduces the reference.
+        let mut residual_bits = 0.0;
+        for (i, &a) in Isp::ALL.iter().enumerate() {
+            for (j, &b) in Isp::ALL.iter().enumerate() {
+                let Some(capacity_mbps) = self.pair_capacity_mbps(a, b) else {
+                    continue;
+                };
+                let (backlog_bits, last) = &mut self.xlink_backlog[i][j];
+                let elapsed = horizon.saturating_sub(*last).as_secs_f64();
+                *backlog_bits = (*backlog_bits - elapsed * capacity_mbps * 1e6).max(0.0);
+                if horizon > *last {
+                    *last = horizon;
+                }
+                residual_bits += *backlog_bits;
+            }
+        }
+        self.xlink_backlog_bits.finalize(residual_bits as u64);
     }
 }
 
@@ -747,8 +823,96 @@ mod tests {
         assert!(gauge.peak >= 1_000_000, "peak backlog {} bits", gauge.peak);
         let hist = snap.histogram("net.interconnect_wait_s").unwrap();
         assert_eq!(hist.count, 2);
-        assert!(hist.sum > 0.0, "second packet waited behind the first");
+        assert!(hist.sum() > 0.0, "second packet waited behind the first");
         Ok(())
+    }
+
+    #[test]
+    fn interconnect_queues_are_directed() -> Result<(), String> {
+        let link = LinkModel {
+            interconnect_mbps: 1.0,
+            interconnect_max_wait_s: 1e9,
+            ..LinkModel::ideal()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut b = TopologyBuilder::new();
+        let t = b.add_host(Isp::Tele, BandwidthClass::Campus, &mut rng);
+        let c = b.add_host(Isp::Cnc, BandwidthClass::Campus, &mut rng);
+        let mut u = Underlay::new(Arc::new(b.build()), link);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let size = 125_000; // 1 Mbit: a 1-second backlog at 1 Mbit/s.
+
+        let first = transit_delay(&mut u, t, c, size, SimTime::ZERO, &mut rng)?;
+        let queued = transit_delay(&mut u, t, c, size, SimTime::ZERO, &mut rng)?;
+        assert!(queued > first, "same direction queues");
+        // The reverse direction has its own (empty) queue, so its delay
+        // matches the unloaded forward delay.
+        let reverse = transit_delay(&mut u, c, t, size, SimTime::ZERO, &mut rng)?;
+        assert_eq!(reverse, first, "full-duplex: reverse queue is empty");
+        Ok(())
+    }
+
+    #[test]
+    fn on_run_end_settles_backlog_and_keeps_peak() -> Result<(), String> {
+        let link = LinkModel {
+            interconnect_mbps: 1.0,
+            interconnect_max_wait_s: 1e9,
+            ..LinkModel::ideal()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut b = TopologyBuilder::new();
+        let t = b.add_host(Isp::Tele, BandwidthClass::Campus, &mut rng);
+        let c = b.add_host(Isp::Cnc, BandwidthClass::Campus, &mut rng);
+        let mut u = Underlay::new(Arc::new(b.build()), link);
+        let registry = MetricsRegistry::new();
+        u.attach_metrics(&registry);
+        let mut rng = SmallRng::seed_from_u64(0);
+        transit_delay(&mut u, t, c, 125_000, SimTime::ZERO, &mut rng)?;
+        transit_delay(&mut u, t, c, 125_000, SimTime::ZERO, &mut rng)?;
+        let peak_before = registry.snapshot().gauge("net.interconnect_backlog_bits").unwrap().peak;
+        assert!(peak_before >= 1_000_000);
+
+        // A long-enough horizon drains the queue entirely; the high-water
+        // mark survives the settlement.
+        Medium::<()>::on_run_end(&mut u, SimTime::from_secs(1_000));
+        let gauge = registry
+            .snapshot()
+            .gauge("net.interconnect_backlog_bits")
+            .unwrap();
+        assert_eq!(gauge.current, 0);
+        assert_eq!(gauge.peak, peak_before);
+        Ok(())
+    }
+
+    #[test]
+    fn conservative_lookahead_is_the_min_cross_shard_base_delay() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut b = TopologyBuilder::new();
+        let mut ids = Vec::new();
+        for isp in [Isp::Tele, Isp::Tele, Isp::Cnc, Isp::Cnc, Isp::Cer, Isp::Foreign] {
+            ids.push(b.add_host(isp, BandwidthClass::Adsl, &mut rng));
+        }
+        let u = Underlay::new(Arc::new(b.build()), LinkModel::ideal());
+        // Tele in shard 0, everyone else in shard 1.
+        let shard_of: Vec<usize> = u
+            .topology()
+            .iter()
+            .map(|(_, h)| usize::from(h.isp != Isp::Tele))
+            .collect();
+        let got = u.conservative_lookahead(&shard_of, 2).unwrap();
+        let brute = ids
+            .iter()
+            .flat_map(|&a| ids.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| shard_of[a.index()] != shard_of[b.index()])
+            .map(|(a, b)| u.topology().base_one_way(a, b))
+            .min()
+            .unwrap();
+        assert_eq!(got, brute);
+        assert!(got > SimTime::ZERO);
+
+        // All hosts in one shard: no cross-shard pair, unbounded lookahead.
+        let one = vec![0usize; u.topology().len()];
+        assert_eq!(u.conservative_lookahead(&one, 1), None);
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod det;
 mod fault;
 mod invariants;
 mod peer;
+mod shard;
 mod stats;
 mod tracker;
 mod world;
@@ -59,4 +60,4 @@ pub use invariants::{check_world, InvariantReport, InvariantViolation};
 pub use peer::{PeerNode, Role};
 pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
-pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput};
+pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput, SHARDS_ENV};

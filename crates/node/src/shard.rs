@@ -1,0 +1,385 @@
+//! Sharded deterministic worlds: one simulation, many cores.
+//!
+//! Space-partitions a world by ISP into up to five shards, each owning its
+//! own scheduler, event pool and actor slice, and drives them in lockstep
+//! windows of conservative lookahead. The lookahead bound is physical: the
+//! underlay's smallest possible cross-shard one-way delay (sender edge +
+//! inter-ISP core + receiver edge — jitter, queueing and fault factors only
+//! ever *add* to it), so no event created inside a window can be due before
+//! the next window starts, and routing the cross-shard outboxes at the
+//! window barrier is always early enough.
+//!
+//! Determinism is the point, not a best effort: every event carries the
+//! scheduling identity `(time, origin, seq)` its *sender* assigned, each
+//! actor draws from its own seed-derived random stream, and harness
+//! injections keep their single-build sequence numbers (see
+//! [`crate::world::WorldLayout`]). The events popped by the union of all
+//! shards are therefore exactly the single-shard pop sequence, restricted
+//! to each shard — which makes every output (stats, metrics, capture
+//! bytes) bit-identical to the `shards = 1` run at the same seed.
+//!
+//! What cannot be computed shard-locally is *reconstructed* exactly:
+//!
+//! * `peak_queue_depth` — each shard logs `(pop stamp, pushes)` per event;
+//!   the driver folds the logs window-by-window in global stamp order and
+//!   replays pops as `-1` / pushes as `+1`, reproducing the single queue's
+//!   depth trajectory (cross-shard sends count at the *sender*, where the
+//!   single-shard run would have pushed).
+//! * probe captures — per-shard traces carry `(pop stamp, index-in-pop)`
+//!   sort keys and are merged into the global capture order.
+//! * metrics — per-shard registry snapshots are summed (counters,
+//!   histogram buckets), peak-maxed (gauges), and the queue-depth gauge is
+//!   overridden with the replayed value.
+//!
+//! Fault timelines fire for real on shard 0 only (so fault counters and
+//! capture markers fire once); the other shards mirror them as *shadow
+//! faults* applied to their media at the same points of the global pop
+//! order. `Context::halt` is not supported in sharded worlds (a halt is
+//! local to the shard that requested it); no node behaviour uses it.
+
+use crate::world::{materialize, ShardRole, WorldConfig, WorldLayout, WorldOutput};
+use crate::StatsSink;
+use plsim_capture::{merge_stamped, FaultMark, StampedTrace};
+use plsim_des::{NodeId, PopRecord, RemoteEvent, SimStats, SimTime};
+use plsim_net::{Isp, Topology, Underlay};
+use plsim_proto::{Message, WireMessage};
+use plsim_telemetry::{GaugeValue, MetricsSnapshot};
+use std::sync::{Barrier, Mutex};
+
+/// Assigns every host to a shard at ISP granularity and returns
+/// `(shard_of_host, shard_count)`.
+///
+/// ISP granularity is required for exactness, not just convenience: the
+/// underlay's inter-ISP interconnect queues are directed per ISP *pair*,
+/// so as long as all hosts of one ISP share a shard, each directed queue
+/// is touched by exactly one shard and its backlog trajectory is the
+/// single-shard one. Grouping is greedy: ISPs in descending host count
+/// (ties in paper order) onto the currently lightest shard (ties on the
+/// lowest index) — deterministic, and balanced enough for five buckets.
+pub(crate) fn partition(topology: &Topology, want: usize) -> (Vec<usize>, usize) {
+    let mut counts = [0usize; 5];
+    for (_, host) in topology.iter() {
+        counts[isp_index(host.isp)] += 1;
+    }
+    let populated = counts.iter().filter(|&&c| c > 0).count();
+    let shards = want.clamp(1, populated.max(1));
+
+    // ISP indices in descending host count, paper order on ties.
+    let mut order: Vec<usize> = (0..Isp::ALL.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
+
+    let mut group_of_isp = [0usize; 5];
+    let mut load = vec![0usize; shards];
+    for &i in &order {
+        let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
+        group_of_isp[i] = lightest;
+        load[lightest] += counts[i];
+    }
+
+    let shard_of = topology
+        .iter()
+        .map(|(_, host)| group_of_isp[isp_index(host.isp)])
+        .collect();
+    (shard_of, shards)
+}
+
+fn isp_index(isp: Isp) -> usize {
+    Isp::ALL
+        .iter()
+        .position(|&i| i == isp)
+        .expect("Isp::ALL is total")
+}
+
+/// A cross-shard event in transit between threads: a
+/// [`RemoteEvent`]`<Message>` with the payload flattened to its `Send`
+/// wire form.
+struct WireEvent {
+    at: SimTime,
+    origin: u32,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: WireMessage,
+    size: u32,
+}
+
+/// The global queue-depth replay, folded incrementally so no shard ever
+/// accumulates an unbounded pop log: each window's records are appended
+/// here by every thread, then sorted and replayed once per window.
+/// Windows partition the stamp space (a window's pops all precede the
+/// next window's), so per-window sorting yields the global order.
+struct DepthReplay {
+    depth: i64,
+    peak: i64,
+    buf: Vec<PopRecord>,
+}
+
+impl DepthReplay {
+    fn fold(&mut self) {
+        self.buf.sort_unstable_by_key(|r| r.stamp);
+        for r in &self.buf {
+            // The pop removes one event; its pushes then grow the queue
+            // monotonically, so the high-water mark within the pop is the
+            // post-push depth.
+            self.depth += i64::from(r.pushes) - 1;
+            self.peak = self.peak.max(self.depth);
+        }
+        self.buf.clear();
+    }
+}
+
+/// Everything a shard thread reports back once its shard is finished.
+struct ShardResult {
+    stats: SimStats,
+    snapshot: MetricsSnapshot,
+    trace: StampedTrace,
+    fault_marks: Vec<FaultMark>,
+}
+
+/// Runs `cfg` space-partitioned over `cfg.shards` shards (clamped to the
+/// populated ISP count) and returns output bit-identical to the
+/// single-shard run. Falls back to the classic path when the partition
+/// degenerates to one shard.
+pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
+    let layout = WorldLayout::compute(cfg);
+    let (shard_of, shards) = partition(&layout.topology, cfg.shards);
+    let lookahead = Underlay::new(std::sync::Arc::clone(&layout.topology), cfg.link)
+        .conservative_lookahead(&shard_of, shards)
+        .filter(|l| l.as_micros() >= 1);
+    let (Some(lookahead), true) = (lookahead, shards > 1) else {
+        return crate::World::build(cfg).run();
+    };
+
+    let locals: Vec<Vec<bool>> = (0..shards)
+        .map(|s| shard_of.iter().map(|&g| g == s).collect())
+        .collect();
+    let threads = cfg.shard_threads.clamp(1, shards);
+    let barrier = Barrier::new(threads);
+    let inboxes: Vec<Mutex<Vec<WireEvent>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let results: Vec<Mutex<Option<ShardResult>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let replay = Mutex::new(DepthReplay {
+        // Every harness event is injected into exactly one shard, so the
+        // global queue starts (and first peaks) at the schedule length.
+        depth: layout.events.len() as i64,
+        peak: layout.events.len() as i64,
+        buf: Vec::new(),
+    });
+    let sink = StatsSink::new();
+
+    let stride = lookahead.as_micros();
+    let total = cfg.duration.as_micros();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (layout, shard_of, locals) = (&layout, &shard_of, &locals);
+            let (barrier, inboxes, results, replay) = (&barrier, &inboxes, &results, &replay);
+            let sink = &sink;
+            scope.spawn(move || {
+                // Round-robin shard ownership: with fewer threads than
+                // shards a thread simply drives several shards per window.
+                let mut sims: Vec<_> = (t..shards)
+                    .step_by(threads)
+                    .map(|s| {
+                        let role = ShardRole {
+                            index: s,
+                            local: &locals[s],
+                        };
+                        (s, materialize(cfg, layout, sink, Some(role)))
+                    })
+                    .collect();
+
+                let mut outbuf: Vec<RemoteEvent<Message>> = Vec::new();
+                let mut pops: Vec<PopRecord> = Vec::new();
+                let mut end = stride;
+                while end < total {
+                    let end_t = SimTime::from_micros(end);
+                    for (_, shard) in &mut sims {
+                        shard.sim.run_window(end_t);
+                        shard.sim.drain_outbox(&mut outbuf);
+                        for ev in outbuf.drain(..) {
+                            let dest = shard_of[ev.to.index()];
+                            inboxes[dest].lock().expect("inbox poisoned").push(WireEvent {
+                                at: ev.at,
+                                origin: ev.origin,
+                                seq: ev.seq,
+                                from: ev.from,
+                                to: ev.to,
+                                payload: ev.payload.into_wire(),
+                                size: ev.size,
+                            });
+                        }
+                        shard.sim.drain_pop_log(&mut pops);
+                    }
+                    if !pops.is_empty() {
+                        replay
+                            .lock()
+                            .expect("replay poisoned")
+                            .buf
+                            .append(&mut pops);
+                    }
+                    // Barrier 1: every outbox is routed, every pop logged.
+                    barrier.wait();
+                    for (s, shard) in &mut sims {
+                        let incoming =
+                            std::mem::take(&mut *inboxes[*s].lock().expect("inbox poisoned"));
+                        for w in incoming {
+                            shard.sim.ingest_remote(RemoteEvent {
+                                at: w.at,
+                                origin: w.origin,
+                                seq: w.seq,
+                                from: w.from,
+                                to: w.to,
+                                payload: w.payload.into_message(&shard.arena),
+                                size: w.size,
+                            });
+                        }
+                    }
+                    if t == 0 {
+                        // One thread folds the finished window into the
+                        // depth replay while the others build the next one.
+                        replay.lock().expect("replay poisoned").fold();
+                    }
+                    // Barrier 2: every inbox is drained before any shard
+                    // advances into the window those events belong to.
+                    barrier.wait();
+                    end += stride;
+                }
+
+                // Final window: inclusive of the horizon, like run_until on
+                // the single-shard path. Cross-shard sends produced here
+                // arrive beyond the horizon (lookahead again) — they stay
+                // in the outbox, exactly as the single-shard run would
+                // leave them unpopped in its queue; the sender-side pop log
+                // already counted them for the depth replay.
+                for (s, mut shard) in sims {
+                    let stats = shard.sim.run_until(cfg.duration);
+                    shard.sim.finish(cfg.duration);
+                    shard.sim.drain_pop_log(&mut pops);
+                    *results[s].lock().expect("result slot poisoned") = Some(ShardResult {
+                        stats,
+                        snapshot: shard.registry.snapshot(),
+                        trace: shard.tap.drain_stamped(),
+                        fault_marks: shard.tap.drain_faults(),
+                    });
+                }
+                if !pops.is_empty() {
+                    replay
+                        .lock()
+                        .expect("replay poisoned")
+                        .buf
+                        .append(&mut pops);
+                }
+            });
+        }
+    });
+
+    let results: Vec<ShardResult> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("shard produced no result")
+        })
+        .collect();
+    let mut replay = replay.into_inner().expect("replay poisoned");
+    replay.fold();
+
+    let mut sim = SimStats::default();
+    for r in &results {
+        sim.events_processed += r.stats.events_processed;
+        sim.messages_sent += r.stats.messages_sent;
+        sim.messages_dropped += r.stats.messages_dropped;
+        sim.faults_activated += r.stats.faults_activated;
+    }
+    sim.peak_queue_depth = replay.peak as u64;
+
+    let snapshots: Vec<MetricsSnapshot> = results.iter().map(|r| r.snapshot.clone()).collect();
+    let mut metrics = MetricsSnapshot::merge(&snapshots);
+    metrics.set_gauge(
+        "des.queue_depth",
+        GaugeValue {
+            current: replay.depth as u64,
+            peak: replay.peak as u64,
+        },
+    );
+
+    let mut results = results;
+    let fault_marks = std::mem::take(&mut results[0].fault_marks);
+    let records = merge_stamped(results.into_iter().map(|r| r.trace));
+
+    WorldOutput {
+        records,
+        peer_stats: sink.collect(),
+        topology: layout.topology,
+        probes: layout.probes,
+        source: layout.source,
+        trackers: layout.trackers,
+        bootstrap: layout.bootstrap,
+        fault_marks,
+        sim,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_world, ProbeSpec};
+    use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_world(seed: u64, shards: usize, threads: usize) -> WorldConfig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = SessionPlan::generate(
+            &PopulationSpec::tiny(ChannelClass::Unpopular),
+            240.0,
+            &mut rng,
+        );
+        let mut cfg = WorldConfig::new(seed, plan, SimTime::from_secs(240));
+        cfg.probes.push(ProbeSpec::residential(Isp::Tele));
+        cfg.probes.push(ProbeSpec::residential(Isp::Cnc));
+        cfg.shards = shards;
+        cfg.shard_threads = threads;
+        cfg
+    }
+
+    #[test]
+    fn partition_is_isp_granular_and_balanced() {
+        let cfg = small_world(11, 1, 1);
+        let layout = WorldLayout::compute(&cfg);
+        let (shard_of, shards) = partition(&layout.topology, 3);
+        assert!((2..=3).contains(&shards));
+        // ISP-granular: two hosts of the same ISP never split.
+        for (a, ha) in layout.topology.iter() {
+            for (b, hb) in layout.topology.iter() {
+                if ha.isp == hb.isp {
+                    assert_eq!(shard_of[a.index()], shard_of[b.index()]);
+                }
+            }
+        }
+        // No shard is empty.
+        for s in 0..shards {
+            assert!(shard_of.contains(&s), "shard {s} owns no host");
+        }
+    }
+
+    #[test]
+    fn sharded_world_is_bit_identical_to_single_shard() {
+        let reference = run_world(&small_world(42, 1, 1));
+        for (shards, threads) in [(2, 2), (4, 2), (4, 1)] {
+            let sharded = run_world(&small_world(42, shards, threads));
+            assert_eq!(sharded.sim, reference.sim, "{shards} shards / {threads} threads");
+            assert_eq!(
+                sharded.metrics, reference.metrics,
+                "{shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                sharded.records, reference.records,
+                "{shards} shards / {threads} threads"
+            );
+            assert_eq!(sharded.peer_stats, reference.peer_stats);
+            assert_eq!(sharded.fault_marks, reference.fault_marks);
+        }
+    }
+}

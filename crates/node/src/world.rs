@@ -5,6 +5,13 @@
 //! bootstrap server, five tracker groups deployed in Chinese ISPs, one
 //! stream source, a churning viewer population, and a handful of probe
 //! clients whose traffic is captured in full.
+//!
+//! Building is split in two so the sharded runner (see [`crate::shard`])
+//! and the classic single-threaded path share one source of truth:
+//! [`WorldLayout`] performs **all** seeded sampling (topology, NAT flags,
+//! churn-storm victims) and enumerates every harness injection with its
+//! global sequence number, and [`materialize`] turns that layout into a
+//! concrete [`Simulation`] — either the whole world, or one shard of it.
 
 use crate::{
     BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer,
@@ -19,6 +26,36 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Environment variable selecting how many space-partition shards a world
+/// runs on (default `1` — the classic single-threaded path). Any value,
+/// including `1`, produces bit-identical output; shards only change how
+/// many cores participate.
+pub const SHARDS_ENV: &str = "PLSIM_SHARDS";
+
+/// The engine's thread-count variable (mirrored here so shard driving and
+/// experiment fan-out share one knob without a crate dependency).
+const THREADS_ENV: &str = "PLSIM_THREADS";
+
+fn shards_from_env() -> usize {
+    std::env::var(SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+fn shard_threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
 
 /// A measurement host: an ordinary client whose traffic is captured.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,6 +120,16 @@ pub struct WorldConfig {
     /// `PLSIM_SCHED` environment variable (i.e. the calendar queue unless
     /// `PLSIM_SCHED=heap`); either choice produces bit-identical output.
     pub scheduler: SchedulerKind,
+    /// How many space-partition shards drive the run (see
+    /// [`crate::shard`]). Defaults to `PLSIM_SHARDS` (or 1). Output is
+    /// bit-identical for every value; > 1 runs the world on multiple cores
+    /// under conservative lookahead.
+    pub shards: usize,
+    /// Worker threads available for shard driving. Defaults to
+    /// `PLSIM_THREADS` (or the machine's parallelism); the driver never
+    /// uses more threads than shards, and fewer threads than shards simply
+    /// round-robins shards over them.
+    pub shard_threads: usize,
 }
 
 impl WorldConfig {
@@ -100,12 +147,353 @@ impl WorldConfig {
             faults: FaultPlan::new(),
             nat_fraction: 0.0,
             scheduler: SchedulerKind::from_env(),
+            shards: shards_from_env(),
+            shard_threads: shard_threads_from_env(),
         }
     }
 }
 
 /// The tracker deployment the paper found: five groups, all inside China.
 const TRACKER_SITES: [Isp; 5] = [Isp::Tele, Isp::Tele, Isp::Cnc, Isp::Cnc, Isp::Cer];
+
+/// One harness-scheduled event. Its global sequence number is its index in
+/// [`WorldLayout::events`]: the single-shard build injects them in exactly
+/// this order, so enumerating the list reproduces the sequence numbers the
+/// kernel would have assigned.
+#[derive(Debug, Clone)]
+pub(crate) enum HarnessEvent {
+    /// A node-level timer injection (joins, leaves, outage boundaries).
+    Timer {
+        /// Destination actor.
+        to: NodeId,
+        /// Which timer fires.
+        kind: TimerKind,
+    },
+    /// A fault-window boundary marker (drives the medium and the capture
+    /// trace; never dispatched to an actor).
+    Fault(FaultEvent),
+}
+
+/// Everything about a scenario that must be decided *once*, before the
+/// world is split into shards: the sampled topology, per-viewer NAT flags,
+/// and the complete harness injection schedule with implicit sequence
+/// numbers. Pure data — `Send + Sync` — so shard threads can materialize
+/// their slices from one shared layout.
+#[derive(Debug)]
+pub(crate) struct WorldLayout {
+    pub(crate) topology: Arc<Topology>,
+    pub(crate) bootstrap: NodeId,
+    pub(crate) trackers: Vec<NodeId>,
+    pub(crate) source: NodeId,
+    pub(crate) probes: Vec<NodeId>,
+    pub(crate) peers: Vec<NodeId>,
+    /// Parallel to `peers`: whether the viewer is behind a NAT.
+    pub(crate) nat: Vec<bool>,
+    /// Every harness injection in schedule order; index = sequence number.
+    pub(crate) events: Vec<(SimTime, HarnessEvent)>,
+}
+
+impl WorldLayout {
+    /// Performs all of the scenario's seeded sampling. The draw order is
+    /// load-bearing: topology hosts first (one `build_rng` stream), then
+    /// NAT flags (same stream), then churn-storm victims (a dedicated
+    /// `fault_rng` so adding a storm never perturbs topology or NAT).
+    pub(crate) fn compute(cfg: &WorldConfig) -> WorldLayout {
+        let mut build_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut topo = TopologyBuilder::new();
+
+        // Ids are handed out in registration order; actors are added to the
+        // simulation in exactly the same order by `materialize`.
+        let bootstrap = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
+        let trackers: Vec<NodeId> = TRACKER_SITES
+            .iter()
+            .map(|&isp| topo.add_host(isp, BandwidthClass::Backbone, &mut build_rng))
+            .collect();
+        let source = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
+        let probes: Vec<NodeId> = cfg
+            .probes
+            .iter()
+            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
+            .collect();
+        let peers: Vec<NodeId> = cfg
+            .plan
+            .peers
+            .iter()
+            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
+            .collect();
+        let topology = Arc::new(topo.build());
+
+        // NAT flags, in viewer order (the short-circuit keeps the stream
+        // untouched when the scenario has no NAT at all).
+        let nat: Vec<bool> = cfg
+            .plan
+            .peers
+            .iter()
+            .map(|_| cfg.nat_fraction > 0.0 && build_rng.random::<f64>() < cfg.nat_fraction)
+            .collect();
+
+        // The harness schedule, in injection order (index = seq).
+        let mut events: Vec<(SimTime, HarnessEvent)> = Vec::new();
+        let timer = |at: SimTime, to: NodeId, kind: TimerKind| {
+            (at, HarnessEvent::Timer { to, kind })
+        };
+        events.push(timer(SimTime::ZERO, source, TimerKind::Join));
+        for (spec, &pid) in cfg.probes.iter().zip(&probes) {
+            events.push(timer(SimTime::from_secs_f64(spec.join_s), pid, TimerKind::Join));
+        }
+        for (plan, &pid) in cfg.plan.peers.iter().zip(&peers) {
+            events.push(timer(SimTime::from_secs_f64(plan.join_s), pid, TimerKind::Join));
+            if plan.leave_s < cfg.duration.as_secs_f64() {
+                events.push(timer(SimTime::from_secs_f64(plan.leave_s), pid, TimerKind::Leave));
+            }
+        }
+
+        // Fault plan: node-level faults become ordinary timer injections;
+        // every boundary is also scheduled as a FaultEvent, which (a)
+        // drives the medium's link-fault activation on the clock and (b)
+        // lands in the capture trace as a marker for before/during/after
+        // analysis.
+        let mut fault_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC4A0_5F17_3B2D_9E61);
+        for fault in cfg.faults.faults() {
+            match fault {
+                Fault::TrackerOutage { at, restore } => {
+                    for &tid in &trackers {
+                        events.push(timer(*at, tid, TimerKind::Leave));
+                        if let Some(r) = restore {
+                            events.push(timer(*r, tid, TimerKind::Join));
+                        }
+                    }
+                }
+                Fault::BootstrapOutage { at, restore } => {
+                    events.push(timer(*at, bootstrap, TimerKind::Leave));
+                    if let Some(r) = restore {
+                        events.push(timer(*r, bootstrap, TimerKind::Join));
+                    }
+                }
+                Fault::ChurnStorm {
+                    at,
+                    leave_fraction,
+                    rejoin_after,
+                } => {
+                    let p = leave_fraction.clamp(0.0, 1.0);
+                    let at_s = at.as_secs_f64();
+                    for (plan, &pid) in cfg.plan.peers.iter().zip(&peers) {
+                        // Only viewers whose session covers the storm are
+                        // candidates; probes (the measurement hosts) are
+                        // deliberately spared.
+                        if plan.join_s <= at_s && plan.leave_s > at_s
+                            && fault_rng.random::<f64>() < p
+                        {
+                            events.push(timer(*at, pid, TimerKind::Leave));
+                            if let Some(gap) = rejoin_after {
+                                events.push(timer(*at + *gap, pid, TimerKind::Join));
+                            }
+                        }
+                    }
+                }
+                // Applied by the medium via `with_faults` in `materialize`.
+                Fault::Link(_) => {}
+            }
+        }
+        for (t, label, begins) in cfg.faults.timeline() {
+            let ev = if begins {
+                FaultEvent::begin(label)
+            } else {
+                FaultEvent::end(label)
+            };
+            events.push((t, HarnessEvent::Fault(ev)));
+        }
+
+        WorldLayout {
+            topology,
+            bootstrap,
+            trackers,
+            source,
+            probes,
+            peers,
+            nat,
+            events,
+        }
+    }
+}
+
+/// Which slice of the world a [`materialize`] call builds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardRole<'a> {
+    /// This shard's index. Shard 0 owns the real fault timeline (so fault
+    /// counters and capture markers fire exactly once); the others mirror
+    /// it as shadow faults.
+    pub(crate) index: usize,
+    /// `local[node]` — whether the node lives on this shard.
+    pub(crate) local: &'a [bool],
+}
+
+/// One materialized (sub-)world: the simulation plus the thread-local
+/// instruments it reports into.
+#[derive(Debug)]
+pub(crate) struct ShardSim {
+    pub(crate) sim: Simulation<Message>,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) tap: ProbeTap,
+    pub(crate) arena: PeerListArena,
+}
+
+/// Builds the simulation described by `layout` — the whole world
+/// (`role: None`) or one shard of it. Actor ids, scheduling identities and
+/// random streams are identical either way; a shard simply skips the
+/// actors (and their injections) that live elsewhere, registering remote
+/// placeholders so the id space lines up.
+pub(crate) fn materialize(
+    cfg: &WorldConfig,
+    layout: &WorldLayout,
+    sink: &StatsSink,
+    role: Option<ShardRole<'_>>,
+) -> ShardSim {
+    let topology = &layout.topology;
+    let tap = ProbeTap::new(layout.probes.iter().copied(), Arc::clone(topology));
+    if role.is_some() {
+        tap.enable_stamps();
+    }
+    // Each probe produces a steady stream of data requests/replies and
+    // gossip; seeding capacity from run length avoids repeated growth
+    // reallocations on the capture path.
+    let expected_records = layout.probes.len() * (cfg.duration.as_secs_f64() as usize) * 8;
+    tap.reserve(expected_records);
+
+    // One registry per materialized world: the kernel, the interconnect
+    // queue and every peer intern their instruments here; sharded runs
+    // merge the per-shard snapshots into one export.
+    let registry = MetricsRegistry::new();
+    // One peer-list arena per materialized world: every tracker response
+    // and gossip payload interns into the same recycled block pool, so the
+    // steady-state message loop never allocates a peer list.
+    let arena = PeerListArena::new();
+    let mut underlay =
+        Underlay::new(Arc::clone(topology), cfg.link).with_faults(cfg.faults.link_faults());
+    underlay.attach_metrics(&registry);
+    let mut sim: Simulation<Message> =
+        Simulation::with_scheduler(cfg.seed, underlay, registry.clone(), cfg.scheduler);
+    sim.set_monitor(tap.clone());
+
+    let is_local = |id: NodeId| role.is_none_or(|r| r.local[id.index()]);
+    let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
+    let tracker_entries: Vec<PeerEntry> = layout.trackers.iter().map(|&t| entry(t)).collect();
+
+    // Bootstrap server.
+    if is_local(layout.bootstrap) {
+        let mut bootstrap = BootstrapServer::new();
+        bootstrap.add_channel(cfg.channel, tracker_entries.clone());
+        let id = sim.add_actor(Box::new(bootstrap));
+        debug_assert_eq!(id, layout.bootstrap);
+    } else {
+        sim.add_remote_actor();
+    }
+    tap.mark_remote(layout.bootstrap, RemoteKind::Bootstrap);
+
+    // Trackers.
+    for &tid in &layout.trackers {
+        if is_local(tid) {
+            let mut tracker = TrackerServer::new(Arc::clone(topology));
+            tracker.attach_arena(&arena);
+            let id = sim.add_actor(Box::new(tracker));
+            debug_assert_eq!(id, tid);
+        } else {
+            sim.add_remote_actor();
+        }
+        tap.mark_remote(tid, RemoteKind::Tracker);
+    }
+
+    // Source: bigger neighbor budget, same protocol.
+    if is_local(layout.source) {
+        let source_cfg = PeerConfig {
+            max_neighbors: cfg.peer_config.max_neighbors * 3,
+            accept_slack: cfg.peer_config.accept_slack * 3,
+            ..cfg.peer_config
+        };
+        let mut src = PeerNode::source(
+            source_cfg,
+            cfg.channel,
+            entry(layout.source),
+            tracker_entries,
+            Arc::clone(topology),
+            sink.clone(),
+        );
+        src.attach_metrics(&registry);
+        src.attach_arena(&arena);
+        let id = sim.add_actor(Box::new(src));
+        debug_assert_eq!(id, layout.source);
+    } else {
+        sim.add_remote_actor();
+    }
+    tap.mark_remote(layout.source, RemoteKind::Source);
+
+    // Probes (ordinary viewers, captured), then the population.
+    let viewers = layout
+        .probes
+        .iter()
+        .map(|&pid| (pid, false))
+        .chain(layout.peers.iter().zip(&layout.nat).map(|(&pid, &nat)| (pid, nat)));
+    for (pid, nat) in viewers {
+        if is_local(pid) {
+            let mut peer = PeerNode::viewer(
+                cfg.peer_config,
+                cfg.channel,
+                entry(pid),
+                layout.bootstrap,
+                Arc::clone(topology),
+                sink.clone(),
+            );
+            peer.attach_metrics(&registry);
+            peer.attach_arena(&arena);
+            if nat {
+                peer = peer.behind_nat();
+            }
+            let id = sim.add_actor(Box::new(peer));
+            debug_assert_eq!(id, pid);
+        } else {
+            sim.add_remote_actor();
+        }
+    }
+
+    // The harness schedule. Every event keeps its layout index as its
+    // sequence number, so a shard's subset sits in exactly the global
+    // positions the single-shard build would have used. Real fault events
+    // go to shard 0 only (counters and capture markers fire once); the
+    // other shards mirror them as shadow faults so their media activate at
+    // the same points of the global pop order.
+    let mut shadow_faults: Vec<(SimTime, u64, FaultEvent)> = Vec::new();
+    for (seq, (at, ev)) in layout.events.iter().enumerate() {
+        let seq = seq as u64;
+        match ev {
+            HarnessEvent::Timer { to, kind } => {
+                if is_local(*to) {
+                    sim.inject_with_seq(*at, *to, None, Message::Timer(*kind), 0, seq);
+                }
+            }
+            HarnessEvent::Fault(fault) => match role {
+                None | Some(ShardRole { index: 0, .. }) => {
+                    sim.inject_fault_with_seq(*at, fault.clone(), seq);
+                }
+                Some(_) => shadow_faults.push((*at, seq, fault.clone())),
+            },
+        }
+    }
+    if let Some(r) = role {
+        sim.enable_sharding(r.local.to_vec(), shadow_faults);
+    }
+
+    // Every live node keeps a handful of timers and in-flight messages
+    // queued; reserving up front takes the event heap to steady-state
+    // capacity before the first event fires.
+    sim.reserve_events(sim.actor_count() * 4);
+
+    ShardSim {
+        sim,
+        registry,
+        tap,
+        arena,
+    }
+}
 
 /// Results of a finished run.
 #[derive(Debug)]
@@ -133,7 +521,8 @@ pub struct WorldOutput {
     pub metrics: MetricsSnapshot,
 }
 
-/// A fully assembled, not-yet-run scenario.
+/// A fully assembled, not-yet-run scenario (single-threaded path; the
+/// sharded runner drives [`materialize`] directly).
 #[derive(Debug)]
 pub struct World {
     sim: Simulation<Message>,
@@ -153,236 +542,19 @@ impl World {
     /// actors, wires up capture, and schedules every join/leave.
     #[must_use]
     pub fn build(cfg: &WorldConfig) -> World {
-        let mut build_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut topo = TopologyBuilder::new();
-
-        // Ids are handed out in registration order; actors are added to the
-        // simulation in exactly the same order below.
-        let bootstrap_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
-        let tracker_ids: Vec<NodeId> = TRACKER_SITES
-            .iter()
-            .map(|&isp| topo.add_host(isp, BandwidthClass::Backbone, &mut build_rng))
-            .collect();
-        let source_id = topo.add_host(Isp::Tele, BandwidthClass::Backbone, &mut build_rng);
-        let probe_ids: Vec<NodeId> = cfg
-            .probes
-            .iter()
-            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
-            .collect();
-        let peer_ids: Vec<NodeId> = cfg
-            .plan
-            .peers
-            .iter()
-            .map(|p| topo.add_host(p.isp, p.bandwidth, &mut build_rng))
-            .collect();
-
-        let topology = Arc::new(topo.build());
-        let tap = ProbeTap::new(probe_ids.iter().copied(), Arc::clone(&topology));
-        // Each probe produces a steady stream of data requests/replies and
-        // gossip; seeding capacity from run length avoids repeated growth
-        // reallocations on the capture path.
-        let expected_records = probe_ids.len() * (cfg.duration.as_secs_f64() as usize) * 8;
-        tap.reserve(expected_records);
+        let layout = WorldLayout::compute(cfg);
         let sink = StatsSink::new();
-
-        // One registry for the whole run: the kernel, the interconnect
-        // queue and every peer intern their instruments here, and one
-        // snapshot at the end of `run` is the single export path.
-        let registry = MetricsRegistry::new();
-        // One peer-list arena for the whole run: every tracker response and
-        // gossip payload interns into the same recycled block pool, so the
-        // steady-state message loop never allocates a peer list.
-        let arena = PeerListArena::new();
-        let mut underlay = Underlay::new(Arc::clone(&topology), cfg.link)
-            .with_faults(cfg.faults.link_faults());
-        underlay.attach_metrics(&registry);
-        let mut sim: Simulation<Message> =
-            Simulation::with_scheduler(cfg.seed, underlay, registry.clone(), cfg.scheduler);
-        sim.set_monitor(tap.clone());
-
-        let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
-        let tracker_entries: Vec<PeerEntry> = tracker_ids.iter().map(|&t| entry(t)).collect();
-
-        // Bootstrap server.
-        let mut bootstrap = BootstrapServer::new();
-        bootstrap.add_channel(cfg.channel, tracker_entries.clone());
-        let id = sim.add_actor(Box::new(bootstrap));
-        debug_assert_eq!(id, bootstrap_id);
-        tap.mark_remote(bootstrap_id, RemoteKind::Bootstrap);
-
-        // Trackers.
-        for &tid in &tracker_ids {
-            let mut tracker = TrackerServer::new(Arc::clone(&topology));
-            tracker.attach_arena(&arena);
-            let id = sim.add_actor(Box::new(tracker));
-            debug_assert_eq!(id, tid);
-            tap.mark_remote(tid, RemoteKind::Tracker);
-        }
-
-        // Source: bigger neighbor budget, same protocol.
-        let source_cfg = PeerConfig {
-            max_neighbors: cfg.peer_config.max_neighbors * 3,
-            accept_slack: cfg.peer_config.accept_slack * 3,
-            ..cfg.peer_config
-        };
-        let mut src = PeerNode::source(
-            source_cfg,
-            cfg.channel,
-            entry(source_id),
-            tracker_entries,
-            Arc::clone(&topology),
-            sink.clone(),
-        );
-        src.attach_metrics(&registry);
-        src.attach_arena(&arena);
-        let id = sim.add_actor(Box::new(src));
-        debug_assert_eq!(id, source_id);
-        tap.mark_remote(source_id, RemoteKind::Source);
-        sim.inject(
-            SimTime::ZERO,
-            source_id,
-            None,
-            Message::Timer(TimerKind::Join),
-            0,
-        );
-
-        // Probes (ordinary viewers, captured).
-        for (spec, &pid) in cfg.probes.iter().zip(&probe_ids) {
-            let mut peer = PeerNode::viewer(
-                cfg.peer_config,
-                cfg.channel,
-                entry(pid),
-                bootstrap_id,
-                Arc::clone(&topology),
-                sink.clone(),
-            );
-            peer.attach_metrics(&registry);
-            peer.attach_arena(&arena);
-            let id = sim.add_actor(Box::new(peer));
-            debug_assert_eq!(id, pid);
-            sim.inject(
-                SimTime::from_secs_f64(spec.join_s),
-                pid,
-                None,
-                Message::Timer(TimerKind::Join),
-                0,
-            );
-        }
-
-        // Population.
-        for (plan, &pid) in cfg.plan.peers.iter().zip(&peer_ids) {
-            let mut peer = PeerNode::viewer(
-                cfg.peer_config,
-                cfg.channel,
-                entry(pid),
-                bootstrap_id,
-                Arc::clone(&topology),
-                sink.clone(),
-            );
-            peer.attach_metrics(&registry);
-            peer.attach_arena(&arena);
-            if cfg.nat_fraction > 0.0 && build_rng.random::<f64>() < cfg.nat_fraction {
-                peer = peer.behind_nat();
-            }
-            let id = sim.add_actor(Box::new(peer));
-            debug_assert_eq!(id, pid);
-            sim.inject(
-                SimTime::from_secs_f64(plan.join_s),
-                pid,
-                None,
-                Message::Timer(TimerKind::Join),
-                0,
-            );
-            if plan.leave_s < cfg.duration.as_secs_f64() {
-                sim.inject(
-                    SimTime::from_secs_f64(plan.leave_s),
-                    pid,
-                    None,
-                    Message::Timer(TimerKind::Leave),
-                    0,
-                );
-            }
-        }
-
-        // Fault plan: node-level faults become ordinary timer injections;
-        // every boundary is also injected as a FaultEvent, which (a) drives
-        // the medium's link-fault activation on the clock and (b) lands in
-        // the capture trace as a marker for before/during/after analysis.
-        //
-        // Churn-storm victims are sampled from a dedicated RNG so adding a
-        // storm never perturbs topology or NAT sampling for the same seed.
-        let mut fault_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC4A0_5F17_3B2D_9E61);
-        for fault in cfg.faults.faults() {
-            match fault {
-                Fault::TrackerOutage { at, restore } => {
-                    for &tid in &tracker_ids {
-                        sim.inject(*at, tid, None, Message::Timer(TimerKind::Leave), 0);
-                        if let Some(r) = restore {
-                            sim.inject(*r, tid, None, Message::Timer(TimerKind::Join), 0);
-                        }
-                    }
-                }
-                Fault::BootstrapOutage { at, restore } => {
-                    sim.inject(*at, bootstrap_id, None, Message::Timer(TimerKind::Leave), 0);
-                    if let Some(r) = restore {
-                        sim.inject(*r, bootstrap_id, None, Message::Timer(TimerKind::Join), 0);
-                    }
-                }
-                Fault::ChurnStorm {
-                    at,
-                    leave_fraction,
-                    rejoin_after,
-                } => {
-                    let p = leave_fraction.clamp(0.0, 1.0);
-                    let at_s = at.as_secs_f64();
-                    for (plan, &pid) in cfg.plan.peers.iter().zip(&peer_ids) {
-                        // Only viewers whose session covers the storm are
-                        // candidates; probes (the measurement hosts) are
-                        // deliberately spared.
-                        if plan.join_s <= at_s && plan.leave_s > at_s
-                            && fault_rng.random::<f64>() < p
-                        {
-                            sim.inject(*at, pid, None, Message::Timer(TimerKind::Leave), 0);
-                            if let Some(gap) = rejoin_after {
-                                sim.inject(
-                                    *at + *gap,
-                                    pid,
-                                    None,
-                                    Message::Timer(TimerKind::Join),
-                                    0,
-                                );
-                            }
-                        }
-                    }
-                }
-                // Applied by the medium via `with_faults` above.
-                Fault::Link(_) => {}
-            }
-        }
-        for (t, label, begins) in cfg.faults.timeline() {
-            let ev = if begins {
-                FaultEvent::begin(label)
-            } else {
-                FaultEvent::end(label)
-            };
-            sim.inject_fault(t, ev);
-        }
-
-        // Every live node keeps a handful of timers and in-flight messages
-        // queued; reserving up front takes the event heap to steady-state
-        // capacity before the first event fires.
-        sim.reserve_events(sim.actor_count() * 4);
-
+        let parts = materialize(cfg, &layout, &sink, None);
         World {
-            sim,
-            registry,
-            tap,
+            sim: parts.sim,
+            registry: parts.registry,
+            tap: parts.tap,
             sink,
-            topology,
-            probes: probe_ids,
-            source: source_id,
-            trackers: tracker_ids,
-            bootstrap: bootstrap_id,
+            topology: layout.topology,
+            probes: layout.probes,
+            source: layout.source,
+            trackers: layout.trackers,
+            bootstrap: layout.bootstrap,
             duration: cfg.duration,
         }
     }
@@ -397,6 +569,7 @@ impl World {
     #[must_use]
     pub fn run(mut self) -> WorldOutput {
         let sim_stats = self.sim.run_until(self.duration);
+        self.sim.finish(self.duration);
         WorldOutput {
             records: self.tap.drain(),
             fault_marks: self.tap.drain_faults(),
@@ -412,8 +585,14 @@ impl World {
     }
 }
 
-/// Builds and runs in one call.
+/// Builds and runs in one call. With `cfg.shards > 1` the world is driven
+/// by the sharded runner (multi-core, conservative lookahead, bit-identical
+/// output — see [`crate::shard`]); otherwise by the classic path.
 #[must_use]
 pub fn run_world(cfg: &WorldConfig) -> WorldOutput {
-    World::build(cfg).run()
+    if cfg.shards > 1 {
+        crate::shard::run_sharded(cfg)
+    } else {
+        World::build(cfg).run()
+    }
 }

@@ -1,0 +1,118 @@
+//! Property test: a sharded world is bit-identical to the single-shard
+//! run — same `SimStats`, same metrics snapshot, same capture bytes, same
+//! peer stats and fault marks — for 1/2/4 shards at the same seed, over
+//! random small worlds, with and without a fault plan whose events cross
+//! shard boundaries.
+
+use plsim_des::SimTime;
+use plsim_net::{Isp, LinkFault};
+use plsim_node::{run_world, FaultPlan, ProbeSpec, WorldConfig, WorldOutput};
+use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A fault plan that stresses every cross-shard path at once: a tracker
+/// blackout (timers fan out to trackers living on several shards at the
+/// same instant), a churn storm (a same-time burst of leaves/rejoins over
+/// the whole population), and a link fault over the TELE–CNC interconnect
+/// (a fault window that both shard media must activate at the same global
+/// pop positions).
+fn boundary_fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .tracker_blackout(SimTime::from_secs(40), SimTime::from_secs(60))
+        .churn_storm(SimTime::from_secs(70), 0.5, Some(SimTime::from_secs(15)))
+        .link(LinkFault::loss_ramp(
+            SimTime::from_secs(45),
+            SimTime::from_secs(85),
+            SimTime::from_secs(10),
+            0.2,
+        ))
+}
+
+/// A probe that joins early, so even these short worlds capture traffic.
+fn probe(isp: Isp) -> ProbeSpec {
+    ProbeSpec {
+        join_s: 30.0,
+        ..ProbeSpec::residential(isp)
+    }
+}
+
+fn world(seed: u64, shards: usize, nat_fraction: f64, faulted: bool) -> WorldConfig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plan = SessionPlan::generate(
+        &PopulationSpec::tiny(ChannelClass::Unpopular),
+        120.0,
+        &mut rng,
+    );
+    let mut cfg = WorldConfig::new(seed, plan, SimTime::from_secs(120));
+    // Probes in three ISPs, so captures span several shards.
+    cfg.probes.push(probe(Isp::Tele));
+    cfg.probes.push(probe(Isp::Cnc));
+    cfg.probes.push(probe(Isp::Foreign));
+    cfg.nat_fraction = nat_fraction;
+    if faulted {
+        cfg.faults = boundary_fault_plan();
+    }
+    cfg.shards = shards;
+    cfg.shard_threads = 2;
+    cfg
+}
+
+fn assert_identical(sharded: &WorldOutput, reference: &WorldOutput, label: &str) {
+    assert_eq!(sharded.sim, reference.sim, "SimStats diverged: {label}");
+    assert_eq!(
+        sharded.metrics, reference.metrics,
+        "metrics snapshot diverged: {label}"
+    );
+    assert_eq!(
+        sharded.records, reference.records,
+        "capture bytes diverged: {label}"
+    );
+    assert_eq!(
+        sharded.peer_stats, reference.peer_stats,
+        "peer stats diverged: {label}"
+    );
+    assert_eq!(
+        sharded.fault_marks, reference.fault_marks,
+        "fault marks diverged: {label}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn sharded_runs_are_bit_identical(
+        seed in 0u64..1_000_000,
+        nat in prop_oneof![Just(0.0), Just(0.3)],
+        faulted in any::<bool>(),
+    ) {
+        let reference = run_world(&world(seed, 1, nat, faulted));
+        for shards in [2usize, 4] {
+            let sharded = run_world(&world(seed, shards, nat, faulted));
+            assert_identical(
+                &sharded,
+                &reference,
+                &format!("seed {seed}, {shards} shards, nat {nat}, faulted {faulted}"),
+            );
+        }
+    }
+}
+
+/// The fault preset pinned explicitly (the property above only sometimes
+/// draws `faulted = true`): every fault category crossing shard
+/// boundaries, 1 vs 2 vs 4 shards, including a thread count smaller than
+/// the shard count.
+#[test]
+fn faulted_world_is_bit_identical_across_shard_counts() {
+    let reference = run_world(&world(7, 1, 0.2, true));
+    for (shards, threads) in [(2, 2), (4, 3), (4, 1)] {
+        let mut cfg = world(7, shards, 0.2, true);
+        cfg.shard_threads = threads;
+        let sharded = run_world(&cfg);
+        assert_identical(
+            &sharded,
+            &reference,
+            &format!("{shards} shards / {threads} threads"),
+        );
+    }
+}

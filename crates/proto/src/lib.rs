@@ -36,8 +36,10 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod shared;
+mod wire;
 
 pub use shared::{PeerListArena, SharedPeerList};
+pub use wire::WireMessage;
 
 use plsim_des::NodeId;
 use serde::{Deserialize, Serialize};

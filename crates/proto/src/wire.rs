@@ -1,0 +1,335 @@
+//! A `Send` mirror of [`Message`] for crossing shard boundaries.
+//!
+//! [`Message`] itself is deliberately `!Send`: its peer-list payloads are
+//! [`SharedPeerList`]s backed by a thread-local [`PeerListArena`] (an `Rc`
+//! refcount bump per clone on the hot path). A sharded world, however, must
+//! hand messages between threads. [`WireMessage`] is the materialised form
+//! that travels: peer lists are flattened to owned [`PeerList`]s — exactly
+//! the bytes the message carries on the simulated wire — and re-interned
+//! into the *receiving* shard's arena on ingest. Because
+//! [`SharedPeerList`]'s equality is representation-independent and interning
+//! preserves (≤ 60, deduped) list contents, a message that round-trips
+//! through its wire form is indistinguishable from one delivered locally.
+
+use crate::{ChannelId, ChunkId, Message, PeerEntry, PeerList, PeerListArena, TimerKind};
+
+/// [`Message`], with every arena-backed peer list flattened to an owned
+/// [`PeerList`] so the value is `Send`. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Mirror of [`Message::BootstrapRequest`].
+    BootstrapRequest,
+    /// Mirror of [`Message::BootstrapResponse`].
+    BootstrapResponse {
+        /// Channels currently on air.
+        channels: Vec<ChannelId>,
+    },
+    /// Mirror of [`Message::JoinRequest`].
+    JoinRequest {
+        /// The chosen channel.
+        channel: ChannelId,
+    },
+    /// Mirror of [`Message::JoinResponse`].
+    JoinResponse {
+        /// The channel being joined.
+        channel: ChannelId,
+        /// One tracker address per group.
+        trackers: Vec<PeerEntry>,
+    },
+    /// Mirror of [`Message::TrackerQuery`].
+    TrackerQuery {
+        /// Channel of interest.
+        channel: ChannelId,
+    },
+    /// Mirror of [`Message::TrackerResponse`].
+    TrackerResponse {
+        /// Channel of interest.
+        channel: ChannelId,
+        /// Up to 60 active peers, flattened.
+        peers: PeerList,
+    },
+    /// Mirror of [`Message::Announce`].
+    Announce {
+        /// Channel the client is watching.
+        channel: ChannelId,
+    },
+    /// Mirror of [`Message::Handshake`].
+    Handshake {
+        /// Channel the client is watching.
+        channel: ChannelId,
+    },
+    /// Mirror of [`Message::HandshakeAck`].
+    HandshakeAck {
+        /// Channel in question.
+        channel: ChannelId,
+        /// Whether the peer accepted.
+        accepted: bool,
+    },
+    /// Mirror of [`Message::PeerListRequest`].
+    PeerListRequest {
+        /// Channel in question.
+        channel: ChannelId,
+        /// The requester's own peer list, flattened.
+        my_peers: PeerList,
+        /// Correlates the eventual response.
+        req_id: u64,
+    },
+    /// Mirror of [`Message::PeerListResponse`].
+    PeerListResponse {
+        /// Channel in question.
+        channel: ChannelId,
+        /// The neighbor's peer list, flattened.
+        peers: PeerList,
+        /// Echo of the request id.
+        req_id: u64,
+    },
+    /// Mirror of [`Message::DataRequest`].
+    DataRequest {
+        /// Channel in question.
+        channel: ChannelId,
+        /// Requested chunk.
+        chunk: ChunkId,
+        /// First sub-piece index.
+        offset: u16,
+        /// Number of sub-pieces requested.
+        count: u16,
+        /// Requester-unique sequence number.
+        seq: u64,
+    },
+    /// Mirror of [`Message::DataReply`].
+    DataReply {
+        /// Chunk delivered.
+        chunk: ChunkId,
+        /// First sub-piece index.
+        offset: u16,
+        /// Number of sub-pieces delivered.
+        count: u16,
+        /// Echo of the request sequence number.
+        seq: u64,
+    },
+    /// Mirror of [`Message::DataReject`].
+    DataReject {
+        /// Chunk that was requested.
+        chunk: ChunkId,
+        /// Echo of the request sequence number.
+        seq: u64,
+        /// True when the refusal is due to overload.
+        busy: bool,
+    },
+    /// Mirror of [`Message::Goodbye`].
+    Goodbye,
+    /// Mirror of [`Message::Timer`]. Timers never cross the wire in the
+    /// protocol, but the mirror is total so conversion never panics.
+    Timer(TimerKind),
+}
+
+impl Message {
+    /// Flattens this message into its `Send` wire form (arena-backed peer
+    /// lists become owned [`PeerList`]s).
+    #[must_use]
+    pub fn into_wire(self) -> WireMessage {
+        match self {
+            Message::BootstrapRequest => WireMessage::BootstrapRequest,
+            Message::BootstrapResponse { channels } => WireMessage::BootstrapResponse { channels },
+            Message::JoinRequest { channel } => WireMessage::JoinRequest { channel },
+            Message::JoinResponse { channel, trackers } => {
+                WireMessage::JoinResponse { channel, trackers }
+            }
+            Message::TrackerQuery { channel } => WireMessage::TrackerQuery { channel },
+            Message::TrackerResponse { channel, peers } => WireMessage::TrackerResponse {
+                channel,
+                peers: peers.to_list(),
+            },
+            Message::Announce { channel } => WireMessage::Announce { channel },
+            Message::Handshake { channel } => WireMessage::Handshake { channel },
+            Message::HandshakeAck { channel, accepted } => {
+                WireMessage::HandshakeAck { channel, accepted }
+            }
+            Message::PeerListRequest {
+                channel,
+                my_peers,
+                req_id,
+            } => WireMessage::PeerListRequest {
+                channel,
+                my_peers: my_peers.to_list(),
+                req_id,
+            },
+            Message::PeerListResponse {
+                channel,
+                peers,
+                req_id,
+            } => WireMessage::PeerListResponse {
+                channel,
+                peers: peers.to_list(),
+                req_id,
+            },
+            Message::DataRequest {
+                channel,
+                chunk,
+                offset,
+                count,
+                seq,
+            } => WireMessage::DataRequest {
+                channel,
+                chunk,
+                offset,
+                count,
+                seq,
+            },
+            Message::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            } => WireMessage::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            },
+            Message::DataReject { chunk, seq, busy } => WireMessage::DataReject { chunk, seq, busy },
+            Message::Goodbye => WireMessage::Goodbye,
+            Message::Timer(kind) => WireMessage::Timer(kind),
+        }
+    }
+}
+
+impl WireMessage {
+    /// Rebuilds the in-simulation [`Message`], interning peer lists into the
+    /// receiving shard's `arena`.
+    #[must_use]
+    pub fn into_message(self, arena: &PeerListArena) -> Message {
+        match self {
+            WireMessage::BootstrapRequest => Message::BootstrapRequest,
+            WireMessage::BootstrapResponse { channels } => Message::BootstrapResponse { channels },
+            WireMessage::JoinRequest { channel } => Message::JoinRequest { channel },
+            WireMessage::JoinResponse { channel, trackers } => {
+                Message::JoinResponse { channel, trackers }
+            }
+            WireMessage::TrackerQuery { channel } => Message::TrackerQuery { channel },
+            WireMessage::TrackerResponse { channel, peers } => Message::TrackerResponse {
+                channel,
+                peers: arena.intern(peers.iter().copied()),
+            },
+            WireMessage::Announce { channel } => Message::Announce { channel },
+            WireMessage::Handshake { channel } => Message::Handshake { channel },
+            WireMessage::HandshakeAck { channel, accepted } => {
+                Message::HandshakeAck { channel, accepted }
+            }
+            WireMessage::PeerListRequest {
+                channel,
+                my_peers,
+                req_id,
+            } => Message::PeerListRequest {
+                channel,
+                my_peers: arena.intern(my_peers.iter().copied()),
+                req_id,
+            },
+            WireMessage::PeerListResponse {
+                channel,
+                peers,
+                req_id,
+            } => Message::PeerListResponse {
+                channel,
+                peers: arena.intern(peers.iter().copied()),
+                req_id,
+            },
+            WireMessage::DataRequest {
+                channel,
+                chunk,
+                offset,
+                count,
+                seq,
+            } => Message::DataRequest {
+                channel,
+                chunk,
+                offset,
+                count,
+                seq,
+            },
+            WireMessage::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            } => Message::DataReply {
+                chunk,
+                offset,
+                count,
+                seq,
+            },
+            WireMessage::DataReject { chunk, seq, busy } => Message::DataReject { chunk, seq, busy },
+            WireMessage::Goodbye => Message::Goodbye,
+            WireMessage::Timer(kind) => Message::Timer(kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsim_des::NodeId;
+    use std::net::Ipv4Addr;
+
+    fn entry(n: u32) -> PeerEntry {
+        PeerEntry::new(NodeId(n), Ipv4Addr::new(58, 0, 0, (n % 250) as u8 + 1))
+    }
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn wire_form_is_send() {
+        assert_send::<WireMessage>();
+    }
+
+    #[test]
+    fn peer_list_messages_round_trip_through_wire_form() {
+        let sender_arena = PeerListArena::new();
+        let receiver_arena = PeerListArena::new();
+        let peers = sender_arena.intern((0..25).map(entry));
+        let original = Message::TrackerResponse {
+            channel: ChannelId(3),
+            peers,
+        };
+        let size = original.wire_size();
+        let round_tripped = original.clone().into_wire().into_message(&receiver_arena);
+        assert_eq!(round_tripped, original);
+        assert_eq!(round_tripped.wire_size(), size);
+    }
+
+    #[test]
+    fn plain_messages_round_trip_unchanged() {
+        let arena = PeerListArena::new();
+        for msg in [
+            Message::BootstrapRequest,
+            Message::HandshakeAck {
+                channel: ChannelId(1),
+                accepted: true,
+            },
+            Message::DataRequest {
+                channel: ChannelId(1),
+                chunk: ChunkId(9),
+                offset: 3,
+                count: 7,
+                seq: 41,
+            },
+            Message::Goodbye,
+            Message::Timer(TimerKind::GossipRound),
+        ] {
+            assert_eq!(msg.clone().into_wire().into_message(&arena), msg);
+        }
+    }
+
+    #[test]
+    fn gossip_request_keeps_enclosed_list_through_wire_form() {
+        let arena = PeerListArena::new();
+        let my_peers = arena.intern((0..60).map(entry));
+        let msg = Message::PeerListRequest {
+            channel: ChannelId(2),
+            my_peers,
+            req_id: 7,
+        };
+        let back = msg.clone().into_wire().into_message(&arena);
+        assert_eq!(back, msg);
+    }
+}

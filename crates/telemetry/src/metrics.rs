@@ -86,6 +86,15 @@ impl Gauge {
     pub fn peak(&self) -> u64 {
         self.peak.get()
     }
+
+    /// Overwrites the current value *without* touching the peak — the
+    /// end-of-run hook for instruments whose final reading is a settled
+    /// state (e.g. a queue drained to the horizon) rather than a new
+    /// high-water observation.
+    #[inline]
+    pub fn finalize(&self, v: u64) {
+        self.current.set(v);
+    }
 }
 
 impl fmt::Debug for Gauge {
@@ -100,8 +109,15 @@ struct HistogramInner {
     bounds: Vec<f64>,
     counts: Vec<Cell<u64>>,
     count: Cell<u64>,
-    sum: Cell<f64>,
+    /// Sum of observations in fixed-point nanounits. Integer accumulation
+    /// is associative and commutative, so histogram sums merge exactly
+    /// across per-shard registries regardless of observation order —
+    /// float accumulation would drift by rounding order.
+    sum_nanos: Cell<i128>,
 }
+
+/// Fixed-point scale for histogram sums: one observation unit = 1e9 nanos.
+const HIST_NANOS: f64 = 1e9;
 
 /// A fixed-bucket histogram handle. Buckets are set at interning time and
 /// never reallocate, so observations are hot-path safe.
@@ -119,7 +135,7 @@ impl Histogram {
                 bounds: bounds.to_vec(),
                 counts: vec![Cell::new(0); bounds.len() + 1],
                 count: Cell::new(0),
-                sum: Cell::new(0.0),
+                sum_nanos: Cell::new(0),
             }),
         }
     }
@@ -135,7 +151,8 @@ impl Histogram {
             .unwrap_or(h.bounds.len());
         h.counts[idx].set(h.counts[idx].get() + 1);
         h.count.set(h.count.get() + 1);
-        h.sum.set(h.sum.get() + v);
+        h.sum_nanos
+            .set(h.sum_nanos.get() + (v * HIST_NANOS).round() as i128);
     }
 
     /// Total number of observations.
@@ -149,7 +166,7 @@ impl Histogram {
             bounds: self.inner.bounds.clone(),
             counts: self.inner.counts.iter().map(Cell::get).collect(),
             count: self.inner.count.get(),
-            sum: self.inner.sum.get(),
+            sum_nanos: self.inner.sum_nanos.get(),
         }
     }
 }
@@ -286,18 +303,26 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
     /// Total observations.
     pub count: u64,
-    /// Sum of observed values.
-    pub sum: f64,
+    /// Exact sum of observed values in fixed-point nanounits (merge by
+    /// integer addition; read in observation units via
+    /// [`HistogramSnapshot::sum`]).
+    pub sum_nanos: i128,
 }
 
 impl HistogramSnapshot {
+    /// Sum of observed values, in observation units.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum_nanos as f64 / HIST_NANOS
+    }
+
     /// Mean observed value, if any observation was made.
     #[must_use]
     pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
             None
         } else {
-            Some(self.sum / self.count as f64)
+            Some(self.sum() / self.count as f64)
         }
     }
 }
@@ -349,6 +374,66 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Sets gauge `name` to an explicit value, creating it (sorted into
+    /// place) if absent — the override hook for instruments whose merged
+    /// value is computed outside the registry (e.g. the sharded kernel's
+    /// replayed global queue depth).
+    pub fn set_gauge(&mut self, name: &str, value: GaugeValue) {
+        match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.gauges[i].1 = value,
+            Err(i) => self.gauges.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// Merges per-shard snapshots into one global snapshot.
+    ///
+    /// Counters and histogram tallies are partitioned across shards (every
+    /// event is counted by exactly one shard), so they merge by exact
+    /// integer addition; histogram sums add in fixed-point nanounits, so
+    /// the result is independent of shard count and observation order.
+    /// Gauges merge as `current = Σ current`, `peak = max peak` — correct
+    /// for instruments whose observations are disjoint per shard (each
+    /// interconnect queue is owned by exactly one shard); instruments that
+    /// need a cross-shard reconstruction (the kernel queue-depth gauge)
+    /// are overridden afterwards via [`MetricsSnapshot::set_gauge`].
+    #[must_use]
+    pub fn merge(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for part in parts {
+            for (name, v) in &part.counters {
+                out.bump_counter(name, *v);
+            }
+            for (name, g) in &part.gauges {
+                match out.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => {
+                        let m = &mut out.gauges[i].1;
+                        m.current += g.current;
+                        m.peak = m.peak.max(g.peak);
+                    }
+                    Err(i) => out.gauges.insert(i, (name.clone(), *g)),
+                }
+            }
+            for (name, h) in &part.histograms {
+                match out
+                    .histograms
+                    .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                {
+                    Ok(i) => {
+                        let m = &mut out.histograms[i].1;
+                        debug_assert_eq!(m.bounds, h.bounds, "merging mismatched buckets");
+                        for (a, b) in m.counts.iter_mut().zip(&h.counts) {
+                            *a += b;
+                        }
+                        m.count += h.count;
+                        m.sum_nanos += h.sum_nanos;
+                    }
+                    Err(i) => out.histograms.insert(i, (name.clone(), h.clone())),
+                }
+            }
+        }
+        out
+    }
+
     /// Renders the snapshot as a self-contained JSON object (the
     /// workspace's vendored serde has no JSON backend, so this is written
     /// out by hand like the other exporters).
@@ -390,7 +475,8 @@ impl MetricsSnapshot {
                 .join(", ");
             s.push_str(&format!(
                 "\n    \"{n}\": {{\"bounds\": [{bounds}], \"counts\": [{counts}], \"count\": {}, \"sum\": {}}}",
-                h.count, h.sum
+                h.count,
+                h.sum()
             ));
         }
         s.push_str("\n  }\n}\n");
@@ -432,8 +518,54 @@ mod tests {
         let s = h.snap();
         assert_eq!(s.counts, vec![1, 1, 1]);
         assert_eq!(s.count, 3);
-        assert!((s.sum - 11.0).abs() < 1e-12);
+        assert!((s.sum() - 11.0).abs() < 1e-12);
         assert!((s.mean().unwrap() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_finalize_skips_peak() {
+        let g = Gauge::detached();
+        g.set(5);
+        g.finalize(9);
+        assert_eq!(g.get(), 9);
+        assert_eq!(g.peak(), 5, "finalize must not raise the peak");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_and_maxes_peaks() {
+        let a = MetricsRegistry::new();
+        a.counter("c").add(3);
+        a.gauge("g").set(4);
+        a.histogram("h", &[1.0]).observe(0.25);
+        let b = MetricsRegistry::new();
+        b.counter("c").add(2);
+        b.counter("only_b").inc();
+        b.gauge("g").set(7);
+        b.histogram("h", &[1.0]).observe(2.5);
+        let merged = MetricsSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.counter("c"), Some(5));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        let g = merged.gauge("g").unwrap();
+        assert_eq!(g.current, 11);
+        assert_eq!(g.peak, 7);
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![1, 1]);
+        assert_eq!(h.count, 2);
+        assert!((h.sum() - 2.75).abs() < 1e-12);
+        // Single-part merge is the identity.
+        assert_eq!(MetricsSnapshot::merge(&[a.snapshot()]), a.snapshot());
+    }
+
+    #[test]
+    fn set_gauge_overrides_or_inserts() {
+        let r = MetricsRegistry::new();
+        r.gauge("g").set(3);
+        let mut snap = r.snapshot();
+        snap.set_gauge("g", GaugeValue { current: 1, peak: 9 });
+        snap.set_gauge("new", GaugeValue { current: 2, peak: 2 });
+        assert_eq!(snap.gauge("g"), Some(GaugeValue { current: 1, peak: 9 }));
+        assert_eq!(snap.gauge("new"), Some(GaugeValue { current: 2, peak: 2 }));
+        assert!(snap.gauges.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

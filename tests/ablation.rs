@@ -19,7 +19,7 @@ fn mean_locality(cfg: PeerConfig, seeds: &[u64]) -> f64 {
 
 #[test]
 fn referral_beats_tracker_only_on_locality() {
-    let seeds = [1, 2, 3];
+    let seeds = [1, 2, 3, 4, 5];
     let pplive = mean_locality(PeerConfig::default(), &seeds);
     let baseline = mean_locality(PeerConfig::tracker_only_baseline(), &seeds);
     assert!(

@@ -8,8 +8,12 @@ use plsim_proto::PeerList;
 use pplive_locality::{ProbeSite, Scale, Scenario};
 use plsim_workload::ChannelClass;
 
+// Seed re-pinned when the kernel moved to origin-keyed event ordering:
+// outcomes at a fixed seed legitimately changed, and the old seed's tiny
+// world left the TELE probe with 9 connected peers — too few for the
+// rank-distribution analysis these invariants read.
 fn tiny_popular() -> pplive_locality::ScenarioRun {
-    Scenario::new(ChannelClass::Popular, Scale::Tiny, 42).run()
+    Scenario::new(ChannelClass::Popular, Scale::Tiny, 7).run()
 }
 
 #[test]
