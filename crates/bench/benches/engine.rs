@@ -26,7 +26,7 @@ use plsim_proto::{ChannelId, Message, PeerEntry, PeerListArena, SharedPeerList, 
 use plsim_stats::{ecdf, pearson, stretched_exp_fit};
 use plsim_telemetry::MetricsRegistry;
 use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
-use pplive_locality::{JobPool, Scale, Suite};
+use pplive_locality::{locality_frontier_on, JobPool, PolicySpec, Scale, Suite};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -655,6 +655,19 @@ fn engine_report(test_mode: bool) {
     let sharded_events_per_sec = four_stats.events_processed as f64 / four_wall;
     let sharded_speedup_4x = one_wall / four_wall;
 
+    // Locality-frontier smoke sweep: the three-point policy sweep CI runs
+    // (gossip-race anchor plus two bias quotas), timed on the bench pool.
+    // Seconds-valued, so the CI gate is a ceiling.
+    let start = Instant::now();
+    let frontier = locality_frontier_on(&pool, scale, 42, true);
+    let frontier_sweep_secs = start.elapsed().as_secs_f64();
+    assert_eq!(frontier.len(), 3, "smoke sweep must stay three points");
+    assert_eq!(
+        frontier[0].policy,
+        PolicySpec::GossipRace,
+        "smoke sweep lost its anchor"
+    );
+
     let report = EngineReport {
         events_processed: cal_stats.events_processed,
         events_per_sec: events_per_sec_calendar,
@@ -684,6 +697,7 @@ fn engine_report(test_mode: bool) {
         sharded_speedup_4x,
         shard_threads,
         shard_warning,
+        frontier_sweep_secs,
     };
     match write_engine_report(&report) {
         Ok(path) => println!(
@@ -692,7 +706,8 @@ fn engine_report(test_mode: bool) {
              speedup {:.2}, capture {} -> {} bytes, analysis {:.4}s -> {:.4}s, \
              node ring {:.0} vs {:.0} msgs/sec ({:.2}x, {} allocs), \
              gossip {:.0} ticks/sec, \
-             sharded {:.0} events/sec ({:.2}x over 1 shard, {} threads) -> {}",
+             sharded {:.0} events/sec ({:.2}x over 1 shard, {} threads), \
+             frontier smoke sweep {:.2}s -> {}",
             report.events_per_sec_calendar,
             report.events_per_sec_heap,
             report.calendar_speedup,
@@ -713,6 +728,7 @@ fn engine_report(test_mode: bool) {
             report.sharded_events_per_sec,
             report.sharded_speedup_4x,
             report.shard_threads,
+            report.frontier_sweep_secs,
             path.display()
         ),
         Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),

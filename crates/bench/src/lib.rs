@@ -111,6 +111,11 @@ pub struct EngineReport {
     /// windowing overhead, not parallelism — gates must not compare it
     /// against a multi-core baseline.
     pub shard_warning: Option<String>,
+    /// Wall-clock seconds of the three-point smoke locality-frontier sweep
+    /// (gossip-race anchor plus two bias quotas) on the bench pool. A
+    /// seconds value, so CI gates it with a *ceiling*: regressions make it
+    /// grow.
+    pub frontier_sweep_secs: f64,
 }
 
 impl EngineReport {
@@ -156,7 +161,8 @@ impl EngineReport {
                 "  \"sharded_events_per_sec\": {:.1},\n",
                 "  \"sharded_speedup_4x\": {:.3},\n",
                 "  \"shard_threads\": {},\n",
-                "  \"shard_warning\": {}\n",
+                "  \"shard_warning\": {},\n",
+                "  \"frontier_sweep_secs\": {:.4}\n",
                 "}}\n"
             ),
             self.events_processed,
@@ -187,6 +193,7 @@ impl EngineReport {
             self.sharded_speedup_4x,
             self.shard_threads,
             shard_warning,
+            self.frontier_sweep_secs,
         )
     }
 }
@@ -243,6 +250,7 @@ mod tests {
             sharded_speedup_4x: 3.1,
             shard_threads: 4,
             shard_warning: None,
+            frontier_sweep_secs: 1.5,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
@@ -265,7 +273,8 @@ mod tests {
         assert!(json.contains("\"sharded_events_per_sec\": 2500000.0"));
         assert!(json.contains("\"sharded_speedup_4x\": 3.100"));
         assert!(json.contains("\"shard_threads\": 4"));
-        assert!(json.contains("\"shard_warning\": null\n"));
+        assert!(json.contains("\"shard_warning\": null,"));
+        assert!(json.contains("\"frontier_sweep_secs\": 1.5000\n"));
     }
 
     #[test]
@@ -299,6 +308,7 @@ mod tests {
             sharded_speedup_4x: 1.0,
             shard_threads: 1,
             shard_warning: None,
+            frontier_sweep_secs: 0.1,
         };
         r.threads_warning = Some("thread pool collapsed to 1".to_string());
         r.shard_warning = Some("1 core backs 4 shards".to_string());

@@ -391,7 +391,9 @@ impl ProbeTap {
             | Message::JoinResponse { .. } => {
                 store.push_encoded(head, KindTag::Bootstrap, 0, 0, 0);
             }
-            Message::TrackerQuery { .. } => {
+            // A biased query is still a tracker query on the wire; the
+            // locality hint changes the reply, not the request's shape.
+            Message::TrackerQuery { .. } | Message::TrackerQueryBiased { .. } => {
                 store.push_encoded(head, KindTag::TrackerQuery, 0, 0, 0);
             }
             Message::TrackerResponse { peers, .. } => {

@@ -6,6 +6,7 @@
 //! plsim figures [tiny|reduced|paper] [seed]
 //! plsim fig6 [days] [tiny|reduced|paper] [seed]
 //! plsim ablation [tiny|reduced|paper] [seed]
+//! plsim locality_frontier [--smoke] [--csv <path>] [tiny|reduced|paper] [seed]
 //! plsim workload [n] [c] [a] [noise]
 //! plsim export <dir> [tiny|reduced|paper] [seed]
 //! ```
@@ -15,10 +16,10 @@
 //! commands that simulate sessions (`run`, `figures`, `export`).
 
 use pplive_locality::{
-    ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, pct,
-    render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
-    render_underlay_ablation, response_times, suite_metrics_json, underlay_ablation,
-    workload_round_trip, ProbeSite, Scale, Scenario, Suite,
+    ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, frontier_csv,
+    locality_frontier, pct, render_ablation, render_fig11_14, render_fig15_18, render_fig7_10,
+    render_frontier, render_table1, render_underlay_ablation, response_times, suite_metrics_json,
+    underlay_ablation, workload_round_trip, ProbeSite, Scale, Scenario, Suite,
 };
 use plsim_workload::ChannelClass;
 
@@ -158,6 +159,45 @@ fn cmd_export(args: &[String], metrics_json: Option<&str>) {
     }
 }
 
+fn cmd_frontier(args: &[String]) {
+    let mut args: Vec<String> = args.to_vec();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let csv_path = {
+        let i = args.iter().position(|a| a == "--csv");
+        i.map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--csv requires a path argument");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            path
+        })
+    };
+    let scale = parse_scale(args.first().map(String::as_str));
+    let seed = parse_seed(args.get(1).map(String::as_str));
+    println!(
+        "sweeping {} selection policies at {scale:?} scale, seed {seed}...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let points = locality_frontier(scale, seed, smoke);
+    println!("{}", render_frontier(&points));
+    if let Some(path) = csv_path {
+        match std::fs::write(&path, frontier_csv(&points)) {
+            Ok(()) => println!("frontier CSV written to {path}"),
+            Err(e) => {
+                eprintln!("writing frontier CSV to {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_json = take_metrics_json(&mut args);
@@ -167,6 +207,7 @@ fn main() {
         Some("figures") => cmd_figures(&args[1..], metrics_json),
         Some("fig6") => cmd_fig6(&args[1..]),
         Some("ablation") => cmd_ablation(&args[1..]),
+        Some("locality_frontier") => cmd_frontier(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("export") => cmd_export(&args[1..], metrics_json),
         _ => {
@@ -177,6 +218,7 @@ fn main() {
                  \x20 figures [scale] [seed]                                Figures 2-5, 7-18 and Table 1\n\
                  \x20 fig6 [days] [scale] [seed]                            the locality-over-days series\n\
                  \x20 ablation [scale] [seed]                               protocol-variant comparison\n\
+                 \x20 locality_frontier [--smoke] [--csv <path>] [scale] [seed]  policy transit-savings frontier\n\
                  \x20 workload [n] [c] [a] [noise]                          SE workload generator round trip\n\
                  \x20 export <dir> [scale] [seed]                           dump figure data as CSV\n\
                  flags:\n\

@@ -1,0 +1,244 @@
+//! The transit-savings frontier: what engineered locality buys and costs.
+//!
+//! The paper observes that PPLive's locality *emerges* from timing rather
+//! than design, and asks (§V) how much transit traffic an ISP could save by
+//! engineering it — e.g. the "deep diving" managed-peer idea — without
+//! hurting playback. This module sweeps the [`PolicySpec`] space on the
+//! popular channel and reports, per policy, the cross-ISP traffic share,
+//! the transit savings relative to the unmodified gossip race, and the QoE
+//! price (startup delay, stall ratio, fraction of peers that ever started).
+//!
+//! The first point of every sweep is the [`PolicySpec::GossipRace`] anchor;
+//! savings are computed against its cross-ISP byte count, so the anchor row
+//! always reads 0% savings. The quota axis of [`PolicySpec::BiasedLocality`]
+//! is swept from effectively-unbounded down to zero: the far end starves
+//! every viewer outside the source's ISP and is *meant* to look bad — that
+//! cliff is the frontier's whole point.
+
+use crate::engine::JobPool;
+use crate::render::{pct, render_table, secs};
+use crate::scenario::{ProbeSite, Scale, Scenario};
+use plsim_des::SimTime;
+use plsim_node::{PlaybackSummary, PolicySpec};
+use plsim_workload::ChannelClass;
+use serde::{Deserialize, Serialize};
+
+/// One policy's position on the transit-savings frontier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Policy label (round-trips through [`PolicySpec::parse`]).
+    pub label: String,
+    /// The policy that produced this point.
+    pub policy: PolicySpec,
+    /// Bytes the population downloaded from cross-ISP neighbors.
+    pub cross_isp_bytes: u64,
+    /// Total bytes the population downloaded.
+    pub total_bytes: u64,
+    /// `cross_isp_bytes / total_bytes` (0 when nothing was downloaded).
+    pub cross_isp_share: f64,
+    /// Transit bytes saved relative to the sweep's gossip-race anchor:
+    /// `1 - cross_isp_bytes / anchor_cross_isp_bytes`. Negative means the
+    /// policy *increased* transit traffic.
+    pub transit_savings: f64,
+    /// TELE probe traffic locality (the paper's headline metric).
+    pub tele_locality: f64,
+    /// Fraction of viewers whose playback ever started.
+    pub started_fraction: f64,
+    /// Mean stall ratio over peers that started (`None` if none did).
+    pub mean_stall_ratio: Option<f64>,
+    /// Mean startup delay in seconds over peers that started.
+    pub mean_startup_delay_s: Option<f64>,
+}
+
+/// The policies a frontier sweep compares, anchor first.
+///
+/// `smoke` keeps three points (anchor, the default quota, and the starving
+/// quota-zero extreme) for CI; the full sweep adds the non-quota policies
+/// and walks the quota axis.
+#[must_use]
+pub fn frontier_policies(smoke: bool) -> Vec<PolicySpec> {
+    if smoke {
+        return vec![
+            PolicySpec::GossipRace,
+            PolicySpec::BiasedLocality { cross_isp_quota: 2 },
+            PolicySpec::BiasedLocality { cross_isp_quota: 0 },
+        ];
+    }
+    vec![
+        PolicySpec::GossipRace,
+        PolicySpec::TrackerOnly,
+        PolicySpec::RttThreshold {
+            cutoff: SimTime::from_millis(100),
+        },
+        PolicySpec::DeepDivingOracle,
+        PolicySpec::BiasedLocality { cross_isp_quota: 8 },
+        PolicySpec::BiasedLocality { cross_isp_quota: 4 },
+        PolicySpec::BiasedLocality { cross_isp_quota: 2 },
+        PolicySpec::BiasedLocality { cross_isp_quota: 1 },
+        PolicySpec::BiasedLocality { cross_isp_quota: 0 },
+    ]
+}
+
+/// Runs the frontier sweep on the default [`JobPool`].
+#[must_use]
+pub fn locality_frontier(scale: Scale, seed: u64, smoke: bool) -> Vec<FrontierPoint> {
+    locality_frontier_on(&JobPool::from_env(), scale, seed, smoke)
+}
+
+/// [`locality_frontier`] on an explicit pool: one popular-channel session
+/// per policy, all at the same seed, merged back in policy order so the
+/// sweep is bit-identical however many workers ran it.
+#[must_use]
+pub fn locality_frontier_on(
+    pool: &JobPool,
+    scale: Scale,
+    seed: u64,
+    smoke: bool,
+) -> Vec<FrontierPoint> {
+    let mut points = pool.map(frontier_policies(smoke), move |policy| {
+        let mut scenario = Scenario::new(ChannelClass::Popular, scale, seed);
+        scenario.policy = policy;
+        let run = scenario.run();
+        let m = run.metrics();
+        let same = m.counter("node.bytes_down_same_isp").unwrap_or(0);
+        let cross = m.counter("node.bytes_down_cross_isp").unwrap_or(0);
+        let total = same + cross;
+        let summary = PlaybackSummary::summarize(&run.output.peer_stats);
+        FrontierPoint {
+            label: policy.label(),
+            policy,
+            cross_isp_bytes: cross,
+            total_bytes: total,
+            cross_isp_share: if total == 0 {
+                0.0
+            } else {
+                cross as f64 / total as f64
+            },
+            transit_savings: 0.0, // filled against the anchor below
+            tele_locality: run.locality_avg(ProbeSite::Tele),
+            started_fraction: if summary.peers == 0 {
+                0.0
+            } else {
+                summary.started as f64 / summary.peers as f64
+            },
+            mean_stall_ratio: summary.mean_stall_ratio,
+            mean_startup_delay_s: summary.mean_startup_delay.map(SimTime::as_secs_f64),
+        }
+    });
+    let anchor = points.first().map_or(0, |p| p.cross_isp_bytes);
+    for p in &mut points {
+        p.transit_savings = if anchor == 0 {
+            0.0
+        } else {
+            1.0 - p.cross_isp_bytes as f64 / anchor as f64
+        };
+    }
+    points
+}
+
+/// Renders the frontier as an aligned text table.
+#[must_use]
+pub fn render_frontier(points: &[FrontierPoint]) -> String {
+    let mut rows = vec![vec![
+        "policy".to_string(),
+        "cross-ISP share".to_string(),
+        "transit savings".to_string(),
+        "TELE locality".to_string(),
+        "started".to_string(),
+        "stall ratio".to_string(),
+        "startup (s)".to_string(),
+    ]];
+    for p in points {
+        rows.push(vec![
+            p.label.clone(),
+            pct(p.cross_isp_share),
+            pct(p.transit_savings),
+            pct(p.tele_locality),
+            pct(p.started_fraction),
+            p.mean_stall_ratio
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.4}")),
+            secs(p.mean_startup_delay_s),
+        ]);
+    }
+    render_table(&rows)
+}
+
+/// Serializes the frontier as CSV (stable column order, `-` for absent
+/// QoE values).
+#[must_use]
+pub fn frontier_csv(points: &[FrontierPoint]) -> String {
+    let mut out = String::from(
+        "policy,cross_isp_bytes,total_bytes,cross_isp_share,transit_savings,\
+         tele_locality,started_fraction,mean_stall_ratio,mean_startup_delay_s\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{}\n",
+            p.label,
+            p.cross_isp_bytes,
+            p.total_bytes,
+            p.cross_isp_share,
+            p.transit_savings,
+            p.tele_locality,
+            p.started_fraction,
+            p.mean_stall_ratio
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.6}")),
+            p.mean_startup_delay_s
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.6}")),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_lists_are_anchored_and_deduplicated() {
+        for smoke in [true, false] {
+            let specs = frontier_policies(smoke);
+            assert_eq!(specs[0], PolicySpec::GossipRace, "anchor must come first");
+            let labels: Vec<String> = specs.iter().map(PolicySpec::label).collect();
+            let mut unique = labels.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), labels.len(), "duplicate policy in sweep");
+            // Every label round-trips through the CLI/env parser.
+            for (spec, label) in specs.iter().zip(&labels) {
+                assert_eq!(PolicySpec::parse(label), Some(*spec));
+            }
+        }
+        assert_eq!(frontier_policies(true).len(), 3);
+        assert!(frontier_policies(false).len() >= 5);
+    }
+
+    #[test]
+    fn smoke_sweep_produces_consistent_points() {
+        let points = locality_frontier(Scale::Tiny, 42, true);
+        assert_eq!(points.len(), 3);
+        let anchor = &points[0];
+        assert_eq!(anchor.policy, PolicySpec::GossipRace);
+        assert!(
+            anchor.transit_savings.abs() < 1e-12,
+            "anchor must save nothing relative to itself"
+        );
+        for p in &points {
+            assert!(p.total_bytes > 0, "{}: no traffic at all", p.label);
+            assert!(
+                (0.0..=1.0).contains(&p.cross_isp_share),
+                "{}: share {} out of range",
+                p.label,
+                p.cross_isp_share
+            );
+            assert!(p.transit_savings <= 1.0 + 1e-12);
+        }
+        // CSV and table cover every point.
+        let csv = frontier_csv(&points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+        let table = render_frontier(&points);
+        for p in &points {
+            assert!(csv.contains(&p.label) && table.contains(&p.label));
+        }
+    }
+}

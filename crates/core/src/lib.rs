@@ -13,6 +13,9 @@
 //!   [`figs_15_to_18`];
 //! * the design ablations ([`ablation`]) and the stretched-exponential
 //!   workload round trip ([`workload_round_trip`]);
+//! * the selection-policy transit-savings frontier
+//!   ([`locality_frontier`]) — what engineered locality saves in transit
+//!   traffic and costs in startup delay/stalls, per [`PolicySpec`];
 //! * [`JobPool`] — the deterministic parallel experiment engine every
 //!   multi-run artifact fans out through (thread count via the
 //!   `PLSIM_THREADS` environment variable), with job-order merging so
@@ -38,6 +41,7 @@ mod engine;
 mod experiments;
 mod export;
 mod faults;
+mod frontier;
 mod render;
 mod scenario;
 
@@ -47,8 +51,13 @@ pub use faults::{
     tele_cnc_partition, tracker_blackout, tracker_outage_early,
 };
 pub use plsim_net::LinkFault;
+pub use frontier::{
+    frontier_csv, frontier_policies, locality_frontier, locality_frontier_on, render_frontier,
+    FrontierPoint,
+};
 pub use plsim_node::{
     check_world, Fault, FaultPlan, InvariantReport, InvariantViolation, PlaybackSummary,
+    PolicySpec, SelectionPolicy, POLICY_ENV,
 };
 pub use experiments::{
     ablation, ablation_on, ablation_variants, fig_6, fig_6_on, figs_11_to_14, figs_15_to_18,

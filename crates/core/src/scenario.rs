@@ -4,8 +4,8 @@ use plsim_analysis::ProbeReport;
 use plsim_des::SimTime;
 use plsim_net::{AsnDirectory, Isp, LinkModel};
 use plsim_node::{
-    check_world, run_world, FaultPlan, InvariantReport, PeerConfig, ProbeSpec, WorldConfig,
-    WorldOutput,
+    check_world, run_world, FaultPlan, InvariantReport, PeerConfig, PolicySpec, ProbeSpec,
+    WorldConfig, WorldOutput,
 };
 use plsim_telemetry::MetricsSnapshot;
 use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
@@ -112,6 +112,9 @@ pub struct Scenario {
     pub probes: Vec<ProbeSite>,
     /// Peer behaviour (defaults to the PPLive protocol).
     pub peer_config: PeerConfig,
+    /// Neighbor-selection policy (defaults to `PLSIM_POLICY`, i.e. the
+    /// topology-blind gossip race unless the environment overrides it).
+    pub policy: PolicySpec,
     /// Link model (defaults to the calibrated 2008 underlay).
     pub link: LinkModel,
     /// Optional per-day population variation (Figure 6).
@@ -132,6 +135,7 @@ impl Scenario {
             scale,
             probes: ProbeSite::ALL.to_vec(),
             peer_config: PeerConfig::default(),
+            policy: PolicySpec::from_env(),
             link: LinkModel::default(),
             day: None,
             faults: FaultPlan::new(),
@@ -161,6 +165,7 @@ impl Scenario {
 
         let mut cfg = WorldConfig::new(self.seed, plan, SimTime::from_secs_f64(duration));
         cfg.peer_config = self.peer_config;
+        cfg.policy = self.policy;
         cfg.link = self.link;
         cfg.faults = self.faults.clone();
         cfg.nat_fraction = self.nat_fraction;

@@ -13,9 +13,13 @@
 //!   with stall accounting, and an upload queue that turns load into
 //!   response latency. The same type plays the stream source.
 //!
-//! Peers never see topology information; locality *emerges* from timing, as
-//! the paper claims. The [`World`] builder assembles a full scenario
-//! (topology + infrastructure + population + probes + capture) and runs it.
+//! Under the default [`PolicySpec::GossipRace`] selection policy peers
+//! never see topology information; locality *emerges* from timing, as the
+//! paper claims. The [`policy`] module adds engineered-locality strategies
+//! (quota-biased, RTT-gated, ISP-managed) behind the [`SelectionPolicy`]
+//! trait for the transit-savings frontier studies. The [`World`] builder
+//! assembles a full scenario (topology + infrastructure + population +
+//! probes + capture) and runs it.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ mod det;
 mod fault;
 mod invariants;
 mod peer;
+pub mod policy;
 mod shard;
 mod stats;
 mod tracker;
@@ -58,6 +63,7 @@ pub use det::{DetHashMap, DetHashSet, Fnv1a};
 pub use fault::{Fault, FaultBoundary, FaultPlan};
 pub use invariants::{check_world, InvariantReport, InvariantViolation};
 pub use peer::{PeerNode, Role};
+pub use policy::{CandidateLink, PolicySpec, SelectionPolicy, POLICY_ENV};
 pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
 pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput, SHARDS_ENV};

@@ -2,20 +2,27 @@
 //! latency-weighted chunk scheduler, playback, and (for the source role)
 //! chunk production.
 //!
-//! Nothing in this file ever looks at ISP or topology information to make a
-//! decision: peers only observe *when* replies arrive, exactly like real
-//! PPLive clients. The only use of the shared [`Topology`] is to resolve the
-//! source address of an incoming packet, which a real host reads from the
-//! IP header. Traffic locality must therefore *emerge* from the
+//! Under the default [`GossipRace`] policy nothing in this file ever looks
+//! at ISP or topology information to make a decision: peers only observe
+//! *when* replies arrive, exactly like real PPLive clients, and the only
+//! use of the shared [`Topology`] is to resolve the source address of an
+//! incoming packet (which a real host reads from the IP header) and to
+//! label traffic for telemetry. Traffic locality then *emerges* from the
 //! decentralized, latency-based, neighbor-referral design — the paper's
-//! central claim.
+//! central claim. The engineered-locality policies of
+//! [`crate::policy`] ([`BiasedLocality`](crate::policy::BiasedLocality)
+//! and friends) deliberately break that blindness through the
+//! [`SelectionPolicy`] admission hooks, which is precisely the experiment:
+//! how much transit traffic does engineering save over emergence, and at
+//! what quality cost?
 
 use crate::config::{ConnectPolicy, DataSelection, PeerConfig};
 use crate::det::{DetHashMap, DetHashSet};
+use crate::policy::{CandidateLink, GossipRace, SelectionPolicy};
 use crate::stats::{NodeMetrics, PeerStats, StatsSink};
 use plsim_des::{Actor, Context, NodeId, SimTime};
 use plsim_telemetry::MetricsRegistry;
-use plsim_net::Topology;
+use plsim_net::{Isp, Topology};
 use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -305,6 +312,17 @@ pub struct PeerNode {
     bootstrap: NodeId,
     topology: Arc<Topology>,
     sink: StatsSink,
+    /// Neighbor-admission strategy. The default [`GossipRace`] admits
+    /// everyone through hooks that are pure and RNG-free, so the policy
+    /// layer leaves the emergent-locality code path bit-identical.
+    policy: Arc<dyn SelectionPolicy>,
+    /// This host's ISP (resolved once; policies condition on it).
+    my_isp: Isp,
+    /// Connected neighbors outside `my_isp`. Maintained by
+    /// `add_neighbor`/`drop_neighbor`, which dedup through the neighbor
+    /// table, so a peer learned from both a tracker reply and a gossip
+    /// payload consumes one quota slot, not two.
+    cross_isp_neighbors: usize,
 
     active: bool,
     started: bool,
@@ -420,6 +438,9 @@ impl PeerNode {
             bootstrap,
             topology,
             sink,
+            policy: Arc::new(GossipRace),
+            my_isp: isp,
+            cross_isp_neighbors: 0,
             active: false,
             started: false,
             inbound_reachable: true,
@@ -468,6 +489,11 @@ impl PeerNode {
         self.arena = arena.clone();
     }
 
+    /// Replaces the default [`GossipRace`] neighbor-selection policy.
+    pub fn attach_policy(&mut self, policy: &Arc<dyn SelectionPolicy>) {
+        self.policy = Arc::clone(policy);
+    }
+
     /// Marks the peer as sitting behind a NAT: unsolicited inbound traffic
     /// (handshakes and requests from peers it never contacted) is silently
     /// dropped, as a consumer NAT would do.
@@ -489,6 +515,12 @@ impl PeerNode {
         self.neighbors.len()
     }
 
+    /// Connected neighbors outside this peer's ISP (tests and telemetry).
+    #[must_use]
+    pub fn cross_isp_neighbor_count(&self) -> usize {
+        self.cross_isp_neighbors
+    }
+
     /// Whether playback has started.
     #[must_use]
     pub fn is_playing(&self) -> bool {
@@ -496,6 +528,18 @@ impl PeerNode {
     }
 
     // ---- helpers -------------------------------------------------------
+
+    /// Whether the selection policy admits `node` as a neighbor right now.
+    /// Pure and RNG-free by the policy contract, so the default
+    /// admit-everything policy leaves the message flow untouched.
+    fn policy_admits(&self, node: NodeId) -> bool {
+        self.policy.admits(&CandidateLink {
+            same_isp: self.topology.host(node).isp == self.my_isp,
+            base_rtt: self.topology.base_rtt(self.me.node, node),
+            cross_isp_neighbors: self.cross_isp_neighbors,
+            neighbors: self.neighbors.len(),
+        })
+    }
 
     fn upload_hold(&mut self, now: SimTime, size: u32) -> Option<SimTime> {
         let service =
@@ -573,6 +617,13 @@ impl PeerNode {
             let Some(entry) = self.pop_random_candidate(ctx.rng()) else {
                 break;
             };
+            // Policy gate. A rejected candidate still consumes its burst
+            // slot (deterministically — the hook is pure), so one slow
+            // round cannot turn into an unbounded candidate drain.
+            if !self.policy_admits(entry.node) {
+                self.metrics.policy_rejections.inc();
+                continue;
+            }
             let msg = Message::Handshake {
                 channel: self.channel,
             };
@@ -607,8 +658,17 @@ impl PeerNode {
         if self.trackers.is_empty() {
             return;
         }
-        let msg = Message::TrackerQuery {
-            channel: self.channel,
+        // An ISP-managed policy asks the tracker for same-ISP members
+        // first; everyone else sends the classic locality-blind query.
+        let msg = if self.policy.wants_isp_hint() {
+            Message::TrackerQueryBiased {
+                channel: self.channel,
+                want_same_isp: plsim_proto::PeerList::MAX_LEN as u16,
+            }
+        } else {
+            Message::TrackerQuery {
+                channel: self.channel,
+            }
         };
         let size = msg.wire_size();
         if all {
@@ -821,13 +881,24 @@ impl PeerNode {
 
     fn add_neighbor(&mut self, entry: PeerEntry, now: SimTime) {
         self.candidate_set.remove(&entry.node);
+        if self.neighbors.contains(entry.node) {
+            // Already connected (e.g. the same peer arrived via a tracker
+            // reply and a gossip payload): the table dedups, and the
+            // cross-ISP quota must count connections, not sightings.
+            return;
+        }
         self.neighbors.insert_new(entry, now);
+        if self.topology.host(entry.node).isp != self.my_isp {
+            self.cross_isp_neighbors += 1;
+        }
     }
 
     fn drop_neighbor(&mut self, node: NodeId) {
         // Outstanding requests to a removed neighbor time out via
         // maintenance.
-        self.neighbors.remove(node);
+        if self.neighbors.remove(node) && self.topology.host(node).isp != self.my_isp {
+            self.cross_isp_neighbors = self.cross_isp_neighbors.saturating_sub(1);
+        }
     }
 
     fn flush_stats(&mut self) {
@@ -929,6 +1000,7 @@ impl PeerNode {
             ctx.send(t.node, Message::Goodbye, goodbye_size);
         }
         self.neighbors.clear();
+        self.cross_isp_neighbors = 0;
         self.flush_stats();
     }
 
@@ -1192,7 +1264,8 @@ impl PeerNode {
 
     fn on_handshake(&mut self, ctx: &mut Context<'_, Message>, from: NodeId) {
         let accept = self.active
-            && self.neighbors.len() < self.cfg.max_neighbors + self.cfg.accept_slack;
+            && self.neighbors.len() < self.cfg.max_neighbors + self.cfg.accept_slack
+            && self.policy_admits(from);
         if accept {
             let entry = PeerEntry::new(from, self.topology.host(from).ip);
             self.add_neighbor(entry, ctx.now());
@@ -1217,7 +1290,10 @@ impl PeerNode {
         if !self.active {
             return;
         }
-        if accepted && self.neighbors.len() < self.cfg.max_neighbors {
+        if accepted && self.neighbors.len() < self.cfg.max_neighbors && self.policy_admits(from) {
+            // The policy re-checks here because the quota may have filled
+            // while the ack was in flight; a rejected-but-accepted ack
+            // falls into the Goodbye branch below, like a lost slot race.
             let entry = PeerEntry::new(from, self.topology.host(from).ip);
             self.add_neighbor(entry, ctx.now());
             if let Some(n) = self.neighbors.get_mut(from) {
@@ -1357,6 +1433,13 @@ impl PeerNode {
         let payload = u64::from(count) * u64::from(plsim_proto::SUB_PIECE_BYTES);
         self.stats.bytes_down += payload;
         self.metrics.bytes_down.add(payload);
+        // Observer-only locality split: the ISP lookup labels traffic for
+        // the transit-savings frontier, it never influences behaviour.
+        if self.topology.host(from).isp == self.my_isp {
+            self.metrics.bytes_down_same_isp.add(payload);
+        } else {
+            self.metrics.bytes_down_cross_isp.add(payload);
+        }
         self.stats.data_replies_received += 1;
         self.metrics.data_replies_received.inc();
         self.data_servers.insert(from);
@@ -1526,7 +1609,116 @@ impl Actor<Message> for PeerNode {
             Message::BootstrapRequest
             | Message::JoinRequest { .. }
             | Message::TrackerQuery { .. }
+            | Message::TrackerQueryBiased { .. }
             | Message::Announce { .. } => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BiasedLocality, PolicySpec};
+    use plsim_net::{BandwidthClass, TopologyBuilder};
+    use rand::SeedableRng;
+
+    /// Hosts 0..4 in TELE, 4..8 in CNC.
+    fn mixed_topology() -> Arc<Topology> {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = TopologyBuilder::new();
+        for _ in 0..4 {
+            b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        }
+        for _ in 0..4 {
+            b.add_host(Isp::Cnc, BandwidthClass::Adsl, &mut rng);
+        }
+        Arc::new(b.build())
+    }
+
+    fn viewer(topology: &Arc<Topology>, policy: PolicySpec) -> PeerNode {
+        let me = PeerEntry::new(NodeId(0), topology.host(NodeId(0)).ip);
+        let mut peer = PeerNode::viewer(
+            PeerConfig::default(),
+            ChannelId(1),
+            me,
+            NodeId(0),
+            Arc::clone(topology),
+            StatsSink::new(),
+        );
+        peer.attach_policy(&policy.build());
+        peer
+    }
+
+    fn entry(topology: &Topology, n: u32) -> PeerEntry {
+        PeerEntry::new(NodeId(n), topology.host(NodeId(n)).ip)
+    }
+
+    #[test]
+    fn quota_counts_connections_not_discovery_paths() {
+        // Regression: a cross-ISP peer that arrives through *both* the
+        // tracker reply and a gossip payload must consume one quota slot.
+        let topo = mixed_topology();
+        let mut peer = viewer(&topo, PolicySpec::BiasedLocality { cross_isp_quota: 1 });
+        let cross = entry(&topo, 5);
+        peer.add_neighbor(cross, SimTime::from_secs(1));
+        assert_eq!(peer.cross_isp_neighbor_count(), 1);
+        // Second sighting of the connected peer (the gossip path).
+        peer.add_neighbor(cross, SimTime::from_secs(2));
+        assert_eq!(peer.cross_isp_neighbor_count(), 1);
+        assert_eq!(peer.neighbor_count(), 1);
+        // With one slot used, another cross-ISP candidate is refused but a
+        // same-ISP one sails through.
+        assert!(!peer.policy_admits(NodeId(6)));
+        assert!(peer.policy_admits(NodeId(1)));
+        // Dropping frees the slot exactly once.
+        peer.drop_neighbor(NodeId(5));
+        assert_eq!(peer.cross_isp_neighbor_count(), 0);
+        peer.drop_neighbor(NodeId(5));
+        assert_eq!(peer.cross_isp_neighbor_count(), 0);
+        assert!(peer.policy_admits(NodeId(6)));
+    }
+
+    #[test]
+    fn candidate_set_dedups_across_discovery_paths() {
+        // The shared candidate set is the first dedup line: the same entry
+        // learned from a tracker reply and a gossip payload queues once.
+        let topo = mixed_topology();
+        let mut peer = viewer(&topo, PolicySpec::GossipRace);
+        let e = entry(&topo, 5);
+        peer.add_candidates([&e]);
+        peer.add_candidates([&e]);
+        assert_eq!(peer.candidates.len(), 1);
+        // Once connected, further sightings don't re-queue it either.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let popped = peer.pop_random_candidate(&mut rng).unwrap();
+        peer.add_neighbor(popped, SimTime::from_secs(1));
+        peer.add_candidates([&e]);
+        assert!(peer.candidates.is_empty());
+    }
+
+    #[test]
+    fn departure_resets_quota_accounting() {
+        let topo = mixed_topology();
+        let mut peer = viewer(&topo, PolicySpec::BiasedLocality { cross_isp_quota: 2 });
+        peer.add_neighbor(entry(&topo, 5), SimTime::from_secs(1));
+        peer.add_neighbor(entry(&topo, 6), SimTime::from_secs(1));
+        assert_eq!(peer.cross_isp_neighbor_count(), 2);
+        assert!(!peer.policy_admits(NodeId(7)));
+        peer.neighbors.clear();
+        peer.cross_isp_neighbors = 0; // what on_leave does
+        assert!(peer.policy_admits(NodeId(7)));
+    }
+
+    #[test]
+    fn direct_biased_locality_matches_spec_built_policy() {
+        // `attach_policy` accepts any SelectionPolicy object, not just the
+        // spec-built ones.
+        let topo = mixed_topology();
+        let mut peer = viewer(&topo, PolicySpec::GossipRace);
+        let custom: Arc<dyn SelectionPolicy> =
+            Arc::new(BiasedLocality { cross_isp_quota: 0 });
+        peer.attach_policy(&custom);
+        assert!(!peer.policy_admits(NodeId(5)));
+        assert!(peer.policy_admits(NodeId(2)));
     }
 }

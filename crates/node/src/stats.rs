@@ -159,6 +159,14 @@ pub(crate) struct NodeMetrics {
     pub playback_starts: Counter,
     pub bytes_up: Counter,
     pub bytes_down: Counter,
+    /// Media bytes downloaded from same-ISP peers (observer-only split of
+    /// `bytes_down` for the transit-savings frontier).
+    pub bytes_down_same_isp: Counter,
+    /// Media bytes downloaded from cross-ISP peers — the transit traffic
+    /// a locality policy tries to save.
+    pub bytes_down_cross_isp: Counter,
+    /// Candidates a selection policy refused at the connect gate.
+    pub policy_rejections: Counter,
     pub data_requests_sent: Counter,
     pub data_replies_received: Counter,
     pub data_rejects_received: Counter,
@@ -176,6 +184,9 @@ impl NodeMetrics {
             playback_starts: registry.counter("node.playback_starts"),
             bytes_up: registry.counter("node.bytes_up"),
             bytes_down: registry.counter("node.bytes_down"),
+            bytes_down_same_isp: registry.counter("node.bytes_down_same_isp"),
+            bytes_down_cross_isp: registry.counter("node.bytes_down_cross_isp"),
+            policy_rejections: registry.counter("node.policy_rejections"),
             data_requests_sent: registry.counter("node.data_requests_sent"),
             data_replies_received: registry.counter("node.data_replies_received"),
             data_rejects_received: registry.counter("node.data_rejects_received"),

@@ -101,6 +101,61 @@ impl TrackerServer {
         self.scratch_pool = pool;
         list
     }
+
+    /// Locality-biased sampling for [`Message::TrackerQueryBiased`] (the
+    /// "Deep Diving" ISP-managed oracle): up to `want_same_isp` of the
+    /// reply slots are filled from the requester's own ISP first, then the
+    /// remainder is drawn from the whole pool. Both segments keep the
+    /// NodeId base order and use the same partial Fisher–Yates draw shape
+    /// as [`TrackerServer::sample`], so the reply stays a deterministic
+    /// function of (membership, seed) — and the unbiased sampler's RNG
+    /// usage is untouched for every other policy.
+    fn sample_biased(
+        &mut self,
+        channel: ChannelId,
+        exclude: NodeId,
+        want_same_isp: usize,
+        now: SimTime,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> SharedPeerList {
+        let topology = Arc::clone(&self.topology);
+        let client_isp = topology.host(exclude).isp;
+        let mut pool = std::mem::take(&mut self.scratch_pool);
+        pool.clear();
+        let Some(members) = self.members.get_mut(&channel) else {
+            self.scratch_pool = pool;
+            return SharedPeerList::default();
+        };
+        members.retain(|_, (_, seen)| now.saturating_sub(*seen) < MEMBER_EXPIRY);
+        // Same-ISP members first, then the rest — NodeId order within each
+        // segment, so the layout is deterministic before any draw.
+        pool.extend(
+            members
+                .values()
+                .filter(|(e, _)| e.node != exclude && topology.host(e.node).isp == client_isp)
+                .map(|(e, _)| *e),
+        );
+        let same_len = pool.len();
+        pool.extend(
+            members
+                .values()
+                .filter(|(e, _)| e.node != exclude && topology.host(e.node).isp != client_isp)
+                .map(|(e, _)| *e),
+        );
+        let take = pool.len().min(PeerList::MAX_LEN);
+        let same_take = take.min(want_same_isp).min(same_len);
+        for i in 0..same_take {
+            let j = rng.random_range(i..same_len);
+            pool.swap(i, j);
+        }
+        for i in same_take..take {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let list = self.arena.intern(pool.iter().take(take).copied());
+        self.scratch_pool = pool;
+        list
+    }
 }
 
 impl Actor<Message> for TrackerServer {
@@ -131,6 +186,18 @@ impl Actor<Message> for TrackerServer {
                 self.register(channel, client, now);
                 self.queries_served += 1;
                 let peers = self.sample(channel, client, now, ctx.rng());
+                let reply = Message::TrackerResponse { channel, peers };
+                let size = reply.wire_size();
+                ctx.send(client, reply, size);
+            }
+            Message::TrackerQueryBiased {
+                channel,
+                want_same_isp,
+            } => {
+                self.register(channel, client, now);
+                self.queries_served += 1;
+                let peers =
+                    self.sample_biased(channel, client, usize::from(want_same_isp), now, ctx.rng());
                 let reply = Message::TrackerResponse { channel, peers };
                 let size = reply.wire_size();
                 ctx.send(client, reply, size);
@@ -345,6 +412,53 @@ mod tests {
             log.get(1).is_empty(),
             "membership must not survive a restart"
         );
+    }
+
+    #[test]
+    fn biased_sample_front_loads_client_isp() {
+        // Host 0 is the TELE client; then 70 TELE and 70 CNC members.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut b = TopologyBuilder::new();
+        for _ in 0..71 {
+            b.add_host(Isp::Tele, BandwidthClass::Adsl, &mut rng);
+        }
+        for _ in 0..70 {
+            b.add_host(Isp::Cnc, BandwidthClass::Adsl, &mut rng);
+        }
+        let topo = Arc::new(b.build());
+        let mut tracker = TrackerServer::new(Arc::clone(&topo));
+        let ch = ChannelId(1);
+        let now = SimTime::from_secs(10);
+        for n in 1..=140 {
+            tracker.register(ch, NodeId(n), now);
+        }
+        let same_count = |list: &SharedPeerList| {
+            list.with(|es| {
+                es.iter()
+                    .filter(|e| topo.host(e.node).isp == Isp::Tele)
+                    .count()
+            })
+        };
+
+        // Asking for a full same-ISP list: every slot comes from TELE.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let full = tracker.sample_biased(ch, NodeId(0), PeerList::MAX_LEN, now, &mut rng);
+        assert_eq!(full.len(), PeerList::MAX_LEN);
+        assert_eq!(same_count(&full), PeerList::MAX_LEN);
+        assert!(!full.contains(NodeId(0)));
+
+        // A partial hint guarantees at least that many same-ISP slots; the
+        // remainder is drawn from the whole pool.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let partial = tracker.sample_biased(ch, NodeId(0), 10, now, &mut rng);
+        assert_eq!(partial.len(), PeerList::MAX_LEN);
+        assert!(same_count(&partial) >= 10);
+        assert!(same_count(&partial) < PeerList::MAX_LEN);
+
+        // Deterministic: the same seed reproduces the same list.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let again = tracker.sample_biased(ch, NodeId(0), 10, now, &mut rng);
+        assert_eq!(again, partial);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! concrete [`Simulation`] — either the whole world, or one shard of it.
 
 use crate::{
-    BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, StatsSink, TrackerServer,
+    BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, PolicySpec, StatsSink,
+    TrackerServer,
 };
 use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceStore};
 use plsim_des::{FaultEvent, NodeId, SchedulerKind, SimStats, SimTime, Simulation};
@@ -110,6 +111,11 @@ pub struct WorldConfig {
     /// Behaviour of every viewer (probes included — they are ordinary
     /// clients).
     pub peer_config: PeerConfig,
+    /// Neighbor-selection policy for every peer (see [`crate::policy`]).
+    /// Defaults to `PLSIM_POLICY` (or [`PolicySpec::GossipRace`], the
+    /// paper's emergent-locality behaviour). Every policy is deterministic
+    /// and bit-identical across shard counts and thread pools.
+    pub policy: PolicySpec,
     /// The deterministic fault schedule (empty = fault-free baseline).
     pub faults: FaultPlan,
     /// Fraction of viewers behind a NAT (unreachable for unsolicited
@@ -144,6 +150,7 @@ impl WorldConfig {
             probes: Vec::new(),
             link: LinkModel::default(),
             peer_config: PeerConfig::default(),
+            policy: PolicySpec::from_env(),
             faults: FaultPlan::new(),
             nat_fraction: 0.0,
             scheduler: SchedulerKind::from_env(),
@@ -379,6 +386,12 @@ pub(crate) fn materialize(
     let entry = |id: NodeId| PeerEntry::new(id, topology.host(id).ip);
     let tracker_entries: Vec<PeerEntry> = layout.trackers.iter().map(|&t| entry(t)).collect();
 
+    // One policy object per materialized world; every peer shares it.
+    // Config rewrites (e.g. TrackerOnly) apply before the source's
+    // neighbor-budget multiplication so the source follows suit.
+    let policy = cfg.policy.build();
+    let peer_config = policy.adapt_config(cfg.peer_config);
+
     // Bootstrap server.
     if is_local(layout.bootstrap) {
         let mut bootstrap = BootstrapServer::new();
@@ -406,9 +419,9 @@ pub(crate) fn materialize(
     // Source: bigger neighbor budget, same protocol.
     if is_local(layout.source) {
         let source_cfg = PeerConfig {
-            max_neighbors: cfg.peer_config.max_neighbors * 3,
-            accept_slack: cfg.peer_config.accept_slack * 3,
-            ..cfg.peer_config
+            max_neighbors: peer_config.max_neighbors * 3,
+            accept_slack: peer_config.accept_slack * 3,
+            ..peer_config
         };
         let mut src = PeerNode::source(
             source_cfg,
@@ -420,6 +433,7 @@ pub(crate) fn materialize(
         );
         src.attach_metrics(&registry);
         src.attach_arena(&arena);
+        src.attach_policy(&policy);
         let id = sim.add_actor(Box::new(src));
         debug_assert_eq!(id, layout.source);
     } else {
@@ -436,7 +450,7 @@ pub(crate) fn materialize(
     for (pid, nat) in viewers {
         if is_local(pid) {
             let mut peer = PeerNode::viewer(
-                cfg.peer_config,
+                peer_config,
                 cfg.channel,
                 entry(pid),
                 layout.bootstrap,
@@ -445,6 +459,7 @@ pub(crate) fn materialize(
             );
             peer.attach_metrics(&registry);
             peer.attach_arena(&arena);
+            peer.attach_policy(&policy);
             if nat {
                 peer = peer.behind_nat();
             }

@@ -6,7 +6,7 @@
 
 use plsim_des::SimTime;
 use plsim_net::{Isp, LinkFault};
-use plsim_node::{run_world, FaultPlan, ProbeSpec, WorldConfig, WorldOutput};
+use plsim_node::{run_world, FaultPlan, PolicySpec, ProbeSpec, WorldConfig, WorldOutput};
 use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -79,6 +79,19 @@ fn assert_identical(sharded: &WorldOutput, reference: &WorldOutput, label: &str)
     );
 }
 
+/// The five selection-policy families, for sampling the policy dimension.
+fn policy_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::GossipRace),
+        Just(PolicySpec::TrackerOnly),
+        Just(PolicySpec::BiasedLocality { cross_isp_quota: 1 }),
+        Just(PolicySpec::RttThreshold {
+            cutoff: SimTime::from_millis(100),
+        }),
+        Just(PolicySpec::DeepDivingOracle),
+    ]
+}
+
 proptest! {
     #[test]
     fn sharded_runs_are_bit_identical(
@@ -95,6 +108,29 @@ proptest! {
                 &format!("seed {seed}, {shards} shards, nat {nat}, faulted {faulted}"),
             );
         }
+    }
+
+    /// The policy dimension: every selection policy — including the ones
+    /// that reject candidates, rewrite the peer config, or bias tracker
+    /// sampling — must stay bit-identical across shard counts, with and
+    /// without the cross-shard fault preset.
+    #[test]
+    fn policies_are_bit_identical_across_shards(
+        seed in 0u64..1_000_000,
+        policy in policy_strategy(),
+        faulted in any::<bool>(),
+    ) {
+        let mut reference_cfg = world(seed, 1, 0.0, faulted);
+        reference_cfg.policy = policy;
+        let reference = run_world(&reference_cfg);
+        let mut sharded_cfg = world(seed, 4, 0.0, faulted);
+        sharded_cfg.policy = policy;
+        let sharded = run_world(&sharded_cfg);
+        assert_identical(
+            &sharded,
+            &reference,
+            &format!("seed {seed}, policy {policy:?}, faulted {faulted}"),
+        );
     }
 }
 
@@ -114,5 +150,37 @@ fn faulted_world_is_bit_identical_across_shard_counts() {
             &reference,
             &format!("{shards} shards / {threads} threads"),
         );
+    }
+}
+
+/// Every policy family pinned explicitly under the cross-shard fault
+/// preset (the property above samples the space; this nails all five at
+/// one seed, including a thread count smaller than the shard count).
+#[test]
+fn every_policy_survives_faulted_sharding() {
+    let policies = [
+        PolicySpec::GossipRace,
+        PolicySpec::TrackerOnly,
+        PolicySpec::BiasedLocality { cross_isp_quota: 1 },
+        PolicySpec::RttThreshold {
+            cutoff: SimTime::from_millis(100),
+        },
+        PolicySpec::DeepDivingOracle,
+    ];
+    for policy in policies {
+        let mut reference_cfg = world(11, 1, 0.2, true);
+        reference_cfg.policy = policy;
+        let reference = run_world(&reference_cfg);
+        for (shards, threads) in [(2, 2), (4, 1)] {
+            let mut cfg = world(11, shards, 0.2, true);
+            cfg.policy = policy;
+            cfg.shard_threads = threads;
+            let sharded = run_world(&cfg);
+            assert_identical(
+                &sharded,
+                &reference,
+                &format!("{policy:?}, {shards} shards / {threads} threads"),
+            );
+        }
     }
 }

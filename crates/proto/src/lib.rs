@@ -261,6 +261,16 @@ pub enum Message {
         /// Channel of interest.
         channel: ChannelId,
     },
+    /// Client → tracker: request a peer list with an ISP-locality hint
+    /// (the "Deep Diving" managed-locality protocol extension). The
+    /// tracker fills up to `want_same_isp` slots with members from the
+    /// requester's ISP before falling back to the whole pool.
+    TrackerQueryBiased {
+        /// Channel of interest.
+        channel: ChannelId,
+        /// How many same-ISP entries the client asks for.
+        want_same_isp: u16,
+    },
     /// Tracker → client: random sample of active peers.
     TrackerResponse {
         /// Channel of interest.
@@ -358,6 +368,7 @@ impl Message {
                 HEADER_BYTES + PEER_ENTRY_BYTES * trackers.len() as u32
             }
             Message::TrackerQuery { .. } | Message::Announce { .. } => HEADER_BYTES,
+            Message::TrackerQueryBiased { .. } => HEADER_BYTES + 2,
             Message::TrackerResponse { peers, .. } | Message::PeerListResponse { peers, .. } => {
                 HEADER_BYTES + PEER_ENTRY_BYTES * peers.len() as u32
             }
@@ -436,6 +447,19 @@ mod tests {
     #[test]
     fn timers_have_no_wire_size() {
         assert_eq!(Message::Timer(TimerKind::GossipRound).wire_size(), 0);
+    }
+
+    #[test]
+    fn biased_tracker_query_carries_its_hint_bytes() {
+        let plain = Message::TrackerQuery {
+            channel: ChannelId(1),
+        };
+        let biased = Message::TrackerQueryBiased {
+            channel: ChannelId(1),
+            want_same_isp: 60,
+        };
+        assert_eq!(biased.wire_size(), plain.wire_size() + 2);
+        assert_eq!(biased.payload_bytes(), 0);
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub enum WireMessage {
         /// Channel of interest.
         channel: ChannelId,
     },
+    /// Mirror of [`Message::TrackerQueryBiased`].
+    TrackerQueryBiased {
+        /// Channel of interest.
+        channel: ChannelId,
+        /// How many same-ISP entries the client asks for.
+        want_same_isp: u16,
+    },
     /// Mirror of [`Message::TrackerResponse`].
     TrackerResponse {
         /// Channel of interest.
@@ -136,6 +143,13 @@ impl Message {
                 WireMessage::JoinResponse { channel, trackers }
             }
             Message::TrackerQuery { channel } => WireMessage::TrackerQuery { channel },
+            Message::TrackerQueryBiased {
+                channel,
+                want_same_isp,
+            } => WireMessage::TrackerQueryBiased {
+                channel,
+                want_same_isp,
+            },
             Message::TrackerResponse { channel, peers } => WireMessage::TrackerResponse {
                 channel,
                 peers: peers.to_list(),
@@ -207,6 +221,13 @@ impl WireMessage {
                 Message::JoinResponse { channel, trackers }
             }
             WireMessage::TrackerQuery { channel } => Message::TrackerQuery { channel },
+            WireMessage::TrackerQueryBiased {
+                channel,
+                want_same_isp,
+            } => Message::TrackerQueryBiased {
+                channel,
+                want_same_isp,
+            },
             WireMessage::TrackerResponse { channel, peers } => Message::TrackerResponse {
                 channel,
                 peers: arena.intern(peers.iter().copied()),
@@ -315,6 +336,10 @@ mod tests {
             },
             Message::Goodbye,
             Message::Timer(TimerKind::GossipRound),
+            Message::TrackerQueryBiased {
+                channel: ChannelId(2),
+                want_same_isp: 60,
+            },
         ] {
             assert_eq!(msg.clone().into_wire().into_message(&arena), msg);
         }

@@ -8,7 +8,8 @@ use plsim_net::{BandwidthClass, Isp, LinkFault};
 use plsim_node::{run_world, FaultPlan, ProbeSpec, WorldConfig, WorldOutput};
 use plsim_workload::{PeerPlan, SessionPlan};
 use pplive_locality::{
-    ablation_on, fig_6_on, underlay_ablation_on, JobPool, Scale, Suite,
+    ablation_on, fig_6_on, frontier_csv, locality_frontier_on, underlay_ablation_on, JobPool,
+    Scale, Suite,
 };
 use proptest::prelude::*;
 
@@ -51,6 +52,17 @@ fn ablation_parallel_matches_sequential() {
     let a = ablation_on(&seq(), Scale::Tiny, SEED);
     let b = ablation_on(&par(), Scale::Tiny, SEED);
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn frontier_sweep_parallel_matches_sequential() {
+    // The policy sweep fans one session per policy through the pool; its
+    // merged output (and the CSV serialization the studies commit) must be
+    // byte-identical to a sequential sweep.
+    let a = locality_frontier_on(&seq(), Scale::Tiny, SEED, true);
+    let b = locality_frontier_on(&par(), Scale::Tiny, SEED, true);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(frontier_csv(&a), frontier_csv(&b));
 }
 
 #[test]

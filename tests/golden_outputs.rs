@@ -1,0 +1,59 @@
+//! Golden-equivalence suite: the default `GossipRace` selection policy must
+//! regenerate the committed study outputs bit-identically.
+//!
+//! The policy refactor routes every neighbor decision through the
+//! `SelectionPolicy` trait; these tests pin the refactor's central promise —
+//! that the default policy is not merely *similar* to the pre-policy
+//! protocol but replays it exactly. The fast tests pin run digests and the
+//! committed day-series prefix; the `#[ignore]`d test regenerates the full
+//! 28-day `studies/fig6_tiny_output.txt` (56 sessions — run it with
+//! `cargo test --release -- --ignored` when touching the protocol path).
+//!
+//! All tests assume the default environment (`PLSIM_POLICY` unset); the
+//! digest test additionally pins the policy explicitly so it stays valid
+//! under an overridden environment.
+
+use pplive_locality::{fig_6, pct, PolicySpec, ProbeSite, Scale, Scenario};
+use plsim_workload::ChannelClass;
+
+const FIG6_GOLDEN: &str = include_str!("../studies/fig6_tiny_output.txt");
+
+#[test]
+fn gossip_race_digest_is_pinned() {
+    // The exact event/message counts of the canonical Tiny popular session
+    // (seed 7) from before the policy layer existed. Any drift here means
+    // the default policy perturbed the simulation.
+    let mut s = Scenario::new(ChannelClass::Popular, Scale::Tiny, 7);
+    s.policy = PolicySpec::GossipRace;
+    let run = s.run();
+    assert_eq!(run.output.sim.events_processed, 429_724);
+    assert_eq!(run.output.sim.messages_sent, 308_409);
+    assert_eq!(run.output.sim.messages_dropped, 2_083);
+    assert_eq!(pct(run.locality_avg(ProbeSite::Tele)), "93.5%");
+    assert_eq!(pct(run.locality_avg(ProbeSite::Cnc)), "53.1%");
+    assert_eq!(pct(run.locality_avg(ProbeSite::Mason)), "2.1%");
+    // The default policy never rejects a candidate.
+    assert_eq!(run.metrics().counter("node.policy_rejections"), Some(0));
+}
+
+#[test]
+fn gossip_race_matches_fig6_golden_prefix() {
+    // Day rows of the committed 28-day series are independent runs, so a
+    // 3-day regeneration must reproduce the file's first three data rows
+    // (plus header) character-for-character.
+    let rendered = fig_6(3, Scale::Tiny, 42).render();
+    let got: Vec<&str> = rendered.lines().take(5).collect();
+    let want: Vec<&str> = FIG6_GOLDEN.lines().take(5).collect();
+    assert_eq!(got, want, "fig6 prefix diverged from studies/fig6_tiny_output.txt");
+}
+
+#[test]
+#[ignore = "regenerates 56 sessions; run with --release -- --ignored"]
+fn gossip_race_regenerates_fig6_golden_in_full() {
+    let mut rendered = fig_6(28, Scale::Tiny, 42).render();
+    rendered.push('\n'); // the committed file was `plsim fig6 ... > file`
+    assert_eq!(
+        rendered, FIG6_GOLDEN,
+        "full 28-day regeneration diverged from studies/fig6_tiny_output.txt"
+    );
+}

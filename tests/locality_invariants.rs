@@ -5,7 +5,7 @@
 use plsim_capture::{Direction, KindRef};
 use plsim_net::Isp;
 use plsim_proto::PeerList;
-use pplive_locality::{ProbeSite, Scale, Scenario};
+use pplive_locality::{PolicySpec, ProbeSite, Scale, Scenario, ScenarioRun};
 use plsim_workload::ChannelClass;
 
 // Seed re-pinned when the kernel moved to origin-keyed event ordering:
@@ -155,6 +155,127 @@ fn same_isp_responses_are_faster_for_china_probe() {
             "TELE probe should see faster TELE replies: {tele} vs {cnc}"
         );
     }
+}
+
+// ---------------------------------------------- frontier-shape invariants
+
+fn tiny_popular_with(policy: PolicySpec) -> ScenarioRun {
+    let mut s = Scenario::new(ChannelClass::Popular, Scale::Tiny, 7);
+    s.policy = policy;
+    s.run()
+}
+
+/// Population-wide cross-ISP download share, from the observer counters the
+/// policy layer maintains.
+fn cross_isp_share(run: &ScenarioRun) -> f64 {
+    let m = run.metrics();
+    let same = m.counter("node.bytes_down_same_isp").unwrap_or(0);
+    let cross = m.counter("node.bytes_down_cross_isp").unwrap_or(0);
+    assert!(same + cross > 0, "no download traffic at all");
+    cross as f64 / (same + cross) as f64
+}
+
+#[test]
+fn cross_isp_share_is_monotone_in_the_bias_quota() {
+    // Tightening the cross-ISP connection quota must not send *more*
+    // traffic across the interconnect. A small slack absorbs timing noise
+    // between otherwise-unordered adjacent quotas; the end-to-end drop
+    // must still be large.
+    let quotas = [usize::MAX, 4, 1, 0];
+    let shares: Vec<f64> = quotas
+        .iter()
+        .map(|&q| {
+            cross_isp_share(&tiny_popular_with(PolicySpec::BiasedLocality {
+                cross_isp_quota: q,
+            }))
+        })
+        .collect();
+    for (i, pair) in shares.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0] + 0.03,
+            "share rose when quota tightened {} -> {}: {} -> {}",
+            quotas[i],
+            quotas[i + 1],
+            pair[0],
+            pair[1]
+        );
+    }
+    assert!(
+        shares[shares.len() - 1] < shares[0] - 0.10,
+        "quota sweep produced no overall transit reduction: {shares:?}"
+    );
+    // Quota zero admits no cross-ISP connection at all.
+    assert!(
+        shares[shares.len() - 1] < 1e-9,
+        "quota 0 still let transit traffic through: {}",
+        shares[shares.len() - 1]
+    );
+}
+
+#[test]
+fn no_bias_point_stays_in_the_paper_regime() {
+    // The frontier's anchor is the unmodified protocol: its cross-ISP
+    // share and probe locality must match the emergent-locality regime the
+    // paper measured (high same-ISP locality at the TELE probe while the
+    // population still exchanges a substantial cross-ISP volume).
+    let run = tiny_popular();
+    let share = cross_isp_share(&run);
+    assert!(
+        (0.25..=0.55).contains(&share),
+        "no-bias cross-ISP share {share} left the paper regime"
+    );
+    assert!(
+        run.locality_avg(ProbeSite::Tele) > 0.85,
+        "TELE probe lost emergent locality"
+    );
+    // The ISP split is an exact decomposition of the download counter.
+    let m = run.metrics();
+    assert_eq!(
+        m.counter("node.bytes_down_same_isp").unwrap_or(0)
+            + m.counter("node.bytes_down_cross_isp").unwrap_or(0),
+        m.counter("node.bytes_down").unwrap_or(0),
+        "same/cross split must partition total download bytes"
+    );
+}
+
+#[test]
+fn unbounded_quota_is_bit_identical_to_the_gossip_race() {
+    // BiasedLocality with an unbounded quota admits everything, so the
+    // whole simulation must replay the default policy exactly — same event
+    // count, same message flow, same captures, same playback outcomes.
+    let base = tiny_popular();
+    let unbounded = tiny_popular_with(PolicySpec::BiasedLocality {
+        cross_isp_quota: usize::MAX,
+    });
+    assert_eq!(
+        base.output.sim.events_processed,
+        unbounded.output.sim.events_processed
+    );
+    assert_eq!(base.output.sim.messages_sent, unbounded.output.sim.messages_sent);
+    assert_eq!(
+        base.output.sim.messages_dropped,
+        unbounded.output.sim.messages_dropped
+    );
+    assert_eq!(base.output.records.len(), unbounded.output.records.len());
+    for key in [
+        "node.bytes_down",
+        "node.bytes_down_same_isp",
+        "node.bytes_down_cross_isp",
+        "node.policy_rejections",
+        "node.chunks_played",
+    ] {
+        assert_eq!(
+            base.metrics().counter(key),
+            unbounded.metrics().counter(key),
+            "counter {key} diverged"
+        );
+    }
+    assert_eq!(
+        base.locality_avg(ProbeSite::Tele).to_bits(),
+        unbounded.locality_avg(ProbeSite::Tele).to_bits(),
+        "TELE locality diverged"
+    );
+    assert_eq!(base.output.peer_stats.len(), unbounded.output.peer_stats.len());
 }
 
 #[test]
