@@ -1,6 +1,7 @@
 //! Per-neighbor contribution analysis: the paper's §3.4–§3.5
 //! (Figures 11–18).
 
+use crate::fold::{fold_records, RecordFold};
 use crate::PerIsp;
 use plsim_capture::{Direction, KindRef, RecordRef};
 use plsim_des::{NodeId, SimTime};
@@ -89,35 +90,50 @@ impl ContributionAnalysis {
     }
 }
 
-/// Runs the contribution analysis over one probe's records.
-///
-/// A peer counts as "connected" if at least one data transmission (matched
-/// request/reply pair) completed with it, mirroring the paper's "unique
-/// peers that have been connected for data transferring".
-#[must_use]
-pub fn contribution_analysis<'a, I>(records: I, dir: &AsnDirectory) -> ContributionAnalysis
-where
-    I: IntoIterator<Item = RecordRef<'a>>,
-{
-    struct Acc {
-        ip: Ipv4Addr,
-        requests: u64,
-        replies: u64,
-        bytes: u64,
-        min_rt: Option<f64>,
-    }
-    let mut acc: HashMap<NodeId, Acc> = HashMap::new();
-    let mut pending: HashMap<u64, (NodeId, SimTime)> = HashMap::new();
-    let mut listed: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
+#[derive(Debug)]
+struct PeerAcc {
+    ip: Ipv4Addr,
+    requests: u64,
+    replies: u64,
+    bytes: u64,
+    min_rt: Option<f64>,
+}
 
-    for r in records {
+/// Streaming fold behind [`contribution_analysis`]: state is O(peers
+/// exchanged with + outstanding requests + unique listed addresses) — the
+/// analysis' own output size, never the record count.
+#[derive(Debug)]
+pub struct ContributionFold<'d> {
+    dir: &'d AsnDirectory,
+    acc: HashMap<NodeId, PeerAcc>,
+    pending: HashMap<u64, (NodeId, SimTime)>,
+    listed: std::collections::HashSet<Ipv4Addr>,
+}
+
+impl<'d> ContributionFold<'d> {
+    /// A fresh accumulator classifying addresses with `dir`.
+    #[must_use]
+    pub fn new(dir: &'d AsnDirectory) -> Self {
+        ContributionFold {
+            dir,
+            acc: HashMap::new(),
+            pending: HashMap::new(),
+            listed: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl RecordFold for ContributionFold<'_> {
+    type Output = ContributionAnalysis;
+
+    fn push(&mut self, r: RecordRef<'_>) {
         match (r.kind, r.direction) {
             (KindRef::TrackerResponse { peer_ips }, Direction::Inbound)
             | (KindRef::PeerListResponse { peer_ips, .. }, Direction::Inbound) => {
-                listed.extend(peer_ips.iter().copied());
+                self.listed.extend(peer_ips.iter().copied());
             }
             (KindRef::DataRequest { seq, .. }, Direction::Outbound) => {
-                let e = acc.entry(r.remote).or_insert(Acc {
+                let e = self.acc.entry(r.remote).or_insert(PeerAcc {
                     ip: r.remote_ip,
                     requests: 0,
                     replies: 0,
@@ -125,7 +141,7 @@ where
                     min_rt: None,
                 });
                 e.requests += 1;
-                pending.insert(seq, (r.remote, r.t));
+                self.pending.insert(seq, (r.remote, r.t));
             }
             (
                 KindRef::DataReply {
@@ -133,10 +149,10 @@ where
                 },
                 Direction::Inbound,
             ) => {
-                if let Some((node, sent)) = pending.remove(&seq) {
+                if let Some((node, sent)) = self.pending.remove(&seq) {
                     if node == r.remote {
                         let rt = r.t.saturating_sub(sent).as_secs_f64();
-                        if let Some(e) = acc.get_mut(&node) {
+                        if let Some(e) = self.acc.get_mut(&node) {
                             e.replies += 1;
                             e.bytes += u64::from(payload_bytes);
                             e.min_rt = Some(e.min_rt.map_or(rt, |m: f64| m.min(rt)));
@@ -148,46 +164,63 @@ where
         }
     }
 
-    let mut peers: Vec<PeerContribution> = acc
-        .into_iter()
-        .filter(|(_, a)| a.replies > 0)
-        .filter_map(|(node, a)| {
-            dir.isp_of(a.ip).map(|isp| PeerContribution {
-                remote: node,
-                ip: a.ip,
-                isp,
-                requests: a.requests,
-                replies: a.replies,
-                bytes: a.bytes,
-                rtt_est_secs: a.min_rt,
+    fn finish(self) -> ContributionAnalysis {
+        let dir = self.dir;
+        let mut peers: Vec<PeerContribution> = self
+            .acc
+            .into_iter()
+            .filter(|(_, a)| a.replies > 0)
+            .filter_map(|(node, a)| {
+                dir.isp_of(a.ip).map(|isp| PeerContribution {
+                    remote: node,
+                    ip: a.ip,
+                    isp,
+                    requests: a.requests,
+                    replies: a.replies,
+                    bytes: a.bytes,
+                    rtt_est_secs: a.min_rt,
+                })
             })
-        })
-        .collect();
-    peers.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.remote.cmp(&b.remote)));
+            .collect();
+        peers.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.remote.cmp(&b.remote)));
 
-    let mut connected_by_isp: PerIsp<u64> = PerIsp::default();
-    for p in &peers {
-        connected_by_isp[p.isp] += 1;
+        let mut connected_by_isp: PerIsp<u64> = PerIsp::default();
+        for p in &peers {
+            connected_by_isp[p.isp] += 1;
+        }
+
+        let request_ranks: Vec<f64> = peers.iter().map(|p| p.requests as f64).collect();
+        let bytes: Vec<f64> = peers.iter().map(|p| p.bytes as f64).collect();
+        let rtts: Vec<f64> = peers
+            .iter()
+            .map(|p| p.rtt_est_secs.unwrap_or(f64::NAN))
+            .collect();
+        let requests_f: Vec<f64> = request_ranks.clone();
+
+        ContributionAnalysis {
+            zipf: zipf_fit(&request_ranks),
+            se: stretched_exp_fit(&request_ranks),
+            top10_byte_share: top_share(&bytes, 0.1),
+            top10_request_share: top_share(&request_ranks, 0.1),
+            rtt_correlation: log_log_correlation(&requests_f, &rtts),
+            unique_listed_peers: self.listed.len() as u64,
+            connected_by_isp,
+            peers,
+        }
     }
+}
 
-    let request_ranks: Vec<f64> = peers.iter().map(|p| p.requests as f64).collect();
-    let bytes: Vec<f64> = peers.iter().map(|p| p.bytes as f64).collect();
-    let rtts: Vec<f64> = peers
-        .iter()
-        .map(|p| p.rtt_est_secs.unwrap_or(f64::NAN))
-        .collect();
-    let requests_f: Vec<f64> = request_ranks.clone();
-
-    ContributionAnalysis {
-        zipf: zipf_fit(&request_ranks),
-        se: stretched_exp_fit(&request_ranks),
-        top10_byte_share: top_share(&bytes, 0.1),
-        top10_request_share: top_share(&request_ranks, 0.1),
-        rtt_correlation: log_log_correlation(&requests_f, &rtts),
-        unique_listed_peers: listed.len() as u64,
-        connected_by_isp,
-        peers,
-    }
+/// Runs the contribution analysis over one probe's records.
+///
+/// A peer counts as "connected" if at least one data transmission (matched
+/// request/reply pair) completed with it, mirroring the paper's "unique
+/// peers that have been connected for data transferring".
+#[must_use]
+pub fn contribution_analysis<'a, I>(records: I, dir: &AsnDirectory) -> ContributionAnalysis
+where
+    I: IntoIterator<Item = RecordRef<'a>>,
+{
+    fold_records(ContributionFold::new(dir), records)
 }
 
 #[cfg(test)]

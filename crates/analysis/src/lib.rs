@@ -23,22 +23,36 @@
 //! [`ProbeReport`] bundles all of it for one probe. ISP classification uses
 //! the [`plsim_net::AsnDirectory`] oracle exactly the way the authors used
 //! Team Cymru's IP→ASN service.
+//!
+//! Every analysis is implemented as a single-pass [`RecordFold`] (see the
+//! [`fold_records`] driver): rows are consumed as they stream off the
+//! cursor and only the fold's own accumulator state is retained, so peak
+//! memory stays bounded even when the store has spilled pages to disk.
+//! [`ProbeReport::new`] multiplexes one cursor pass into all seven folds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod contributions;
+mod fold;
 mod locality;
 mod overlay;
 mod perisp;
 mod probe;
 mod response;
 
-pub use contributions::{contribution_analysis, ContributionAnalysis, PeerContribution};
-pub use locality::{
-    data_by_isp, returned_addresses, returned_by_source, DataByIsp, ListSource, ReturnedAddresses,
+pub use contributions::{
+    contribution_analysis, ContributionAnalysis, ContributionFold, PeerContribution,
 };
-pub use overlay::{overlay_stats, OverlayStats};
+pub use fold::{fold_records, RecordFold};
+pub use locality::{
+    data_by_isp, returned_addresses, returned_by_source, DataByIsp, DataByIspFold, ListSource,
+    ReturnedAddresses, ReturnedAddressesFold, ReturnedBySourceFold,
+};
+pub use overlay::{overlay_stats, OverlayFold, OverlayStats};
 pub use perisp::{PerGroup, PerIsp};
 pub use probe::ProbeReport;
-pub use response::{data_response_times, peer_list_response_times, ResponseTimes, RtSample};
+pub use response::{
+    data_response_times, peer_list_response_times, ResponseSummary, ResponseSummaryFold,
+    ResponseTimes, ResponseTimesFold, RtSample,
+};

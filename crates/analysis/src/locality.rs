@@ -1,5 +1,9 @@
 //! ISP-level locality analysis: the paper's §3.2 (Figures 2–6).
+//!
+//! Each quantity is a [`RecordFold`]: O(ISPs) accumulator state, one row
+//! at a time, so spilled captures stream through without rematerializing.
 
+use crate::fold::{fold_records, RecordFold};
 use crate::PerIsp;
 use plsim_capture::{Direction, KindRef, RecordRef, RemoteKind};
 use plsim_net::{AsnDirectory, Isp};
@@ -39,6 +43,48 @@ pub struct ReturnedAddresses {
     pub total: PerIsp<u64>,
 }
 
+/// Streaming fold behind [`returned_addresses`]: O(ISPs) state.
+#[derive(Debug)]
+pub struct ReturnedAddressesFold<'d> {
+    dir: &'d AsnDirectory,
+    out: ReturnedAddresses,
+}
+
+impl<'d> ReturnedAddressesFold<'d> {
+    /// A fresh accumulator classifying addresses with `dir`.
+    #[must_use]
+    pub fn new(dir: &'d AsnDirectory) -> Self {
+        ReturnedAddressesFold {
+            dir,
+            out: ReturnedAddresses::default(),
+        }
+    }
+}
+
+impl RecordFold for ReturnedAddressesFold<'_> {
+    type Output = ReturnedAddresses;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if r.direction != Direction::Inbound {
+            return;
+        }
+        let ips = match r.kind {
+            KindRef::TrackerResponse { peer_ips }
+            | KindRef::PeerListResponse { peer_ips, .. } => peer_ips,
+            _ => return,
+        };
+        for &ip in ips {
+            if let Some(isp) = self.dir.isp_of(ip) {
+                self.out.total[isp] += 1;
+            }
+        }
+    }
+
+    fn finish(self) -> ReturnedAddresses {
+        self.out
+    }
+}
+
 /// Figure 2(a)–5(a): counts every address on every peer list the probe
 /// received (tracker responses and gossip responses), with duplicates.
 /// Streams borrowed rows, so a columnar [`plsim_capture::TraceStore`] can
@@ -48,23 +94,67 @@ pub fn returned_addresses<'a, I>(records: I, dir: &AsnDirectory) -> ReturnedAddr
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut out = ReturnedAddresses::default();
-    for r in records {
-        if r.direction != Direction::Inbound {
-            continue;
+    fold_records(ReturnedAddressesFold::new(dir), records)
+}
+
+/// Streaming fold behind [`returned_by_source`]: O(source buckets) state.
+#[derive(Debug)]
+pub struct ReturnedBySourceFold<'d> {
+    dir: &'d AsnDirectory,
+    buckets: Vec<(ListSource, PerIsp<u64>)>,
+}
+
+impl<'d> ReturnedBySourceFold<'d> {
+    /// A fresh accumulator classifying addresses with `dir`.
+    #[must_use]
+    pub fn new(dir: &'d AsnDirectory) -> Self {
+        ReturnedBySourceFold {
+            dir,
+            buckets: Vec::new(),
         }
-        let ips = match r.kind {
-            KindRef::TrackerResponse { peer_ips }
-            | KindRef::PeerListResponse { peer_ips, .. } => peer_ips,
-            _ => continue,
+    }
+
+    fn bump(&mut self, source: ListSource, isp: Isp) {
+        if let Some((_, counts)) = self.buckets.iter_mut().find(|(s, _)| *s == source) {
+            counts[isp] += 1;
+        } else {
+            let mut counts: PerIsp<u64> = PerIsp::default();
+            counts[isp] += 1;
+            self.buckets.push((source, counts));
+        }
+    }
+}
+
+impl RecordFold for ReturnedBySourceFold<'_> {
+    type Output = Vec<(ListSource, PerIsp<u64>)>;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if r.direction != Direction::Inbound {
+            return;
+        }
+        let Some(replier_isp) = self.dir.isp_of(r.remote_ip) else {
+            return;
+        };
+        let (ips, source) = match (r.kind, r.remote_kind) {
+            (KindRef::TrackerResponse { peer_ips }, RemoteKind::Tracker) => {
+                (peer_ips, ListSource::Tracker(replier_isp))
+            }
+            (KindRef::PeerListResponse { peer_ips, .. }, _) => {
+                (peer_ips, ListSource::Peer(replier_isp))
+            }
+            _ => return,
         };
         for &ip in ips {
-            if let Some(isp) = dir.isp_of(ip) {
-                out.total[isp] += 1;
+            if let Some(isp) = self.dir.isp_of(ip) {
+                self.bump(source, isp);
             }
         }
     }
-    out
+
+    fn finish(mut self) -> Vec<(ListSource, PerIsp<u64>)> {
+        self.buckets.sort_by_key(|(s, _)| s.label());
+        self.buckets
+    }
 }
 
 /// Figure 2(b)–5(b): the same counts, broken down by who returned the list
@@ -75,40 +165,7 @@ pub fn returned_by_source<'a, I>(records: I, dir: &AsnDirectory) -> Vec<(ListSou
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut buckets: Vec<(ListSource, PerIsp<u64>)> = Vec::new();
-    let mut bump = |source: ListSource, isp: Isp| {
-        if let Some((_, counts)) = buckets.iter_mut().find(|(s, _)| *s == source) {
-            counts[isp] += 1;
-        } else {
-            let mut counts: PerIsp<u64> = PerIsp::default();
-            counts[isp] += 1;
-            buckets.push((source, counts));
-        }
-    };
-    for r in records {
-        if r.direction != Direction::Inbound {
-            continue;
-        }
-        let Some(replier_isp) = dir.isp_of(r.remote_ip) else {
-            continue;
-        };
-        let (ips, source) = match (r.kind, r.remote_kind) {
-            (KindRef::TrackerResponse { peer_ips }, RemoteKind::Tracker) => {
-                (peer_ips, ListSource::Tracker(replier_isp))
-            }
-            (KindRef::PeerListResponse { peer_ips, .. }, _) => {
-                (peer_ips, ListSource::Peer(replier_isp))
-            }
-            _ => continue,
-        };
-        for &ip in ips {
-            if let Some(isp) = dir.isp_of(ip) {
-                bump(source, isp);
-            }
-        }
-    }
-    buckets.sort_by_key(|(s, _)| s.label());
-    buckets
+    fold_records(ReturnedBySourceFold::new(dir), records)
 }
 
 /// Figure 2(c)–5(c): data transmissions (request/reply pairs) and received
@@ -130,6 +187,44 @@ impl DataByIsp {
     }
 }
 
+/// Streaming fold behind [`data_by_isp`]: O(ISPs) state.
+#[derive(Debug)]
+pub struct DataByIspFold<'d> {
+    dir: &'d AsnDirectory,
+    out: DataByIsp,
+}
+
+impl<'d> DataByIspFold<'d> {
+    /// A fresh accumulator classifying addresses with `dir`.
+    #[must_use]
+    pub fn new(dir: &'d AsnDirectory) -> Self {
+        DataByIspFold {
+            dir,
+            out: DataByIsp::default(),
+        }
+    }
+}
+
+impl RecordFold for DataByIspFold<'_> {
+    type Output = DataByIsp;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if r.direction != Direction::Inbound {
+            return;
+        }
+        if let KindRef::DataReply { payload_bytes, .. } = r.kind {
+            if let Some(isp) = self.dir.isp_of(r.remote_ip) {
+                self.out.transmissions[isp] += 1;
+                self.out.bytes[isp] += u64::from(payload_bytes);
+            }
+        }
+    }
+
+    fn finish(self) -> DataByIsp {
+        self.out
+    }
+}
+
 /// Computes transmissions and bytes per serving ISP from inbound data
 /// replies (each reply closes exactly one request, as matched by sequence
 /// number in the captures).
@@ -138,19 +233,7 @@ pub fn data_by_isp<'a, I>(records: I, dir: &AsnDirectory) -> DataByIsp
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut out = DataByIsp::default();
-    for r in records {
-        if r.direction != Direction::Inbound {
-            continue;
-        }
-        if let KindRef::DataReply { payload_bytes, .. } = r.kind {
-            if let Some(isp) = dir.isp_of(r.remote_ip) {
-                out.transmissions[isp] += 1;
-                out.bytes[isp] += u64::from(payload_bytes);
-            }
-        }
-    }
-    out
+    fold_records(DataByIspFold::new(dir), records)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! overlay around the probe, on which clustering and ISP-assortativity are
 //! measurable.
 
+use crate::fold::{fold_records, RecordFold};
 use plsim_capture::{Direction, KindRef, RecordRef};
 use plsim_net::{AsnDirectory, Isp};
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,50 @@ pub struct OverlayStats {
     pub isp_assortativity: f64,
 }
 
+/// Streaming fold behind [`overlay_stats`]: accumulates the sampled
+/// adjacency (O(observed subgraph), not O(records)) while rows stream by;
+/// all graph metrics are computed in `finish`.
+#[derive(Debug)]
+pub struct OverlayFold<'d> {
+    dir: &'d AsnDirectory,
+    adjacency: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>,
+}
+
+impl<'d> OverlayFold<'d> {
+    /// A fresh accumulator classifying addresses with `dir`.
+    #[must_use]
+    pub fn new(dir: &'d AsnDirectory) -> Self {
+        OverlayFold {
+            dir,
+            adjacency: BTreeMap::new(),
+        }
+    }
+}
+
+impl RecordFold for OverlayFold<'_> {
+    type Output = OverlayStats;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if r.direction != Direction::Inbound {
+            return;
+        }
+        let KindRef::PeerListResponse { peer_ips, .. } = r.kind else {
+            return;
+        };
+        for &ip in peer_ips {
+            if ip == r.remote_ip {
+                continue;
+            }
+            self.adjacency.entry(r.remote_ip).or_default().insert(ip);
+            self.adjacency.entry(ip).or_default().insert(r.remote_ip);
+        }
+    }
+
+    fn finish(self) -> OverlayStats {
+        finish_overlay(&self.adjacency, self.dir)
+    }
+}
+
 /// Builds the observed overlay subgraph from gossip replies and computes
 /// its structure metrics. Tracker responses are excluded: a tracker's list
 /// is a random membership sample, not an adjacency list.
@@ -43,23 +88,13 @@ pub fn overlay_stats<'a, I>(records: I, dir: &AsnDirectory) -> OverlayStats
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut adjacency: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> = BTreeMap::new();
-    for r in records {
-        if r.direction != Direction::Inbound {
-            continue;
-        }
-        let KindRef::PeerListResponse { peer_ips, .. } = r.kind else {
-            continue;
-        };
-        for &ip in peer_ips {
-            if ip == r.remote_ip {
-                continue;
-            }
-            adjacency.entry(r.remote_ip).or_default().insert(ip);
-            adjacency.entry(ip).or_default().insert(r.remote_ip);
-        }
-    }
+    fold_records(OverlayFold::new(dir), records)
+}
 
+fn finish_overlay(
+    adjacency: &BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>,
+    dir: &AsnDirectory,
+) -> OverlayStats {
     let nodes = adjacency.len();
     let edges = adjacency.values().map(BTreeSet::len).sum::<usize>() / 2;
 
@@ -97,7 +132,7 @@ where
     let mut classified_edges = 0usize;
     let mut within: BTreeMap<Isp, f64> = BTreeMap::new();
     let mut ends: BTreeMap<Isp, f64> = BTreeMap::new();
-    for (a, neighbors) in &adjacency {
+    for (a, neighbors) in adjacency {
         for b in neighbors {
             if b <= a {
                 continue; // each undirected edge once

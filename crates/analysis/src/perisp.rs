@@ -85,6 +85,12 @@ impl<T> IndexMut<IspGroup> for PerGroup<T> {
 }
 
 impl<T> PerGroup<T> {
+    /// Builds with one value per group from the closure (for `T` without
+    /// a meaningful `Default`, e.g. a quantile sketch).
+    pub fn from_fn(mut f: impl FnMut() -> T) -> Self {
+        PerGroup(std::array::from_fn(|_| f()))
+    }
+
     /// Iterates `(IspGroup, &value)` in figure order.
     pub fn iter(&self) -> impl Iterator<Item = (IspGroup, &T)> {
         IspGroup::ALL.iter().copied().zip(self.0.iter())

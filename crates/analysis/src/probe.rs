@@ -1,11 +1,13 @@
 //! One-call per-probe analysis bundling every figure's data.
 
-use crate::{
-    contribution_analysis, data_by_isp, peer_list_response_times, returned_addresses,
-    returned_by_source, ContributionAnalysis, DataByIsp, ListSource, PerIsp, ResponseTimes,
+use crate::contributions::{ContributionAnalysis, ContributionFold};
+use crate::fold::RecordFold;
+use crate::locality::{
+    DataByIsp, DataByIspFold, ListSource, ReturnedAddressesFold, ReturnedBySourceFold,
 };
-use crate::overlay::{overlay_stats, OverlayStats};
-use crate::response::data_response_times;
+use crate::overlay::{OverlayFold, OverlayStats};
+use crate::response::{ResponseTimes, ResponseTimesFold};
+use crate::PerIsp;
 use plsim_capture::TraceStore;
 use plsim_des::NodeId;
 use plsim_net::{AsnDirectory, Isp};
@@ -38,11 +40,11 @@ pub struct ProbeReport {
 impl ProbeReport {
     /// Analyzes the records of `probe` (other probes' records are ignored).
     ///
-    /// The probe's rows are decoded off the columnar pages once, as a flat
-    /// list of borrowed [`RecordRef`] views (`Copy` handles into the store
-    /// — peer-list payloads stay in the shared arena), and each quantity
-    /// then iterates that one list. A multi-probe capture is analyzed
-    /// without ever deep-cloning a per-probe row copy.
+    /// The probe's rows are streamed off the columnar (and, under a capture
+    /// budget, spilled) pages exactly once: every decoded [`RecordRef`] is
+    /// fed to all seven analysis folds before the cursor moves on, so peak
+    /// memory is one decoded page plus the folds' own accumulator state —
+    /// never a materialized per-probe row list.
     ///
     /// [`RecordRef`]: plsim_capture::RecordRef
     #[must_use]
@@ -52,18 +54,32 @@ impl ProbeReport {
         records: &TraceStore,
         dir: &AsnDirectory,
     ) -> ProbeReport {
-        let mine: Vec<_> = records.rows_for(probe).collect();
-        let view = || mine.iter().copied();
+        let mut returned = ReturnedAddressesFold::new(dir);
+        let mut by_source = ReturnedBySourceFold::new(dir);
+        let mut data = DataByIspFold::new(dir);
+        let mut peer_list_rt = ResponseTimesFold::peer_list(dir);
+        let mut data_rt = ResponseTimesFold::data(dir);
+        let mut contributions = ContributionFold::new(dir);
+        let mut overlay = OverlayFold::new(dir);
+        for r in records.rows_for(probe) {
+            returned.push(r);
+            by_source.push(r);
+            data.push(r);
+            peer_list_rt.push(r);
+            data_rt.push(r);
+            contributions.push(r);
+            overlay.push(r);
+        }
         ProbeReport {
             probe,
             home_isp,
-            returned: returned_addresses(view(), dir).total,
-            returned_by_source: returned_by_source(view(), dir),
-            data: data_by_isp(view(), dir),
-            peer_list_rt: peer_list_response_times(view(), dir),
-            data_rt: data_response_times(view(), dir),
-            contributions: contribution_analysis(view(), dir),
-            overlay: overlay_stats(view(), dir),
+            returned: returned.finish().total,
+            returned_by_source: by_source.finish(),
+            data: data.finish(),
+            peer_list_rt: peer_list_rt.finish(),
+            data_rt: data_rt.finish(),
+            contributions: contributions.finish(),
+            overlay: overlay.finish(),
         }
     }
 

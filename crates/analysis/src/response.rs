@@ -6,10 +6,12 @@
 //! request designated to the same IP address"; our protocol carries an
 //! explicit id, which is the same matching made exact).
 
+use crate::fold::{fold_records, RecordFold};
 use crate::PerGroup;
 use plsim_capture::{Direction, KindRef, RecordRef, RemoteKind};
-use plsim_net::{AsnDirectory, IspGroup};
 use plsim_des::SimTime;
+use plsim_net::{AsnDirectory, IspGroup};
+use plsim_telemetry::{P2Quantile, StreamingMoments};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -89,6 +91,209 @@ impl ResponseTimes {
     }
 }
 
+/// Which request/response exchange a matcher tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtMode {
+    /// Peer-list gossip, matched by correlation id (Figures 7–10).
+    PeerList,
+    /// Data exchange, matched by sequence number (Table 1).
+    Data,
+}
+
+/// Shared request/response matcher: the streaming core of both response
+/// time analyses. State is O(outstanding requests), not O(records).
+#[derive(Debug)]
+struct RtMatcher<'d> {
+    mode: RtMode,
+    dir: &'d AsnDirectory,
+    pending: HashMap<u64, SimTime>,
+}
+
+impl<'d> RtMatcher<'d> {
+    fn new(mode: RtMode, dir: &'d AsnDirectory) -> Self {
+        RtMatcher {
+            mode,
+            dir,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Folds one record; returns the matched sample when `r` closes an
+    /// outstanding request from a classifiable replier.
+    fn push(&mut self, r: RecordRef<'_>) -> Option<RtSample> {
+        match (self.mode, r.kind, r.direction) {
+            (RtMode::PeerList, KindRef::PeerListRequest { req_id }, Direction::Outbound) => {
+                self.pending.insert(req_id, r.t);
+                None
+            }
+            (RtMode::PeerList, KindRef::PeerListResponse { req_id, .. }, Direction::Inbound) => {
+                if !matches!(r.remote_kind, RemoteKind::Peer | RemoteKind::Source) {
+                    return None;
+                }
+                let sent = self.pending.remove(&req_id)?;
+                self.sample(sent, r)
+            }
+            (RtMode::Data, KindRef::DataRequest { seq, .. }, Direction::Outbound) => {
+                self.pending.insert(seq, r.t);
+                None
+            }
+            (RtMode::Data, KindRef::DataReply { seq, .. }, Direction::Inbound) => {
+                let sent = self.pending.remove(&seq)?;
+                self.sample(sent, r)
+            }
+            (RtMode::Data, KindRef::DataReject { seq, .. }, Direction::Inbound) => {
+                self.pending.remove(&seq);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn sample(&self, sent: SimTime, r: RecordRef<'_>) -> Option<RtSample> {
+        let isp = self.dir.isp_of(r.remote_ip)?;
+        Some(RtSample {
+            sent_at: sent,
+            rt_secs: r.t.saturating_sub(sent).as_secs_f64(),
+            group: isp.group(),
+        })
+    }
+
+    fn unanswered(&self) -> u64 {
+        self.pending.len() as u64
+    }
+}
+
+/// Streaming fold producing the full [`ResponseTimes`] series — the
+/// figure-sized output (it retains one sample per matched exchange, which
+/// the time-series plots need). For a bounded summary use
+/// [`ResponseSummaryFold`].
+#[derive(Debug)]
+pub struct ResponseTimesFold<'d> {
+    matcher: RtMatcher<'d>,
+    out: ResponseTimes,
+}
+
+impl<'d> ResponseTimesFold<'d> {
+    /// A peer-list response-time fold (Figures 7–10).
+    #[must_use]
+    pub fn peer_list(dir: &'d AsnDirectory) -> Self {
+        ResponseTimesFold {
+            matcher: RtMatcher::new(RtMode::PeerList, dir),
+            out: ResponseTimes::default(),
+        }
+    }
+
+    /// A data response-time fold (Table 1).
+    #[must_use]
+    pub fn data(dir: &'d AsnDirectory) -> Self {
+        ResponseTimesFold {
+            matcher: RtMatcher::new(RtMode::Data, dir),
+            out: ResponseTimes::default(),
+        }
+    }
+}
+
+impl RecordFold for ResponseTimesFold<'_> {
+    type Output = ResponseTimes;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if let Some(s) = self.matcher.push(r) {
+            self.out.samples.push(s);
+        }
+    }
+
+    fn finish(mut self) -> ResponseTimes {
+        self.out.unanswered = self.matcher.unanswered();
+        self.out.samples.sort_by_key(|s| s.sent_at);
+        self.out
+    }
+}
+
+/// Bounded per-group response-time summary: exact moments plus P² median
+/// and 95th-percentile sketches — O(1) state per group, no retained
+/// samples. The alternative to [`ResponseTimes`] when only aggregates
+/// (not the time series) are needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseSummary {
+    /// Exact moments of the response time in microseconds, per group.
+    pub moments: PerGroup<StreamingMoments>,
+    /// P² median sketch of the response time in seconds, per group.
+    pub p50: PerGroup<P2Quantile>,
+    /// P² 95th-percentile sketch of the response time in seconds, per group.
+    pub p95: PerGroup<P2Quantile>,
+    /// Requests that never got an answer.
+    pub unanswered: u64,
+}
+
+impl ResponseSummary {
+    /// Mean response time of a group in seconds (`None` when empty).
+    #[must_use]
+    pub fn mean_secs(&self, group: IspGroup) -> Option<f64> {
+        self.moments[group].mean().map(|us| us / 1e6)
+    }
+
+    /// Matched samples of a group.
+    #[must_use]
+    pub fn count(&self, group: IspGroup) -> u64 {
+        self.moments[group].count()
+    }
+}
+
+/// Streaming fold behind [`ResponseSummary`].
+#[derive(Debug)]
+pub struct ResponseSummaryFold<'d> {
+    matcher: RtMatcher<'d>,
+    moments: PerGroup<StreamingMoments>,
+    p50: PerGroup<P2Quantile>,
+    p95: PerGroup<P2Quantile>,
+}
+
+impl<'d> ResponseSummaryFold<'d> {
+    fn new(mode: RtMode, dir: &'d AsnDirectory) -> Self {
+        ResponseSummaryFold {
+            matcher: RtMatcher::new(mode, dir),
+            moments: PerGroup::default(),
+            p50: PerGroup::from_fn(|| P2Quantile::new(0.5)),
+            p95: PerGroup::from_fn(|| P2Quantile::new(0.95)),
+        }
+    }
+
+    /// A peer-list response-time summary fold.
+    #[must_use]
+    pub fn peer_list(dir: &'d AsnDirectory) -> Self {
+        ResponseSummaryFold::new(RtMode::PeerList, dir)
+    }
+
+    /// A data response-time summary fold.
+    #[must_use]
+    pub fn data(dir: &'d AsnDirectory) -> Self {
+        ResponseSummaryFold::new(RtMode::Data, dir)
+    }
+}
+
+impl RecordFold for ResponseSummaryFold<'_> {
+    type Output = ResponseSummary;
+
+    fn push(&mut self, r: RecordRef<'_>) {
+        if let Some(s) = self.matcher.push(r) {
+            let micros = (s.rt_secs * 1e6).round();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            self.moments[s.group].observe(micros.max(0.0) as u64);
+            self.p50[s.group].observe(s.rt_secs);
+            self.p95[s.group].observe(s.rt_secs);
+        }
+    }
+
+    fn finish(self) -> ResponseSummary {
+        ResponseSummary {
+            moments: self.moments,
+            p50: self.p50,
+            p95: self.p95,
+            unanswered: self.matcher.unanswered(),
+        }
+    }
+}
+
 /// Matches outbound peer-list requests to inbound responses (Figures 7–10).
 ///
 /// Only regular peers and the source count as repliers; tracker responses
@@ -98,32 +303,7 @@ pub fn peer_list_response_times<'a, I>(records: I, dir: &AsnDirectory) -> Respon
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut pending: HashMap<u64, SimTime> = HashMap::new();
-    let mut out = ResponseTimes::default();
-    for r in records {
-        match (r.kind, r.direction) {
-            (KindRef::PeerListRequest { req_id }, Direction::Outbound) => {
-                pending.insert(req_id, r.t);
-            }
-            (KindRef::PeerListResponse { req_id, .. }, Direction::Inbound) => {
-                if matches!(r.remote_kind, RemoteKind::Peer | RemoteKind::Source) {
-                    if let Some(sent) = pending.remove(&req_id) {
-                        if let Some(isp) = dir.isp_of(r.remote_ip) {
-                            out.samples.push(RtSample {
-                                sent_at: sent,
-                                rt_secs: r.t.saturating_sub(sent).as_secs_f64(),
-                                group: isp.group(),
-                            });
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    out.unanswered = pending.len() as u64;
-    out.samples.sort_by_key(|s| s.sent_at);
-    out
+    fold_records(ResponseTimesFold::peer_list(dir), records)
 }
 
 /// Matches outbound data requests to inbound data replies by sequence
@@ -133,33 +313,7 @@ pub fn data_response_times<'a, I>(records: I, dir: &AsnDirectory) -> ResponseTim
 where
     I: IntoIterator<Item = RecordRef<'a>>,
 {
-    let mut pending: HashMap<u64, SimTime> = HashMap::new();
-    let mut out = ResponseTimes::default();
-    for r in records {
-        match (r.kind, r.direction) {
-            (KindRef::DataRequest { seq, .. }, Direction::Outbound) => {
-                pending.insert(seq, r.t);
-            }
-            (KindRef::DataReply { seq, .. }, Direction::Inbound) => {
-                if let Some(sent) = pending.remove(&seq) {
-                    if let Some(isp) = dir.isp_of(r.remote_ip) {
-                        out.samples.push(RtSample {
-                            sent_at: sent,
-                            rt_secs: r.t.saturating_sub(sent).as_secs_f64(),
-                            group: isp.group(),
-                        });
-                    }
-                }
-            }
-            (KindRef::DataReject { seq, .. }, Direction::Inbound) => {
-                pending.remove(&seq);
-            }
-            _ => {}
-        }
-    }
-    out.unanswered = pending.len() as u64;
-    out.samples.sort_by_key(|s| s.sent_at);
-    out
+    fold_records(ResponseTimesFold::data(dir), records)
 }
 
 #[cfg(test)]

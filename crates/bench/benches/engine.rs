@@ -604,7 +604,27 @@ fn engine_report(test_mode: bool) {
         )
     });
 
-    let (row_bytes, columnar_bytes, row_analysis_s, columnar_analysis_s) = columnar_vs_row(&seq);
+    let (row_bytes, columnar_bytes, row_analysis_s, columnar_analysis_s, rows_streamed) =
+        columnar_vs_row(&seq);
+    let streaming_analysis_rows_per_sec = rows_streamed as f64 / columnar_analysis_s;
+
+    // Bounded-memory capture: replay the measured capture through a store
+    // under a tight spill budget. The replay must actually spill and stay
+    // content-equal to the unbounded original; the peak resident bytes are
+    // what the budget is supposed to bound, so the CI gate is a ceiling.
+    let capture_peak_rss_bytes = {
+        let store = &seq.popular.output.records;
+        let mut budgeted = TraceStore::with_budget(Some(CAPTURE_BENCH_BUDGET));
+        for r in store.rows() {
+            budgeted.push_ref(r);
+        }
+        assert!(
+            budgeted.spilled_pages() >= 1,
+            "budgeted capture replay never spilled — raise the workload or lower the budget"
+        );
+        assert_eq!(budgeted, *store, "budgeted capture replay diverged");
+        budgeted.peak_resident_bytes() as u64
+    };
 
     // Node-layer message path: the same full-sized peer-list reply ring
     // under the owned (pre-arena) and zero-copy list representations. Both
@@ -698,6 +718,8 @@ fn engine_report(test_mode: bool) {
         shard_threads,
         shard_warning,
         frontier_sweep_secs,
+        capture_peak_rss_bytes,
+        streaming_analysis_rows_per_sec,
     };
     match write_engine_report(&report) {
         Ok(path) => println!(
@@ -707,7 +729,8 @@ fn engine_report(test_mode: bool) {
              node ring {:.0} vs {:.0} msgs/sec ({:.2}x, {} allocs), \
              gossip {:.0} ticks/sec, \
              sharded {:.0} events/sec ({:.2}x over 1 shard, {} threads), \
-             frontier smoke sweep {:.2}s -> {}",
+             frontier smoke sweep {:.2}s, \
+             budgeted capture peak {} B, streaming analysis {:.0} rows/sec -> {}",
             report.events_per_sec_calendar,
             report.events_per_sec_heap,
             report.calendar_speedup,
@@ -729,17 +752,25 @@ fn engine_report(test_mode: bool) {
             report.sharded_speedup_4x,
             report.shard_threads,
             report.frontier_sweep_secs,
+            report.capture_peak_rss_bytes,
+            report.streaming_analysis_rows_per_sec,
             path.display()
         ),
         Err(e) => eprintln!("engine report: could not write BENCH_engine.json: {e}"),
     }
 }
 
+/// Resident-byte budget for the capture-replay measurement: tight enough
+/// that the Tiny smoke suite already spills several sealed pages.
+const CAPTURE_BENCH_BUDGET: u64 = 64 * 1024;
+
 /// Compares the popular session's capture in the old row layout against
 /// the columnar store: heap bytes of each, then wall-clock to analyze all
 /// probes via the old per-probe clone-filter path vs streaming the store's
-/// cursors in place. Returns `(row_bytes, columnar_bytes, row_s, col_s)`.
-fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64) {
+/// cursors in place. Returns `(row_bytes, columnar_bytes, row_s, col_s,
+/// rows_streamed)` where `rows_streamed` counts every row the columnar
+/// pass visits (each probe's cursor walks the full store).
+fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64, u64) {
     let store = &suite.popular.output.records;
     let dir = AsnDirectory::new();
     let probes: Vec<(NodeId, Isp)> = suite
@@ -801,6 +832,7 @@ fn columnar_vs_row(suite: &Suite) -> (u64, u64, f64, f64) {
         store.approx_heap_bytes() as u64,
         row_s,
         columnar_s,
+        (store.len() * probes.len()) as u64,
     )
 }
 

@@ -116,6 +116,16 @@ pub struct EngineReport {
     /// seconds value, so CI gates it with a *ceiling*: regressions make it
     /// grow.
     pub frontier_sweep_secs: f64,
+    /// Peak resident column bytes while replaying the measured capture
+    /// through a `TraceStore` under a tight spill budget (sealed pages
+    /// stream to the per-run spill file). Bytes-valued, so the CI gate is
+    /// a *ceiling*: a broken budget makes it grow toward the unbounded
+    /// footprint.
+    pub capture_peak_rss_bytes: u64,
+    /// Rows streamed per wall-clock second by the columnar analysis path
+    /// (every probe's `ProbeReport` walks the full store through its row
+    /// cursor, so rows = `store.len() × probes`). Gated with a floor.
+    pub streaming_analysis_rows_per_sec: f64,
 }
 
 impl EngineReport {
@@ -162,7 +172,9 @@ impl EngineReport {
                 "  \"sharded_speedup_4x\": {:.3},\n",
                 "  \"shard_threads\": {},\n",
                 "  \"shard_warning\": {},\n",
-                "  \"frontier_sweep_secs\": {:.4}\n",
+                "  \"frontier_sweep_secs\": {:.4},\n",
+                "  \"capture_peak_rss_bytes\": {},\n",
+                "  \"streaming_analysis_rows_per_sec\": {:.1}\n",
                 "}}\n"
             ),
             self.events_processed,
@@ -194,6 +206,8 @@ impl EngineReport {
             self.shard_threads,
             shard_warning,
             self.frontier_sweep_secs,
+            self.capture_peak_rss_bytes,
+            self.streaming_analysis_rows_per_sec,
         )
     }
 }
@@ -251,6 +265,8 @@ mod tests {
             shard_threads: 4,
             shard_warning: None,
             frontier_sweep_secs: 1.5,
+            capture_peak_rss_bytes: 524_288,
+            streaming_analysis_rows_per_sec: 4.2e6,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
@@ -274,7 +290,9 @@ mod tests {
         assert!(json.contains("\"sharded_speedup_4x\": 3.100"));
         assert!(json.contains("\"shard_threads\": 4"));
         assert!(json.contains("\"shard_warning\": null,"));
-        assert!(json.contains("\"frontier_sweep_secs\": 1.5000\n"));
+        assert!(json.contains("\"frontier_sweep_secs\": 1.5000,\n"));
+        assert!(json.contains("\"capture_peak_rss_bytes\": 524288"));
+        assert!(json.contains("\"streaming_analysis_rows_per_sec\": 4200000.0\n"));
     }
 
     #[test]
@@ -309,6 +327,8 @@ mod tests {
             shard_threads: 1,
             shard_warning: None,
             frontier_sweep_secs: 0.1,
+            capture_peak_rss_bytes: 0,
+            streaming_analysis_rows_per_sec: 0.0,
         };
         r.threads_warning = Some("thread pool collapsed to 1".to_string());
         r.shard_warning = Some("1 core backs 4 shards".to_string());

@@ -21,6 +21,12 @@
 //! handoff happens only through the owned [`TraceStore`] returned by
 //! [`ProbeTap::drain`] (which is `Send`), never through the tap itself.
 //!
+//! Capture is bounded-memory by configuration ([`CaptureConfig`]): a byte
+//! budget makes the store spill sealed pages to disk (usually via
+//! `PLSIM_CAPTURE_BUDGET`), and an aggregation window replaces row capture
+//! entirely with per-probe per-window counters and wire-byte sketches
+//! ([`CaptureAggregates`]) for runs where even a spilled trace is too much.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,9 +55,10 @@ pub use store::{KindRef, RecordRef, Rows, RowsFor, TraceStore};
 use plsim_des::{EventStamp, FaultEvent, Monitor, NodeId, SimTime};
 use plsim_net::Topology;
 use plsim_proto::{ChunkId, Message};
+use plsim_telemetry::{P2Quantile, StreamingMoments};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -177,9 +184,113 @@ pub struct FaultMark {
     pub begins: bool,
 }
 
+/// How a [`ProbeTap`] bounds its memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaptureConfig {
+    /// Resident-byte budget for the trace store: sealed pages spill to
+    /// disk once the resident columns exceed it (`None` = never spill).
+    pub budget: Option<u64>,
+    /// When set, the tap aggregates at capture time — per-probe per-window
+    /// counters and wire-byte sketches — instead of recording rows at all.
+    /// A zero window disables aggregation.
+    pub aggregate_window: Option<SimTime>,
+}
+
+impl CaptureConfig {
+    /// Row capture with the byte budget from `PLSIM_CAPTURE_BUDGET`
+    /// (unbounded when unset or malformed).
+    #[must_use]
+    pub fn from_env() -> CaptureConfig {
+        CaptureConfig {
+            budget: plsim_telemetry::capture_budget_from_env(),
+            aggregate_window: None,
+        }
+    }
+
+    /// The per-shard slice of this config when capture is split over
+    /// `shards` stores: the byte budget divides evenly (floor, min 1 byte)
+    /// so the shards together stay within the original budget.
+    #[must_use]
+    pub fn shard_share(&self, shards: usize) -> CaptureConfig {
+        CaptureConfig {
+            budget: self.budget.map(|b| (b / shards.max(1) as u64).max(1)),
+            aggregate_window: self.aggregate_window,
+        }
+    }
+}
+
+/// Downsampled counters for one probe over one aggregation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Messages captured in the window.
+    pub records: u64,
+    /// Wire bytes received by the probe.
+    pub bytes_in: u64,
+    /// Wire bytes sent by the probe.
+    pub bytes_out: u64,
+    /// Media payload bytes delivered to the probe (inbound data replies).
+    pub data_payload_bytes_in: u64,
+    /// Peer-list entries advertised to the probe (tracker + gossip lists).
+    pub peer_list_entries: u64,
+}
+
+/// One probe's capture-time aggregate: windowed counters plus streaming
+/// wire-byte sketches. State is O(windows), independent of message count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeAggregate {
+    /// Per-window counters, keyed by window index (`t / window`).
+    pub windows: BTreeMap<u64, WindowStats>,
+    /// Exact moments of the per-message wire size.
+    pub wire_bytes: StreamingMoments,
+    /// P² sketch of the 95th-percentile wire size.
+    pub wire_bytes_p95: P2Quantile,
+}
+
+impl Default for ProbeAggregate {
+    fn default() -> ProbeAggregate {
+        ProbeAggregate {
+            windows: BTreeMap::new(),
+            wire_bytes: StreamingMoments::new(),
+            wire_bytes_p95: P2Quantile::new(0.95),
+        }
+    }
+}
+
+/// Capture-time aggregates for every probe, the aggregate-mode counterpart
+/// of a [`TraceStore`]. Deterministically mergeable across shards: all of
+/// one probe's records are captured on its home shard in the monolithic
+/// order, so per-shard maps are disjoint and identical to the single-shard
+/// run's.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CaptureAggregates {
+    /// Per-probe aggregates, in probe order.
+    pub probes: BTreeMap<NodeId, ProbeAggregate>,
+}
+
+impl CaptureAggregates {
+    /// Folds another shard's aggregates in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe appears in both — shard partitioning guarantees
+    /// disjoint probe sets, and summing two P² sketches is undefined.
+    pub fn absorb(&mut self, other: CaptureAggregates) {
+        for (probe, agg) in other.probes {
+            let prev = self.probes.insert(probe, agg);
+            assert!(
+                prev.is_none(),
+                "probe {probe:?} aggregated on more than one shard"
+            );
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct TapState {
     records: TraceStore,
+    aggregates: CaptureAggregates,
+    /// `Some(window)` switches the tap into aggregate mode.
+    window: Option<SimTime>,
     faults: Vec<FaultMark>,
     remote_kinds: HashMap<NodeId, RemoteKind>,
     /// When stamping is enabled (sharded worlds), one `(pop stamp, index
@@ -209,22 +320,98 @@ pub struct StampedTrace {
 /// resulting sends all happen where the popped actor lives), so ordering
 /// records by `(pop stamp, index within pop)` reproduces the exact record
 /// sequence of the single-shard run, and rebuilding the store from that
-/// sequence reproduces it bit for bit.
+/// sequence reproduces it bit for bit. Equivalent to
+/// [`merge_stamped_budgeted`] with no budget.
 #[must_use]
 pub fn merge_stamped(parts: impl IntoIterator<Item = StampedTrace>) -> TraceStore {
-    let mut rows: Vec<((EventStamp, u32), TraceRecord)> = Vec::new();
-    for part in parts {
-        let records = part.store.to_records();
+    merge_stamped_budgeted(parts, None)
+}
+
+/// [`merge_stamped`] with a resident-byte budget on the merged store.
+///
+/// The merge streams: each shard sees its pops in increasing stamp order,
+/// so its stamp sequence is already sorted and a k-way merge over the
+/// shards' row cursors rebuilds the global order record by record. Spilled
+/// shard traces are therefore decoded one page at a time — never
+/// re-materialized as owned rows — and the output store spills under its
+/// own budget as it grows, keeping the merge itself bounded-memory.
+///
+/// # Panics
+///
+/// Panics when a part's record count and stamp count disagree.
+#[must_use]
+pub fn merge_stamped_budgeted(
+    parts: impl IntoIterator<Item = StampedTrace>,
+    budget: Option<u64>,
+) -> TraceStore {
+    let parts: Vec<StampedTrace> = parts.into_iter().collect();
+    for part in &parts {
         assert_eq!(
-            records.len(),
+            part.store.len(),
             part.stamps.len(),
             "stamped trace lost sync between records and sort keys"
         );
-        rows.extend(part.stamps.into_iter().zip(records));
     }
-    rows.sort_by_key(|&(key, _)| key);
-    let ordered: Vec<TraceRecord> = rows.into_iter().map(|(_, r)| r).collect();
-    TraceStore::from_records(&ordered)
+    let mut out = TraceStore::with_budget(budget);
+    if parts.iter().all(|p| p.stamps.is_sorted()) {
+        // The real-run fast path: k-way streaming merge over cursors.
+        struct Head<'a> {
+            rows: Rows<'a>,
+            stamps: &'a [(EventStamp, u32)],
+            pos: usize,
+        }
+        let mut heads: Vec<Head<'_>> = parts
+            .iter()
+            .map(|p| Head {
+                rows: p.store.rows(),
+                stamps: &p.stamps,
+                pos: 0,
+            })
+            .collect();
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if h.pos < h.stamps.len()
+                    && best.is_none_or(|b| h.stamps[h.pos] < heads[b].stamps[heads[b].pos])
+                {
+                    best = Some(i);
+                }
+            }
+            let Some(b) = best else { break };
+            let head = &mut heads[b];
+            head.pos += 1;
+            let r = head.rows.next().expect("cursor in sync with stamps");
+            out.push_ref(r);
+        }
+    } else {
+        // Synthetic captures (tests feed pops out of order): merge through
+        // per-shard sorted index permutations and point lookups instead.
+        let orders: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|p| {
+                let mut idx: Vec<usize> = (0..p.stamps.len()).collect();
+                idx.sort_by_key(|&i| p.stamps[i]);
+                idx
+            })
+            .collect();
+        let mut pos = vec![0usize; parts.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..parts.len() {
+                if pos[i] < orders[i].len() {
+                    let key = parts[i].stamps[orders[i][pos[i]]];
+                    if best.is_none_or(|b| key < parts[b].stamps[orders[b][pos[b]]]) {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(b) = best else { break };
+            let row = orders[b][pos[b]];
+            pos[b] += 1;
+            out.push_ref(parts[b].store.get(row).expect("stamped row in bounds"));
+        }
+    }
+    out
 }
 
 /// Capture tap over a set of probe hosts; cloneable handle to shared
@@ -243,13 +430,29 @@ pub struct ProbeTap {
 }
 
 impl ProbeTap {
-    /// Creates a tap observing the given probe hosts. The topology plays
-    /// the role of the packet IP header: it resolves remote addresses.
+    /// Creates an unbounded row-capturing tap observing the given probe
+    /// hosts. The topology plays the role of the packet IP header: it
+    /// resolves remote addresses.
     pub fn new<I: IntoIterator<Item = NodeId>>(probes: I, topology: Arc<Topology>) -> Self {
+        ProbeTap::with_config(probes, topology, CaptureConfig::default())
+    }
+
+    /// Creates a tap with an explicit memory bound: a byte budget for the
+    /// row store, or capture-time aggregation (see [`CaptureConfig`]).
+    pub fn with_config<I: IntoIterator<Item = NodeId>>(
+        probes: I,
+        topology: Arc<Topology>,
+        config: CaptureConfig,
+    ) -> Self {
+        let state = TapState {
+            records: TraceStore::with_budget(config.budget),
+            window: config.aggregate_window.filter(|w| *w > SimTime::ZERO),
+            ..TapState::default()
+        };
         ProbeTap {
             probes: Arc::new(probes.into_iter().collect()),
             topology,
-            state: Rc::new(RefCell::new(TapState::default())),
+            state: Rc::new(RefCell::new(state)),
         }
     }
 
@@ -278,19 +481,22 @@ impl ProbeTap {
         f(&self.state.borrow().records)
     }
 
-    /// Materializes the records captured so far as owned rows. Prefer
-    /// [`ProbeTap::records`] (borrow) or [`ProbeTap::drain`] (move) —
-    /// this clones the full trace into row form.
-    #[must_use]
-    pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.state.borrow().records.to_records()
-    }
-
-    /// Moves the store out, leaving the tap empty. The returned store is
-    /// `Send`, making it the thread handoff point for parallel harnesses.
+    /// Moves the store out, leaving the tap empty (the byte budget carries
+    /// over to the fresh store). The returned store is `Send`, making it
+    /// the thread handoff point for parallel harnesses.
     #[must_use]
     pub fn drain(&self) -> TraceStore {
-        std::mem::take(&mut self.state.borrow_mut().records)
+        let mut state = self.state.borrow_mut();
+        let budget = state.records.budget();
+        std::mem::replace(&mut state.records, TraceStore::with_budget(budget))
+    }
+
+    /// Moves the capture-time aggregates out, leaving the tap's aggregate
+    /// state empty (the [`ProbeTap::drain`] counterpart for aggregate
+    /// mode). Empty unless the tap was built with an aggregation window.
+    #[must_use]
+    pub fn drain_aggregates(&self) -> CaptureAggregates {
+        std::mem::take(&mut self.state.borrow_mut().aggregates)
     }
 
     /// Turns on record stamping: every subsequent record also logs its
@@ -318,8 +524,9 @@ impl ProbeTap {
             .take()
             .expect("drain_stamped requires enable_stamps");
         state.stamps = Some(Vec::new());
+        let budget = state.records.budget();
         StampedTrace {
-            store: std::mem::take(&mut state.records),
+            store: std::mem::replace(&mut state.records, TraceStore::with_budget(budget)),
             stamps,
         }
     }
@@ -368,6 +575,33 @@ impl ProbeTap {
             .try_host(remote)
             .map_or(Ipv4Addr::UNSPECIFIED, |h| h.ip);
         let mut state = self.state.borrow_mut();
+        if let Some(window) = state.window {
+            // Aggregate mode: fold into O(windows) state, record no row.
+            // Stamping is moot — there are no rows to merge by stamp; the
+            // per-probe aggregates merge by map union instead.
+            let idx = now.as_micros() / window.as_micros();
+            let agg = state.aggregates.probes.entry(probe).or_default();
+            let w = agg.windows.entry(idx).or_default();
+            w.records += 1;
+            match direction {
+                Direction::Outbound => w.bytes_out += u64::from(size),
+                Direction::Inbound => w.bytes_in += u64::from(size),
+            }
+            match payload {
+                Message::DataReply { count, .. } if direction == Direction::Inbound => {
+                    w.data_payload_bytes_in +=
+                        u64::from(*count) * u64::from(plsim_proto::SUB_PIECE_BYTES);
+                }
+                Message::TrackerResponse { peers, .. }
+                | Message::PeerListResponse { peers, .. } => {
+                    w.peer_list_entries += peers.with(|entries| entries.len() as u64);
+                }
+                _ => {}
+            }
+            agg.wire_bytes.observe(u64::from(size));
+            agg.wire_bytes_p95.observe(f64::from(size));
+            return;
+        }
         if state.stamps.is_some() {
             let key = (state.current_pop, state.idx_in_pop);
             state.idx_in_pop += 1;
@@ -565,11 +799,11 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_copies_without_draining() {
+    fn records_borrows_without_draining() {
         let mut t = tap();
         t.on_send(SimTime::ZERO, NodeId(0), NodeId(1), &Message::Goodbye, 46);
-        assert_eq!(t.snapshot().len(), 1);
-        assert_eq!(t.len(), 1, "snapshot must leave the store intact");
+        assert_eq!(t.records(TraceStore::to_records).len(), 1);
+        assert_eq!(t.len(), 1, "records must leave the store intact");
     }
 
     #[test]
@@ -724,8 +958,149 @@ mod tests {
         for (i, m) in msgs.iter().enumerate() {
             t.on_deliver(SimTime::from_secs(i as u64), NodeId(4), NodeId(0), m, 64);
         }
-        let rows = t.snapshot();
+        let rows = t.records(TraceStore::to_records);
         let rebuilt = TraceStore::from_records(&rows);
         t.records(|store| assert_eq!(*store, rebuilt));
+    }
+
+    #[test]
+    fn budgeted_merge_streams_spilled_shards() {
+        // Each shard captures enough to seal and spill pages under a tiny
+        // budget; the budgeted merge must still reproduce the unspilled
+        // merge bit for bit, and may spill its own output.
+        use plsim_telemetry::PAGE_ROWS;
+        // Interleaved over two shards, so each shard still seals a page.
+        let n = 2 * PAGE_ROWS as u64 + 1400;
+        let build = |config: CaptureConfig| {
+            let shards = [
+                ProbeTap::with_config([NodeId(0)], tap().topology.clone(), config),
+                ProbeTap::with_config([NodeId(0)], tap().topology.clone(), config),
+            ];
+            for t in &shards {
+                t.enable_stamps();
+            }
+            for i in 0..n {
+                let mut t = shards[(i % 2) as usize].clone();
+                t.on_pop(EventStamp {
+                    at: SimTime::from_millis(i),
+                    origin: (i % 2) as u32,
+                    seq: i,
+                });
+                t.on_deliver(
+                    SimTime::from_millis(i),
+                    NodeId(1 + (i % 5) as u32),
+                    NodeId(0),
+                    &Message::DataRequest {
+                        channel: ChannelId(1),
+                        seq: i,
+                        chunk: ChunkId(i),
+                        offset: 0,
+                        count: 1,
+                    },
+                    64,
+                );
+            }
+            [shards[0].drain_stamped(), shards[1].drain_stamped()]
+        };
+        let reference = merge_stamped(build(CaptureConfig::default()));
+        let spilled_parts = build(CaptureConfig {
+            budget: Some(1),
+            aggregate_window: None,
+        });
+        assert!(
+            spilled_parts.iter().all(|p| p.store.spilled_pages() > 0),
+            "shard traces must actually spill"
+        );
+        let merged = merge_stamped_budgeted(spilled_parts, Some(1));
+        assert!(merged.spilled_pages() > 0, "merged store must spill too");
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn aggregate_mode_folds_windows_instead_of_rows() {
+        let config = CaptureConfig {
+            budget: None,
+            aggregate_window: Some(SimTime::from_secs(10)),
+        };
+        let mut t = ProbeTap::with_config([NodeId(0)], tap().topology.clone(), config);
+        let reply = Message::DataReply {
+            chunk: ChunkId(3),
+            offset: 0,
+            count: 4,
+            seq: 1,
+        };
+        t.on_deliver(SimTime::from_secs(1), NodeId(2), NodeId(0), &reply, 200);
+        t.on_deliver(SimTime::from_secs(9), NodeId(2), NodeId(0), &reply, 200);
+        t.on_send(
+            SimTime::from_secs(15),
+            NodeId(0),
+            NodeId(3),
+            &Message::Goodbye,
+            46,
+        );
+        assert!(t.is_empty(), "aggregate mode records no rows");
+        let aggs = t.drain_aggregates();
+        let probe = &aggs.probes[&NodeId(0)];
+        assert_eq!(probe.windows.len(), 2);
+        let w0 = &probe.windows[&0];
+        assert_eq!(w0.records, 2);
+        assert_eq!(w0.bytes_in, 400);
+        assert_eq!(w0.bytes_out, 0);
+        assert_eq!(
+            w0.data_payload_bytes_in,
+            2 * 4 * u64::from(plsim_proto::SUB_PIECE_BYTES)
+        );
+        let w1 = &probe.windows[&1];
+        assert_eq!(w1.records, 1);
+        assert_eq!(w1.bytes_out, 46);
+        assert_eq!(probe.wire_bytes.count(), 3);
+        assert_eq!(probe.wire_bytes.max(), 200);
+        assert!(t.drain_aggregates().probes.is_empty(), "drain empties");
+    }
+
+    #[test]
+    fn aggregates_absorb_disjoint_shards() {
+        let mut a = CaptureAggregates::default();
+        let mut agg0 = ProbeAggregate::default();
+        agg0.wire_bytes.observe(10);
+        a.probes.insert(NodeId(0), agg0);
+        let mut b = CaptureAggregates::default();
+        let mut agg1 = ProbeAggregate::default();
+        agg1.wire_bytes.observe(20);
+        b.probes.insert(NodeId(1), agg1);
+        a.absorb(b);
+        assert_eq!(a.probes.len(), 2);
+        assert_eq!(a.probes[&NodeId(1)].wire_bytes.sum(), 20);
+    }
+
+    #[test]
+    fn shard_share_splits_the_budget() {
+        let cfg = CaptureConfig {
+            budget: Some(8 << 20),
+            aggregate_window: Some(SimTime::from_secs(1)),
+        };
+        let share = cfg.shard_share(4);
+        assert_eq!(share.budget, Some(2 << 20));
+        assert_eq!(share.aggregate_window, cfg.aggregate_window);
+        assert_eq!(cfg.shard_share(0).budget, Some(8 << 20));
+        assert_eq!(
+            CaptureConfig::default().shard_share(4),
+            CaptureConfig::default()
+        );
+    }
+
+    #[test]
+    fn drain_preserves_the_budget() {
+        let config = CaptureConfig {
+            budget: Some(1234),
+            aggregate_window: None,
+        };
+        let t = ProbeTap::with_config([NodeId(0)], tap().topology.clone(), config);
+        assert_eq!(t.drain().budget(), Some(1234));
+        assert_eq!(
+            t.records(TraceStore::budget),
+            Some(1234),
+            "fresh store keeps spilling"
+        );
     }
 }

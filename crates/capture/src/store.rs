@@ -1,4 +1,5 @@
-//! The columnar trace store: struct-of-arrays packet-trace storage.
+//! The columnar trace store: struct-of-arrays packet-trace storage with
+//! an optional disk spill tier.
 //!
 //! A four-week paper-scale capture holds millions of [`TraceRecord`]s; as
 //! a `Vec<TraceRecord>` every record pays the row struct's padding plus a
@@ -13,6 +14,21 @@
 //! * analysis streams typed [`RecordRef`] cursors ([`TraceStore::rows`],
 //!   [`TraceStore::rows_for`]) instead of cloning row subsets.
 //!
+//! **Spill tier.** Under a byte budget ([`TraceStore::with_budget`],
+//! usually from `PLSIM_CAPTURE_BUDGET`), sealing a page checks the
+//! resident heap; while it exceeds the budget the oldest resident sealed
+//! page is serialized as one fixed-layout frame (eleven column blocks,
+//! 47 bytes/row) into a shared [`SpillFile`] and its heap is released.
+//! Spilled pages form a strict prefix — capture appends at the tail,
+//! analysis replays from the head, so oldest-first is both the cheapest
+//! and the right policy. The address arena stays resident (peer-list
+//! spans borrow from it, which is what keeps [`RecordRef`] free of
+//! self-referential lifetimes); cursors decode spilled frames back a page
+//! at a time into reused buffers, so [`TraceStore::rows`] /
+//! [`TraceStore::rows_for`] iterate RAM-resident and spilled pages
+//! transparently and bit-identically. Equality is content-based and
+//! spill-independent.
+//!
 //! [`TraceRecord`] remains the owned interchange row: tests build rows
 //! directly and [`TraceStore::from_records`] / [`TraceStore::to_records`]
 //! convert losslessly.
@@ -20,8 +36,9 @@
 use crate::{Direction, RecordKind, RemoteKind, TraceRecord};
 use plsim_des::{NodeId, SimTime};
 use plsim_proto::ChunkId;
-use plsim_telemetry::PagedVec;
+use plsim_telemetry::{PagedVec, SpillFile, SpillFrame, PAGE_ROWS};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Discriminant column value: which [`RecordKind`] variant a row holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +55,108 @@ pub(crate) enum KindTag {
     DataReject,
     Announce,
     Goodbye,
+}
+
+impl KindTag {
+    fn code(self) -> u8 {
+        match self {
+            KindTag::Bootstrap => 0,
+            KindTag::TrackerQuery => 1,
+            KindTag::TrackerResponse => 2,
+            KindTag::PeerListRequest => 3,
+            KindTag::PeerListResponse => 4,
+            KindTag::Handshake => 5,
+            KindTag::HandshakeAck => 6,
+            KindTag::DataRequest => 7,
+            KindTag::DataReply => 8,
+            KindTag::DataReject => 9,
+            KindTag::Announce => 10,
+            KindTag::Goodbye => 11,
+        }
+    }
+
+    fn from_code(code: u8) -> KindTag {
+        match code {
+            0 => KindTag::Bootstrap,
+            1 => KindTag::TrackerQuery,
+            2 => KindTag::TrackerResponse,
+            3 => KindTag::PeerListRequest,
+            4 => KindTag::PeerListResponse,
+            5 => KindTag::Handshake,
+            6 => KindTag::HandshakeAck,
+            7 => KindTag::DataRequest,
+            8 => KindTag::DataReply,
+            9 => KindTag::DataReject,
+            10 => KindTag::Announce,
+            11 => KindTag::Goodbye,
+            other => panic!("corrupt spill frame: kind tag {other}"),
+        }
+    }
+}
+
+fn remote_kind_code(k: RemoteKind) -> u8 {
+    match k {
+        RemoteKind::Peer => 0,
+        RemoteKind::Tracker => 1,
+        RemoteKind::Bootstrap => 2,
+        RemoteKind::Source => 3,
+    }
+}
+
+fn remote_kind_from_code(code: u8) -> RemoteKind {
+    match code {
+        0 => RemoteKind::Peer,
+        1 => RemoteKind::Tracker,
+        2 => RemoteKind::Bootstrap,
+        3 => RemoteKind::Source,
+        other => panic!("corrupt spill frame: remote kind {other}"),
+    }
+}
+
+fn direction_code(d: Direction) -> u8 {
+    match d {
+        Direction::Outbound => 0,
+        Direction::Inbound => 1,
+    }
+}
+
+fn direction_from_code(code: u8) -> Direction {
+    match code {
+        0 => Direction::Outbound,
+        1 => Direction::Inbound,
+        other => panic!("corrupt spill frame: direction {other}"),
+    }
+}
+
+/// Per-column encoded widths of a spilled frame, in column order
+/// (t, probe, remote, remote_ip, remote_kind, direction, wire_bytes, tag,
+/// seq, aux, payload).
+const COL_WIDTHS: [usize; 11] = [8, 4, 4, 4, 1, 1, 4, 1, 8, 8, 4];
+
+/// Encoded bytes per row of a spilled frame (47).
+const SPILL_ROW_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 1 + 8 + 8 + 4;
+
+/// Byte offset of each column block within a frame of `rows` rows.
+fn block_offsets(rows: usize) -> [usize; 11] {
+    let mut out = [0usize; 11];
+    let mut acc = 0;
+    for (slot, width) in out.iter_mut().zip(COL_WIDTHS) {
+        *slot = acc;
+        acc += width * rows;
+    }
+    out
+}
+
+fn u64_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"))
+}
+
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"))
+}
+
+fn ip_at(bytes: &[u8], off: usize) -> Ipv4Addr {
+    Ipv4Addr::new(bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3])
 }
 
 /// The fixed per-row scalars shared by every record variant.
@@ -248,8 +367,42 @@ impl TraceRecord {
     }
 }
 
-/// Columnar, append-only packet-trace storage (see the module docs).
-#[derive(Clone, Default, PartialEq)]
+/// Reconstructs a payload view from the four encoded payload scalars.
+/// Peer-list spans borrow the store's always-resident address arena, so
+/// the view is valid whether the scalars came from a resident page or a
+/// decoded spill frame.
+fn decode_kind(store: &TraceStore, tag: KindTag, seq: u64, aux: u64, payload: u32) -> KindRef<'_> {
+    match tag {
+        KindTag::Bootstrap => KindRef::Bootstrap,
+        KindTag::TrackerQuery => KindRef::TrackerQuery,
+        KindTag::TrackerResponse => KindRef::TrackerResponse {
+            peer_ips: store.span(aux),
+        },
+        KindTag::PeerListRequest => KindRef::PeerListRequest { req_id: seq },
+        KindTag::PeerListResponse => KindRef::PeerListResponse {
+            req_id: seq,
+            peer_ips: store.span(aux),
+        },
+        KindTag::Handshake => KindRef::Handshake,
+        KindTag::HandshakeAck => KindRef::HandshakeAck { accepted: aux != 0 },
+        KindTag::DataRequest => KindRef::DataRequest {
+            seq,
+            chunk: ChunkId(aux),
+        },
+        KindTag::DataReply => KindRef::DataReply {
+            seq,
+            chunk: ChunkId(aux),
+            payload_bytes: payload,
+        },
+        KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
+        KindTag::Announce => KindRef::Announce,
+        KindTag::Goodbye => KindRef::Goodbye,
+    }
+}
+
+/// Columnar, append-only packet-trace storage with an optional spill tier
+/// (see the module docs).
+#[derive(Clone, Default)]
 pub struct TraceStore {
     t: PagedVec<SimTime>,
     probe: PagedVec<NodeId>,
@@ -266,16 +419,65 @@ pub struct TraceStore {
     aux: PagedVec<u64>,
     /// Media payload bytes (data replies; `0` otherwise).
     payload: PagedVec<u32>,
-    /// Shared arena for peer-list addresses, spanned by `aux`.
+    /// Shared arena for peer-list addresses, spanned by `aux`. Always
+    /// resident: spans borrow from it.
     ips: Vec<Ipv4Addr>,
     len: usize,
+    /// Resident-byte budget; `None` never spills.
+    budget: Option<u64>,
+    /// Frame handles for the spilled page prefix `[0, spilled.len())`.
+    spilled: Vec<SpillFrame>,
+    /// Lazily created backing file, shared with clones.
+    spill: Option<Arc<SpillFile>>,
+    /// High-water resident heap, sampled at page-seal boundaries.
+    peak_resident: usize,
 }
 
 impl TraceStore {
-    /// An empty store.
+    /// An empty, unbudgeted store (never spills).
     #[must_use]
     pub fn new() -> TraceStore {
         TraceStore::default()
+    }
+
+    /// An empty store with a resident-byte budget: once a sealed page
+    /// pushes the resident heap past `budget` bytes, the oldest resident
+    /// sealed pages spill to disk. `None` behaves like [`TraceStore::new`].
+    ///
+    /// The budget bounds what *can* be bounded — the scalar columns. The
+    /// open page and the shared address arena stay resident, so the
+    /// effective floor is one page plus the arena.
+    #[must_use]
+    pub fn with_budget(budget: Option<u64>) -> TraceStore {
+        TraceStore {
+            budget,
+            ..TraceStore::default()
+        }
+    }
+
+    /// Changes the budget; takes effect at the next page seal.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// The configured resident-byte budget, if any.
+    #[must_use]
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Number of pages currently spilled to disk.
+    #[must_use]
+    pub fn spilled_pages(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// High-water resident heap over the store's lifetime: the largest
+    /// value [`TraceStore::approx_heap_bytes`] has reached (sampled at
+    /// page-seal boundaries and on this call).
+    #[must_use]
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident.max(self.approx_heap_bytes())
     }
 
     /// Number of records.
@@ -323,6 +525,112 @@ impl TraceStore {
         self.aux.push(aux);
         self.payload.push(payload);
         self.len += 1;
+        if self.len.is_multiple_of(PAGE_ROWS) {
+            self.seal_page();
+        }
+    }
+
+    /// A page just sealed: sample the resident high-water mark, then
+    /// spill oldest-first while over budget. The open page (there is none
+    /// right now — the next push starts it) is never spilled.
+    fn seal_page(&mut self) {
+        self.peak_resident = self.peak_resident.max(self.approx_heap_bytes());
+        let Some(budget) = self.budget else {
+            return;
+        };
+        let sealed = self.len / PAGE_ROWS;
+        while self.spilled.len() < sealed && self.approx_heap_bytes() as u64 > budget {
+            self.spill_oldest_page();
+        }
+    }
+
+    /// Serializes the oldest resident sealed page into the spill file and
+    /// releases its heap.
+    fn spill_oldest_page(&mut self) {
+        let page = self.spilled.len();
+        let mut buf = Vec::with_capacity(PAGE_ROWS * SPILL_ROW_BYTES);
+        self.encode_page(page, &mut buf);
+        let spill = self
+            .spill
+            .get_or_insert_with(|| Arc::new(SpillFile::create()));
+        let frame = spill.append_frame(&buf);
+        self.spilled.push(frame);
+        self.t.evict_page(page);
+        self.probe.evict_page(page);
+        self.remote.evict_page(page);
+        self.remote_ip.evict_page(page);
+        self.remote_kind.evict_page(page);
+        self.direction.evict_page(page);
+        self.wire_bytes.evict_page(page);
+        self.tag.evict_page(page);
+        self.seq.evict_page(page);
+        self.aux.evict_page(page);
+        self.payload.evict_page(page);
+    }
+
+    /// Encodes page `page` of every column into `buf` as contiguous
+    /// column blocks (the spilled-frame layout).
+    fn encode_page(&self, page: usize, buf: &mut Vec<u8>) {
+        buf.clear();
+        for &x in self.t.page(page) {
+            buf.extend_from_slice(&x.as_micros().to_le_bytes());
+        }
+        for &x in self.probe.page(page) {
+            buf.extend_from_slice(&x.0.to_le_bytes());
+        }
+        for &x in self.remote.page(page) {
+            buf.extend_from_slice(&x.0.to_le_bytes());
+        }
+        for &x in self.remote_ip.page(page) {
+            buf.extend_from_slice(&x.octets());
+        }
+        for &x in self.remote_kind.page(page) {
+            buf.push(remote_kind_code(x));
+        }
+        for &x in self.direction.page(page) {
+            buf.push(direction_code(x));
+        }
+        for &x in self.wire_bytes.page(page) {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in self.tag.page(page) {
+            buf.push(x.code());
+        }
+        for &x in self.seq.page(page) {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in self.aux.page(page) {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in self.payload.page(page) {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Reads the raw frame of spilled page `page` into `scratch`.
+    fn read_frame_bytes(&self, page: usize, scratch: &mut Vec<u8>) {
+        let spill = self.spill.as_ref().expect("spilled page without a spill file");
+        spill.read_frame(self.spilled[page], scratch);
+    }
+
+    /// Decodes the row at offset `i` of a raw spilled frame.
+    fn decode_spilled_row(&self, frame: &[u8], i: usize) -> RecordRef<'_> {
+        let rows = frame.len() / SPILL_ROW_BYTES;
+        let off = block_offsets(rows);
+        let seq = u64_at(frame, off[8] + 8 * i);
+        let aux = u64_at(frame, off[9] + 8 * i);
+        let payload = u32_at(frame, off[10] + 4 * i);
+        let tag = KindTag::from_code(frame[off[7] + i]);
+        RecordRef {
+            t: SimTime::from_micros(u64_at(frame, off[0] + 8 * i)),
+            probe: NodeId(u32_at(frame, off[1] + 4 * i)),
+            remote: NodeId(u32_at(frame, off[2] + 4 * i)),
+            remote_ip: ip_at(frame, off[3] + 4 * i),
+            remote_kind: remote_kind_from_code(frame[off[4] + i]),
+            direction: direction_from_code(frame[off[5] + i]),
+            kind: decode_kind(self, tag, seq, aux, payload),
+            wire_bytes: u32_at(frame, off[6] + 4 * i),
+        }
     }
 
     /// Appends a record (by borrowed view; list payloads are copied into
@@ -377,40 +685,25 @@ impl TraceStore {
         &self.ips[offset..offset + len]
     }
 
-    /// The record at `index`, if in bounds.
+    /// The record at `index`, if in bounds. On a spilled page this reads
+    /// the page's frame back from disk — fine for point lookups, but a
+    /// scan should use [`TraceStore::rows`], which decodes each frame
+    /// once.
     #[must_use]
     pub fn get(&self, index: usize) -> Option<RecordRef<'_>> {
         if index >= self.len {
             return None;
         }
+        let page = index / PAGE_ROWS;
+        if page < self.spilled.len() {
+            let mut frame = Vec::new();
+            self.read_frame_bytes(page, &mut frame);
+            return Some(self.decode_spilled_row(&frame, index % PAGE_ROWS));
+        }
         let seq = *self.seq.get(index).expect("seq column in sync");
         let aux = *self.aux.get(index).expect("aux column in sync");
-        let kind = match self.tag.get(index).expect("tag column in sync") {
-            KindTag::Bootstrap => KindRef::Bootstrap,
-            KindTag::TrackerQuery => KindRef::TrackerQuery,
-            KindTag::TrackerResponse => KindRef::TrackerResponse {
-                peer_ips: self.span(aux),
-            },
-            KindTag::PeerListRequest => KindRef::PeerListRequest { req_id: seq },
-            KindTag::PeerListResponse => KindRef::PeerListResponse {
-                req_id: seq,
-                peer_ips: self.span(aux),
-            },
-            KindTag::Handshake => KindRef::Handshake,
-            KindTag::HandshakeAck => KindRef::HandshakeAck { accepted: aux != 0 },
-            KindTag::DataRequest => KindRef::DataRequest {
-                seq,
-                chunk: ChunkId(aux),
-            },
-            KindTag::DataReply => KindRef::DataReply {
-                seq,
-                chunk: ChunkId(aux),
-                payload_bytes: *self.payload.get(index).expect("payload column in sync"),
-            },
-            KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
-            KindTag::Announce => KindRef::Announce,
-            KindTag::Goodbye => KindRef::Goodbye,
-        };
+        let payload = *self.payload.get(index).expect("payload column in sync");
+        let tag = *self.tag.get(index).expect("tag column in sync");
         Some(RecordRef {
             t: *self.t.get(index).expect("t column in sync"),
             probe: *self.probe.get(index).expect("probe column in sync"),
@@ -421,12 +714,13 @@ impl TraceStore {
                 .get(index)
                 .expect("remote_kind column in sync"),
             direction: *self.direction.get(index).expect("direction column in sync"),
-            kind,
+            kind: decode_kind(self, tag, seq, aux, payload),
             wire_bytes: *self.wire_bytes.get(index).expect("wire_bytes column in sync"),
         })
     }
 
-    /// Streaming cursor over every record in capture order.
+    /// Streaming cursor over every record in capture order, transparently
+    /// reading spilled pages back from disk.
     #[must_use]
     pub fn rows(&self) -> Rows<'_> {
         Rows::at_start(self)
@@ -461,7 +755,8 @@ impl TraceStore {
         self.rows().map(|r| r.to_owned()).collect()
     }
 
-    /// Bytes of heap held by the columns and the address arena.
+    /// Bytes of heap *resident* in the columns and the address arena.
+    /// Spilled pages have released their heap and do not count.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
         self.t.heap_bytes()
@@ -479,11 +774,20 @@ impl TraceStore {
     }
 }
 
+/// Content equality, independent of spill state and budget: two stores
+/// are equal when they stream the same records in the same order.
+impl PartialEq for TraceStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.rows().eq(other.rows())
+    }
+}
+
 impl std::fmt::Debug for TraceStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceStore")
             .field("len", &self.len)
             .field("arena_ips", &self.ips.len())
+            .field("spilled_pages", &self.spilled.len())
             .finish()
     }
 }
@@ -507,37 +811,80 @@ impl FromIterator<TraceRecord> for TraceStore {
     }
 }
 
-/// Cursor over a [`TraceStore`] in capture order.
-///
-/// Decodes a page at a time: the current page of every column is held as
-/// a plain slice, so stepping a row is eleven slice reads rather than
-/// eleven paged lookups.
-#[derive(Debug, Clone)]
-pub struct Rows<'a> {
-    store: &'a TraceStore,
-    /// Global index of the next row.
-    index: usize,
-    /// Offset of the next row within the cached page slices.
-    off: usize,
-    t: &'a [SimTime],
-    probe: &'a [NodeId],
-    remote: &'a [NodeId],
-    remote_ip: &'a [Ipv4Addr],
-    remote_kind: &'a [RemoteKind],
-    direction: &'a [Direction],
-    wire_bytes: &'a [u32],
-    tag: &'a [KindTag],
-    seq: &'a [u64],
-    aux: &'a [u64],
-    payload: &'a [u32],
+/// One page's decoded columns, owned — the readback form of a spilled
+/// frame. Buffers are reused across pages by the cursor.
+#[derive(Debug, Clone, Default)]
+struct DecodedPage {
+    t: Vec<SimTime>,
+    probe: Vec<NodeId>,
+    remote: Vec<NodeId>,
+    remote_ip: Vec<Ipv4Addr>,
+    remote_kind: Vec<RemoteKind>,
+    direction: Vec<Direction>,
+    wire_bytes: Vec<u32>,
+    tag: Vec<KindTag>,
+    seq: Vec<u64>,
+    aux: Vec<u64>,
+    payload: Vec<u32>,
 }
 
-impl<'a> Rows<'a> {
-    fn at_start(store: &'a TraceStore) -> Rows<'a> {
-        Rows {
-            store,
-            index: 0,
-            off: 0,
+impl DecodedPage {
+    fn decode(&mut self, frame: &[u8]) {
+        let rows = frame.len() / SPILL_ROW_BYTES;
+        debug_assert_eq!(frame.len(), rows * SPILL_ROW_BYTES, "ragged spill frame");
+        let off = block_offsets(rows);
+        self.t.clear();
+        self.probe.clear();
+        self.remote.clear();
+        self.remote_ip.clear();
+        self.remote_kind.clear();
+        self.direction.clear();
+        self.wire_bytes.clear();
+        self.tag.clear();
+        self.seq.clear();
+        self.aux.clear();
+        self.payload.clear();
+        for i in 0..rows {
+            self.t.push(SimTime::from_micros(u64_at(frame, off[0] + 8 * i)));
+            self.probe.push(NodeId(u32_at(frame, off[1] + 4 * i)));
+            self.remote.push(NodeId(u32_at(frame, off[2] + 4 * i)));
+            self.remote_ip.push(ip_at(frame, off[3] + 4 * i));
+            self.remote_kind
+                .push(remote_kind_from_code(frame[off[4] + i]));
+            self.direction.push(direction_from_code(frame[off[5] + i]));
+            self.wire_bytes.push(u32_at(frame, off[6] + 4 * i));
+            self.tag.push(KindTag::from_code(frame[off[7] + i]));
+            self.seq.push(u64_at(frame, off[8] + 8 * i));
+            self.aux.push(u64_at(frame, off[9] + 8 * i));
+            self.payload.push(u32_at(frame, off[10] + 4 * i));
+        }
+    }
+}
+
+/// The cursor's view of its current page: borrowed column slices for a
+/// RAM-resident page, or owned decoded buffers for a spilled one. Either
+/// way the yielded [`RecordRef`] borrows only the store's address arena.
+#[derive(Debug, Clone)]
+enum PageData<'a> {
+    Resident {
+        t: &'a [SimTime],
+        probe: &'a [NodeId],
+        remote: &'a [NodeId],
+        remote_ip: &'a [Ipv4Addr],
+        remote_kind: &'a [RemoteKind],
+        direction: &'a [Direction],
+        wire_bytes: &'a [u32],
+        tag: &'a [KindTag],
+        seq: &'a [u64],
+        aux: &'a [u64],
+        payload: &'a [u32],
+    },
+    Spilled(DecodedPage),
+}
+
+impl<'a> PageData<'a> {
+    fn empty() -> PageData<'a> {
+        PageData::Resident {
             t: &[],
             probe: &[],
             remote: &[],
@@ -552,61 +899,117 @@ impl<'a> Rows<'a> {
         }
     }
 
-    fn load_page(&mut self) {
-        let page = self.index / plsim_telemetry::PAGE_ROWS;
-        self.off = self.index % plsim_telemetry::PAGE_ROWS;
-        self.t = self.store.t.page(page);
-        self.probe = self.store.probe.page(page);
-        self.remote = self.store.remote.page(page);
-        self.remote_ip = self.store.remote_ip.page(page);
-        self.remote_kind = self.store.remote_kind.page(page);
-        self.direction = self.store.direction.page(page);
-        self.wire_bytes = self.store.wire_bytes.page(page);
-        self.tag = self.store.tag.page(page);
-        self.seq = self.store.seq.page(page);
-        self.aux = self.store.aux.page(page);
-        self.payload = self.store.payload.page(page);
+    fn len(&self) -> usize {
+        match self {
+            PageData::Resident { t, .. } => t.len(),
+            PageData::Spilled(p) => p.t.len(),
+        }
     }
 
-    /// Decodes the row at offset `i` of the cached page slices.
+    /// The probe column of the current page, for the skip scan.
+    fn probe_slice(&self) -> &[NodeId] {
+        match self {
+            PageData::Resident { probe, .. } => probe,
+            PageData::Spilled(p) => &p.probe,
+        }
+    }
+}
+
+/// Cursor over a [`TraceStore`] in capture order.
+///
+/// Decodes a page at a time: a resident page is held as plain column
+/// slices, a spilled page is read back from the spill file once and
+/// decoded into reused buffers — so stepping a row is eleven slice reads
+/// either way, and a full scan reads each spilled frame exactly once.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    store: &'a TraceStore,
+    /// Global index of the next row.
+    index: usize,
+    /// Offset of the next row within the current page.
+    off: usize,
+    page: PageData<'a>,
+    /// Reused raw-frame buffer for spilled pages.
+    scratch: Vec<u8>,
+}
+
+impl<'a> Rows<'a> {
+    fn at_start(store: &'a TraceStore) -> Rows<'a> {
+        Rows {
+            store,
+            index: 0,
+            off: 0,
+            page: PageData::empty(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn load_page(&mut self) {
+        let page = self.index / PAGE_ROWS;
+        self.off = self.index % PAGE_ROWS;
+        if page < self.store.spilled.len() {
+            // Reuse the previous spilled page's buffers when possible.
+            let mut decoded = match std::mem::replace(&mut self.page, PageData::empty()) {
+                PageData::Spilled(d) => d,
+                PageData::Resident { .. } => DecodedPage::default(),
+            };
+            self.store.read_frame_bytes(page, &mut self.scratch);
+            decoded.decode(&self.scratch);
+            self.page = PageData::Spilled(decoded);
+        } else {
+            self.page = PageData::Resident {
+                t: self.store.t.page(page),
+                probe: self.store.probe.page(page),
+                remote: self.store.remote.page(page),
+                remote_ip: self.store.remote_ip.page(page),
+                remote_kind: self.store.remote_kind.page(page),
+                direction: self.store.direction.page(page),
+                wire_bytes: self.store.wire_bytes.page(page),
+                tag: self.store.tag.page(page),
+                seq: self.store.seq.page(page),
+                aux: self.store.aux.page(page),
+                payload: self.store.payload.page(page),
+            };
+        }
+    }
+
+    /// Decodes the row at offset `i` of the current page. All scalars are
+    /// `Copy`, so the result borrows only the store's address arena —
+    /// which is why it outlives the cursor even for spilled pages.
     fn decode_at(&self, i: usize) -> RecordRef<'a> {
-        let seq = self.seq[i];
-        let aux = self.aux[i];
-        let kind = match self.tag[i] {
-            KindTag::Bootstrap => KindRef::Bootstrap,
-            KindTag::TrackerQuery => KindRef::TrackerQuery,
-            KindTag::TrackerResponse => KindRef::TrackerResponse {
-                peer_ips: self.store.span(aux),
-            },
-            KindTag::PeerListRequest => KindRef::PeerListRequest { req_id: seq },
-            KindTag::PeerListResponse => KindRef::PeerListResponse {
-                req_id: seq,
-                peer_ips: self.store.span(aux),
-            },
-            KindTag::Handshake => KindRef::Handshake,
-            KindTag::HandshakeAck => KindRef::HandshakeAck { accepted: aux != 0 },
-            KindTag::DataRequest => KindRef::DataRequest {
+        match &self.page {
+            PageData::Resident {
+                t,
+                probe,
+                remote,
+                remote_ip,
+                remote_kind,
+                direction,
+                wire_bytes,
+                tag,
                 seq,
-                chunk: ChunkId(aux),
+                aux,
+                payload,
+            } => RecordRef {
+                t: t[i],
+                probe: probe[i],
+                remote: remote[i],
+                remote_ip: remote_ip[i],
+                remote_kind: remote_kind[i],
+                direction: direction[i],
+                kind: decode_kind(self.store, tag[i], seq[i], aux[i], payload[i]),
+                wire_bytes: wire_bytes[i],
             },
-            KindTag::DataReply => KindRef::DataReply {
-                seq,
-                chunk: ChunkId(aux),
-                payload_bytes: self.payload[i],
+            PageData::Spilled(p) => RecordRef {
+                t: p.t[i],
+                probe: p.probe[i],
+                remote: p.remote[i],
+                remote_ip: p.remote_ip[i],
+                remote_kind: p.remote_kind[i],
+                direction: p.direction[i],
+                kind: decode_kind(self.store, p.tag[i], p.seq[i], p.aux[i], p.payload[i]),
+                wire_bytes: p.wire_bytes[i],
             },
-            KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
-            KindTag::Announce => KindRef::Announce,
-            KindTag::Goodbye => KindRef::Goodbye,
-        };
-        RecordRef {
-            t: self.t[i],
-            probe: self.probe[i],
-            remote: self.remote[i],
-            remote_ip: self.remote_ip[i],
-            remote_kind: self.remote_kind[i],
-            direction: self.direction[i],
-            kind,
-            wire_bytes: self.wire_bytes[i],
         }
     }
 }
@@ -618,7 +1021,7 @@ impl<'a> Iterator for Rows<'a> {
         if self.index >= self.store.len {
             return None;
         }
-        if self.off >= self.t.len() {
+        if self.off >= self.page.len() {
             self.load_page();
         }
         let r = self.decode_at(self.off);
@@ -639,7 +1042,7 @@ impl ExactSizeIterator for Rows<'_> {}
 ///
 /// Unlike `rows().filter(..)` — which decodes all eleven columns of every
 /// row before the predicate can reject it — this cursor scans the probe
-/// column of the cached page as a plain slice and decodes a full
+/// column of the current page as a plain slice and decodes a full
 /// [`RecordRef`] only on a match. With a handful of probes in a
 /// world-sized store, almost every row is a miss, so the probe-column
 /// scan is what makes the columnar analysis path beat row clones.
@@ -657,11 +1060,11 @@ impl<'a> Iterator for RowsFor<'a> {
             if self.rows.index >= self.rows.store.len {
                 return None;
             }
-            if self.rows.off >= self.rows.t.len() {
+            if self.rows.off >= self.rows.page.len() {
                 self.rows.load_page();
             }
             let probe = self.probe;
-            match self.rows.probe[self.rows.off..]
+            match self.rows.page.probe_slice()[self.rows.off..]
                 .iter()
                 .position(|&p| p == probe)
             {
@@ -674,7 +1077,7 @@ impl<'a> Iterator for RowsFor<'a> {
                     return Some(r);
                 }
                 None => {
-                    let rest = self.rows.probe.len() - self.rows.off;
+                    let rest = self.rows.page.len() - self.rows.off;
                     self.rows.off += rest;
                     self.rows.index += rest;
                 }
@@ -686,7 +1089,6 @@ impl<'a> Iterator for RowsFor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plsim_telemetry::PAGE_ROWS;
 
     fn record(i: u64, kind: RecordKind) -> TraceRecord {
         TraceRecord {
@@ -737,6 +1139,29 @@ mod tests {
         .enumerate()
         .map(|(i, k)| record(i as u64, k))
         .collect()
+    }
+
+    /// A mixed stream long enough to seal several pages, cycling every
+    /// variant (so spill encoding covers the whole tag space) with
+    /// interleaved peer lists (so arena spans cross spilled pages).
+    fn mixed_stream(n: u64) -> Vec<TraceRecord> {
+        let template = every_kind();
+        (0..n)
+            .map(|i| {
+                let mut r = template[(i % template.len() as u64) as usize].clone();
+                r.t = SimTime::from_millis(i);
+                r.probe = NodeId(i as u32 % 3);
+                r.remote = NodeId(100 + (i as u32 % 50));
+                r.wire_bytes = 64 + (i as u32 % 1000);
+                if let RecordKind::DataRequest { seq, .. }
+                | RecordKind::DataReply { seq, .. }
+                | RecordKind::DataReject { seq, .. } = &mut r.kind
+                {
+                    *seq = i;
+                }
+                r
+            })
+            .collect()
     }
 
     #[test]
@@ -865,5 +1290,91 @@ mod tests {
         assert_eq!(store.rows().count(), 0);
         assert_eq!(store.to_records(), Vec::new());
         assert!(format!("{store:?}").contains("len"));
+        assert_eq!(store.spilled_pages(), 0);
+        assert_eq!(store.budget(), None);
+    }
+
+    #[test]
+    fn spilled_store_is_bit_identical_to_resident() {
+        let records = mixed_stream(2 * PAGE_ROWS as u64 + 500);
+        let resident = TraceStore::from_records(&records);
+        // A 1-byte budget forces every sealed page out; the open page and
+        // the arena stay resident by construction.
+        let mut spilled = TraceStore::with_budget(Some(1));
+        for r in &records {
+            spilled.push(r);
+        }
+        assert_eq!(spilled.spilled_pages(), 2, "both sealed pages must spill");
+        assert!(
+            spilled.approx_heap_bytes() < resident.approx_heap_bytes(),
+            "spilling must release page heap"
+        );
+        assert!(spilled.peak_resident_bytes() >= spilled.approx_heap_bytes());
+
+        // The full cursor, the per-probe cursor, point lookups, equality
+        // and row conversion must all be spill-transparent.
+        assert!(spilled.rows().eq(resident.rows()));
+        assert_eq!(spilled, resident);
+        assert_eq!(resident, spilled);
+        for probe in [NodeId(0), NodeId(1), NodeId(2)] {
+            assert!(spilled.rows_for(probe).eq(resident.rows_for(probe)));
+        }
+        for i in [0, 1, PAGE_ROWS - 1, PAGE_ROWS, 2 * PAGE_ROWS + 499] {
+            assert_eq!(spilled.get(i), resident.get(i), "row {i}");
+        }
+        assert_eq!(spilled.to_records(), records);
+    }
+
+    #[test]
+    fn generous_budget_never_spills() {
+        let records = mixed_stream(PAGE_ROWS as u64 + 10);
+        let mut store = TraceStore::with_budget(Some(1 << 30));
+        for r in &records {
+            store.push(r);
+        }
+        assert_eq!(store.spilled_pages(), 0);
+        assert_eq!(store.to_records(), records);
+    }
+
+    #[test]
+    fn budget_bounds_resident_column_bytes() {
+        // Resident set after each seal: at most the budget, plus the open
+        // page the next pushes grow (the arena is tiny here — no lists).
+        let mut store = TraceStore::with_budget(Some(512 * 1024));
+        for i in 0..(5 * PAGE_ROWS as u64) {
+            store.push(&record(
+                i,
+                RecordKind::DataReply {
+                    seq: i,
+                    chunk: ChunkId(i / 4),
+                    payload_bytes: 1380,
+                },
+            ));
+            if store.len().is_multiple_of(PAGE_ROWS) {
+                assert!(
+                    store.approx_heap_bytes() as u64 <= 512 * 1024,
+                    "over budget right after a seal: {} bytes",
+                    store.approx_heap_bytes()
+                );
+            }
+        }
+        assert!(store.spilled_pages() > 0);
+        assert!(store.peak_resident_bytes() > store.approx_heap_bytes());
+    }
+
+    #[test]
+    fn clones_share_the_spill_file() {
+        let records = mixed_stream(PAGE_ROWS as u64 + 100);
+        let mut store = TraceStore::with_budget(Some(1));
+        for r in &records {
+            store.push(r);
+        }
+        assert_eq!(store.spilled_pages(), 1);
+        let clone = store.clone();
+        assert_eq!(clone, store);
+        assert!(clone.rows().eq(store.rows()));
+        // Both handles keep working after the other is dropped.
+        drop(store);
+        assert_eq!(clone.to_records(), records);
     }
 }

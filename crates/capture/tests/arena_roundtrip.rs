@@ -55,7 +55,7 @@ fn capture(lists: Vec<SharedPeerList>) -> Vec<plsim_capture::TraceRecord> {
         let size = resp.wire_size();
         t.on_deliver(at, NodeId(3), NodeId(0), &resp, size);
     }
-    t.snapshot()
+    t.drain().to_records()
 }
 
 proptest! {

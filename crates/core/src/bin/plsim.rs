@@ -6,7 +6,7 @@
 //! plsim figures [tiny|reduced|paper] [seed]
 //! plsim fig6 [days] [tiny|reduced|paper] [seed]
 //! plsim ablation [tiny|reduced|paper] [seed]
-//! plsim locality_frontier [--smoke] [--csv <path>] [tiny|reduced|paper] [seed]
+//! plsim locality_frontier [--smoke] [--csv <path>] [--seeds N] [tiny|reduced|paper] [seed]
 //! plsim workload [n] [c] [a] [noise]
 //! plsim export <dir> [tiny|reduced|paper] [seed]
 //! ```
@@ -16,10 +16,11 @@
 //! commands that simulate sessions (`run`, `figures`, `export`).
 
 use pplive_locality::{
-    ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, frontier_csv,
-    locality_frontier, pct, render_ablation, render_fig11_14, render_fig15_18, render_fig7_10,
-    render_frontier, render_table1, render_underlay_ablation, response_times, suite_metrics_json,
-    underlay_ablation, workload_round_trip, ProbeSite, Scale, Scenario, Suite,
+    ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, frontier_bands,
+    frontier_bands_csv, frontier_csv, locality_frontier, locality_frontier_seeds, pct,
+    render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_frontier,
+    render_frontier_bands, render_table1, render_underlay_ablation, response_times,
+    suite_metrics_json, underlay_ablation, workload_round_trip, ProbeSite, Scale, Scenario, Suite,
 };
 use plsim_workload::ChannelClass;
 
@@ -73,6 +74,15 @@ fn cmd_run(args: &[String], metrics_json: Option<&str>) {
         run.output.sim.messages_sent,
         run.output.sim.messages_dropped
     );
+    // Only budgeted runs print capture-memory facts: the unbudgeted
+    // output is pinned by the golden-output tests.
+    if let Some(budget) = run.output.records.budget() {
+        println!(
+            "capture budget {budget} B: spilled {} pages, peak resident {} B\n",
+            run.output.records.spilled_pages(),
+            run.output.records.peak_resident_bytes()
+        );
+    }
     for site in ProbeSite::ALL {
         let r = run.report(site);
         println!(
@@ -179,21 +189,50 @@ fn cmd_frontier(args: &[String]) {
             path
         })
     };
+    let seeds = {
+        let i = args.iter().position(|a| a == "--seeds");
+        i.map_or(1u64, |i| {
+            if i + 1 >= args.len() {
+                eprintln!("--seeds requires a count argument");
+                std::process::exit(2);
+            }
+            let n = args.remove(i + 1);
+            args.remove(i);
+            n.parse::<u64>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--seeds requires a positive integer, got {n:?}");
+                std::process::exit(2);
+            })
+        })
+    };
     let scale = parse_scale(args.first().map(String::as_str));
     let seed = parse_seed(args.get(1).map(String::as_str));
-    println!(
-        "sweeping {} selection policies at {scale:?} scale, seed {seed}...",
-        if smoke { "smoke" } else { "full" }
-    );
-    let points = locality_frontier(scale, seed, smoke);
-    println!("{}", render_frontier(&points));
-    if let Some(path) = csv_path {
-        match std::fs::write(&path, frontier_csv(&points)) {
-            Ok(()) => println!("frontier CSV written to {path}"),
-            Err(e) => {
-                eprintln!("writing frontier CSV to {path} failed: {e}");
-                std::process::exit(1);
-            }
+    let write_csv = |path: &str, csv: String| match std::fs::write(path, csv) {
+        Ok(()) => println!("frontier CSV written to {path}"),
+        Err(e) => {
+            eprintln!("writing frontier CSV to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if seeds == 1 {
+        println!(
+            "sweeping {} selection policies at {scale:?} scale, seed {seed}...",
+            if smoke { "smoke" } else { "full" }
+        );
+        let points = locality_frontier(scale, seed, smoke);
+        println!("{}", render_frontier(&points));
+        if let Some(path) = csv_path {
+            write_csv(&path, frontier_csv(&points));
+        }
+    } else {
+        println!(
+            "sweeping {} selection policies at {scale:?} scale, seeds {seed}..{}...",
+            if smoke { "smoke" } else { "full" },
+            seed + seeds - 1
+        );
+        let bands = frontier_bands(&locality_frontier_seeds(scale, seed, smoke, seeds));
+        println!("{}", render_frontier_bands(&bands));
+        if let Some(path) = csv_path {
+            write_csv(&path, frontier_bands_csv(&bands));
         }
     }
 }
@@ -218,7 +257,8 @@ fn main() {
                  \x20 figures [scale] [seed]                                Figures 2-5, 7-18 and Table 1\n\
                  \x20 fig6 [days] [scale] [seed]                            the locality-over-days series\n\
                  \x20 ablation [scale] [seed]                               protocol-variant comparison\n\
-                 \x20 locality_frontier [--smoke] [--csv <path>] [scale] [seed]  policy transit-savings frontier\n\
+                 \x20 locality_frontier [--smoke] [--csv <path>] [--seeds N] [scale] [seed]  policy transit-savings frontier\n\
+                 \x20                   (--seeds N > 1 reports cross-seed mean and min/max bands)\n\
                  \x20 workload [n] [c] [a] [noise]                          SE workload generator round trip\n\
                  \x20 export <dir> [scale] [seed]                           dump figure data as CSV\n\
                  flags:\n\

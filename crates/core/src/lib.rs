@@ -52,8 +52,9 @@ pub use faults::{
 };
 pub use plsim_net::LinkFault;
 pub use frontier::{
-    frontier_csv, frontier_policies, locality_frontier, locality_frontier_on, render_frontier,
-    FrontierPoint,
+    frontier_bands, frontier_bands_csv, frontier_csv, frontier_policies, locality_frontier,
+    locality_frontier_on, locality_frontier_seeds, render_frontier, render_frontier_bands,
+    Band, FrontierBand, FrontierPoint,
 };
 pub use plsim_node::{
     check_world, Fault, FaultPlan, InvariantReport, InvariantViolation, PlaybackSummary,

@@ -4,8 +4,8 @@ use plsim_analysis::ProbeReport;
 use plsim_des::SimTime;
 use plsim_net::{AsnDirectory, Isp, LinkModel};
 use plsim_node::{
-    check_world, run_world, FaultPlan, InvariantReport, PeerConfig, PolicySpec, ProbeSpec,
-    WorldConfig, WorldOutput,
+    check_world, run_world, CaptureConfig, FaultPlan, InvariantReport, PeerConfig, PolicySpec,
+    ProbeSpec, WorldConfig, WorldOutput,
 };
 use plsim_telemetry::MetricsSnapshot;
 use plsim_workload::{ChannelClass, DayFactor, PopulationSpec, SessionPlan};
@@ -123,6 +123,11 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Fraction of viewers behind NATs (probes are always reachable).
     pub nat_fraction: f64,
+    /// Capture memory policy: optional resident-byte budget (spill past it)
+    /// and optional capture-time aggregation window. Defaults to
+    /// `PLSIM_CAPTURE_BUDGET` / no aggregation; analysis output is
+    /// bit-identical for every budget.
+    pub capture: CaptureConfig,
 }
 
 impl Scenario {
@@ -140,6 +145,7 @@ impl Scenario {
             day: None,
             faults: FaultPlan::new(),
             nat_fraction: 0.0,
+            capture: CaptureConfig::from_env(),
         }
     }
 
@@ -169,6 +175,7 @@ impl Scenario {
         cfg.link = self.link;
         cfg.faults = self.faults.clone();
         cfg.nat_fraction = self.nat_fraction;
+        cfg.capture = self.capture;
         cfg.probes = self.probes.iter().map(|p| p.spec()).collect();
 
         let output = run_world(&cfg);

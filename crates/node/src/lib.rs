@@ -66,4 +66,5 @@ pub use peer::{PeerNode, Role};
 pub use policy::{CandidateLink, PolicySpec, SelectionPolicy, POLICY_ENV};
 pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
+pub use plsim_capture::{CaptureAggregates, CaptureConfig};
 pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput, SHARDS_ENV};

@@ -39,7 +39,7 @@
 
 use crate::world::{materialize, ShardRole, WorldConfig, WorldLayout, WorldOutput};
 use crate::StatsSink;
-use plsim_capture::{merge_stamped, FaultMark, StampedTrace};
+use plsim_capture::{merge_stamped_budgeted, CaptureAggregates, FaultMark, StampedTrace};
 use plsim_des::{NodeId, PopRecord, RemoteEvent, SimStats, SimTime};
 use plsim_net::{Isp, Topology, Underlay};
 use plsim_proto::{Message, WireMessage};
@@ -133,6 +133,7 @@ struct ShardResult {
     stats: SimStats,
     snapshot: MetricsSnapshot,
     trace: StampedTrace,
+    aggregates: CaptureAggregates,
     fault_marks: Vec<FaultMark>,
 }
 
@@ -182,6 +183,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                     .map(|s| {
                         let role = ShardRole {
                             index: s,
+                            count: shards,
                             local: &locals[s],
                         };
                         (s, materialize(cfg, layout, sink, Some(role)))
@@ -259,6 +261,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                         stats,
                         snapshot: shard.registry.snapshot(),
                         trace: shard.tap.drain_stamped(),
+                        aggregates: shard.tap.drain_aggregates(),
                         fault_marks: shard.tap.drain_faults(),
                     });
                 }
@@ -305,10 +308,23 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
 
     let mut results = results;
     let fault_marks = std::mem::take(&mut results[0].fault_marks);
-    let records = merge_stamped(results.into_iter().map(|r| r.trace));
+    // Each probe's records (and aggregates) live wholly on its home shard:
+    // traces merge by global stamp under the run's budget, aggregates union
+    // disjoint probe maps.
+    let mut aggregates = CaptureAggregates::default();
+    let records = merge_stamped_budgeted(
+        results
+            .into_iter()
+            .map(|r| {
+                aggregates.absorb(r.aggregates);
+                r.trace
+            }),
+        cfg.capture.budget,
+    );
 
     WorldOutput {
         records,
+        aggregates,
         peer_stats: sink.collect(),
         topology: layout.topology,
         probes: layout.probes,

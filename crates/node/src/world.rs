@@ -17,7 +17,7 @@ use crate::{
     BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, PolicySpec, StatsSink,
     TrackerServer,
 };
-use plsim_capture::{FaultMark, ProbeTap, RemoteKind, TraceStore};
+use plsim_capture::{CaptureAggregates, CaptureConfig, FaultMark, ProbeTap, RemoteKind, TraceStore};
 use plsim_des::{FaultEvent, NodeId, SchedulerKind, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
 use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
@@ -136,6 +136,13 @@ pub struct WorldConfig {
     /// uses more threads than shards, and fewer threads than shards simply
     /// round-robins shards over them.
     pub shard_threads: usize,
+    /// How capture bounds its memory: an optional resident-byte budget
+    /// (sealed trace pages spill to disk past it) and an optional
+    /// capture-time aggregation window. Defaults to `PLSIM_CAPTURE_BUDGET`
+    /// for the budget and no aggregation. Sharded runs split the budget
+    /// evenly across shards ([`CaptureConfig::shard_share`]); every setting
+    /// yields bit-identical analysis output — only peak memory changes.
+    pub capture: CaptureConfig,
 }
 
 impl WorldConfig {
@@ -156,6 +163,7 @@ impl WorldConfig {
             scheduler: SchedulerKind::from_env(),
             shards: shards_from_env(),
             shard_threads: shard_threads_from_env(),
+            capture: CaptureConfig::from_env(),
         }
     }
 }
@@ -331,6 +339,8 @@ pub(crate) struct ShardRole<'a> {
     /// counters and capture markers fire exactly once); the others mirror
     /// it as shadow faults.
     pub(crate) index: usize,
+    /// Total shard count (splits the capture budget evenly).
+    pub(crate) count: usize,
     /// `local[node]` — whether the node lives on this shard.
     pub(crate) local: &'a [bool],
 }
@@ -357,7 +367,10 @@ pub(crate) fn materialize(
     role: Option<ShardRole<'_>>,
 ) -> ShardSim {
     let topology = &layout.topology;
-    let tap = ProbeTap::new(layout.probes.iter().copied(), Arc::clone(topology));
+    // A shard's tap gets an even slice of the capture budget, so the
+    // shards together stay within the configured bound.
+    let capture = role.map_or(cfg.capture, |r| cfg.capture.shard_share(r.count));
+    let tap = ProbeTap::with_config(layout.probes.iter().copied(), Arc::clone(topology), capture);
     if role.is_some() {
         tap.enable_stamps();
     }
@@ -513,8 +526,13 @@ pub(crate) fn materialize(
 /// Results of a finished run.
 #[derive(Debug)]
 pub struct WorldOutput {
-    /// Everything captured at the probes, in columnar form.
+    /// Everything captured at the probes, in columnar form. Under a
+    /// capture budget the store may hold spilled pages; its cursors stream
+    /// them back transparently.
     pub records: TraceStore,
+    /// Capture-time aggregates (empty unless
+    /// [`WorldConfig::capture`]`.aggregate_window` was set).
+    pub aggregates: CaptureAggregates,
     /// Final stats of every peer that ever flushed.
     pub peer_stats: Vec<PeerStats>,
     /// The topology (ISP ground truth for analysis).
@@ -587,6 +605,7 @@ impl World {
         self.sim.finish(self.duration);
         WorldOutput {
             records: self.tap.drain(),
+            aggregates: self.tap.drain_aggregates(),
             fault_marks: self.tap.drain_faults(),
             peer_stats: self.sink.collect(),
             topology: self.topology,

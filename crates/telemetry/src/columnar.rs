@@ -85,6 +85,18 @@ impl<T> PagedVec<T> {
         self.pages.get(page).map_or(&[], Vec::as_slice)
     }
 
+    /// Evicts page `page`, returning its owned rows and leaving an empty
+    /// placeholder behind (so `heap_bytes` drops by the page's capacity
+    /// and `page()` returns an empty slice for it).
+    ///
+    /// The element count is unchanged: callers own the spill bookkeeping
+    /// and must not index into an evicted page (`get` would panic).
+    /// Returns `None` past the end.
+    pub fn evict_page(&mut self, page: usize) -> Option<Vec<T>> {
+        let slot = self.pages.get_mut(page)?;
+        Some(std::mem::take(slot))
+    }
+
     /// Bytes of heap backing this column (page payloads only; the page
     /// index is negligible).
     #[must_use]
@@ -154,6 +166,22 @@ mod tests {
         assert_eq!(v.pages[0].len(), PAGE_ROWS);
         assert_eq!(v.pages[0].capacity(), PAGE_ROWS, "full page never regrows");
         assert!(v.heap_bytes() > PAGE_ROWS);
+    }
+
+    #[test]
+    fn evicting_a_page_releases_its_heap() {
+        let mut v: PagedVec<u64> = (0..(PAGE_ROWS * 2 + 5) as u64).collect();
+        let full = v.heap_bytes();
+        let page = v.evict_page(0).expect("page 0 exists");
+        assert_eq!(page.len(), PAGE_ROWS);
+        assert!(page.iter().copied().eq(0..PAGE_ROWS as u64));
+        assert_eq!(v.heap_bytes(), full - PAGE_ROWS * std::mem::size_of::<u64>());
+        assert!(v.page(0).is_empty());
+        assert_eq!(v.len(), PAGE_ROWS * 2 + 5, "len is spill-independent");
+        // Appends continue past the eviction untouched.
+        v.push(999);
+        assert_eq!(v.get(PAGE_ROWS * 2 + 5), Some(&999));
+        assert_eq!(v.evict_page(99), None);
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   struct-of-arrays stores such as `plsim_capture::TraceStore`:
 //!   append-only fixed-size pages, so appends never reallocate-and-copy
 //!   (no transient 2× peak during growth) and per-column layout drops the
-//!   row-struct padding.
+//!   row-struct padding. Sealed pages can be evicted to a [`SpillFile`]
+//!   under a byte budget (`PLSIM_CAPTURE_BUDGET`), which is what lets a
+//!   capture-on run hold a bounded resident set however long the trace.
+//! * **online sketches** ([`P2Quantile`], [`StreamingMoments`]) so
+//!   single-pass analysis folds can summarize distributions without
+//!   retaining samples.
 //!
 //! The crate deliberately depends on nothing but `serde`, so any layer —
 //! including the DES kernel at the very bottom — can use it.
@@ -43,9 +48,15 @@
 mod arena;
 mod columnar;
 mod metrics;
+mod sketch;
+mod spill;
 
 pub use arena::BlockArena;
 pub use columnar::{PagedVec, PAGE_ROWS};
 pub use metrics::{
     Counter, Gauge, GaugeValue, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use sketch::{P2Quantile, StreamingMoments};
+pub use spill::{
+    capture_budget_from_env, parse_byte_budget, SpillFile, SpillFrame, CAPTURE_BUDGET_ENV,
 };

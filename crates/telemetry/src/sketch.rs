@@ -1,0 +1,345 @@
+//! Online sketches for streaming analysis: a P² quantile estimator and
+//! exact integer moment accumulators.
+//!
+//! Bounded-memory analysis cannot sort the full sample, so order
+//! statistics come from the P² algorithm (Jain & Chlamtac 1985): five
+//! markers track the running quantile in O(1) state per observation.
+//! Moments stay *exact* — count/sum/sum-of-squares in wide integers — so
+//! two runs that observe the same integer samples in the same order
+//! produce bit-identical accumulators, which is what lets sketches ride
+//! through the sharded-run equivalence assertions.
+
+/// Exact streaming moments over integer samples.
+///
+/// Accumulates in `u128`, so overflow needs ~3×10²⁵ max-sized `u64`
+/// samples — unreachable for any trace. Equality is bit-exact, making the
+/// accumulator safe to carry through determinism assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingMoments {
+    count: u64,
+    sum: u128,
+    sum_sq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl StreamingMoments {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> StreamingMoments {
+        StreamingMoments::default()
+    }
+
+    /// Folds one sample in.
+    pub fn observe(&mut self, x: u64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += u128::from(x);
+        self.sum_sq += u128::from(x) * u128::from(x);
+    }
+
+    /// Merges another accumulator (disjoint sample sets).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(approx_u128(self.sum) / self.count as f64)
+        }
+    }
+
+    /// Population variance (`None` when empty).
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let n = self.count as f64;
+        Some((approx_u128(self.sum_sq) / n - mean * mean).max(0.0))
+    }
+
+    /// Population standard deviation (`None` when empty).
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn approx_u128(x: u128) -> f64 {
+    x as f64
+}
+
+/// P² single-quantile estimator: five markers, O(1) per observation.
+///
+/// Deterministic — the marker update is a pure function of the
+/// observation sequence — so two runs feeding identical sequences hold
+/// bit-identical state. Until five samples arrive the estimate is the
+/// exact order statistic of the buffered samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (the estimated quantile is `q[2]` once warmed).
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn new(p: f64) -> P2Quantile {
+        let p = p.clamp(0.0, 1.0);
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            // Warm-up: collect the first five samples sorted into `q`.
+            let k = self.count as usize;
+            self.q[k] = x;
+            let mut i = k;
+            while i > 0 && self.q[i - 1] > self.q[i] {
+                self.q.swap(i - 1, i);
+                i -= 1;
+            }
+            self.count += 1;
+            return;
+        }
+        self.count += 1;
+
+        // Which cell the observation falls into; extremes stretch q[0]/q[4].
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            while cell < 3 && x >= self.q[cell + 1] {
+                cell += 1;
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate (`None` before the first observation). With fewer
+    /// than five samples this is the exact order statistic.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < 5 => {
+                // Exact quantile of the sorted warm-up buffer.
+                let n = c as usize;
+                let rank = (self.p * (n - 1) as f64).round() as usize;
+                Some(self.q[rank.min(n - 1)])
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_naive_accumulation() {
+        let samples: Vec<u64> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+        let mut m = StreamingMoments::new();
+        for &s in &samples {
+            m.observe(s);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert_eq!(m.count(), 1000);
+        assert_eq!(m.min(), 0);
+        assert_eq!(m.max(), 999);
+        assert!((m.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((m.variance().unwrap() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments_merge_equals_single_stream() {
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        let mut all = StreamingMoments::new();
+        for i in 0..100u64 {
+            let x = (i * 31) % 47;
+            all.observe(x);
+            if i < 60 {
+                left.observe(x);
+            } else {
+                right.observe(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+        let mut empty = StreamingMoments::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+    }
+
+    #[test]
+    fn p2_tracks_the_median_of_a_uniform_stream() {
+        let mut sketch = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform stream over [0, 1).
+        let mut state = 88172645463325252u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            sketch.observe((state % 1_000_000) as f64 / 1_000_000.0);
+        }
+        let est = sketch.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est} off");
+    }
+
+    #[test]
+    fn p2_tracks_a_tail_quantile() {
+        let mut sketch = P2Quantile::new(0.95);
+        for i in 0..10_000 {
+            // 0..9999 shuffled by a multiplicative permutation.
+            sketch.observe(f64::from((i * 7919) % 10_000));
+        }
+        let est = sketch.estimate().unwrap();
+        assert!((est - 9500.0).abs() < 150.0, "p95 estimate {est} off");
+    }
+
+    #[test]
+    fn p2_small_samples_are_exact() {
+        let mut sketch = P2Quantile::new(0.5);
+        assert_eq!(sketch.estimate(), None);
+        sketch.observe(10.0);
+        assert_eq!(sketch.estimate(), Some(10.0));
+        sketch.observe(2.0);
+        sketch.observe(30.0);
+        assert_eq!(sketch.estimate(), Some(10.0));
+        assert_eq!(sketch.count(), 3);
+        assert!((sketch.quantile() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn p2_identical_streams_are_bit_identical() {
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        for i in 0..5_000u64 {
+            let x = f64::from(u32::try_from(i.wrapping_mul(2_654_435_761) % 100_000).unwrap());
+            a.observe(x);
+            b.observe(x);
+        }
+        assert_eq!(a, b);
+    }
+}
