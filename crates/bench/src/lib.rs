@@ -101,15 +101,29 @@ pub struct EngineReport {
     /// run with four shards.
     pub sharded_events_per_sec: f64,
     /// Wall-clock ratio of the 1-shard run over the 4-shard run of the
-    /// same world (both produce bit-identical output).
-    pub sharded_speedup_4x: f64,
+    /// same world (both produce bit-identical output). `None` on a
+    /// single-core host: the shards then time-slice one core and the
+    /// ratio would be a misleading measurement of windowing overhead, so
+    /// the report records `null` and sets `shard_warning`.
+    pub sharded_speedup_4x: Option<f64>,
+    /// Kernel events per wall-clock second of the same world run with
+    /// eight shards — past the five-ISP ceiling, so the partition is
+    /// sub-ISP host groups and the split ISPs' directed queues are
+    /// reconstructed by owner replay.
+    pub sharded_events_per_sec_8x: f64,
+    /// Wall-clock ratio of the 5-shard run (the ISP-atom ceiling) over
+    /// the 8-shard sub-ISP run of the same world. Above 1.0 means sub-ISP
+    /// sharding beats the best the ISP-granular partition could ever do.
+    /// `None` on a single-core host, as for `sharded_speedup_4x`.
+    pub sub_isp_speedup: Option<f64>,
     /// Threads that actually drove the 4-shard run:
     /// `min(available parallelism, 4)`.
     pub shard_threads: usize,
     /// Set when fewer than four cores backed the 4-shard run: the shards
-    /// then time-slice the same cores and `sharded_speedup_4x` measures
-    /// windowing overhead, not parallelism — gates must not compare it
-    /// against a multi-core baseline.
+    /// then time-slice the same cores and the speedup ratios measure
+    /// windowing overhead, not parallelism — gates must not compare them
+    /// against a multi-core baseline (and on a single-core host the
+    /// ratios are recorded as `null`).
     pub shard_warning: Option<String>,
     /// Wall-clock seconds of the three-point smoke locality-frontier sweep
     /// (gossip-race anchor plus two bias quotas) on the bench pool. A
@@ -139,8 +153,12 @@ impl EngineReport {
                 |w| format!("\"{}\"", w.replace('"', "'")),
             )
         };
+        let ratio_opt =
+            |r: &Option<f64>| r.map_or_else(|| "null".to_string(), |r| format!("{r:.3}"));
         let threads_warning = quote_opt(&self.threads_warning);
         let shard_warning = quote_opt(&self.shard_warning);
+        let sharded_speedup_4x = ratio_opt(&self.sharded_speedup_4x);
+        let sub_isp_speedup = ratio_opt(&self.sub_isp_speedup);
         format!(
             concat!(
                 "{{\n",
@@ -169,7 +187,9 @@ impl EngineReport {
                 "  \"node_gossip_ticks_per_sec\": {:.1},\n",
                 "  \"node_steady_state_allocs\": {},\n",
                 "  \"sharded_events_per_sec\": {:.1},\n",
-                "  \"sharded_speedup_4x\": {:.3},\n",
+                "  \"sharded_speedup_4x\": {},\n",
+                "  \"sharded_events_per_sec_8x\": {:.1},\n",
+                "  \"sub_isp_speedup\": {},\n",
                 "  \"shard_threads\": {},\n",
                 "  \"shard_warning\": {},\n",
                 "  \"frontier_sweep_secs\": {:.4},\n",
@@ -202,7 +222,9 @@ impl EngineReport {
             self.node_gossip_ticks_per_sec,
             self.node_steady_state_allocs,
             self.sharded_events_per_sec,
-            self.sharded_speedup_4x,
+            sharded_speedup_4x,
+            self.sharded_events_per_sec_8x,
+            sub_isp_speedup,
             self.shard_threads,
             shard_warning,
             self.frontier_sweep_secs,
@@ -261,7 +283,9 @@ mod tests {
             node_gossip_ticks_per_sec: 12_345.6,
             node_steady_state_allocs: 0,
             sharded_events_per_sec: 2.5e6,
-            sharded_speedup_4x: 3.1,
+            sharded_speedup_4x: Some(3.1),
+            sharded_events_per_sec_8x: 3.5e6,
+            sub_isp_speedup: Some(1.4),
             shard_threads: 4,
             shard_warning: None,
             frontier_sweep_secs: 1.5,
@@ -288,6 +312,8 @@ mod tests {
         assert!(json.contains("\"node_steady_state_allocs\": 0,"));
         assert!(json.contains("\"sharded_events_per_sec\": 2500000.0"));
         assert!(json.contains("\"sharded_speedup_4x\": 3.100"));
+        assert!(json.contains("\"sharded_events_per_sec_8x\": 3500000.0"));
+        assert!(json.contains("\"sub_isp_speedup\": 1.400"));
         assert!(json.contains("\"shard_threads\": 4"));
         assert!(json.contains("\"shard_warning\": null,"));
         assert!(json.contains("\"frontier_sweep_secs\": 1.5000,\n"));
@@ -323,7 +349,9 @@ mod tests {
             node_gossip_ticks_per_sec: 0.0,
             node_steady_state_allocs: 0,
             sharded_events_per_sec: 1.0,
-            sharded_speedup_4x: 1.0,
+            sharded_speedup_4x: None,
+            sharded_events_per_sec_8x: 1.0,
+            sub_isp_speedup: None,
             shard_threads: 1,
             shard_warning: None,
             frontier_sweep_secs: 0.1,
@@ -336,5 +364,9 @@ mod tests {
         assert!(json.contains("\"threads_warning\": \"thread pool collapsed to 1\""));
         assert!(json.contains("\"inline_fallback\": true"));
         assert!(json.contains("\"shard_warning\": \"1 core backs 4 shards\""));
+        // Single-core honesty: the speedup ratios must be recorded as
+        // null, not as a misleading windowing-overhead measurement.
+        assert!(json.contains("\"sharded_speedup_4x\": null,"));
+        assert!(json.contains("\"sub_isp_speedup\": null,"));
     }
 }

@@ -2,7 +2,7 @@
 //! reproduction.
 //!
 //! ```text
-//! plsim run [popular|unpopular] [tiny|reduced|paper] [seed]
+//! plsim run [popular|unpopular] [tiny|reduced|paper|paper10x] [seed] [--shards N] [--partition-json <path>]
 //! plsim figures [tiny|reduced|paper] [seed]
 //! plsim fig6 [days] [tiny|reduced|paper] [seed]
 //! plsim ablation [tiny|reduced|paper] [seed]
@@ -14,6 +14,13 @@
 //! The global `--metrics-json <path>` flag additionally dumps the
 //! end-of-run metrics-registry snapshot (with invariant tallies) for the
 //! commands that simulate sessions (`run`, `figures`, `export`).
+//!
+//! `run --shards N` space-partitions the session across `N` shard
+//! schedulers (sub-ISP host groups once `N` exceeds the populated ISP
+//! count) and prints the partition-quality report — per-shard host/ISP
+//! counts, split-ISP and owner-replayed-queue counts, load imbalance,
+//! lookahead — in `DispatchStats`' honest-reporting style;
+//! `--partition-json <path>` archives the same report as JSON.
 
 use pplive_locality::{
     ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, frontier_bands,
@@ -27,6 +34,7 @@ use plsim_workload::ChannelClass;
 fn parse_scale(s: Option<&str>) -> Scale {
     match s {
         Some("paper") => Scale::Paper,
+        Some("paper10x") => Scale::Paper10x,
         Some("reduced") => Scale::Reduced,
         _ => Scale::Tiny,
     }
@@ -60,6 +68,34 @@ fn write_metrics(path: &str, json: &str) {
 }
 
 fn cmd_run(args: &[String], metrics_json: Option<&str>) {
+    let mut args: Vec<String> = args.to_vec();
+    let shards = {
+        let i = args.iter().position(|a| a == "--shards");
+        i.map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--shards requires a count argument");
+                std::process::exit(2);
+            }
+            let n = args.remove(i + 1);
+            args.remove(i);
+            n.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--shards requires a positive integer, got {n:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let partition_json = {
+        let i = args.iter().position(|a| a == "--partition-json");
+        i.map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--partition-json requires a path argument");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            path
+        })
+    };
     let class = match args.first().map(String::as_str) {
         Some("unpopular") => ChannelClass::Unpopular,
         _ => ChannelClass::Popular,
@@ -67,7 +103,30 @@ fn cmd_run(args: &[String], metrics_json: Option<&str>) {
     let scale = parse_scale(args.get(1).map(String::as_str));
     let seed = parse_seed(args.get(2).map(String::as_str));
     println!("simulating {} channel at {scale:?} scale, seed {seed}...", class.label());
-    let run = Scenario::new(class, scale, seed).run();
+    let mut scenario = Scenario::new(class, scale, seed);
+    scenario.shards = shards;
+    let run = scenario.run();
+    // Honest partition reporting, mirroring DispatchStats: print what the
+    // partitioner actually did (clamping, splits, imbalance), not what was
+    // asked for. Single-shard runs print nothing — their output text is
+    // pinned by the golden-output tests.
+    if let Some(report) = &run.output.partition {
+        println!("{report}");
+    } else if shards.is_some_and(|n| n > 1) {
+        println!("partition: degenerated to the single-shard path (tiny world or zero lookahead)");
+    }
+    if let Some(path) = &partition_json {
+        match &run.output.partition {
+            Some(report) => match std::fs::write(path, report.to_json()) {
+                Ok(()) => println!("partition report written to {path}"),
+                Err(e) => {
+                    eprintln!("writing partition report to {path} failed: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => eprintln!("--partition-json: run was not sharded, no report written"),
+        }
+    }
     println!(
         "events: {}, messages: {} ({} dropped)\n",
         run.output.sim.events_processed,
@@ -253,7 +312,8 @@ fn main() {
             eprintln!(
                 "usage: plsim [--metrics-json <path>] <command>\n\
                  commands:\n\
-                 \x20 run [popular|unpopular] [tiny|reduced|paper] [seed]   one session, probe summaries\n\
+                 \x20 run [popular|unpopular] [tiny|reduced|paper|paper10x] [seed]   one session, probe summaries\n\
+                 \x20     [--shards N] [--partition-json <path>]            space-partitioned run + quality report\n\
                  \x20 figures [scale] [seed]                                Figures 2-5, 7-18 and Table 1\n\
                  \x20 fig6 [days] [scale] [seed]                            the locality-over-days series\n\
                  \x20 ablation [scale] [seed]                               protocol-variant comparison\n\

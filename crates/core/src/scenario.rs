@@ -16,13 +16,21 @@ use serde::{Deserialize, Serialize};
 /// How big a reproduction run should be.
 ///
 /// `Paper` matches the study's 2-hour sessions with full populations;
-/// `Reduced` keeps the same shape at roughly a quarter of the event count
-/// (used by the benchmark harness); `Tiny` is for unit/integration tests.
+/// `Paper10x` keeps the session length and multiplies the population by
+/// ten (the locality-frontier regime studies — run it sharded and under a
+/// capture budget); `Reduced` keeps the same shape at roughly a quarter of
+/// the event count (used by the benchmark harness); `Tiny` is for
+/// unit/integration tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Scale {
     /// Full paper scale: 2 h, ~700 concurrent viewers on the popular
     /// channel.
     Paper,
+    /// Ten times the paper's population at the same 2 h session: ~7000
+    /// concurrent viewers on the popular channel. Meant for sub-ISP
+    /// sharded runs (`PLSIM_SHARDS`/`--shards`) with a capture budget
+    /// (`PLSIM_CAPTURE_BUDGET`).
+    Paper10x,
     /// Benchmark scale: 30 min, ~350 concurrent viewers.
     Reduced,
     /// Test scale: 5 min, ~60 concurrent viewers.
@@ -34,7 +42,7 @@ impl Scale {
     #[must_use]
     pub fn duration_secs(self) -> f64 {
         match self {
-            Scale::Paper => 7200.0,
+            Scale::Paper | Scale::Paper10x => 7200.0,
             Scale::Reduced => 1800.0,
             Scale::Tiny => 360.0,
         }
@@ -46,6 +54,8 @@ impl Scale {
         match (self, class) {
             (Scale::Paper, ChannelClass::Popular) => 700,
             (Scale::Paper, ChannelClass::Unpopular) => 110,
+            (Scale::Paper10x, ChannelClass::Popular) => 7000,
+            (Scale::Paper10x, ChannelClass::Unpopular) => 1100,
             (Scale::Reduced, ChannelClass::Popular) => 350,
             (Scale::Reduced, ChannelClass::Unpopular) => 90,
             (Scale::Tiny, ChannelClass::Popular) => 70,
@@ -128,6 +138,10 @@ pub struct Scenario {
     /// `PLSIM_CAPTURE_BUDGET` / no aggregation; analysis output is
     /// bit-identical for every budget.
     pub capture: CaptureConfig,
+    /// Space-partition shard count override (`None` = `PLSIM_SHARDS`, or
+    /// 1). Any value produces bit-identical output; shards only change how
+    /// many cores drive the run.
+    pub shards: Option<usize>,
 }
 
 impl Scenario {
@@ -146,6 +160,7 @@ impl Scenario {
             faults: FaultPlan::new(),
             nat_fraction: 0.0,
             capture: CaptureConfig::from_env(),
+            shards: None,
         }
     }
 
@@ -177,6 +192,9 @@ impl Scenario {
         cfg.nat_fraction = self.nat_fraction;
         cfg.capture = self.capture;
         cfg.probes = self.probes.iter().map(|p| p.spec()).collect();
+        if let Some(shards) = self.shards {
+            cfg.shards = shards;
+        }
 
         let output = run_world(&cfg);
         let dir = AsnDirectory::new();
@@ -324,9 +342,11 @@ mod tests {
     #[test]
     fn scales_order_population_sizes() {
         for class in [ChannelClass::Popular, ChannelClass::Unpopular] {
+            assert_eq!(Scale::Paper10x.viewers(class), 10 * Scale::Paper.viewers(class));
             assert!(Scale::Paper.viewers(class) > Scale::Reduced.viewers(class));
             assert!(Scale::Reduced.viewers(class) > Scale::Tiny.viewers(class));
         }
+        assert_eq!(Scale::Paper10x.duration_secs(), Scale::Paper.duration_secs());
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub use fault::{Fault, FaultBoundary, FaultPlan};
 pub use invariants::{check_world, InvariantReport, InvariantViolation};
 pub use peer::{PeerNode, Role};
 pub use policy::{CandidateLink, PolicySpec, SelectionPolicy, POLICY_ENV};
+pub use shard::PartitionReport;
 pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
 pub use plsim_capture::{CaptureAggregates, CaptureConfig};

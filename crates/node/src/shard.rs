@@ -1,13 +1,17 @@
 //! Sharded deterministic worlds: one simulation, many cores.
 //!
-//! Space-partitions a world by ISP into up to five shards, each owning its
+//! Space-partitions a world into host-group shards — sub-ISP when the
+//! requested shard count exceeds the populated ISP count — each owning its
 //! own scheduler, event pool and actor slice, and drives them in lockstep
 //! windows of conservative lookahead. The lookahead bound is physical: the
-//! underlay's smallest possible cross-shard one-way delay (sender edge +
-//! inter-ISP core + receiver edge — jitter, queueing and fault factors only
-//! ever *add* to it), so no event created inside a window can be due before
-//! the next window starts, and routing the cross-shard outboxes at the
-//! window barrier is always early enough.
+//! underlay's smallest possible one-way delay along any path that crosses
+//! the window barrier (sender edge + inter-ISP core + receiver edge —
+//! jitter, queueing and fault factors only ever *add* to it), so no event
+//! created inside a window can be due before the next window starts, and
+//! routing the cross-shard traffic at the window barrier is always early
+//! enough. Deferred-queue arrivals cross the barrier even between
+//! same-shard hosts, so the bound also spans every queued pair whose
+//! source ISP is split (see `Underlay::conservative_lookahead`).
 //!
 //! Determinism is the point, not a best effort: every event carries the
 //! scheduling identity `(time, origin, seq)` its *sender* assigned, each
@@ -23,8 +27,23 @@
 //! * `peak_queue_depth` — each shard logs `(pop stamp, pushes)` per event;
 //!   the driver folds the logs window-by-window in global stamp order and
 //!   replays pops as `-1` / pushes as `+1`, reproducing the single queue's
-//!   depth trajectory (cross-shard sends count at the *sender*, where the
-//!   single-shard run would have pushed).
+//!   depth trajectory (cross-shard and deferred sends count at the
+//!   *sender*, where the single-shard run would have pushed).
+//! * directed interconnect backlogs — the underlay's per-ISP-pair queues
+//!   are load-dependent shared state. While every ISP sits whole on one
+//!   shard each directed queue is touched by exactly one shard and needs
+//!   nothing special; once an ISP is *split*, every queue it sources is
+//!   assigned a single **owner shard** (the shard of the ISP's lowest-id
+//!   host). Senders everywhere — the owner's own hosts included — stop
+//!   touching queue state and instead emit stamp-ordered
+//!   [`plsim_des::QueueIntent`]s, with all random draws (loss, jitter)
+//!   and the capacity scale already resolved at the sender so its streams
+//!   and shadow-fault view match the single-shard run. At the window
+//!   barrier the owner replays the global intent set in `(pop stamp,
+//!   index-in-pop)` order — exactly the order the single-shard run would
+//!   have performed the enqueues — reproducing the backlog trajectory,
+//!   wait histogram and gauge bit-for-bit, then forwards each finalized
+//!   arrival to the destination's shard.
 //! * probe captures — per-shard traces carry `(pop stamp, index-in-pop)`
 //!   sort keys and are merged into the global capture order.
 //! * metrics — per-shard registry snapshots are summed (counters,
@@ -35,51 +54,108 @@
 //! capture markers fire once); the other shards mirror them as *shadow
 //! faults* applied to their media at the same points of the global pop
 //! order. `Context::halt` is not supported in sharded worlds (a halt is
-//! local to the shard that requested it); no node behaviour uses it.
+//! local to the shard that requested it) and panics with the shard id; no
+//! node behaviour uses it.
 
 use crate::world::{materialize, ShardRole, WorldConfig, WorldLayout, WorldOutput};
 use crate::StatsSink;
 use plsim_capture::{merge_stamped_budgeted, CaptureAggregates, FaultMark, StampedTrace};
-use plsim_des::{NodeId, PopRecord, RemoteEvent, SimStats, SimTime};
+use plsim_des::{EventStamp, NodeId, PopRecord, QueueIntent, RemoteEvent, SimStats, SimTime};
 use plsim_net::{Isp, Topology, Underlay};
 use plsim_proto::{Message, WireMessage};
 use plsim_telemetry::{GaugeValue, MetricsSnapshot};
+use std::fmt;
 use std::sync::{Barrier, Mutex};
 
-/// Assigns every host to a shard at ISP granularity and returns
-/// `(shard_of_host, shard_count)`.
+/// Assigns every host to a shard and returns `(shard_of_host, shard_count)`.
 ///
-/// ISP granularity is required for exactness, not just convenience: the
-/// underlay's inter-ISP interconnect queues are directed per ISP *pair*,
-/// so as long as all hosts of one ISP share a shard, each directed queue
-/// is touched by exactly one shard and its backlog trajectory is the
-/// single-shard one. Grouping is greedy: ISPs in descending host count
-/// (ties in paper order) onto the currently lightest shard (ties on the
-/// lowest index) — deterministic, and balanced enough for five buckets.
+/// Two regimes, both deterministic and seed-independent (the grouping
+/// depends only on per-ISP host counts and paper order, never on sampled
+/// values):
+///
+/// * `want ≤ populated ISPs` — **ISP atoms**, exactly the original greedy
+///   partition: ISPs in descending host count (ties in paper order) onto
+///   the currently lightest shard (ties on the lowest index). Every
+///   directed interconnect queue stays shard-local.
+/// * `want > populated ISPs` — **host-group atoms**: the largest atom
+///   (ties: paper order, then lowest host range) is repeatedly split into
+///   contiguous ceil/floor halves of its ISP's id-ordered host list until
+///   there are at least `want` atoms and none exceeds half the ideal
+///   shard load; the atoms then feed the same greedy packer. Queues
+///   sourced by split ISPs are reconstructed by owner replay (see the
+///   module docs). `want` is clamped to the host count.
 pub(crate) fn partition(topology: &Topology, want: usize) -> (Vec<usize>, usize) {
+    let total = topology.len();
     let mut counts = [0usize; 5];
     for (_, host) in topology.iter() {
         counts[isp_index(host.isp)] += 1;
     }
     let populated = counts.iter().filter(|&&c| c > 0).count();
-    let shards = want.clamp(1, populated.max(1));
+    let want = want.clamp(1, total.max(1));
 
-    // ISP indices in descending host count, paper order on ties.
-    let mut order: Vec<usize> = (0..Isp::ALL.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
+    if want <= populated.max(1) {
+        // ISP-atom regime (the original partition, verbatim).
+        let shards = want;
+        let mut order: Vec<usize> = (0..Isp::ALL.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
 
-    let mut group_of_isp = [0usize; 5];
-    let mut load = vec![0usize; shards];
-    for &i in &order {
-        let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
-        group_of_isp[i] = lightest;
-        load[lightest] += counts[i];
+        let mut group_of_isp = [0usize; 5];
+        let mut load = vec![0usize; shards];
+        for &i in &order {
+            let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
+            group_of_isp[i] = lightest;
+            load[lightest] += counts[i];
+        }
+
+        let shard_of = topology
+            .iter()
+            .map(|(_, host)| group_of_isp[isp_index(host.isp)])
+            .collect();
+        return (shard_of, shards);
     }
 
-    let shard_of = topology
-        .iter()
-        .map(|(_, host)| group_of_isp[isp_index(host.isp)])
+    // Sub-ISP regime: atoms are contiguous ranges of an ISP's id-ordered
+    // host list, `(isp, lo, hi)`.
+    let shards = want;
+    let mut hosts_of: [Vec<usize>; 5] = Default::default();
+    for (id, host) in topology.iter() {
+        hosts_of[isp_index(host.isp)].push(id.index());
+    }
+    let mut atoms: Vec<(usize, usize, usize)> = (0..Isp::ALL.len())
+        .filter(|&i| counts[i] > 0)
+        .map(|i| (i, 0, counts[i]))
         .collect();
+    // Splitting down to half the ideal load keeps the greedy packer's
+    // imbalance small without exploding the atom (and split-ISP) count.
+    let ideal = total.div_ceil(shards);
+    let threshold = ideal.div_ceil(2).max(1);
+    loop {
+        let (pos, &(isp, lo, hi)) = atoms
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(i, lo, hi))| {
+                (hi - lo, std::cmp::Reverse(i), std::cmp::Reverse(lo))
+            })
+            .expect("want > populated implies at least one atom");
+        let count = hi - lo;
+        if count <= 1 || (atoms.len() >= shards && count <= threshold) {
+            break;
+        }
+        let mid = lo + count.div_ceil(2);
+        atoms[pos] = (isp, lo, mid);
+        atoms.push((isp, mid, hi));
+    }
+
+    atoms.sort_by_key(|&(i, lo, hi)| (std::cmp::Reverse(hi - lo), i, lo));
+    let mut load = vec![0usize; shards];
+    let mut shard_of = vec![0usize; total];
+    for &(i, lo, hi) in &atoms {
+        let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
+        load[lightest] += hi - lo;
+        for &h in &hosts_of[i][lo..hi] {
+            shard_of[h] = lightest;
+        }
+    }
     (shard_of, shards)
 }
 
@@ -88,6 +164,125 @@ fn isp_index(isp: Isp) -> usize {
         .iter()
         .position(|&i| i == isp)
         .expect("Isp::ALL is total")
+}
+
+/// How a sharded run was partitioned — the honest-reporting companion to
+/// the run itself, in the spirit of the engine's `DispatchStats`: what the
+/// partitioner actually did (including imbalance and how many queues had
+/// to fall back to owner replay), not what was asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// Shards the run actually used (the request is clamped to the host
+    /// count; degenerate requests collapse to the single-shard path and
+    /// produce no report).
+    pub shards: usize,
+    /// Worker threads that drove them.
+    pub threads: usize,
+    /// Hosts per shard.
+    pub hosts: Vec<usize>,
+    /// Distinct ISPs with at least one host, per shard.
+    pub isps: Vec<usize>,
+    /// ISPs whose hosts span more than one shard (0 in the ISP-atom
+    /// regime).
+    pub split_isps: usize,
+    /// Directed interconnect queues reconstructed by owner replay because
+    /// their source ISP is split.
+    pub deferred_queues: usize,
+    /// Largest shard's host count over the ideal (total / shards); 1.0 is
+    /// perfect balance.
+    pub imbalance: f64,
+    /// The conservative lookahead window the run stepped by.
+    pub lookahead: SimTime,
+}
+
+impl PartitionReport {
+    fn compute(
+        topology: &Topology,
+        shard_of: &[usize],
+        shards: usize,
+        threads: usize,
+        deferred_queues: usize,
+        lookahead: SimTime,
+    ) -> PartitionReport {
+        let mut hosts = vec![0usize; shards];
+        let mut isp_on = vec![[false; 5]; shards];
+        for (id, host) in topology.iter() {
+            let s = shard_of[id.index()];
+            hosts[s] += 1;
+            isp_on[s][isp_index(host.isp)] = true;
+        }
+        let isps: Vec<usize> = isp_on
+            .iter()
+            .map(|on| on.iter().filter(|&&b| b).count())
+            .collect();
+        let split_isps = (0..5)
+            .filter(|&i| isp_on.iter().filter(|on| on[i]).count() > 1)
+            .count();
+        let max = hosts.iter().copied().max().unwrap_or(0);
+        let ideal = topology.len() as f64 / shards as f64;
+        let imbalance = if ideal > 0.0 { max as f64 / ideal } else { 1.0 };
+        PartitionReport {
+            shards,
+            threads,
+            hosts,
+            isps,
+            split_isps,
+            deferred_queues,
+            imbalance,
+            lookahead,
+        }
+    }
+
+    /// Renders the report as a JSON object (hand-rolled, matching the
+    /// repo's other machine-readable exports) so CI can archive what the
+    /// partitioner did alongside the run's metrics.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let list = |v: &[usize]| {
+            let items: Vec<String> = v.iter().map(usize::to_string).collect();
+            format!("[{}]", items.join(", "))
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"shards\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"hosts_per_shard\": {},\n",
+                "  \"isps_per_shard\": {},\n",
+                "  \"split_isps\": {},\n",
+                "  \"deferred_queues\": {},\n",
+                "  \"imbalance\": {:.4},\n",
+                "  \"lookahead_ms\": {:.3}\n",
+                "}}\n"
+            ),
+            self.shards,
+            self.threads,
+            list(&self.hosts),
+            list(&self.isps),
+            self.split_isps,
+            self.deferred_queues,
+            self.imbalance,
+            self.lookahead.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+impl fmt::Display for PartitionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "partition: {} shards on {} threads; hosts/shard {:?}; isps/shard {:?}; \
+             {} split ISP(s); {} owner-replayed queue(s); imbalance {:.2}x; lookahead {:.1} ms",
+            self.shards,
+            self.threads,
+            self.hosts,
+            self.isps,
+            self.split_isps,
+            self.deferred_queues,
+            self.imbalance,
+            self.lookahead.as_secs_f64() * 1e3,
+        )
+    }
 }
 
 /// A cross-shard event in transit between threads: a
@@ -101,6 +296,42 @@ struct WireEvent {
     to: NodeId,
     payload: WireMessage,
     size: u32,
+}
+
+/// A deferred-queue enqueue in transit to its owner shard: a
+/// [`QueueIntent`]`<Message>` with the payload flattened to its `Send`
+/// wire form. Sorted by `(stamp, idx)` — the global pop order of the
+/// sends — before replay.
+struct WireIntent {
+    stamp: EventStamp,
+    idx: u32,
+    from: NodeId,
+    to: NodeId,
+    payload: WireMessage,
+    size: u32,
+    seq: u64,
+    depart: SimTime,
+    partial: SimTime,
+    queue: u16,
+    scale_bits: u64,
+}
+
+impl WireIntent {
+    fn from_intent(it: QueueIntent<Message>) -> WireIntent {
+        WireIntent {
+            stamp: it.stamp,
+            idx: it.idx,
+            from: it.from,
+            to: it.to,
+            payload: it.payload.into_wire(),
+            size: it.size,
+            seq: it.seq,
+            depart: it.depart,
+            partial: it.partial,
+            queue: it.queue,
+            scale_bits: it.scale_bits,
+        }
+    }
 }
 
 /// The global queue-depth replay, folded incrementally so no shard ever
@@ -138,25 +369,50 @@ struct ShardResult {
 }
 
 /// Runs `cfg` space-partitioned over `cfg.shards` shards (clamped to the
-/// populated ISP count) and returns output bit-identical to the
-/// single-shard run. Falls back to the classic path when the partition
-/// degenerates to one shard.
+/// host count) and returns output bit-identical to the single-shard run.
+/// Falls back to the classic path when the partition degenerates to one
+/// shard.
 pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     let layout = WorldLayout::compute(cfg);
     let (shard_of, shards) = partition(&layout.topology, cfg.shards);
-    let lookahead = Underlay::new(std::sync::Arc::clone(&layout.topology), cfg.link)
+    let probe = Underlay::new(std::sync::Arc::clone(&layout.topology), cfg.link);
+    let lookahead = probe
         .conservative_lookahead(&shard_of, shards)
         .filter(|l| l.as_micros() >= 1);
     let (Some(lookahead), true) = (lookahead, shards > 1) else {
         return crate::World::build(cfg).run();
     };
+    // Queues sourced by split ISPs are owner-replayed; the owner of all of
+    // ISP a's queues is the shard of a's lowest-id host.
+    let defer = probe.deferred_sources(&shard_of);
+    let has_deferred = defer.iter().any(|&d| d);
+    let deferred_queues = probe.deferred_queue_count(&defer);
+    let mut owner_of_isp = [0usize; 5];
+    let mut owner_seen = [false; 5];
+    for (id, host) in layout.topology.iter() {
+        let i = isp_index(host.isp);
+        if !owner_seen[i] {
+            owner_seen[i] = true;
+            owner_of_isp[i] = shard_of[id.index()];
+        }
+    }
 
     let locals: Vec<Vec<bool>> = (0..shards)
         .map(|s| shard_of.iter().map(|&g| g == s).collect())
         .collect();
     let threads = cfg.shard_threads.clamp(1, shards);
+    let report = PartitionReport::compute(
+        &layout.topology,
+        &shard_of,
+        shards,
+        threads,
+        deferred_queues,
+        lookahead,
+    );
     let barrier = Barrier::new(threads);
     let inboxes: Vec<Mutex<Vec<WireEvent>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let intent_inboxes: Vec<Mutex<Vec<WireIntent>>> =
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
     let results: Vec<Mutex<Option<ShardResult>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let replay = Mutex::new(DepthReplay {
         // Every harness event is injected into exactly one shard, so the
@@ -173,8 +429,9 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     std::thread::scope(|scope| {
         for t in 0..threads {
             let (layout, shard_of, locals) = (&layout, &shard_of, &locals);
-            let (barrier, inboxes, results, replay) = (&barrier, &inboxes, &results, &replay);
-            let sink = &sink;
+            let (barrier, inboxes, intent_inboxes) = (&barrier, &inboxes, &intent_inboxes);
+            let (results, replay, sink) = (&results, &replay, &sink);
+            let owner_of_isp = &owner_of_isp;
             scope.spawn(move || {
                 // Round-robin shard ownership: with fewer threads than
                 // shards a thread simply drives several shards per window.
@@ -185,13 +442,25 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                             index: s,
                             count: shards,
                             local: &locals[s],
+                            defer,
                         };
                         (s, materialize(cfg, layout, sink, Some(role)))
                     })
                     .collect();
 
                 let mut outbuf: Vec<RemoteEvent<Message>> = Vec::new();
+                let mut intbuf: Vec<QueueIntent<Message>> = Vec::new();
                 let mut pops: Vec<PopRecord> = Vec::new();
+                let route_intents =
+                    |intbuf: &mut Vec<QueueIntent<Message>>| {
+                        for it in intbuf.drain(..) {
+                            let owner = owner_of_isp[isp_index(Underlay::queue_source(it.queue))];
+                            intent_inboxes[owner]
+                                .lock()
+                                .expect("intent inbox poisoned")
+                                .push(WireIntent::from_intent(it));
+                        }
+                    };
                 let mut end = stride;
                 while end < total {
                     let end_t = SimTime::from_micros(end);
@@ -210,6 +479,10 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                                 size: ev.size,
                             });
                         }
+                        if has_deferred {
+                            shard.sim.drain_intents(&mut intbuf);
+                            route_intents(&mut intbuf);
+                        }
                         shard.sim.drain_pop_log(&mut pops);
                     }
                     if !pops.is_empty() {
@@ -219,8 +492,47 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                             .buf
                             .append(&mut pops);
                     }
-                    // Barrier 1: every outbox is routed, every pop logged.
+                    // Barrier 1: every outbox and intent is routed, every
+                    // pop logged.
                     barrier.wait();
+                    if has_deferred {
+                        // Owner replay: perform the window's deferred
+                        // enqueues in global pop order, then route each
+                        // finalized arrival to its destination shard. The
+                        // extended lookahead guarantees every arrival lies
+                        // at or beyond the next window boundary, so
+                        // ingesting after the replay barrier is early
+                        // enough even for same-shard destinations.
+                        for (s, shard) in &mut sims {
+                            let mut intents = std::mem::take(
+                                &mut *intent_inboxes[*s].lock().expect("intent inbox poisoned"),
+                            );
+                            intents.sort_unstable_by_key(|w| (w.stamp, w.idx));
+                            for w in intents {
+                                let at = shard.sim.replay_intent(
+                                    w.queue,
+                                    w.size,
+                                    w.depart,
+                                    w.partial,
+                                    w.scale_bits,
+                                );
+                                let dest = shard_of[w.to.index()];
+                                inboxes[dest].lock().expect("inbox poisoned").push(WireEvent {
+                                    at,
+                                    origin: w.from.0 + 1,
+                                    seq: w.seq,
+                                    from: w.from,
+                                    to: w.to,
+                                    payload: w.payload,
+                                    size: w.size,
+                                });
+                            }
+                        }
+                        // Barrier 2 (only with deferred queues): every
+                        // replayed arrival is routed before any inbox is
+                        // drained.
+                        barrier.wait();
+                    }
                     for (s, shard) in &mut sims {
                         let incoming =
                             std::mem::take(&mut *inboxes[*s].lock().expect("inbox poisoned"));
@@ -241,7 +553,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                         // depth replay while the others build the next one.
                         replay.lock().expect("replay poisoned").fold();
                     }
-                    // Barrier 2: every inbox is drained before any shard
+                    // Barrier 3: every inbox is drained before any shard
                     // advances into the window those events belong to.
                     barrier.wait();
                     end += stride;
@@ -253,8 +565,40 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                 // in the outbox, exactly as the single-shard run would
                 // leave them unpopped in its queue; the sender-side pop log
                 // already counted them for the depth replay.
-                for (s, mut shard) in sims {
-                    let stats = shard.sim.run_until(cfg.duration);
+                let mut final_stats: Vec<SimStats> = Vec::with_capacity(sims.len());
+                for (_, shard) in &mut sims {
+                    final_stats.push(shard.sim.run_until(cfg.duration));
+                    if has_deferred {
+                        shard.sim.drain_intents(&mut intbuf);
+                        route_intents(&mut intbuf);
+                    }
+                }
+                if has_deferred {
+                    // Final replay barrier: the horizon's intents still
+                    // must reach the owner's queue state — the single-shard
+                    // run performed these enqueues (backlog, gauge, wait
+                    // histogram) even though the arrivals lie beyond the
+                    // horizon. The finalized events are dropped: they would
+                    // never be popped, matching the residents the
+                    // single-shard run leaves in its queue.
+                    barrier.wait();
+                    for (s, shard) in &mut sims {
+                        let mut intents = std::mem::take(
+                            &mut *intent_inboxes[*s].lock().expect("intent inbox poisoned"),
+                        );
+                        intents.sort_unstable_by_key(|w| (w.stamp, w.idx));
+                        for w in intents {
+                            let _ = shard.sim.replay_intent(
+                                w.queue,
+                                w.size,
+                                w.depart,
+                                w.partial,
+                                w.scale_bits,
+                            );
+                        }
+                    }
+                }
+                for ((s, mut shard), stats) in sims.into_iter().zip(final_stats) {
                     shard.sim.finish(cfg.duration);
                     shard.sim.drain_pop_log(&mut pops);
                     *results[s].lock().expect("result slot poisoned") = Some(ShardResult {
@@ -334,6 +678,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
         fault_marks,
         sim,
         metrics,
+        partition: Some(report),
     }
 }
 
@@ -361,7 +706,7 @@ mod tests {
     }
 
     #[test]
-    fn partition_is_isp_granular_and_balanced() {
+    fn partition_is_isp_granular_and_balanced_below_the_isp_count() {
         let cfg = small_world(11, 1, 1);
         let layout = WorldLayout::compute(&cfg);
         let (shard_of, shards) = partition(&layout.topology, 3);
@@ -381,10 +726,95 @@ mod tests {
     }
 
     #[test]
+    fn partition_splits_isps_beyond_the_isp_count() {
+        let cfg = small_world(11, 1, 1);
+        let layout = WorldLayout::compute(&cfg);
+        let total = layout.topology.len();
+        for want in [8, 12] {
+            let (shard_of, shards) = partition(&layout.topology, want);
+            assert_eq!(shards, want.min(total));
+            // No shard is empty and the load is balanced: no shard exceeds
+            // ideal + half-ideal (the greedy bound for half-ideal atoms).
+            let mut hosts = vec![0usize; shards];
+            for &s in &shard_of {
+                hosts[s] += 1;
+            }
+            let ideal = total.div_ceil(shards);
+            for (s, &h) in hosts.iter().enumerate() {
+                assert!(h > 0, "shard {s} owns no host (want {want})");
+                assert!(
+                    h <= ideal + ideal.div_ceil(2),
+                    "shard {s} holds {h} hosts, ideal {ideal} (want {want})"
+                );
+            }
+            // At least one ISP is split (that is the point of the regime).
+            let split = Isp::ALL.iter().any(|&isp| {
+                let shards_of_isp: std::collections::BTreeSet<usize> = layout
+                    .topology
+                    .iter()
+                    .filter(|(_, h)| h.isp == isp)
+                    .map(|(id, _)| shard_of[id.index()])
+                    .collect();
+                shards_of_isp.len() > 1
+            });
+            assert!(split, "want {want} produced no split ISP");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_across_seeds() {
+        // The grouping may depend only on per-ISP host counts and paper
+        // order — never on seed-sampled values like edge delays: two
+        // worlds over the same plan but different world seeds partition
+        // identically.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let plan = SessionPlan::generate(
+            &PopulationSpec::tiny(ChannelClass::Unpopular),
+            240.0,
+            &mut rng,
+        );
+        let a = WorldLayout::compute(&WorldConfig::new(11, plan.clone(), SimTime::from_secs(240)));
+        let b = WorldLayout::compute(&WorldConfig::new(77, plan, SimTime::from_secs(240)));
+        for want in [2, 3, 8] {
+            assert_eq!(
+                partition(&a.topology, want),
+                partition(&b.topology, want),
+                "want {want}"
+            );
+        }
+    }
+
+    #[test]
     fn sharded_world_is_bit_identical_to_single_shard() {
         let reference = run_world(&small_world(42, 1, 1));
         for (shards, threads) in [(2, 2), (4, 2), (4, 1)] {
             let sharded = run_world(&small_world(42, shards, threads));
+            assert_eq!(sharded.sim, reference.sim, "{shards} shards / {threads} threads");
+            assert_eq!(
+                sharded.metrics, reference.metrics,
+                "{shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                sharded.records, reference.records,
+                "{shards} shards / {threads} threads"
+            );
+            assert_eq!(sharded.peer_stats, reference.peer_stats);
+            assert_eq!(sharded.fault_marks, reference.fault_marks);
+        }
+    }
+
+    #[test]
+    fn sub_isp_sharded_world_is_bit_identical_to_single_shard() {
+        let reference = run_world(&small_world(42, 1, 1));
+        assert!(reference.partition.is_none());
+        for (shards, threads) in [(8, 4), (8, 1), (12, 4)] {
+            let sharded = run_world(&small_world(42, shards, threads));
+            let report = sharded.partition.as_ref().expect("sub-ISP run reports");
+            assert!(report.split_isps > 0, "{shards} shards split no ISP");
+            assert!(
+                report.deferred_queues > 0,
+                "{shards} shards deferred no queue"
+            );
             assert_eq!(sharded.sim, reference.sim, "{shards} shards / {threads} threads");
             assert_eq!(
                 sharded.metrics, reference.metrics,

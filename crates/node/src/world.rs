@@ -343,6 +343,11 @@ pub(crate) struct ShardRole<'a> {
     pub(crate) count: usize,
     /// `local[node]` — whether the node lives on this shard.
     pub(crate) local: &'a [bool],
+    /// Source ISPs whose interconnect queues are reconstructed by owner
+    /// replay (ISPs split across shards — see [`crate::shard`]). The same
+    /// mask is applied to every shard's medium so that senders everywhere,
+    /// the owner included, defer instead of touching local queue state.
+    pub(crate) defer: [bool; 5],
 }
 
 /// One materialized (sub-)world: the simulation plus the thread-local
@@ -391,6 +396,9 @@ pub(crate) fn materialize(
     let mut underlay =
         Underlay::new(Arc::clone(topology), cfg.link).with_faults(cfg.faults.link_faults());
     underlay.attach_metrics(&registry);
+    if let Some(r) = role {
+        underlay.defer_sources(r.defer);
+    }
     let mut sim: Simulation<Message> =
         Simulation::with_scheduler(cfg.seed, underlay, registry.clone(), cfg.scheduler);
     sim.set_monitor(tap.clone());
@@ -507,7 +515,7 @@ pub(crate) fn materialize(
         }
     }
     if let Some(r) = role {
-        sim.enable_sharding(r.local.to_vec(), shadow_faults);
+        sim.enable_sharding(r.index, r.local.to_vec(), shadow_faults);
     }
 
     // Every live node keeps a handful of timers and in-flight messages
@@ -552,6 +560,10 @@ pub struct WorldOutput {
     /// End-of-run values of every instrument in the run's shared registry
     /// (kernel, interconnect and node counters in one export).
     pub metrics: MetricsSnapshot,
+    /// How the run was space-partitioned (`None` on the classic
+    /// single-shard path, including degenerate `shards > 1` requests that
+    /// collapse to one shard).
+    pub partition: Option<crate::shard::PartitionReport>,
 }
 
 /// A fully assembled, not-yet-run scenario (single-threaded path; the
@@ -615,6 +627,7 @@ impl World {
             bootstrap: self.bootstrap,
             sim: sim_stats,
             metrics: self.registry.snapshot(),
+            partition: None,
         }
     }
 }

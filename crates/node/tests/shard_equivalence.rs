@@ -1,11 +1,13 @@
 //! Property test: a sharded world is bit-identical to the single-shard
 //! run — same `SimStats`, same metrics snapshot, same capture bytes, same
-//! peer stats and fault marks — for 1/2/4 shards at the same seed, over
+//! peer stats and fault marks — for 1/2/4/8 shards at the same seed, over
 //! random small worlds, with and without a fault plan whose events cross
-//! shard boundaries.
+//! shard boundaries. Eight shards exceeds the populated ISP count, so
+//! those runs exercise the sub-ISP host-group partition, where split
+//! ISPs' directed interconnect queues are reconstructed by owner replay.
 
 use plsim_des::SimTime;
-use plsim_net::{Isp, LinkFault};
+use plsim_net::{Isp, LinkFault, LinkModel};
 use plsim_node::{run_world, FaultPlan, PolicySpec, ProbeSpec, WorldConfig, WorldOutput};
 use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
 use proptest::prelude::*;
@@ -39,12 +41,25 @@ fn probe(isp: Isp) -> ProbeSpec {
 }
 
 fn world(seed: u64, shards: usize, nat_fraction: f64, faulted: bool) -> WorldConfig {
+    skewed_world(seed, shards, nat_fraction, faulted, None)
+}
+
+/// Like [`world`], with an optional ISP-weight override so the property
+/// can sample heavily uneven ISP mixes (one dominant ISP is the regime
+/// where sub-ISP splitting has to carry almost the whole load).
+fn skewed_world(
+    seed: u64,
+    shards: usize,
+    nat_fraction: f64,
+    faulted: bool,
+    isp_weights: Option<[f64; 5]>,
+) -> WorldConfig {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let plan = SessionPlan::generate(
-        &PopulationSpec::tiny(ChannelClass::Unpopular),
-        120.0,
-        &mut rng,
-    );
+    let mut spec = PopulationSpec::tiny(ChannelClass::Unpopular);
+    if let Some(w) = isp_weights {
+        spec.isp_weights = w;
+    }
+    let plan = SessionPlan::generate(&spec, 120.0, &mut rng);
     let mut cfg = WorldConfig::new(seed, plan, SimTime::from_secs(120));
     // Probes in three ISPs, so captures span several shards.
     cfg.probes.push(probe(Isp::Tele));
@@ -100,7 +115,7 @@ proptest! {
         faulted in any::<bool>(),
     ) {
         let reference = run_world(&world(seed, 1, nat, faulted));
-        for shards in [2usize, 4] {
+        for shards in [2usize, 4, 8] {
             let sharded = run_world(&world(seed, shards, nat, faulted));
             assert_identical(
                 &sharded,
@@ -134,6 +149,45 @@ proptest! {
     }
 }
 
+/// Uneven ISP mixes for the sub-ISP property: one dominant ISP (the
+/// split-heavy regime), a dominant pair, and the calibrated default.
+fn isp_weights_strategy() -> impl Strategy<Value = Option<[f64; 5]>> {
+    prop_oneof![
+        Just(None),
+        Just(Some([0.85, 0.05, 0.02, 0.04, 0.04])),
+        Just(Some([0.05, 0.85, 0.02, 0.04, 0.04])),
+        Just(Some([0.46, 0.46, 0.02, 0.03, 0.03])),
+    ]
+}
+
+proptest! {
+    /// Sub-ISP equivalence: eight shards over a five-ISP world forces the
+    /// host-group partition (split ISPs, owner-replayed queues), and the
+    /// run must stay bit-identical to the single-shard reference across
+    /// uneven ISP sizes × fault plans × all five selection policies.
+    #[test]
+    fn sub_isp_splits_are_bit_identical(
+        seed in 0u64..1_000_000,
+        weights in isp_weights_strategy(),
+        policy in policy_strategy(),
+        faulted in any::<bool>(),
+    ) {
+        let mut reference_cfg = skewed_world(seed, 1, 0.0, faulted, weights);
+        reference_cfg.policy = policy;
+        let reference = run_world(&reference_cfg);
+        let mut sharded_cfg = skewed_world(seed, 8, 0.0, faulted, weights);
+        sharded_cfg.policy = policy;
+        let sharded = run_world(&sharded_cfg);
+        let report = sharded.partition.as_ref().expect("8-shard run reports its partition");
+        prop_assert!(report.split_isps > 0, "8 shards over 5 ISPs must split at least one");
+        assert_identical(
+            &sharded,
+            &reference,
+            &format!("seed {seed}, weights {weights:?}, policy {policy:?}, faulted {faulted}"),
+        );
+    }
+}
+
 /// The fault preset pinned explicitly (the property above only sometimes
 /// draws `faulted = true`): every fault category crossing shard
 /// boundaries, 1 vs 2 vs 4 shards, including a thread count smaller than
@@ -150,6 +204,93 @@ fn faulted_world_is_bit_identical_across_shard_counts() {
             &reference,
             &format!("{shards} shards / {threads} threads"),
         );
+    }
+}
+
+/// Regression: a split ISP's directed-queue backlog trajectory is
+/// reconstructed event-for-event. The interconnect is squeezed so every
+/// cross-ISP transfer queues, then the per-enqueue wait distribution
+/// (`net.interconnect_wait_s` — one observation per enqueue, in order)
+/// and the settled backlog gauge of the 8-shard sub-ISP run are compared
+/// against the single-shard run's. Any replay performed out of order, at
+/// the wrong capacity scale, or dropped would shift at least one wait
+/// observation into a different bucket.
+#[test]
+fn split_isp_backlog_trajectory_matches_single_shard() {
+    let squeeze = |shards: usize| {
+        let mut cfg = world(19, shards, 0.0, true);
+        cfg.link = LinkModel {
+            interconnect_mbps: 1.5,
+            ..LinkModel::default()
+        };
+        cfg
+    };
+    let reference = run_world(&squeeze(1));
+    let sharded = run_world(&squeeze(8));
+    let report = sharded.partition.as_ref().expect("8-shard run reports its partition");
+    assert!(report.split_isps > 0, "the run must split at least one ISP");
+    assert!(
+        report.deferred_queues > 0,
+        "a split source ISP with finite queues must defer"
+    );
+
+    let waits = |out: &WorldOutput| {
+        out.metrics
+            .histogram("net.interconnect_wait_s")
+            .expect("interconnect wait histogram")
+            .clone()
+    };
+    let ref_waits = waits(&reference);
+    assert!(
+        ref_waits.count > 0,
+        "the squeezed interconnect never queued — the test is vacuous"
+    );
+    assert_eq!(waits(&sharded), ref_waits, "per-enqueue wait trajectory diverged");
+    assert_eq!(
+        sharded.metrics.gauge("net.interconnect_backlog_bits"),
+        reference.metrics.gauge("net.interconnect_backlog_bits"),
+        "settled backlog gauge diverged"
+    );
+    assert_identical(&sharded, &reference, "squeezed interconnect, 8 shards");
+}
+
+/// The acceptance pin for 10×-Paper-scale worlds: a world with the
+/// `Paper10x` population preset (10× the paper's unpopular-channel
+/// audience — the popular channel is 7000 viewers and belongs in the
+/// `--ignored` tier) is bit-identical across 1/2/4/8 shards, with at
+/// least one ISP split across shards at 8. The horizon is shortened so
+/// the suite stays runnable in debug CI; the population, and therefore
+/// the partition shape, is the Paper10x one.
+#[test]
+fn paper10x_world_is_bit_identical_across_shard_counts() {
+    let paper10x = |shards: usize| {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut spec = PopulationSpec::paper_default(ChannelClass::Unpopular);
+        spec.steady_viewers = 1100; // Scale::Paper10x.viewers(Unpopular)
+        let plan = SessionPlan::generate(&spec, 60.0, &mut rng);
+        let mut cfg = WorldConfig::new(42, plan, SimTime::from_secs(60));
+        // Early joiners: the shortened horizon still captures traffic.
+        for isp in [Isp::Tele, Isp::Cnc] {
+            cfg.probes.push(ProbeSpec {
+                join_s: 10.0,
+                ..ProbeSpec::residential(isp)
+            });
+        }
+        cfg.shards = shards;
+        cfg.shard_threads = 2;
+        cfg
+    };
+    let reference = run_world(&paper10x(1));
+    assert!(reference.partition.is_none());
+    for shards in [2usize, 4, 8] {
+        let sharded = run_world(&paper10x(shards));
+        let report = sharded.partition.as_ref().expect("sharded run reports its partition");
+        assert_eq!(report.shards, shards);
+        if shards == 8 {
+            assert!(report.split_isps > 0, "8 shards over 5 ISPs must split at least one");
+            assert!(report.deferred_queues > 0, "split source ISPs must defer their queues");
+        }
+        assert_identical(&sharded, &reference, &format!("paper10x, {shards} shards"));
     }
 }
 
