@@ -237,7 +237,13 @@ mod tests {
         Ipv4Addr::new(58, 0, 1, n)
     }
 
-    fn rec(t_ms: u64, direction: Direction, remote: u32, ip: Ipv4Addr, kind: RecordKind) -> TraceRecord {
+    fn rec(
+        t_ms: u64,
+        direction: Direction,
+        remote: u32,
+        ip: Ipv4Addr,
+        kind: RecordKind,
+    ) -> TraceRecord {
         TraceRecord {
             t: SimTime::from_millis(t_ms),
             probe: NodeId(0),

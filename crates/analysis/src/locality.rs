@@ -69,8 +69,9 @@ impl RecordFold for ReturnedAddressesFold<'_> {
             return;
         }
         let ips = match r.kind {
-            KindRef::TrackerResponse { peer_ips }
-            | KindRef::PeerListResponse { peer_ips, .. } => peer_ips,
+            KindRef::TrackerResponse { peer_ips } | KindRef::PeerListResponse { peer_ips, .. } => {
+                peer_ips
+            }
             _ => return,
         };
         for &ip in ips {
@@ -342,7 +343,11 @@ mod tests {
                 RemoteKind::Peer,
             )
         };
-        let records = vec![mk(tele_ip(1), 3000), mk(tele_ip(2), 3000), mk(cnc_ip(1), 2000)];
+        let records = vec![
+            mk(tele_ip(1), 3000),
+            mk(tele_ip(2), 3000),
+            mk(cnc_ip(1), 2000),
+        ];
         let out = data_by_isp(rows(&records), &dir);
         assert_eq!(out.transmissions[Isp::Tele], 2);
         assert_eq!(out.bytes.total(), 8000);

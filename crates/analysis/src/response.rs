@@ -450,7 +450,10 @@ mod tests {
             rec(
                 350,
                 Direction::Inbound,
-                RecordKind::DataReject { seq: 2, busy: false },
+                RecordKind::DataReject {
+                    seq: 2,
+                    busy: false,
+                },
                 ip,
                 RemoteKind::Peer,
             ),

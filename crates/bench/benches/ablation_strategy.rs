@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use plsim_bench::BENCH_SCALE;
 use plsim_node::PeerConfig;
-use pplive_locality::{ablation, render_ablation, Scenario};
 use plsim_workload::ChannelClass;
+use pplive_locality::{ablation, render_ablation, Scenario};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     println!("{}", render_fig15_18(&figs_15_to_18(suite)));
 
     let contributions = &suite.popular.reports[0].1.contributions;
-    let requests: Vec<f64> = contributions.peers.iter().map(|p| p.requests as f64).collect();
+    let requests: Vec<f64> = contributions
+        .peers
+        .iter()
+        .map(|p| p.requests as f64)
+        .collect();
     let rtts: Vec<f64> = contributions
         .peers
         .iter()

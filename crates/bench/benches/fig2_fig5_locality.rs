@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use plsim_bench::{bench_suite, BENCH_SCALE};
-use pplive_locality::{figs_2_to_5, Scenario};
 use plsim_workload::ChannelClass;
+use pplive_locality::{figs_2_to_5, Scenario};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -75,6 +75,13 @@ pub struct EngineReport {
     pub row_bytes: u64,
     /// Heap bytes of the same capture in the columnar `TraceStore`.
     pub columnar_bytes: u64,
+    /// Set when `columnar_bytes` exceeds `row_bytes` at the measured
+    /// scale: the columnar store pre-allocates fixed-capacity pages
+    /// (8192 rows), so below roughly one page of rows its footprint is
+    /// dominated by reserved-but-unused capacity and the row layout wins.
+    /// The crossover favors columnar as captures grow; the note keeps the
+    /// small-scale reading honest instead of hiding it.
+    pub columnar_note: Option<String>,
     /// Wall-clock seconds to analyze every probe via the old row path
     /// (per-probe clone-filter, then the seven per-figure passes).
     pub row_analysis_s: f64,
@@ -116,6 +123,30 @@ pub struct EngineReport {
     /// sharding beats the best the ISP-granular partition could ever do.
     /// `None` on a single-core host, as for `sharded_speedup_4x`.
     pub sub_isp_speedup: Option<f64>,
+    /// Windowed advancement rounds the asymmetric (pairwise-lookahead)
+    /// window protocol executes across the Paper10x 8-shard fleet —
+    /// per-shard rounds until each crosses the horizon, summed over
+    /// shards, computed from the partition plan without running the
+    /// simulation. `None` when the plan degenerates to a single shard.
+    pub window_rounds_8x: Option<u64>,
+    /// The same total under the old fleet-wide global window, where every
+    /// shard steps every round.
+    pub window_rounds_8x_global: Option<u64>,
+    /// `window_rounds_8x_global - window_rounds_8x`: window slices the
+    /// pairwise matrix saves on the Paper10x plan. Gated with a floor of
+    /// 1 — the paper's delay asymmetry must buy something.
+    pub window_rounds_saved: Option<u64>,
+    /// Rate imbalance of the Paper10x 8-shard partition actually chosen:
+    /// heaviest shard's summed expected event rate over the ideal.
+    /// `None` when the plan degenerates.
+    pub rate_imbalance: Option<f64>,
+    /// The same metric for the historical host-count split of the same
+    /// world; `rate_imbalance` never exceeds it (by construction).
+    pub rate_imbalance_hostcount: Option<f64>,
+    /// Heap allocations in the cross-shard exchange's steady state: 512
+    /// publish/drain rounds over a warmed 4-shard `ShardExchange`
+    /// (batches cross by buffer swap, so this must be 0).
+    pub outbox_steady_state_allocs: u64,
     /// Threads that actually drove the 4-shard run:
     /// `min(available parallelism, 4)`.
     pub shard_threads: usize,
@@ -155,10 +186,19 @@ impl EngineReport {
         };
         let ratio_opt =
             |r: &Option<f64>| r.map_or_else(|| "null".to_string(), |r| format!("{r:.3}"));
+        let imbalance_opt =
+            |r: &Option<f64>| r.map_or_else(|| "null".to_string(), |r| format!("{r:.4}"));
+        let count_opt = |r: &Option<u64>| r.map_or_else(|| "null".to_string(), |r| r.to_string());
         let threads_warning = quote_opt(&self.threads_warning);
         let shard_warning = quote_opt(&self.shard_warning);
+        let columnar_note = quote_opt(&self.columnar_note);
         let sharded_speedup_4x = ratio_opt(&self.sharded_speedup_4x);
         let sub_isp_speedup = ratio_opt(&self.sub_isp_speedup);
+        let window_rounds_8x = count_opt(&self.window_rounds_8x);
+        let window_rounds_8x_global = count_opt(&self.window_rounds_8x_global);
+        let window_rounds_saved = count_opt(&self.window_rounds_saved);
+        let rate_imbalance = imbalance_opt(&self.rate_imbalance);
+        let rate_imbalance_hostcount = imbalance_opt(&self.rate_imbalance_hostcount);
         format!(
             concat!(
                 "{{\n",
@@ -179,6 +219,7 @@ impl EngineReport {
                 "  \"speedup\": {:.3},\n",
                 "  \"row_bytes\": {},\n",
                 "  \"columnar_bytes\": {},\n",
+                "  \"columnar_note\": {},\n",
                 "  \"row_analysis_s\": {:.4},\n",
                 "  \"columnar_analysis_s\": {:.4},\n",
                 "  \"node_msgs_per_sec\": {:.1},\n",
@@ -190,6 +231,12 @@ impl EngineReport {
                 "  \"sharded_speedup_4x\": {},\n",
                 "  \"sharded_events_per_sec_8x\": {:.1},\n",
                 "  \"sub_isp_speedup\": {},\n",
+                "  \"window_rounds_8x\": {},\n",
+                "  \"window_rounds_8x_global\": {},\n",
+                "  \"window_rounds_saved\": {},\n",
+                "  \"rate_imbalance\": {},\n",
+                "  \"rate_imbalance_hostcount\": {},\n",
+                "  \"outbox_steady_state_allocs\": {},\n",
                 "  \"shard_threads\": {},\n",
                 "  \"shard_warning\": {},\n",
                 "  \"frontier_sweep_secs\": {:.4},\n",
@@ -214,6 +261,7 @@ impl EngineReport {
             self.speedup,
             self.row_bytes,
             self.columnar_bytes,
+            columnar_note,
             self.row_analysis_s,
             self.columnar_analysis_s,
             self.node_msgs_per_sec,
@@ -225,6 +273,12 @@ impl EngineReport {
             sharded_speedup_4x,
             self.sharded_events_per_sec_8x,
             sub_isp_speedup,
+            window_rounds_8x,
+            window_rounds_8x_global,
+            window_rounds_saved,
+            rate_imbalance,
+            rate_imbalance_hostcount,
+            self.outbox_steady_state_allocs,
             self.shard_threads,
             shard_warning,
             self.frontier_sweep_secs,
@@ -275,6 +329,7 @@ mod tests {
             speedup: 4.0,
             row_bytes: 2_000_000,
             columnar_bytes: 1_200_000,
+            columnar_note: None,
             row_analysis_s: 0.5,
             columnar_analysis_s: 0.2,
             node_msgs_per_sec: 3.0e6,
@@ -286,6 +341,12 @@ mod tests {
             sharded_speedup_4x: Some(3.1),
             sharded_events_per_sec_8x: 3.5e6,
             sub_isp_speedup: Some(1.4),
+            window_rounds_8x: Some(118),
+            window_rounds_8x_global: Some(160),
+            window_rounds_saved: Some(42),
+            rate_imbalance: Some(1.08),
+            rate_imbalance_hostcount: Some(1.21),
+            outbox_steady_state_allocs: 0,
             shard_threads: 4,
             shard_warning: None,
             frontier_sweep_secs: 1.5,
@@ -314,6 +375,13 @@ mod tests {
         assert!(json.contains("\"sharded_speedup_4x\": 3.100"));
         assert!(json.contains("\"sharded_events_per_sec_8x\": 3500000.0"));
         assert!(json.contains("\"sub_isp_speedup\": 1.400"));
+        assert!(json.contains("\"columnar_note\": null,"));
+        assert!(json.contains("\"window_rounds_8x\": 118,"));
+        assert!(json.contains("\"window_rounds_8x_global\": 160,"));
+        assert!(json.contains("\"window_rounds_saved\": 42,"));
+        assert!(json.contains("\"rate_imbalance\": 1.0800,"));
+        assert!(json.contains("\"rate_imbalance_hostcount\": 1.2100,"));
+        assert!(json.contains("\"outbox_steady_state_allocs\": 0,"));
         assert!(json.contains("\"shard_threads\": 4"));
         assert!(json.contains("\"shard_warning\": null,"));
         assert!(json.contains("\"frontier_sweep_secs\": 1.5000,\n"));
@@ -341,6 +409,7 @@ mod tests {
             speedup: 1.0,
             row_bytes: 0,
             columnar_bytes: 0,
+            columnar_note: None,
             row_analysis_s: 0.0,
             columnar_analysis_s: 0.0,
             node_msgs_per_sec: 1.0,
@@ -352,6 +421,12 @@ mod tests {
             sharded_speedup_4x: None,
             sharded_events_per_sec_8x: 1.0,
             sub_isp_speedup: None,
+            window_rounds_8x: None,
+            window_rounds_8x_global: None,
+            window_rounds_saved: None,
+            rate_imbalance: None,
+            rate_imbalance_hostcount: None,
+            outbox_steady_state_allocs: 0,
             shard_threads: 1,
             shard_warning: None,
             frontier_sweep_secs: 0.1,
@@ -360,13 +435,21 @@ mod tests {
         };
         r.threads_warning = Some("thread pool collapsed to 1".to_string());
         r.shard_warning = Some("1 core backs 4 shards".to_string());
+        r.columnar_note = Some("page pre-allocation dominates".to_string());
         let json = r.to_json();
         assert!(json.contains("\"threads_warning\": \"thread pool collapsed to 1\""));
         assert!(json.contains("\"inline_fallback\": true"));
         assert!(json.contains("\"shard_warning\": \"1 core backs 4 shards\""));
+        assert!(json.contains("\"columnar_note\": \"page pre-allocation dominates\""));
         // Single-core honesty: the speedup ratios must be recorded as
-        // null, not as a misleading windowing-overhead measurement.
+        // null, not as a misleading windowing-overhead measurement. The
+        // window-round and rate-imbalance fields are plan-derived counts,
+        // not wall-clock ratios, so a degenerate plan records null too.
         assert!(json.contains("\"sharded_speedup_4x\": null,"));
         assert!(json.contains("\"sub_isp_speedup\": null,"));
+        assert!(json.contains("\"window_rounds_8x\": null,"));
+        assert!(json.contains("\"window_rounds_saved\": null,"));
+        assert!(json.contains("\"rate_imbalance\": null,"));
+        assert!(json.contains("\"outbox_steady_state_allocs\": 0,"));
     }
 }

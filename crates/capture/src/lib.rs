@@ -677,14 +677,7 @@ impl Monitor<Message> for ProbeTap {
         }
     }
 
-    fn on_deliver(
-        &mut self,
-        now: SimTime,
-        from: NodeId,
-        to: NodeId,
-        payload: &Message,
-        size: u32,
-    ) {
+    fn on_deliver(&mut self, now: SimTime, from: NodeId, to: NodeId, payload: &Message, size: u32) {
         if self.probes.contains(&to) {
             self.record(now, to, from, Direction::Inbound, payload, size);
         }
@@ -824,7 +817,10 @@ mod tests {
     #[test]
     fn fault_markers_are_recorded_and_drained() {
         let mut t = tap();
-        t.on_fault(SimTime::from_secs(100), &FaultEvent::begin("tracker-outage"));
+        t.on_fault(
+            SimTime::from_secs(100),
+            &FaultEvent::begin("tracker-outage"),
+        );
         t.on_fault(SimTime::from_secs(200), &FaultEvent::end("tracker-outage"));
         let marks = t.fault_markers();
         assert_eq!(marks.len(), 2);

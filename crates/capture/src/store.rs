@@ -273,12 +273,8 @@ impl RecordKind {
         match self {
             RecordKind::Bootstrap => KindRef::Bootstrap,
             RecordKind::TrackerQuery => KindRef::TrackerQuery,
-            RecordKind::TrackerResponse { peer_ips } => {
-                KindRef::TrackerResponse { peer_ips }
-            }
-            RecordKind::PeerListRequest { req_id } => {
-                KindRef::PeerListRequest { req_id: *req_id }
-            }
+            RecordKind::TrackerResponse { peer_ips } => KindRef::TrackerResponse { peer_ips },
+            RecordKind::PeerListRequest { req_id } => KindRef::PeerListRequest { req_id: *req_id },
             RecordKind::PeerListResponse { req_id, peer_ips } => KindRef::PeerListResponse {
                 req_id: *req_id,
                 peer_ips,
@@ -394,7 +390,10 @@ fn decode_kind(store: &TraceStore, tag: KindTag, seq: u64, aux: u64, payload: u3
             chunk: ChunkId(aux),
             payload_bytes: payload,
         },
-        KindTag::DataReject => KindRef::DataReject { seq, busy: aux != 0 },
+        KindTag::DataReject => KindRef::DataReject {
+            seq,
+            busy: aux != 0,
+        },
         KindTag::Announce => KindRef::Announce,
         KindTag::Goodbye => KindRef::Goodbye,
     }
@@ -609,7 +608,10 @@ impl TraceStore {
 
     /// Reads the raw frame of spilled page `page` into `scratch`.
     fn read_frame_bytes(&self, page: usize, scratch: &mut Vec<u8>) {
-        let spill = self.spill.as_ref().expect("spilled page without a spill file");
+        let spill = self
+            .spill
+            .as_ref()
+            .expect("spilled page without a spill file");
         spill.read_frame(self.spilled[page], scratch);
     }
 
@@ -715,7 +717,10 @@ impl TraceStore {
                 .expect("remote_kind column in sync"),
             direction: *self.direction.get(index).expect("direction column in sync"),
             kind: decode_kind(self, tag, seq, aux, payload),
-            wire_bytes: *self.wire_bytes.get(index).expect("wire_bytes column in sync"),
+            wire_bytes: *self
+                .wire_bytes
+                .get(index)
+                .expect("wire_bytes column in sync"),
         })
     }
 
@@ -845,7 +850,8 @@ impl DecodedPage {
         self.aux.clear();
         self.payload.clear();
         for i in 0..rows {
-            self.t.push(SimTime::from_micros(u64_at(frame, off[0] + 8 * i)));
+            self.t
+                .push(SimTime::from_micros(u64_at(frame, off[0] + 8 * i)));
             self.probe.push(NodeId(u32_at(frame, off[1] + 4 * i)));
             self.remote.push(NodeId(u32_at(frame, off[2] + 4 * i)));
             self.remote_ip.push(ip_at(frame, off[3] + 4 * i));
@@ -1131,7 +1137,10 @@ mod tests {
                 chunk: ChunkId(4),
                 payload_bytes: 1380,
             },
-            RecordKind::DataReject { seq: 10, busy: false },
+            RecordKind::DataReject {
+                seq: 10,
+                busy: false,
+            },
             RecordKind::Announce,
             RecordKind::Goodbye,
         ]

@@ -1,7 +1,7 @@
 //! Developer tool: seed sweep of locality per cell, fanned out through the
 //! parallel experiment engine (`PLSIM_THREADS` controls the pool size).
-use pplive_locality::{JobPool, ProbeSite, Scale, Scenario};
 use plsim_workload::ChannelClass;
+use pplive_locality::{JobPool, ProbeSite, Scale, Scenario};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {

@@ -22,6 +22,7 @@
 //! lookahead — in `DispatchStats`' honest-reporting style;
 //! `--partition-json <path>` archives the same report as JSON.
 
+use plsim_workload::ChannelClass;
 use pplive_locality::{
     ablation, export_suite, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, frontier_bands,
     frontier_bands_csv, frontier_csv, locality_frontier, locality_frontier_seeds, pct,
@@ -29,7 +30,6 @@ use pplive_locality::{
     render_frontier_bands, render_table1, render_underlay_ablation, response_times,
     suite_metrics_json, underlay_ablation, workload_round_trip, ProbeSite, Scale, Scenario, Suite,
 };
-use plsim_workload::ChannelClass;
 
 fn parse_scale(s: Option<&str>) -> Scale {
     match s {
@@ -78,10 +78,13 @@ fn cmd_run(args: &[String], metrics_json: Option<&str>) {
             }
             let n = args.remove(i + 1);
             args.remove(i);
-            n.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                eprintln!("--shards requires a positive integer, got {n:?}");
-                std::process::exit(2);
-            })
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--shards requires a positive integer, got {n:?}");
+                    std::process::exit(2);
+                })
         })
     };
     let partition_json = {
@@ -102,7 +105,10 @@ fn cmd_run(args: &[String], metrics_json: Option<&str>) {
     };
     let scale = parse_scale(args.get(1).map(String::as_str));
     let seed = parse_seed(args.get(2).map(String::as_str));
-    println!("simulating {} channel at {scale:?} scale, seed {seed}...", class.label());
+    println!(
+        "simulating {} channel at {scale:?} scale, seed {seed}...",
+        class.label()
+    );
     let mut scenario = Scenario::new(class, scale, seed);
     scenario.shards = shards;
     let run = scenario.run();
@@ -112,6 +118,16 @@ fn cmd_run(args: &[String], metrics_json: Option<&str>) {
     // pinned by the golden-output tests.
     if let Some(report) = &run.output.partition {
         println!("{report}");
+        // Same honesty rule as the bench's shard_warning: one thread
+        // time-slices every shard, so sharded wall-clock is not a
+        // parallelism measurement.
+        if report.threads == 1 && report.shards > 1 {
+            println!(
+                "warning: 1 thread backs {} shards: sharded wall-clock measures \
+                 windowing overhead, not parallelism",
+                report.shards
+            );
+        }
     } else if shards.is_some_and(|n| n > 1) {
         println!("partition: degenerated to the single-shard path (tiny world or zero lookahead)");
     }
@@ -187,7 +203,10 @@ fn cmd_ablation(args: &[String]) {
     let scale = parse_scale(args.first().map(String::as_str));
     let seed = parse_seed(args.get(1).map(String::as_str));
     println!("{}", render_ablation(&ablation(scale, seed)));
-    println!("{}", render_underlay_ablation(&underlay_ablation(scale, seed)));
+    println!(
+        "{}",
+        render_underlay_ablation(&underlay_ablation(scale, seed))
+    );
 }
 
 fn cmd_workload(args: &[String]) {
@@ -257,10 +276,13 @@ fn cmd_frontier(args: &[String]) {
             }
             let n = args.remove(i + 1);
             args.remove(i);
-            n.parse::<u64>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                eprintln!("--seeds requires a positive integer, got {n:?}");
-                std::process::exit(2);
-            })
+            n.parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--seeds requires a positive integer, got {n:?}");
+                    std::process::exit(2);
+                })
         })
     };
     let scale = parse_scale(args.first().map(String::as_str));

@@ -338,7 +338,10 @@ impl Hub {
     }
 
     fn submit(&self, task: HubTask) {
-        self.queue.lock().expect("hub queue poisoned").push_back(task);
+        self.queue
+            .lock()
+            .expect("hub queue poisoned")
+            .push_back(task);
         self.task_ready.notify_one();
     }
 }
@@ -398,12 +401,12 @@ fn run_on_hub<T: Send + 'static>(jobs: Vec<Job<T>>, workers: usize) -> Vec<T> {
     results
         .into_iter()
         .enumerate()
-        .map(|(idx, slot)| {
-            match slot.unwrap_or_else(|| panic!("job {idx} produced no result")) {
+        .map(
+            |(idx, slot)| match slot.unwrap_or_else(|| panic!("job {idx} produced no result")) {
                 Ok(out) => out,
                 Err(panic) => std::panic::resume_unwind(panic),
-            }
-        })
+            },
+        )
         .collect()
 }
 

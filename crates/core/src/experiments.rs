@@ -99,10 +99,26 @@ impl Suite {
 /// The four (probe, channel) cells the paper walks through in Figures 2–5
 /// and reuses for Figures 7–18 and Table 1.
 pub const CELLS: [(ProbeSite, ChannelClass, &str); 4] = [
-    (ProbeSite::Tele, ChannelClass::Popular, "Fig. 2/7/11/15 (TELE, popular)"),
-    (ProbeSite::Tele, ChannelClass::Unpopular, "Fig. 3/8/12/16 (TELE, unpopular)"),
-    (ProbeSite::Mason, ChannelClass::Popular, "Fig. 4/9/13/17 (Mason, popular)"),
-    (ProbeSite::Mason, ChannelClass::Unpopular, "Fig. 5/10/14/18 (Mason, unpopular)"),
+    (
+        ProbeSite::Tele,
+        ChannelClass::Popular,
+        "Fig. 2/7/11/15 (TELE, popular)",
+    ),
+    (
+        ProbeSite::Tele,
+        ChannelClass::Unpopular,
+        "Fig. 3/8/12/16 (TELE, unpopular)",
+    ),
+    (
+        ProbeSite::Mason,
+        ChannelClass::Popular,
+        "Fig. 4/9/13/17 (Mason, popular)",
+    ),
+    (
+        ProbeSite::Mason,
+        ChannelClass::Unpopular,
+        "Fig. 5/10/14/18 (Mason, unpopular)",
+    ),
 ];
 
 // ---------------------------------------------------------------- Figs 2–5
@@ -532,7 +548,10 @@ pub struct AblationResult {
 #[must_use]
 pub fn ablation_variants() -> Vec<(String, PeerConfig)> {
     vec![
-        ("PPLive (referral+latency)".to_string(), PeerConfig::default()),
+        (
+            "PPLive (referral+latency)".to_string(),
+            PeerConfig::default(),
+        ),
         (
             "No latency race (delayed-random connect)".to_string(),
             PeerConfig {
@@ -619,7 +638,11 @@ pub fn underlay_ablation(scale: Scale, seed: u64) -> Vec<UnderlayAblationResult>
 
 /// [`underlay_ablation`] on an explicit pool.
 #[must_use]
-pub fn underlay_ablation_on(pool: &JobPool, scale: Scale, seed: u64) -> Vec<UnderlayAblationResult> {
+pub fn underlay_ablation_on(
+    pool: &JobPool,
+    scale: Scale,
+    seed: u64,
+) -> Vec<UnderlayAblationResult> {
     use plsim_net::LinkModel;
     let variants: Vec<(&str, LinkModel)> = vec![
         ("calibrated 2008 underlay", LinkModel::default()),

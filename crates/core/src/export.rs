@@ -250,7 +250,10 @@ pub fn export_suite(suite: &Suite, dir: &Path) -> io::Result<()> {
         dir.join("figs_2_5.csv"),
         locality_csv(&crate::figs_2_to_5(suite)),
     )?;
-    std::fs::write(dir.join("response_samples.csv"), response_samples_csv(suite))?;
+    std::fs::write(
+        dir.join("response_samples.csv"),
+        response_samples_csv(suite),
+    )?;
     std::fs::write(dir.join("contributions.csv"), contributions_csv(suite))?;
     std::fs::write(dir.join("metrics.json"), suite_metrics_json(suite))?;
     Ok(())

@@ -360,7 +360,10 @@ pub fn frontier_bands_csv(bands: &[FrontierBand]) -> String {
             b.tele_locality,
             b.started_fraction,
         ] {
-            out.push_str(&format!(",{:.6},{:.6},{:.6}", band.mean, band.min, band.max));
+            out.push_str(&format!(
+                ",{:.6},{:.6},{:.6}",
+                band.mean, band.min, band.max
+            ));
         }
         out.push('\n');
     }

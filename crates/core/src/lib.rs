@@ -46,20 +46,6 @@ mod render;
 mod scenario;
 
 pub use engine::{DispatchStats, Job, JobPool, INLINE_FLOOR_ENV, THREADS_ENV};
-pub use faults::{
-    all_presets, churn_storm, combined_chaos, interconnect_degradation, loss_surge,
-    tele_cnc_partition, tracker_blackout, tracker_outage_early,
-};
-pub use plsim_net::LinkFault;
-pub use frontier::{
-    frontier_bands, frontier_bands_csv, frontier_csv, frontier_policies, locality_frontier,
-    locality_frontier_on, locality_frontier_seeds, render_frontier, render_frontier_bands,
-    Band, FrontierBand, FrontierPoint,
-};
-pub use plsim_node::{
-    check_world, Fault, FaultPlan, InvariantReport, InvariantViolation, PlaybackSummary,
-    PolicySpec, SelectionPolicy, POLICY_ENV,
-};
 pub use experiments::{
     ablation, ablation_on, ablation_variants, fig_6, fig_6_on, figs_11_to_14, figs_15_to_18,
     figs_2_to_5, render_ablation, render_fig11_14, render_fig15_18, render_fig7_10, render_table1,
@@ -68,8 +54,22 @@ pub use experiments::{
     ResponseCell, RttCell, Suite, UnderlayAblationResult, WorkloadRoundTrip, CELLS,
 };
 pub use export::{
-    contributions_csv, export_suite, fault_plan_json, fig6_csv, locality_csv,
-    response_samples_csv, suite_metrics_json, to_csv,
+    contributions_csv, export_suite, fault_plan_json, fig6_csv, locality_csv, response_samples_csv,
+    suite_metrics_json, to_csv,
+};
+pub use faults::{
+    all_presets, churn_storm, combined_chaos, interconnect_degradation, loss_surge,
+    tele_cnc_partition, tracker_blackout, tracker_outage_early,
+};
+pub use frontier::{
+    frontier_bands, frontier_bands_csv, frontier_csv, frontier_policies, locality_frontier,
+    locality_frontier_on, locality_frontier_seeds, render_frontier, render_frontier_bands, Band,
+    FrontierBand, FrontierPoint,
+};
+pub use plsim_net::LinkFault;
+pub use plsim_node::{
+    check_world, Fault, FaultPlan, InvariantReport, InvariantViolation, PlaybackSummary,
+    PolicySpec, SelectionPolicy, POLICY_ENV,
 };
 pub use plsim_telemetry::{GaugeValue, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use render::{pct, render_table, secs};

@@ -171,10 +171,13 @@ impl Scenario {
         self
     }
 
-    /// Runs the scenario: builds the population, simulates the session and
-    /// analyzes each probe's capture.
+    /// The world configuration this scenario would run — the exact
+    /// assembly [`run`](Scenario::run) performs, exposed so partition
+    /// planning ([`plsim_node::partition_preview`], the bench's
+    /// window-round and rate-balance fields) can price a scenario's
+    /// sharded run without simulating it.
     #[must_use]
-    pub fn run(&self) -> ScenarioRun {
+    pub fn world_config(&self) -> WorldConfig {
         let mut spec = PopulationSpec::paper_default(self.class);
         spec.steady_viewers = self.scale.viewers(self.class);
         if let Some(day) = self.day {
@@ -195,7 +198,14 @@ impl Scenario {
         if let Some(shards) = self.shards {
             cfg.shards = shards;
         }
+        cfg
+    }
 
+    /// Runs the scenario: builds the population, simulates the session and
+    /// analyzes each probe's capture.
+    #[must_use]
+    pub fn run(&self) -> ScenarioRun {
+        let cfg = self.world_config();
         let output = run_world(&cfg);
         let dir = AsnDirectory::new();
         let reports = self
@@ -342,11 +352,17 @@ mod tests {
     #[test]
     fn scales_order_population_sizes() {
         for class in [ChannelClass::Popular, ChannelClass::Unpopular] {
-            assert_eq!(Scale::Paper10x.viewers(class), 10 * Scale::Paper.viewers(class));
+            assert_eq!(
+                Scale::Paper10x.viewers(class),
+                10 * Scale::Paper.viewers(class)
+            );
             assert!(Scale::Paper.viewers(class) > Scale::Reduced.viewers(class));
             assert!(Scale::Reduced.viewers(class) > Scale::Tiny.viewers(class));
         }
-        assert_eq!(Scale::Paper10x.duration_secs(), Scale::Paper.duration_secs());
+        assert_eq!(
+            Scale::Paper10x.duration_secs(),
+            Scale::Paper.duration_secs()
+        );
     }
 
     #[test]

@@ -9,14 +9,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 struct Counting;
 unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, l: Layout) -> *mut u8 { ALLOCS.fetch_add(1, Ordering::Relaxed); unsafe { System.alloc(l) } }
-    unsafe fn dealloc(&self, p: *mut u8, l: Layout) { unsafe { System.dealloc(p, l) } }
-    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 { ALLOCS.fetch_add(1, Ordering::Relaxed); unsafe { System.realloc(p, l, n) } }
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
 }
 #[global_allocator]
 static G: Counting = Counting;
 
-struct Churner { next: NodeId, remaining: u64 }
+struct Churner {
+    next: NodeId,
+    remaining: u64,
+}
 impl Actor<u64> for Churner {
     fn on_event(&mut self, ctx: &mut Context<'_, u64>, _from: Option<NodeId>, p: u64) {
         if self.remaining > 0 {
@@ -35,18 +46,39 @@ impl Actor<u64> for Churner {
 fn main() {
     const TOKENS: u32 = 262_144;
     let mut sim: Simulation<u64> = Simulation::with_scheduler(
-        1, FixedDelay(SimTime::from_micros(10)), MetricsRegistry::new(), SchedulerKind::Calendar);
-    let ids: Vec<NodeId> = (0..64).map(|i| sim.add_actor(Box::new(Churner { next: NodeId((i + 1) % 64), remaining: 200_000 / 64 }))).collect();
+        1,
+        FixedDelay(SimTime::from_micros(10)),
+        MetricsRegistry::new(),
+        SchedulerKind::Calendar,
+    );
+    let ids: Vec<NodeId> = (0..64)
+        .map(|i| {
+            sim.add_actor(Box::new(Churner {
+                next: NodeId((i + 1) % 64),
+                remaining: 200_000 / 64,
+            }))
+        })
+        .collect();
     sim.reserve_events(TOKENS as usize + 16);
     for t in 0..TOKENS {
-        sim.inject(SimTime::from_micros(u64::from(t) * 3), ids[(t % 64) as usize], None, u64::from(t).wrapping_mul(0x9E37_79B9), 64);
+        sim.inject(
+            SimTime::from_micros(u64::from(t) * 3),
+            ids[(t % 64) as usize],
+            None,
+            u64::from(t).wrapping_mul(0x9E37_79B9),
+            64,
+        );
     }
     let mut prev_allocs = ALLOCS.load(Ordering::Relaxed);
     let mut prev_events = 0u64;
     for ms in 1..=40u64 {
         let stats = sim.run_until(SimTime::from_micros(ms * 1_000));
         let a = ALLOCS.load(Ordering::Relaxed);
-        println!("ms {ms:>3}: {:>7} allocs, {:>7} events", a - prev_allocs, stats.events_processed - prev_events);
+        println!(
+            "ms {ms:>3}: {:>7} allocs, {:>7} events",
+            a - prev_allocs,
+            stats.events_processed - prev_events
+        );
         prev_allocs = a;
         prev_events = stats.events_processed;
     }

@@ -6,7 +6,12 @@ fn churn(s: &mut impl Scheduler, label: &str) {
     const OPS: u64 = 2_000_000;
     let mut seq = 0u64;
     for t in 0..HOLD {
-        s.push(EventKey { at: SimTime::from_micros(t * 3), seq, origin: 0, slot: seq as u32 });
+        s.push(EventKey {
+            at: SimTime::from_micros(t * 3),
+            seq,
+            origin: 0,
+            slot: seq as u32,
+        });
         seq += 1;
     }
     let start = Instant::now();
@@ -14,8 +19,17 @@ fn churn(s: &mut impl Scheduler, label: &str) {
         let k = s.pop_next_before(SimTime::MAX).unwrap();
         let now = k.at.as_micros();
         let p = k.seq.wrapping_mul(0x9E3779B9);
-        let delay = if p.is_multiple_of(3) { 1 + p.wrapping_mul(2_654_435_761) % 5_000 } else { 10 };
-        s.push(EventKey { at: SimTime::from_micros(now + delay), seq, origin: 0, slot: seq as u32 });
+        let delay = if p.is_multiple_of(3) {
+            1 + p.wrapping_mul(2_654_435_761) % 5_000
+        } else {
+            10
+        };
+        s.push(EventKey {
+            at: SimTime::from_micros(now + delay),
+            seq,
+            origin: 0,
+            slot: seq as u32,
+        });
         seq += 1;
     }
     let el = start.elapsed().as_secs_f64();

@@ -55,6 +55,7 @@
 mod sched;
 mod sim;
 mod time;
+mod window;
 
 pub use sched::{CalendarScheduler, EventKey, HeapScheduler, Scheduler, SchedulerKind};
 pub use sim::{
@@ -62,3 +63,4 @@ pub use sim::{
     NullMonitor, PopRecord, QueueIntent, RemoteEvent, SimStats, Simulation,
 };
 pub use time::SimTime;
+pub use window::WindowPlan;

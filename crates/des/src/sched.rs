@@ -541,10 +541,7 @@ mod tests {
             );
             assert_eq!(sched.pop_next_before(SimTime::from_micros(5_000)), None);
             assert_eq!(sched.len(), 1);
-            assert_eq!(
-                sched.pop_next_before(SimTime::MAX),
-                Some(key(9_000_000, 1))
-            );
+            assert_eq!(sched.pop_next_before(SimTime::MAX), Some(key(9_000_000, 1)));
         }
     }
 

@@ -175,8 +175,7 @@ pub trait Monitor<P> {
     /// Called when a node hands a message to the network (at send time).
     fn on_send(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
     /// Called when the network delivers a message to its destination.
-    fn on_deliver(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {
-    }
+    fn on_deliver(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
     /// Called when the medium drops a message.
     fn on_drop(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _payload: &P, _size: u32) {}
     /// Called when a scheduled [`FaultEvent`] fires (after the medium has
@@ -539,9 +538,10 @@ pub struct Simulation<P> {
 /// (splitmix64 finalizer over a golden-ratio mix — same stream whichever
 /// shard materialises the actor).
 fn stream_seed(master: u64, origin: u32) -> u64 {
-    let mut z = master ^ u64::from(origin)
-        .wrapping_add(1)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z = master
+        ^ u64::from(origin)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -752,7 +752,9 @@ impl<P> Simulation<P> {
         shadow_faults: Vec<(SimTime, u64, FaultEvent)>,
     ) {
         debug_assert!(
-            shadow_faults.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            shadow_faults
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
             "shadow faults must be sorted by (time, seq)"
         );
         self.shard = Some(ShardState {
@@ -806,7 +808,11 @@ impl<P> Simulation<P> {
         partial: SimTime,
         scale_bits: u64,
     ) -> SimTime {
-        depart + partial + self.medium.replay_enqueue(queue, size_bytes, depart, scale_bits)
+        depart
+            + partial
+            + self
+                .medium
+                .replay_enqueue(queue, size_bytes, depart, scale_bits)
     }
 
     /// Enqueues a cross-shard event delivered by the shard driver. The
@@ -815,9 +821,7 @@ impl<P> Simulation<P> {
     /// arrival order across `ingest_remote` calls is irrelevant.
     pub fn ingest_remote(&mut self, ev: RemoteEvent<P>) {
         debug_assert!(
-            self.shard
-                .as_ref()
-                .is_none_or(|s| s.local[ev.to.index()]),
+            self.shard.as_ref().is_none_or(|s| s.local[ev.to.index()]),
             "remote event routed to the wrong shard"
         );
         let slot = self.pool.insert(EventBody {
@@ -1011,10 +1015,7 @@ impl<P> Simulation<P> {
                             let seq = self.next_seq[origin_key as usize];
                             self.next_seq[origin_key as usize] = seq + 1;
                             let at = depart + delay;
-                            let local = self
-                                .shard
-                                .as_ref()
-                                .is_none_or(|s| s.local[to.index()]);
+                            let local = self.shard.as_ref().is_none_or(|s| s.local[to.index()]);
                             if local {
                                 self.push(
                                     at,
@@ -1433,7 +1434,10 @@ mod tests {
 
         let stats = sim.stats();
         let snap = registry.snapshot();
-        assert_eq!(snap.counter("des.events_processed"), Some(stats.events_processed));
+        assert_eq!(
+            snap.counter("des.events_processed"),
+            Some(stats.events_processed)
+        );
         assert_eq!(snap.counter("des.messages_sent"), Some(stats.messages_sent));
         assert_eq!(snap.counter("des.faults_activated"), Some(1));
         assert_eq!(

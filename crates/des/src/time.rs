@@ -21,7 +21,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_micros(), 2_500_000);
 /// assert_eq!(t.as_secs_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

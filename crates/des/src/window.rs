@@ -1,0 +1,348 @@
+//! Window accounting for conservatively synchronized shard fleets.
+//!
+//! A sharded run advances in global barrier *rounds*. Under the original
+//! protocol every shard stepped by the same global stride — the fleet-wide
+//! minimum lookahead — so one tight shard pair throttled everyone. A
+//! [`WindowPlan`] instead holds the full pairwise lookahead matrix and
+//! advances each shard to
+//!
+//! ```text
+//! target[me] = min over sources s of (window[s] + lookahead[s][me])
+//! ```
+//!
+//! per round: a shard coupled to its peers only through slow links takes
+//! proportionally larger steps. The recurrence is a pure function of the
+//! matrix and the horizon — no simulation state feeds back into it — so
+//! every shard thread replays the identical window sequence without
+//! sharing anything, and the total round count can be computed up front
+//! (that is what `BENCH_engine.json`'s `window_rounds_*` fields report).
+//!
+//! Two protocol obligations shape the recurrence:
+//!
+//! * **Safety.** `lookahead[s][t]` must lower-bound the delay of anything
+//!   shard `s` emits toward shard `t` (including `s == t` for
+//!   owner-replayed queue intents, whose arrivals cross a barrier even
+//!   between same-shard hosts). Then every event sent during a round is
+//!   due at or after the destination's target, and exchanging at the
+//!   round barrier is always early enough.
+//! * **Replay order.** Shards that emit deferred-queue intents toward
+//!   the *same owner* are collapsed onto a common window (the minimum of
+//!   their individual targets): the owner sorts each round's intents by
+//!   global stamp, and per-round sorting only reproduces the global
+//!   enqueue order if no later round can deliver an intent stamped
+//!   before an already-replayed one — which a shared window across that
+//!   owner's feeders guarantees, since round `r + 1` intents are all
+//!   stamped at or after the round-`r` group window end. The obligation
+//!   is per *emitter group* (shards linked through a shared deferred
+//!   ISP, and hence a shared owner), not fleet-wide: distinct groups
+//!   feed disjoint owners, whose replays never sort against each other,
+//!   so each group floats on its own common window.
+//!
+//! The same asymmetry means rounds no longer partition the stamp space:
+//! a fast shard's round-`r` events can carry later stamps than a slow
+//! shard's round-`r + 1` events. Anything folded incrementally in global
+//! stamp order (the queue-depth replay) must therefore only consume the
+//! prefix below the fleet-wide *frontier* — the minimum target over
+//! shards still short of the horizon — which [`WindowPlan::frontier`]
+//! computes.
+
+/// The per-round advancement plan for a sharded run: pairwise lookahead
+/// entries in microseconds, the horizon, and the emitter groups forcing
+/// a common window on each set of co-feeding deferred-intent emitters.
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    shards: usize,
+    /// `entries[s * shards + t]`: minimum delay of anything shard `s`
+    /// emits toward shard `t`, in µs; `None` when no `s → t` traffic can
+    /// exist. The diagonal is populated only for deferred-queue emitters.
+    entries: Vec<Option<u64>>,
+    /// Simulation horizon in µs.
+    horizon: u64,
+    /// Emitter group of each shard: `Some(g)` for shards that emit
+    /// deferred-queue intents. Shards sharing a group feed the same
+    /// owner replay and advance on a shared window so the owner's
+    /// per-round stamp sort is the global enqueue order; different
+    /// groups collapse independently.
+    groups: Vec<Option<usize>>,
+}
+
+impl WindowPlan {
+    /// Builds a plan. `entries` is the `shards × shards` row-major
+    /// lookahead matrix in µs; `groups[s]` carries the emitter group of
+    /// shards whose hosts can emit deferred-queue intents.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix or group mask does not match `shards`, or
+    /// when any present entry is zero (a zero lookahead cannot order a
+    /// barrier exchange).
+    #[must_use]
+    pub fn new(
+        shards: usize,
+        horizon: u64,
+        entries: Vec<Option<u64>>,
+        groups: Vec<Option<usize>>,
+    ) -> Self {
+        assert_eq!(entries.len(), shards * shards, "lookahead matrix shape");
+        assert_eq!(groups.len(), shards, "emitter group mask shape");
+        assert!(
+            entries.iter().flatten().all(|&l| l > 0),
+            "zero lookahead entries cannot order a barrier exchange"
+        );
+        WindowPlan {
+            shards,
+            entries,
+            horizon,
+            groups,
+        }
+    }
+
+    /// The global-window reference plan: every pair shares one `stride`,
+    /// no emitter collapse — exactly the pre-pairwise protocol, kept so
+    /// round counts can be compared like for like.
+    #[must_use]
+    pub fn uniform(shards: usize, horizon: u64, stride: u64) -> Self {
+        let entries = (0..shards * shards)
+            .map(|i| (i % shards != i / shards).then_some(stride))
+            .collect();
+        Self::new(shards, horizon, entries, vec![None; shards])
+    }
+
+    /// The shard count the plan was built for.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The initial window vector: every shard at time zero.
+    #[must_use]
+    pub fn start(&self) -> Vec<u64> {
+        vec![0; self.shards]
+    }
+
+    /// Advances the window vector by one round in place: each shard moves
+    /// to `min over s of (window[s] + lookahead[s][me])`, each emitter
+    /// group is collapsed onto its members' common minimum, and a shard
+    /// with no finite incoming entry jumps straight to the horizon.
+    /// Targets never regress (the recurrence is monotone), and a shard at
+    /// or past the horizon keeps advancing so its peers' bounds stay
+    /// live.
+    pub fn step(&self, window: &mut [u64]) {
+        debug_assert_eq!(window.len(), self.shards);
+        let mut target = vec![u64::MAX; self.shards];
+        for (me, t) in target.iter_mut().enumerate() {
+            for (s, &ws) in window.iter().enumerate() {
+                if let Some(l) = self.entries[s * self.shards + me] {
+                    *t = (*t).min(ws.saturating_add(l));
+                }
+            }
+            if *t == u64::MAX {
+                *t = self.horizon;
+            }
+            debug_assert!(*t >= window[me], "window target regressed");
+        }
+        window.copy_from_slice(&target);
+        for (s, &g) in self.groups.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let common = (0..self.shards)
+                .filter(|&m| self.groups[m] == Some(g))
+                .map(|m| target[m])
+                .min()
+                .expect("group has at least one member");
+            window[s] = common;
+        }
+    }
+
+    /// The fleet-wide fold frontier for the given window vector: the
+    /// minimum window end over shards still short of the horizon, or
+    /// `None` once every shard has crossed it (everything buffered is
+    /// final). Stamps strictly below the frontier can never be produced
+    /// again by any shard.
+    #[must_use]
+    pub fn frontier(&self, window: &[u64]) -> Option<u64> {
+        window.iter().copied().filter(|&w| w < self.horizon).min()
+    }
+
+    /// Total barrier rounds the plan needs to carry every shard to the
+    /// horizon — each shard's final (horizon-inclusive) round included.
+    /// Deterministic, and exactly the rounds `run_sharded` executes.
+    ///
+    /// Note this is the *fleet* round count (max over shards): when the
+    /// fleet's tightest coupling is mutual — two shards bounding each
+    /// other at the same stride, as sub-ISP splits of one ISP do — the
+    /// slowest pair advances at the global stride and this count matches
+    /// the uniform plan's. The pairwise win shows up in
+    /// [`WindowPlan::shard_rounds`]: loosely coupled shards cross the
+    /// horizon early and sit out the remaining rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        let mut window = self.start();
+        let mut rounds = 0u64;
+        while window.iter().any(|&w| w < self.horizon) {
+            self.step(&mut window);
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Total *windowed advancement rounds executed across the fleet*: for
+    /// each shard, the number of rounds until its window first reaches the
+    /// horizon (final round included), summed over shards. Each such round
+    /// is one `run_until` window slice plus an outbox drain/route pass —
+    /// the per-round windowing overhead — so this is the honest cost
+    /// metric to compare against the uniform plan, where every shard works
+    /// every round (`shards × rounds`).
+    #[must_use]
+    pub fn shard_rounds(&self) -> u64 {
+        let mut window = self.start();
+        let mut total = 0u64;
+        while window.iter().any(|&w| w < self.horizon) {
+            // Windows are monotone, so `< horizon` here means the shard
+            // has not yet run its final slice and works this round.
+            total += window.iter().filter(|&&w| w < self.horizon).count() as u64;
+            self.step(&mut window);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_rounds_match_the_global_stride_count() {
+        // horizon 10, stride 3: windows end at 3, 6, 9, then the final
+        // inclusive round — exactly ceil(10 / 3) rounds.
+        let plan = WindowPlan::uniform(3, 10, 3);
+        assert_eq!(plan.rounds(), 4);
+        // Exact division: 3, 6, 9 >= 9 — the last window is the final round.
+        assert_eq!(WindowPlan::uniform(2, 9, 3).rounds(), 3);
+    }
+
+    #[test]
+    fn asymmetric_entries_save_shard_rounds_over_their_minimum() {
+        // Shards 0/1 are tightly coupled (5 µs) but shard 2 only talks to
+        // them over a slow link (50 µs). The tight pair is mutual, so the
+        // fleet round count matches the uniform plan — shard 2 is what
+        // pairwise liberates: it rides 50 µs bounds, finishes early, and
+        // sits out the tail, so the summed work rounds drop.
+        let m = |v: [[u64; 3]; 3]| {
+            (0..9)
+                .map(|i| (i % 3 != i / 3).then_some(v[i / 3][i % 3]))
+                .collect::<Vec<_>>()
+        };
+        let pairwise = WindowPlan::new(
+            3,
+            1_000,
+            m([[0, 5, 50], [5, 0, 50], [50, 50, 0]]),
+            vec![None; 3],
+        );
+        let global = WindowPlan::uniform(3, 1_000, 5);
+        assert_eq!(pairwise.rounds(), global.rounds());
+        assert!(pairwise.shard_rounds() < global.shard_rounds());
+        assert_eq!(global.shard_rounds(), 3 * global.rounds());
+        // Uniform entries equal to the min reproduce the global counts.
+        let flat = WindowPlan::new(
+            3,
+            1_000,
+            m([[0, 5, 5], [5, 0, 5], [5, 5, 0]]),
+            vec![None; 3],
+        );
+        assert_eq!(flat.rounds(), global.rounds());
+        assert_eq!(flat.shard_rounds(), global.shard_rounds());
+    }
+
+    #[test]
+    fn windows_are_monotone_and_honor_pair_bounds() {
+        let entries = (0..9)
+            .map(|i| (i % 3 != i / 3).then_some([7u64, 13, 29][(i * 5) % 3]))
+            .collect::<Vec<_>>();
+        let plan = WindowPlan::new(3, 500, entries.clone(), vec![None; 3]);
+        let mut w = plan.start();
+        let mut prev = w.clone();
+        for _ in 0..plan.rounds() {
+            plan.step(&mut w);
+            for me in 0..3 {
+                assert!(w[me] >= prev[me], "window regressed");
+                for s in 0..3 {
+                    if let Some(l) = entries[s * 3 + me] {
+                        assert!(
+                            w[me] <= prev[s] + l,
+                            "shard {me} advanced past source {s}'s bound"
+                        );
+                    }
+                }
+            }
+            prev.copy_from_slice(&w);
+        }
+        assert!(w.iter().all(|&x| x >= 500));
+    }
+
+    #[test]
+    fn emitters_share_a_common_window() {
+        // Shard 2 (non-emitter) is far from both emitters; emitters 0/1
+        // must stay on the minimum of their individual targets.
+        let entries = vec![
+            Some(10),
+            Some(10),
+            Some(80),
+            Some(25),
+            Some(25),
+            Some(80),
+            Some(80),
+            Some(80),
+            None,
+        ];
+        let plan = WindowPlan::new(3, 10_000, entries, vec![Some(0), Some(0), None]);
+        let mut w = plan.start();
+        for _ in 0..plan.rounds() {
+            plan.step(&mut w);
+            assert_eq!(w[0], w[1], "emitter windows diverged");
+        }
+    }
+
+    #[test]
+    fn distinct_emitter_groups_float_independently() {
+        // Two tightly-coupled pairs, loosely coupled to each other. Under
+        // a fleet-wide collapse all four shards would march at the tight
+        // stride; per-group collapse lets each pair ride its own stride,
+        // so the loose pair finishes in fewer rounds.
+        let tight = 10u64;
+        let loose = 40u64;
+        let far = 200u64;
+        let mut entries = vec![Some(far); 16];
+        for s in 0..4 {
+            entries[s * 4 + s] = None;
+        }
+        entries[1] = Some(tight); // 0 -> 1
+        entries[4] = Some(tight); // 1 -> 0
+        entries[2 * 4 + 3] = Some(loose); // 2 -> 3
+        entries[3 * 4 + 2] = Some(loose); // 3 -> 2
+        let grouped = WindowPlan::new(
+            4,
+            10_000,
+            entries.clone(),
+            vec![Some(0), Some(0), Some(1), Some(1)],
+        );
+        let collapsed = WindowPlan::new(4, 10_000, entries, vec![Some(0); 4]);
+        let mut w = grouped.start();
+        for _ in 0..grouped.rounds() {
+            grouped.step(&mut w);
+            assert_eq!(w[0], w[1], "group 0 diverged");
+            assert_eq!(w[2], w[3], "group 1 diverged");
+        }
+        assert!(
+            grouped.shard_rounds() < collapsed.shard_rounds(),
+            "per-group collapse saved nothing over the fleet-wide collapse"
+        );
+    }
+
+    #[test]
+    fn frontier_tracks_the_slowest_unfinished_shard() {
+        let plan = WindowPlan::uniform(2, 100, 30);
+        assert_eq!(plan.frontier(&[30, 60]), Some(30));
+        assert_eq!(plan.frontier(&[120, 60]), Some(60));
+        assert_eq!(plan.frontier(&[120, 100]), None);
+    }
+}

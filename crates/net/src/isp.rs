@@ -132,24 +132,122 @@ pub struct AsnRecord {
 /// octet uniquely identifies the ISP.
 const PREFIX_PLAN: &[(u8, AsnRecord)] = &[
     // ChinaTelecom / Chinanet.
-    (58, AsnRecord { asn: Asn(4134), name: "CHINANET-BACKBONE", isp: Isp::Tele }),
-    (61, AsnRecord { asn: Asn(4134), name: "CHINANET-BACKBONE", isp: Isp::Tele }),
-    (202, AsnRecord { asn: Asn(4134), name: "CHINANET-BACKBONE", isp: Isp::Tele }),
+    (
+        58,
+        AsnRecord {
+            asn: Asn(4134),
+            name: "CHINANET-BACKBONE",
+            isp: Isp::Tele,
+        },
+    ),
+    (
+        61,
+        AsnRecord {
+            asn: Asn(4134),
+            name: "CHINANET-BACKBONE",
+            isp: Isp::Tele,
+        },
+    ),
+    (
+        202,
+        AsnRecord {
+            asn: Asn(4134),
+            name: "CHINANET-BACKBONE",
+            isp: Isp::Tele,
+        },
+    ),
     // ChinaNetcom / CNCGROUP.
-    (60, AsnRecord { asn: Asn(4837), name: "CNCGROUP-BACKBONE", isp: Isp::Cnc }),
-    (218, AsnRecord { asn: Asn(4837), name: "CNCGROUP-BACKBONE", isp: Isp::Cnc }),
-    (221, AsnRecord { asn: Asn(4837), name: "CNCGROUP-BACKBONE", isp: Isp::Cnc }),
+    (
+        60,
+        AsnRecord {
+            asn: Asn(4837),
+            name: "CNCGROUP-BACKBONE",
+            isp: Isp::Cnc,
+        },
+    ),
+    (
+        218,
+        AsnRecord {
+            asn: Asn(4837),
+            name: "CNCGROUP-BACKBONE",
+            isp: Isp::Cnc,
+        },
+    ),
+    (
+        221,
+        AsnRecord {
+            asn: Asn(4837),
+            name: "CNCGROUP-BACKBONE",
+            isp: Isp::Cnc,
+        },
+    ),
     // CERNET.
-    (166, AsnRecord { asn: Asn(4538), name: "ERX-CERNET-BKB", isp: Isp::Cer }),
-    (211, AsnRecord { asn: Asn(4538), name: "ERX-CERNET-BKB", isp: Isp::Cer }),
+    (
+        166,
+        AsnRecord {
+            asn: Asn(4538),
+            name: "ERX-CERNET-BKB",
+            isp: Isp::Cer,
+        },
+    ),
+    (
+        211,
+        AsnRecord {
+            asn: Asn(4538),
+            name: "ERX-CERNET-BKB",
+            isp: Isp::Cer,
+        },
+    ),
     // Smaller Chinese carriers.
-    (210, AsnRecord { asn: Asn(9394), name: "CRNET-CN", isp: Isp::OtherCn }),
-    (220, AsnRecord { asn: Asn(9929), name: "CNCNET-CN", isp: Isp::OtherCn }),
+    (
+        210,
+        AsnRecord {
+            asn: Asn(9394),
+            name: "CRNET-CN",
+            isp: Isp::OtherCn,
+        },
+    ),
+    (
+        220,
+        AsnRecord {
+            asn: Asn(9929),
+            name: "CNCNET-CN",
+            isp: Isp::OtherCn,
+        },
+    ),
     // Foreign carriers.
-    (24, AsnRecord { asn: Asn(7922), name: "COMCAST-7922", isp: Isp::Foreign }),
-    (85, AsnRecord { asn: Asn(3320), name: "DTAG", isp: Isp::Foreign }),
-    (128, AsnRecord { asn: Asn(1747), name: "GMU-EDU", isp: Isp::Foreign }),
-    (130, AsnRecord { asn: Asn(701), name: "UUNET", isp: Isp::Foreign }),
+    (
+        24,
+        AsnRecord {
+            asn: Asn(7922),
+            name: "COMCAST-7922",
+            isp: Isp::Foreign,
+        },
+    ),
+    (
+        85,
+        AsnRecord {
+            asn: Asn(3320),
+            name: "DTAG",
+            isp: Isp::Foreign,
+        },
+    ),
+    (
+        128,
+        AsnRecord {
+            asn: Asn(1747),
+            name: "GMU-EDU",
+            isp: Isp::Foreign,
+        },
+    ),
+    (
+        130,
+        AsnRecord {
+            asn: Asn(701),
+            name: "UUNET",
+            isp: Isp::Foreign,
+        },
+    ),
 ];
 
 /// The IP→ASN mapping oracle, standing in for the Team Cymru service the

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn transoceanic_is_slowest() {
         for a in [Isp::Tele, Isp::Cnc, Isp::Cer, Isp::OtherCn] {
-            assert!(core_one_way_ms(a, Isp::Foreign) > core_one_way_ms(a, Isp::Cnc).max(core_one_way_ms(a, Isp::Tele)));
+            assert!(
+                core_one_way_ms(a, Isp::Foreign)
+                    > core_one_way_ms(a, Isp::Cnc).max(core_one_way_ms(a, Isp::Tele))
+            );
         }
     }
 
@@ -249,7 +252,10 @@ mod tests {
         let y = b.add_host(Isp::Foreign, BandwidthClass::Campus, &mut r);
         let t = b.build();
         assert_eq!(t.base_rtt(x, y), t.base_rtt(y, x));
-        assert_eq!(t.base_rtt(x, y), t.base_one_way(x, y) + t.base_one_way(x, y));
+        assert_eq!(
+            t.base_rtt(x, y),
+            t.base_one_way(x, y) + t.base_one_way(x, y)
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn main() {
     let popular = args.get(3).map(|s| s != "unpop").unwrap_or(true);
 
     let mut rng = SmallRng::seed_from_u64(42);
-    let class = if popular { ChannelClass::Popular } else { ChannelClass::Unpopular };
+    let class = if popular {
+        ChannelClass::Popular
+    } else {
+        ChannelClass::Unpopular
+    };
     let mut spec = PopulationSpec::paper_default(class);
     spec.steady_viewers = viewers;
     let plan = SessionPlan::generate(&spec, dur, &mut rng);
@@ -25,68 +29,150 @@ fn main() {
     cfg.probes.push(ProbeSpec::campus(Isp::Foreign));
     let t0 = std::time::Instant::now();
     let out = run_world(&cfg);
-    println!("wall: {:?}, events: {}, drops: {}", t0.elapsed(), out.sim.events_processed, out.sim.messages_dropped);
+    println!(
+        "wall: {:?}, events: {}, drops: {}",
+        t0.elapsed(),
+        out.sim.events_processed,
+        out.sim.messages_dropped
+    );
 
-    let viewers_s: Vec<_> = out.peer_stats.iter().filter(|s| s.node != out.source).collect();
-    let playing = viewers_s.iter().filter(|s| s.playback_started.is_some()).count();
+    let viewers_s: Vec<_> = out
+        .peer_stats
+        .iter()
+        .filter(|s| s.node != out.source)
+        .collect();
+    let playing = viewers_s
+        .iter()
+        .filter(|s| s.playback_started.is_some())
+        .count();
     let total_stall: u64 = viewers_s.iter().map(|s| s.stalls).sum();
     let total_played: u64 = viewers_s.iter().map(|s| s.chunks_played).sum();
-    println!("viewers: {} flushed, {} started playback; aggregate played={} stalls={} ratio={:.4}",
-        viewers_s.len(), playing, total_played, total_stall,
-        total_stall as f64 / (total_played + total_stall).max(1) as f64);
+    println!(
+        "viewers: {} flushed, {} started playback; aggregate played={} stalls={} ratio={:.4}",
+        viewers_s.len(),
+        playing,
+        total_played,
+        total_stall,
+        total_stall as f64 / (total_played + total_stall).max(1) as f64
+    );
     // Stall-ratio distribution by ISP and bandwidth proxy.
     let mut by_isp: std::collections::BTreeMap<String, (f64, u64, u64)> = Default::default();
     for s in &viewers_s {
-        if s.chunks_played + s.stalls == 0 { continue; }
+        if s.chunks_played + s.stalls == 0 {
+            continue;
+        }
         let e = by_isp.entry(format!("{:?}", s.isp)).or_default();
         e.0 += s.stall_ratio();
         e.1 += 1;
-        if s.stall_ratio() > 0.3 { e.2 += 1; }
+        if s.stall_ratio() > 0.3 {
+            e.2 += 1;
+        }
     }
     for (isp, (sum, n, bad)) in &by_isp {
-        println!("  stall by isp {isp}: mean={:.3} n={} bad(>30%)={}", sum / *n as f64, n, bad);
+        println!(
+            "  stall by isp {isp}: mean={:.3} n={} bad(>30%)={}",
+            sum / *n as f64,
+            n,
+            bad
+        );
     }
-    let mut ratios: Vec<f64> = viewers_s.iter().filter(|s| s.chunks_played + s.stalls > 0).map(|s| s.stall_ratio()).collect();
+    let mut ratios: Vec<f64> = viewers_s
+        .iter()
+        .filter(|s| s.chunks_played + s.stalls > 0)
+        .map(|s| s.stall_ratio())
+        .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |f: f64| ratios[(f * (ratios.len() - 1) as f64) as usize];
-    println!("  stall quartiles: p10={:.3} p50={:.3} p90={:.3} p99={:.3}", q(0.1), q(0.5), q(0.9), q(0.99));
+    println!(
+        "  stall quartiles: p10={:.3} p50={:.3} p90={:.3} p99={:.3}",
+        q(0.1),
+        q(0.5),
+        q(0.9),
+        q(0.99)
+    );
     for &p in &out.probes {
         let st = out.peer_stats.iter().find(|s| s.node == p).unwrap();
-        println!("probe {:?} ({:?}): played={} stalls={} reqs={} replies={} rejects={} uniq={}",
-            p, st.isp, st.chunks_played, st.stalls, st.data_requests_sent,
-            st.data_replies_received, st.data_rejects_received, st.unique_data_peers);
+        println!(
+            "probe {:?} ({:?}): played={} stalls={} reqs={} replies={} rejects={} uniq={}",
+            p,
+            st.isp,
+            st.chunks_played,
+            st.stalls,
+            st.data_requests_sent,
+            st.data_replies_received,
+            st.data_rejects_received,
+            st.unique_data_peers
+        );
     }
     let dir = AsnDirectory::new();
     for (i, &p) in out.probes.iter().enumerate() {
         let isp = out.topology.host(p).isp;
         let rep = ProbeReport::new(p, isp, &out.records, &dir);
         println!("\n=== probe{} ({:?}) ===", i, isp);
-        println!("returned addrs: total={} home_frac={:.3}", rep.returned.total(), rep.returned_home_fraction());
-        for (isp2, v) in rep.returned.iter() { print!(" {}={}", isp2, v); }
+        println!(
+            "returned addrs: total={} home_frac={:.3}",
+            rep.returned.total(),
+            rep.returned_home_fraction()
+        );
+        for (isp2, v) in rep.returned.iter() {
+            print!(" {}={}", isp2, v);
+        }
         println!();
         println!("by source:");
         for (src, counts) in &rep.returned_by_source {
-            let own = counts.fraction(match src { plsim_analysis::ListSource::Peer(i)|plsim_analysis::ListSource::Tracker(i) => *i });
-            println!("  {:8} total={:6} own-isp-frac={:.3}", src.label(), counts.total(), own);
+            let own = counts.fraction(match src {
+                plsim_analysis::ListSource::Peer(i) | plsim_analysis::ListSource::Tracker(i) => *i,
+            });
+            println!(
+                "  {:8} total={:6} own-isp-frac={:.3}",
+                src.label(),
+                counts.total(),
+                own
+            );
         }
-        println!("data: tx_total={} bytes_total={} locality={:.3}", rep.data.transmissions.total(), rep.data.bytes.total(), rep.locality());
-        for (isp2, v) in rep.data.bytes.iter() { print!(" {}={}", isp2, v); }
+        println!(
+            "data: tx_total={} bytes_total={} locality={:.3}",
+            rep.data.transmissions.total(),
+            rep.data.bytes.total(),
+            rep.locality()
+        );
+        for (isp2, v) in rep.data.bytes.iter() {
+            print!(" {}={}", isp2, v);
+        }
         println!();
         let a = rep.peer_list_rt.averages();
-        println!("peer-list rt avgs: TELE={:?} CNC={:?} OTHER={:?} (n={} unanswered={})",
-            a[IspGroup::Tele].map(|x| (x*1000.0).round()/1000.0), a[IspGroup::Cnc].map(|x|(x*1000.0).round()/1000.0), a[IspGroup::Other].map(|x|(x*1000.0).round()/1000.0),
-            rep.peer_list_rt.samples.len(), rep.peer_list_rt.unanswered);
+        println!(
+            "peer-list rt avgs: TELE={:?} CNC={:?} OTHER={:?} (n={} unanswered={})",
+            a[IspGroup::Tele].map(|x| (x * 1000.0).round() / 1000.0),
+            a[IspGroup::Cnc].map(|x| (x * 1000.0).round() / 1000.0),
+            a[IspGroup::Other].map(|x| (x * 1000.0).round() / 1000.0),
+            rep.peer_list_rt.samples.len(),
+            rep.peer_list_rt.unanswered
+        );
         let d = rep.data_rt.averages();
-        println!("data rt avgs:      TELE={:?} CNC={:?} OTHER={:?} (n={})",
-            d[IspGroup::Tele].map(|x| (x*1000.0).round()/1000.0), d[IspGroup::Cnc].map(|x|(x*1000.0).round()/1000.0), d[IspGroup::Other].map(|x|(x*1000.0).round()/1000.0),
-            rep.data_rt.samples.len());
+        println!(
+            "data rt avgs:      TELE={:?} CNC={:?} OTHER={:?} (n={})",
+            d[IspGroup::Tele].map(|x| (x * 1000.0).round() / 1000.0),
+            d[IspGroup::Cnc].map(|x| (x * 1000.0).round() / 1000.0),
+            d[IspGroup::Other].map(|x| (x * 1000.0).round() / 1000.0),
+            rep.data_rt.samples.len()
+        );
         let c = &rep.contributions;
-        println!("connected peers: {} (listed unique {})", c.peers.len(), c.unique_listed_peers);
-        for (isp2, v) in c.connected_by_isp.iter() { print!(" {}={}", isp2, v); }
+        println!(
+            "connected peers: {} (listed unique {})",
+            c.peers.len(),
+            c.unique_listed_peers
+        );
+        for (isp2, v) in c.connected_by_isp.iter() {
+            print!(" {}={}", isp2, v);
+        }
         println!();
         println!("zipf: {:?}", c.zipf);
         println!("se:   {:?}", c.se);
-        println!("top10: bytes={:?} reqs={:?}", c.top10_byte_share, c.top10_request_share);
+        println!(
+            "top10: bytes={:?} reqs={:?}",
+            c.top10_byte_share, c.top10_request_share
+        );
         println!("rtt corr: {:?}", c.rtt_correlation);
     }
 }

@@ -87,8 +87,8 @@ impl Actor<Message> for BootstrapServer {
 mod tests {
     use super::*;
     use plsim_des::{FixedDelay, SimTime, Simulation};
-    use std::net::Ipv4Addr;
     use std::cell::RefCell;
+    use std::net::Ipv4Addr;
     use std::rc::Rc;
 
     /// Test client that records what the bootstrap returns.

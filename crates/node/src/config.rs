@@ -72,7 +72,10 @@ impl StreamParams {
     /// Panics if `chunk_subpieces` exceeds 64 (mask representation limit).
     #[must_use]
     pub fn full_mask(&self) -> u64 {
-        assert!(self.chunk_subpieces <= 64, "at most 64 sub-pieces per chunk");
+        assert!(
+            self.chunk_subpieces <= 64,
+            "at most 64 sub-pieces per chunk"
+        );
         if self.chunk_subpieces == 64 {
             u64::MAX
         } else {

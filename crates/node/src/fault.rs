@@ -229,7 +229,14 @@ mod tests {
         assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by time");
         let begins = tl.iter().filter(|(_, _, b)| *b).count();
         assert_eq!(begins, 3);
-        assert_eq!(tl[0], (SimTime::from_secs(100), "churn-storm:0.50".to_string(), true));
+        assert_eq!(
+            tl[0],
+            (
+                SimTime::from_secs(100),
+                "churn-storm:0.50".to_string(),
+                true
+            )
+        );
     }
 
     #[test]
@@ -262,6 +269,12 @@ mod tests {
             restore: None,
         };
         assert_eq!(f.window(), (SimTime::from_secs(5), None));
-        assert_eq!(FaultPlan::new().tracker_outage(SimTime::from_secs(5)).timeline().len(), 1);
+        assert_eq!(
+            FaultPlan::new()
+                .tracker_outage(SimTime::from_secs(5))
+                .timeline()
+                .len(),
+            1
+        );
     }
 }

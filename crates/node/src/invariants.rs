@@ -257,9 +257,7 @@ pub fn check_stall_accounting(stats: &[PeerStats], duration: SimTime) -> Vec<Inv
                 if total as f64 > bound {
                     out.push(InvariantViolation::StallAccounting {
                         node: s.node,
-                        detail: format!(
-                            "{total} playback ticks in a {ticks:.0}s playback window"
-                        ),
+                        detail: format!("{total} playback ticks in a {ticks:.0}s playback window"),
                     });
                 }
             }
@@ -310,7 +308,13 @@ mod tests {
         b.build()
     }
 
-    fn record(t: u64, probe: u32, remote: u32, direction: Direction, kind: RecordKind) -> TraceRecord {
+    fn record(
+        t: u64,
+        probe: u32,
+        remote: u32,
+        direction: Direction,
+        kind: RecordKind,
+    ) -> TraceRecord {
         TraceRecord {
             t: SimTime::from_secs(t),
             probe: NodeId(probe),
@@ -375,8 +379,14 @@ mod tests {
         ]);
         let v = check_reply_conservation(&records);
         assert_eq!(v.len(), 2);
-        assert!(matches!(v[0], InvariantViolation::OrphanReply { seq: 8, .. }));
-        assert!(matches!(v[1], InvariantViolation::OrphanReply { seq: 99, .. }));
+        assert!(matches!(
+            v[0],
+            InvariantViolation::OrphanReply { seq: 8, .. }
+        ));
+        assert!(matches!(
+            v[1],
+            InvariantViolation::OrphanReply { seq: 99, .. }
+        ));
         assert!(check_monotone_trace(&records).is_empty());
     }
 

@@ -50,6 +50,7 @@ mod config;
 mod det;
 mod fault;
 mod invariants;
+mod outbox;
 mod peer;
 pub mod policy;
 mod shard;
@@ -62,10 +63,11 @@ pub use config::{ConnectPolicy, DataSelection, PeerConfig, StreamParams};
 pub use det::{DetHashMap, DetHashSet, Fnv1a};
 pub use fault::{Fault, FaultBoundary, FaultPlan};
 pub use invariants::{check_world, InvariantReport, InvariantViolation};
+pub use outbox::ShardExchange;
 pub use peer::{PeerNode, Role};
+pub use plsim_capture::{CaptureAggregates, CaptureConfig};
 pub use policy::{CandidateLink, PolicySpec, SelectionPolicy, POLICY_ENV};
-pub use shard::PartitionReport;
+pub use shard::{partition_preview, PartitionReport};
 pub use stats::{PeerStats, PlaybackSummary, StatsSink};
 pub use tracker::TrackerServer;
-pub use plsim_capture::{CaptureAggregates, CaptureConfig};
 pub use world::{run_world, ProbeSpec, World, WorldConfig, WorldOutput, SHARDS_ENV};

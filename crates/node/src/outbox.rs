@@ -1,0 +1,126 @@
+//! Coalesced, allocation-free cross-shard exchange.
+//!
+//! The original sharded run pushed every cross-shard event into the
+//! destination's inbox one at a time — a mutex acquisition *per event* —
+//! and handed ownership of freshly allocated `Vec`s across the barrier
+//! every round (`std::mem::take` on ingest), so the exchange path
+//! allocated proportionally to traffic forever. A [`ShardExchange`]
+//! replaces both costs with per-`(source, destination)` slots: a sender
+//! stages a whole window's batch for one destination in a thread-local
+//! buffer and [`publish`]es it with a single lock and a buffer *swap*,
+//! and the receiver [`drain`]s each slot in place. Buffers circulate
+//! between stage and slot indefinitely, so once every buffer has grown to
+//! its high-water mark the steady state allocates nothing — the property
+//! `BENCH_engine.json` records as `outbox_steady_state_allocs` and the
+//! `outbox_alloc` integration test pins with a counting allocator, in the
+//! spirit of the kernel's `message_pool_alloc` gauge.
+//!
+//! Slots are one mutex per *directed shard pair*, so two senders never
+//! contend for the same slot in the publish phase (each source publishes
+//! only its own row) and the receiver drains column-wise after the
+//! barrier, in source order, making the drain sequence deterministic.
+//!
+//! [`publish`]: ShardExchange::publish
+//! [`drain`]: ShardExchange::drain
+
+use std::sync::Mutex;
+
+/// A `shards × shards` mailbox grid carrying per-destination batches
+/// across window barriers. `T` is the wire form of whatever crosses the
+/// barrier (`WireEvent`, `WireIntent` — anything `Send`).
+#[derive(Debug)]
+pub struct ShardExchange<T> {
+    shards: usize,
+    /// `slots[dest * shards + src]` — the batch source `src` published for
+    /// destination `dest` this round.
+    slots: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T> ShardExchange<T> {
+    /// An empty grid for `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        ShardExchange {
+            shards,
+            slots: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// The shard count the grid was built for.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Publishes `staged` (source `src`'s batch for destination `dest`)
+    /// into the grid and leaves an empty buffer — with whatever capacity
+    /// the slot held — in its place, ready for restaging. If the slot is
+    /// already occupied (a source can publish twice per round: its own
+    /// outbox, then owner-replayed arrivals), the batch is appended after
+    /// the earlier one instead, still retaining `staged`'s capacity.
+    pub fn publish(&self, src: usize, dest: usize, staged: &mut Vec<T>) {
+        let mut slot = self.slots[dest * self.shards + src]
+            .lock()
+            .expect("exchange slot poisoned");
+        if slot.is_empty() {
+            std::mem::swap(&mut *slot, staged);
+        } else {
+            slot.append(staged);
+        }
+    }
+
+    /// Drains every batch published for `dest`, in source order, feeding
+    /// each item to `each`. Buffers are drained in place so their
+    /// capacity stays in the grid for the next round.
+    pub fn drain(&self, dest: usize, mut each: impl FnMut(T)) {
+        for src in 0..self.shards {
+            let mut slot = self.slots[dest * self.shards + src]
+                .lock()
+                .expect("exchange slot poisoned");
+            for item in slot.drain(..) {
+                each(item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cross_in_source_order_and_buffers_circulate() {
+        let ex: ShardExchange<u32> = ShardExchange::new(3);
+        let mut stage = vec![10, 11];
+        ex.publish(1, 0, &mut stage);
+        assert!(stage.is_empty(), "publish must leave a reusable buffer");
+        let mut stage0 = vec![7];
+        ex.publish(0, 0, &mut stage0);
+        let mut got = Vec::new();
+        ex.drain(0, |v| got.push(v));
+        assert_eq!(got, vec![7, 10, 11], "drain follows source order");
+
+        // A second publish into an occupied slot appends after the first.
+        let mut a = vec![1];
+        let mut b = vec![2, 3];
+        ex.publish(2, 1, &mut a);
+        ex.publish(2, 1, &mut b);
+        let mut got = Vec::new();
+        ex.drain(1, |v| got.push(v));
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn swapped_buffers_keep_the_slots_capacity() {
+        let ex: ShardExchange<u64> = ShardExchange::new(2);
+        // Round 1 grows the slot buffer; round 2's publish hands that
+        // capacity back to the stage.
+        let mut stage: Vec<u64> = (0..64).collect();
+        ex.publish(0, 1, &mut stage);
+        ex.drain(1, |_| {});
+        ex.publish(0, 1, &mut stage);
+        assert!(stage.capacity() >= 64, "slot capacity must circulate back");
+    }
+}

@@ -21,9 +21,11 @@ use crate::det::{DetHashMap, DetHashSet};
 use crate::policy::{CandidateLink, GossipRace, SelectionPolicy};
 use crate::stats::{NodeMetrics, PeerStats, StatsSink};
 use plsim_des::{Actor, Context, NodeId, SimTime};
-use plsim_telemetry::MetricsRegistry;
 use plsim_net::{Isp, Topology};
-use plsim_proto::{ChannelId, ChunkId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind};
+use plsim_proto::{
+    ChannelId, ChunkId, Message, PeerEntry, PeerListArena, SharedPeerList, TimerKind,
+};
+use plsim_telemetry::MetricsRegistry;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -88,9 +90,7 @@ impl Neighbor {
     /// neighbor's lag, roughly constant for a live stream).
     fn observe_has(&mut self, chunk: u64, now: SimTime) {
         let projected_new = chunk as i128 - now.as_secs() as i128;
-        let projected_old = self
-            .edge_hint
-            .map(|(e, a)| e as i128 - a.as_secs() as i128);
+        let projected_old = self.edge_hint.map(|(e, a)| e as i128 - a.as_secs() as i128);
         if projected_old.is_none_or(|po| projected_new >= po) {
             self.edge_hint = Some((chunk, now));
         }
@@ -133,8 +133,7 @@ impl Neighbor {
     /// outcomes depend on early luck instead of actual latency.
     fn weight(&self, latency_bias: f64) -> f64 {
         let resp = self.ewma_resp.unwrap_or(0.8).max(0.05);
-        let reliability =
-            (self.successes + 1) as f64 / (self.successes + self.failures + 2) as f64;
+        let reliability = (self.successes + 1) as f64 / (self.successes + self.failures + 2) as f64;
         reliability * resp.powf(-latency_bias)
     }
 }
@@ -542,8 +541,7 @@ impl PeerNode {
     }
 
     fn upload_hold(&mut self, now: SimTime, size: u32) -> Option<SimTime> {
-        let service =
-            SimTime::from_micros((u64::from(size) * 8 * 1_000_000) / self.up_bps.max(1));
+        let service = SimTime::from_micros((u64::from(size) * 8 * 1_000_000) / self.up_bps.max(1));
         let start = if self.busy_until > now {
             self.busy_until
         } else {
@@ -561,7 +559,8 @@ impl PeerNode {
         // "A normal peer returns its recently connected peers." The epoch
         // walk is already in referral order, so this is one arena intern —
         // no collect, no sort, no allocation once the arena has warmed up.
-        self.arena.intern(self.neighbors.iter_epoch().map(|n| n.entry))
+        self.arena
+            .intern(self.neighbors.iter_epoch().map(|n| n.entry))
     }
 
     fn add_candidates<'a, I: IntoIterator<Item = &'a PeerEntry>>(&mut self, entries: I) {
@@ -792,7 +791,10 @@ impl PeerNode {
             // buffer from a recent, widely-held point.
             self.join_chunk = live.saturating_sub(4);
         }
-        let base = self.playhead.unwrap_or(self.join_chunk).max(self.join_chunk);
+        let base = self
+            .playhead
+            .unwrap_or(self.join_chunk)
+            .max(self.join_chunk);
         if base > live {
             return;
         }
@@ -942,7 +944,10 @@ impl PeerNode {
                 }
                 self.started = true;
                 self.next_produced = ctx.now().as_secs();
-                ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::ProduceChunk));
+                ctx.schedule(
+                    SimTime::from_secs(1),
+                    Message::Timer(TimerKind::ProduceChunk),
+                );
                 // Announce immediately so early tracker queries find us.
                 for t in &self.trackers {
                     let msg = Message::Announce {
@@ -1046,7 +1051,10 @@ impl PeerNode {
             }
             self.scratch_ids = unmeasured;
             self.scratch_ids2 = ids;
-            ctx.schedule(self.cfg.gossip_interval, Message::Timer(TimerKind::GossipRound));
+            ctx.schedule(
+                self.cfg.gossip_interval,
+                Message::Timer(TimerKind::GossipRound),
+            );
         }
     }
 
@@ -1171,7 +1179,11 @@ impl PeerNode {
         {
             let mut resps = std::mem::take(&mut self.scratch_resps);
             resps.clear();
-            resps.extend(self.neighbors.iter_by_node().filter_map(|(_, n)| n.ewma_resp));
+            resps.extend(
+                self.neighbors
+                    .iter_by_node()
+                    .filter_map(|(_, n)| n.ewma_resp),
+            );
             if resps.len() >= 4 {
                 resps.sort_by(|a, b| a.partial_cmp(b).expect("finite ewma"));
                 let median = resps[resps.len() / 2];
@@ -1180,7 +1192,11 @@ impl PeerNode {
                     .iter_by_node()
                     .filter(|(_, n)| n.outstanding == 0)
                     .filter_map(|(id, n)| n.ewma_resp.map(|r| (id, r)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ewma").then(a.0.cmp(&b.0)))
+                    .max_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("finite ewma")
+                            .then(a.0.cmp(&b.0))
+                    })
                     .filter(|&(_, r)| r > 2.0 * median)
                     .map(|(id, _)| id);
                 if let Some(id) = worst {
@@ -1219,9 +1235,14 @@ impl PeerNode {
         let full = self.cfg.stream.full_mask();
         self.chunks.insert(self.next_produced, full);
         self.next_produced += 1;
-        let cut = self.next_produced.saturating_sub(self.cfg.stream.live_window);
+        let cut = self
+            .next_produced
+            .saturating_sub(self.cfg.stream.live_window);
         self.chunks = self.chunks.split_off(&cut);
-        ctx.schedule(SimTime::from_secs(1), Message::Timer(TimerKind::ProduceChunk));
+        ctx.schedule(
+            SimTime::from_secs(1),
+            Message::Timer(TimerKind::ProduceChunk),
+        );
     }
 
     fn on_announce_round(&mut self, ctx: &mut Context<'_, Message>) {
@@ -1452,7 +1473,13 @@ impl PeerNode {
         self.schedule_requests(ctx);
     }
 
-    fn on_data_reject(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, seq: u64, busy: bool) {
+    fn on_data_reject(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        seq: u64,
+        busy: bool,
+    ) {
         let Some(p) = self.pending_data.remove(&seq) else {
             return;
         };
@@ -1507,10 +1534,7 @@ impl Actor<Message> for PeerNode {
                 TimerKind::JoinRetry => {
                     if self.active && !self.started {
                         ctx.send(self.bootstrap, Message::BootstrapRequest, 46);
-                        ctx.schedule(
-                            SimTime::from_secs(5),
-                            Message::Timer(TimerKind::JoinRetry),
-                        );
+                        ctx.schedule(SimTime::from_secs(5), Message::Timer(TimerKind::JoinRetry));
                     }
                 }
                 TimerKind::Leave => self.on_leave(ctx),
@@ -1715,8 +1739,7 @@ mod tests {
         // spec-built ones.
         let topo = mixed_topology();
         let mut peer = viewer(&topo, PolicySpec::GossipRace);
-        let custom: Arc<dyn SelectionPolicy> =
-            Arc::new(BiasedLocality { cross_isp_quota: 0 });
+        let custom: Arc<dyn SelectionPolicy> = Arc::new(BiasedLocality { cross_isp_quota: 0 });
         peer.attach_policy(&custom);
         assert!(!peer.policy_admits(NodeId(5)));
         assert!(peer.policy_admits(NodeId(2)));

@@ -2,16 +2,34 @@
 //!
 //! Space-partitions a world into host-group shards — sub-ISP when the
 //! requested shard count exceeds the populated ISP count — each owning its
-//! own scheduler, event pool and actor slice, and drives them in lockstep
-//! windows of conservative lookahead. The lookahead bound is physical: the
+//! own scheduler, event pool and actor slice, and drives them in barrier
+//! rounds of conservative lookahead. The lookahead bound is physical: the
 //! underlay's smallest possible one-way delay along any path that crosses
 //! the window barrier (sender edge + inter-ISP core + receiver edge —
 //! jitter, queueing and fault factors only ever *add* to it), so no event
-//! created inside a window can be due before the next window starts, and
-//! routing the cross-shard traffic at the window barrier is always early
-//! enough. Deferred-queue arrivals cross the barrier even between
-//! same-shard hosts, so the bound also spans every queued pair whose
-//! source ISP is split (see `Underlay::conservative_lookahead`).
+//! created inside a window can be due before the destination's next window
+//! starts, and routing the cross-shard traffic at the window barrier is
+//! always early enough. Deferred-queue arrivals cross the barrier even
+//! between same-shard hosts, so the bound also spans every queued pair
+//! whose source ISP is split (see `Underlay::conservative_lookahead`).
+//!
+//! Windows are **asymmetric**: instead of stepping the whole fleet by the
+//! single fleet-wide minimum delay, each shard advances per round to
+//! `min over sources s of (window[s] + lookahead[s][me])` over the full
+//! pairwise matrix (`Underlay::conservative_lookahead_matrix`, driven by
+//! `plsim_des::WindowPlan`). Shards coupled to the rest of the world only
+//! through slow transoceanic links take proportionally larger steps,
+//! cross the horizon early, and sit out the remaining rounds — the paper's
+//! own delay asymmetry (intra-ISP ≪ cross-ISP ≪ transoceanic) is what the
+//! window protocol exploits. Partitioning is **event-rate balanced**:
+//! three candidate splits are built — one packing the per-host
+//! expected-event rates `WorldLayout` derives from the session plan, one
+//! packing plain host counts (the historical algorithm, bit-for-bit), and
+//! one packing rates into dedicated per-split-ISP shard pools so the
+//! emitter groups stay apart ([`partition_grouped`]) — and the pooled
+//! split wins whenever it is no worse than the host-count split's
+//! heaviest-shard rate, so the chosen split's rate imbalance never
+//! exceeds the host-count split's.
 //!
 //! Determinism is the point, not a best effort: every event carries the
 //! scheduling identity `(time, origin, seq)` its *sender* assigned, each
@@ -20,15 +38,31 @@
 //! [`crate::world::WorldLayout`]). The events popped by the union of all
 //! shards are therefore exactly the single-shard pop sequence, restricted
 //! to each shard — which makes every output (stats, metrics, capture
-//! bytes) bit-identical to the `shards = 1` run at the same seed.
+//! bytes) bit-identical to the `shards = 1` run at the same seed. The
+//! window vector itself is a pure function of the lookahead matrix and the
+//! horizon, so every thread replays the identical round sequence without
+//! sharing any window state.
+//!
+//! Cross-shard traffic crosses the barrier through a
+//! [`crate::outbox::ShardExchange`]: whole per-destination batches staged
+//! in thread-local buffers and published with a single buffer swap per
+//! directed shard pair, drained in place on the other side — zero
+//! steady-state allocations on the exchange path (pinned by the
+//! `outbox_alloc` test and reported as `outbox_steady_state_allocs` in
+//! `BENCH_engine.json`).
 //!
 //! What cannot be computed shard-locally is *reconstructed* exactly:
 //!
 //! * `peak_queue_depth` — each shard logs `(pop stamp, pushes)` per event;
-//!   the driver folds the logs window-by-window in global stamp order and
-//!   replays pops as `-1` / pushes as `+1`, reproducing the single queue's
-//!   depth trajectory (cross-shard and deferred sends count at the
-//!   *sender*, where the single-shard run would have pushed).
+//!   the driver folds the logs in global stamp order and replays pops as
+//!   `-1` / pushes as `+1`, reproducing the single queue's depth
+//!   trajectory (cross-shard and deferred sends count at the *sender*,
+//!   where the single-shard run would have pushed). Asymmetric windows no
+//!   longer partition the stamp space by round — a fast shard's round-`r`
+//!   pops can outstamp a slow shard's round-`r+1` pops — so each
+//!   incremental fold consumes only the prefix below the fleet *frontier*
+//!   (the minimum window end over unfinished shards, which no shard can
+//!   ever pop behind again), and the tail is folded once at the end.
 //! * directed interconnect backlogs — the underlay's per-ISP-pair queues
 //!   are load-dependent shared state. While every ISP sits whole on one
 //!   shard each directed queue is touched by exactly one shard and needs
@@ -39,11 +73,21 @@
 //!   [`plsim_des::QueueIntent`]s, with all random draws (loss, jitter)
 //!   and the capacity scale already resolved at the sender so its streams
 //!   and shadow-fault view match the single-shard run. At the window
-//!   barrier the owner replays the global intent set in `(pop stamp,
-//!   index-in-pop)` order — exactly the order the single-shard run would
-//!   have performed the enqueues — reproducing the backlog trajectory,
-//!   wait histogram and gauge bit-for-bit, then forwards each finalized
-//!   arrival to the destination's shard.
+//!   barrier the owner replays the round's global intent set in `(pop
+//!   stamp, index-in-pop)` order — exactly the order the single-shard run
+//!   would have performed the enqueues — then forwards each finalized
+//!   arrival to the destination's shard. Per-round sorting only
+//!   reproduces the global enqueue order if intent stamps never interleave
+//!   across rounds, so the shards feeding one owner's replay — every
+//!   shard hosting one of the deferred-source ISPs that owner owns,
+//!   which the lookahead matrix links into an *emitter group* — are
+//!   collapsed onto a common window, the minimum of the group members'
+//!   individual targets. Distinct groups feed disjoint owners whose
+//!   replays never sort against each other, so each group floats on its
+//!   own common window, and non-emitter shards float fully
+//!   asymmetrically. The owner-replay barrier phase is elided entirely
+//!   when the partition deferred no queue, and also in every round after
+//!   the last emitter group crosses the horizon.
 //! * probe captures — per-shard traces carry `(pop stamp, index-in-pop)`
 //!   sort keys and are merged into the global capture order.
 //! * metrics — per-shard registry snapshots are summed (counters,
@@ -57,54 +101,70 @@
 //! local to the shard that requested it) and panics with the shard id; no
 //! node behaviour uses it.
 
+use crate::outbox::ShardExchange;
 use crate::world::{materialize, ShardRole, WorldConfig, WorldLayout, WorldOutput};
 use crate::StatsSink;
 use plsim_capture::{merge_stamped_budgeted, CaptureAggregates, FaultMark, StampedTrace};
-use plsim_des::{EventStamp, NodeId, PopRecord, QueueIntent, RemoteEvent, SimStats, SimTime};
-use plsim_net::{Isp, Topology, Underlay};
+use plsim_des::{
+    EventStamp, NodeId, PopRecord, QueueIntent, RemoteEvent, SimStats, SimTime, WindowPlan,
+};
+use plsim_net::{Isp, LookaheadMatrix, Topology, Underlay};
 use plsim_proto::{Message, WireMessage};
 use plsim_telemetry::{GaugeValue, MetricsSnapshot};
 use std::fmt;
 use std::sync::{Barrier, Mutex};
 
-/// Assigns every host to a shard and returns `(shard_of_host, shard_count)`.
+/// Builds one partition candidate: assigns every host to a shard, packing
+/// summed per-host `weight` greedily, and returns
+/// `(shard_of_host, shard_count)`.
 ///
-/// Two regimes, both deterministic and seed-independent (the grouping
-/// depends only on per-ISP host counts and paper order, never on sampled
-/// values):
+/// With unit weights this is exactly the historical host-count partition;
+/// [`partition`] races it against the event-rate-weighted candidate. Two
+/// regimes, both deterministic (the grouping depends only on the weights
+/// and paper order, never on world-seed-sampled values):
 ///
-/// * `want ≤ populated ISPs` — **ISP atoms**, exactly the original greedy
-///   partition: ISPs in descending host count (ties in paper order) onto
-///   the currently lightest shard (ties on the lowest index). Every
-///   directed interconnect queue stays shard-local.
-/// * `want > populated ISPs` — **host-group atoms**: the largest atom
-///   (ties: paper order, then lowest host range) is repeatedly split into
-///   contiguous ceil/floor halves of its ISP's id-ordered host list until
-///   there are at least `want` atoms and none exceeds half the ideal
-///   shard load; the atoms then feed the same greedy packer. Queues
-///   sourced by split ISPs are reconstructed by owner replay (see the
-///   module docs). `want` is clamped to the host count.
-pub(crate) fn partition(topology: &Topology, want: usize) -> (Vec<usize>, usize) {
+/// * `want ≤ populated ISPs` — **ISP atoms**: ISPs in descending summed
+///   weight (ties in paper order) onto the currently lightest shard (ties
+///   on the lowest index). Every directed interconnect queue stays
+///   shard-local.
+/// * `want > populated ISPs` — **host-group atoms**: contiguous ranges of
+///   an ISP's id-ordered host list. While there are fewer atoms than
+///   shards the atom with the most hosts is split (so progress never
+///   stalls on a heavy single host); from then on the heaviest atom is
+///   split at its weight midpoint until none exceeds half the ideal shard
+///   weight. The atoms then feed the same greedy packer. Queues sourced
+///   by split ISPs are reconstructed by owner replay (see the module
+///   docs). `want` is clamped to the host count.
+pub(crate) fn partition_candidate(
+    topology: &Topology,
+    weight: &[u64],
+    want: usize,
+) -> (Vec<usize>, usize) {
     let total = topology.len();
     let mut counts = [0usize; 5];
-    for (_, host) in topology.iter() {
-        counts[isp_index(host.isp)] += 1;
+    let mut isp_weight = [0u64; 5];
+    for (id, host) in topology.iter() {
+        let i = isp_index(host.isp);
+        counts[i] += 1;
+        isp_weight[i] += weight[id.index()];
     }
     let populated = counts.iter().filter(|&&c| c > 0).count();
     let want = want.clamp(1, total.max(1));
 
     if want <= populated.max(1) {
-        // ISP-atom regime (the original partition, verbatim).
+        // ISP-atom regime (the original partition, weight-generalized).
         let shards = want;
         let mut order: Vec<usize> = (0..Isp::ALL.len()).collect();
-        order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
+        order.sort_by_key(|&i| (std::cmp::Reverse(isp_weight[i]), i));
 
         let mut group_of_isp = [0usize; 5];
-        let mut load = vec![0usize; shards];
+        let mut load = vec![0u64; shards];
         for &i in &order {
-            let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
+            let lightest = (0..shards)
+                .min_by_key(|&g| (load[g], g))
+                .expect("shards >= 1");
             group_of_isp[i] = lightest;
-            load[lightest] += counts[i];
+            load[lightest] += isp_weight[i];
         }
 
         let shard_of = topology
@@ -115,48 +175,274 @@ pub(crate) fn partition(topology: &Topology, want: usize) -> (Vec<usize>, usize)
     }
 
     // Sub-ISP regime: atoms are contiguous ranges of an ISP's id-ordered
-    // host list, `(isp, lo, hi)`.
+    // host list, `(isp, lo, hi)`, weighed by per-ISP prefix sums.
     let shards = want;
+    let (hosts_of, prefix, mut atoms) = sub_isp_atoms(topology, weight, shards, &counts);
+    let w = |i: usize, lo: usize, hi: usize| prefix[i][hi] - prefix[i][lo];
+
+    atoms.sort_by_key(|&(i, lo, hi)| (std::cmp::Reverse(w(i, lo, hi)), i, lo));
+    let mut load = vec![0u64; shards];
+    let mut shard_of = vec![0usize; total];
+    for &(i, lo, hi) in &atoms {
+        let lightest = (0..shards)
+            .min_by_key(|&g| (load[g], g))
+            .expect("shards >= 1");
+        load[lightest] += w(i, lo, hi);
+        for &h in &hosts_of[i][lo..hi] {
+            shard_of[h] = lightest;
+        }
+    }
+    (shard_of, shards)
+}
+
+/// Builds the sub-ISP atom set for `want` shards: contiguous ranges of
+/// each ISP's id-ordered host list, split until no atom exceeds half the
+/// ideal shard weight. Returns `(hosts_of_isp, weight_prefix_sums,
+/// atoms)`; an atom `(isp, lo, hi)` covers `hosts_of[isp][lo..hi]` and
+/// weighs `prefix[isp][hi] - prefix[isp][lo]`. Shared verbatim by every
+/// sub-ISP packer so all candidates agree on what can be moved.
+#[allow(clippy::type_complexity)]
+fn sub_isp_atoms(
+    topology: &Topology,
+    weight: &[u64],
+    shards: usize,
+    counts: &[usize; 5],
+) -> ([Vec<usize>; 5], Vec<Vec<u64>>, Vec<(usize, usize, usize)>) {
     let mut hosts_of: [Vec<usize>; 5] = Default::default();
     for (id, host) in topology.iter() {
         hosts_of[isp_index(host.isp)].push(id.index());
     }
+    let prefix: Vec<Vec<u64>> = hosts_of
+        .iter()
+        .map(|hosts| {
+            let mut acc = Vec::with_capacity(hosts.len() + 1);
+            acc.push(0u64);
+            for &h in hosts {
+                acc.push(acc.last().expect("seeded with 0") + weight[h]);
+            }
+            acc
+        })
+        .collect();
+    let w = |i: usize, lo: usize, hi: usize| prefix[i][hi] - prefix[i][lo];
+
     let mut atoms: Vec<(usize, usize, usize)> = (0..Isp::ALL.len())
         .filter(|&i| counts[i] > 0)
         .map(|i| (i, 0, counts[i]))
         .collect();
     // Splitting down to half the ideal load keeps the greedy packer's
     // imbalance small without exploding the atom (and split-ISP) count.
-    let ideal = total.div_ceil(shards);
+    let total_weight: u64 = prefix.iter().map(|p| p.last().copied().unwrap_or(0)).sum();
+    let ideal = total_weight.div_ceil(shards as u64);
     let threshold = ideal.div_ceil(2).max(1);
     loop {
+        // Below the shard count, split the atom with the most *hosts* so
+        // a heavy single host can never stall atom production; from then
+        // on split the heaviest.
+        let below = atoms.len() < shards;
         let (pos, &(isp, lo, hi)) = atoms
             .iter()
             .enumerate()
             .max_by_key(|&(_, &(i, lo, hi))| {
-                (hi - lo, std::cmp::Reverse(i), std::cmp::Reverse(lo))
+                let size = if below {
+                    (hi - lo) as u64
+                } else {
+                    w(i, lo, hi)
+                };
+                (size, std::cmp::Reverse(i), std::cmp::Reverse(lo))
             })
             .expect("want > populated implies at least one atom");
         let count = hi - lo;
-        if count <= 1 || (atoms.len() >= shards && count <= threshold) {
+        if count <= 1 || (!below && w(isp, lo, hi) <= threshold) {
             break;
         }
-        let mid = lo + count.div_ceil(2);
+        // Split at the weight midpoint: the smallest cut whose left half
+        // reaches half the atom's weight, clamped so both halves stay
+        // nonempty (a dominant last host is simply isolated). Unit
+        // weights reduce this to the historical ceil/floor host split.
+        let half = w(isp, lo, hi).div_ceil(2);
+        let mut mid = lo + 1;
+        while mid < hi - 1 && w(isp, lo, mid) < half {
+            mid += 1;
+        }
         atoms[pos] = (isp, lo, mid);
         atoms.push((isp, mid, hi));
     }
+    (hosts_of, prefix, atoms)
+}
 
-    atoms.sort_by_key(|&(i, lo, hi)| (std::cmp::Reverse(hi - lo), i, lo));
-    let mut load = vec![0usize; shards];
+/// Builds the *window-friendly* partition candidate: the same sub-ISP
+/// atoms as [`partition_candidate`], but packed so that atoms of
+/// different split ISPs never share a shard — each ISP that stays split
+/// gets a dedicated, contiguous *pool* of shards sized by its share of
+/// the total weight, and single-atom ISPs fill in greedily anywhere.
+///
+/// The point is the emitter-group structure this induces (see
+/// `Underlay::conservative_lookahead_matrix`): the greedy packer mixes
+/// split-ISP atoms freely, which unions every emitter group into one
+/// fleet-wide clique and forces all shards onto the global minimum
+/// window; pooled packing keeps each split ISP's emitter group confined
+/// to its own pool, so the groups float on their own windows and shards
+/// outside a pool float fully asymmetrically. An ISP whose pool collapses
+/// to one shard stops being split at all — fewer owner-replayed queues,
+/// no emitter obligation.
+///
+/// Returns `None` in the ISP-atom regime (nothing is split, the greedy
+/// candidate already keeps queues shard-local).
+pub(crate) fn partition_grouped(
+    topology: &Topology,
+    weight: &[u64],
+    want: usize,
+) -> Option<(Vec<usize>, usize)> {
+    let total = topology.len();
+    let mut counts = [0usize; 5];
+    for (_, host) in topology.iter() {
+        counts[isp_index(host.isp)] += 1;
+    }
+    let populated = counts.iter().filter(|&&c| c > 0).count();
+    let want = want.clamp(1, total.max(1));
+    if want <= populated.max(1) {
+        return None;
+    }
+
+    let shards = want;
+    let (hosts_of, prefix, atoms) = sub_isp_atoms(topology, weight, shards, &counts);
+    let w = |i: usize, lo: usize, hi: usize| prefix[i][hi] - prefix[i][lo];
+    let isp_weight = |i: usize| prefix[i].last().copied().unwrap_or(0);
+    let total_weight: u64 = (0..Isp::ALL.len()).map(isp_weight).sum();
+
+    let mut atoms_of = [0usize; 5];
+    for &(i, _, _) in &atoms {
+        atoms_of[i] += 1;
+    }
+    // Pool quotas for multi-atom ISPs: proportional to weight, at least
+    // one shard, at most one per atom, trimmed / grown deterministically
+    // until the leftover shards can all be seeded by single-atom ISPs.
+    let mut split: Vec<usize> = (0..Isp::ALL.len()).filter(|&i| atoms_of[i] > 1).collect();
+    split.sort_by_key(|&i| (std::cmp::Reverse(isp_weight(i)), i));
+    let singles: usize = (0..Isp::ALL.len()).filter(|&i| atoms_of[i] == 1).count();
+    let mut quota = [0usize; 5];
+    for &i in &split {
+        let share = (isp_weight(i) as u128 * shards as u128 + total_weight as u128 / 2)
+            / total_weight.max(1) as u128;
+        quota[i] = (share as usize).clamp(1, atoms_of[i]);
+    }
+    // Too many pool shards: shrink where the per-shard load after the cut
+    // is smallest (ties on paper order).
+    while split.iter().map(|&i| quota[i]).sum::<usize>() > shards {
+        let i = *split
+            .iter()
+            .filter(|&&i| quota[i] > 1)
+            .min_by_key(|&&i| (isp_weight(i) / (quota[i] as u64 - 1).max(1), i))
+            .expect("split ISP count is below the shard count");
+        quota[i] -= 1;
+    }
+    // Too few atoms outside the pools to seed every leftover shard: grow
+    // the pool whose shards are heaviest (ties on paper order).
+    while split.iter().map(|&i| quota[i]).sum::<usize>() + singles < shards {
+        let i = *split
+            .iter()
+            .filter(|&&i| quota[i] < atoms_of[i])
+            .max_by_key(|&&i| (isp_weight(i) / quota[i] as u64, std::cmp::Reverse(i)))
+            .expect("atom count reaches the shard count");
+        quota[i] += 1;
+    }
+
+    // Dedicated pools first (descending ISP weight), leftovers after.
+    let mut pool_lo = [0usize; 5];
+    let mut next = 0usize;
+    for &i in &split {
+        pool_lo[i] = next;
+        next += quota[i];
+    }
+
+    let mut load = vec![0u64; shards];
     let mut shard_of = vec![0usize; total];
-    for &(i, lo, hi) in &atoms {
-        let lightest = (0..shards).min_by_key(|&g| (load[g], g)).expect("shards >= 1");
-        load[lightest] += hi - lo;
-        for &h in &hosts_of[i][lo..hi] {
-            shard_of[h] = lightest;
+    let mut sorted = atoms;
+    sorted.sort_by_key(|&(i, lo, hi)| (std::cmp::Reverse(w(i, lo, hi)), i, lo));
+    // Pooled ISPs pack lightest-first inside their pool (every pool shard
+    // gets at least one atom — the quota never exceeds the atom count);
+    // single-atom ISPs then pack lightest-first over all shards, which
+    // seeds every still-empty leftover shard before any loaded shard
+    // grows.
+    for pass in 0..2 {
+        for &(i, lo, hi) in &sorted {
+            let pooled = atoms_of[i] > 1;
+            if pooled != (pass == 0) {
+                continue;
+            }
+            let (range_lo, range_hi) = if pooled {
+                (pool_lo[i], pool_lo[i] + quota[i])
+            } else {
+                (0, shards)
+            };
+            let lightest = (range_lo..range_hi)
+                .min_by_key(|&g| (load[g], g))
+                .expect("pool is non-empty");
+            load[lightest] += w(i, lo, hi);
+            for &h in &hosts_of[i][lo..hi] {
+                shard_of[h] = lightest;
+            }
         }
     }
-    (shard_of, shards)
+    debug_assert!(
+        load.iter().all(|&l| l > 0) || weight.contains(&0),
+        "grouped packer left a shard empty"
+    );
+    Some((shard_of, shards))
+}
+
+/// Assigns every host to a shard and returns `(shard_of_host, shard_count)`.
+///
+/// Races three splits: the event-rate-weighted [`partition_candidate`],
+/// the historical host-count candidate (unit weights), and the
+/// rate-weighted [`partition_grouped`] pooled candidate. The pooled
+/// candidate wins whenever its heaviest shard carries no more summed
+/// event rate (`rates`, see [`crate::world::WorldLayout`]) than the
+/// host-count split's — its pool structure is what lets the asymmetric
+/// windows actually float (see [`partition_grouped`]); otherwise the
+/// rate-weighted candidate is kept unless the host-count split is
+/// strictly better. Either way the chosen split's rate imbalance never
+/// exceeds the host-count split's, which is what the `rate_imbalance`
+/// fields of [`PartitionReport`] and `BENCH_engine.json` are gated on.
+pub(crate) fn partition(topology: &Topology, rates: &[u64], want: usize) -> (Vec<usize>, usize) {
+    let rated = partition_candidate(topology, rates, want);
+    let unit = partition_candidate(topology, &vec![1u64; topology.len()], want);
+    debug_assert_eq!(rated.1, unit.1, "candidates must agree on the shard count");
+    let unit_max = max_shard_rate(&unit.0, unit.1, rates);
+    if let Some(grouped) = partition_grouped(topology, rates, want) {
+        debug_assert_eq!(
+            grouped.1, unit.1,
+            "candidates must agree on the shard count"
+        );
+        if max_shard_rate(&grouped.0, grouped.1, rates) <= unit_max {
+            return grouped;
+        }
+    }
+    if unit_max < max_shard_rate(&rated.0, rated.1, rates) {
+        unit
+    } else {
+        rated
+    }
+}
+
+/// The event-rate load of the heaviest shard under an assignment.
+fn max_shard_rate(shard_of: &[usize], shards: usize, rates: &[u64]) -> u64 {
+    let mut load = vec![0u64; shards];
+    for (h, &s) in shard_of.iter().enumerate() {
+        load[s] += rates[h];
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// Heaviest shard's summed rate over the ideal (total / shards); 1.0 is
+/// perfect balance.
+fn rate_imbalance_of(shard_of: &[usize], shards: usize, rates: &[u64]) -> f64 {
+    let total: u64 = rates.iter().sum();
+    if total == 0 || shards == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / shards as f64;
+    max_shard_rate(shard_of, shards, rates) as f64 / ideal
 }
 
 fn isp_index(isp: Isp) -> usize {
@@ -168,8 +454,9 @@ fn isp_index(isp: Isp) -> usize {
 
 /// How a sharded run was partitioned — the honest-reporting companion to
 /// the run itself, in the spirit of the engine's `DispatchStats`: what the
-/// partitioner actually did (including imbalance and how many queues had
-/// to fall back to owner replay), not what was asked for.
+/// partitioner actually did (including imbalance, how many queues had to
+/// fall back to owner replay, and how many window rounds the asymmetric
+/// protocol costs vs the old global window), not what was asked for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionReport {
     /// Shards the run actually used (the request is clamped to the host
@@ -191,18 +478,43 @@ pub struct PartitionReport {
     /// Largest shard's host count over the ideal (total / shards); 1.0 is
     /// perfect balance.
     pub imbalance: f64,
-    /// The conservative lookahead window the run stepped by.
+    /// Largest shard's summed expected event rate over the ideal — the
+    /// balance metric the partitioner actually optimizes.
+    pub rate_imbalance: f64,
+    /// The same rate imbalance the historical host-count split would have
+    /// produced; `rate_imbalance` never exceeds it (by construction — the
+    /// host-count candidate wins whenever it packs rate better).
+    pub rate_imbalance_hostcount: f64,
+    /// The tightest pairwise lookahead bound — identical to the old
+    /// fleet-wide global window.
     pub lookahead: SimTime,
+    /// The loosest finite pairwise bound; the `lookahead_max / lookahead`
+    /// spread is the asymmetry the per-shard windows exploit.
+    pub lookahead_max: SimTime,
+    /// Windowed advancement rounds executed across the fleet under the
+    /// pairwise plan: for each shard, the barrier rounds until it crosses
+    /// the horizon, summed over shards. Each such round is one window
+    /// slice plus an exchange pass, so this is the run's windowing
+    /// overhead.
+    pub window_rounds: u64,
+    /// The same total under the old global window, where every shard
+    /// works every round (`shards × ceil(horizon / lookahead)`).
+    pub window_rounds_global: u64,
 }
 
 impl PartitionReport {
+    #[allow(clippy::too_many_arguments)]
     fn compute(
         topology: &Topology,
         shard_of: &[usize],
+        hostcount_shard_of: &[usize],
+        rates: &[u64],
         shards: usize,
         threads: usize,
         deferred_queues: usize,
-        lookahead: SimTime,
+        matrix: &LookaheadMatrix,
+        window: &WindowPlan,
+        horizon: u64,
     ) -> PartitionReport {
         let mut hosts = vec![0usize; shards];
         let mut isp_on = vec![[false; 5]; shards];
@@ -221,6 +533,9 @@ impl PartitionReport {
         let max = hosts.iter().copied().max().unwrap_or(0);
         let ideal = topology.len() as f64 / shards as f64;
         let imbalance = if ideal > 0.0 { max as f64 / ideal } else { 1.0 };
+        let lookahead = matrix.min().expect("a planned run has a finite lookahead");
+        let lookahead_max = matrix.max().expect("min implies max");
+        let global = WindowPlan::uniform(shards, horizon, lookahead.as_micros());
         PartitionReport {
             shards,
             threads,
@@ -229,7 +544,12 @@ impl PartitionReport {
             split_isps,
             deferred_queues,
             imbalance,
+            rate_imbalance: rate_imbalance_of(shard_of, shards, rates),
+            rate_imbalance_hostcount: rate_imbalance_of(hostcount_shard_of, shards, rates),
             lookahead,
+            lookahead_max,
+            window_rounds: window.shard_rounds(),
+            window_rounds_global: global.shard_rounds(),
         }
     }
 
@@ -252,7 +572,12 @@ impl PartitionReport {
                 "  \"split_isps\": {},\n",
                 "  \"deferred_queues\": {},\n",
                 "  \"imbalance\": {:.4},\n",
-                "  \"lookahead_ms\": {:.3}\n",
+                "  \"rate_imbalance\": {:.4},\n",
+                "  \"rate_imbalance_hostcount\": {:.4},\n",
+                "  \"lookahead_ms\": {:.3},\n",
+                "  \"lookahead_max_ms\": {:.3},\n",
+                "  \"window_rounds\": {},\n",
+                "  \"window_rounds_global\": {}\n",
                 "}}\n"
             ),
             self.shards,
@@ -262,7 +587,12 @@ impl PartitionReport {
             self.split_isps,
             self.deferred_queues,
             self.imbalance,
+            self.rate_imbalance,
+            self.rate_imbalance_hostcount,
             self.lookahead.as_secs_f64() * 1e3,
+            self.lookahead_max.as_secs_f64() * 1e3,
+            self.window_rounds,
+            self.window_rounds_global,
         )
     }
 }
@@ -272,7 +602,9 @@ impl fmt::Display for PartitionReport {
         write!(
             f,
             "partition: {} shards on {} threads; hosts/shard {:?}; isps/shard {:?}; \
-             {} split ISP(s); {} owner-replayed queue(s); imbalance {:.2}x; lookahead {:.1} ms",
+             {} split ISP(s); {} owner-replayed queue(s); imbalance {:.2}x; \
+             rate imbalance {:.2}x (host-count split {:.2}x); \
+             lookahead {:.1}-{:.1} ms; window rounds {} (global {})",
             self.shards,
             self.threads,
             self.hosts,
@@ -280,9 +612,86 @@ impl fmt::Display for PartitionReport {
             self.split_isps,
             self.deferred_queues,
             self.imbalance,
+            self.rate_imbalance,
+            self.rate_imbalance_hostcount,
             self.lookahead.as_secs_f64() * 1e3,
+            self.lookahead_max.as_secs_f64() * 1e3,
+            self.window_rounds,
+            self.window_rounds_global,
         )
     }
+}
+
+/// Everything [`run_sharded`] decides before any thread starts: the
+/// partition, the pairwise window plan, and the report describing both.
+struct ShardPlan {
+    shard_of: Vec<usize>,
+    shards: usize,
+    defer: [bool; 5],
+    emitters: Vec<bool>,
+    window: WindowPlan,
+    report: PartitionReport,
+}
+
+/// Plans the sharded run for `cfg` over `layout`, or `None` when the
+/// partition degenerates (one shard, or no finite ≥ 1 µs lookahead) and
+/// the caller should fall back to the monolithic path.
+fn plan_shards(cfg: &WorldConfig, layout: &WorldLayout) -> Option<ShardPlan> {
+    let (shard_of, shards) = partition(&layout.topology, &layout.rates, cfg.shards);
+    let probe = Underlay::new(std::sync::Arc::clone(&layout.topology), cfg.link);
+    let matrix = probe.conservative_lookahead_matrix(&shard_of, shards)?;
+    matrix.min().filter(|l| l.as_micros() >= 1)?;
+    let defer = probe.deferred_sources(&shard_of);
+    let deferred_queues = probe.deferred_queue_count(&defer);
+    let horizon = cfg.duration.as_micros();
+    let window = WindowPlan::new(
+        shards,
+        horizon,
+        matrix.window_entries_micros(),
+        matrix.emitter_groups().to_vec(),
+    );
+    let threads = cfg.shard_threads.clamp(1, shards);
+    let hostcount = partition_candidate(
+        &layout.topology,
+        &vec![1u64; layout.topology.len()],
+        cfg.shards,
+    );
+    let report = PartitionReport::compute(
+        &layout.topology,
+        &shard_of,
+        &hostcount.0,
+        &layout.rates,
+        shards,
+        threads,
+        deferred_queues,
+        &matrix,
+        &window,
+        horizon,
+    );
+    Some(ShardPlan {
+        shard_of,
+        shards,
+        defer,
+        emitters: matrix
+            .emitter_groups()
+            .iter()
+            .map(Option::is_some)
+            .collect(),
+        window,
+        report,
+    })
+}
+
+/// What the partitioner would do for `cfg` — the same [`PartitionReport`]
+/// a sharded run returns, computed without running the simulation (the
+/// layout is sampled, the world is not). `None` when the run would fall
+/// back to the single-shard path. This is what the bench and CLI use to
+/// report window-round and rate-balance numbers on topologies too large
+/// to simulate inside a measurement loop.
+#[must_use]
+pub fn partition_preview(cfg: &WorldConfig) -> Option<PartitionReport> {
+    let layout = WorldLayout::compute(cfg);
+    plan_shards(cfg, &layout).map(|p| p.report)
 }
 
 /// A cross-shard event in transit between threads: a
@@ -335,10 +744,10 @@ impl WireIntent {
 }
 
 /// The global queue-depth replay, folded incrementally so no shard ever
-/// accumulates an unbounded pop log: each window's records are appended
-/// here by every thread, then sorted and replayed once per window.
-/// Windows partition the stamp space (a window's pops all precede the
-/// next window's), so per-window sorting yields the global order.
+/// accumulates an unbounded pop log. Asymmetric windows mean rounds no
+/// longer partition the stamp space, so each fold consumes only the
+/// prefix of the (sorted) buffer below the fleet frontier — the stamp no
+/// shard can ever pop behind again — and keeps the rest for later.
 struct DepthReplay {
     depth: i64,
     peak: i64,
@@ -346,16 +755,24 @@ struct DepthReplay {
 }
 
 impl DepthReplay {
-    fn fold(&mut self) {
+    /// Replays every buffered record with `stamp.at < frontier` (all of
+    /// them when `frontier` is `None` — the end-of-run fold) in global
+    /// stamp order. Records at or beyond the frontier stay buffered;
+    /// re-sorting them next round is cheap because the tail is already
+    /// sorted.
+    fn fold_below(&mut self, frontier: Option<SimTime>) {
         self.buf.sort_unstable_by_key(|r| r.stamp);
-        for r in &self.buf {
+        let cut = match frontier {
+            Some(f) => self.buf.partition_point(|r| r.stamp.at < f),
+            None => self.buf.len(),
+        };
+        for r in self.buf.drain(..cut) {
             // The pop removes one event; its pushes then grow the queue
             // monotonically, so the high-water mark within the pop is the
             // post-push depth.
             self.depth += i64::from(r.pushes) - 1;
             self.peak = self.peak.max(self.depth);
         }
-        self.buf.clear();
     }
 }
 
@@ -374,19 +791,20 @@ struct ShardResult {
 /// shard.
 pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     let layout = WorldLayout::compute(cfg);
-    let (shard_of, shards) = partition(&layout.topology, cfg.shards);
-    let probe = Underlay::new(std::sync::Arc::clone(&layout.topology), cfg.link);
-    let lookahead = probe
-        .conservative_lookahead(&shard_of, shards)
-        .filter(|l| l.as_micros() >= 1);
-    let (Some(lookahead), true) = (lookahead, shards > 1) else {
+    let Some(plan) = plan_shards(cfg, &layout) else {
         return crate::World::build(cfg).run();
     };
+    let ShardPlan {
+        shard_of,
+        shards,
+        defer,
+        emitters,
+        window: wplan,
+        report,
+    } = plan;
+    let has_deferred = defer.iter().any(|&d| d);
     // Queues sourced by split ISPs are owner-replayed; the owner of all of
     // ISP a's queues is the shard of a's lowest-id host.
-    let defer = probe.deferred_sources(&shard_of);
-    let has_deferred = defer.iter().any(|&d| d);
-    let deferred_queues = probe.deferred_queue_count(&defer);
     let mut owner_of_isp = [0usize; 5];
     let mut owner_seen = [false; 5];
     for (id, host) in layout.topology.iter() {
@@ -400,19 +818,10 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     let locals: Vec<Vec<bool>> = (0..shards)
         .map(|s| shard_of.iter().map(|&g| g == s).collect())
         .collect();
-    let threads = cfg.shard_threads.clamp(1, shards);
-    let report = PartitionReport::compute(
-        &layout.topology,
-        &shard_of,
-        shards,
-        threads,
-        deferred_queues,
-        lookahead,
-    );
+    let threads = report.threads;
     let barrier = Barrier::new(threads);
-    let inboxes: Vec<Mutex<Vec<WireEvent>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
-    let intent_inboxes: Vec<Mutex<Vec<WireIntent>>> =
-        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let event_grid: ShardExchange<WireEvent> = ShardExchange::new(shards);
+    let intent_grid: ShardExchange<WireIntent> = ShardExchange::new(shards);
     let results: Vec<Mutex<Option<ShardResult>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let replay = Mutex::new(DepthReplay {
         // Every harness event is injected into exactly one shard, so the
@@ -423,18 +832,17 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     });
     let sink = StatsSink::new();
 
-    let stride = lookahead.as_micros();
     let total = cfg.duration.as_micros();
 
     std::thread::scope(|scope| {
         for t in 0..threads {
-            let (layout, shard_of, locals) = (&layout, &shard_of, &locals);
-            let (barrier, inboxes, intent_inboxes) = (&barrier, &inboxes, &intent_inboxes);
-            let (results, replay, sink) = (&results, &replay, &sink);
+            let (layout, shard_of, locals, emitters) = (&layout, &shard_of, &locals, &emitters);
+            let (barrier, event_grid, intent_grid) = (&barrier, &event_grid, &intent_grid);
+            let (results, replay, sink, wplan) = (&results, &replay, &sink, &wplan);
             let owner_of_isp = &owner_of_isp;
             scope.spawn(move || {
                 // Round-robin shard ownership: with fewer threads than
-                // shards a thread simply drives several shards per window.
+                // shards a thread simply drives several shards per round.
                 let mut sims: Vec<_> = (t..shards)
                     .step_by(threads)
                     .map(|s| {
@@ -448,28 +856,52 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                     })
                     .collect();
 
+                let mut final_stats: Vec<Option<SimStats>> =
+                    (0..sims.len()).map(|_| None).collect();
                 let mut outbuf: Vec<RemoteEvent<Message>> = Vec::new();
                 let mut intbuf: Vec<QueueIntent<Message>> = Vec::new();
                 let mut pops: Vec<PopRecord> = Vec::new();
-                let route_intents =
-                    |intbuf: &mut Vec<QueueIntent<Message>>| {
-                        for it in intbuf.drain(..) {
-                            let owner = owner_of_isp[isp_index(Underlay::queue_source(it.queue))];
-                            intent_inboxes[owner]
-                                .lock()
-                                .expect("intent inbox poisoned")
-                                .push(WireIntent::from_intent(it));
+                // Per-destination staging buffers: filled locally, handed
+                // to the grid with a buffer swap, received back empty with
+                // capacity intact — the exchange path allocates nothing in
+                // steady state.
+                let mut stage_ev: Vec<Vec<WireEvent>> = (0..shards).map(|_| Vec::new()).collect();
+                let mut stage_int: Vec<Vec<WireIntent>> = (0..shards).map(|_| Vec::new()).collect();
+                let mut replay_buf: Vec<WireIntent> = Vec::new();
+
+                // Every thread steps the same pure window recurrence, so
+                // no window state crosses threads.
+                let mut window = wplan.start();
+                let mut prev = window.clone();
+                while window.iter().any(|&w| w < total) {
+                    prev.copy_from_slice(&window);
+                    wplan.step(&mut window);
+                    // Owner replay happens only in rounds where some
+                    // emitter still runs (each group's members share a
+                    // window, so a group finishes together); afterwards —
+                    // or when nothing was deferred at all — the whole
+                    // phase and its barrier are elided.
+                    let replay_round = has_deferred
+                        && emitters
+                            .iter()
+                            .zip(prev.iter())
+                            .any(|(&e, &b)| e && b < total);
+                    for (k, (s, shard)) in sims.iter_mut().enumerate() {
+                        if prev[*s] >= total {
+                            continue; // crossed the horizon in an earlier round
                         }
-                    };
-                let mut end = stride;
-                while end < total {
-                    let end_t = SimTime::from_micros(end);
-                    for (_, shard) in &mut sims {
-                        shard.sim.run_window(end_t);
+                        let target = window[*s];
+                        if target >= total {
+                            // Final slice: inclusive of the horizon, like
+                            // run_until on the single-shard path.
+                            final_stats[k] = Some(shard.sim.run_until(cfg.duration));
+                        } else {
+                            shard.sim.run_window(SimTime::from_micros(target));
+                        }
                         shard.sim.drain_outbox(&mut outbuf);
                         for ev in outbuf.drain(..) {
                             let dest = shard_of[ev.to.index()];
-                            inboxes[dest].lock().expect("inbox poisoned").push(WireEvent {
+                            stage_ev[dest].push(WireEvent {
                                 at: ev.at,
                                 origin: ev.origin,
                                 seq: ev.seq,
@@ -479,9 +911,23 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                                 size: ev.size,
                             });
                         }
-                        if has_deferred {
+                        for (dest, buf) in stage_ev.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                event_grid.publish(*s, dest, buf);
+                            }
+                        }
+                        if replay_round {
                             shard.sim.drain_intents(&mut intbuf);
-                            route_intents(&mut intbuf);
+                            for it in intbuf.drain(..) {
+                                let owner =
+                                    owner_of_isp[isp_index(Underlay::queue_source(it.queue))];
+                                stage_int[owner].push(WireIntent::from_intent(it));
+                            }
+                            for (dest, buf) in stage_int.iter_mut().enumerate() {
+                                if !buf.is_empty() {
+                                    intent_grid.publish(*s, dest, buf);
+                                }
+                            }
                         }
                         shard.sim.drain_pop_log(&mut pops);
                     }
@@ -492,23 +938,24 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                             .buf
                             .append(&mut pops);
                     }
-                    // Barrier 1: every outbox and intent is routed, every
-                    // pop logged.
+                    // Barrier 1: every outbox batch and intent is
+                    // published, every pop logged.
                     barrier.wait();
-                    if has_deferred {
-                        // Owner replay: perform the window's deferred
-                        // enqueues in global pop order, then route each
+                    if replay_round {
+                        // Owner replay: perform the round's deferred
+                        // enqueues in global pop order, then forward each
                         // finalized arrival to its destination shard. The
-                        // extended lookahead guarantees every arrival lies
-                        // at or beyond the next window boundary, so
+                        // matrix diagonal guarantees every arrival lies at
+                        // or beyond the destination's next window, so
                         // ingesting after the replay barrier is early
-                        // enough even for same-shard destinations.
+                        // enough even for same-shard destinations; a
+                        // destination already past the horizon simply
+                        // keeps the event unpopped, exactly like the
+                        // residents a single-shard run leaves queued.
                         for (s, shard) in &mut sims {
-                            let mut intents = std::mem::take(
-                                &mut *intent_inboxes[*s].lock().expect("intent inbox poisoned"),
-                            );
-                            intents.sort_unstable_by_key(|w| (w.stamp, w.idx));
-                            for w in intents {
+                            intent_grid.drain(*s, |w| replay_buf.push(w));
+                            replay_buf.sort_unstable_by_key(|w| (w.stamp, w.idx));
+                            for w in replay_buf.drain(..) {
                                 let at = shard.sim.replay_intent(
                                     w.queue,
                                     w.size,
@@ -517,7 +964,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                                     w.scale_bits,
                                 );
                                 let dest = shard_of[w.to.index()];
-                                inboxes[dest].lock().expect("inbox poisoned").push(WireEvent {
+                                stage_ev[dest].push(WireEvent {
                                     at,
                                     origin: w.from.0 + 1,
                                     seq: w.seq,
@@ -527,16 +974,19 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                                     size: w.size,
                                 });
                             }
+                            for (dest, buf) in stage_ev.iter_mut().enumerate() {
+                                if !buf.is_empty() {
+                                    event_grid.publish(*s, dest, buf);
+                                }
+                            }
                         }
-                        // Barrier 2 (only with deferred queues): every
-                        // replayed arrival is routed before any inbox is
+                        // Barrier 2 (replay rounds only): every replayed
+                        // arrival is published before any inbox is
                         // drained.
                         barrier.wait();
                     }
                     for (s, shard) in &mut sims {
-                        let incoming =
-                            std::mem::take(&mut *inboxes[*s].lock().expect("inbox poisoned"));
-                        for w in incoming {
+                        event_grid.drain(*s, |w| {
                             shard.sim.ingest_remote(RemoteEvent {
                                 at: w.at,
                                 origin: w.origin,
@@ -546,63 +996,32 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
                                 payload: w.payload.into_message(&shard.arena),
                                 size: w.size,
                             });
-                        }
+                        });
                     }
                     if t == 0 {
-                        // One thread folds the finished window into the
-                        // depth replay while the others build the next one.
-                        replay.lock().expect("replay poisoned").fold();
-                    }
-                    // Barrier 3: every inbox is drained before any shard
-                    // advances into the window those events belong to.
-                    barrier.wait();
-                    end += stride;
-                }
-
-                // Final window: inclusive of the horizon, like run_until on
-                // the single-shard path. Cross-shard sends produced here
-                // arrive beyond the horizon (lookahead again) — they stay
-                // in the outbox, exactly as the single-shard run would
-                // leave them unpopped in its queue; the sender-side pop log
-                // already counted them for the depth replay.
-                let mut final_stats: Vec<SimStats> = Vec::with_capacity(sims.len());
-                for (_, shard) in &mut sims {
-                    final_stats.push(shard.sim.run_until(cfg.duration));
-                    if has_deferred {
-                        shard.sim.drain_intents(&mut intbuf);
-                        route_intents(&mut intbuf);
-                    }
-                }
-                if has_deferred {
-                    // Final replay barrier: the horizon's intents still
-                    // must reach the owner's queue state — the single-shard
-                    // run performed these enqueues (backlog, gauge, wait
-                    // histogram) even though the arrivals lie beyond the
-                    // horizon. The finalized events are dropped: they would
-                    // never be popped, matching the residents the
-                    // single-shard run leaves in its queue.
-                    barrier.wait();
-                    for (s, shard) in &mut sims {
-                        let mut intents = std::mem::take(
-                            &mut *intent_inboxes[*s].lock().expect("intent inbox poisoned"),
-                        );
-                        intents.sort_unstable_by_key(|w| (w.stamp, w.idx));
-                        for w in intents {
-                            let _ = shard.sim.replay_intent(
-                                w.queue,
-                                w.size,
-                                w.depart,
-                                w.partial,
-                                w.scale_bits,
-                            );
+                        // One thread folds the settled prefix of the depth
+                        // replay while the others build the next round.
+                        // Stamps below the frontier (the minimum window
+                        // end over unfinished shards) can never be popped
+                        // again by anyone; the rest waits, final fold
+                        // included, for the end of the run.
+                        if let Some(frontier) = wplan.frontier(&window) {
+                            replay
+                                .lock()
+                                .expect("replay poisoned")
+                                .fold_below(Some(SimTime::from_micros(frontier)));
                         }
                     }
+                    // Barrier 3: every inbox is drained before any shard
+                    // advances into the round those events belong to.
+                    barrier.wait();
                 }
+
                 for ((s, mut shard), stats) in sims.into_iter().zip(final_stats) {
                     shard.sim.finish(cfg.duration);
                     shard.sim.drain_pop_log(&mut pops);
                     *results[s].lock().expect("result slot poisoned") = Some(ShardResult {
-                        stats,
+                        stats: stats.expect("every shard runs a final slice"),
                         snapshot: shard.registry.snapshot(),
                         trace: shard.tap.drain_stamped(),
                         aggregates: shard.tap.drain_aggregates(),
@@ -629,7 +1048,7 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
         })
         .collect();
     let mut replay = replay.into_inner().expect("replay poisoned");
-    replay.fold();
+    replay.fold_below(None);
 
     let mut sim = SimStats::default();
     for r in &results {
@@ -657,12 +1076,10 @@ pub(crate) fn run_sharded(cfg: &WorldConfig) -> WorldOutput {
     // disjoint probe maps.
     let mut aggregates = CaptureAggregates::default();
     let records = merge_stamped_budgeted(
-        results
-            .into_iter()
-            .map(|r| {
-                aggregates.absorb(r.aggregates);
-                r.trace
-            }),
+        results.into_iter().map(|r| {
+            aggregates.absorb(r.aggregates);
+            r.trace
+        }),
         cfg.capture.budget,
     );
 
@@ -687,6 +1104,7 @@ mod tests {
     use super::*;
     use crate::{run_world, ProbeSpec};
     use plsim_workload::{ChannelClass, PopulationSpec, SessionPlan};
+    use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -709,7 +1127,7 @@ mod tests {
     fn partition_is_isp_granular_and_balanced_below_the_isp_count() {
         let cfg = small_world(11, 1, 1);
         let layout = WorldLayout::compute(&cfg);
-        let (shard_of, shards) = partition(&layout.topology, 3);
+        let (shard_of, shards) = partition(&layout.topology, &layout.rates, 3);
         assert!((2..=3).contains(&shards));
         // ISP-granular: two hosts of the same ISP never split.
         for (a, ha) in layout.topology.iter() {
@@ -731,22 +1149,39 @@ mod tests {
         let layout = WorldLayout::compute(&cfg);
         let total = layout.topology.len();
         for want in [8, 12] {
-            let (shard_of, shards) = partition(&layout.topology, want);
+            let unit_weights = vec![1u64; total];
+            let (unit, ushards) = partition_candidate(&layout.topology, &unit_weights, want);
+            let (shard_of, shards) = partition(&layout.topology, &layout.rates, want);
             assert_eq!(shards, want.min(total));
-            // No shard is empty and the load is balanced: no shard exceeds
-            // ideal + half-ideal (the greedy bound for half-ideal atoms).
-            let mut hosts = vec![0usize; shards];
-            for &s in &shard_of {
-                hosts[s] += 1;
+            assert_eq!(ushards, shards);
+            // The host-count candidate keeps the historical balance bound:
+            // no shard exceeds ideal + half-ideal (the greedy bound for
+            // half-ideal atoms).
+            let mut uhosts = vec![0usize; shards];
+            for &s in &unit {
+                uhosts[s] += 1;
             }
             let ideal = total.div_ceil(shards);
-            for (s, &h) in hosts.iter().enumerate() {
-                assert!(h > 0, "shard {s} owns no host (want {want})");
+            for (s, &h) in uhosts.iter().enumerate() {
+                assert!(h > 0, "host-count shard {s} owns no host (want {want})");
                 assert!(
                     h <= ideal + ideal.div_ceil(2),
                     "shard {s} holds {h} hosts, ideal {ideal} (want {want})"
                 );
             }
+            // The chosen split leaves no shard empty and never packs event
+            // rate worse than the host-count split.
+            for s in 0..shards {
+                assert!(
+                    shard_of.contains(&s),
+                    "shard {s} owns no host (want {want})"
+                );
+            }
+            assert!(
+                max_shard_rate(&shard_of, shards, &layout.rates)
+                    <= max_shard_rate(&unit, shards, &layout.rates),
+                "rate balance regressed vs the host-count split (want {want})"
+            );
             // At least one ISP is split (that is the point of the regime).
             let split = Isp::ALL.iter().any(|&isp| {
                 let shards_of_isp: std::collections::BTreeSet<usize> = layout
@@ -763,10 +1198,10 @@ mod tests {
 
     #[test]
     fn partition_is_deterministic_across_seeds() {
-        // The grouping may depend only on per-ISP host counts and paper
-        // order — never on seed-sampled values like edge delays: two
-        // worlds over the same plan but different world seeds partition
-        // identically.
+        // The grouping may depend only on the session plan (host counts,
+        // per-host rates) and paper order — never on seed-sampled values
+        // like edge delays: two worlds over the same plan but different
+        // world seeds partition identically.
         let mut rng = SmallRng::seed_from_u64(5);
         let plan = SessionPlan::generate(
             &PopulationSpec::tiny(ChannelClass::Unpopular),
@@ -775,13 +1210,35 @@ mod tests {
         );
         let a = WorldLayout::compute(&WorldConfig::new(11, plan.clone(), SimTime::from_secs(240)));
         let b = WorldLayout::compute(&WorldConfig::new(77, plan, SimTime::from_secs(240)));
+        assert_eq!(a.rates, b.rates, "rates are plan-derived, not seed-sampled");
         for want in [2, 3, 8] {
             assert_eq!(
-                partition(&a.topology, want),
-                partition(&b.topology, want),
+                partition(&a.topology, &a.rates, want),
+                partition(&b.topology, &b.rates, want),
                 "want {want}"
             );
         }
+    }
+
+    #[test]
+    fn partition_report_prices_the_asymmetric_windows() {
+        let cfg = small_world(42, 8, 4);
+        let report = partition_preview(&cfg).expect("8-way split plans a sharded run");
+        assert_eq!(report.shards, 8);
+        assert!(report.lookahead_max >= report.lookahead);
+        assert!(
+            report.window_rounds <= report.window_rounds_global,
+            "pairwise windows must never cost more rounds than the global window"
+        );
+        assert!(
+            report.rate_imbalance <= report.rate_imbalance_hostcount + 1e-9,
+            "chosen split must not pack rate worse than the host-count split"
+        );
+        // JSON mirrors the struct, pairwise rounds included.
+        let json = report.to_json();
+        assert!(json.contains("\"window_rounds\""));
+        assert!(json.contains("\"rate_imbalance\""));
+        assert!(json.contains("\"lookahead_max_ms\""));
     }
 
     #[test]
@@ -789,7 +1246,10 @@ mod tests {
         let reference = run_world(&small_world(42, 1, 1));
         for (shards, threads) in [(2, 2), (4, 2), (4, 1)] {
             let sharded = run_world(&small_world(42, shards, threads));
-            assert_eq!(sharded.sim, reference.sim, "{shards} shards / {threads} threads");
+            assert_eq!(
+                sharded.sim, reference.sim,
+                "{shards} shards / {threads} threads"
+            );
             assert_eq!(
                 sharded.metrics, reference.metrics,
                 "{shards} shards / {threads} threads"
@@ -815,7 +1275,10 @@ mod tests {
                 report.deferred_queues > 0,
                 "{shards} shards deferred no queue"
             );
-            assert_eq!(sharded.sim, reference.sim, "{shards} shards / {threads} threads");
+            assert_eq!(
+                sharded.sim, reference.sim,
+                "{shards} shards / {threads} threads"
+            );
             assert_eq!(
                 sharded.metrics, reference.metrics,
                 "{shards} shards / {threads} threads"
@@ -826,6 +1289,43 @@ mod tests {
             );
             assert_eq!(sharded.peer_stats, reference.peer_stats);
             assert_eq!(sharded.fault_marks, reference.fault_marks);
+        }
+    }
+
+    proptest! {
+        /// Satellite pin: on uneven ISP-weight mixes the rate-balanced
+        /// partition never exceeds the host-count split's rate imbalance.
+        #[test]
+        fn rate_balanced_partitions_never_lose_to_host_count_splits(
+            seed in 0u64..1_000_000,
+            weights in prop_oneof![
+                Just([0.56, 0.26, 0.02, 0.08, 0.08]),
+                Just([0.85, 0.05, 0.02, 0.04, 0.04]),
+                Just([0.05, 0.85, 0.02, 0.04, 0.04]),
+                Just([0.46, 0.46, 0.02, 0.03, 0.03]),
+            ],
+            want in 2usize..=12,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut spec = PopulationSpec::tiny(ChannelClass::Unpopular);
+            spec.isp_weights = weights;
+            let plan = SessionPlan::generate(&spec, 240.0, &mut rng);
+            let cfg = WorldConfig::new(seed, plan, SimTime::from_secs(240));
+            let layout = WorldLayout::compute(&cfg);
+            let total = layout.topology.len();
+
+            let (chosen, shards) = partition(&layout.topology, &layout.rates, want);
+            let (unit, ushards) =
+                partition_candidate(&layout.topology, &vec![1u64; total], want);
+            prop_assert_eq!(shards, ushards);
+            prop_assert!(
+                max_shard_rate(&chosen, shards, &layout.rates)
+                    <= max_shard_rate(&unit, shards, &layout.rates),
+                "rate imbalance exceeded the host-count split's"
+            );
+            for s in 0..shards {
+                prop_assert!(chosen.contains(&s), "shard {} owns no host", s);
+            }
         }
     }
 }

@@ -116,8 +116,10 @@ impl PlaybackSummary {
     /// started playback.
     #[must_use]
     pub fn summarize(stats: &[PeerStats]) -> Self {
-        let started: Vec<&PeerStats> =
-            stats.iter().filter(|s| s.playback_started.is_some()).collect();
+        let started: Vec<&PeerStats> = stats
+            .iter()
+            .filter(|s| s.playback_started.is_some())
+            .collect();
         let mean_stall_ratio = if started.is_empty() {
             None
         } else {
@@ -138,7 +140,9 @@ impl PlaybackSummary {
             started: started.len(),
             mean_stall_ratio,
             mean_startup_delay,
-            chunks_played: stats.iter().fold(0, |a, s| a.saturating_add(s.chunks_played)),
+            chunks_played: stats
+                .iter()
+                .fold(0, |a, s| a.saturating_add(s.chunks_played)),
             stalls: stats.iter().fold(0, |a, s| a.saturating_add(s.stalls)),
         }
     }

@@ -9,7 +9,9 @@
 use crate::det::DetHashMap;
 use plsim_des::{Actor, Context, NodeId, SimTime};
 use plsim_net::Topology;
-use plsim_proto::{ChannelId, Message, PeerEntry, PeerList, PeerListArena, SharedPeerList, TimerKind};
+use plsim_proto::{
+    ChannelId, Message, PeerEntry, PeerList, PeerListArena, SharedPeerList, TimerKind,
+};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -275,7 +277,12 @@ mod tests {
     }
 
     impl Actor<Message> for Client {
-        fn on_event(&mut self, ctx: &mut Context<'_, Message>, _from: Option<NodeId>, msg: Message) {
+        fn on_event(
+            &mut self,
+            ctx: &mut Context<'_, Message>,
+            _from: Option<NodeId>,
+            msg: Message,
+        ) {
             match msg {
                 Message::Timer(TimerKind::Join) => {
                     let q = Message::TrackerQuery {
@@ -334,7 +341,13 @@ mod tests {
         sim.inject(SimTime::ZERO, a, None, Message::Timer(TimerKind::Join), 0);
         sim.run_until(SimTime::from_secs(1));
         // a leaves.
-        sim.inject(SimTime::from_secs(2), tracker, Some(a), Message::Goodbye, 46);
+        sim.inject(
+            SimTime::from_secs(2),
+            tracker,
+            Some(a),
+            Message::Goodbye,
+            46,
+        );
         sim.inject(
             SimTime::from_secs(3),
             b,

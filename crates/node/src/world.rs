@@ -17,11 +17,13 @@ use crate::{
     BootstrapServer, Fault, FaultPlan, PeerConfig, PeerNode, PeerStats, PolicySpec, StatsSink,
     TrackerServer,
 };
-use plsim_capture::{CaptureAggregates, CaptureConfig, FaultMark, ProbeTap, RemoteKind, TraceStore};
+use plsim_capture::{
+    CaptureAggregates, CaptureConfig, FaultMark, ProbeTap, RemoteKind, TraceStore,
+};
 use plsim_des::{FaultEvent, NodeId, SchedulerKind, SimStats, SimTime, Simulation};
 use plsim_net::{BandwidthClass, Isp, LinkModel, Topology, TopologyBuilder, Underlay};
-use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
 use plsim_proto::{ChannelId, Message, PeerEntry, PeerListArena, TimerKind};
+use plsim_telemetry::{MetricsRegistry, MetricsSnapshot};
 use plsim_workload::SessionPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -206,6 +208,15 @@ pub(crate) struct WorldLayout {
     pub(crate) nat: Vec<bool>,
     /// Every harness injection in schedule order; index = sequence number.
     pub(crate) events: Vec<(SimTime, HarnessEvent)>,
+    /// Per-host expected-event-rate weight, indexed by node id: the
+    /// scheduled active microseconds of the host (infrastructure runs the
+    /// whole horizon; a viewer from join to leave). Event volume is
+    /// proportional to time spent ticking, so summed weights estimate a
+    /// shard's event load far better than its host count — this is what
+    /// rate-balanced partitioning packs by. Derived from the session plan
+    /// only (never from world-seed sampling), so equal plans give equal
+    /// rates across seeds and the partition stays seed-invariant.
+    pub(crate) rates: Vec<u64>,
 }
 
 impl WorldLayout {
@@ -249,17 +260,28 @@ impl WorldLayout {
 
         // The harness schedule, in injection order (index = seq).
         let mut events: Vec<(SimTime, HarnessEvent)> = Vec::new();
-        let timer = |at: SimTime, to: NodeId, kind: TimerKind| {
-            (at, HarnessEvent::Timer { to, kind })
-        };
+        let timer =
+            |at: SimTime, to: NodeId, kind: TimerKind| (at, HarnessEvent::Timer { to, kind });
         events.push(timer(SimTime::ZERO, source, TimerKind::Join));
         for (spec, &pid) in cfg.probes.iter().zip(&probes) {
-            events.push(timer(SimTime::from_secs_f64(spec.join_s), pid, TimerKind::Join));
+            events.push(timer(
+                SimTime::from_secs_f64(spec.join_s),
+                pid,
+                TimerKind::Join,
+            ));
         }
         for (plan, &pid) in cfg.plan.peers.iter().zip(&peers) {
-            events.push(timer(SimTime::from_secs_f64(plan.join_s), pid, TimerKind::Join));
+            events.push(timer(
+                SimTime::from_secs_f64(plan.join_s),
+                pid,
+                TimerKind::Join,
+            ));
             if plan.leave_s < cfg.duration.as_secs_f64() {
-                events.push(timer(SimTime::from_secs_f64(plan.leave_s), pid, TimerKind::Leave));
+                events.push(timer(
+                    SimTime::from_secs_f64(plan.leave_s),
+                    pid,
+                    TimerKind::Leave,
+                ));
             }
         }
 
@@ -296,7 +318,8 @@ impl WorldLayout {
                         // Only viewers whose session covers the storm are
                         // candidates; probes (the measurement hosts) are
                         // deliberately spared.
-                        if plan.join_s <= at_s && plan.leave_s > at_s
+                        if plan.join_s <= at_s
+                            && plan.leave_s > at_s
                             && fault_rng.random::<f64>() < p
                         {
                             events.push(timer(*at, pid, TimerKind::Leave));
@@ -319,6 +342,29 @@ impl WorldLayout {
             events.push((t, HarnessEvent::Fault(ev)));
         }
 
+        // Expected-event-rate weights in host-id order: bootstrap,
+        // trackers and source tick for the whole horizon; probes from
+        // their join; viewers for their planned session, clamped to the
+        // horizon and floored at one microsecond so every host has weight.
+        let horizon = cfg.duration.as_micros();
+        let active = |join_s: f64, leave_s: f64| {
+            let join = SimTime::from_secs_f64(join_s.max(0.0))
+                .as_micros()
+                .min(horizon);
+            let leave = SimTime::from_secs_f64(leave_s.max(0.0))
+                .as_micros()
+                .min(horizon);
+            leave.saturating_sub(join).max(1)
+        };
+        let mut rates = vec![horizon.max(1); 2 + trackers.len()];
+        rates.extend(
+            cfg.probes
+                .iter()
+                .map(|p| active(p.join_s, cfg.duration.as_secs_f64())),
+        );
+        rates.extend(cfg.plan.peers.iter().map(|p| active(p.join_s, p.leave_s)));
+        debug_assert_eq!(rates.len(), topology.len());
+
         WorldLayout {
             topology,
             bootstrap,
@@ -328,6 +374,7 @@ impl WorldLayout {
             peers,
             nat,
             events,
+            rates,
         }
     }
 }
@@ -463,11 +510,13 @@ pub(crate) fn materialize(
     tap.mark_remote(layout.source, RemoteKind::Source);
 
     // Probes (ordinary viewers, captured), then the population.
-    let viewers = layout
-        .probes
-        .iter()
-        .map(|&pid| (pid, false))
-        .chain(layout.peers.iter().zip(&layout.nat).map(|(&pid, &nat)| (pid, nat)));
+    let viewers = layout.probes.iter().map(|&pid| (pid, false)).chain(
+        layout
+            .peers
+            .iter()
+            .zip(&layout.nat)
+            .map(|(&pid, &nat)| (pid, nat)),
+    );
     for (pid, nat) in viewers {
         if is_local(pid) {
             let mut peer = PeerNode::viewer(

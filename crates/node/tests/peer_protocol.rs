@@ -153,9 +153,14 @@ fn source_serves_chunks_it_produced_and_rejects_future_ones() {
         "produced chunk must be served"
     );
     assert!(
-        replies
-            .iter()
-            .any(|m| matches!(m, Message::DataReject { seq: 2, busy: false, .. })),
+        replies.iter().any(|m| matches!(
+            m,
+            Message::DataReject {
+                seq: 2,
+                busy: false,
+                ..
+            }
+        )),
         "unknown chunk must be rejected (not busy)"
     );
 }
@@ -175,8 +180,13 @@ fn source_evicts_chunks_behind_the_live_window() {
         seq: 3,
     };
     let sz = msg.wire_size();
-    w.sim
-        .inject(SimTime::from_secs(horizon), w.source, Some(w.collector), msg, sz);
+    w.sim.inject(
+        SimTime::from_secs(horizon),
+        w.source,
+        Some(w.collector),
+        msg,
+        sz,
+    );
     w.sim.run_until(SimTime::from_secs(horizon + 10));
     let replies = replies_of(&w);
     assert!(
@@ -220,7 +230,13 @@ fn nat_peer_ignores_unsolicited_handshake() {
     }));
     assert_eq!(id, bootstrap_id);
 
-    sim.inject(SimTime::ZERO, nat_id, None, Message::Timer(TimerKind::Join), 0);
+    sim.inject(
+        SimTime::ZERO,
+        nat_id,
+        None,
+        Message::Timer(TimerKind::Join),
+        0,
+    );
     let hs = Message::Handshake {
         channel: ChannelId(1),
     };
@@ -268,7 +284,9 @@ fn goodbye_removes_the_neighbor() {
     w.sim.run_until(SimTime::from_secs(30));
     let replies = replies_of(&w);
     let list = replies.iter().find_map(|m| match m {
-        Message::PeerListResponse { req_id: 77, peers, .. } => Some(peers.clone()),
+        Message::PeerListResponse {
+            req_id: 77, peers, ..
+        } => Some(peers.clone()),
         _ => None,
     });
     let list = list.expect("gossip answered");

@@ -227,7 +227,10 @@ fn split_isp_backlog_trajectory_matches_single_shard() {
     };
     let reference = run_world(&squeeze(1));
     let sharded = run_world(&squeeze(8));
-    let report = sharded.partition.as_ref().expect("8-shard run reports its partition");
+    let report = sharded
+        .partition
+        .as_ref()
+        .expect("8-shard run reports its partition");
     assert!(report.split_isps > 0, "the run must split at least one ISP");
     assert!(
         report.deferred_queues > 0,
@@ -245,7 +248,11 @@ fn split_isp_backlog_trajectory_matches_single_shard() {
         ref_waits.count > 0,
         "the squeezed interconnect never queued — the test is vacuous"
     );
-    assert_eq!(waits(&sharded), ref_waits, "per-enqueue wait trajectory diverged");
+    assert_eq!(
+        waits(&sharded),
+        ref_waits,
+        "per-enqueue wait trajectory diverged"
+    );
     assert_eq!(
         sharded.metrics.gauge("net.interconnect_backlog_bits"),
         reference.metrics.gauge("net.interconnect_backlog_bits"),
@@ -284,11 +291,20 @@ fn paper10x_world_is_bit_identical_across_shard_counts() {
     assert!(reference.partition.is_none());
     for shards in [2usize, 4, 8] {
         let sharded = run_world(&paper10x(shards));
-        let report = sharded.partition.as_ref().expect("sharded run reports its partition");
+        let report = sharded
+            .partition
+            .as_ref()
+            .expect("sharded run reports its partition");
         assert_eq!(report.shards, shards);
         if shards == 8 {
-            assert!(report.split_isps > 0, "8 shards over 5 ISPs must split at least one");
-            assert!(report.deferred_queues > 0, "split source ISPs must defer their queues");
+            assert!(
+                report.split_isps > 0,
+                "8 shards over 5 ISPs must split at least one"
+            );
+            assert!(
+                report.deferred_queues > 0,
+                "split source ISPs must defer their queues"
+            );
         }
         assert_identical(&sharded, &reference, &format!("paper10x, {shards} shards"));
     }

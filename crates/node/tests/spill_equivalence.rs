@@ -73,7 +73,11 @@ fn assert_equivalent(budgeted: &WorldOutput, reference: &WorldOutput, label: &st
         budgeted.records.spilled_pages() >= 1,
         "budgeted run never spilled — the property would be vacuous: {label}"
     );
-    assert_eq!(reference.records.spilled_pages(), 0, "unbounded run spilled: {label}");
+    assert_eq!(
+        reference.records.spilled_pages(),
+        0,
+        "unbounded run spilled: {label}"
+    );
     assert_eq!(
         budgeted.records, reference.records,
         "capture rows diverged under budget: {label}"
@@ -118,7 +122,10 @@ fn assert_equivalent(budgeted: &WorldOutput, reference: &WorldOutput, label: &st
 /// property honest at tier-1 cost.
 #[test]
 fn budgeted_capture_is_bit_identical() {
-    let mut rng = test_rng(concat!(module_path!(), "::budgeted_capture_is_bit_identical"));
+    let mut rng = test_rng(concat!(
+        module_path!(),
+        "::budgeted_capture_is_bit_identical"
+    ));
     let strat = (0u64..1_000_000, any::<bool>());
     for _ in 0..4 {
         let (seed, faulted) = strat.sample(&mut rng);

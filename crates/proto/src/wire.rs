@@ -201,7 +201,9 @@ impl Message {
                 count,
                 seq,
             },
-            Message::DataReject { chunk, seq, busy } => WireMessage::DataReject { chunk, seq, busy },
+            Message::DataReject { chunk, seq, busy } => {
+                WireMessage::DataReject { chunk, seq, busy }
+            }
             Message::Goodbye => WireMessage::Goodbye,
             Message::Timer(kind) => WireMessage::Timer(kind),
         }
@@ -279,7 +281,9 @@ impl WireMessage {
                 count,
                 seq,
             },
-            WireMessage::DataReject { chunk, seq, busy } => Message::DataReject { chunk, seq, busy },
+            WireMessage::DataReject { chunk, seq, busy } => {
+                Message::DataReject { chunk, seq, busy }
+            }
             WireMessage::Goodbye => Message::Goodbye,
             WireMessage::Timer(kind) => Message::Timer(kind),
         }

@@ -16,7 +16,10 @@ use rand::Rng;
 /// Panics if `shape` or `scale` is not positive.
 #[must_use]
 pub fn weibull(rng: &mut SmallRng, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "weibull params must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "weibull params must be positive"
+    );
     let u: f64 = rng.random();
     scale * (-(1.0 - u).ln()).powf(1.0 / shape)
 }
@@ -70,8 +73,12 @@ mod tests {
     fn weibull_small_shape_is_heavier_tailed() {
         let mut r = rng();
         let n = 20_000;
-        let max_small = (0..n).map(|_| weibull(&mut r, 0.4, 1.0)).fold(0.0, f64::max);
-        let max_one = (0..n).map(|_| weibull(&mut r, 1.0, 1.0)).fold(0.0, f64::max);
+        let max_small = (0..n)
+            .map(|_| weibull(&mut r, 0.4, 1.0))
+            .fold(0.0, f64::max);
+        let max_one = (0..n)
+            .map(|_| weibull(&mut r, 1.0, 1.0))
+            .fold(0.0, f64::max);
         assert!(max_small > max_one);
     }
 

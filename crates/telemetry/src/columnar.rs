@@ -175,7 +175,10 @@ mod tests {
         let page = v.evict_page(0).expect("page 0 exists");
         assert_eq!(page.len(), PAGE_ROWS);
         assert!(page.iter().copied().eq(0..PAGE_ROWS as u64));
-        assert_eq!(v.heap_bytes(), full - PAGE_ROWS * std::mem::size_of::<u64>());
+        assert_eq!(
+            v.heap_bytes(),
+            full - PAGE_ROWS * std::mem::size_of::<u64>()
+        );
         assert!(v.page(0).is_empty());
         assert_eq!(v.len(), PAGE_ROWS * 2 + 5, "len is spill-independent");
         // Appends continue past the eviction untouched.

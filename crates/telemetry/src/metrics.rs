@@ -368,7 +368,10 @@ impl MetricsSnapshot {
     /// absent — the hook by which post-hoc passes such as the invariant
     /// checker fold their tallies into an existing run snapshot.
     pub fn bump_counter(&mut self, name: &str, delta: u64) {
-        match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
             Ok(i) => self.counters[i].1 += delta,
             Err(i) => self.counters.insert(i, (name.to_string(), delta)),
         }
@@ -561,10 +564,34 @@ mod tests {
         let r = MetricsRegistry::new();
         r.gauge("g").set(3);
         let mut snap = r.snapshot();
-        snap.set_gauge("g", GaugeValue { current: 1, peak: 9 });
-        snap.set_gauge("new", GaugeValue { current: 2, peak: 2 });
-        assert_eq!(snap.gauge("g"), Some(GaugeValue { current: 1, peak: 9 }));
-        assert_eq!(snap.gauge("new"), Some(GaugeValue { current: 2, peak: 2 }));
+        snap.set_gauge(
+            "g",
+            GaugeValue {
+                current: 1,
+                peak: 9,
+            },
+        );
+        snap.set_gauge(
+            "new",
+            GaugeValue {
+                current: 2,
+                peak: 2,
+            },
+        );
+        assert_eq!(
+            snap.gauge("g"),
+            Some(GaugeValue {
+                current: 1,
+                peak: 9
+            })
+        );
+        assert_eq!(
+            snap.gauge("new"),
+            Some(GaugeValue {
+                current: 2,
+                peak: 2
+            })
+        );
         assert!(snap.gauges.windows(2).all(|w| w[0].0 < w[1].0));
     }
 

@@ -108,10 +108,8 @@ impl SpillFile {
     #[must_use]
     pub fn create() -> SpillFile {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "plsim-spill-{}-{seq}.bin",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("plsim-spill-{}-{seq}.bin", std::process::id()));
         let file = OpenOptions::new()
             .create_new(true)
             .read(true)

@@ -104,8 +104,9 @@ impl PopulationSpec {
     #[must_use]
     pub fn with_day(&self, day: DayFactor) -> PopulationSpec {
         let mut spec = self.clone();
-        spec.steady_viewers =
-            ((spec.steady_viewers as f64) * day.viewer_scale).round().max(4.0) as usize;
+        spec.steady_viewers = ((spec.steady_viewers as f64) * day.viewer_scale)
+            .round()
+            .max(4.0) as usize;
         spec.isp_weights[4] *= day.foreign_scale;
         spec
     }

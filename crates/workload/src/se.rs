@@ -55,7 +55,10 @@ impl SeWorkloadSpec {
 /// Panics if `c`, `a` are not positive or `n` is zero.
 #[must_use]
 pub fn se_workload(spec: &SeWorkloadSpec, rng: &mut SmallRng) -> Vec<f64> {
-    assert!(spec.c > 0.0 && spec.a > 0.0, "SE parameters must be positive");
+    assert!(
+        spec.c > 0.0 && spec.a > 0.0,
+        "SE parameters must be positive"
+    );
     assert!(spec.n > 0, "need at least one contributor");
     let b = spec.b();
     let mut values: Vec<f64> = (1..=spec.n)

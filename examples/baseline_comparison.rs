@@ -9,7 +9,9 @@
 //! cargo run --release --example baseline_comparison [tiny|reduced|paper]
 //! ```
 
-use pplive_locality::{ablation, render_ablation, render_underlay_ablation, underlay_ablation, Scale};
+use pplive_locality::{
+    ablation, render_ablation, render_underlay_ablation, underlay_ablation, Scale,
+};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -37,6 +39,9 @@ fn main() {
         (1.0 - tracker.tele_locality) / (1.0 - pplive.tele_locality).max(1e-9)
     );
     println!("\nunderlay-mechanism ablation (same protocol, weakened underlays):\n");
-    println!("{}", render_underlay_ablation(&underlay_ablation(scale, 42)));
+    println!(
+        "{}",
+        render_underlay_ablation(&underlay_ablation(scale, 42))
+    );
     println!("(wall time {:.1?})", t0.elapsed());
 }

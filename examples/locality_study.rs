@@ -11,9 +11,9 @@
 //! study's four weeks).
 
 use pplive_locality::{
-    ablation, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, render_ablation,
-    render_fig11_14, render_fig15_18, render_fig7_10, render_table1, response_times,
-    workload_round_trip, FourWeeks, Scale, Suite,
+    ablation, fig_6, figs_11_to_14, figs_15_to_18, figs_2_to_5, render_ablation, render_fig11_14,
+    render_fig15_18, render_fig7_10, render_table1, response_times, workload_round_trip, FourWeeks,
+    Scale, Suite,
 };
 
 fn main() {
@@ -50,7 +50,10 @@ fn main() {
         FourWeeks::volatility(&weeks.popular, |d| d.mason),
         FourWeeks::volatility(&weeks.popular, |d| d.tele),
     );
-    println!("({days} days x 2 channels simulated in {:.1?})\n", t6.elapsed());
+    println!(
+        "({days} days x 2 channels simulated in {:.1?})\n",
+        t6.elapsed()
+    );
 
     let cells = response_times(&suite);
     println!("## Figures 7–10: peer-list response times\n");

@@ -7,9 +7,7 @@
 //! cargo run --release --example popular_vs_unpopular [tiny|reduced|paper]
 //! ```
 
-use pplive_locality::{
-    figs_2_to_5, render_fig7_10, render_table1, response_times, Scale, Suite,
-};
+use pplive_locality::{figs_2_to_5, render_fig7_10, render_table1, response_times, Scale, Suite};
 
 fn scale_from_args() -> Scale {
     match std::env::args().nth(1).as_deref() {

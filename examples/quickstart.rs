@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pplive_locality::{pct, ProbeSite, Scale, Scenario};
 use plsim_net::Isp;
 use plsim_workload::ChannelClass;
+use pplive_locality::{pct, ProbeSite, Scale, Scenario};
 
 fn main() {
     // A popular channel at test scale: ~70 concurrent viewers, 6 minutes.
@@ -39,11 +39,7 @@ fn main() {
         pct(report.locality())
     );
     for isp in Isp::ALL {
-        println!(
-            "    {:8} {:>12} bytes",
-            isp.label(),
-            report.data.bytes[isp]
-        );
+        println!("    {:8} {:>12} bytes", isp.label(), report.data.bytes[isp]);
     }
 
     if let Some(se) = report.contributions.se {

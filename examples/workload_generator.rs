@@ -45,7 +45,10 @@ fn main() {
         "  SE refit:  c={:.2}, a={:.2}, b={:.2}, R²={:.4}",
         se.c, se.a, se.b, se.r2
     );
-    println!("  Zipf fit:  alpha={:.2}, R²={:.4} (worse, as the paper found)", zipf.alpha, zipf.r2);
+    println!(
+        "  Zipf fit:  alpha={:.2}, R²={:.4} (worse, as the paper found)",
+        zipf.alpha, zipf.r2
+    );
     println!(
         "  top 10% of peers contribute {:.1}% of requests (paper: ~70%)",
         100.0 * top_share(&workload, 0.1).expect("top share")

@@ -1,9 +1,9 @@
 //! Integration test: the referral design produces more ISP-level locality
 //! than the tracker-only baseline (the paper's §1/§4 discussion).
 
-use pplive_locality::{ProbeSite, Scale, Scenario};
 use plsim_node::PeerConfig;
 use plsim_workload::ChannelClass;
+use pplive_locality::{ProbeSite, Scale, Scenario};
 
 /// Average TELE-probe locality over a few seeds under a peer config.
 fn mean_locality(cfg: PeerConfig, seeds: &[u64]) -> f64 {

@@ -1,17 +1,14 @@
 //! Integration tests: a run is a pure function of its seed.
 
-use pplive_locality::{ProbeSite, Scale, Scenario};
 use plsim_workload::ChannelClass;
+use pplive_locality::{ProbeSite, Scale, Scenario};
 
 #[test]
 fn identical_seeds_give_identical_runs() {
     let run = |seed| Scenario::new(ChannelClass::Unpopular, Scale::Tiny, seed).run();
     let a = run(7);
     let b = run(7);
-    assert_eq!(
-        a.output.sim.events_processed,
-        b.output.sim.events_processed
-    );
+    assert_eq!(a.output.sim.events_processed, b.output.sim.events_processed);
     assert_eq!(a.output.sim.messages_sent, b.output.sim.messages_sent);
     assert_eq!(a.output.records.len(), b.output.records.len());
     // Full record streams match, not just counts.

@@ -10,8 +10,8 @@
 use plsim_capture::{Direction, KindRef};
 use plsim_des::SimTime;
 use plsim_net::{Isp, LinkFault};
-use pplive_locality::{FaultPlan, ProbeSite, Scale, Scenario, ScenarioRun};
 use plsim_workload::ChannelClass;
+use pplive_locality::{FaultPlan, ProbeSite, Scale, Scenario, ScenarioRun};
 
 /// Latest inbound data reply captured at `probe`.
 fn last_data_reply(run: &ScenarioRun, probe: plsim_des::NodeId) -> Option<SimTime> {
@@ -134,14 +134,10 @@ fn tele_cnc_partition_cuts_cross_isp_traffic_and_streaming_survives() {
     // packet may cross the cut (the invariant checker enforces it).
     let partition_start = SimTime::from_secs(200);
     let horizon = SimTime::from_secs_f64(Scale::Tiny.duration_secs());
-    let scenario = Scenario::new(ChannelClass::Popular, Scale::Tiny, 11).with_faults(
-        FaultPlan::new().link(LinkFault::partition(
-            Isp::Tele,
-            Isp::Cnc,
-            partition_start,
-            horizon,
-        )),
-    );
+    let scenario =
+        Scenario::new(ChannelClass::Popular, Scale::Tiny, 11).with_faults(FaultPlan::new().link(
+            LinkFault::partition(Isp::Tele, Isp::Cnc, partition_start, horizon),
+        ));
     let run = scenario.run();
     run.check_invariants().assert_clean();
 
@@ -180,11 +176,7 @@ fn combined_faults_run_clean() {
     assert!(summary.chunks_played > 0);
     // Every scheduled boundary produced a marker, in firing order.
     assert!(!run.output.fault_marks.is_empty());
-    assert!(run
-        .output
-        .fault_marks
-        .windows(2)
-        .all(|w| w[0].t <= w[1].t));
+    assert!(run.output.fault_marks.windows(2).all(|w| w[0].t <= w[1].t));
 }
 
 #[test]

@@ -13,8 +13,8 @@
 //! digest test additionally pins the policy explicitly so it stays valid
 //! under an overridden environment.
 
-use pplive_locality::{fig_6, pct, PolicySpec, ProbeSite, Scale, Scenario};
 use plsim_workload::ChannelClass;
+use pplive_locality::{fig_6, pct, PolicySpec, ProbeSite, Scale, Scenario};
 
 const FIG6_GOLDEN: &str = include_str!("../studies/fig6_tiny_output.txt");
 
@@ -44,7 +44,10 @@ fn gossip_race_matches_fig6_golden_prefix() {
     let rendered = fig_6(3, Scale::Tiny, 42).render();
     let got: Vec<&str> = rendered.lines().take(5).collect();
     let want: Vec<&str> = FIG6_GOLDEN.lines().take(5).collect();
-    assert_eq!(got, want, "fig6 prefix diverged from studies/fig6_tiny_output.txt");
+    assert_eq!(
+        got, want,
+        "fig6 prefix diverged from studies/fig6_tiny_output.txt"
+    );
 }
 
 #[test]

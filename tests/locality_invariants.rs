@@ -5,8 +5,8 @@
 use plsim_capture::{Direction, KindRef};
 use plsim_net::Isp;
 use plsim_proto::PeerList;
-use pplive_locality::{PolicySpec, ProbeSite, Scale, Scenario, ScenarioRun};
 use plsim_workload::ChannelClass;
+use pplive_locality::{PolicySpec, ProbeSite, Scale, Scenario, ScenarioRun};
 
 // Seed re-pinned when the kernel moved to origin-keyed event ordering:
 // outcomes at a fixed seed legitimately changed, and the old seed's tiny
@@ -50,8 +50,8 @@ fn probes_stream_successfully() {
 fn peer_lists_in_captures_respect_protocol_limit() {
     let run = tiny_popular();
     for record in &run.output.records {
-        if let KindRef::PeerListResponse { peer_ips, .. }
-        | KindRef::TrackerResponse { peer_ips } = record.kind
+        if let KindRef::PeerListResponse { peer_ips, .. } | KindRef::TrackerResponse { peer_ips } =
+            record.kind
         {
             assert!(
                 peer_ips.len() <= PeerList::MAX_LEN,
@@ -251,7 +251,10 @@ fn unbounded_quota_is_bit_identical_to_the_gossip_race() {
         base.output.sim.events_processed,
         unbounded.output.sim.events_processed
     );
-    assert_eq!(base.output.sim.messages_sent, unbounded.output.sim.messages_sent);
+    assert_eq!(
+        base.output.sim.messages_sent,
+        unbounded.output.sim.messages_sent
+    );
     assert_eq!(
         base.output.sim.messages_dropped,
         unbounded.output.sim.messages_dropped
@@ -275,7 +278,10 @@ fn unbounded_quota_is_bit_identical_to_the_gossip_race() {
         unbounded.locality_avg(ProbeSite::Tele).to_bits(),
         "TELE locality diverged"
     );
-    assert_eq!(base.output.peer_stats.len(), unbounded.output.peer_stats.len());
+    assert_eq!(
+        base.output.peer_stats.len(),
+        unbounded.output.peer_stats.len()
+    );
 }
 
 #[test]
